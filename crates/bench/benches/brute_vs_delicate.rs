@@ -1,0 +1,62 @@
+//! E9: brute-force reset versus delicate replacement — the ablation the
+//! design calls out. Brute force recovers even from a total collapse of the
+//! configuration; delicate replacement is cheaper while a majority survives.
+
+use bench::{converged_config, steady_reconfig_sim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reconfig::{config_set, ConfigValue};
+use simnet::ProcessId;
+
+/// Delicate path: a member proposes the replacement.
+fn run_delicate(n: u32, seed: u64) -> u64 {
+    let mut sim = steady_reconfig_sim(n, seed);
+    let target = config_set(0..n - 1);
+    sim.process_mut(ProcessId::new(0))
+        .unwrap()
+        .request_reconfiguration(target.clone());
+    sim.run_until(3000, |s| converged_config(s) == Some(target.clone()))
+}
+
+/// Brute-force path: a transient fault leaves every survivor with `⊥`
+/// (a reset in progress); the system re-forms a configuration from the
+/// failure-detector readings. The reset completes as soon as the readings
+/// agree, so the measure is "rounds until *some* conflict-free configuration
+/// is installed and the system is calm again" (which configuration that is
+/// depends on whether the crashed member is already suspected — exactly the
+/// trade-off versus the delicate path, which names its target).
+fn run_brute(n: u32, seed: u64) -> u64 {
+    let mut sim = steady_reconfig_sim(n, seed);
+    sim.crash(ProcessId::new(n - 1));
+    for i in 0..n - 1 {
+        sim.process_mut(ProcessId::new(i))
+            .unwrap()
+            .recsa_mut()
+            .corrupt_config(ProcessId::new(i), ConfigValue::Bottom);
+    }
+    sim.run_until(3000, |s| {
+        converged_config(s).is_some()
+            && s.active_ids()
+                .iter()
+                .all(|id| s.process(*id).unwrap().no_reconfiguration())
+    })
+}
+
+fn brute_vs_delicate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brute_vs_delicate");
+    group.sample_size(10);
+    for n in [4u32, 8, 16] {
+        let delicate = run_delicate(n, 31);
+        let brute = run_brute(n, 31);
+        eprintln!("[E9] n={n}: delicate_rounds={delicate} brute_force_rounds={brute}");
+        group.bench_with_input(BenchmarkId::new("delicate", n), &n, |b, &n| {
+            b.iter(|| run_delicate(n, 31));
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, &n| {
+            b.iter(|| run_brute(n, 31));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, brute_vs_delicate);
+criterion_main!(benches);

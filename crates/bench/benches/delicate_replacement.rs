@@ -1,0 +1,32 @@
+//! E2 (Theorem 3.16 / Figure 2): cost of a delicate configuration
+//! replacement in a steady system, as a function of the system size.
+
+use bench::{converged_config, steady_reconfig_sim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reconfig::config_set;
+use simnet::ProcessId;
+
+fn run_replacement(n: u32, seed: u64) -> u64 {
+    let mut sim = steady_reconfig_sim(n, seed);
+    let target = config_set(0..n - 1);
+    sim.process_mut(ProcessId::new(0))
+        .unwrap()
+        .request_reconfiguration(target.clone());
+    sim.run_until(2000, |s| converged_config(s) == Some(target.clone()))
+}
+
+fn delicate_replacement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delicate_replacement");
+    group.sample_size(10);
+    for n in [3u32, 6, 12, 20] {
+        let rounds = run_replacement(n, 11);
+        eprintln!("[E2] n={n}: rounds_to_install_proposal={rounds}");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_replacement(n, 11));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, delicate_replacement);
+criterion_main!(benches);

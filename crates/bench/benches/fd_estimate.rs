@@ -1,0 +1,50 @@
+//! E10: the (N,Θ)-failure detector — how quickly a crashed processor is
+//! ranked last / suspected, and the accuracy of the gap-based estimate of the
+//! number of active processors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use failure_detector::ThetaFailureDetector;
+use simnet::ProcessId;
+
+fn run_detector(live: u32, crashed: u32, rounds: u32) -> (usize, bool) {
+    let me = ProcessId::new(0);
+    let mut fd = ThetaFailureDetector::new(me, (live + crashed + 1) as usize, 4 * (live as u64 + 1));
+    // Every processor (live and soon-to-crash) heartbeats for a while…
+    for _ in 0..rounds {
+        for p in 1..=(live + crashed) {
+            fd.heartbeat(ProcessId::new(p));
+        }
+    }
+    // …then the crashed ones stop.
+    for _ in 0..rounds {
+        for p in 1..=live {
+            fd.heartbeat(ProcessId::new(p));
+        }
+    }
+    let estimate = fd.estimate_active();
+    let all_crashed_suspected = (live + 1..=live + crashed).all(|p| !fd.trusts(ProcessId::new(p)));
+    (estimate, all_crashed_suspected)
+}
+
+fn fd_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_estimate");
+    group.sample_size(20);
+    for (live, crashed) in [(4u32, 2u32), (8, 4), (16, 8)] {
+        let (estimate, suspected) = run_detector(live, crashed, 50);
+        eprintln!(
+            "[E10] live={live} crashed={crashed}: estimate_active={estimate} (expected {}), crashed_all_suspected={suspected}",
+            live + 1
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{live}live_{crashed}crashed")),
+            &(live, crashed),
+            |b, &(live, crashed)| {
+                b.iter(|| run_detector(live, crashed, 50));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fd_estimate);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E5 (Theorem 3.26): admission latency of joining processors and the fact
+//! that joins never disturb the installed configuration.
+
+use bench::{converged_config, steady_reconfig_sim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reconfig::{NodeConfig, ReconfigNode};
+use simnet::ProcessId;
+
+fn run_joins(members: u32, joiners: u32, seed: u64) -> u64 {
+    let mut sim = steady_reconfig_sim(members, seed);
+    let before = converged_config(&sim);
+    for j in 0..joiners {
+        let id = ProcessId::new(100 + j);
+        sim.add_process_with_id(
+            id,
+            ReconfigNode::new_joiner(id, NodeConfig::for_n(2 * (members + joiners) as usize)),
+        );
+    }
+    let rounds = sim.run_until(3000, |s| {
+        (0..joiners).all(|j| {
+            s.process(ProcessId::new(100 + j))
+                .map(|p| p.is_participant())
+                .unwrap_or(false)
+        })
+    });
+    assert_eq!(converged_config(&sim), before, "joins must not change the configuration");
+    rounds
+}
+
+fn join_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_throughput");
+    group.sample_size(10);
+    for joiners in [1u32, 4, 8] {
+        let rounds = run_joins(4, joiners, 23);
+        eprintln!("[E5] members=4 joiners={joiners}: rounds_until_all_admitted={rounds}");
+        group.bench_with_input(BenchmarkId::from_parameter(joiners), &joiners, |b, &j| {
+            b.iter(|| run_joins(4, j, 23));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, join_throughput);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E4 (Lemma 3.20): after a majority of configuration members collapses,
+//! recMA triggers a reconfiguration and the survivors install a live
+//! configuration. Measures the recovery latency in rounds.
+
+use bench::{converged_config, steady_reconfig_sim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reconfig::config_set;
+use simnet::ProcessId;
+
+fn run_collapse(n: u32, seed: u64) -> u64 {
+    let mut sim = steady_reconfig_sim(n, seed);
+    let survivors = n / 2; // crash ⌈n/2⌉+… : keep strictly less than a majority alive
+    for i in survivors..n {
+        sim.crash(ProcessId::new(i));
+    }
+    let expected = config_set(0..survivors);
+    sim.run_until(4000, |s| converged_config(s) == Some(expected.clone()))
+}
+
+fn majority_loss_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("majority_loss_recovery");
+    group.sample_size(10);
+    for n in [5u32, 9, 15] {
+        let rounds = run_collapse(n, 17);
+        eprintln!("[E4] n={n}: rounds_to_recover_after_majority_loss={rounds}");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_collapse(n, 17));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, majority_loss_recovery);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E13: recovery from network partitions — the transient-fault flavour the
+//! paper motivates self-stabilization with. Two halves of the system lose
+//! connectivity for a while (possibly drifting to different configurations);
+//! after the heal the reconfiguration scheme must re-converge to a single
+//! conflict-free configuration.
+//!
+//! Reports the number of rounds from the heal until reconvergence, for
+//! several system sizes and partition durations.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reconfig::{config_set, ConfigSet, NodeConfig, ReconfigNode};
+use simnet::{ProcessId, SimConfig, Simulation};
+
+fn converged(sim: &Simulation<ReconfigNode>) -> Option<ConfigSet> {
+    let mut configs = BTreeSet::new();
+    for id in sim.active_ids() {
+        match sim.process(id).and_then(|p| p.installed_config()) {
+            Some(c) => {
+                configs.insert(c);
+            }
+            None => return None,
+        }
+    }
+    if configs.len() == 1 {
+        configs.into_iter().next()
+    } else {
+        None
+    }
+}
+
+/// Builds the cluster, splits it into two halves for `duration` rounds,
+/// heals, and returns the number of rounds from the heal to reconvergence.
+fn partition_heal_recovery(n: u32, duration: u64, seed: u64) -> u64 {
+    let cfg = config_set(0..n);
+    let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        sim.add_process_with_id(
+            id,
+            ReconfigNode::new_with_config(id, cfg.clone(), NodeConfig::for_n(2 * n as usize)),
+        );
+    }
+    sim.run_rounds(60);
+
+    let left: Vec<ProcessId> = (0..n / 2).map(ProcessId::new).collect();
+    let right: Vec<ProcessId> = (n / 2..n).map(ProcessId::new).collect();
+    sim.network_mut().split_into(&[left, right]);
+    sim.run_rounds(duration);
+    sim.network_mut().heal_all_links();
+
+    sim.run_until(4000, |s| {
+        converged(s).is_some()
+            && s.active_ids()
+                .iter()
+                .all(|id| s.process(*id).unwrap().no_reconfiguration())
+    })
+}
+
+fn partition_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_recovery");
+    group.sample_size(10);
+    for (n, duration) in [(4u32, 100u64), (6, 100), (6, 300)] {
+        let rounds = partition_heal_recovery(n, duration, 81);
+        eprintln!("[E13] n={n} partition_rounds={duration}: rounds_to_reconverge={rounds}");
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{n}"), duration),
+            &(n, duration),
+            |b, &(n, duration)| {
+                b.iter(|| partition_heal_recovery(n, duration, 81));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partition_recovery);
+criterion_main!(benches);

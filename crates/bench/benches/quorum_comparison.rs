@@ -1,0 +1,69 @@
+//! E12: ablation of the quorum system used by the register emulation —
+//! simple majorities (the paper's default) versus grid quorums (the
+//! generalization sketched in the related-work discussion).
+//!
+//! Grid quorums need ~2√n members per operation instead of ⌈(n+1)/2⌉, so the
+//! expected shape is: similar round counts for small configurations, fewer
+//! contacted members (and therefore fewer messages to wait for) for larger
+//! ones, at the cost of less crash tolerance per quorum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reconfig::{config_set, NodeConfig, QuorumSystem};
+use sharedmem::{RegisterId, SharedMemNode};
+use simnet::{ProcessId, SimConfig, Simulation};
+
+fn cluster_with_quorum(n: u32, quorum: QuorumSystem, seed: u64) -> Simulation<SharedMemNode> {
+    let cfg = config_set(0..n);
+    let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        sim.add_process_with_id(
+            id,
+            SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(2 * n as usize))
+                .with_quorum_system(quorum.clone()),
+        );
+    }
+    sim.run_rounds(40);
+    sim
+}
+
+fn commit_one_write(sim: &mut Simulation<SharedMemNode>) -> u64 {
+    let writer = ProcessId::new(0);
+    let before = sim.process(writer).unwrap().writes_committed();
+    sim.process_mut(writer).unwrap().submit_write(RegisterId::new(1), 7);
+    sim.run_until(1000, |s| s.process(writer).unwrap().writes_committed() > before)
+}
+
+fn quorum_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quorum_comparison");
+    group.sample_size(10);
+    for n in [4u32, 9] {
+        let columns = (n as f64).sqrt().ceil() as usize;
+        let systems = [
+            ("majority", QuorumSystem::Majority),
+            ("grid", QuorumSystem::Grid { columns }),
+        ];
+        for (name, quorum) in systems {
+            let mut sim = cluster_with_quorum(n, quorum.clone(), 71);
+            let rounds = commit_one_write(&mut sim);
+            let min_quorum = quorum.minimum_quorum_size(&config_set(0..n));
+            eprintln!(
+                "[E12] members={n} system={name}: write_rounds={rounds} min_quorum_size={min_quorum}"
+            );
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(n, quorum),
+                |b, (n, quorum)| {
+                    b.iter(|| {
+                        let mut sim = cluster_with_quorum(*n, quorum.clone(), 71);
+                        commit_one_write(&mut sim)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, quorum_comparison);
+criterion_main!(benches);

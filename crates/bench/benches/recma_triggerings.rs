@@ -1,0 +1,44 @@
+//! E3 (Lemma 3.18): spurious recMA triggerings caused by corrupted
+//! `noMaj`/`needReconf` flags are bounded (O(N²·cap)); in practice the flags
+//! are flushed on first use so the count stays tiny.
+
+use bench::steady_reconfig_sim;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::ProcessId;
+
+fn run_corrupted(n: u32, seed: u64) -> u64 {
+    let mut sim = steady_reconfig_sim(n, seed);
+    // Transient fault: every node believes every other node reported noMaj
+    // and needReconf.
+    for i in 0..n {
+        for k in 0..n {
+            sim.process_mut(ProcessId::new(i))
+                .unwrap()
+                .recma_mut()
+                .corrupt_flags(ProcessId::new(k), true, true);
+        }
+    }
+    sim.run_rounds(200);
+    sim.active_ids()
+        .iter()
+        .map(|id| sim.process(*id).unwrap().recma_triggerings())
+        .sum()
+}
+
+fn recma_triggerings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recma_triggerings");
+    group.sample_size(10);
+    for n in [4u32, 8, 16] {
+        let triggerings = run_corrupted(n, 13);
+        let bound = (n as u64) * (n as u64) * 16; // O(N² · cap) with cap = 16
+        eprintln!("[E3] n={n}: spurious_triggerings={triggerings} paper_bound={bound}");
+        assert!(triggerings <= bound);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_corrupted(n, 13));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, recma_triggerings);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E11: latency of MWMR register operations over the configuration quorums
+//! (Section 4.3's shared-memory emulation), as a function of the
+//! configuration size.
+//!
+//! Reports, per configuration size, the number of simulation rounds a write
+//! and a subsequent read need to complete, and measures the wall-clock cost
+//! of simulating one write+read pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reconfig::{config_set, NodeConfig};
+use sharedmem::{RegisterId, SharedMemNode};
+use simnet::{ProcessId, SimConfig, Simulation};
+
+fn register_cluster(n: u32, seed: u64) -> Simulation<SharedMemNode> {
+    let cfg = config_set(0..n);
+    let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        sim.add_process_with_id(
+            id,
+            SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(2 * n as usize)),
+        );
+    }
+    sim.run_rounds(40);
+    sim
+}
+
+/// Runs one write followed by one read and returns `(write_rounds, read_rounds)`.
+fn write_read_rounds(sim: &mut Simulation<SharedMemNode>) -> (u64, u64) {
+    let key = RegisterId::new(1);
+    let writer = ProcessId::new(0);
+    let reader = ProcessId::new(1);
+    let writes_before = sim.process(writer).unwrap().writes_committed();
+    sim.process_mut(writer).unwrap().submit_write(key, 42);
+    let write_rounds = sim.run_until(1000, |s| {
+        s.process(writer).unwrap().writes_committed() > writes_before
+    });
+    let reads_before = sim.process(reader).unwrap().reads_committed();
+    sim.process_mut(reader).unwrap().submit_read(key);
+    let read_rounds = sim.run_until(1000, |s| {
+        s.process(reader).unwrap().reads_committed() > reads_before
+    });
+    (write_rounds, read_rounds)
+}
+
+fn register_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_ops");
+    group.sample_size(10);
+    for n in [3u32, 5, 9] {
+        let mut sim = register_cluster(n, 61);
+        let (write_rounds, read_rounds) = write_read_rounds(&mut sim);
+        eprintln!(
+            "[E11] members={n}: write_rounds={write_rounds} read_rounds={read_rounds} messages_sent={}",
+            sim.metrics().messages_sent()
+        );
+        group.bench_with_input(BenchmarkId::new("write_read", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = register_cluster(n, 61);
+                write_read_rounds(&mut sim)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, register_ops);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E8 (Theorem 4.13): throughput of the virtually synchronous SMR in steady
+//! state and the latency of resuming service after a coordinator-led
+//! reconfiguration.
+
+use bench::smr_cluster;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::ProcessId;
+
+fn run_workload(n: u32, writes: u32, seed: u64) -> u64 {
+    let mut sim = smr_cluster(n, seed);
+    for w in 0..writes {
+        let replica = ProcessId::new(w % n);
+        sim.process_mut(replica).unwrap().submit_write(w, u64::from(w));
+    }
+    sim.run_until(4000, |s| {
+        s.active_ids().iter().all(|id| {
+            let node = s.process(*id).unwrap();
+            (0..writes).all(|w| node.read_register(w) == Some(u64::from(w)))
+        })
+    })
+}
+
+fn smr_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smr_throughput");
+    group.sample_size(10);
+    for n in [3u32, 5, 7] {
+        let rounds = run_workload(n, 20, 29);
+        eprintln!("[E8] replicas={n}: rounds_to_apply_20_writes={rounds}");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_workload(n, 10, 29));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, smr_throughput);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Shared harness helpers for the benchmark suite.
+//!
+//! Every benchmark in `benches/` regenerates one experiment of
+//! `EXPERIMENTS.md`. The helpers here build the simulations the benches
+//! measure, so the scenario definitions live in one place.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+
+use reconfig::{config_set, ConfigSet, NodeConfig, ReconfigNode};
+use simnet::{ProcessId, SimConfig, Simulation};
+use vssmr::SmrNode;
+
+/// Builds a simulation of `n` reconfiguration nodes that boot with no agreed
+/// configuration (arbitrary state → brute-force bootstrap).
+pub fn fresh_reconfig_sim(n: u32, seed: u64) -> Simulation<ReconfigNode> {
+    let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        sim.add_process_with_id(
+            id,
+            ReconfigNode::new_participant(id, NodeConfig::for_n(2 * n as usize)),
+        );
+    }
+    sim
+}
+
+/// Builds a simulation of `n` reconfiguration nodes that already share the
+/// configuration `{0..n}` (steady state).
+pub fn steady_reconfig_sim(n: u32, seed: u64) -> Simulation<ReconfigNode> {
+    let cfg = config_set(0..n);
+    let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        sim.add_process_with_id(
+            id,
+            ReconfigNode::new_with_config(id, cfg.clone(), NodeConfig::for_n(2 * n as usize)),
+        );
+    }
+    sim.run_rounds(40);
+    sim
+}
+
+/// Builds a VS-SMR cluster over the configuration `{0..n}` and runs it until
+/// the first view is installed.
+pub fn smr_cluster(n: u32, seed: u64) -> Simulation<SmrNode> {
+    let cfg = config_set(0..n);
+    let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        sim.add_process_with_id(
+            id,
+            SmrNode::new_member(id, cfg.clone(), NodeConfig::for_n(2 * n as usize)),
+        );
+    }
+    sim.run_until(1000, |s| {
+        s.active_ids().iter().all(|id| s.process(*id).unwrap().view().is_some())
+    });
+    sim
+}
+
+/// Returns the single configuration shared by all active nodes, if they agree.
+pub fn converged_config(sim: &Simulation<ReconfigNode>) -> Option<ConfigSet> {
+    let mut configs: BTreeSet<ConfigSet> = BTreeSet::new();
+    for id in sim.active_ids() {
+        match sim.process(id).and_then(|p| p.installed_config()) {
+            Some(c) => {
+                configs.insert(c);
+            }
+            None => return None,
+        }
+    }
+    if configs.len() == 1 {
+        configs.into_iter().next()
+    } else {
+        None
+    }
+}
+
+/// Runs the simulation until every active node holds exactly `expected` and
+/// reports calm (`noReco()`), returning the number of rounds it took.
+pub fn rounds_to_converge(
+    sim: &mut Simulation<ReconfigNode>,
+    expected: &ConfigSet,
+    max_rounds: u64,
+) -> u64 {
+    sim.run_until(max_rounds, |s| converged_config(s).as_ref() == Some(expected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_working_scenarios() {
+        let mut sim = fresh_reconfig_sim(3, 1);
+        let rounds = rounds_to_converge(&mut sim, &config_set(0..3), 300);
+        assert!(rounds < 300);
+        let steady = steady_reconfig_sim(3, 2);
+        assert_eq!(converged_config(&steady), Some(config_set(0..3)));
+    }
+}

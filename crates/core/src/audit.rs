@@ -1,0 +1,371 @@
+//! System-wide audits: Definition 3.1 as executable checks.
+//!
+//! The correctness proofs of the paper argue about *system states*: whether
+//! any processor (or channel) still carries stale information of types 1–4,
+//! whether the configuration is conflict-free, and whether a replacement is
+//! in progress. This module turns those definitions into checks over a
+//! collection of [`ReconfigNode`]s so that tests, benchmarks and operators
+//! can ask "has the system converged?" with the same vocabulary the paper
+//! uses. The checks are white-box but read-only; they never perturb the
+//! audited nodes.
+//!
+//! ```
+//! use reconfig::{audit::audit, config_set, NodeConfig, ReconfigNode};
+//! use simnet::ProcessId;
+//!
+//! let cfg = config_set(0..3);
+//! let nodes: Vec<ReconfigNode> = (0..3)
+//!     .map(|i| ReconfigNode::new_with_config(ProcessId::new(i), cfg.clone(), NodeConfig::for_n(8)))
+//!     .collect();
+//! let report = audit(&nodes);
+//! assert!(report.is_conflict_free());
+//! assert!(!report.has_findings());
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use simnet::ProcessId;
+
+use crate::node::ReconfigNode;
+use crate::types::{ConfigSet, ConfigValue, Phase};
+
+/// One category of stale information (Definition 3.1), or a conflict.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Finding {
+    /// Type 1: a phase-0 notification that carries a proposal set.
+    Type1PhaseZeroWithSet,
+    /// Type 2: the processor holds `⊥` (a reset is in progress).
+    Type2ResetInProgress,
+    /// Type 2: the processor holds an empty configuration set.
+    Type2EmptyConfiguration,
+    /// Type 2: processors hold different concrete configurations.
+    Type2ConfigurationConflict,
+    /// Type 3: notification phases more than one step apart across
+    /// participants, or different proposal sets while some participant is in
+    /// phase 2.
+    Type3PhaseDisagreement,
+    /// Type 4: the configuration contains none of the audited participants.
+    Type4NoLiveMember,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Finding::Type1PhaseZeroWithSet => "type-1: phase-0 notification with a set",
+            Finding::Type2ResetInProgress => "type-2: reset (⊥) in progress",
+            Finding::Type2EmptyConfiguration => "type-2: empty configuration",
+            Finding::Type2ConfigurationConflict => "type-2: configuration conflict",
+            Finding::Type3PhaseDisagreement => "type-3: notification phase disagreement",
+            Finding::Type4NoLiveMember => "type-4: configuration without a live member",
+        };
+        f.write_str(text)
+    }
+}
+
+/// The per-processor slice of an audit.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// The audited processor.
+    pub id: ProcessId,
+    /// Its `config[i]` value.
+    pub config: ConfigValue,
+    /// Whether it is a participant.
+    pub participant: bool,
+    /// Whether its own `noReco()` holds.
+    pub calm: bool,
+    /// The findings attributed to this processor.
+    pub findings: Vec<Finding>,
+}
+
+/// The result of auditing a set of processors.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    nodes: Vec<NodeReport>,
+    distinct_configs: BTreeSet<ConfigSet>,
+    system_findings: Vec<Finding>,
+}
+
+impl SystemReport {
+    /// Per-processor reports, in the order the nodes were supplied.
+    pub fn nodes(&self) -> &[NodeReport] {
+        &self.nodes
+    }
+
+    /// The distinct concrete configurations held across the audited nodes.
+    pub fn distinct_configs(&self) -> &BTreeSet<ConfigSet> {
+        &self.distinct_configs
+    }
+
+    /// Findings that concern the system as a whole (conflicts, dead
+    /// configurations) rather than one processor.
+    pub fn system_findings(&self) -> &[Finding] {
+        &self.system_findings
+    }
+
+    /// `true` when every audited participant holds the same concrete
+    /// configuration (and at least one exists).
+    pub fn is_conflict_free(&self) -> bool {
+        self.distinct_configs.len() == 1
+            && self
+                .nodes
+                .iter()
+                .filter(|n| n.participant)
+                .all(|n| matches!(n.config, ConfigValue::Set(_)))
+    }
+
+    /// The single configuration shared by every participant, if the audit is
+    /// conflict-free.
+    pub fn agreed_config(&self) -> Option<&ConfigSet> {
+        if self.is_conflict_free() {
+            self.distinct_configs.iter().next()
+        } else {
+            None
+        }
+    }
+
+    /// `true` when every audited node reports `noReco()`.
+    pub fn is_calm(&self) -> bool {
+        self.nodes.iter().all(|n| n.calm)
+    }
+
+    /// `true` when any finding — per-node or system-wide — was recorded.
+    pub fn has_findings(&self) -> bool {
+        !self.system_findings.is_empty() || self.nodes.iter().any(|n| !n.findings.is_empty())
+    }
+
+    /// Every finding recorded, flattened (for assertions and logs).
+    pub fn all_findings(&self) -> Vec<Finding> {
+        let mut all: Vec<Finding> = self.system_findings.clone();
+        for node in &self.nodes {
+            all.extend(node.findings.iter().cloned());
+        }
+        all.sort();
+        all.dedup();
+        all
+    }
+
+    /// A convergence verdict in the sense of Theorem 3.15: conflict-free,
+    /// calm, and free of stale information.
+    pub fn converged(&self) -> bool {
+        self.is_conflict_free() && self.is_calm() && !self.has_findings()
+    }
+}
+
+impl fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "audit: {} nodes, {} distinct configs, calm={}, findings={}",
+            self.nodes.len(),
+            self.distinct_configs.len(),
+            self.is_calm(),
+            self.all_findings().len()
+        )
+    }
+}
+
+/// Audits a collection of reconfiguration nodes (typically every active
+/// processor of a simulation) against Definition 3.1.
+pub fn audit<'a>(nodes: impl IntoIterator<Item = &'a ReconfigNode>) -> SystemReport {
+    let nodes: Vec<&ReconfigNode> = nodes.into_iter().collect();
+    let ids: BTreeSet<ProcessId> = nodes.iter().map(|n| n.id()).collect();
+
+    let mut reports: Vec<NodeReport> = Vec::with_capacity(nodes.len());
+    let mut distinct_configs: BTreeSet<ConfigSet> = BTreeSet::new();
+    let mut phases: BTreeSet<Phase> = BTreeSet::new();
+    let mut phase2_sets: BTreeSet<ConfigSet> = BTreeSet::new();
+    let mut active_sets: BTreeSet<ConfigSet> = BTreeSet::new();
+
+    for node in &nodes {
+        let mut findings = Vec::new();
+        let config = node.recsa().own_config();
+        let notification = node.recsa().own_notification();
+
+        if notification.is_type1_stale() {
+            findings.push(Finding::Type1PhaseZeroWithSet);
+        }
+        match &config {
+            ConfigValue::Bottom => findings.push(Finding::Type2ResetInProgress),
+            ConfigValue::Set(s) if s.is_empty() => {
+                findings.push(Finding::Type2EmptyConfiguration)
+            }
+            ConfigValue::Set(s) => {
+                distinct_configs.insert(s.clone());
+                // Type 4: a configuration none of whose members is among the
+                // audited (i.e. live) processors can serve no quorum.
+                if s.iter().all(|m| !ids.contains(m)) {
+                    findings.push(Finding::Type4NoLiveMember);
+                }
+            }
+            ConfigValue::NonParticipant => {}
+        }
+        if !notification.is_default() {
+            phases.insert(notification.phase);
+            if let Some(set) = &notification.set {
+                active_sets.insert(set.clone());
+                if notification.phase == Phase::Two {
+                    phase2_sets.insert(set.clone());
+                }
+            }
+        }
+
+        reports.push(NodeReport {
+            id: node.id(),
+            config,
+            participant: node.is_participant(),
+            calm: node.no_reconfiguration(),
+            findings,
+        });
+    }
+
+    let mut system_findings = Vec::new();
+    if distinct_configs.len() > 1 {
+        system_findings.push(Finding::Type2ConfigurationConflict);
+    }
+    // Type 3: different proposal sets while somebody already reached phase 2,
+    // or participants whose phases are two steps apart (0 and 2 coexist).
+    if (!phase2_sets.is_empty() && active_sets.len() > 1)
+        || (phases.contains(&Phase::Two)
+            && nodes.iter().any(|n| {
+                n.is_participant() && n.recsa().own_notification().is_default()
+            }))
+    {
+        system_findings.push(Finding::Type3PhaseDisagreement);
+    }
+
+    SystemReport {
+        nodes: reports,
+        distinct_configs,
+        system_findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeConfig;
+    use crate::types::{config_set, Notification};
+    use simnet::{SimConfig, Simulation};
+
+    fn steady_nodes(n: u32) -> Vec<ReconfigNode> {
+        let cfg = config_set(0..n);
+        (0..n)
+            .map(|i| {
+                ReconfigNode::new_with_config(ProcessId::new(i), cfg.clone(), NodeConfig::for_n(8))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_system_has_no_findings() {
+        let nodes = steady_nodes(3);
+        let report = audit(&nodes);
+        assert!(report.is_conflict_free());
+        assert!(!report.has_findings());
+        assert_eq!(report.agreed_config(), Some(&config_set(0..3)));
+        assert_eq!(report.nodes().len(), 3);
+        assert!(report.all_findings().is_empty());
+        assert!(format!("{report}").contains("3 nodes"));
+    }
+
+    #[test]
+    fn conflicting_configurations_are_reported() {
+        let mut nodes = steady_nodes(3);
+        nodes[1]
+            .recsa_mut()
+            .corrupt_config(ProcessId::new(1), ConfigValue::Set(config_set([1, 2])));
+        let report = audit(&nodes);
+        assert!(!report.is_conflict_free());
+        assert_eq!(report.distinct_configs().len(), 2);
+        assert!(report
+            .all_findings()
+            .contains(&Finding::Type2ConfigurationConflict));
+        assert!(report.agreed_config().is_none());
+        assert!(!report.converged());
+    }
+
+    #[test]
+    fn reset_and_empty_configuration_are_reported_per_node() {
+        let mut nodes = steady_nodes(3);
+        nodes[0]
+            .recsa_mut()
+            .corrupt_config(ProcessId::new(0), ConfigValue::Bottom);
+        nodes[2]
+            .recsa_mut()
+            .corrupt_config(ProcessId::new(2), ConfigValue::Set(ConfigSet::new()));
+        let report = audit(&nodes);
+        let findings = report.all_findings();
+        assert!(findings.contains(&Finding::Type2ResetInProgress));
+        assert!(findings.contains(&Finding::Type2EmptyConfiguration));
+        assert_eq!(report.nodes()[0].findings, vec![Finding::Type2ResetInProgress]);
+    }
+
+    #[test]
+    fn type1_and_type3_notifications_are_reported() {
+        let mut nodes = steady_nodes(4);
+        nodes[0].recsa_mut().corrupt_notification(
+            ProcessId::new(0),
+            Notification {
+                phase: Phase::Zero,
+                set: Some(config_set([5])),
+            },
+        );
+        nodes[1].recsa_mut().corrupt_notification(
+            ProcessId::new(1),
+            Notification::new(Phase::Two, config_set([1, 2])),
+        );
+        nodes[2].recsa_mut().corrupt_notification(
+            ProcessId::new(2),
+            Notification::new(Phase::One, config_set([2, 3])),
+        );
+        let report = audit(&nodes);
+        let findings = report.all_findings();
+        assert!(findings.contains(&Finding::Type1PhaseZeroWithSet));
+        assert!(findings.contains(&Finding::Type3PhaseDisagreement));
+    }
+
+    #[test]
+    fn dead_configuration_is_a_type4_finding() {
+        let ghost = config_set([40, 41, 42]);
+        let nodes: Vec<ReconfigNode> = (0..3)
+            .map(|i| {
+                ReconfigNode::new_with_config(ProcessId::new(i), ghost.clone(), NodeConfig::for_n(8))
+            })
+            .collect();
+        let report = audit(&nodes);
+        assert!(report.all_findings().contains(&Finding::Type4NoLiveMember));
+        assert!(!report.converged());
+    }
+
+    #[test]
+    fn audit_tracks_a_real_convergence() {
+        // Nodes start from pairwise-different configurations; the audit flags
+        // the conflict, and after the simulation converges it is clean.
+        let mut sim: Simulation<ReconfigNode> =
+            Simulation::new(SimConfig::default().with_seed(5).with_max_delay(0));
+        for i in 0..4u32 {
+            let id = ProcessId::new(i);
+            sim.add_process_with_id(
+                id,
+                ReconfigNode::new_with_config(id, config_set([i]), NodeConfig::for_n(8)),
+            );
+        }
+        let before = audit(sim.active_ids().iter().map(|id| sim.process(*id).unwrap()));
+        assert!(before.has_findings() || before.distinct_configs().len() > 1);
+
+        let rounds = sim.run_until(1000, |s| {
+            audit(s.active_ids().iter().map(|id| s.process(*id).unwrap())).converged()
+        });
+        assert!(rounds < 1000, "audit never reported convergence");
+        let after = audit(sim.active_ids().iter().map(|id| sim.process(*id).unwrap()));
+        assert_eq!(after.agreed_config(), Some(&config_set(0..4)));
+        assert!(after.is_calm());
+    }
+
+    #[test]
+    fn finding_display_is_informative() {
+        assert!(format!("{}", Finding::Type4NoLiveMember).contains("type-4"));
+        assert!(format!("{}", Finding::Type1PhaseZeroWithSet).contains("type-1"));
+    }
+}

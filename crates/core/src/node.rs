@@ -1,0 +1,493 @@
+//! The composite reconfiguration node.
+//!
+//! [`ReconfigNode`] wires together everything a single processor runs in the
+//! paper's architecture diagram (Figure 1): the `(N,Θ)`-failure detector fed
+//! by heartbeats, the Reconfiguration Stability Assurance layer (recSA), the
+//! Reconfiguration Management layer (recMA) and the joining mechanism, plus
+//! the two application hooks (`evalConf()` and `passQuery()`).
+//!
+//! The node is written context-free — [`ReconfigNode::poll`] and
+//! [`ReconfigNode::handle`] produce explicit `(destination, message)` lists —
+//! so higher layers (the labeling, counter and virtual-synchrony crates) can
+//! embed it and forward its traffic inside their own message enums. It also
+//! implements [`simnet::Process`], so it can be dropped straight into a
+//! simulation.
+
+use std::collections::BTreeSet;
+
+use failure_detector::ThetaFailureDetector;
+use simnet::{Context, Process, ProcessId};
+
+use crate::join::{JoinMsg, Joining};
+use crate::policy::{AdmissionPolicy, EvalPolicy};
+use crate::recma::{RecMa, RecMaMsg};
+use crate::recsa::{RecSa, RecSaMsg};
+use crate::types::{ConfigSet, ConfigValue};
+
+/// Static configuration of a [`ReconfigNode`].
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// The bound `N` on the number of simultaneously active processors.
+    pub n_bound: usize,
+    /// The failure-detector suspicion threshold `Θ`.
+    pub theta: u64,
+    /// The application's reconfiguration prediction function.
+    pub eval_policy: EvalPolicy,
+    /// The application's admission policy for joining processors.
+    pub admission: AdmissionPolicy,
+    /// How many consecutive steps a non-participant waits without seeing any
+    /// participant or configuration before it bootstraps the system by
+    /// becoming a brute-force resetter. `None` disables self-bootstrap.
+    pub bootstrap_patience: Option<u64>,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            n_bound: 64,
+            theta: 256,
+            eval_policy: EvalPolicy::Never,
+            admission: AdmissionPolicy::AdmitAll,
+            bootstrap_patience: Some(16),
+        }
+    }
+}
+
+impl NodeConfig {
+    /// Creates the default configuration sized for `n_bound` processors.
+    pub fn for_n(n_bound: usize) -> Self {
+        NodeConfig {
+            n_bound,
+            theta: (4 * n_bound as u64).max(16),
+            ..NodeConfig::default()
+        }
+    }
+
+    /// Sets the prediction function (builder style).
+    pub fn with_eval_policy(mut self, policy: EvalPolicy) -> Self {
+        self.eval_policy = policy;
+        self
+    }
+
+    /// Sets the admission policy (builder style).
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets or disables the bootstrap patience (builder style).
+    pub fn with_bootstrap_patience(mut self, patience: Option<u64>) -> Self {
+        self.bootstrap_patience = patience;
+        self
+    }
+}
+
+/// The protocol messages exchanged by [`ReconfigNode`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigMsg {
+    /// A liveness pulse (the token of the underlying data link); every
+    /// received message also counts as one.
+    Heartbeat,
+    /// recSA traffic (Algorithm 3.1, line 29).
+    RecSa(RecSaMsg),
+    /// recMA flag exchange (Algorithm 3.2, line 19).
+    RecMa(RecMaMsg),
+    /// Joining mechanism traffic (Algorithm 3.3).
+    Join(JoinMsg),
+}
+
+/// One processor of the self-stabilizing reconfiguration scheme.
+#[derive(Debug, Clone)]
+pub struct ReconfigNode {
+    me: ProcessId,
+    config: NodeConfig,
+    fd: ThetaFailureDetector,
+    recsa: RecSa,
+    recma: RecMa,
+    joining: Joining,
+    lonely_steps: u64,
+}
+
+impl ReconfigNode {
+    fn assemble(me: ProcessId, recsa: RecSa, config: NodeConfig) -> Self {
+        let fd = ThetaFailureDetector::new(me, config.n_bound, config.theta);
+        ReconfigNode {
+            me,
+            fd,
+            recsa,
+            recma: RecMa::new(me),
+            joining: Joining::new(me),
+            lonely_steps: 0,
+            config,
+        }
+    }
+
+    /// Creates a node that considers itself a participant but knows no
+    /// configuration yet (`config[i] = ⊥`); the brute-force technique
+    /// installs the first configuration. Use this for the initial members of
+    /// a fresh deployment.
+    pub fn new_participant(me: ProcessId, config: NodeConfig) -> Self {
+        Self::assemble(me, RecSa::new_participant(me), config)
+    }
+
+    /// Creates a participant that already holds a configuration.
+    pub fn new_with_config(me: ProcessId, initial: ConfigSet, config: NodeConfig) -> Self {
+        Self::assemble(me, RecSa::new_with_config(me, initial), config)
+    }
+
+    /// Creates a joining node: it stays silent until the joining mechanism
+    /// admits it.
+    pub fn new_joiner(me: ProcessId, config: NodeConfig) -> Self {
+        Self::assemble(me, RecSa::new_joiner(me), config)
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The node's static configuration.
+    pub fn node_config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// `getConfig()`: the configuration this node currently reports.
+    pub fn configuration(&self) -> ConfigValue {
+        self.recsa.get_config()
+    }
+
+    /// The configuration installed locally, if it is a concrete set.
+    pub fn installed_config(&self) -> Option<ConfigSet> {
+        self.recsa.installed_config()
+    }
+
+    /// `noReco()`: `true` while no reconfiguration activity is apparent.
+    pub fn no_reconfiguration(&self) -> bool {
+        self.recsa.no_reco()
+    }
+
+    /// Returns `true` when this node is a participant.
+    pub fn is_participant(&self) -> bool {
+        self.recsa.is_participant()
+    }
+
+    /// The failure detector's current trusted set.
+    pub fn trusted(&self) -> BTreeSet<ProcessId> {
+        self.fd.trusted()
+    }
+
+    /// The participant set as seen by this node.
+    pub fn participants(&self) -> BTreeSet<ProcessId> {
+        self.recsa.my_part()
+    }
+
+    /// Requests a delicate reconfiguration replacing the current
+    /// configuration with `set` (the `estab(set)` interface). Applications —
+    /// e.g. the coordinator-led reconfiguration of Algorithm 4.6 — call this
+    /// directly. Returns `true` when the request was accepted.
+    pub fn request_reconfiguration(&mut self, set: ConfigSet) -> bool {
+        self.recsa.estab(set)
+    }
+
+    /// Changes the reconfiguration prediction policy at run time.
+    pub fn set_eval_policy(&mut self, policy: EvalPolicy) {
+        self.config.eval_policy = policy;
+    }
+
+    /// Changes the admission policy at run time.
+    pub fn set_admission(&mut self, admission: AdmissionPolicy) {
+        self.config.admission = admission;
+    }
+
+    /// White-box access to the recSA layer (tests, benchmarks, fault
+    /// injection).
+    pub fn recsa(&self) -> &RecSa {
+        &self.recsa
+    }
+
+    /// Mutable white-box access to the recSA layer.
+    pub fn recsa_mut(&mut self) -> &mut RecSa {
+        &mut self.recsa
+    }
+
+    /// White-box access to the recMA layer.
+    pub fn recma(&self) -> &RecMa {
+        &self.recma
+    }
+
+    /// Mutable white-box access to the recMA layer.
+    pub fn recma_mut(&mut self) -> &mut RecMa {
+        &mut self.recma
+    }
+
+    /// White-box access to the failure detector.
+    pub fn failure_detector(&self) -> &ThetaFailureDetector {
+        &self.fd
+    }
+
+    /// Total number of recMA triggerings so far.
+    pub fn recma_triggerings(&self) -> u64 {
+        self.recma.triggerings()
+    }
+
+    /// Number of brute-force resets started locally.
+    pub fn resets_started(&self) -> u64 {
+        self.recsa.resets_started()
+    }
+
+    /// One timer step of the whole stack. `peers` is the set of processor
+    /// identifiers this node may address (the fully connected topology).
+    pub fn poll(&mut self, peers: &[ProcessId]) -> Vec<(ProcessId, ReconfigMsg)> {
+        let mut out: Vec<(ProcessId, ReconfigMsg)> = Vec::new();
+
+        // The underlying token exchange: a heartbeat to every other
+        // processor keeps the failure detectors of the whole system fed.
+        for p in peers.iter().copied().filter(|p| *p != self.me) {
+            out.push((p, ReconfigMsg::Heartbeat));
+        }
+
+        // Bootstrap patience: a non-participant that can see neither a
+        // participant nor a configuration for long enough concludes the
+        // quorum system has completely collapsed and starts a brute-force
+        // reset (cf. the complete-collapse discussion in Section 3.1).
+        if let Some(patience) = self.config.bootstrap_patience {
+            if !self.recsa.is_participant()
+                && self.recsa.my_part().is_empty()
+                && self.recsa.chs_config().as_set().is_none()
+            {
+                self.lonely_steps += 1;
+                if self.lonely_steps > patience {
+                    self.recsa.force_reset();
+                    self.lonely_steps = 0;
+                }
+            } else {
+                self.lonely_steps = 0;
+            }
+        }
+
+        // recSA.
+        let trusted = self.fd.trusted();
+        for (to, msg) in self.recsa.step(trusted) {
+            out.push((to, ReconfigMsg::RecSa(msg)));
+        }
+
+        // recMA, with the application's prediction function.
+        let policy = self.config.eval_policy.clone();
+        let fd_trusted = self.fd.trusted();
+        for (to, msg) in self
+            .recma
+            .step(&mut self.recsa, |cfg| policy.requires_reconfiguration(cfg, &fd_trusted))
+        {
+            out.push((to, ReconfigMsg::RecMa(msg)));
+        }
+
+        // Joining mechanism (only does something while not a participant).
+        for (to, msg) in self.joining.step(&mut self.recsa) {
+            out.push((to, ReconfigMsg::Join(msg)));
+        }
+
+        out
+    }
+
+    /// Handles one received message, returning any immediate replies.
+    pub fn handle(&mut self, from: ProcessId, msg: ReconfigMsg) -> Vec<(ProcessId, ReconfigMsg)> {
+        // Every packet doubles as a heartbeat of its sender.
+        self.fd.heartbeat(from);
+        match msg {
+            ReconfigMsg::Heartbeat => Vec::new(),
+            ReconfigMsg::RecSa(m) => {
+                self.recsa.on_message(from, m);
+                Vec::new()
+            }
+            ReconfigMsg::RecMa(m) => {
+                let is_participant = self.recsa.is_participant();
+                self.recma.on_message(from, m, is_participant);
+                Vec::new()
+            }
+            ReconfigMsg::Join(JoinMsg::Request) => {
+                let admit = self.config.admission.admit(from);
+                match self.joining.on_request(from, &self.recsa, admit) {
+                    Some(resp) => vec![(from, ReconfigMsg::Join(resp))],
+                    None => Vec::new(),
+                }
+            }
+            ReconfigMsg::Join(JoinMsg::Response { pass }) => {
+                let is_participant = self.recsa.is_participant();
+                self.joining.on_response(from, pass, is_participant);
+                Vec::new()
+            }
+        }
+    }
+}
+
+impl Process for ReconfigNode {
+    type Msg = ReconfigMsg;
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ReconfigMsg>) {
+        let peers = ctx.all_ids();
+        for (to, msg) in self.poll(&peers) {
+            ctx.send(to, msg);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: ReconfigMsg, ctx: &mut Context<'_, ReconfigMsg>) {
+        for (to, reply) in self.handle(from, msg) {
+            ctx.send(to, reply);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::config_set;
+    use simnet::{SimConfig, Simulation};
+
+    fn fresh_sim(n: u32, seed: u64) -> Simulation<ReconfigNode> {
+        let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
+        for i in 0..n {
+            let id = ProcessId::new(i);
+            sim.add_process_with_id(id, ReconfigNode::new_participant(id, NodeConfig::for_n(16)));
+        }
+        sim
+    }
+
+    fn converged_config(sim: &Simulation<ReconfigNode>) -> Option<ConfigSet> {
+        let mut configs = BTreeSet::new();
+        for id in sim.active_ids() {
+            match sim.process(id).and_then(|p| p.installed_config()) {
+                Some(c) => {
+                    configs.insert(c);
+                }
+                None => return None,
+            }
+        }
+        if configs.len() == 1 {
+            configs.into_iter().next()
+        } else {
+            None
+        }
+    }
+
+    #[test]
+    fn full_stack_bootstraps_to_common_configuration() {
+        let mut sim = fresh_sim(5, 11);
+        let rounds = sim.run_until(200, |s| converged_config(s) == Some(config_set(0..5)));
+        assert!(rounds < 200, "did not converge within 200 rounds");
+        for id in sim.active_ids() {
+            let node = sim.process(id).unwrap();
+            assert!(node.is_participant());
+        }
+    }
+
+    #[test]
+    fn steady_state_reaches_no_reco() {
+        let mut sim = fresh_sim(4, 12);
+        sim.run_rounds(60);
+        for id in sim.active_ids() {
+            assert!(sim.process(id).unwrap().no_reconfiguration());
+        }
+    }
+
+    #[test]
+    fn joiner_is_admitted_through_the_full_stack() {
+        let mut sim = fresh_sim(3, 13);
+        sim.run_rounds(60);
+        let joiner_id = ProcessId::new(10);
+        sim.add_process_with_id(
+            joiner_id,
+            ReconfigNode::new_joiner(joiner_id, NodeConfig::for_n(16)),
+        );
+        let rounds = sim.run_until(300, |s| {
+            s.process(joiner_id).map(|p| p.is_participant()).unwrap_or(false)
+        });
+        assert!(rounds < 300, "joiner was never admitted");
+        // The configuration did not change just because someone joined.
+        assert_eq!(converged_config(&sim), Some(config_set(0..3)));
+    }
+
+    #[test]
+    fn majority_collapse_recovers_via_recma() {
+        let mut sim = fresh_sim(5, 14);
+        sim.run_rounds(80);
+        assert_eq!(converged_config(&sim), Some(config_set(0..5)));
+        for i in 2..5 {
+            sim.crash(ProcessId::new(i));
+        }
+        let rounds = sim.run_until(400, |s| converged_config(s) == Some(config_set(0..2)));
+        assert!(rounds < 400, "survivors never installed a live configuration");
+        let triggerings: u64 = sim
+            .active_ids()
+            .iter()
+            .map(|id| sim.process(*id).unwrap().recma_triggerings())
+            .sum();
+        assert!(triggerings >= 1);
+    }
+
+    #[test]
+    fn request_reconfiguration_is_honoured() {
+        let mut sim = fresh_sim(4, 15);
+        sim.run_rounds(60);
+        let target = config_set([0, 1, 2]);
+        let accepted = sim
+            .process_mut(ProcessId::new(0))
+            .unwrap()
+            .request_reconfiguration(target.clone());
+        assert!(accepted);
+        let rounds = sim.run_until(300, |s| converged_config(s) == Some(target.clone()));
+        assert!(rounds < 300, "delicate replacement did not complete");
+        // Give the tail of the replacement (notification clearing, echoes) a
+        // few more rounds, then the system must be calm again.
+        sim.run_rounds(40);
+        for id in sim.active_ids() {
+            assert!(sim.process(id).unwrap().no_reconfiguration());
+        }
+    }
+
+    #[test]
+    fn all_joiners_bootstrap_after_patience() {
+        let mut sim: Simulation<ReconfigNode> =
+            Simulation::new(SimConfig::default().with_seed(16).with_max_delay(0));
+        for i in 0..3u32 {
+            let id = ProcessId::new(i);
+            sim.add_process_with_id(
+                id,
+                ReconfigNode::new_joiner(id, NodeConfig::for_n(8).with_bootstrap_patience(Some(5))),
+            );
+        }
+        let rounds = sim.run_until(200, |s| converged_config(s) == Some(config_set(0..3)));
+        assert!(rounds < 200, "lonely joiners never bootstrapped");
+    }
+
+    #[test]
+    fn eval_policy_always_reconfigures_after_membership_change() {
+        let mut sim: Simulation<ReconfigNode> =
+            Simulation::new(SimConfig::default().with_seed(17).with_max_delay(0));
+        for i in 0..4u32 {
+            let id = ProcessId::new(i);
+            let cfg = NodeConfig::for_n(16)
+                .with_eval_policy(EvalPolicy::MissingFraction { fraction: 0.25 });
+            sim.add_process_with_id(id, ReconfigNode::new_participant(id, cfg));
+        }
+        sim.run_rounds(80);
+        assert_eq!(converged_config(&sim), Some(config_set(0..4)));
+        // One member crashes (25% of the configuration): the prediction
+        // function asks for a reconfiguration and the configuration shrinks.
+        sim.crash(ProcessId::new(3));
+        let rounds = sim.run_until(400, |s| converged_config(s) == Some(config_set(0..3)));
+        assert!(rounds < 400, "prediction-driven reconfiguration did not happen");
+    }
+
+    #[test]
+    fn node_exposes_observability() {
+        let mut sim = fresh_sim(2, 18);
+        sim.run_rounds(40);
+        let node = sim.process(ProcessId::new(0)).unwrap();
+        assert_eq!(node.id(), ProcessId::new(0));
+        assert!(node.trusted().contains(&ProcessId::new(1)));
+        assert!(node.participants().contains(&ProcessId::new(1)));
+        assert!(node.configuration().as_set().is_some());
+        assert_eq!(node.node_config().n_bound, 16);
+        assert!(node.failure_detector().trusts(ProcessId::new(1)));
+    }
+}

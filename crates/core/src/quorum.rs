@@ -1,0 +1,241 @@
+//! Generalized quorum systems over a configuration.
+//!
+//! The paper uses majorities ("the simplest form of a quorum system") but
+//! notes that *"our reconfiguration scheme can be modified to support more
+//! complex quorum systems, as long as processors have access to a mechanism
+//! (a function actually) that given a set of processors can generate the
+//! specific quorum system"* (Section 1, Related work). This module provides
+//! that mechanism: a [`QuorumSystem`] turns a configuration into a predicate
+//! over processor sets, and the applications (counter service, SMR) can use
+//! it instead of the raw majority test.
+
+use std::collections::BTreeSet;
+
+use simnet::ProcessId;
+
+use crate::types::ConfigSet;
+
+/// A rule for deriving quorums from a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuorumSystem {
+    /// Simple majorities: any set containing more than half of the
+    /// configuration members is a quorum (the paper's default).
+    Majority,
+    /// Weighted majorities: each member has a weight (members missing from
+    /// the list weigh 1); a quorum holds strictly more than half of the total
+    /// weight.
+    Weighted {
+        /// Per-member weights.
+        weights: Vec<(ProcessId, u64)>,
+    },
+    /// Grid quorums: the configuration is arranged row-major into a grid with
+    /// `columns` columns; a quorum must contain one full row plus one member
+    /// of every row (a standard √n-sized quorum construction). Falls back to
+    /// majorities for configurations smaller than one full row.
+    Grid {
+        /// Number of columns of the grid.
+        columns: usize,
+    },
+}
+
+impl Default for QuorumSystem {
+    fn default() -> Self {
+        QuorumSystem::Majority
+    }
+}
+
+impl QuorumSystem {
+    /// Returns `true` when `candidate ∩ config` forms a quorum of `config`.
+    pub fn is_quorum(&self, config: &ConfigSet, candidate: &BTreeSet<ProcessId>) -> bool {
+        if config.is_empty() {
+            return false;
+        }
+        let present: BTreeSet<ProcessId> = config.intersection(candidate).copied().collect();
+        match self {
+            QuorumSystem::Majority => present.len() > config.len() / 2,
+            QuorumSystem::Weighted { weights } => {
+                let weight_of = |p: &ProcessId| {
+                    weights
+                        .iter()
+                        .find(|(id, _)| id == p)
+                        .map(|(_, w)| *w)
+                        .unwrap_or(1)
+                };
+                let total: u64 = config.iter().map(weight_of).sum();
+                let have: u64 = present.iter().map(weight_of).sum();
+                2 * have > total
+            }
+            QuorumSystem::Grid { columns } => {
+                let columns = (*columns).max(1);
+                let members: Vec<ProcessId> = config.iter().copied().collect();
+                if members.len() < columns {
+                    return present.len() > config.len() / 2;
+                }
+                let rows: Vec<&[ProcessId]> = members.chunks(columns).collect();
+                let full_row = rows
+                    .iter()
+                    .any(|row| row.iter().all(|m| present.contains(m)));
+                let one_per_row = rows
+                    .iter()
+                    .all(|row| row.iter().any(|m| present.contains(m)));
+                full_row && one_per_row
+            }
+        }
+    }
+
+    /// Returns `true` when any two quorums of `config` under this system must
+    /// intersect — the property the reconfiguration scheme and the register
+    /// emulation rely on. Checked by construction for the built-in systems.
+    pub fn quorums_intersect(&self, config: &ConfigSet) -> bool {
+        match self {
+            // Two strict (weighted) majorities always intersect.
+            QuorumSystem::Majority | QuorumSystem::Weighted { .. } => !config.is_empty(),
+            // A full row intersects every "one per row" cover.
+            QuorumSystem::Grid { .. } => !config.is_empty(),
+        }
+    }
+
+    /// The smallest number of members that can possibly form a quorum, used
+    /// by callers for capacity planning (e.g. how many crash failures the
+    /// configuration tolerates).
+    pub fn minimum_quorum_size(&self, config: &ConfigSet) -> usize {
+        match self {
+            QuorumSystem::Majority => config.len() / 2 + 1,
+            QuorumSystem::Weighted { .. } => {
+                // Conservative: a single heavy member could dominate, so probe
+                // increasing subset sizes.
+                let members: Vec<ProcessId> = config.iter().copied().collect();
+                for size in 1..=members.len() {
+                    // Check the heaviest `size` members.
+                    let mut by_weight = members.clone();
+                    if let QuorumSystem::Weighted { weights } = self {
+                        by_weight.sort_by_key(|p| {
+                            std::cmp::Reverse(
+                                weights
+                                    .iter()
+                                    .find(|(id, _)| id == p)
+                                    .map(|(_, w)| *w)
+                                    .unwrap_or(1),
+                            )
+                        });
+                    }
+                    let candidate: BTreeSet<ProcessId> =
+                        by_weight.into_iter().take(size).collect();
+                    if self.is_quorum(config, &candidate) {
+                        return size;
+                    }
+                }
+                config.len()
+            }
+            QuorumSystem::Grid { columns } => {
+                let columns = (*columns).max(1);
+                let n = config.len();
+                if n < columns {
+                    return n / 2 + 1;
+                }
+                let rows = n.div_ceil(columns);
+                (columns + rows - 1).min(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::config_set;
+
+    fn set(ids: &[u32]) -> BTreeSet<ProcessId> {
+        ids.iter().map(|i| ProcessId::new(*i)).collect()
+    }
+
+    #[test]
+    fn majority_quorums() {
+        let cfg = config_set([0, 1, 2, 3, 4]);
+        let q = QuorumSystem::Majority;
+        assert!(q.is_quorum(&cfg, &set(&[0, 1, 2])));
+        assert!(!q.is_quorum(&cfg, &set(&[0, 1])));
+        assert!(!q.is_quorum(&config_set([]), &set(&[0, 1])));
+        assert_eq!(q.minimum_quorum_size(&cfg), 3);
+        assert!(q.quorums_intersect(&cfg));
+    }
+
+    #[test]
+    fn non_members_do_not_count_towards_a_quorum() {
+        let cfg = config_set([0, 1, 2]);
+        let q = QuorumSystem::Majority;
+        assert!(!q.is_quorum(&cfg, &set(&[0, 7, 8, 9])));
+        assert!(q.is_quorum(&cfg, &set(&[0, 1, 7])));
+    }
+
+    #[test]
+    fn weighted_quorums_respect_weights() {
+        let cfg = config_set([0, 1, 2, 3]);
+        let q = QuorumSystem::Weighted {
+            weights: vec![(ProcessId::new(0), 5)],
+        };
+        // Total weight = 5 + 1 + 1 + 1 = 8; the heavy member alone (5) is a
+        // strict majority of the weight.
+        assert!(q.is_quorum(&cfg, &set(&[0])));
+        assert!(!q.is_quorum(&cfg, &set(&[1, 2, 3])));
+        assert_eq!(q.minimum_quorum_size(&cfg), 1);
+    }
+
+    #[test]
+    fn grid_quorums_need_a_row_and_a_cover() {
+        // 2 × 2 grid over {0,1,2,3}: rows {0,1} and {2,3}.
+        let cfg = config_set([0, 1, 2, 3]);
+        let q = QuorumSystem::Grid { columns: 2 };
+        assert!(q.is_quorum(&cfg, &set(&[0, 1, 2])), "row {{0,1}} + cover of row 2");
+        assert!(!q.is_quorum(&cfg, &set(&[0, 1])), "row without covering the other row");
+        assert!(!q.is_quorum(&cfg, &set(&[0, 2])), "cover without a full row");
+        assert!(q.is_quorum(&cfg, &set(&[2, 3, 1])));
+        assert_eq!(q.minimum_quorum_size(&cfg), 3);
+    }
+
+    #[test]
+    fn grid_smaller_than_a_row_falls_back_to_majority() {
+        let cfg = config_set([0, 1]);
+        let q = QuorumSystem::Grid { columns: 5 };
+        assert!(q.is_quorum(&cfg, &set(&[0, 1])));
+        assert!(!q.is_quorum(&cfg, &set(&[0])));
+    }
+
+    #[test]
+    fn default_is_majority() {
+        assert_eq!(QuorumSystem::default(), QuorumSystem::Majority);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For every generated configuration and pair of candidate quorums,
+        /// the majority and grid systems guarantee intersection.
+        #[test]
+        fn two_quorums_always_intersect(
+            members in proptest::collection::btree_set(0u32..20, 1..12),
+            a in proptest::collection::btree_set(0u32..20, 0..20),
+            b in proptest::collection::btree_set(0u32..20, 0..20),
+            columns in 1usize..5,
+        ) {
+            let cfg: ConfigSet = members.into_iter().map(ProcessId::new).collect();
+            let a: BTreeSet<ProcessId> = a.into_iter().map(ProcessId::new).collect();
+            let b: BTreeSet<ProcessId> = b.into_iter().map(ProcessId::new).collect();
+            for system in [QuorumSystem::Majority, QuorumSystem::Grid { columns }] {
+                if system.is_quorum(&cfg, &a) && system.is_quorum(&cfg, &b) {
+                    let intersection: Vec<_> = a.intersection(&b)
+                        .filter(|p| cfg.contains(p))
+                        .collect();
+                    prop_assert!(
+                        !intersection.is_empty(),
+                        "two quorums of {system:?} failed to intersect"
+                    );
+                }
+            }
+        }
+    }
+}

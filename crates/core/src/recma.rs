@@ -1,0 +1,410 @@
+//! Reconfiguration Management (recMA) — Algorithm 3.2.
+//!
+//! recMA decides *when* a delicate reconfiguration should be requested and
+//! leaves the replacement itself to recSA. It triggers `estab(FD[i].part)` in
+//! exactly two situations:
+//!
+//! 1. **majority loss** — the processor no longer trusts a majority of the
+//!    current configuration *and* every processor in its `core()` (the
+//!    intersection of the participant sets reported by its trusted
+//!    participants) reports the same (`noMaj` flags), which prevents
+//!    unilateral triggers caused by an inaccurate failure detector;
+//! 2. **prediction** — the application's `evalConf()` function requests a
+//!    reconfiguration and a majority of the configuration members that the
+//!    processor trusts agree (`needReconf` flags).
+//!
+//! Lemma 3.18 bounds the number of spurious triggerings caused by stale
+//! `noMaj`/`needReconf` information to `O(N²·cap)`; the benchmark
+//! `recma_triggerings` measures this.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use simnet::ProcessId;
+
+use crate::recsa::RecSa;
+use crate::types::{ConfigSet, ConfigValue};
+
+/// The flag pair exchanged by participants (line 19 of Algorithm 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecMaMsg {
+    /// The sender's `noMaj` flag: it cannot see a trusted majority of the
+    /// current configuration.
+    pub no_maj: bool,
+    /// The sender's `needReconf` flag: its prediction function asks for a
+    /// reconfiguration.
+    pub need_reconf: bool,
+}
+
+/// The Reconfiguration Management layer of one processor.
+#[derive(Debug, Clone)]
+pub struct RecMa {
+    me: ProcessId,
+    /// `noMaj[]` — own flag plus the most recently received flags.
+    no_maj: BTreeMap<ProcessId, bool>,
+    /// `needReconf[]` — own flag plus the most recently received flags.
+    need_reconf: BTreeMap<ProcessId, bool>,
+    /// `prevConfig` — the configuration seen in the previous iteration.
+    prev_config: Option<ConfigValue>,
+    /// Number of times this layer triggered `estab()` (observability).
+    triggerings: u64,
+}
+
+impl RecMa {
+    /// Creates the recMA layer for processor `me`.
+    pub fn new(me: ProcessId) -> Self {
+        RecMa {
+            me,
+            no_maj: BTreeMap::new(),
+            need_reconf: BTreeMap::new(),
+            prev_config: None,
+            triggerings: 0,
+        }
+    }
+
+    /// Number of `estab()` calls issued by this layer so far.
+    pub fn triggerings(&self) -> u64 {
+        self.triggerings
+    }
+
+    /// Own `noMaj` flag (observability).
+    pub fn no_majority_flag(&self) -> bool {
+        self.no_maj.get(&self.me).copied().unwrap_or(false)
+    }
+
+    fn flush_flags(&mut self) {
+        for v in self.no_maj.values_mut() {
+            *v = false;
+        }
+        for v in self.need_reconf.values_mut() {
+            *v = false;
+        }
+    }
+
+    /// `core()` (line 4): the intersection, over the trusted participants, of
+    /// the participant sets they report.
+    fn core(&self, recsa: &RecSa) -> BTreeSet<ProcessId> {
+        let part = recsa.my_part();
+        let mut iter = part.iter();
+        let Some(first) = iter.next() else {
+            return BTreeSet::new();
+        };
+        let mut acc = recsa.part_reported_by(*first);
+        for k in iter {
+            let other = recsa.part_reported_by(*k);
+            acc = acc.intersection(&other).copied().collect();
+        }
+        acc
+    }
+
+    /// One iteration of the `do forever` loop (lines 5–19). `eval_conf` is
+    /// the application's prediction function, consulted only when the
+    /// majority-loss path did not fire.
+    ///
+    /// Returns the `⟨noMaj, needReconf⟩` messages to send to the trusted
+    /// participants.
+    pub fn step(
+        &mut self,
+        recsa: &mut RecSa,
+        mut eval_conf: impl FnMut(&ConfigSet) -> bool,
+    ) -> Vec<(ProcessId, RecMaMsg)> {
+        // Line 6: only participants run the layer.
+        if !recsa.is_participant() {
+            return Vec::new();
+        }
+        let me = self.me;
+        let cur_conf = recsa.get_config(); // line 7
+        self.no_maj.insert(me, false); // line 8
+        self.need_reconf.insert(me, false);
+
+        // Line 9: a configuration change invalidates all collected flags.
+        if let Some(prev) = &self.prev_config {
+            if *prev != cur_conf {
+                self.flush_flags();
+            }
+        }
+
+        // Line 10: only act while no reconfiguration is taking place.
+        if recsa.no_reco() {
+            self.prev_config = Some(cur_conf.clone()); // line 11
+            if let Some(cur_set) = cur_conf.as_set() {
+                let trusted = recsa.my_trusted();
+
+                // Line 12: majority visibility test.
+                let visible = cur_set.iter().filter(|m| trusted.contains(m)).count();
+                if visible < cur_set.len() / 2 + 1 {
+                    self.no_maj.insert(me, true);
+                }
+
+                let core = self.core(recsa);
+                let core_agrees_no_majority = !core.is_empty()
+                    && core
+                        .iter()
+                        .all(|k| *k == me || self.no_maj.get(k).copied().unwrap_or(false));
+
+                if self.no_maj.get(&me).copied().unwrap_or(false)
+                    && core.len() > 1
+                    && core_agrees_no_majority
+                {
+                    // Lines 13–14: majority collapse — trigger with the local
+                    // participant set as the proposed configuration.
+                    if recsa.estab(recsa.my_part()) {
+                        self.triggerings += 1;
+                    }
+                    self.flush_flags();
+                } else {
+                    // Lines 16–18: prediction-function path.
+                    let wants = eval_conf(cur_set);
+                    self.need_reconf.insert(me, wants);
+                    let supporters = cur_set
+                        .iter()
+                        .filter(|m| trusted.contains(m))
+                        .filter(|m| self.need_reconf.get(m).copied().unwrap_or(false) || **m == me && wants)
+                        .count();
+                    if wants && supporters > cur_set.len() / 2 {
+                        if recsa.estab(recsa.my_part()) {
+                            self.triggerings += 1;
+                        }
+                        self.flush_flags();
+                    }
+                }
+            }
+        }
+
+        // Line 19: exchange the flags with every trusted participant.
+        let no_maj = self.no_maj.get(&me).copied().unwrap_or(false);
+        let need_reconf = self.need_reconf.get(&me).copied().unwrap_or(false);
+        recsa
+            .my_part()
+            .into_iter()
+            .filter(|p| *p != me)
+            .map(|p| {
+                (
+                    p,
+                    RecMaMsg {
+                        no_maj,
+                        need_reconf,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Handles a flag message from `from` (line 20). Non-participants ignore
+    /// the exchange.
+    pub fn on_message(&mut self, from: ProcessId, msg: RecMaMsg, is_participant: bool) {
+        if !is_participant || from == self.me {
+            return;
+        }
+        self.no_maj.insert(from, msg.no_maj);
+        self.need_reconf.insert(from, msg.need_reconf);
+    }
+
+    /// Overwrites the stored flags of `peer`, modelling transient faults
+    /// (used by the `recma_triggerings` experiment).
+    pub fn corrupt_flags(&mut self, peer: ProcessId, no_maj: bool, need_reconf: bool) {
+        self.no_maj.insert(peer, no_maj);
+        self.need_reconf.insert(peer, need_reconf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::config_set;
+
+    /// Synchronous harness combining recSA and recMA with a perfect failure
+    /// detector (the full stack with a real detector is exercised by the
+    /// node-level and integration tests).
+    struct Harness {
+        recsa: BTreeMap<ProcessId, RecSa>,
+        recma: BTreeMap<ProcessId, RecMa>,
+        alive: BTreeSet<ProcessId>,
+        /// Which processors' `evalConf()` currently returns `true`.
+        eval_true: BTreeSet<ProcessId>,
+    }
+
+    impl Harness {
+        fn with_config(n: u32, cfg: &ConfigSet) -> Self {
+            let recsa = (0..n)
+                .map(|i| {
+                    (
+                        ProcessId::new(i),
+                        RecSa::new_with_config(ProcessId::new(i), cfg.clone()),
+                    )
+                })
+                .collect::<BTreeMap<_, _>>();
+            let recma = (0..n)
+                .map(|i| (ProcessId::new(i), RecMa::new(ProcessId::new(i))))
+                .collect();
+            let alive = recsa.keys().copied().collect();
+            Harness {
+                recsa,
+                recma,
+                alive,
+                eval_true: BTreeSet::new(),
+            }
+        }
+
+        fn crash(&mut self, id: u32) {
+            self.alive.remove(&ProcessId::new(id));
+        }
+
+        fn round(&mut self) {
+            let alive = self.alive.clone();
+            let mut sa_out = Vec::new();
+            let mut ma_out = Vec::new();
+            for id in &alive {
+                let recsa = self.recsa.get_mut(id).unwrap();
+                for (to, m) in recsa.step(alive.clone()) {
+                    sa_out.push((*id, to, m));
+                }
+                let recma = self.recma.get_mut(id).unwrap();
+                let wants = self.eval_true.contains(id);
+                for (to, m) in recma.step(recsa, |_| wants) {
+                    ma_out.push((*id, to, m));
+                }
+            }
+            for (from, to, m) in sa_out {
+                if alive.contains(&to) {
+                    self.recsa.get_mut(&to).unwrap().on_message(from, m);
+                }
+            }
+            for (from, to, m) in ma_out {
+                if alive.contains(&to) {
+                    let is_part = self.recsa[&to].is_participant();
+                    self.recma.get_mut(&to).unwrap().on_message(from, m, is_part);
+                }
+            }
+        }
+
+        fn rounds(&mut self, n: usize) {
+            for _ in 0..n {
+                self.round();
+            }
+        }
+
+        fn total_triggerings(&self) -> u64 {
+            self.recma.values().map(RecMa::triggerings).sum()
+        }
+
+        fn config_of(&self, id: u32) -> Option<ConfigSet> {
+            self.recsa[&ProcessId::new(id)].installed_config()
+        }
+    }
+
+    #[test]
+    fn steady_state_never_triggers() {
+        let cfg = config_set([0, 1, 2, 3]);
+        let mut h = Harness::with_config(4, &cfg);
+        h.rounds(60);
+        assert_eq!(h.total_triggerings(), 0);
+        assert_eq!(h.config_of(0), Some(cfg));
+    }
+
+    #[test]
+    fn majority_collapse_triggers_reconfiguration() {
+        let cfg = config_set([0, 1, 2, 3, 4]);
+        let mut h = Harness::with_config(5, &cfg);
+        h.rounds(15);
+        // Three of five members crash: the remaining two participants lose
+        // the configuration majority and must reconfigure to survive.
+        h.crash(2);
+        h.crash(3);
+        h.crash(4);
+        h.rounds(80);
+        assert!(h.total_triggerings() >= 1, "majority loss must trigger");
+        let expected = config_set([0, 1]);
+        assert_eq!(h.config_of(0), Some(expected.clone()));
+        assert_eq!(h.config_of(1), Some(expected));
+    }
+
+    #[test]
+    fn minority_crash_does_not_trigger_majority_path() {
+        let cfg = config_set([0, 1, 2, 3, 4]);
+        let mut h = Harness::with_config(5, &cfg);
+        h.rounds(15);
+        h.crash(4);
+        h.rounds(60);
+        // A majority survives and the prediction function is `Never`:
+        // the configuration stays as it is.
+        assert_eq!(h.total_triggerings(), 0);
+        assert_eq!(h.config_of(0), Some(cfg));
+    }
+
+    #[test]
+    fn prediction_function_needs_a_majority_of_supporters() {
+        let cfg = config_set([0, 1, 2, 3]);
+        let mut h = Harness::with_config(4, &cfg);
+        h.rounds(15);
+        // Only one processor wants a reconfiguration: no trigger.
+        h.eval_true.insert(ProcessId::new(0));
+        h.rounds(40);
+        assert_eq!(h.total_triggerings(), 0);
+        // A majority wants it: the configuration is replaced by the
+        // participant set (which equals the old membership here, so recSA
+        // rejects identical sets — use a crash to make the sets differ).
+        h.crash(3);
+        h.eval_true.insert(ProcessId::new(1));
+        h.eval_true.insert(ProcessId::new(2));
+        h.rounds(80);
+        assert!(h.total_triggerings() >= 1);
+        assert_eq!(h.config_of(0), Some(config_set([0, 1, 2])));
+    }
+
+    #[test]
+    fn each_event_triggers_at_most_once_per_processor() {
+        let cfg = config_set([0, 1, 2, 3, 4]);
+        let mut h = Harness::with_config(5, &cfg);
+        h.rounds(15);
+        h.crash(2);
+        h.crash(3);
+        h.crash(4);
+        h.rounds(120);
+        // Lemma 3.21: one trigger per participant per event; two survivors
+        // means at most two triggerings in total for this single collapse.
+        assert!(h.total_triggerings() <= 2, "triggered {} times", h.total_triggerings());
+    }
+
+    #[test]
+    fn corrupt_no_maj_flags_cause_bounded_spurious_triggers() {
+        let cfg = config_set([0, 1, 2, 3]);
+        let mut h = Harness::with_config(4, &cfg);
+        h.rounds(15);
+        // Transient fault: processor 0 believes everyone reported noMaj,
+        // including itself.
+        for k in 0..4 {
+            h.recma
+                .get_mut(&ProcessId::new(0))
+                .unwrap()
+                .corrupt_flags(ProcessId::new(k), true, false);
+        }
+        h.rounds(60);
+        // The corruption may cause at most a bounded number of triggerings
+        // (Lemma 3.18); here the flags are flushed on first use, so at most
+        // one, and the system settles back into a steady configuration.
+        assert!(h.total_triggerings() <= 1);
+        let final_cfg = h.config_of(0).expect("a configuration is installed");
+        assert_eq!(h.config_of(1), Some(final_cfg));
+    }
+
+    #[test]
+    fn non_participant_does_not_run_recma() {
+        let cfg = config_set([0, 1]);
+        let mut recsa = RecSa::new_joiner(ProcessId::new(5));
+        let mut recma = RecMa::new(ProcessId::new(5));
+        let msgs = recma.step(&mut recsa, |_| true);
+        assert!(msgs.is_empty());
+        assert_eq!(recma.triggerings(), 0);
+        // Flag messages received while not a participant are ignored.
+        recma.on_message(
+            ProcessId::new(0),
+            RecMaMsg {
+                no_maj: true,
+                need_reconf: true,
+            },
+            false,
+        );
+        assert!(!recma.no_majority_flag());
+        let _ = cfg;
+    }
+}

@@ -1,0 +1,122 @@
+//! Counters: a bounded label, a sequence number and a writer identifier.
+//!
+//! Section 4.2: a counter is the triple `⟨label, seqn, wid⟩`. Counters are
+//! ordered by label first (`≺lb`), then sequence number, then writer
+//! identifier, so concurrent increments of the same global maximum are
+//! totally ordered. When `seqn` reaches the exhaustion bound (practically
+//! never, unless a transient fault initialised it near the top) the label is
+//! cancelled and a fresh, greater label restarts the sequence numbers.
+
+use labels::Label;
+use simnet::ProcessId;
+
+/// The default exhaustion bound (`2⁶³`, stand-in for the paper's `2⁶⁴` that
+/// avoids overflow headaches; tests use much smaller bounds to force
+/// exhaustion).
+pub const DEFAULT_EXHAUSTION_BOUND: u64 = 1 << 63;
+
+/// A practically-unbounded counter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    /// The epoch label the sequence number lives in.
+    pub label: Label,
+    /// The sequence number within the label.
+    pub seqn: u64,
+    /// The identifier of the processor that produced this sequence number.
+    pub wid: ProcessId,
+}
+
+impl Counter {
+    /// The first counter of a label, attributed to `wid`.
+    pub fn zero(label: Label, wid: ProcessId) -> Self {
+        Counter {
+            label,
+            seqn: 0,
+            wid,
+        }
+    }
+
+    /// Returns `true` when `self ≺ct other`.
+    pub fn ct_less(&self, other: &Counter) -> bool {
+        if self.label != other.label {
+            return self.label.lb_less(&other.label);
+        }
+        (self.seqn, self.wid) < (other.seqn, other.wid)
+    }
+
+    /// Returns the greater of two counters (by `≺ct`), preferring `self` when
+    /// they are incomparable.
+    pub fn max(self, other: Counter) -> Counter {
+        if self.ct_less(&other) {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Returns `true` when the counter reached the exhaustion bound.
+    pub fn is_exhausted(&self, bound: u64) -> bool {
+        self.seqn >= bound
+    }
+
+    /// The counter that follows this one, written by `wid`.
+    pub fn incremented(&self, wid: ProcessId) -> Counter {
+        Counter {
+            label: self.label.clone(),
+            seqn: self.seqn + 1,
+            wid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn ordering_is_label_then_seqn_then_wid() {
+        let l1 = Label::genesis(pid(1));
+        let l2 = Label::next_label(pid(1), &[&l1]);
+        let a = Counter {
+            label: l1.clone(),
+            seqn: 10,
+            wid: pid(2),
+        };
+        let b = Counter {
+            label: l1.clone(),
+            seqn: 10,
+            wid: pid(3),
+        };
+        let c = Counter {
+            label: l1.clone(),
+            seqn: 11,
+            wid: pid(1),
+        };
+        let d = Counter {
+            label: l2,
+            seqn: 0,
+            wid: pid(1),
+        };
+        assert!(a.ct_less(&b), "wid breaks ties");
+        assert!(b.ct_less(&c), "seqn dominates wid");
+        assert!(c.ct_less(&d), "label dominates seqn");
+        assert_eq!(a.clone().max(c.clone()), c);
+        assert_eq!(d.clone().max(a.clone()), d);
+    }
+
+    #[test]
+    fn exhaustion_and_increment() {
+        let l = Label::genesis(pid(1));
+        let c = Counter::zero(l, pid(1));
+        assert!(!c.is_exhausted(DEFAULT_EXHAUSTION_BOUND));
+        let c2 = c.incremented(pid(2));
+        assert_eq!(c2.seqn, 1);
+        assert_eq!(c2.wid, pid(2));
+        assert!(c.ct_less(&c2));
+        assert!(c2.is_exhausted(1));
+    }
+}

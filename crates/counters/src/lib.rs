@@ -1,0 +1,37 @@
+//! # counters — practically-unbounded self-stabilizing counters
+//!
+//! Implementation of Section 4.2 of *Self-Stabilizing Reconfiguration*
+//! (Algorithms 4.3–4.5): a counter `⟨label, seqn, wid⟩` whose sequence number
+//! lives inside a bounded epoch label of the [`labels`] crate. Configuration
+//! members maintain the globally maximal counter; increments are two-phase
+//! majority operations (read the maximum from a majority, write the
+//! incremented value back to a majority), so completed increments are
+//! totally ordered and monotone (Theorem 4.6) even across label rollovers
+//! caused by exhaustion or transient faults.
+//!
+//! ```
+//! use counters::{CounterNode, IncrementOutcome};
+//! use reconfig::config_set;
+//! use simnet::ProcessId;
+//!
+//! // A single-member configuration makes the quorum trivial.
+//! let cfg = config_set([0]);
+//! let mut node = CounterNode::new(ProcessId::new(0), cfg);
+//! let _ = node.step();
+//! let requests = node.request_increment();
+//! // Loop the request back to ourselves (we are the only member).
+//! let mut queue: Vec<_> = requests.into_iter().collect();
+//! while let Some((to, msg)) = queue.pop() {
+//!     assert_eq!(to, ProcessId::new(0));
+//!     queue.extend(node.on_message(ProcessId::new(0), msg));
+//! }
+//! assert!(matches!(node.take_completed().pop(), Some(IncrementOutcome::Committed(_))));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod service;
+
+pub use counter::{Counter, DEFAULT_EXHAUSTION_BOUND};
+pub use service::{CounterMsg, CounterNode, IncrementOutcome};

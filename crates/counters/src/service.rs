@@ -1,0 +1,616 @@
+//! The counter increment service (Algorithms 4.3, 4.4 and 4.5).
+//!
+//! Configuration members maintain the globally maximal counter by gossiping
+//! it alongside the labeling algorithm (Algorithm 4.3). An increment — by a
+//! member (Algorithm 4.4) or by any other participant (Algorithm 4.5) — is a
+//! two-phase quorum operation, in the spirit of MWMR register writes:
+//!
+//! 1. **majority read** — query every member for the counter it considers
+//!    maximal and wait for replies from a majority;
+//! 2. **majority write** — increment the largest legit, non-exhausted
+//!    counter obtained (breaking ties with the writer identifier) and push
+//!    the new value back to a majority of the members.
+//!
+//! The intersection property of majorities guarantees that the new counter is
+//! at least as large as any previously completed increment, which yields the
+//! monotonicity of Theorem 4.6. Requests received during a reconfiguration
+//! are answered with `Abort`, and exhausted counters are cancelled by moving
+//! to a fresh maximal label.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use labels::Labeler;
+use reconfig::ConfigSet;
+use simnet::ProcessId;
+
+use crate::counter::{Counter, DEFAULT_EXHAUSTION_BOUND};
+
+/// Messages of the counter service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CounterMsg {
+    /// Member-to-member gossip of the locally maximal counter (Alg. 4.3).
+    Sync(Counter),
+    /// `majRead` query.
+    ReadRequest {
+        /// Operation identifier, local to the requester.
+        op: u64,
+    },
+    /// Reply to a read: the member's maximal counter, or an abort.
+    ReadReply {
+        /// Operation identifier echoed back.
+        op: u64,
+        /// The member's maximal counter (`None` when it has none yet).
+        counter: Option<Counter>,
+        /// `true` when the member is reconfiguring and aborts the operation.
+        abort: bool,
+    },
+    /// `majWrite` of a freshly incremented counter.
+    WriteRequest {
+        /// Operation identifier.
+        op: u64,
+        /// The counter to install.
+        counter: Counter,
+    },
+    /// Acknowledgement of a write, or an abort.
+    WriteAck {
+        /// Operation identifier echoed back.
+        op: u64,
+        /// `true` when the member aborted the write.
+        abort: bool,
+    },
+}
+
+/// Outcome of a completed increment attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncrementOutcome {
+    /// The increment completed; this is the counter that was written.
+    Committed(Counter),
+    /// The operation was aborted (reconfiguration in progress or no usable
+    /// counter could be obtained).
+    Aborted,
+}
+
+#[derive(Debug, Clone)]
+enum PendingPhase {
+    Read {
+        replies: BTreeMap<ProcessId, Option<Counter>>,
+    },
+    Write {
+        counter: Counter,
+        acks: BTreeSet<ProcessId>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    op: u64,
+    phase: PendingPhase,
+}
+
+/// The per-processor state of the counter service.
+///
+/// Every processor (member or not) can request increments; only members
+/// answer quorum operations and maintain the maximal counter.
+#[derive(Debug, Clone)]
+pub struct CounterNode {
+    me: ProcessId,
+    config: ConfigSet,
+    labeler: Labeler,
+    max_counter: Option<Counter>,
+    exhaustion_bound: u64,
+    /// Set by the owner while recSA reports a reconfiguration in progress;
+    /// quorum requests are aborted during that time.
+    reconfiguring: bool,
+    next_op: u64,
+    pending: Option<Pending>,
+    completed: Vec<IncrementOutcome>,
+}
+
+impl CounterNode {
+    /// Creates the counter service state for `me` under configuration
+    /// `config`.
+    pub fn new(me: ProcessId, config: ConfigSet) -> Self {
+        CounterNode {
+            me,
+            labeler: Labeler::new(me, config.clone()),
+            config,
+            max_counter: None,
+            exhaustion_bound: DEFAULT_EXHAUSTION_BOUND,
+            reconfiguring: false,
+            next_op: 0,
+            pending: None,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Lowers the exhaustion bound (tests use this to force label rollover).
+    pub fn with_exhaustion_bound(mut self, bound: u64) -> Self {
+        self.exhaustion_bound = bound.max(1);
+        self
+    }
+
+    /// Returns `true` when this processor is a configuration member.
+    pub fn is_member(&self) -> bool {
+        self.config.contains(&self.me)
+    }
+
+    /// The counter this processor currently believes to be maximal.
+    pub fn max_counter(&self) -> Option<&Counter> {
+        self.max_counter.as_ref()
+    }
+
+    /// Outcomes of increment operations that finished since the last call.
+    pub fn take_completed(&mut self) -> Vec<IncrementOutcome> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Tells the service whether a reconfiguration is currently taking place
+    /// (members abort quorum operations while it is).
+    pub fn set_reconfiguring(&mut self, reconfiguring: bool) {
+        self.reconfiguring = reconfiguring;
+    }
+
+    /// Handles a completed reconfiguration: the labeling structures are
+    /// rebuilt and counters whose label was created by a non-member are
+    /// discarded.
+    pub fn on_config_change(&mut self, new_config: ConfigSet) {
+        self.labeler.on_config_change(new_config.clone());
+        self.config = new_config;
+        if let Some(c) = &self.max_counter {
+            if !self.config.contains(&c.label.creator) {
+                self.max_counter = None;
+            }
+        }
+        self.pending = None;
+    }
+
+    /// Starts an increment. Returns the request messages to send (empty when
+    /// another increment is already in flight).
+    pub fn request_increment(&mut self) -> Vec<(ProcessId, CounterMsg)> {
+        if self.pending.is_some() {
+            return Vec::new();
+        }
+        let op = self.next_op;
+        self.next_op += 1;
+        self.pending = Some(Pending {
+            op,
+            phase: PendingPhase::Read {
+                replies: BTreeMap::new(),
+            },
+        });
+        self.config
+            .iter()
+            .copied()
+            .map(|m| (m, CounterMsg::ReadRequest { op }))
+            .collect()
+    }
+
+    /// Returns `true` while an increment operation is in flight.
+    pub fn increment_in_flight(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// One periodic step: members gossip their maximal counter and keep the
+    /// label exchange of Algorithm 4.1 running.
+    pub fn step(&mut self) -> Vec<(ProcessId, CounterMsg)> {
+        let mut out = Vec::new();
+        if self.is_member() && !self.reconfiguring {
+            // Drive the labeling algorithm and make sure the maximal counter
+            // lives in the current maximal label.
+            for (_, _msg) in self.labeler.step() {
+                // Label traffic is folded into the counter gossip: the
+                // maximal counter carries its label.
+            }
+            self.refresh_max_label();
+            if let Some(c) = self.max_counter.clone() {
+                for m in self.config.iter().copied().filter(|m| *m != self.me) {
+                    out.push((m, CounterMsg::Sync(c.clone())));
+                }
+            }
+        }
+        out
+    }
+
+    /// Makes sure a maximal counter exists and its label is legit; creates or
+    /// rolls over the label when needed.
+    fn refresh_max_label(&mut self) {
+        if !self.is_member() {
+            return;
+        }
+        match &self.max_counter {
+            None => {
+                if let Some(label) = self.labeler.local_max() {
+                    self.max_counter = Some(Counter::zero(label, self.me));
+                }
+            }
+            Some(c) => {
+                let exhausted = c.is_exhausted(self.exhaustion_bound);
+                let stale_creator = !self.config.contains(&c.label.creator);
+                if exhausted || stale_creator {
+                    // Cancel the unusable epoch by moving to a label that
+                    // dominates every label known locally (the labeler has
+                    // observed the current counter's label when it was
+                    // adopted, so the fresh label supersedes it).
+                    if let Some(label) = self.labeler.create_next_label() {
+                        self.max_counter = Some(Counter::zero(label, self.me));
+                    }
+                }
+            }
+        }
+    }
+
+    fn adopt(&mut self, counter: Counter) {
+        if !self.config.contains(&counter.label.creator) {
+            return;
+        }
+        self.labeler.observe_label(counter.label.clone());
+        self.max_counter = Some(match self.max_counter.take() {
+            None => counter,
+            Some(existing) => existing.max(counter),
+        });
+    }
+
+    /// Handles a counter-service message, returning the replies to send.
+    pub fn on_message(&mut self, from: ProcessId, msg: CounterMsg) -> Vec<(ProcessId, CounterMsg)> {
+        match msg {
+            CounterMsg::Sync(c) => {
+                if self.is_member() && !self.reconfiguring {
+                    self.adopt(c);
+                }
+                Vec::new()
+            }
+            CounterMsg::ReadRequest { op } => {
+                if !self.is_member() {
+                    return Vec::new();
+                }
+                if self.reconfiguring {
+                    return vec![(
+                        from,
+                        CounterMsg::ReadReply {
+                            op,
+                            counter: None,
+                            abort: true,
+                        },
+                    )];
+                }
+                self.refresh_max_label();
+                vec![(
+                    from,
+                    CounterMsg::ReadReply {
+                        op,
+                        counter: self.max_counter.clone(),
+                        abort: false,
+                    },
+                )]
+            }
+            CounterMsg::ReadReply { op, counter, abort } => {
+                self.handle_read_reply(from, op, counter, abort)
+            }
+            CounterMsg::WriteRequest { op, counter } => {
+                if !self.is_member() {
+                    return Vec::new();
+                }
+                if self.reconfiguring {
+                    return vec![(from, CounterMsg::WriteAck { op, abort: true })];
+                }
+                self.adopt(counter);
+                vec![(from, CounterMsg::WriteAck { op, abort: false })]
+            }
+            CounterMsg::WriteAck { op, abort } => self.handle_write_ack(from, op, abort),
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.config.len() / 2 + 1
+    }
+
+    fn handle_read_reply(
+        &mut self,
+        from: ProcessId,
+        op: u64,
+        counter: Option<Counter>,
+        abort: bool,
+    ) -> Vec<(ProcessId, CounterMsg)> {
+        // Take the pending operation out to avoid overlapping borrows; it is
+        // reinstated below unless the operation finishes or aborts.
+        let Some(mut pending) = self.pending.take() else {
+            return Vec::new();
+        };
+        if pending.op != op {
+            self.pending = Some(pending);
+            return Vec::new();
+        }
+        if abort {
+            self.completed.push(IncrementOutcome::Aborted);
+            return Vec::new();
+        }
+        let PendingPhase::Read { replies } = &mut pending.phase else {
+            self.pending = Some(pending);
+            return Vec::new();
+        };
+        replies.insert(from, counter);
+        if replies.len() < self.majority() {
+            self.pending = Some(pending);
+            return Vec::new();
+        }
+        // Majority collected: pick the largest usable counter.
+        let mut best: Option<Counter> = if self.is_member() {
+            self.max_counter.clone()
+        } else {
+            None
+        };
+        let reply_labels: Vec<_> = replies
+            .values()
+            .flatten()
+            .map(|c| c.label.clone())
+            .collect();
+        for c in replies.values().flatten() {
+            let candidate = c.clone();
+            best = Some(match best {
+                None => candidate,
+                Some(b) => b.max(candidate),
+            });
+        }
+        // Make sure any label learned through the replies is known to the
+        // labeler, so a rollover label created below dominates it.
+        for label in reply_labels {
+            self.labeler.observe_label(label);
+        }
+        let base = match best {
+            Some(c) if !c.is_exhausted(self.exhaustion_bound) => c,
+            Some(_) if self.is_member() => {
+                // Members roll over to a fresh maximal label (Algorithm 4.4).
+                match self.labeler.create_next_label() {
+                    Some(label) => Counter::zero(label, self.me),
+                    None => {
+                        self.completed.push(IncrementOutcome::Aborted);
+                        return Vec::new();
+                    }
+                }
+            }
+            _ => {
+                // Non-members abort when no legit, non-exhausted counter is
+                // available (Algorithm 4.5 returns ⊥).
+                self.completed.push(IncrementOutcome::Aborted);
+                return Vec::new();
+            }
+        };
+        let new_counter = base.incremented(self.me);
+        pending.phase = PendingPhase::Write {
+            counter: new_counter.clone(),
+            acks: BTreeSet::new(),
+        };
+        self.pending = Some(pending);
+        self.config
+            .iter()
+            .copied()
+            .map(|m| {
+                (
+                    m,
+                    CounterMsg::WriteRequest {
+                        op,
+                        counter: new_counter.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn handle_write_ack(
+        &mut self,
+        from: ProcessId,
+        op: u64,
+        abort: bool,
+    ) -> Vec<(ProcessId, CounterMsg)> {
+        let majority = self.majority();
+        let Some(mut pending) = self.pending.take() else {
+            return Vec::new();
+        };
+        if pending.op != op {
+            self.pending = Some(pending);
+            return Vec::new();
+        }
+        if abort {
+            self.completed.push(IncrementOutcome::Aborted);
+            return Vec::new();
+        }
+        let PendingPhase::Write { counter, acks } = &mut pending.phase else {
+            self.pending = Some(pending);
+            return Vec::new();
+        };
+        acks.insert(from);
+        if acks.len() >= majority {
+            let committed = counter.clone();
+            self.adopt(committed.clone());
+            self.completed.push(IncrementOutcome::Committed(committed));
+        } else {
+            self.pending = Some(pending);
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reconfig::config_set;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Synchronous harness: members 0..n plus optional extra client nodes.
+    struct Harness {
+        nodes: BTreeMap<ProcessId, CounterNode>,
+    }
+
+    impl Harness {
+        fn new(cfg: &ConfigSet, clients: &[u32], bound: u64) -> Self {
+            let mut nodes = BTreeMap::new();
+            for id in cfg.iter().copied() {
+                nodes.insert(id, CounterNode::new(id, cfg.clone()).with_exhaustion_bound(bound));
+            }
+            for c in clients {
+                let id = pid(*c);
+                nodes.insert(id, CounterNode::new(id, cfg.clone()).with_exhaustion_bound(bound));
+            }
+            Harness { nodes }
+        }
+
+        fn deliver(&mut self, batch: Vec<(ProcessId, ProcessId, CounterMsg)>) {
+            let mut queue = batch;
+            while let Some((from, to, msg)) = queue.pop() {
+                if let Some(node) = self.nodes.get_mut(&to) {
+                    for (next_to, reply) in node.on_message(from, msg) {
+                        queue.push((to, next_to, reply));
+                    }
+                }
+            }
+        }
+
+        fn round(&mut self) {
+            let mut batch = Vec::new();
+            for (id, node) in self.nodes.iter_mut() {
+                for (to, m) in node.step() {
+                    batch.push((*id, to, m));
+                }
+            }
+            self.deliver(batch);
+        }
+
+        fn increment(&mut self, id: u32) -> IncrementOutcome {
+            let id = pid(id);
+            let reqs = self.nodes.get_mut(&id).unwrap().request_increment();
+            let batch = reqs.into_iter().map(|(to, m)| (id, to, m)).collect();
+            self.deliver(batch);
+            let done = self.nodes.get_mut(&id).unwrap().take_completed();
+            done.into_iter().next().unwrap_or(IncrementOutcome::Aborted)
+        }
+    }
+
+    #[test]
+    fn members_agree_on_a_maximal_counter() {
+        let cfg = config_set([0, 1, 2]);
+        let mut h = Harness::new(&cfg, &[], DEFAULT_EXHAUSTION_BOUND);
+        for _ in 0..10 {
+            h.round();
+        }
+        let counters: BTreeSet<Option<u64>> = h
+            .nodes
+            .values()
+            .map(|n| n.max_counter().map(|c| c.seqn))
+            .collect();
+        assert_eq!(counters.len(), 1, "members disagree: {counters:?}");
+    }
+
+    #[test]
+    fn increments_are_monotone() {
+        let cfg = config_set([0, 1, 2]);
+        let mut h = Harness::new(&cfg, &[], DEFAULT_EXHAUSTION_BOUND);
+        for _ in 0..10 {
+            h.round();
+        }
+        let mut last: Option<Counter> = None;
+        for i in 0..20u32 {
+            let who = i % 3;
+            match h.increment(who) {
+                IncrementOutcome::Committed(c) => {
+                    if let Some(prev) = &last {
+                        assert!(prev.ct_less(&c), "counter regressed: {prev:?} → {c:?}");
+                    }
+                    last = Some(c);
+                }
+                IncrementOutcome::Aborted => panic!("increment aborted unexpectedly"),
+            }
+            h.round();
+        }
+        assert!(last.unwrap().seqn >= 1);
+    }
+
+    #[test]
+    fn non_member_client_can_increment() {
+        let cfg = config_set([0, 1, 2]);
+        let mut h = Harness::new(&cfg, &[7], DEFAULT_EXHAUSTION_BOUND);
+        for _ in 0..10 {
+            h.round();
+        }
+        let outcome = h.increment(7);
+        assert!(matches!(outcome, IncrementOutcome::Committed(_)));
+        // Members learn the written value.
+        h.round();
+        let member_max = h.nodes[&pid(0)].max_counter().unwrap();
+        assert!(member_max.seqn >= 1);
+    }
+
+    #[test]
+    fn exhausted_counter_rolls_over_to_a_new_label() {
+        let cfg = config_set([0, 1, 2]);
+        let mut h = Harness::new(&cfg, &[], 3);
+        for _ in 0..10 {
+            h.round();
+        }
+        let mut labels_seen = BTreeSet::new();
+        for i in 0..12u32 {
+            if let IncrementOutcome::Committed(c) = h.increment(i % 3) {
+                labels_seen.insert(c.label.clone());
+                assert!(c.seqn <= 4, "seqn ran past the exhaustion bound: {}", c.seqn);
+            }
+            h.round();
+        }
+        assert!(
+            labels_seen.len() >= 2,
+            "exhaustion never forced a label rollover"
+        );
+    }
+
+    #[test]
+    fn increments_abort_during_reconfiguration() {
+        let cfg = config_set([0, 1, 2]);
+        let mut h = Harness::new(&cfg, &[], DEFAULT_EXHAUSTION_BOUND);
+        for _ in 0..10 {
+            h.round();
+        }
+        for node in h.nodes.values_mut() {
+            node.set_reconfiguring(true);
+        }
+        let outcome = h.increment(0);
+        assert_eq!(outcome, IncrementOutcome::Aborted);
+    }
+
+    #[test]
+    fn config_change_discards_foreign_labels() {
+        let cfg = config_set([0, 1, 2]);
+        let mut h = Harness::new(&cfg, &[], DEFAULT_EXHAUSTION_BOUND);
+        for _ in 0..10 {
+            h.round();
+        }
+        assert!(matches!(h.increment(0), IncrementOutcome::Committed(_)));
+        let new_cfg = config_set([0, 1]);
+        for node in h.nodes.values_mut() {
+            node.on_config_change(new_cfg.clone());
+        }
+        for _ in 0..10 {
+            h.round();
+        }
+        let max = h.nodes[&pid(0)].max_counter().cloned();
+        if let Some(c) = max {
+            assert!(new_cfg.contains(&c.label.creator));
+        }
+        // The service still works in the new configuration.
+        assert!(matches!(h.increment(1), IncrementOutcome::Committed(_)));
+    }
+
+    #[test]
+    fn only_one_increment_in_flight_per_node() {
+        let cfg = config_set([0, 1, 2]);
+        let mut h = Harness::new(&cfg, &[], DEFAULT_EXHAUSTION_BOUND);
+        for _ in 0..5 {
+            h.round();
+        }
+        let node = h.nodes.get_mut(&pid(0)).unwrap();
+        let first = node.request_increment();
+        assert!(!first.is_empty());
+        assert!(node.increment_in_flight());
+        assert!(node.request_increment().is_empty());
+    }
+}

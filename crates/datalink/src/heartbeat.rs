@@ -1,0 +1,103 @@
+//! Turning token round trips into liveness pulses.
+//!
+//! The `(N,Θ)`-failure detector consumes one "heartbeat" per completed token
+//! exchange with a peer. [`HeartbeatMonitor`] tracks, per peer, how many
+//! round trips have completed and how many new pulses have not yet been
+//! consumed by the failure detector.
+
+use std::collections::BTreeMap;
+
+use simnet::ProcessId;
+
+/// Per-peer heartbeat bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct HeartbeatMonitor {
+    /// Total completed round trips per peer.
+    totals: BTreeMap<ProcessId, u64>,
+    /// Pulses observed since the last call to [`HeartbeatMonitor::take_pulses`].
+    fresh: BTreeMap<ProcessId, u64>,
+}
+
+impl HeartbeatMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed token round trip with `peer`.
+    pub fn record_pulse(&mut self, peer: ProcessId) {
+        *self.totals.entry(peer).or_insert(0) += 1;
+        *self.fresh.entry(peer).or_insert(0) += 1;
+    }
+
+    /// Total number of round trips completed with `peer`.
+    pub fn total(&self, peer: ProcessId) -> u64 {
+        self.totals.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Returns and clears the pulses accumulated since the last call; the
+    /// failure detector feeds each returned `(peer, count)` into its
+    /// heartbeat-count vector.
+    pub fn take_pulses(&mut self) -> Vec<(ProcessId, u64)> {
+        let out: Vec<(ProcessId, u64)> = self
+            .fresh
+            .iter()
+            .filter(|(_, c)| **c > 0)
+            .map(|(p, c)| (*p, *c))
+            .collect();
+        self.fresh.clear();
+        out
+    }
+
+    /// Peers that have ever produced a pulse.
+    pub fn known_peers(&self) -> Vec<ProcessId> {
+        self.totals.keys().copied().collect()
+    }
+
+    /// Discards all bookkeeping for `peer` (e.g. after it was declared
+    /// crashed and its link torn down).
+    pub fn forget(&mut self, peer: ProcessId) {
+        self.totals.remove(&peer);
+        self.fresh.remove(&peer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulses_accumulate_and_drain() {
+        let mut hb = HeartbeatMonitor::new();
+        let p1 = ProcessId::new(1);
+        let p2 = ProcessId::new(2);
+        hb.record_pulse(p1);
+        hb.record_pulse(p1);
+        hb.record_pulse(p2);
+        assert_eq!(hb.total(p1), 2);
+        assert_eq!(hb.total(p2), 1);
+        let mut pulses = hb.take_pulses();
+        pulses.sort();
+        assert_eq!(pulses, vec![(p1, 2), (p2, 1)]);
+        // Drained: nothing fresh remains, totals persist.
+        assert!(hb.take_pulses().is_empty());
+        assert_eq!(hb.total(p1), 2);
+    }
+
+    #[test]
+    fn unknown_peer_has_zero_total() {
+        let hb = HeartbeatMonitor::new();
+        assert_eq!(hb.total(ProcessId::new(9)), 0);
+        assert!(hb.known_peers().is_empty());
+    }
+
+    #[test]
+    fn forget_removes_peer() {
+        let mut hb = HeartbeatMonitor::new();
+        let p = ProcessId::new(3);
+        hb.record_pulse(p);
+        hb.forget(p);
+        assert_eq!(hb.total(p), 0);
+        assert!(hb.known_peers().is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! # datalink — self-stabilizing link protocols over unreliable bounded channels
+//!
+//! Section 2 of *Self-Stabilizing Reconfiguration* assumes three link-level
+//! facilities on top of raw, bounded-capacity, lossy/duplicating/reordering
+//! channels:
+//!
+//! 1. a **token-exchange** protocol: a packet is retransmitted until more
+//!    than the channel capacity of acknowledgements arrive, after which the
+//!    next packet is transmitted — the two endpoints thereby continuously
+//!    exchange a "token" which doubles as a heartbeat ([`token`]);
+//! 2. a **snap-stabilizing data link** ([`snap`]): when two processors
+//!    (re)connect they first *clean* the intermediate link of unknown stale
+//!    packets by flooding a cleaning packet until more than the round-trip
+//!    capacity of acknowledgements arrive, and only then deliver messages to
+//!    the upper layers;
+//! 3. **self-stabilizing reliable FIFO delivery** of high-level messages
+//!    ([`fifo`]), built from the token exchange.
+//!
+//! [`endpoint`] composes the three into one per-peer [`endpoint::Endpoint`],
+//! and [`heartbeat`] turns completed token exchanges into the liveness pulses
+//! consumed by the `(N,Θ)`-failure detector.
+//!
+//! ```
+//! use datalink::endpoint::{Endpoint, LinkEvent};
+//!
+//! // Two endpoints of one bidirectional link, channel capacity 3.
+//! let mut a: Endpoint<&'static str> = Endpoint::new(3);
+//! let mut b: Endpoint<&'static str> = Endpoint::new(3);
+//! a.queue_send("hello");
+//!
+//! // Run the link synchronously until the payload is delivered at b.
+//! let mut delivered = Vec::new();
+//! for _ in 0..64 {
+//!     for m in a.poll() {
+//!         for ev in b.handle(m) {
+//!             if let LinkEvent::Delivered(x) = ev { delivered.push(x); }
+//!         }
+//!     }
+//!     for m in b.poll() {
+//!         for _ev in a.handle(m) {}
+//!     }
+//! }
+//! assert_eq!(delivered, vec!["hello"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod endpoint;
+pub mod fifo;
+pub mod heartbeat;
+pub mod snap;
+pub mod token;
+
+pub use endpoint::{Endpoint, LinkEvent, LinkMsg};
+pub use heartbeat::HeartbeatMonitor;
+pub use snap::{SnapCleaner, SnapMsg, SnapStatus};
+pub use token::{TokenCarrier, TokenEvent, TokenMsg};

@@ -1,0 +1,230 @@
+//! Snap-stabilizing link cleaning.
+//!
+//! From Section 2: *"when such a connection signal is received by the newly
+//! connected parties, they start a communication procedure that uses the
+//! bound on the packets in transit […] to clean all unknown packets in
+//! transit, by repeatedly sending the same packet until more than the round
+//! trip capacity acknowledgments arrive."* Until cleaning finishes, no packet
+//! is delivered to the reconfiguration, joining or application layers — this
+//! is what prevents a joining processor from contaminating the system with
+//! stale information.
+
+/// Packets of the cleaning handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapMsg {
+    /// Cleaning probe, tagged with the epoch of the current cleaning attempt.
+    Clean {
+        /// Local cleaning epoch (bounded; restarts at reconnection).
+        epoch: u8,
+    },
+    /// Acknowledgement of a cleaning probe.
+    CleanAck {
+        /// Epoch being acknowledged.
+        epoch: u8,
+    },
+}
+
+/// The state of a cleaner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapStatus {
+    /// Cleaning in progress; packets to the upper layers must be discarded.
+    Cleaning,
+    /// The link is clean; upper-layer packets may be delivered.
+    Clean,
+}
+
+/// One endpoint of the snap-stabilizing cleaning handshake for a single link.
+///
+/// The round-trip capacity of a link whose one-directional capacity is `cap`
+/// is `2·cap`; the cleaner therefore waits for **more than `2·cap`**
+/// acknowledgements of its current epoch before declaring the link clean —
+/// at that point every packet that was in transit when cleaning started has
+/// either been delivered (and discarded by the cleaner) or evicted.
+#[derive(Debug, Clone)]
+pub struct SnapCleaner {
+    round_trip_capacity: usize,
+    epoch: u8,
+    acks: usize,
+    status: SnapStatus,
+}
+
+impl SnapCleaner {
+    /// Creates a cleaner for a link with one-directional capacity `cap`,
+    /// starting in the [`SnapStatus::Cleaning`] state (a freshly established
+    /// or re-established connection is never trusted).
+    pub fn new(cap: usize) -> Self {
+        SnapCleaner {
+            round_trip_capacity: 2 * cap,
+            epoch: 0,
+            acks: 0,
+            status: SnapStatus::Cleaning,
+        }
+    }
+
+    /// Restarts cleaning, e.g. upon a connection signal for this link.
+    pub fn reconnect(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.acks = 0;
+        self.status = SnapStatus::Cleaning;
+    }
+
+    /// Current status.
+    pub fn status(&self) -> SnapStatus {
+        self.status
+    }
+
+    /// Returns `true` once the link has been cleaned.
+    pub fn is_clean(&self) -> bool {
+        self.status == SnapStatus::Clean
+    }
+
+    /// Packets to transmit on a timer tick: while cleaning, the probe is
+    /// retransmitted; once clean, nothing needs to be sent.
+    pub fn poll(&self) -> Vec<SnapMsg> {
+        match self.status {
+            SnapStatus::Cleaning => vec![SnapMsg::Clean { epoch: self.epoch }],
+            SnapStatus::Clean => Vec::new(),
+        }
+    }
+
+    /// Handles a cleaning packet from the peer; returns packets to send back.
+    pub fn handle(&mut self, msg: SnapMsg) -> Vec<SnapMsg> {
+        match msg {
+            SnapMsg::Clean { epoch } => vec![SnapMsg::CleanAck { epoch }],
+            SnapMsg::CleanAck { epoch } => {
+                if self.status == SnapStatus::Cleaning && epoch == self.epoch {
+                    self.acks += 1;
+                    if self.acks > self.round_trip_capacity {
+                        self.status = SnapStatus::Clean;
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Whether an upper-layer packet received now may be delivered.
+    /// While the link is being cleaned, stale packets must be discarded.
+    pub fn may_deliver(&self) -> bool {
+        self.is_clean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_pair(a: &mut SnapCleaner, b: &mut SnapCleaner, iters: usize) {
+        for _ in 0..iters {
+            for m in a.poll() {
+                for r in b.handle(m) {
+                    for r2 in a.handle(r) {
+                        b.handle(r2);
+                    }
+                }
+            }
+            for m in b.poll() {
+                for r in a.handle(m) {
+                    for r2 in b.handle(r) {
+                        a.handle(r2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn starts_dirty_and_becomes_clean() {
+        let mut a = SnapCleaner::new(2);
+        let mut b = SnapCleaner::new(2);
+        assert!(!a.may_deliver());
+        assert!(!b.may_deliver());
+        run_pair(&mut a, &mut b, 20);
+        assert!(a.is_clean());
+        assert!(b.is_clean());
+        assert!(a.poll().is_empty(), "clean endpoint keeps probing");
+    }
+
+    #[test]
+    fn needs_more_than_round_trip_capacity_acks() {
+        let mut a = SnapCleaner::new(2); // round trip capacity 4
+        for _ in 0..4 {
+            a.handle(SnapMsg::CleanAck { epoch: 0 });
+        }
+        assert!(!a.is_clean());
+        a.handle(SnapMsg::CleanAck { epoch: 0 });
+        assert!(a.is_clean());
+    }
+
+    #[test]
+    fn stale_epoch_acks_are_ignored() {
+        let mut a = SnapCleaner::new(1);
+        a.reconnect(); // epoch becomes 1
+        for _ in 0..100 {
+            a.handle(SnapMsg::CleanAck { epoch: 0 });
+        }
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn reconnect_restarts_cleaning() {
+        let mut a = SnapCleaner::new(1);
+        let mut b = SnapCleaner::new(1);
+        run_pair(&mut a, &mut b, 10);
+        assert!(a.is_clean());
+        a.reconnect();
+        assert!(!a.is_clean());
+        assert_eq!(a.status(), SnapStatus::Cleaning);
+        run_pair(&mut a, &mut b, 10);
+        assert!(a.is_clean());
+    }
+
+    #[test]
+    fn clean_probe_is_always_acknowledged() {
+        let mut b = SnapCleaner::new(3);
+        let replies = b.handle(SnapMsg::Clean { epoch: 9 });
+        assert_eq!(replies, vec![SnapMsg::CleanAck { epoch: 9 }]);
+        // Even when already clean.
+        let mut c = SnapCleaner::new(1);
+        let mut d = SnapCleaner::new(1);
+        run_pair(&mut c, &mut d, 10);
+        let replies = c.handle(SnapMsg::Clean { epoch: 2 });
+        assert_eq!(replies.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        /// Cleaning terminates even over lossy links, for any capacity.
+        #[test]
+        fn cleaning_terminates_over_lossy_links(seed in 0u64..2000, cap in 1usize..5) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut a = SnapCleaner::new(cap);
+            let mut b = SnapCleaner::new(cap);
+            for _ in 0..2000 {
+                if a.is_clean() && b.is_clean() { break; }
+                for m in a.poll() {
+                    if !rng.gen_bool(0.4) {
+                        for r in b.handle(m) {
+                            if !rng.gen_bool(0.4) { a.handle(r); }
+                        }
+                    }
+                }
+                for m in b.poll() {
+                    if !rng.gen_bool(0.4) {
+                        for r in a.handle(m) {
+                            if !rng.gen_bool(0.4) { b.handle(r); }
+                        }
+                    }
+                }
+            }
+            prop_assert!(a.is_clean());
+            prop_assert!(b.is_clean());
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! The token-exchange protocol.
+//!
+//! The paper's description (Section 2): *"Packet `pkt1` is retransmitted
+//! until more than the total capacity acknowledgments arrive, and then `pkt2`
+//! starts being transmitted. This forms an abstraction of token carrying
+//! messages between the two processors. […] We use this token exchange
+//! technique to implement a heartbeat for detecting whether a processor is
+//! active or not."*
+//!
+//! [`TokenCarrier`] implements one endpoint of such a link. It is
+//! self-stabilizing with bounded state: sequence labels are drawn from the
+//! bounded domain `0..label_space` where `label_space = 2·cap + 2`, which is
+//! strictly larger than the number of stale packets/acknowledgements a
+//! corrupted channel pair can hold, so a stale label can delay but never
+//! permanently block progress, and progress resumes within one label
+//! wrap-around.
+
+/// A packet of the token-exchange protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenMsg<M> {
+    /// Data packet carrying the current label and an optional payload.
+    Data {
+        /// Bounded sequence label of the packet.
+        label: u64,
+        /// Payload carried by the token (empty tokens are pure heartbeats).
+        payload: Option<M>,
+    },
+    /// Acknowledgement of a data packet with the given label.
+    Ack {
+        /// Label being acknowledged.
+        label: u64,
+    },
+}
+
+/// An event produced by [`TokenCarrier::handle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenEvent<M> {
+    /// The token completed one round trip: more than `cap` acknowledgements
+    /// of the current label arrived. This is the heartbeat pulse.
+    TokenReturned,
+    /// A payload was received from the peer (at most once per peer label).
+    PayloadReceived(M),
+}
+
+/// One endpoint of a token-exchange link with a designated peer.
+///
+/// The carrier is both a sender (it owns an outgoing token) and a receiver
+/// (it acknowledges the peer's token). Call [`TokenCarrier::poll`] on every
+/// timer tick to obtain the packets to (re)transmit, and
+/// [`TokenCarrier::handle`] on every packet received from the peer.
+#[derive(Debug, Clone)]
+pub struct TokenCarrier<M> {
+    capacity: usize,
+    label_space: u64,
+    /// Label of the packet currently being transmitted.
+    send_label: u64,
+    /// Payload attached to the current outgoing token, if any.
+    send_payload: Option<M>,
+    /// Next payload to attach once the current token returns.
+    pending_payload: Option<M>,
+    /// Acknowledgements of the current label received so far.
+    acks: usize,
+    /// Number of completed token round trips (unbounded counter kept only
+    /// for observability; the protocol itself never reads it).
+    completed: u64,
+    /// Last peer label acknowledged (used to deliver each payload once).
+    last_peer_label: Option<u64>,
+}
+
+impl<M: Clone> TokenCarrier<M> {
+    /// Creates a carrier for a link whose one-directional capacity is `cap`
+    /// packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "link capacity must be at least 1");
+        TokenCarrier {
+            capacity: cap,
+            label_space: 2 * cap as u64 + 2,
+            send_label: 0,
+            send_payload: None,
+            pending_payload: None,
+            acks: 0,
+            completed: 0,
+            last_peer_label: None,
+        }
+    }
+
+    /// Attaches `payload` to the next token that starts a round trip.
+    /// If a payload is already pending it is replaced (the FIFO layer on top
+    /// queues payloads and hands them over one at a time).
+    pub fn set_next_payload(&mut self, payload: M) {
+        self.pending_payload = Some(payload);
+    }
+
+    /// Returns `true` when no payload is waiting to be attached to a token.
+    pub fn ready_for_payload(&self) -> bool {
+        self.pending_payload.is_none()
+    }
+
+    /// Number of completed round trips so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// The bounded label space of this carrier.
+    pub fn label_space(&self) -> u64 {
+        self.label_space
+    }
+
+    /// The packets to transmit on a timer tick: the current data packet is
+    /// always retransmitted (acknowledgements are only sent in response to
+    /// data packets, never spontaneously, as the paper prescribes).
+    pub fn poll(&self) -> Vec<TokenMsg<M>> {
+        vec![TokenMsg::Data {
+            label: self.send_label,
+            payload: self.send_payload.clone(),
+        }]
+    }
+
+    /// Handles a packet received from the peer, returning protocol events and
+    /// the packets to send back immediately.
+    pub fn handle(&mut self, msg: TokenMsg<M>) -> (Vec<TokenEvent<M>>, Vec<TokenMsg<M>>) {
+        let mut events = Vec::new();
+        let mut replies = Vec::new();
+        match msg {
+            TokenMsg::Data { label, payload } => {
+                // Acknowledge every data packet we see (the acknowledging
+                // policy: acks are sent only when a packet arrives).
+                replies.push(TokenMsg::Ack { label });
+                // Deliver the payload at most once per peer label change.
+                if self.last_peer_label != Some(label) {
+                    self.last_peer_label = Some(label);
+                    if let Some(p) = payload {
+                        events.push(TokenEvent::PayloadReceived(p));
+                    }
+                }
+            }
+            TokenMsg::Ack { label } => {
+                if label == self.send_label {
+                    self.acks += 1;
+                    if self.acks > self.capacity {
+                        // Token returned: rotate the label and pick up the
+                        // next payload.
+                        self.completed += 1;
+                        self.acks = 0;
+                        self.send_label = (self.send_label + 1) % self.label_space;
+                        self.send_payload = self.pending_payload.take();
+                        events.push(TokenEvent::TokenReturned);
+                    }
+                }
+                // Stale-label acks are ignored; they are bounded in number.
+            }
+        }
+        (events, replies)
+    }
+
+    /// Forcibly corrupts the carrier state (test/fault-injection helper):
+    /// sets arbitrary label and ack values, as a transient fault would.
+    pub fn corrupt(&mut self, label: u64, acks: usize) {
+        self.send_label = label;
+        self.acks = acks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives two carriers directly against each other (perfect link) for
+    /// `iters` iterations, returning delivered payloads at each side.
+    fn run_pair(
+        a: &mut TokenCarrier<u32>,
+        b: &mut TokenCarrier<u32>,
+        iters: usize,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let mut at_a = Vec::new();
+        let mut at_b = Vec::new();
+        for _ in 0..iters {
+            for m in a.poll() {
+                let (evs, replies) = b.handle(m);
+                for e in evs {
+                    if let TokenEvent::PayloadReceived(p) = e {
+                        at_b.push(p);
+                    }
+                }
+                for r in replies {
+                    let (evs2, _) = a.handle(r);
+                    for e in evs2 {
+                        if let TokenEvent::PayloadReceived(p) = e {
+                            at_a.push(p);
+                        }
+                    }
+                }
+            }
+            for m in b.poll() {
+                let (evs, replies) = a.handle(m);
+                for e in evs {
+                    if let TokenEvent::PayloadReceived(p) = e {
+                        at_a.push(p);
+                    }
+                }
+                for r in replies {
+                    let (evs2, _) = b.handle(r);
+                    for e in evs2 {
+                        if let TokenEvent::PayloadReceived(p) = e {
+                            at_b.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        (at_a, at_b)
+    }
+
+    #[test]
+    fn token_round_trips_accumulate() {
+        let mut a: TokenCarrier<u32> = TokenCarrier::new(2);
+        let mut b: TokenCarrier<u32> = TokenCarrier::new(2);
+        run_pair(&mut a, &mut b, 50);
+        assert!(a.completed() > 5, "a completed {}", a.completed());
+        assert!(b.completed() > 5, "b completed {}", b.completed());
+    }
+
+    #[test]
+    fn payload_is_delivered_once() {
+        let mut a: TokenCarrier<u32> = TokenCarrier::new(2);
+        let mut b: TokenCarrier<u32> = TokenCarrier::new(2);
+        a.set_next_payload(42);
+        let (_, at_b) = run_pair(&mut a, &mut b, 60);
+        assert_eq!(at_b, vec![42]);
+    }
+
+    #[test]
+    fn requires_more_than_capacity_acks() {
+        let mut a: TokenCarrier<u32> = TokenCarrier::new(3);
+        // Fewer than cap+1 acks: no round trip completes.
+        for _ in 0..3 {
+            a.handle(TokenMsg::Ack { label: 0 });
+        }
+        assert_eq!(a.completed(), 0);
+        // One more ack completes it.
+        let (events, _) = a.handle(TokenMsg::Ack { label: 0 });
+        assert_eq!(a.completed(), 1);
+        assert!(events.contains(&TokenEvent::TokenReturned));
+    }
+
+    #[test]
+    fn stale_acks_do_not_advance_token() {
+        let mut a: TokenCarrier<u32> = TokenCarrier::new(2);
+        for _ in 0..100 {
+            a.handle(TokenMsg::Ack { label: 7 });
+        }
+        assert_eq!(a.completed(), 0);
+    }
+
+    #[test]
+    fn labels_stay_within_bounded_space() {
+        let mut a: TokenCarrier<u32> = TokenCarrier::new(1);
+        let space = a.label_space();
+        for _ in 0..1000 {
+            let label = match a.poll().pop().unwrap() {
+                TokenMsg::Data { label, .. } => label,
+                _ => unreachable!(),
+            };
+            assert!(label < space);
+            // Ack it enough times to rotate.
+            for _ in 0..=1 {
+                a.handle(TokenMsg::Ack { label });
+            }
+        }
+        assert!(a.completed() >= 999);
+    }
+
+    #[test]
+    fn recovers_from_corrupted_label() {
+        let mut a: TokenCarrier<u32> = TokenCarrier::new(2);
+        let mut b: TokenCarrier<u32> = TokenCarrier::new(2);
+        a.corrupt(9999 % a.label_space(), 77);
+        run_pair(&mut a, &mut b, 30);
+        let before = a.completed();
+        run_pair(&mut a, &mut b, 30);
+        assert!(a.completed() > before, "token exchange stalled after corruption");
+    }
+
+    #[test]
+    fn duplicate_data_packets_deliver_payload_once() {
+        let mut b: TokenCarrier<u32> = TokenCarrier::new(2);
+        let msg = TokenMsg::Data {
+            label: 3,
+            payload: Some(5),
+        };
+        let (ev1, _) = b.handle(msg.clone());
+        let (ev2, _) = b.handle(msg);
+        assert_eq!(ev1, vec![TokenEvent::PayloadReceived(5)]);
+        assert!(ev2.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _: TokenCarrier<u32> = TokenCarrier::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        /// Over a lossy, duplicating, bounded channel the token keeps
+        /// returning (fair communication ⇒ liveness of the heartbeat).
+        #[test]
+        fn token_progress_under_lossy_links(seed in 0u64..5000, cap in 1usize..4) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut a: TokenCarrier<u32> = TokenCarrier::new(cap);
+            let mut b: TokenCarrier<u32> = TokenCarrier::new(cap);
+            let mut ab: Vec<TokenMsg<u32>> = Vec::new();
+            let mut ba: Vec<TokenMsg<u32>> = Vec::new();
+            for _ in 0..600 {
+                for m in a.poll() {
+                    if !rng.gen_bool(0.3) {
+                        ab.push(m);
+                        if ab.len() > cap { ab.remove(0); }
+                    }
+                }
+                for m in b.poll() {
+                    if !rng.gen_bool(0.3) {
+                        ba.push(m);
+                        if ba.len() > cap { ba.remove(0); }
+                    }
+                }
+                for m in ab.drain(..) {
+                    let (_, replies) = b.handle(m);
+                    for r in replies {
+                        if !rng.gen_bool(0.3) {
+                            ba.push(r);
+                            if ba.len() > cap { ba.remove(0); }
+                        }
+                    }
+                }
+                for m in ba.drain(..) {
+                    let (_, replies) = a.handle(m);
+                    for r in replies {
+                        if !rng.gen_bool(0.3) {
+                            ab.push(r);
+                            if ab.len() > cap { ab.remove(0); }
+                        }
+                    }
+                }
+            }
+            prop_assert!(a.completed() > 0, "token never returned to a");
+            prop_assert!(b.completed() > 0, "token never returned to b");
+        }
+    }
+}

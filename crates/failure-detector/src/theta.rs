@@ -1,0 +1,357 @@
+//! The heartbeat-count vector detector.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use simnet::ProcessId;
+
+use crate::estimate::gap_estimate;
+use crate::trust::TrustView;
+
+/// The `(N,Θ)`-failure detector of one processor.
+///
+/// * `N` bounds the number of processors that can be active at any time; any
+///   entry ranked below the `N`-th is ignored.
+/// * `Θ` (the *suspicion threshold*) bounds how stale a processor's heartbeat
+///   count may become, relative to the freshest counts, before it is
+///   suspected.
+///
+/// The structure is bounded: it retains at most `2·N` entries (the `N` best
+/// ranked plus room for newcomers before the next prune).
+#[derive(Debug, Clone)]
+pub struct ThetaFailureDetector {
+    me: ProcessId,
+    n_bound: usize,
+    theta: u64,
+    counts: BTreeMap<ProcessId, u64>,
+}
+
+impl ThetaFailureDetector {
+    /// Creates a detector for processor `me` with participation bound
+    /// `n_bound` (the paper's `N`) and suspicion threshold `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bound == 0` or `theta == 0`.
+    pub fn new(me: ProcessId, n_bound: usize, theta: u64) -> Self {
+        assert!(n_bound > 0, "participation bound N must be positive");
+        assert!(theta > 0, "suspicion threshold theta must be positive");
+        ThetaFailureDetector {
+            me,
+            n_bound,
+            theta,
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// The owner of this detector.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The participation bound `N`.
+    pub fn n_bound(&self) -> usize {
+        self.n_bound
+    }
+
+    /// The suspicion threshold `Θ`.
+    pub fn theta(&self) -> u64 {
+        self.theta
+    }
+
+    /// Records a heartbeat (token receipt) from `peer`: `peer`'s count is
+    /// reset to zero and every other tracked count is incremented by one.
+    /// Heartbeats from `me` itself are ignored — a processor always trusts
+    /// itself.
+    pub fn heartbeat(&mut self, peer: ProcessId) {
+        if peer == self.me {
+            return;
+        }
+        for (p, c) in self.counts.iter_mut() {
+            if *p != peer {
+                *c = c.saturating_add(1);
+            }
+        }
+        self.counts.insert(peer, 0);
+        self.prune();
+    }
+
+    /// Keeps the vector bounded: only the `2·N` best-ranked entries are
+    /// retained (the paper ignores everything ranked below the `N`-th; we
+    /// keep a little slack so newcomers are not evicted prematurely).
+    fn prune(&mut self) {
+        let limit = 2 * self.n_bound;
+        if self.counts.len() <= limit {
+            return;
+        }
+        let mut ranked: Vec<(ProcessId, u64)> =
+            self.counts.iter().map(|(p, c)| (*p, *c)).collect();
+        ranked.sort_by_key(|(p, c)| (*c, *p));
+        ranked.truncate(limit);
+        self.counts = ranked.into_iter().collect();
+    }
+
+    /// The heartbeat count currently recorded for `peer` (`None` if `peer`
+    /// was never heard from or has been pruned).
+    pub fn count(&self, peer: ProcessId) -> Option<u64> {
+        self.counts.get(&peer).copied()
+    }
+
+    /// All tracked processors ranked from most to least recently heard
+    /// (ties broken by identifier).
+    pub fn ranked(&self) -> Vec<(ProcessId, u64)> {
+        let mut ranked: Vec<(ProcessId, u64)> =
+            self.counts.iter().map(|(p, c)| (*p, *c)).collect();
+        ranked.sort_by_key(|(p, c)| (*c, *p));
+        ranked
+    }
+
+    /// Returns `true` when `peer` is currently trusted.
+    ///
+    /// A processor always trusts itself. Another processor is trusted when
+    /// its heartbeat count does not lag the freshest count by more than `Θ`
+    /// and it is ranked among the first `N` entries.
+    pub fn trusts(&self, peer: ProcessId) -> bool {
+        self.trusted().contains(&peer)
+    }
+
+    /// The set of trusted processors (always contains `me`).
+    pub fn trusted(&self) -> BTreeSet<ProcessId> {
+        let mut trusted = BTreeSet::new();
+        trusted.insert(self.me);
+        let ranked = self.ranked();
+        let freshest = ranked.first().map(|(_, c)| *c).unwrap_or(0);
+        for (idx, (p, c)) in ranked.iter().enumerate() {
+            if idx >= self.n_bound {
+                break;
+            }
+            if c.saturating_sub(freshest) <= self.theta {
+                trusted.insert(*p);
+            }
+        }
+        trusted
+    }
+
+    /// The set of tracked-but-suspected processors.
+    pub fn suspected(&self) -> BTreeSet<ProcessId> {
+        let trusted = self.trusted();
+        self.counts
+            .keys()
+            .copied()
+            .filter(|p| !trusted.contains(p))
+            .collect()
+    }
+
+    /// The gap-based estimate of the number of currently active processors
+    /// (`nᵢ ≤ N`), counting `me` itself.
+    pub fn estimate_active(&self) -> usize {
+        let counts: Vec<u64> = self.ranked().into_iter().map(|(_, c)| c).collect();
+        let estimate = gap_estimate(&counts, self.theta);
+        (estimate + 1).min(self.n_bound) // +1 accounts for `me`
+    }
+
+    /// A snapshot of the detector output, suitable for embedding in protocol
+    /// messages (the paper's `FD[i]` field).
+    pub fn view(&self) -> TrustView {
+        TrustView::new(self.trusted())
+    }
+
+    /// Discards all knowledge about `peer`.
+    pub fn forget(&mut self, peer: ProcessId) {
+        self.counts.remove(&peer);
+    }
+
+    /// Overwrites the count of `peer` (transient-fault injection helper).
+    pub fn corrupt_count(&mut self, peer: ProcessId, count: u64) {
+        if peer != self.me {
+            self.counts.insert(peer, count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn trusts_itself_even_with_no_heartbeats() {
+        let fd = ThetaFailureDetector::new(pid(0), 4, 8);
+        assert!(fd.trusts(pid(0)));
+        assert_eq!(fd.trusted().len(), 1);
+        assert_eq!(fd.estimate_active(), 1);
+    }
+
+    #[test]
+    fn frequent_heartbeats_keep_a_peer_trusted() {
+        let mut fd = ThetaFailureDetector::new(pid(0), 4, 8);
+        for _ in 0..100 {
+            fd.heartbeat(pid(1));
+            fd.heartbeat(pid(2));
+        }
+        assert!(fd.trusts(pid(1)));
+        assert!(fd.trusts(pid(2)));
+        assert_eq!(fd.count(pid(1)).unwrap() <= 1, true);
+    }
+
+    #[test]
+    fn silent_peer_becomes_suspected() {
+        let mut fd = ThetaFailureDetector::new(pid(0), 4, 8);
+        fd.heartbeat(pid(9)); // heard once, then silence
+        for _ in 0..50 {
+            fd.heartbeat(pid(1));
+            fd.heartbeat(pid(2));
+        }
+        assert!(!fd.trusts(pid(9)));
+        assert!(fd.suspected().contains(&pid(9)));
+        assert!(fd.trusts(pid(1)));
+    }
+
+    #[test]
+    fn crashed_processor_is_ranked_last() {
+        let mut fd = ThetaFailureDetector::new(pid(0), 8, 8);
+        for peer in [1, 2, 3] {
+            fd.heartbeat(pid(peer));
+        }
+        // Processor 3 stops; 1 and 2 keep going.
+        for _ in 0..30 {
+            fd.heartbeat(pid(1));
+            fd.heartbeat(pid(2));
+        }
+        let ranked = fd.ranked();
+        assert_eq!(ranked.last().unwrap().0, pid(3));
+    }
+
+    #[test]
+    fn estimate_tracks_number_of_active_processors() {
+        let mut fd = ThetaFailureDetector::new(pid(0), 16, 4);
+        // Four live peers heartbeat in round-robin; one early peer crashes.
+        fd.heartbeat(pid(9));
+        for _ in 0..50 {
+            for peer in [1, 2, 3, 4] {
+                fd.heartbeat(pid(peer));
+            }
+        }
+        // me + 4 live peers
+        assert_eq!(fd.estimate_active(), 5);
+    }
+
+    #[test]
+    fn heartbeat_from_self_is_ignored() {
+        let mut fd = ThetaFailureDetector::new(pid(0), 4, 4);
+        fd.heartbeat(pid(0));
+        assert_eq!(fd.count(pid(0)), None);
+        assert_eq!(fd.ranked().len(), 0);
+    }
+
+    #[test]
+    fn vector_stays_bounded() {
+        let mut fd = ThetaFailureDetector::new(pid(0), 4, 4);
+        for i in 1..100 {
+            fd.heartbeat(pid(i));
+        }
+        assert!(fd.ranked().len() <= 8, "len = {}", fd.ranked().len());
+    }
+
+    #[test]
+    fn forget_removes_peer() {
+        let mut fd = ThetaFailureDetector::new(pid(0), 4, 4);
+        fd.heartbeat(pid(1));
+        fd.forget(pid(1));
+        assert_eq!(fd.count(pid(1)), None);
+    }
+
+    #[test]
+    fn recovers_from_corrupted_counts() {
+        let mut fd = ThetaFailureDetector::new(pid(0), 4, 8);
+        for _ in 0..10 {
+            fd.heartbeat(pid(1));
+            fd.heartbeat(pid(2));
+        }
+        // Transient fault: a live peer's count is corrupted sky-high, so it
+        // lags far behind the other live peer and is suspected.
+        fd.corrupt_count(pid(1), 1_000_000);
+        assert!(!fd.trusts(pid(1)));
+        // Continued heartbeats re-establish trust: self-stabilization of the
+        // detector output.
+        for _ in 0..5 {
+            fd.heartbeat(pid(1));
+            fd.heartbeat(pid(2));
+        }
+        assert!(fd.trusts(pid(1)));
+    }
+
+    #[test]
+    fn view_reflects_trusted_set() {
+        let mut fd = ThetaFailureDetector::new(pid(0), 4, 8);
+        for _ in 0..5 {
+            fd.heartbeat(pid(1));
+        }
+        let view = fd.view();
+        assert!(view.contains(pid(0)));
+        assert!(view.contains(pid(1)));
+        assert_eq!(view.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn zero_theta_rejected() {
+        let _ = ThetaFailureDetector::new(pid(0), 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "N must be positive")]
+    fn zero_n_rejected() {
+        let _ = ThetaFailureDetector::new(pid(0), 0, 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    proptest! {
+        /// Processors that heartbeat regularly in the recent past are always
+        /// trusted, regardless of the interleaving of older heartbeats.
+        #[test]
+        fn recently_active_peers_are_trusted(
+            old_beats in proptest::collection::vec(1u32..20, 0..100),
+            live in proptest::collection::btree_set(1u32..6, 1..5),
+        ) {
+            let mut fd = ThetaFailureDetector::new(pid(0), 8, 4 * 6);
+            for b in old_beats {
+                fd.heartbeat(pid(b));
+            }
+            // A burst of fresh rounds from the live set.
+            for _ in 0..10 {
+                for p in &live {
+                    fd.heartbeat(pid(*p));
+                }
+            }
+            for p in &live {
+                prop_assert!(fd.trusts(pid(*p)), "live peer {p} not trusted");
+            }
+        }
+
+        /// The active estimate never exceeds the participation bound.
+        #[test]
+        fn estimate_is_bounded_by_n(
+            beats in proptest::collection::vec(1u32..50, 0..300),
+            n in 1usize..10,
+        ) {
+            let mut fd = ThetaFailureDetector::new(pid(0), n, 8);
+            for b in beats {
+                fd.heartbeat(pid(b));
+            }
+            prop_assert!(fd.estimate_active() <= n);
+            prop_assert!(fd.estimate_active() >= 1);
+        }
+    }
+}

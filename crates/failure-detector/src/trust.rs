@@ -1,0 +1,123 @@
+//! Snapshots of the failure detector output.
+//!
+//! Protocol messages of the reconfiguration scheme carry the sender's
+//! failure-detector reading (the paper's `FD[i]` field). [`TrustView`] is
+//! that reading: the set of processors the sender currently trusts.
+
+use std::collections::BTreeSet;
+
+use simnet::ProcessId;
+
+/// An immutable snapshot of a processor's trusted set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrustView {
+    trusted: BTreeSet<ProcessId>,
+}
+
+impl TrustView {
+    /// Creates a view from a trusted set.
+    pub fn new(trusted: BTreeSet<ProcessId>) -> Self {
+        TrustView { trusted }
+    }
+
+    /// Creates a view trusting exactly the given processors.
+    pub fn from_iter_ids(ids: impl IntoIterator<Item = ProcessId>) -> Self {
+        TrustView {
+            trusted: ids.into_iter().collect(),
+        }
+    }
+
+    /// Returns `true` when `p` is trusted in this view.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.trusted.contains(&p)
+    }
+
+    /// The trusted processors in ascending identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.trusted.iter().copied()
+    }
+
+    /// The trusted set.
+    pub fn as_set(&self) -> &BTreeSet<ProcessId> {
+        &self.trusted
+    }
+
+    /// Number of trusted processors.
+    pub fn len(&self) -> usize {
+        self.trusted.len()
+    }
+
+    /// Returns `true` when the view trusts nobody.
+    pub fn is_empty(&self) -> bool {
+        self.trusted.is_empty()
+    }
+
+    /// Set intersection of two views.
+    pub fn intersection(&self, other: &TrustView) -> TrustView {
+        TrustView {
+            trusted: self.trusted.intersection(&other.trusted).copied().collect(),
+        }
+    }
+
+    /// Returns `true` when `quorum` (e.g. a configuration) has a majority of
+    /// its members inside this view.
+    pub fn has_majority_of(&self, quorum: &BTreeSet<ProcessId>) -> bool {
+        if quorum.is_empty() {
+            return false;
+        }
+        let present = quorum.iter().filter(|p| self.trusted.contains(p)).count();
+        present > quorum.len() / 2
+    }
+}
+
+impl FromIterator<ProcessId> for TrustView {
+    fn from_iter<T: IntoIterator<Item = ProcessId>>(iter: T) -> Self {
+        TrustView::from_iter_ids(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn view(ids: &[u32]) -> TrustView {
+        ids.iter().copied().map(pid).collect()
+    }
+
+    #[test]
+    fn membership_and_len() {
+        let v = view(&[1, 2, 3]);
+        assert!(v.contains(pid(2)));
+        assert!(!v.contains(pid(9)));
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert!(TrustView::default().is_empty());
+    }
+
+    #[test]
+    fn intersection_keeps_common_members() {
+        let a = view(&[1, 2, 3, 4]);
+        let b = view(&[3, 4, 5]);
+        let i = a.intersection(&b);
+        assert_eq!(i, view(&[3, 4]));
+    }
+
+    #[test]
+    fn majority_detection() {
+        let config: BTreeSet<ProcessId> = [1, 2, 3, 4, 5].map(pid).into_iter().collect();
+        assert!(view(&[1, 2, 3]).has_majority_of(&config));
+        assert!(!view(&[1, 2]).has_majority_of(&config));
+        assert!(!view(&[1, 2, 3]).has_majority_of(&BTreeSet::new()));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let v = view(&[5, 1, 3]);
+        let ids: Vec<u32> = v.iter().map(|p| p.as_u32()).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+}

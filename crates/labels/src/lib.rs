@@ -1,0 +1,38 @@
+//! # labels — bounded self-stabilizing epoch labels for reconfigurable membership
+//!
+//! Implementation of the labeling scheme of Section 4.1 of *Self-Stabilizing
+//! Reconfiguration* (Algorithms 4.1/4.2, adapted from the fixed-membership
+//! scheme of Dolev et al., SSS 2015). Many distributed services need an
+//! "unbounded" counter (ballots, tags, view identifiers); a transient fault
+//! can exhaust any integer counter instantly, so the counter is attached to a
+//! bounded **epoch label**, and a new maximal label is created whenever the
+//! current one is exhausted or found to be stale.
+//!
+//! The configuration members (as provided by the `reconfig` crate) run the
+//! label exchange; on every reconfiguration the label structures are rebuilt
+//! for the new member set and labels of non-members are voided.
+//!
+//! ```
+//! use labels::{Label, Labeler};
+//! use reconfig::config_set;
+//! use simnet::ProcessId;
+//!
+//! let cfg = config_set([0, 1]);
+//! let mut a = Labeler::new(ProcessId::new(0), cfg.clone());
+//! let mut b = Labeler::new(ProcessId::new(1), cfg);
+//! for _ in 0..10 {
+//!     for (to, m) in a.step() { assert_eq!(to, ProcessId::new(1)); b.on_message(ProcessId::new(0), m); }
+//!     for (to, m) in b.step() { assert_eq!(to, ProcessId::new(0)); a.on_message(ProcessId::new(1), m); }
+//! }
+//! let max: Label = a.local_max().unwrap();
+//! assert_eq!(b.local_max(), Some(max));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod label;
+pub mod scheme;
+
+pub use label::{Label, LabelPair, LabelQueue, ANTISTINGS, STING_DOMAIN};
+pub use scheme::{Labeler, LabelerMsg};

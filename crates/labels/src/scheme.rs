@@ -1,0 +1,430 @@
+//! The reconfiguration-aware labeling algorithm (Algorithm 4.1, using the
+//! receipt action of Algorithm 4.2).
+//!
+//! Only the members of the current configuration run the algorithm. They
+//! periodically exchange their locally maximal label pair together with the
+//! last pair received from the destination; the receipt action keeps the
+//! bounded `storedLabels[]` queues tidy (cancelling dominated or twin
+//! labels) and converges every member onto a single, globally maximal label.
+//! When a reconfiguration completes, the label structures are rebuilt for the
+//! new member set, every queue is emptied, and labels created by non-members
+//! are voided — so a processor that left the configuration can never drive
+//! the labeling scheme again (Lemma 4.1).
+
+use std::collections::BTreeMap;
+
+use reconfig::ConfigSet;
+use simnet::ProcessId;
+
+use crate::label::{Label, LabelPair, LabelQueue};
+
+/// The message exchanged between configuration members: the sender's maximal
+/// pair and the pair it last received from the destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelerMsg {
+    /// The sender's `max[i]`.
+    pub sent_max: LabelPair,
+    /// The sender's copy of the receiver's maximal pair (`max[k]`).
+    pub last_sent: Option<LabelPair>,
+}
+
+/// The labeling state of one configuration member.
+#[derive(Debug, Clone)]
+pub struct Labeler {
+    me: ProcessId,
+    config: ConfigSet,
+    /// `maxC[]`-analogue for labels: own entry plus last received per member.
+    max: BTreeMap<ProcessId, LabelPair>,
+    /// `storedLabels[]`: one bounded queue per member (keyed by creator).
+    stored: BTreeMap<ProcessId, LabelQueue>,
+    queue_bound: usize,
+    label_creations: u64,
+}
+
+impl Labeler {
+    /// Creates the labeling state for member `me` of `config`.
+    pub fn new(me: ProcessId, config: ConfigSet) -> Self {
+        let mut l = Labeler {
+            me,
+            config: ConfigSet::new(),
+            max: BTreeMap::new(),
+            stored: BTreeMap::new(),
+            queue_bound: 8,
+            label_creations: 0,
+        };
+        l.on_config_change(config);
+        l
+    }
+
+    /// The current configuration the labeler works for.
+    pub fn config(&self) -> &ConfigSet {
+        &self.config
+    }
+
+    /// Returns `true` when this processor is a member of the current
+    /// configuration (only members run the algorithm).
+    pub fn is_member(&self) -> bool {
+        self.config.contains(&self.me)
+    }
+
+    /// Number of labels this processor created so far (the cost measure of
+    /// Theorem 4.4).
+    pub fn label_creations(&self) -> u64 {
+        self.label_creations
+    }
+
+    /// The label this processor currently considers globally maximal.
+    pub fn local_max(&self) -> Option<Label> {
+        self.max
+            .get(&self.me)
+            .filter(|p| p.is_legit())
+            .map(|p| p.ml.clone())
+    }
+
+    /// Handles a completed reconfiguration: rebuild the structures for the
+    /// new member set (lines 9–14 of Algorithm 4.1).
+    pub fn on_config_change(&mut self, new_config: ConfigSet) {
+        if new_config == self.config && !self.max.is_empty() {
+            return;
+        }
+        let v = new_config.len().max(1);
+        self.queue_bound = v * (v * v + 4) + v;
+        self.config = new_config;
+        // rebuild(): keep entries of surviving members only…
+        self.max.retain(|k, _| self.config.contains(k));
+        self.stored.retain(|k, _| self.config.contains(k));
+        // …void label pairs created by non-members (cleanMax)…
+        let cfg = self.config.clone();
+        self.max.retain(|_, p| cfg.contains(&p.ml.creator));
+        // …and empty all queues.
+        for q in self.stored.values_mut() {
+            q.clear();
+        }
+        if self.is_member() {
+            self.use_own_label();
+        }
+    }
+
+    /// Periodic exchange (the `transmitReady` handler): a member sends its
+    /// maximal pair (plus the echo of the destination's) to every other
+    /// member.
+    pub fn step(&mut self) -> Vec<(ProcessId, LabelerMsg)> {
+        if !self.is_member() {
+            return Vec::new();
+        }
+        if self.max.get(&self.me).is_none() {
+            self.use_own_label();
+        }
+        let my_max = self.max[&self.me].clone();
+        self.config
+            .iter()
+            .copied()
+            .filter(|k| *k != self.me)
+            .map(|k| {
+                (
+                    k,
+                    LabelerMsg {
+                        sent_max: my_max.clone(),
+                        last_sent: self.max.get(&k).cloned(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Handles a label exchange message from another member (the receive
+    /// handler of Algorithm 4.1 plus the receipt action of Algorithm 4.2).
+    pub fn on_message(&mut self, from: ProcessId, msg: LabelerMsg) {
+        if !self.is_member() || !self.config.contains(&from) {
+            return;
+        }
+        // Labels created by non-members are voided before processing.
+        if !self.config.contains(&msg.sent_max.ml.creator) {
+            return;
+        }
+        // Store the sender's maximum.
+        self.max.insert(from, msg.sent_max.clone());
+        self.store_pair(msg.sent_max);
+        // If the peer echoed back our own maximum as cancelled, adopt the
+        // cancellation.
+        if let Some(last) = msg.last_sent {
+            if self.config.contains(&last.ml.creator) {
+                if let Some(own) = self.max.get(&self.me) {
+                    if !last.is_legit() && own.ml == last.ml && own.is_legit() {
+                        self.max.insert(self.me, last.clone());
+                    }
+                }
+                self.store_pair(last);
+            }
+        }
+        self.housekeeping();
+        self.pick_local_max();
+    }
+
+    /// Adds a pair to the creator's bounded queue.
+    fn store_pair(&mut self, pair: LabelPair) {
+        let creator = pair.ml.creator;
+        if !self.config.contains(&creator) {
+            return;
+        }
+        let bound = self.queue_bound;
+        self.stored
+            .entry(creator)
+            .or_insert_with(|| LabelQueue::new(bound))
+            .add(pair);
+    }
+
+    /// Cancels stored labels that are dominated by (or incomparable with)
+    /// another stored label of the same creator — the essence of the receipt
+    /// action's bookkeeping.
+    fn housekeeping(&mut self) {
+        for (creator, queue) in self.stored.iter_mut() {
+            let labels: Vec<Label> = queue.iter().map(|p| p.ml.clone()).collect();
+            for pair in queue.iter_mut() {
+                if !pair.is_legit() {
+                    continue;
+                }
+                if let Some(witness) = labels.iter().find(|l| pair.ml.lb_less(l)) {
+                    pair.cancel(witness.clone());
+                } else if *creator != self.me {
+                    // Incomparable twins of a remote creator: cancel them and
+                    // let the creator (or the global maximum of another
+                    // creator) take over.
+                    if let Some(twin) = labels
+                        .iter()
+                        .find(|l| pair.ml.incomparable(l) && pair.ml.creator == l.creator)
+                    {
+                        pair.cancel(twin.clone());
+                    }
+                }
+            }
+        }
+        // Cancellations recorded in the queues propagate to the max[] array.
+        for pair in self.max.values_mut() {
+            if !pair.is_legit() {
+                continue;
+            }
+            if let Some(q) = self.stored.get(&pair.ml.creator) {
+                if let Some(stored) = q.iter().find(|p| p.ml == pair.ml) {
+                    if !stored.is_legit() {
+                        *pair = stored.clone();
+                    }
+                }
+            }
+        }
+    }
+
+    /// `legitLabels()` / `useOwnLabel()`: adopt the greatest legit label in
+    /// view, or create a fresh one when none exists.
+    fn pick_local_max(&mut self) {
+        let legit: Vec<Label> = self
+            .max
+            .values()
+            .filter(|p| p.is_legit())
+            .map(|p| p.ml.clone())
+            .collect();
+        // A label is maximal when no other legit label dominates it.
+        let maximal: Vec<&Label> = legit
+            .iter()
+            .filter(|l| !legit.iter().any(|other| l.lb_less(other)))
+            .collect();
+        match maximal.iter().max() {
+            Some(best) => {
+                self.max.insert(self.me, LabelPair::legit((*best).clone()));
+            }
+            None => self.use_own_label(),
+        }
+    }
+
+    fn use_own_label(&mut self) {
+        // Reuse a legit stored label of our own if one exists…
+        if let Some(q) = self.stored.get(&self.me) {
+            if let Some(p) = q.newest_legit() {
+                self.max.insert(self.me, p.clone());
+                return;
+            }
+        }
+        // …otherwise create a label greater than everything we know.
+        let known: Vec<&Label> = self
+            .stored
+            .values()
+            .flat_map(|q| q.iter().map(|p| &p.ml))
+            .chain(self.max.values().map(|p| &p.ml))
+            .collect();
+        let fresh = Label::next_label(self.me, &known);
+        self.label_creations += 1;
+        let pair = LabelPair::legit(fresh);
+        self.store_pair(pair.clone());
+        self.max.insert(self.me, pair);
+    }
+
+    /// Records a label observed by a higher layer (e.g. a label carried by a
+    /// counter) so that subsequently created labels dominate it.
+    pub fn observe_label(&mut self, label: Label) {
+        if self.config.contains(&label.creator) {
+            self.store_pair(LabelPair::legit(label));
+        }
+    }
+
+    /// Cancels the current maximum and creates a fresh label that dominates
+    /// every label known locally. The counter service calls this when the
+    /// sequence numbers of the current epoch are exhausted (Section 4.2).
+    /// Returns the new label, or `None` when this processor is not a member.
+    pub fn create_next_label(&mut self) -> Option<Label> {
+        if !self.is_member() {
+            return None;
+        }
+        let known: Vec<Label> = self
+            .stored
+            .values()
+            .flat_map(|q| q.iter().map(|p| p.ml.clone()))
+            .chain(self.max.values().map(|p| p.ml.clone()))
+            .collect();
+        let refs: Vec<&Label> = known.iter().collect();
+        let fresh = Label::next_label(self.me, &refs);
+        self.label_creations += 1;
+        let pair = LabelPair::legit(fresh.clone());
+        // Cancel the previous maximum so it cannot resurface as legit.
+        if let Some(old) = self.max.get_mut(&self.me) {
+            if old.is_legit() {
+                old.cancel(fresh.clone());
+            }
+        }
+        self.store_pair(pair.clone());
+        self.max.insert(self.me, pair);
+        Some(fresh)
+    }
+
+    /// Injects an arbitrary label pair into the local state (transient-fault
+    /// helper used by the `label_convergence` experiment).
+    pub fn corrupt_max(&mut self, owner: ProcessId, pair: LabelPair) {
+        self.max.insert(owner, pair);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reconfig::config_set;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    struct Harness {
+        nodes: BTreeMap<ProcessId, Labeler>,
+    }
+
+    impl Harness {
+        fn new(cfg: &ConfigSet) -> Self {
+            Harness {
+                nodes: cfg
+                    .iter()
+                    .map(|id| (*id, Labeler::new(*id, cfg.clone())))
+                    .collect(),
+            }
+        }
+
+        fn round(&mut self) {
+            let mut outbox = Vec::new();
+            for (id, node) in self.nodes.iter_mut() {
+                for (to, m) in node.step() {
+                    outbox.push((*id, to, m));
+                }
+            }
+            for (from, to, m) in outbox {
+                if let Some(node) = self.nodes.get_mut(&to) {
+                    node.on_message(from, m);
+                }
+            }
+        }
+
+        fn rounds(&mut self, n: usize) {
+            for _ in 0..n {
+                self.round();
+            }
+        }
+
+        fn common_max(&self) -> Option<Label> {
+            let maxes: Vec<Option<Label>> = self.nodes.values().map(|n| n.local_max()).collect();
+            let first = maxes.first()?.clone()?;
+            if maxes.iter().all(|m| m.as_ref() == Some(&first)) {
+                Some(first)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn members_converge_to_a_single_maximal_label() {
+        let cfg = config_set([0, 1, 2, 3]);
+        let mut h = Harness::new(&cfg);
+        h.rounds(20);
+        let max = h.common_max().expect("all members agree on a label");
+        assert!(cfg.contains(&max.creator));
+    }
+
+    #[test]
+    fn corrupted_label_is_cancelled_and_superseded() {
+        let cfg = config_set([0, 1, 2]);
+        let mut h = Harness::new(&cfg);
+        h.rounds(10);
+        let before = h.common_max().unwrap();
+        // Transient fault: node 1 believes in a wild label by node 2.
+        let wild = Label {
+            creator: pid(2),
+            sting: 999,
+            antistings: [1, 2, 3].into_iter().collect(),
+        };
+        h.nodes
+            .get_mut(&pid(1))
+            .unwrap()
+            .corrupt_max(pid(1), LabelPair::legit(wild));
+        h.rounds(30);
+        let after = h.common_max().expect("labels re-converge after corruption");
+        // The system agrees again; the surviving label need not equal the old
+        // one but must be a single legit label.
+        let _ = before;
+        assert!(cfg.contains(&after.creator));
+    }
+
+    #[test]
+    fn reconfiguration_discards_non_member_labels() {
+        let cfg = config_set([0, 1, 2, 3]);
+        let mut h = Harness::new(&cfg);
+        h.rounds(15);
+        // Shrink the configuration to {0, 1}: labels created by 2 or 3 must
+        // disappear from the members' state.
+        let new_cfg = config_set([0, 1]);
+        for node in h.nodes.values_mut() {
+            node.on_config_change(new_cfg.clone());
+        }
+        h.rounds(15);
+        for id in [0u32, 1] {
+            let node = &h.nodes[&pid(id)];
+            let max = node.local_max().unwrap();
+            assert!(new_cfg.contains(&max.creator), "stale creator survived");
+        }
+    }
+
+    #[test]
+    fn non_member_does_not_exchange_labels() {
+        let cfg = config_set([0, 1]);
+        let mut outsider = Labeler::new(pid(9), cfg);
+        assert!(!outsider.is_member());
+        assert!(outsider.step().is_empty());
+        assert!(outsider.local_max().is_none() || outsider.label_creations() == 0);
+    }
+
+    #[test]
+    fn label_creations_are_bounded_in_steady_state() {
+        let cfg = config_set([0, 1, 2, 3, 4]);
+        let mut h = Harness::new(&cfg);
+        h.rounds(50);
+        let total: u64 = h.nodes.values().map(|n| n.label_creations()).sum();
+        // One creation per member at start-up is expected; steady state must
+        // not keep creating labels.
+        assert!(total <= 2 * 5, "created {total} labels in steady state");
+    }
+}

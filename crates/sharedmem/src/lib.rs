@@ -1,0 +1,69 @@
+//! # sharedmem — self-stabilizing reconfigurable MWMR shared-memory emulation
+//!
+//! Section 4.3 of *Self-Stabilizing Reconfiguration* (Dolev, Georgiou,
+//! Marcoullis, Schiller; MIDDLEWARE 2016) closes by observing that the
+//! reconfiguration scheme, combined with the counter/label machinery, yields
+//! a *self-stabilizing reconfigurable emulation of shared memory*: given a
+//! conflict-free configuration, "a typical two-phase read and write protocol
+//! can be used for the shared memory emulation", operations are suspended
+//! during a delicate reconfiguration, and the object state survives into the
+//! new configuration. This crate implements that emulation directly over
+//! quorums of the configuration (rather than through the SMR layer of the
+//! [`vssmr`-style approach](https://crates.io/crates/vssmr)), so the two
+//! designs can be compared:
+//!
+//! * every **configuration member** stores, per register, the latest
+//!   *tagged* value it has adopted ([`RegisterStore`]); tags are the
+//!   `⟨label, seqn, wid⟩` counters of Section 4.2, so a transient fault can
+//!   only exhaust an epoch, never the tag space;
+//! * a **read or write** is a two-phase quorum operation ([`PendingOp`]):
+//!   query a quorum for the latest tag, then propagate the chosen tagged
+//!   value to a quorum (writes increment the tag; reads write back the
+//!   maximum they found);
+//! * during a **delicate replacement or brute-force reset** members refuse
+//!   operations and in-flight operations abort (the emulation is
+//!   *suspending*, as the paper notes); once the new configuration is
+//!   installed every member pushes its store to the new member set, so
+//!   completed writes survive the reconfiguration;
+//! * the quorum predicate is pluggable ([`reconfig::QuorumSystem`]) —
+//!   majorities by default, grid or weighted quorums for the ablation
+//!   experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use reconfig::{config_set, NodeConfig};
+//! use sharedmem::{OpOutcome, RegisterId, SharedMemNode};
+//! use simnet::{ProcessId, SimConfig, Simulation};
+//!
+//! // Three members of the configuration {p0, p1, p2}.
+//! let cfg = config_set(0..3);
+//! let mut sim = Simulation::new(SimConfig::default().with_seed(1).with_max_delay(0));
+//! for i in 0..3u32 {
+//!     let id = ProcessId::new(i);
+//!     sim.add_process_with_id(id, SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(8)));
+//! }
+//! sim.run_rounds(40);
+//!
+//! // p0 writes register 7, p2 reads it back through the quorum.
+//! let key = RegisterId::new(7);
+//! sim.process_mut(ProcessId::new(0)).unwrap().submit_write(key, 99);
+//! sim.run_until(300, |s| s.process(ProcessId::new(0)).unwrap().writes_committed() == 1);
+//! sim.process_mut(ProcessId::new(2)).unwrap().submit_read(key);
+//! sim.run_until(300, |s| s.process(ProcessId::new(2)).unwrap().reads_committed() == 1);
+//! let outcome = sim.process_mut(ProcessId::new(2)).unwrap().take_completed().pop().unwrap();
+//! assert!(matches!(outcome, OpOutcome::ReadCommitted { value: Some(99), .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod op;
+pub mod store;
+pub mod types;
+
+pub use node::{SharedMemMsg, SharedMemNode};
+pub use op::{next_tag, OpPhase, OpStep, PendingOp};
+pub use store::RegisterStore;
+pub use types::{OpId, OpKind, OpOutcome, RegisterId, TaggedValue};

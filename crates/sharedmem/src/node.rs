@@ -1,0 +1,745 @@
+//! The composite shared-memory node.
+//!
+//! [`SharedMemNode`] bundles one processor's full stack for the MWMR
+//! shared-memory emulation of Section 4.3: the self-stabilizing
+//! reconfiguration scheme (providing the quorum configuration and the
+//! `noReco()` signal), the per-member register store, and the two-phase
+//! client driver. The node implements [`simnet::Process`], so clusters of
+//! them run directly inside a [`simnet::Simulation`].
+//!
+//! The emulation is *suspending*, as the paper notes: while a delicate
+//! replacement or a brute-force reset is in progress, members refuse
+//! register operations and in-flight operations abort (the caller resubmits
+//! once the new configuration is installed). The register contents
+//! themselves survive a delicate reconfiguration because every member pushes
+//! its store to the members of the newly installed configuration, and stored
+//! tags only ever move forward.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use counters::DEFAULT_EXHAUSTION_BOUND;
+use reconfig::{ConfigSet, NodeConfig, QuorumSystem, ReconfigMsg, ReconfigNode};
+use simnet::{Context, Process, ProcessId};
+
+use crate::op::{OpStep, PendingOp};
+use crate::store::RegisterStore;
+use crate::types::{OpId, OpKind, OpOutcome, RegisterId, TaggedValue};
+
+/// Messages exchanged by [`SharedMemNode`]s: reconfiguration traffic and the
+/// register protocol share one wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SharedMemMsg {
+    /// Reconfiguration scheme traffic.
+    Reconfig(ReconfigMsg),
+    /// Query phase request: "send me your latest tagged value for `key`".
+    Query {
+        /// The operation this request belongs to.
+        op: OpId,
+        /// The register queried.
+        key: RegisterId,
+    },
+    /// Query phase response.
+    QueryResp {
+        /// The operation this response belongs to.
+        op: OpId,
+        /// The register queried.
+        key: RegisterId,
+        /// The responder's latest tagged value, if any.
+        current: Option<TaggedValue>,
+    },
+    /// Propagate phase request: "adopt this tagged value for `key`".
+    Update {
+        /// The operation this request belongs to.
+        op: OpId,
+        /// The register written.
+        key: RegisterId,
+        /// The tagged value to adopt.
+        value: TaggedValue,
+    },
+    /// Propagate phase acknowledgement.
+    UpdateAck {
+        /// The acknowledged operation.
+        op: OpId,
+    },
+    /// A member refuses to serve the operation because a reconfiguration is
+    /// in progress.
+    OpAbort {
+        /// The refused operation.
+        op: OpId,
+    },
+    /// Post-reconfiguration state transfer: the sender's whole store.
+    StoreSync {
+        /// Snapshot of the sender's register store.
+        entries: Vec<(RegisterId, TaggedValue)>,
+    },
+}
+
+/// One processor of the reconfigurable MWMR shared-memory emulation.
+#[derive(Debug, Clone)]
+pub struct SharedMemNode {
+    me: ProcessId,
+    reconfig: ReconfigNode,
+    quorum: QuorumSystem,
+    exhaustion_bound: u64,
+    store: RegisterStore,
+    pending: Option<PendingOp>,
+    queue: VecDeque<(OpId, RegisterId, OpKind)>,
+    completed: Vec<OpOutcome>,
+    next_seq: u64,
+    /// The configuration the store was last synchronized towards, used to
+    /// detect configuration changes.
+    synced_config: Option<ConfigSet>,
+    reads_committed: u64,
+    writes_committed: u64,
+    ops_aborted: u64,
+    syncs_sent: u64,
+}
+
+impl SharedMemNode {
+    fn assemble(me: ProcessId, reconfig: ReconfigNode) -> Self {
+        SharedMemNode {
+            me,
+            reconfig,
+            quorum: QuorumSystem::Majority,
+            exhaustion_bound: DEFAULT_EXHAUSTION_BOUND,
+            store: RegisterStore::new(),
+            pending: None,
+            queue: VecDeque::new(),
+            completed: Vec::new(),
+            next_seq: 0,
+            synced_config: None,
+            reads_committed: 0,
+            writes_committed: 0,
+            ops_aborted: 0,
+            syncs_sent: 0,
+        }
+    }
+
+    /// Creates a node that is one of the initial configuration members.
+    pub fn new_member(me: ProcessId, initial_config: ConfigSet, node_config: NodeConfig) -> Self {
+        Self::assemble(me, ReconfigNode::new_with_config(me, initial_config, node_config))
+    }
+
+    /// Creates a node that joins the running system through the joining
+    /// mechanism. Once admitted as a participant it can invoke reads and
+    /// writes against the configuration without being a member itself (a
+    /// pure client); if a later reconfiguration includes it, it also starts
+    /// serving register state.
+    pub fn new_joiner(me: ProcessId, node_config: NodeConfig) -> Self {
+        Self::assemble(me, ReconfigNode::new_joiner(me, node_config))
+    }
+
+    /// Replaces the quorum system used to decide when a phase is complete
+    /// (builder style). The paper's default is simple majorities.
+    pub fn with_quorum_system(mut self, quorum: QuorumSystem) -> Self {
+        self.quorum = quorum;
+        self
+    }
+
+    /// Overrides the tag exhaustion bound (builder style); tests use small
+    /// bounds to force epoch-label rollover.
+    pub fn with_exhaustion_bound(mut self, bound: u64) -> Self {
+        self.exhaustion_bound = bound;
+        self
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The underlying reconfiguration node (white-box access).
+    pub fn reconfig(&self) -> &ReconfigNode {
+        &self.reconfig
+    }
+
+    /// Mutable access to the underlying reconfiguration node, e.g. to
+    /// request a delicate reconfiguration or inject transient faults.
+    pub fn reconfig_mut(&mut self) -> &mut ReconfigNode {
+        &mut self.reconfig
+    }
+
+    /// The local register store (a member's replica; empty on pure clients).
+    pub fn store(&self) -> &RegisterStore {
+        &self.store
+    }
+
+    /// Returns `true` when this node is a member of the currently installed
+    /// configuration.
+    pub fn is_member(&self) -> bool {
+        self.reconfig
+            .installed_config()
+            .map(|cfg| cfg.contains(&self.me))
+            .unwrap_or(false)
+    }
+
+    /// The locally stored value of `key`, if any (no quorum interaction).
+    pub fn local_value(&self, key: RegisterId) -> Option<u64> {
+        self.store.value(key)
+    }
+
+    /// Returns `true` while an operation is in flight or queued.
+    pub fn has_pending_ops(&self) -> bool {
+        self.pending.is_some() || !self.queue.is_empty()
+    }
+
+    /// Number of committed reads.
+    pub fn reads_committed(&self) -> u64 {
+        self.reads_committed
+    }
+
+    /// Number of committed writes.
+    pub fn writes_committed(&self) -> u64 {
+        self.writes_committed
+    }
+
+    /// Number of operations aborted by reconfigurations.
+    pub fn ops_aborted(&self) -> u64 {
+        self.ops_aborted
+    }
+
+    /// Number of post-reconfiguration store synchronizations sent.
+    pub fn syncs_sent(&self) -> u64 {
+        self.syncs_sent
+    }
+
+    /// Submits a write of `value` to register `key` and returns its
+    /// operation identifier. The outcome is reported asynchronously through
+    /// [`SharedMemNode::take_completed`].
+    pub fn submit_write(&mut self, key: RegisterId, value: u64) -> OpId {
+        self.submit(key, OpKind::Write { value })
+    }
+
+    /// Submits a read of register `key` and returns its operation identifier.
+    pub fn submit_read(&mut self, key: RegisterId) -> OpId {
+        self.submit(key, OpKind::Read)
+    }
+
+    fn submit(&mut self, key: RegisterId, kind: OpKind) -> OpId {
+        let op = OpId::new(self.me, self.next_seq);
+        self.next_seq += 1;
+        self.queue.push_back((op, key, kind));
+        op
+    }
+
+    /// Drains the outcomes of operations that completed (or aborted) since
+    /// the last call.
+    pub fn take_completed(&mut self) -> Vec<OpOutcome> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// `true` while this node observes an actual reconfiguration activity: a
+    /// replacement notification of its own or a brute-force reset. This is
+    /// deliberately narrower than `noReco()` (which also reacts to benign
+    /// participant-set churn) so that register operations suspend only while
+    /// the configuration really is in flux.
+    fn reconfiguring(&self) -> bool {
+        !self.reconfig.recsa().own_notification().is_default()
+            || self.reconfig.recsa().own_config().is_bottom()
+    }
+
+    fn record_outcome(&mut self, outcome: OpOutcome) {
+        match &outcome {
+            OpOutcome::ReadCommitted { .. } => self.reads_committed += 1,
+            OpOutcome::WriteCommitted { .. } => self.writes_committed += 1,
+            OpOutcome::Aborted { .. } => self.ops_aborted += 1,
+        }
+        self.completed.push(outcome);
+    }
+
+    fn config_members(&self) -> Option<ConfigSet> {
+        self.reconfig.installed_config().filter(|cfg| !cfg.is_empty())
+    }
+
+    /// One timer step of the whole stack.
+    pub fn poll(&mut self, peers: &[ProcessId]) -> Vec<(ProcessId, SharedMemMsg)> {
+        let mut out: Vec<(ProcessId, SharedMemMsg)> = Vec::new();
+
+        // 1. Reconfiguration stack.
+        for (to, m) in self.reconfig.poll(peers) {
+            out.push((to, SharedMemMsg::Reconfig(m)));
+        }
+
+        let config = self.config_members();
+        let reconfiguring = self.reconfiguring();
+
+        // 2. Post-reconfiguration state transfer: when the installed
+        //    configuration changes, every member pushes its store to the new
+        //    members so the register contents survive the replacement.
+        if !reconfiguring {
+            if let Some(cfg) = &config {
+                if self.synced_config.as_ref() != Some(cfg) {
+                    // Abort any operation that was driven against the old
+                    // configuration: its quorum arithmetic no longer applies.
+                    if let Some(pending) = self.pending.take() {
+                        let outcome = pending.abort();
+                        self.record_outcome(outcome);
+                    }
+                    if cfg.contains(&self.me) && !self.store.is_empty() {
+                        let snapshot = self.store.snapshot();
+                        for member in cfg.iter().copied().filter(|m| *m != self.me) {
+                            out.push((
+                                member,
+                                SharedMemMsg::StoreSync {
+                                    entries: snapshot.clone(),
+                                },
+                            ));
+                            self.syncs_sent += 1;
+                        }
+                    }
+                    self.synced_config = Some(cfg.clone());
+                }
+            }
+        }
+
+        // 3. Drive the client side: start the next queued operation, and
+        //    retransmit the current phase to members that have not answered
+        //    (fair communication makes the retransmissions eventually land).
+        if let (Some(cfg), false) = (&config, reconfiguring) {
+            if self.pending.is_none() {
+                if let Some((op, key, kind)) = self.queue.pop_front() {
+                    self.pending = Some(PendingOp::new(op, key, kind));
+                }
+            }
+            if let Some(pending) = &self.pending {
+                let targets = pending.unanswered(cfg);
+                for member in targets {
+                    let msg = match pending.chosen() {
+                        None => SharedMemMsg::Query {
+                            op: pending.op(),
+                            key: pending.key(),
+                        },
+                        Some(value) => SharedMemMsg::Update {
+                            op: pending.op(),
+                            key: pending.key(),
+                            value: value.clone(),
+                        },
+                    };
+                    out.push((member, msg));
+                }
+            }
+        }
+
+        out
+    }
+
+    /// Handles one received message, returning any immediate replies.
+    pub fn handle(&mut self, from: ProcessId, msg: SharedMemMsg) -> Vec<(ProcessId, SharedMemMsg)> {
+        match msg {
+            SharedMemMsg::Reconfig(m) => self
+                .reconfig
+                .handle(from, m)
+                .into_iter()
+                .map(|(to, reply)| (to, SharedMemMsg::Reconfig(reply)))
+                .collect(),
+            SharedMemMsg::Query { op, key } => {
+                if self.is_member() && !self.reconfiguring() {
+                    vec![(
+                        from,
+                        SharedMemMsg::QueryResp {
+                            op,
+                            key,
+                            current: self.store.get(key).cloned(),
+                        },
+                    )]
+                } else {
+                    vec![(from, SharedMemMsg::OpAbort { op })]
+                }
+            }
+            SharedMemMsg::Update { op, key, value } => {
+                if self.is_member() && !self.reconfiguring() {
+                    self.store.adopt(key, value);
+                    vec![(from, SharedMemMsg::UpdateAck { op })]
+                } else {
+                    vec![(from, SharedMemMsg::OpAbort { op })]
+                }
+            }
+            SharedMemMsg::QueryResp { op, key, current } => {
+                self.drive_query_response(from, op, key, current)
+            }
+            SharedMemMsg::UpdateAck { op } => {
+                self.drive_ack(from, op);
+                Vec::new()
+            }
+            SharedMemMsg::OpAbort { op } => {
+                if self.pending.as_ref().map(PendingOp::op) == Some(op) {
+                    let pending = self.pending.take().expect("pending op just matched");
+                    let outcome = pending.abort();
+                    self.record_outcome(outcome);
+                }
+                Vec::new()
+            }
+            SharedMemMsg::StoreSync { entries } => {
+                for (key, value) in entries {
+                    self.store.adopt(key, value);
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn drive_query_response(
+        &mut self,
+        from: ProcessId,
+        op: OpId,
+        _key: RegisterId,
+        current: Option<TaggedValue>,
+    ) -> Vec<(ProcessId, SharedMemMsg)> {
+        let Some(cfg) = self.config_members() else {
+            return Vec::new();
+        };
+        let Some(pending) = &mut self.pending else {
+            return Vec::new();
+        };
+        if pending.op() != op {
+            return Vec::new();
+        }
+        let step = pending.on_query_response(
+            from,
+            current,
+            &cfg,
+            &self.quorum,
+            self.me,
+            self.exhaustion_bound,
+        );
+        match step {
+            OpStep::Continue => Vec::new(),
+            OpStep::StartPropagate(value) => {
+                let op = pending.op();
+                let key = pending.key();
+                cfg.iter()
+                    .copied()
+                    .map(|member| {
+                        (
+                            member,
+                            SharedMemMsg::Update {
+                                op,
+                                key,
+                                value: value.clone(),
+                            },
+                        )
+                    })
+                    .collect()
+            }
+            OpStep::Done(outcome) => {
+                self.pending = None;
+                self.record_outcome(outcome);
+                Vec::new()
+            }
+        }
+    }
+
+    fn drive_ack(&mut self, from: ProcessId, op: OpId) {
+        let Some(cfg) = self.config_members() else {
+            return;
+        };
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
+        if pending.op() != op {
+            return;
+        }
+        if let OpStep::Done(outcome) = pending.on_ack(from, &cfg, &self.quorum) {
+            self.pending = None;
+            self.record_outcome(outcome);
+        }
+    }
+
+    /// The set of processors this node currently trusts (failure-detector
+    /// view), exposed for tests and benchmarks.
+    pub fn trusted(&self) -> BTreeSet<ProcessId> {
+        self.reconfig.trusted()
+    }
+}
+
+impl Process for SharedMemNode {
+    type Msg = SharedMemMsg;
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SharedMemMsg>) {
+        let peers = ctx.all_ids();
+        for (to, msg) in self.poll(&peers) {
+            ctx.send(to, msg);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: SharedMemMsg, ctx: &mut Context<'_, SharedMemMsg>) {
+        for (to, reply) in self.handle(from, msg) {
+            ctx.send(to, reply);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reconfig::config_set;
+    use simnet::{SimConfig, Simulation};
+
+    fn cluster(n: u32, seed: u64) -> Simulation<SharedMemNode> {
+        let cfg = config_set(0..n);
+        let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
+        for i in 0..n {
+            let id = ProcessId::new(i);
+            sim.add_process_with_id(id, SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)));
+        }
+        sim.run_rounds(40);
+        sim
+    }
+
+    fn drain_committed(sim: &mut Simulation<SharedMemNode>, id: ProcessId) -> Vec<OpOutcome> {
+        sim.process_mut(id).unwrap().take_completed()
+    }
+
+    #[test]
+    fn write_then_read_through_the_quorum() {
+        let mut sim = cluster(3, 1);
+        let writer = ProcessId::new(0);
+        let reader = ProcessId::new(2);
+        let key = RegisterId::new(7);
+
+        let write_op = sim.process_mut(writer).unwrap().submit_write(key, 99);
+        let rounds = sim.run_until(200, |s| s.process(writer).unwrap().writes_committed() == 1);
+        assert!(rounds < 200, "write never committed");
+        let outcomes = drain_committed(&mut sim, writer);
+        assert!(matches!(
+            outcomes.as_slice(),
+            [OpOutcome::WriteCommitted { op, .. }] if *op == write_op
+        ));
+
+        let read_op = sim.process_mut(reader).unwrap().submit_read(key);
+        let rounds = sim.run_until(200, |s| s.process(reader).unwrap().reads_committed() == 1);
+        assert!(rounds < 200, "read never committed");
+        let outcomes = drain_committed(&mut sim, reader);
+        match outcomes.as_slice() {
+            [OpOutcome::ReadCommitted { op, value, .. }] => {
+                assert_eq!(*op, read_op);
+                assert_eq!(*value, Some(99));
+            }
+            other => panic!("unexpected outcomes {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_of_unwritten_register_returns_none() {
+        let mut sim = cluster(3, 2);
+        let reader = ProcessId::new(1);
+        sim.process_mut(reader).unwrap().submit_read(RegisterId::new(55));
+        let rounds = sim.run_until(200, |s| s.process(reader).unwrap().reads_committed() == 1);
+        assert!(rounds < 200);
+        let outcomes = drain_committed(&mut sim, reader);
+        assert!(matches!(
+            outcomes.as_slice(),
+            [OpOutcome::ReadCommitted { value: None, tag: None, .. }]
+        ));
+    }
+
+    #[test]
+    fn non_member_client_reads_and_writes() {
+        let cfg = config_set(0..3);
+        let mut sim = Simulation::new(SimConfig::default().with_seed(3).with_max_delay(0));
+        for i in 0..3u32 {
+            let id = ProcessId::new(i);
+            sim.add_process_with_id(id, SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)));
+        }
+        sim.run_rounds(40);
+
+        // The client enters through the joining mechanism and only operates
+        // once admitted as a participant.
+        let client = ProcessId::new(9);
+        sim.add_process_with_id(client, SharedMemNode::new_joiner(client, NodeConfig::for_n(16)));
+        let rounds = sim.run_until(400, |s| s.process(client).unwrap().reconfig().is_participant());
+        assert!(rounds < 400, "client was never admitted as a participant");
+
+        let key = RegisterId::new(1);
+        sim.process_mut(client).unwrap().submit_write(key, 5);
+        sim.process_mut(client).unwrap().submit_read(key);
+        let rounds = sim.run_until(400, |s| {
+            let c = s.process(client).unwrap();
+            c.writes_committed() == 1 && c.reads_committed() == 1
+        });
+        assert!(rounds < 400, "client operations never completed");
+        let outcomes = drain_committed(&mut sim, client);
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().any(|o| matches!(
+            o,
+            OpOutcome::ReadCommitted { value: Some(5), .. }
+        )));
+        // The client is not a configuration member and holds no replica.
+        assert!(!sim.process(client).unwrap().is_member());
+        assert!(sim.process(client).unwrap().store().is_empty());
+        // The configuration itself did not change because a client showed up.
+        assert_eq!(
+            sim.process(ProcessId::new(0)).unwrap().reconfig().installed_config(),
+            Some(cfg)
+        );
+    }
+
+    #[test]
+    fn operations_survive_message_loss() {
+        let cfg = config_set(0..3);
+        let mut sim = Simulation::new(
+            SimConfig::default()
+                .with_seed(4)
+                .with_loss_probability(0.15)
+                .with_max_delay(1)
+                .with_channel_capacity(32),
+        );
+        for i in 0..3u32 {
+            let id = ProcessId::new(i);
+            sim.add_process_with_id(id, SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)));
+        }
+        sim.run_rounds(60);
+        let writer = ProcessId::new(1);
+        sim.process_mut(writer).unwrap().submit_write(RegisterId::new(3), 17);
+        let rounds = sim.run_until(600, |s| s.process(writer).unwrap().writes_committed() == 1);
+        assert!(rounds < 600, "write never committed under loss");
+    }
+
+    #[test]
+    fn state_survives_delicate_reconfiguration() {
+        let mut sim = cluster(4, 5);
+        let key = RegisterId::new(11);
+        let writer = ProcessId::new(0);
+        sim.process_mut(writer).unwrap().submit_write(key, 1234);
+        let rounds = sim.run_until(200, |s| s.process(writer).unwrap().writes_committed() == 1);
+        assert!(rounds < 200);
+
+        // Shrink the configuration from {0..4} to {0..3} via a delicate
+        // replacement requested by a member.
+        let target = config_set(0..3);
+        assert!(sim
+            .process_mut(ProcessId::new(1))
+            .unwrap()
+            .reconfig_mut()
+            .request_reconfiguration(target.clone()));
+        let rounds = sim.run_until(600, |s| {
+            s.active_ids().iter().all(|id| {
+                s.process(*id).unwrap().reconfig().installed_config() == Some(target.clone())
+            })
+        });
+        assert!(rounds < 600, "delicate replacement never completed");
+        sim.run_rounds(60);
+
+        // A read against the new configuration still observes the write.
+        let reader = ProcessId::new(2);
+        sim.process_mut(reader).unwrap().submit_read(key);
+        let rounds = sim.run_until(400, |s| s.process(reader).unwrap().reads_committed() >= 1);
+        assert!(rounds < 400, "read never completed after reconfiguration");
+        let outcomes = drain_committed(&mut sim, reader);
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| matches!(o, OpOutcome::ReadCommitted { value: Some(1234), .. })),
+            "value lost across the reconfiguration: {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_are_totally_ordered_by_tags() {
+        let mut sim = cluster(3, 6);
+        let key = RegisterId::new(2);
+        sim.process_mut(ProcessId::new(0)).unwrap().submit_write(key, 100);
+        sim.process_mut(ProcessId::new(1)).unwrap().submit_write(key, 200);
+        let rounds = sim.run_until(400, |s| {
+            s.process(ProcessId::new(0)).unwrap().writes_committed() == 1
+                && s.process(ProcessId::new(1)).unwrap().writes_committed() == 1
+        });
+        assert!(rounds < 400, "concurrent writes never both committed");
+        sim.run_rounds(40);
+
+        // A subsequent read returns one of the two written values — the one
+        // with the greater tag — and every member's store agrees on it.
+        let reader = ProcessId::new(2);
+        sim.process_mut(reader).unwrap().submit_read(key);
+        sim.run_until(200, |s| s.process(reader).unwrap().reads_committed() == 1);
+        let outcomes = drain_committed(&mut sim, reader);
+        let OpOutcome::ReadCommitted { value: Some(v), .. } = &outcomes[0] else {
+            panic!("unexpected outcome {outcomes:?}");
+        };
+        assert!(*v == 100 || *v == 200);
+        let tags: BTreeSet<_> = sim
+            .active_ids()
+            .into_iter()
+            .filter_map(|id| sim.process(id).unwrap().store().get(key).map(|tv| tv.tag.clone().seqn))
+            .collect();
+        assert_eq!(tags.len(), 1, "members disagree on the final tag");
+    }
+
+    #[test]
+    fn exhausted_tags_roll_over_to_a_new_epoch() {
+        let cfg = config_set(0..3);
+        let mut sim = Simulation::new(SimConfig::default().with_seed(7).with_max_delay(0));
+        for i in 0..3u32 {
+            let id = ProcessId::new(i);
+            sim.add_process_with_id(
+                id,
+                SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16))
+                    .with_exhaustion_bound(3),
+            );
+        }
+        sim.run_rounds(40);
+        let key = RegisterId::new(1);
+        let writer = ProcessId::new(0);
+        for expected in 1..=6u64 {
+            sim.process_mut(writer).unwrap().submit_write(key, expected);
+            let rounds =
+                sim.run_until(300, |s| s.process(writer).unwrap().writes_committed() == expected);
+            assert!(rounds < 300, "write {expected} never committed");
+        }
+        // Six writes against an exhaustion bound of three forced at least one
+        // label rollover, and the latest value still wins.
+        let reader = ProcessId::new(2);
+        sim.process_mut(reader).unwrap().submit_read(key);
+        sim.run_until(200, |s| s.process(reader).unwrap().reads_committed() == 1);
+        let outcomes = drain_committed(&mut sim, reader);
+        assert!(matches!(
+            outcomes.as_slice(),
+            [OpOutcome::ReadCommitted { value: Some(6), .. }]
+        ));
+    }
+
+    #[test]
+    fn observability_counters_track_activity() {
+        let mut sim = cluster(3, 8);
+        let node = ProcessId::new(0);
+        let key = RegisterId::new(4);
+        sim.process_mut(node).unwrap().submit_write(key, 1);
+        sim.run_until(200, |s| s.process(node).unwrap().writes_committed() == 1);
+        sim.process_mut(node).unwrap().submit_read(key);
+        sim.run_until(200, |s| s.process(node).unwrap().reads_committed() == 1);
+        let n = sim.process(node).unwrap();
+        assert_eq!(n.writes_committed(), 1);
+        assert_eq!(n.reads_committed(), 1);
+        assert_eq!(n.ops_aborted(), 0);
+        assert!(!n.has_pending_ops());
+        assert!(n.is_member());
+        assert_eq!(n.local_value(key), Some(1));
+        assert_eq!(n.id(), node);
+        assert!(n.trusted().contains(&ProcessId::new(1)));
+    }
+
+    #[test]
+    fn queued_operations_run_one_after_the_other() {
+        let mut sim = cluster(3, 9);
+        let node = ProcessId::new(0);
+        let key = RegisterId::new(1);
+        for v in 1..=5u64 {
+            sim.process_mut(node).unwrap().submit_write(key, v);
+        }
+        assert!(sim.process(node).unwrap().has_pending_ops());
+        let rounds = sim.run_until(800, |s| s.process(node).unwrap().writes_committed() == 5);
+        assert!(rounds < 800, "queued writes never drained");
+        let write_outcomes = drain_committed(&mut sim, node);
+        assert_eq!(write_outcomes.len(), 5);
+        assert!(write_outcomes.iter().all(OpOutcome::is_committed));
+        // The last submitted write holds the greatest tag, so it is the value
+        // that survives.
+        sim.process_mut(node).unwrap().submit_read(key);
+        sim.run_until(200, |s| s.process(node).unwrap().reads_committed() == 1);
+        let outcomes = drain_committed(&mut sim, node);
+        assert!(matches!(
+            outcomes.as_slice(),
+            [OpOutcome::ReadCommitted { value: Some(5), .. }]
+        ));
+    }
+}

@@ -1,0 +1,255 @@
+//! Data types of the MWMR register emulation.
+//!
+//! A register value is tagged by a [`Counter`] of the counter scheme
+//! (Section 4.2): the tag's epoch label bounds the storage needed even after
+//! transient faults, its sequence number orders writes within an epoch and
+//! the writer identifier breaks ties between concurrent writers — exactly the
+//! `⟨label, seqn, wid⟩` ordering the paper uses for view identifiers and
+//! shared-memory tags.
+
+use std::fmt;
+
+use counters::Counter;
+use simnet::ProcessId;
+
+/// The name of one multi-writer multi-reader register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegisterId(u64);
+
+impl RegisterId {
+    /// Creates a register identifier from its raw value.
+    pub fn new(raw: u64) -> Self {
+        RegisterId(raw)
+    }
+
+    /// The raw value of the identifier.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for RegisterId {
+    fn from(raw: u64) -> Self {
+        RegisterId(raw)
+    }
+}
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A register value together with the tag that orders it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedValue {
+    /// The ordering tag (`⟨label, seqn, wid⟩`).
+    pub tag: Counter,
+    /// The value written.
+    pub value: u64,
+}
+
+impl TaggedValue {
+    /// Creates a tagged value.
+    pub fn new(tag: Counter, value: u64) -> Self {
+        TaggedValue { tag, value }
+    }
+
+    /// Returns `true` when this value's tag is strictly newer than `other`'s.
+    pub fn newer_than(&self, other: &TaggedValue) -> bool {
+        other.tag.ct_less(&self.tag)
+    }
+
+    /// Returns the newer of two tagged values, preferring `self` when the
+    /// tags are equal or incomparable.
+    pub fn max(self, other: TaggedValue) -> TaggedValue {
+        if other.newer_than(&self) {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// Identifier of one read or write operation, unique across the system
+/// because it embeds the identifier of the invoking processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId {
+    /// The processor that invoked the operation.
+    pub origin: ProcessId,
+    /// The invocation's sequence number at that processor.
+    pub seq: u64,
+}
+
+impl OpId {
+    /// Creates an operation identifier.
+    pub fn new(origin: ProcessId, seq: u64) -> Self {
+        OpId { origin, seq }
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// What an operation does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Read the register and return its latest value.
+    Read,
+    /// Write `value` to the register.
+    Write {
+        /// The value to write.
+        value: u64,
+    },
+}
+
+impl OpKind {
+    /// Returns `true` for writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, OpKind::Write { .. })
+    }
+}
+
+/// The result of a completed (or abandoned) operation, reported through
+/// [`crate::SharedMemNode::take_completed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// A read completed; `value` is `None` when the register was never
+    /// written.
+    ReadCommitted {
+        /// The operation.
+        op: OpId,
+        /// The register read.
+        key: RegisterId,
+        /// The value found, if any.
+        value: Option<u64>,
+        /// The tag of the value found, if any.
+        tag: Option<Counter>,
+    },
+    /// A write completed with the given tag.
+    WriteCommitted {
+        /// The operation.
+        op: OpId,
+        /// The register written.
+        key: RegisterId,
+        /// The tag the write was ordered under.
+        tag: Counter,
+    },
+    /// The operation was aborted because a reconfiguration started while it
+    /// was in flight (the emulation is *suspending*, as the paper notes);
+    /// the caller may resubmit once the new configuration is installed.
+    Aborted {
+        /// The operation.
+        op: OpId,
+        /// The register targeted.
+        key: RegisterId,
+    },
+}
+
+impl OpOutcome {
+    /// The operation this outcome belongs to.
+    pub fn op(&self) -> OpId {
+        match self {
+            OpOutcome::ReadCommitted { op, .. }
+            | OpOutcome::WriteCommitted { op, .. }
+            | OpOutcome::Aborted { op, .. } => *op,
+        }
+    }
+
+    /// Returns `true` for committed (non-aborted) outcomes.
+    pub fn is_committed(&self) -> bool {
+        !matches!(self, OpOutcome::Aborted { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labels::Label;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn tag(seqn: u64, wid: u32) -> Counter {
+        Counter {
+            label: Label::genesis(pid(0)),
+            seqn,
+            wid: pid(wid),
+        }
+    }
+
+    #[test]
+    fn register_id_roundtrip_and_display() {
+        let r = RegisterId::new(7);
+        assert_eq!(r.as_u64(), 7);
+        assert_eq!(RegisterId::from(7u64), r);
+        assert_eq!(format!("{r}"), "r7");
+        assert!(RegisterId::new(1) < RegisterId::new(2));
+    }
+
+    #[test]
+    fn tagged_value_ordering_follows_tags() {
+        let old = TaggedValue::new(tag(1, 0), 10);
+        let new = TaggedValue::new(tag(2, 0), 20);
+        assert!(new.newer_than(&old));
+        assert!(!old.newer_than(&new));
+        assert_eq!(old.clone().max(new.clone()), new);
+        assert_eq!(new.clone().max(old.clone()), new);
+        // Same seqn: writer id breaks the tie.
+        let a = TaggedValue::new(tag(5, 1), 1);
+        let b = TaggedValue::new(tag(5, 2), 2);
+        assert!(b.newer_than(&a));
+    }
+
+    #[test]
+    fn equal_tags_are_not_newer_than_each_other() {
+        let a = TaggedValue::new(tag(3, 1), 1);
+        let b = TaggedValue::new(tag(3, 1), 1);
+        assert!(!a.newer_than(&b));
+        assert!(!b.newer_than(&a));
+        assert_eq!(a.clone().max(b.clone()), a);
+    }
+
+    #[test]
+    fn op_id_uniqueness_comes_from_origin_and_seq() {
+        let a = OpId::new(pid(1), 0);
+        let b = OpId::new(pid(2), 0);
+        let c = OpId::new(pid(1), 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(format!("{a}"), "p1#0");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let op = OpId::new(pid(3), 9);
+        let key = RegisterId::new(1);
+        let aborted = OpOutcome::Aborted { op, key };
+        assert_eq!(aborted.op(), op);
+        assert!(!aborted.is_committed());
+        let write = OpOutcome::WriteCommitted {
+            op,
+            key,
+            tag: tag(1, 3),
+        };
+        assert!(write.is_committed());
+        let read = OpOutcome::ReadCommitted {
+            op,
+            key,
+            value: None,
+            tag: None,
+        };
+        assert!(read.is_committed());
+        assert_eq!(read.op(), op);
+    }
+
+    #[test]
+    fn op_kind_classification() {
+        assert!(OpKind::Write { value: 3 }.is_write());
+        assert!(!OpKind::Read.is_write());
+    }
+}

@@ -1,0 +1,216 @@
+//! Scripted transient-fault adversaries.
+//!
+//! Self-stabilization quantifies over *arbitrary* starting states, which a
+//! test harness approximates by corrupting processor state and channel
+//! contents at chosen points of an execution. Which fields exist and how to
+//! corrupt them is protocol-specific, so the adversary is expressed as a
+//! script of closures over the whole [`Simulation`]: each action runs at its
+//! scheduled round (before the round executes) and may mutate any process
+//! (via [`Simulation::process_mut`]) or channel (via
+//! [`Simulation::network_mut`]).
+//!
+//! ```
+//! use simnet::{ScriptedFaults, Simulation, SimConfig, Process, Context, ProcessId, Round};
+//!
+//! #[derive(Debug, Default)]
+//! struct Holder { value: u64 }
+//! impl Process for Holder {
+//!     type Msg = ();
+//!     fn on_timer(&mut self, _ctx: &mut Context<'_, ()>) {}
+//!     fn on_message(&mut self, _f: ProcessId, _m: (), _ctx: &mut Context<'_, ()>) {}
+//! }
+//!
+//! let mut sim = Simulation::new(SimConfig::default());
+//! let victim = sim.add_process(Holder::default());
+//! let mut faults = ScriptedFaults::new();
+//! faults.at(Round::new(2), move |s: &mut Simulation<Holder>| {
+//!     s.process_mut(victim).unwrap().value = 999; // arbitrary corruption
+//! });
+//! faults.drive(&mut sim, 5);
+//! assert_eq!(sim.process(victim).unwrap().value, 999);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::process::Process;
+use crate::scheduler::Simulation;
+use crate::time::Round;
+
+/// One scheduled adversarial action.
+type Action<P> = Box<dyn FnMut(&mut Simulation<P>)>;
+
+/// A script of transient-fault injections keyed by round.
+pub struct ScriptedFaults<P: Process> {
+    actions: BTreeMap<Round, Vec<Action<P>>>,
+    applied: u64,
+}
+
+impl<P: Process> Default for ScriptedFaults<P> {
+    fn default() -> Self {
+        ScriptedFaults {
+            actions: BTreeMap::new(),
+            applied: 0,
+        }
+    }
+}
+
+impl<P: Process> fmt::Debug for ScriptedFaults<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScriptedFaults")
+            .field("scheduled_rounds", &self.actions.len())
+            .field(
+                "scheduled_actions",
+                &self.actions.values().map(Vec::len).sum::<usize>(),
+            )
+            .field("applied", &self.applied)
+            .finish()
+    }
+}
+
+impl<P: Process> ScriptedFaults<P> {
+    /// Creates an empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `action` to run just before round `round` executes.
+    pub fn at(&mut self, round: Round, action: impl FnMut(&mut Simulation<P>) + 'static) {
+        self.actions.entry(round).or_default().push(Box::new(action));
+    }
+
+    /// Number of actions applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Total number of scheduled actions (applied or not).
+    pub fn scheduled(&self) -> usize {
+        self.actions.values().map(Vec::len).sum()
+    }
+
+    /// Runs the actions scheduled for exactly `round`.
+    pub fn apply(&mut self, sim: &mut Simulation<P>, round: Round) {
+        if let Some(actions) = self.actions.get_mut(&round) {
+            for action in actions.iter_mut() {
+                action(sim);
+                self.applied += 1;
+            }
+        }
+    }
+
+    /// Convenience driver: runs `rounds` rounds of `sim`, applying the
+    /// scheduled actions before each round.
+    pub fn drive(&mut self, sim: &mut Simulation<P>, rounds: u64) {
+        for _ in 0..rounds {
+            let now = sim.now();
+            self.apply(sim, now);
+            sim.step_round();
+        }
+    }
+
+    /// Convenience driver with early exit: like [`ScriptedFaults::drive`] but
+    /// stops as soon as `done` returns `true` (checked after every round).
+    /// Returns the number of rounds executed.
+    pub fn drive_until(
+        &mut self,
+        sim: &mut Simulation<P>,
+        max_rounds: u64,
+        mut done: impl FnMut(&Simulation<P>) -> bool,
+    ) -> u64 {
+        for i in 0..max_rounds {
+            let now = sim.now();
+            self.apply(sim, now);
+            sim.step_round();
+            if done(sim) {
+                return i + 1;
+            }
+        }
+        max_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::process::{Context, ProcessId};
+
+    #[derive(Debug, Default)]
+    struct Echo {
+        value: u64,
+        received: u64,
+    }
+
+    impl Process for Echo {
+        type Msg = u64;
+        fn on_timer(&mut self, ctx: &mut Context<'_, u64>) {
+            for peer in ctx.peers() {
+                ctx.send(peer, self.value);
+            }
+        }
+        fn on_message(&mut self, _from: ProcessId, msg: u64, _ctx: &mut Context<'_, u64>) {
+            self.received += 1;
+            self.value = self.value.max(msg);
+        }
+    }
+
+    #[test]
+    fn actions_run_at_their_round_only() {
+        let mut sim: Simulation<Echo> =
+            Simulation::new(SimConfig::default().with_seed(1).with_max_delay(0));
+        let a = sim.add_process(Echo::default());
+        let mut faults: ScriptedFaults<Echo> = ScriptedFaults::new();
+        faults.at(Round::new(3), move |s| {
+            s.process_mut(a).unwrap().value = 42;
+        });
+        assert_eq!(faults.scheduled(), 1);
+        faults.drive(&mut sim, 2);
+        assert_eq!(sim.process(a).unwrap().value, 0);
+        assert_eq!(faults.applied(), 0);
+        faults.drive(&mut sim, 3);
+        assert_eq!(sim.process(a).unwrap().value, 42);
+        assert_eq!(faults.applied(), 1);
+    }
+
+    #[test]
+    fn corruption_spreads_and_system_keeps_running() {
+        let mut sim: Simulation<Echo> =
+            Simulation::new(SimConfig::default().with_seed(2).with_max_delay(0));
+        for _ in 0..4 {
+            sim.add_process(Echo::default());
+        }
+        let mut faults: ScriptedFaults<Echo> = ScriptedFaults::new();
+        faults.at(Round::new(1), |s: &mut Simulation<Echo>| {
+            s.process_mut(ProcessId::new(2)).unwrap().value = 7;
+        });
+        // Channel corruption: inject a stale packet out of thin air (the
+        // adversary may do this; the algorithms must cope).
+        faults.at(Round::new(1), |s: &mut Simulation<Echo>| {
+            s.network_mut().inject(ProcessId::new(0), ProcessId::new(1), 5);
+        });
+        let rounds = faults.drive_until(&mut sim, 50, |s| {
+            s.processes().all(|(_, p)| p.value == 7)
+        });
+        assert!(rounds < 50);
+        assert_eq!(faults.applied(), 2);
+    }
+
+    #[test]
+    fn multiple_actions_share_a_round() {
+        let mut sim: Simulation<Echo> =
+            Simulation::new(SimConfig::default().with_seed(3).with_max_delay(0));
+        let a = sim.add_process(Echo::default());
+        let b = sim.add_process(Echo::default());
+        let mut faults: ScriptedFaults<Echo> = ScriptedFaults::new();
+        faults.at(Round::ZERO, move |s: &mut Simulation<Echo>| {
+            s.process_mut(a).unwrap().value = 1;
+        });
+        faults.at(Round::ZERO, move |s: &mut Simulation<Echo>| {
+            s.process_mut(b).unwrap().value = 2;
+        });
+        faults.drive(&mut sim, 1);
+        assert_eq!(faults.applied(), 2);
+        assert!(format!("{faults:?}").contains("applied: 2"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Bounded-capacity, unreliable communication channels.
+//!
+//! Section 2 of the paper: links have a bounded capacity `cap`; packets may
+//! be lost, reordered or duplicated, but never created out of thin air
+//! (except that after a transient fault a channel may hold stale packets —
+//! modelled here through [`Channel::inject`]). Fair communication holds: a
+//! packet sent infinitely often is received infinitely often, which the
+//! probabilistic loss model guarantees with probability one for any loss
+//! probability below one.
+
+use std::collections::VecDeque;
+
+use crate::rng::SimRng;
+use crate::time::Round;
+
+/// Behavioural parameters of a channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelPolicy {
+    /// Maximum number of packets the channel can hold (`cap` in the paper).
+    pub capacity: usize,
+    /// Probability that a packet is dropped on send.
+    pub loss_probability: f64,
+    /// Probability that a packet is duplicated on send.
+    pub duplication_probability: f64,
+    /// Maximum extra delivery delay, in rounds, added uniformly at random.
+    pub max_delay_rounds: u64,
+    /// Whether ready packets may be delivered out of order.
+    pub reorder: bool,
+}
+
+impl Default for ChannelPolicy {
+    fn default() -> Self {
+        ChannelPolicy {
+            capacity: 16,
+            loss_probability: 0.0,
+            duplication_probability: 0.0,
+            max_delay_rounds: 1,
+            reorder: false,
+        }
+    }
+}
+
+/// A packet travelling through a channel together with its earliest delivery
+/// round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InFlight<M> {
+    /// The payload.
+    pub msg: M,
+    /// The first round at which the packet may be delivered.
+    pub ready_at: Round,
+}
+
+/// What happened to a packet handed to [`Channel::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The packet was placed in the channel.
+    Enqueued,
+    /// The packet was dropped by the lossy link.
+    Lost,
+    /// The packet was enqueued and a duplicate was enqueued as well.
+    Duplicated,
+    /// The channel was full; an old packet was evicted to make room
+    /// (the paper allows either the new or an old packet to be lost when the
+    /// capacity is exceeded).
+    EvictedOld,
+}
+
+/// A unidirectional channel between an ordered pair of processors.
+///
+/// ```
+/// use simnet::{Channel, ChannelPolicy, SimRng, Round};
+/// let mut ch: Channel<&'static str> = Channel::new(ChannelPolicy::default());
+/// let mut rng = SimRng::seed_from(1);
+/// ch.send("hello", Round::ZERO, &mut rng);
+/// let delivered = ch.drain_ready(Round::new(10), usize::MAX, &mut rng);
+/// assert_eq!(delivered, vec!["hello"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel<M> {
+    policy: ChannelPolicy,
+    queue: VecDeque<InFlight<M>>,
+}
+
+impl<M: Clone> Channel<M> {
+    /// Creates an empty channel with the given policy.
+    pub fn new(policy: ChannelPolicy) -> Self {
+        Channel {
+            policy,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Number of packets currently in flight.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` when no packet is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The channel policy.
+    pub fn policy(&self) -> &ChannelPolicy {
+        &self.policy
+    }
+
+    /// Sends a packet at round `now`, applying loss, duplication, bounded
+    /// capacity and random delay according to the policy.
+    pub fn send(&mut self, msg: M, now: Round, rng: &mut SimRng) -> SendOutcome {
+        if rng.chance(self.policy.loss_probability) {
+            return SendOutcome::Lost;
+        }
+        let duplicated = rng.chance(self.policy.duplication_probability);
+        let mut outcome = SendOutcome::Enqueued;
+        outcome = self.enqueue(msg.clone(), now, rng, outcome);
+        if duplicated {
+            outcome = self.enqueue(msg, now, rng, SendOutcome::Duplicated);
+            if outcome == SendOutcome::Duplicated {
+                return SendOutcome::Duplicated;
+            }
+        }
+        outcome
+    }
+
+    fn enqueue(&mut self, msg: M, now: Round, rng: &mut SimRng, ok: SendOutcome) -> SendOutcome {
+        let delay = if self.policy.max_delay_rounds == 0 {
+            0
+        } else {
+            rng.range_inclusive(0, self.policy.max_delay_rounds)
+        };
+        let packet = InFlight {
+            msg,
+            ready_at: now + delay,
+        };
+        if self.queue.len() >= self.policy.capacity {
+            // Bounded capacity: evict the oldest in-flight packet.
+            self.queue.pop_front();
+            self.queue.push_back(packet);
+            SendOutcome::EvictedOld
+        } else {
+            self.queue.push_back(packet);
+            ok
+        }
+    }
+
+    /// Places a packet directly into the channel, bypassing loss and delay.
+    ///
+    /// This models the *stale packets* a channel may contain after a
+    /// transient fault. The bounded capacity is still enforced.
+    pub fn inject(&mut self, msg: M) {
+        if self.queue.len() >= self.policy.capacity {
+            self.queue.pop_front();
+        }
+        self.queue.push_back(InFlight {
+            msg,
+            ready_at: Round::ZERO,
+        });
+    }
+
+    /// Removes and returns up to `limit` packets whose delivery round has
+    /// been reached. When the policy enables reordering, ready packets are
+    /// drawn in random order; otherwise FIFO order among ready packets is
+    /// preserved.
+    pub fn drain_ready(&mut self, now: Round, limit: usize, rng: &mut SimRng) -> Vec<M> {
+        let mut delivered = Vec::new();
+        while delivered.len() < limit {
+            let ready: Vec<usize> = self
+                .queue
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.ready_at <= now)
+                .map(|(i, _)| i)
+                .collect();
+            if ready.is_empty() {
+                break;
+            }
+            let pick = if self.policy.reorder {
+                *rng.choose(&ready).expect("ready is non-empty")
+            } else {
+                ready[0]
+            };
+            let packet = self.queue.remove(pick).expect("index is valid");
+            delivered.push(packet.msg);
+        }
+        delivered
+    }
+
+    /// Discards every packet in flight (used by the snap-stabilizing data
+    /// link's cleaning phase and by fault injection helpers).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Immutable view of the in-flight packets (used by tests and by the
+    /// white-box stale-information checks of the benchmark harness).
+    pub fn in_flight(&self) -> impl Iterator<Item = &InFlight<M>> {
+        self.queue.iter()
+    }
+
+    /// Mutable access to in-flight packets, allowing fault injectors to
+    /// corrupt channel contents in place.
+    pub fn in_flight_mut(&mut self) -> impl Iterator<Item = &mut InFlight<M>> {
+        self.queue.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(42)
+    }
+
+    #[test]
+    fn fifo_delivery_without_reordering() {
+        let mut ch = Channel::new(ChannelPolicy {
+            max_delay_rounds: 0,
+            ..ChannelPolicy::default()
+        });
+        let mut r = rng();
+        for i in 0..5u32 {
+            ch.send(i, Round::ZERO, &mut r);
+        }
+        let out = ch.drain_ready(Round::ZERO, usize::MAX, &mut r);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn delay_withholds_delivery_until_ready() {
+        let mut ch = Channel::new(ChannelPolicy {
+            max_delay_rounds: 5,
+            ..ChannelPolicy::default()
+        });
+        let mut r = rng();
+        ch.send(7u32, Round::ZERO, &mut r);
+        // Not necessarily ready at round 0, but must be ready by round 5.
+        let early = ch.drain_ready(Round::ZERO, usize::MAX, &mut r).len();
+        let late = ch.drain_ready(Round::new(5), usize::MAX, &mut r).len();
+        assert_eq!(early + late, 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let mut ch = Channel::new(ChannelPolicy {
+            capacity: 3,
+            max_delay_rounds: 0,
+            ..ChannelPolicy::default()
+        });
+        let mut r = rng();
+        for i in 0..10u32 {
+            ch.send(i, Round::ZERO, &mut r);
+        }
+        assert_eq!(ch.len(), 3);
+        let out = ch.drain_ready(Round::ZERO, usize::MAX, &mut r);
+        assert_eq!(out, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut ch = Channel::new(ChannelPolicy {
+            loss_probability: 1.0,
+            ..ChannelPolicy::default()
+        });
+        let mut r = rng();
+        for i in 0..10u32 {
+            assert_eq!(ch.send(i, Round::ZERO, &mut r), SendOutcome::Lost);
+        }
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn duplication_creates_two_copies() {
+        let mut ch = Channel::new(ChannelPolicy {
+            duplication_probability: 1.0,
+            max_delay_rounds: 0,
+            ..ChannelPolicy::default()
+        });
+        let mut r = rng();
+        ch.send(1u32, Round::ZERO, &mut r);
+        assert_eq!(ch.len(), 2);
+    }
+
+    #[test]
+    fn inject_bypasses_loss_and_delay() {
+        let mut ch = Channel::new(ChannelPolicy {
+            loss_probability: 1.0,
+            max_delay_rounds: 10,
+            ..ChannelPolicy::default()
+        });
+        let mut r = rng();
+        ch.inject(99u32);
+        let out = ch.drain_ready(Round::ZERO, usize::MAX, &mut r);
+        assert_eq!(out, vec![99]);
+    }
+
+    #[test]
+    fn reordering_still_delivers_every_packet() {
+        let mut ch = Channel::new(ChannelPolicy {
+            reorder: true,
+            max_delay_rounds: 0,
+            capacity: 64,
+            ..ChannelPolicy::default()
+        });
+        let mut r = rng();
+        for i in 0..20u32 {
+            ch.send(i, Round::ZERO, &mut r);
+        }
+        let mut out = ch.drain_ready(Round::ZERO, usize::MAX, &mut r);
+        out.sort_unstable();
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_limit_is_respected() {
+        let mut ch = Channel::new(ChannelPolicy {
+            max_delay_rounds: 0,
+            ..ChannelPolicy::default()
+        });
+        let mut r = rng();
+        for i in 0..6u32 {
+            ch.send(i, Round::ZERO, &mut r);
+        }
+        let first = ch.drain_ready(Round::ZERO, 2, &mut r);
+        assert_eq!(first, vec![0, 1]);
+        assert_eq!(ch.len(), 4);
+    }
+
+    #[test]
+    fn clear_discards_in_flight() {
+        let mut ch = Channel::new(ChannelPolicy::default());
+        let mut r = rng();
+        ch.send(1u32, Round::ZERO, &mut r);
+        ch.clear();
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn fair_communication_under_heavy_loss() {
+        // A packet retransmitted repeatedly over a very lossy link is
+        // eventually delivered: the probabilistic analogue of the paper's
+        // fair communication assumption.
+        let mut ch = Channel::new(ChannelPolicy {
+            loss_probability: 0.9,
+            max_delay_rounds: 0,
+            ..ChannelPolicy::default()
+        });
+        let mut r = rng();
+        let mut delivered = false;
+        for attempt in 0..1000u64 {
+            ch.send(1u32, Round::new(attempt), &mut r);
+            if !ch.drain_ready(Round::new(attempt), usize::MAX, &mut r).is_empty() {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The channel never exceeds its capacity and never invents packets.
+        #[test]
+        fn capacity_is_never_exceeded(
+            cap in 1usize..16,
+            sends in proptest::collection::vec(0u32..1000, 0..200),
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut ch = Channel::new(ChannelPolicy {
+                capacity: cap,
+                loss_probability: 0.1,
+                duplication_probability: 0.1,
+                max_delay_rounds: 2,
+                reorder: true,
+            });
+            let mut rng = SimRng::seed_from(seed);
+            let mut sent = std::collections::HashSet::new();
+            for (i, m) in sends.iter().enumerate() {
+                sent.insert(*m);
+                ch.send(*m, Round::new(i as u64), &mut rng);
+                prop_assert!(ch.len() <= cap);
+            }
+            let delivered = ch.drain_ready(Round::new(10_000), usize::MAX, &mut rng);
+            for m in delivered {
+                prop_assert!(sent.contains(&m), "channel created packet {m}");
+            }
+        }
+
+        /// Without loss, duplication or eviction pressure every packet sent is
+        /// eventually delivered exactly once.
+        #[test]
+        fn reliable_channel_delivers_exactly_once(
+            sends in proptest::collection::vec(0u32..1000, 0..64),
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut ch = Channel::new(ChannelPolicy {
+                capacity: 1024,
+                loss_probability: 0.0,
+                duplication_probability: 0.0,
+                max_delay_rounds: 3,
+                reorder: false,
+            });
+            let mut rng = SimRng::seed_from(seed);
+            for m in &sends {
+                ch.send(*m, Round::ZERO, &mut rng);
+            }
+            let delivered = ch.drain_ready(Round::new(100), usize::MAX, &mut rng);
+            prop_assert_eq!(delivered, sends);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Fault and churn injection helpers.
+//!
+//! Self-stabilization is about recovery from *transient faults* — an
+//! arbitrary starting state — combined with ordinary crash failures and
+//! churn. This module provides declarative schedules for crashes and joins
+//! plus a small injector that applies them from the scheduler hook
+//! ([`crate::Simulation::run_rounds_with`]). Arbitrary *state* corruption is
+//! protocol-specific, so it is performed by each protocol crate's test
+//! harness through [`crate::Simulation::process_mut`] and
+//! [`crate::Network::channel_mut`].
+
+use std::collections::BTreeMap;
+
+use crate::process::{Process, ProcessId};
+use crate::scheduler::Simulation;
+use crate::time::Round;
+
+/// A schedule of crash failures: which processors crash at which round.
+///
+/// ```
+/// use simnet::{CrashPlan, ProcessId, Round};
+/// let plan = CrashPlan::new()
+///     .crash_at(Round::new(5), ProcessId::new(2))
+///     .crash_at(Round::new(5), ProcessId::new(3));
+/// assert_eq!(plan.due(Round::new(5)).len(), 2);
+/// assert!(plan.due(Round::new(4)).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CrashPlan {
+    schedule: BTreeMap<Round, Vec<ProcessId>>,
+}
+
+impl CrashPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `victim` to crash at `round` (builder style).
+    pub fn crash_at(mut self, round: Round, victim: ProcessId) -> Self {
+        self.schedule.entry(round).or_default().push(victim);
+        self
+    }
+
+    /// Schedules a group of victims at `round`.
+    pub fn crash_all_at(mut self, round: Round, victims: impl IntoIterator<Item = ProcessId>) -> Self {
+        self.schedule.entry(round).or_default().extend(victims);
+        self
+    }
+
+    /// The victims scheduled for exactly `round`.
+    pub fn due(&self, round: Round) -> &[ProcessId] {
+        self.schedule
+            .get(&round)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total number of scheduled crashes.
+    pub fn total(&self) -> usize {
+        self.schedule.values().map(Vec::len).sum()
+    }
+
+    /// Applies the crashes due at `round` to the simulation.
+    pub fn apply<P: Process>(&self, sim: &mut Simulation<P>, round: Round) {
+        for victim in self.due(round) {
+            sim.crash(*victim);
+        }
+    }
+}
+
+/// A schedule of joins: how many new processors join at which round.
+///
+/// The caller supplies a factory closure when applying the plan, because only
+/// the protocol harness knows how to construct a freshly joining node.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnPlan {
+    joins: BTreeMap<Round, u32>,
+}
+
+impl ChurnPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `count` joins at `round` (builder style).
+    pub fn join_at(mut self, round: Round, count: u32) -> Self {
+        *self.joins.entry(round).or_insert(0) += count;
+        self
+    }
+
+    /// Number of joins due at exactly `round`.
+    pub fn due(&self, round: Round) -> u32 {
+        self.joins.get(&round).copied().unwrap_or(0)
+    }
+
+    /// Total number of scheduled joins.
+    pub fn total(&self) -> u32 {
+        self.joins.values().sum()
+    }
+
+    /// Applies the joins due at `round`, constructing each new process with
+    /// `factory` (which receives the identifier the simulation assigned).
+    /// Returns the identifiers of the processors that joined.
+    pub fn apply<P: Process>(
+        &self,
+        sim: &mut Simulation<P>,
+        round: Round,
+        mut factory: impl FnMut(ProcessId) -> P,
+    ) -> Vec<ProcessId> {
+        let mut joined = Vec::new();
+        for _ in 0..self.due(round) {
+            // Reserve the identifier first so the factory can embed it.
+            let id = ProcessId::new(sim.ids().iter().map(|p| p.as_u32() + 1).max().unwrap_or(0));
+            let process = factory(id);
+            sim.add_process_with_id(id, process);
+            joined.push(id);
+        }
+        joined
+    }
+}
+
+/// Bundles a crash plan and a churn plan and applies both at the start of
+/// each round.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    crashes: CrashPlan,
+    churn: ChurnPlan,
+}
+
+impl FaultInjector {
+    /// Creates an injector from the two plans.
+    pub fn new(crashes: CrashPlan, churn: ChurnPlan) -> Self {
+        FaultInjector { crashes, churn }
+    }
+
+    /// Creates an injector with only a crash plan.
+    pub fn crashes_only(crashes: CrashPlan) -> Self {
+        FaultInjector {
+            crashes,
+            churn: ChurnPlan::default(),
+        }
+    }
+
+    /// The crash plan.
+    pub fn crash_plan(&self) -> &CrashPlan {
+        &self.crashes
+    }
+
+    /// The churn plan.
+    pub fn churn_plan(&self) -> &ChurnPlan {
+        &self.churn
+    }
+
+    /// Applies both plans for `round`; new processes are built by `factory`.
+    pub fn apply<P: Process>(
+        &self,
+        sim: &mut Simulation<P>,
+        round: Round,
+        factory: impl FnMut(ProcessId) -> P,
+    ) -> Vec<ProcessId> {
+        self.crashes.apply(sim, round);
+        self.churn.apply(sim, round, factory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::process::Context;
+
+    #[derive(Debug, Default)]
+    struct Idle;
+    impl Process for Idle {
+        type Msg = ();
+        fn on_timer(&mut self, _ctx: &mut Context<'_, ()>) {}
+        fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Context<'_, ()>) {}
+    }
+
+    #[test]
+    fn crash_plan_applies_at_scheduled_round() {
+        let mut sim: Simulation<Idle> = Simulation::new(SimConfig::default());
+        for _ in 0..4 {
+            sim.add_process(Idle);
+        }
+        let plan = CrashPlan::new()
+            .crash_at(Round::new(2), ProcessId::new(0))
+            .crash_all_at(Round::new(3), [ProcessId::new(1), ProcessId::new(2)]);
+        assert_eq!(plan.total(), 3);
+        sim.run_rounds_with(5, |s| {
+            let now = s.now();
+            plan.apply(s, now);
+        });
+        assert_eq!(sim.active_ids(), vec![ProcessId::new(3)]);
+    }
+
+    #[test]
+    fn churn_plan_adds_processes() {
+        let mut sim: Simulation<Idle> = Simulation::new(SimConfig::default());
+        sim.add_process(Idle);
+        let plan = ChurnPlan::new().join_at(Round::new(1), 2).join_at(Round::new(3), 1);
+        assert_eq!(plan.total(), 3);
+        let mut joined = Vec::new();
+        sim.run_rounds_with(5, |s| {
+            let now = s.now();
+            joined.extend(plan.apply(s, now, |_| Idle));
+        });
+        assert_eq!(joined.len(), 3);
+        assert_eq!(sim.ids().len(), 4);
+    }
+
+    #[test]
+    fn fault_injector_combines_plans() {
+        let mut sim: Simulation<Idle> = Simulation::new(SimConfig::default());
+        for _ in 0..2 {
+            sim.add_process(Idle);
+        }
+        let injector = FaultInjector::new(
+            CrashPlan::new().crash_at(Round::new(1), ProcessId::new(0)),
+            ChurnPlan::new().join_at(Round::new(2), 1),
+        );
+        sim.run_rounds_with(4, |s| {
+            let now = s.now();
+            injector.apply(s, now, |_| Idle);
+        });
+        assert!(!sim.is_active(ProcessId::new(0)));
+        assert_eq!(sim.ids().len(), 3);
+        assert_eq!(injector.crash_plan().total(), 1);
+        assert_eq!(injector.churn_plan().total(), 1);
+    }
+
+    #[test]
+    fn empty_plans_are_noops() {
+        let mut sim: Simulation<Idle> = Simulation::new(SimConfig::default());
+        sim.add_process(Idle);
+        let injector = FaultInjector::default();
+        sim.run_rounds_with(3, |s| {
+            let now = s.now();
+            injector.apply(s, now, |_| Idle);
+        });
+        assert_eq!(sim.ids().len(), 1);
+        assert!(sim.is_active(ProcessId::new(0)));
+    }
+}

@@ -1,0 +1,245 @@
+//! A small fixed-storage histogram for experiment statistics.
+//!
+//! The benchmark harness measures distributions — rounds to converge, label
+//! creations, spurious triggerings — across many seeds. [`Histogram`]
+//! accumulates `u64` samples and reports count, min, max, mean and arbitrary
+//! percentiles without external dependencies.
+//!
+//! ```
+//! use simnet::Histogram;
+//! let mut h = Histogram::new();
+//! for v in [5u64, 1, 9, 7, 3] {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 5);
+//! assert_eq!(h.min(), Some(1));
+//! assert_eq!(h.max(), Some(9));
+//! assert_eq!(h.percentile(50.0), Some(5));
+//! ```
+
+use std::fmt;
+
+/// An accumulating sample set with summary statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Records every sample of an iterator.
+    pub fn record_all(&mut self, values: impl IntoIterator<Item = u64>) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum() as f64 / self.samples.len() as f64)
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank method), `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a finite value in `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        assert!(
+            p.is_finite() && (0.0..=100.0).contains(&p),
+            "percentile must be in [0, 100]"
+        );
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.saturating_sub(1).min(self.samples.len() - 1);
+        Some(self.samples[idx])
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&mut self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// A one-line summary (`n / min / mean / p50 / p95 / max`) for printing
+    /// in benchmark reports.
+    pub fn summary(&mut self) -> String {
+        if self.is_empty() {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} min={} mean={:.1} p50={} p95={} max={}",
+            self.count(),
+            self.min().unwrap(),
+            self.mean().unwrap(),
+            self.percentile(50.0).unwrap(),
+            self.percentile(95.0).unwrap(),
+            self.max().unwrap()
+        )
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.record_all(iter);
+        h
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        self.record_all(iter);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut copy = self.clone();
+        write!(f, "{}", copy.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.median(), None);
+        assert_eq!(h.summary(), "n=0");
+    }
+
+    #[test]
+    fn statistics_match_hand_computed_values() {
+        let mut h: Histogram = [10u64, 20, 30, 40].into_iter().collect();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(40));
+        assert_eq!(h.sum(), 100);
+        assert_eq!(h.mean(), Some(25.0));
+        assert_eq!(h.percentile(50.0), Some(20));
+        assert_eq!(h.percentile(100.0), Some(40));
+        assert_eq!(h.percentile(0.0), Some(10));
+    }
+
+    #[test]
+    fn recording_after_a_percentile_query_stays_correct() {
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.median(), Some(5));
+        h.record(1);
+        h.record(9);
+        assert_eq!(h.median(), Some(5));
+        assert_eq!(h.max(), Some(9));
+    }
+
+    #[test]
+    fn extend_and_display() {
+        let mut h = Histogram::new();
+        h.extend([3u64, 1, 2]);
+        let text = format!("{h}");
+        assert!(text.contains("n=3"));
+        assert!(text.contains("min=1"));
+        assert!(text.contains("max=3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics() {
+        let mut h: Histogram = [1u64].into_iter().collect();
+        let _ = h.percentile(150.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h: Histogram = [42u64].into_iter().collect();
+        assert_eq!(h.percentile(1.0), Some(42));
+        assert_eq!(h.percentile(50.0), Some(42));
+        assert_eq!(h.percentile(99.0), Some(42));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Percentiles are monotone in `p` and bounded by min/max.
+        #[test]
+        fn percentiles_are_monotone(
+            samples in proptest::collection::vec(0u64..10_000, 1..200),
+            p1 in 0.0f64..100.0,
+            p2 in 0.0f64..100.0,
+        ) {
+            let mut h: Histogram = samples.iter().copied().collect();
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let a = h.percentile(lo).unwrap();
+            let b = h.percentile(hi).unwrap();
+            prop_assert!(a <= b);
+            prop_assert!(h.min().unwrap() <= a);
+            prop_assert!(b <= h.max().unwrap());
+        }
+
+        /// The mean always lies between min and max.
+        #[test]
+        fn mean_is_bounded(samples in proptest::collection::vec(0u64..10_000, 1..200)) {
+            let h: Histogram = samples.iter().copied().collect();
+            let mean = h.mean().unwrap();
+            prop_assert!(h.min().unwrap() as f64 <= mean + 1e-9);
+            prop_assert!(mean <= h.max().unwrap() as f64 + 1e-9);
+        }
+    }
+}

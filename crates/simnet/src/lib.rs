@@ -1,0 +1,80 @@
+//! # simnet — deterministic simulation of the paper's system model
+//!
+//! This crate implements the execution environment assumed by
+//! *Self-Stabilizing Reconfiguration* (Dolev, Georgiou, Marcoullis, Schiller;
+//! MIDDLEWARE 2016, technical report arXiv:1606.00195): an asynchronous,
+//! fully connected message-passing system of processors with
+//!
+//! * bounded-capacity communication channels that may **lose, duplicate and
+//!   reorder** packets (but never create them), satisfying *fair
+//!   communication* — a packet that is sent infinitely often is received
+//!   infinitely often;
+//! * **crash-stop** failures, **joins** of new processors, and — because the
+//!   algorithms are self-stabilizing — **transient faults** that corrupt the
+//!   local state of processors and the content of channels arbitrarily;
+//! * the **interleaving model**: at most one atomic step executes at a time,
+//!   each step being a local computation followed by a single send or
+//!   receive.
+//!
+//! The simulator is deterministic given a seed, which makes every experiment
+//! in the benchmark harness reproducible.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use simnet::{Simulation, SimConfig, Process, Context, ProcessId};
+//!
+//! /// A process that floods a counter value and adopts the maximum it hears.
+//! #[derive(Debug, Default)]
+//! struct MaxFlood { value: u64 }
+//!
+//! impl Process for MaxFlood {
+//!     type Msg = u64;
+//!     fn on_timer(&mut self, ctx: &mut Context<'_, u64>) {
+//!         for peer in ctx.peers() {
+//!             ctx.send(peer, self.value);
+//!         }
+//!     }
+//!     fn on_message(&mut self, _from: ProcessId, msg: u64, _ctx: &mut Context<'_, u64>) {
+//!         self.value = self.value.max(msg);
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(SimConfig::default().with_seed(7));
+//! for v in [3u64, 9, 1, 4] {
+//!     sim.add_process(MaxFlood { value: v });
+//! }
+//! sim.run_rounds(20);
+//! assert!(sim.processes().all(|(_, p)| p.value == 9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod channel;
+pub mod config;
+pub mod fault;
+pub mod histogram;
+pub mod metrics;
+pub mod network;
+pub mod partition;
+pub mod process;
+pub mod rng;
+pub mod scheduler;
+pub mod time;
+pub mod trace;
+
+pub use adversary::ScriptedFaults;
+pub use channel::{Channel, ChannelPolicy, InFlight};
+pub use config::SimConfig;
+pub use fault::{ChurnPlan, CrashPlan, FaultInjector};
+pub use histogram::Histogram;
+pub use metrics::Metrics;
+pub use network::Network;
+pub use partition::PartitionPlan;
+pub use process::{Context, Process, ProcessId, ProcessStatus};
+pub use rng::SimRng;
+pub use scheduler::Simulation;
+pub use time::Round;
+pub use trace::{Trace, TraceEvent};

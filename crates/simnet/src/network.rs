@@ -1,0 +1,329 @@
+//! The fully connected network: one [`Channel`] per ordered pair of
+//! processors.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::channel::{Channel, ChannelPolicy, SendOutcome};
+use crate::metrics::Metrics;
+use crate::process::ProcessId;
+use crate::rng::SimRng;
+use crate::time::Round;
+
+/// The collection of unidirectional channels between every ordered pair of
+/// processors. Channels are created lazily when first used, so the network
+/// grows as processors join.
+///
+/// Individual links can be *blocked* to model network partitions: packets
+/// sent over a blocked link are silently dropped (and counted as lost) until
+/// the link is unblocked. Packets already in flight when the link is blocked
+/// stay in the channel and are delivered once the partition heals, matching
+/// the paper's model in which channels keep their (bounded) contents across
+/// connectivity changes.
+#[derive(Debug, Clone)]
+pub struct Network<M> {
+    policy: ChannelPolicy,
+    channels: BTreeMap<(ProcessId, ProcessId), Channel<M>>,
+    blocked: BTreeSet<(ProcessId, ProcessId)>,
+}
+
+impl<M: Clone> Network<M> {
+    /// Creates an empty network whose channels all follow `policy`.
+    pub fn new(policy: ChannelPolicy) -> Self {
+        Network {
+            policy,
+            channels: BTreeMap::new(),
+            blocked: BTreeSet::new(),
+        }
+    }
+
+    /// The shared channel policy.
+    pub fn policy(&self) -> &ChannelPolicy {
+        &self.policy
+    }
+
+    /// Blocks the unidirectional link `from → to`: subsequent sends over it
+    /// are dropped until [`Network::unblock_link`] (or
+    /// [`Network::heal_all_links`]) is called.
+    pub fn block_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Unblocks the unidirectional link `from → to`.
+    pub fn unblock_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.blocked.remove(&(from, to));
+    }
+
+    /// Returns `true` while the link `from → to` is blocked.
+    pub fn is_blocked(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.blocked.contains(&(from, to))
+    }
+
+    /// Blocks both directions between every pair of processors that belong to
+    /// *different* groups, creating a network partition. Processors that
+    /// appear in none of the groups keep full connectivity.
+    pub fn split_into(&mut self, groups: &[Vec<ProcessId>]) {
+        for (gi, ga) in groups.iter().enumerate() {
+            for (gj, gb) in groups.iter().enumerate() {
+                if gi == gj {
+                    continue;
+                }
+                for a in ga {
+                    for b in gb {
+                        self.blocked.insert((*a, *b));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes every blocked link, healing all partitions.
+    pub fn heal_all_links(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Number of currently blocked unidirectional links.
+    pub fn blocked_link_count(&self) -> usize {
+        self.blocked.len()
+    }
+
+    fn channel_entry(&mut self, from: ProcessId, to: ProcessId) -> &mut Channel<M> {
+        let policy = self.policy.clone();
+        self.channels
+            .entry((from, to))
+            .or_insert_with(|| Channel::new(policy))
+    }
+
+    /// Sends `msg` from `from` to `to` at round `now`, recording the outcome
+    /// in `metrics`.
+    pub fn send(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        now: Round,
+        rng: &mut SimRng,
+        metrics: &mut Metrics,
+    ) {
+        if self.blocked.contains(&(from, to)) {
+            metrics.record_send(SendOutcome::Lost);
+            return;
+        }
+        let outcome = self.channel_entry(from, to).send(msg, now, rng);
+        metrics.record_send(outcome);
+    }
+
+    /// Drains up to `limit` deliverable packets addressed to `to`, across all
+    /// of its incoming channels, in a random interleaving of senders.
+    ///
+    /// Returns `(from, msg)` pairs.
+    pub fn deliver_to(
+        &mut self,
+        to: ProcessId,
+        now: Round,
+        limit: usize,
+        rng: &mut SimRng,
+        metrics: &mut Metrics,
+    ) -> Vec<(ProcessId, M)> {
+        let mut senders: Vec<ProcessId> = self
+            .channels
+            .iter()
+            .filter(|((_, dst), ch)| *dst == to && !ch.is_empty())
+            .map(|((src, _), _)| *src)
+            .collect();
+        rng.shuffle(&mut senders);
+        let mut delivered = Vec::new();
+        for from in senders {
+            if delivered.len() >= limit {
+                break;
+            }
+            let remaining = limit - delivered.len();
+            if let Some(ch) = self.channels.get_mut(&(from, to)) {
+                for msg in ch.drain_ready(now, remaining, rng) {
+                    metrics.record_delivery();
+                    delivered.push((from, msg));
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Places a packet directly into the channel `from → to`, bypassing the
+    /// loss/delay model. Models stale channel contents after a transient
+    /// fault.
+    pub fn inject(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        self.channel_entry(from, to).inject(msg);
+    }
+
+    /// Discards every packet in flight on the channel `from → to`.
+    pub fn clear_channel(&mut self, from: ProcessId, to: ProcessId) {
+        if let Some(ch) = self.channels.get_mut(&(from, to)) {
+            ch.clear();
+        }
+    }
+
+    /// Discards every packet in flight anywhere in the network.
+    pub fn clear_all(&mut self) {
+        for ch in self.channels.values_mut() {
+            ch.clear();
+        }
+    }
+
+    /// Total number of packets in flight across all channels.
+    pub fn in_flight_total(&self) -> usize {
+        self.channels.values().map(Channel::len).sum()
+    }
+
+    /// Immutable access to the channel `from → to`, if it exists.
+    pub fn channel(&self, from: ProcessId, to: ProcessId) -> Option<&Channel<M>> {
+        self.channels.get(&(from, to))
+    }
+
+    /// Mutable access to the channel `from → to`, creating it if necessary.
+    /// Exposed so fault injectors and white-box tests can corrupt channel
+    /// contents.
+    pub fn channel_mut(&mut self, from: ProcessId, to: ProcessId) -> &mut Channel<M> {
+        self.channel_entry(from, to)
+    }
+
+    /// Iterates over all `(from, to)` pairs that currently have a channel.
+    pub fn links(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        self.channels.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u32) -> Vec<ProcessId> {
+        (0..n).map(ProcessId::new).collect()
+    }
+
+    fn reliable() -> ChannelPolicy {
+        ChannelPolicy {
+            max_delay_rounds: 0,
+            ..ChannelPolicy::default()
+        }
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let p = ids(3);
+        let mut net: Network<u32> = Network::new(reliable());
+        let mut rng = SimRng::seed_from(1);
+        let mut metrics = Metrics::default();
+        net.send(p[0], p[1], 10, Round::ZERO, &mut rng, &mut metrics);
+        net.send(p[2], p[1], 20, Round::ZERO, &mut rng, &mut metrics);
+        let mut got = net.deliver_to(p[1], Round::ZERO, usize::MAX, &mut rng, &mut metrics);
+        got.sort();
+        assert_eq!(got, vec![(p[0], 10), (p[2], 20)]);
+        assert_eq!(metrics.messages_delivered(), 2);
+        // Nothing was addressed to p0.
+        assert!(net
+            .deliver_to(p[0], Round::ZERO, usize::MAX, &mut rng, &mut metrics)
+            .is_empty());
+    }
+
+    #[test]
+    fn channels_are_directional() {
+        let p = ids(2);
+        let mut net: Network<u32> = Network::new(reliable());
+        let mut rng = SimRng::seed_from(2);
+        let mut metrics = Metrics::default();
+        net.send(p[0], p[1], 5, Round::ZERO, &mut rng, &mut metrics);
+        assert!(net
+            .deliver_to(p[0], Round::ZERO, usize::MAX, &mut rng, &mut metrics)
+            .is_empty());
+        assert_eq!(
+            net.deliver_to(p[1], Round::ZERO, usize::MAX, &mut rng, &mut metrics),
+            vec![(p[0], 5)]
+        );
+    }
+
+    #[test]
+    fn inject_and_clear() {
+        let p = ids(2);
+        let mut net: Network<u32> = Network::new(reliable());
+        let mut rng = SimRng::seed_from(3);
+        let mut metrics = Metrics::default();
+        net.inject(p[0], p[1], 77);
+        assert_eq!(net.in_flight_total(), 1);
+        net.clear_channel(p[0], p[1]);
+        assert_eq!(net.in_flight_total(), 0);
+        net.inject(p[0], p[1], 77);
+        net.inject(p[1], p[0], 88);
+        net.clear_all();
+        assert_eq!(net.in_flight_total(), 0);
+        assert!(net
+            .deliver_to(p[1], Round::new(5), usize::MAX, &mut rng, &mut metrics)
+            .is_empty());
+    }
+
+    #[test]
+    fn delivery_limit_applies_across_senders() {
+        let p = ids(4);
+        let mut net: Network<u32> = Network::new(reliable());
+        let mut rng = SimRng::seed_from(4);
+        let mut metrics = Metrics::default();
+        for (i, src) in [p[0], p[1], p[2]].iter().enumerate() {
+            net.send(*src, p[3], i as u32, Round::ZERO, &mut rng, &mut metrics);
+        }
+        let got = net.deliver_to(p[3], Round::ZERO, 2, &mut rng, &mut metrics);
+        assert_eq!(got.len(), 2);
+        assert_eq!(net.in_flight_total(), 1);
+    }
+
+    #[test]
+    fn blocked_link_drops_new_sends_but_keeps_in_flight() {
+        let p = ids(2);
+        let mut net: Network<u32> = Network::new(reliable());
+        let mut rng = SimRng::seed_from(6);
+        let mut metrics = Metrics::default();
+        // A packet already in flight before the partition survives it.
+        net.send(p[0], p[1], 1, Round::ZERO, &mut rng, &mut metrics);
+        net.block_link(p[0], p[1]);
+        assert!(net.is_blocked(p[0], p[1]));
+        net.send(p[0], p[1], 2, Round::ZERO, &mut rng, &mut metrics);
+        assert_eq!(metrics.messages_lost(), 1);
+        assert_eq!(net.in_flight_total(), 1);
+        // The reverse direction is unaffected.
+        net.send(p[1], p[0], 3, Round::ZERO, &mut rng, &mut metrics);
+        assert_eq!(net.in_flight_total(), 2);
+        net.unblock_link(p[0], p[1]);
+        net.send(p[0], p[1], 4, Round::ZERO, &mut rng, &mut metrics);
+        let mut got = net.deliver_to(p[1], Round::ZERO, usize::MAX, &mut rng, &mut metrics);
+        got.sort();
+        assert_eq!(got, vec![(p[0], 1), (p[0], 4)]);
+    }
+
+    #[test]
+    fn split_into_blocks_cross_group_links_both_ways() {
+        let p = ids(5);
+        let mut net: Network<u32> = Network::new(reliable());
+        net.split_into(&[vec![p[0], p[1]], vec![p[2], p[3]]]);
+        // 2 × 2 pairs × both directions = 8 blocked links.
+        assert_eq!(net.blocked_link_count(), 8);
+        assert!(net.is_blocked(p[0], p[2]));
+        assert!(net.is_blocked(p[2], p[0]));
+        // Intra-group links stay open, and p4 (in no group) talks to everyone.
+        assert!(!net.is_blocked(p[0], p[1]));
+        assert!(!net.is_blocked(p[4], p[0]));
+        assert!(!net.is_blocked(p[2], p[4]));
+        net.heal_all_links();
+        assert_eq!(net.blocked_link_count(), 0);
+        assert!(!net.is_blocked(p[0], p[2]));
+    }
+
+    #[test]
+    fn links_lists_created_channels() {
+        let p = ids(2);
+        let mut net: Network<u32> = Network::new(reliable());
+        let mut rng = SimRng::seed_from(5);
+        let mut metrics = Metrics::default();
+        net.send(p[0], p[1], 1, Round::ZERO, &mut rng, &mut metrics);
+        let links: Vec<_> = net.links().collect();
+        assert_eq!(links, vec![(p[0], p[1])]);
+        assert!(net.channel(p[0], p[1]).is_some());
+        assert!(net.channel(p[1], p[0]).is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Declarative network-partition schedules.
+//!
+//! The paper's channels never disappear, but transient faults and violated
+//! churn assumptions can leave parts of the system unable to talk to each
+//! other for a while. [`PartitionPlan`] schedules *splits* (groups of
+//! processors that lose mutual connectivity) and *heals* at specific rounds
+//! and applies them from the scheduler hook
+//! ([`crate::Simulation::run_rounds_with`]), in the same declarative style as
+//! [`crate::CrashPlan`] and [`crate::ChurnPlan`].
+//!
+//! ```
+//! use simnet::{PartitionPlan, ProcessId, Round};
+//! let p: Vec<ProcessId> = (0..4).map(ProcessId::new).collect();
+//! let plan = PartitionPlan::new()
+//!     .split_at(Round::new(10), vec![vec![p[0], p[1]], vec![p[2], p[3]]])
+//!     .heal_at(Round::new(50));
+//! assert!(plan.splits_due(Round::new(10)).next().is_some());
+//! assert!(plan.heals_at(Round::new(50)));
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::process::{Process, ProcessId};
+use crate::scheduler::Simulation;
+use crate::time::Round;
+
+/// A schedule of network splits and heals.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionPlan {
+    splits: BTreeMap<Round, Vec<Vec<Vec<ProcessId>>>>,
+    heals: BTreeSet<Round>,
+}
+
+impl PartitionPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a split into `groups` at `round` (builder style). Processors
+    /// in different groups lose connectivity in both directions; processors
+    /// mentioned in no group are unaffected.
+    pub fn split_at(mut self, round: Round, groups: Vec<Vec<ProcessId>>) -> Self {
+        self.splits.entry(round).or_default().push(groups);
+        self
+    }
+
+    /// Schedules a full heal (unblocking every link) at `round`.
+    pub fn heal_at(mut self, round: Round) -> Self {
+        self.heals.insert(round);
+        self
+    }
+
+    /// The splits scheduled for exactly `round`.
+    pub fn splits_due(&self, round: Round) -> impl Iterator<Item = &Vec<Vec<ProcessId>>> {
+        self.splits.get(&round).into_iter().flatten()
+    }
+
+    /// Returns `true` when a heal is scheduled for exactly `round`.
+    pub fn heals_at(&self, round: Round) -> bool {
+        self.heals.contains(&round)
+    }
+
+    /// Total number of scheduled split events.
+    pub fn total_splits(&self) -> usize {
+        self.splits.values().map(Vec::len).sum()
+    }
+
+    /// Applies the events due at `round` to the simulation. Heals are applied
+    /// before splits so that a heal and a split scheduled for the same round
+    /// leave exactly the new split in place.
+    pub fn apply<P: Process>(&self, sim: &mut Simulation<P>, round: Round) {
+        if self.heals_at(round) {
+            sim.network_mut().heal_all_links();
+        }
+        for groups in self.splits_due(round) {
+            sim.network_mut().split_into(groups);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::process::Context;
+
+    /// Gossip process used to observe whether information crosses a cut.
+    #[derive(Debug)]
+    struct Gossip {
+        value: u64,
+    }
+
+    impl Process for Gossip {
+        type Msg = u64;
+        fn on_timer(&mut self, ctx: &mut Context<'_, u64>) {
+            for peer in ctx.peers() {
+                ctx.send(peer, self.value);
+            }
+        }
+        fn on_message(&mut self, _from: ProcessId, msg: u64, _ctx: &mut Context<'_, u64>) {
+            self.value = self.value.max(msg);
+        }
+    }
+
+    #[test]
+    fn builder_records_events() {
+        let plan = PartitionPlan::new()
+            .split_at(Round::new(1), vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]])
+            .split_at(Round::new(1), vec![vec![ProcessId::new(2)], vec![ProcessId::new(3)]])
+            .heal_at(Round::new(9));
+        assert_eq!(plan.total_splits(), 2);
+        assert_eq!(plan.splits_due(Round::new(1)).count(), 2);
+        assert_eq!(plan.splits_due(Round::new(2)).count(), 0);
+        assert!(plan.heals_at(Round::new(9)));
+        assert!(!plan.heals_at(Round::new(8)));
+    }
+
+    #[test]
+    fn partition_prevents_cross_group_gossip_until_healed() {
+        let mut sim: Simulation<Gossip> =
+            Simulation::new(SimConfig::default().with_seed(1).with_max_delay(0));
+        for v in [1u64, 2, 3, 100] {
+            sim.add_process(Gossip { value: v });
+        }
+        let group_a = vec![ProcessId::new(0), ProcessId::new(1)];
+        let group_b = vec![ProcessId::new(2), ProcessId::new(3)];
+        let plan = PartitionPlan::new()
+            .split_at(Round::ZERO, vec![group_a, group_b])
+            .heal_at(Round::new(10));
+        sim.run_rounds_with(8, |s| {
+            let now = s.now();
+            plan.apply(s, now);
+        });
+        // While partitioned, the large value stays on its side of the cut.
+        assert_eq!(sim.process(ProcessId::new(0)).unwrap().value, 2);
+        assert_eq!(sim.process(ProcessId::new(3)).unwrap().value, 100);
+        sim.run_rounds_with(10, |s| {
+            let now = s.now();
+            plan.apply(s, now);
+        });
+        // After the heal, everyone learns the maximum.
+        for (_, p) in sim.processes() {
+            assert_eq!(p.value, 100);
+        }
+    }
+
+    #[test]
+    fn heal_and_split_at_same_round_leave_new_split() {
+        let mut sim: Simulation<Gossip> =
+            Simulation::new(SimConfig::default().with_seed(2).with_max_delay(0));
+        for v in [1u64, 2, 3] {
+            sim.add_process(Gossip { value: v });
+        }
+        let plan = PartitionPlan::new()
+            .split_at(Round::ZERO, vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]])
+            .heal_at(Round::new(3))
+            .split_at(Round::new(3), vec![vec![ProcessId::new(1)], vec![ProcessId::new(2)]]);
+        sim.run_rounds_with(4, |s| {
+            let now = s.now();
+            plan.apply(s, now);
+        });
+        let net = sim.network();
+        assert!(!net.is_blocked(ProcessId::new(0), ProcessId::new(1)));
+        assert!(net.is_blocked(ProcessId::new(1), ProcessId::new(2)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Deterministic randomness for the simulator.
+//!
+//! Every random decision of a simulation (packet loss, duplication, delays,
+//! scheduling order, fault injection) is drawn from a single [`SimRng`]
+//! seeded by [`crate::SimConfig::with_seed`], so that an execution is fully
+//! reproducible from its seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seedable, deterministic random number generator used throughout the
+/// simulator.
+///
+/// `SimRng` wraps [`rand::rngs::StdRng`] and adds the small set of helpers
+/// the scheduler and channel model need. It implements [`RngCore`], so it can
+/// be passed to any `rand` API.
+///
+/// ```
+/// use simnet::SimRng;
+/// use rand::RngCore;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Splits off an independent generator, e.g. for a fault injector that
+    /// must not perturb the scheduler's random stream.
+    pub fn split(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.gen())
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// Uniformly samples an index in `0..len`. Returns `None` for `len == 0`.
+    pub fn index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some(self.inner.gen_range(0..len))
+        }
+    }
+
+    /// Uniformly samples a value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive called with lo > hi");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        if items.len() < 2 {
+            return;
+        }
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of the slice, if any.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        self.index(items.len()).map(|i| &items[i])
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(1);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..16).all(|_| a.next_u64() == b.next_u64());
+        assert!(!same);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = SimRng::seed_from(4);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn index_handles_empty() {
+        let mut rng = SimRng::seed_from(5);
+        assert_eq!(rng.index(0), None);
+        let i = rng.index(10).unwrap();
+        assert!(i < 10);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(6);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_parent_consumption() {
+        let mut parent = SimRng::seed_from(7);
+        let mut child = parent.split();
+        // Consuming the parent further must not change what the child yields.
+        let first = child.next_u64();
+        let mut parent2 = SimRng::seed_from(7);
+        let mut child2 = parent2.split();
+        parent2.next_u64();
+        assert_eq!(first, child2.next_u64());
+    }
+
+    #[test]
+    fn range_inclusive_bounds() {
+        let mut rng = SimRng::seed_from(8);
+        for _ in 0..100 {
+            let v = rng.range_inclusive(3, 5);
+            assert!((3..=5).contains(&v));
+        }
+        assert_eq!(rng.range_inclusive(9, 9), 9);
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = SimRng::seed_from(9);
+        let items = [10, 20, 30];
+        let picked = *rng.choose(&items).unwrap();
+        assert!(items.contains(&picked));
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+    }
+}

@@ -1,0 +1,464 @@
+//! The simulation scheduler.
+//!
+//! The scheduler realizes the paper's interleaving model at the granularity
+//! of *rounds*: in each round every active processor first receives the
+//! packets whose (random, bounded) delay has expired and then executes one
+//! iteration of its `do forever` loop. The per-round visiting order is
+//! random, packets experience random delays, loss, duplication and
+//! reordering, and the number of deliveries per round can be bounded — so an
+//! execution prefix of any asynchronous interleaving can be produced by a
+//! suitable seed and configuration.
+
+use std::collections::BTreeMap;
+
+use crate::config::SimConfig;
+use crate::metrics::Metrics;
+use crate::network::Network;
+use crate::process::{Context, Process, ProcessId, ProcessStatus};
+use crate::rng::SimRng;
+use crate::time::Round;
+use crate::trace::{Trace, TraceEvent};
+
+struct Slot<P> {
+    process: P,
+    status: ProcessStatus,
+}
+
+/// A deterministic simulation of a set of processors exchanging messages.
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct Simulation<P: Process> {
+    config: SimConfig,
+    rng: SimRng,
+    now: Round,
+    next_id: u32,
+    slots: BTreeMap<ProcessId, Slot<P>>,
+    network: Network<P::Msg>,
+    metrics: Metrics,
+    trace: Trace,
+}
+
+impl<P: Process> Simulation<P> {
+    /// Creates an empty simulation with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let rng = SimRng::seed_from(config.seed());
+        let network = Network::new(config.channel_policy().clone());
+        Simulation {
+            config,
+            rng,
+            now: Round::ZERO,
+            next_id: 0,
+            slots: BTreeMap::new(),
+            network,
+            metrics: Metrics::new(),
+            trace: Trace::new(),
+        }
+    }
+
+    /// Adds an active processor with the next free identifier and returns
+    /// that identifier.
+    pub fn add_process(&mut self, process: P) -> ProcessId {
+        let id = ProcessId::new(self.next_id);
+        self.next_id += 1;
+        self.insert(id, process);
+        id
+    }
+
+    /// Adds an active processor under a caller-chosen identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is already in use (identifiers are unique
+    /// forever; see the paper's system settings).
+    pub fn add_process_with_id(&mut self, id: ProcessId, process: P) {
+        assert!(
+            !self.slots.contains_key(&id),
+            "process identifier {id} already in use"
+        );
+        self.next_id = self.next_id.max(id.as_u32() + 1);
+        self.insert(id, process);
+    }
+
+    fn insert(&mut self, id: ProcessId, process: P) {
+        self.trace.record(TraceEvent::Joined(id));
+        self.slots.insert(
+            id,
+            Slot {
+                process,
+                status: ProcessStatus::Active,
+            },
+        );
+    }
+
+    /// Crashes a processor: it takes no further steps and never rejoins.
+    /// Packets already in flight to or from it remain in the channels, as in
+    /// the paper's model. Crashing an unknown or already crashed processor
+    /// is a no-op.
+    pub fn crash(&mut self, id: ProcessId) {
+        if let Some(slot) = self.slots.get_mut(&id) {
+            if slot.status.is_active() {
+                slot.status = ProcessStatus::Crashed;
+                self.trace.record(TraceEvent::Crashed(id));
+            }
+        }
+    }
+
+    /// Runs `n` rounds.
+    pub fn run_rounds(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step_round();
+        }
+    }
+
+    /// Runs up to `max_rounds` rounds, stopping early as soon as `done`
+    /// returns `true` (checked after every round). Returns the number of
+    /// rounds executed.
+    pub fn run_until(&mut self, max_rounds: u64, mut done: impl FnMut(&Self) -> bool) -> u64 {
+        for i in 0..max_rounds {
+            self.step_round();
+            if done(self) {
+                return i + 1;
+            }
+        }
+        max_rounds
+    }
+
+    /// Runs `n` rounds, invoking `hook` with the simulation before each
+    /// round. Fault plans use the hook to crash processors or inject
+    /// corruption at scheduled rounds.
+    pub fn run_rounds_with(&mut self, n: u64, mut hook: impl FnMut(&mut Self)) {
+        for _ in 0..n {
+            hook(self);
+            self.step_round();
+        }
+    }
+
+    /// Executes one scheduler round.
+    pub fn step_round(&mut self) {
+        self.trace.record(TraceEvent::RoundStarted(self.now));
+        let all_ids: Vec<ProcessId> = self.slots.keys().copied().collect();
+        let mut order: Vec<ProcessId> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.status.is_active())
+            .map(|(id, _)| *id)
+            .collect();
+        self.rng.shuffle(&mut order);
+
+        for id in order {
+            // Deliver pending packets first (receive steps)...
+            let deliveries = self.network.deliver_to(
+                id,
+                self.now,
+                self.config.max_deliveries_per_round(),
+                &mut self.rng,
+                &mut self.metrics,
+            );
+            for (from, msg) in deliveries {
+                // The destination may have crashed earlier in this round.
+                let Some(slot) = self.slots.get_mut(&id) else {
+                    break;
+                };
+                if !slot.status.is_active() {
+                    break;
+                }
+                self.trace.record(TraceEvent::Delivered { from, to: id });
+                let mut ctx = Context::new(id, self.now, &all_ids);
+                slot.process.on_message(from, msg, &mut ctx);
+                let outbox = ctx.into_outbox();
+                self.flush(id, outbox);
+            }
+            // ...then take one timer step (the `do forever` loop body).
+            let Some(slot) = self.slots.get_mut(&id) else {
+                continue;
+            };
+            if !slot.status.is_active() {
+                continue;
+            }
+            self.trace.record(TraceEvent::TimerStep(id));
+            self.metrics.record_timer_step();
+            let mut ctx = Context::new(id, self.now, &all_ids);
+            slot.process.on_timer(&mut ctx);
+            let outbox = ctx.into_outbox();
+            self.flush(id, outbox);
+        }
+
+        self.metrics.record_round();
+        self.now = self.now.next();
+    }
+
+    fn flush(&mut self, from: ProcessId, outbox: Vec<(ProcessId, P::Msg)>) {
+        for (to, msg) in outbox {
+            self.network
+                .send(from, to, msg, self.now, &mut self.rng, &mut self.metrics);
+        }
+    }
+
+    /// The current round.
+    pub fn now(&self) -> Round {
+        self.now
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Execution metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The execution trace (disabled by default; see [`Simulation::trace_mut`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace, e.g. to enable recording.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// All known processor identifiers (active and crashed), in ascending
+    /// order.
+    pub fn ids(&self) -> Vec<ProcessId> {
+        self.slots.keys().copied().collect()
+    }
+
+    /// Identifiers of the processors that are still active.
+    pub fn active_ids(&self) -> Vec<ProcessId> {
+        self.slots
+            .iter()
+            .filter(|(_, s)| s.status.is_active())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Returns `true` when `id` exists and has not crashed.
+    pub fn is_active(&self, id: ProcessId) -> bool {
+        self.slots
+            .get(&id)
+            .map(|s| s.status.is_active())
+            .unwrap_or(false)
+    }
+
+    /// Immutable access to the process behind `id`.
+    pub fn process(&self, id: ProcessId) -> Option<&P> {
+        self.slots.get(&id).map(|s| &s.process)
+    }
+
+    /// Mutable access to the process behind `id` (used by transient-fault
+    /// injection, which may corrupt local state arbitrarily).
+    pub fn process_mut(&mut self, id: ProcessId) -> Option<&mut P> {
+        self.slots.get_mut(&id).map(|s| &mut s.process)
+    }
+
+    /// Iterates over `(id, process)` pairs for every known processor.
+    pub fn processes(&self) -> impl Iterator<Item = (ProcessId, &P)> {
+        self.slots.iter().map(|(id, s)| (*id, &s.process))
+    }
+
+    /// Iterates over `(id, process)` pairs for the active processors only.
+    pub fn active_processes(&self) -> impl Iterator<Item = (ProcessId, &P)> {
+        self.slots
+            .iter()
+            .filter(|(_, s)| s.status.is_active())
+            .map(|(id, s)| (*id, &s.process))
+    }
+
+    /// The network connecting the processors.
+    pub fn network(&self) -> &Network<P::Msg> {
+        &self.network
+    }
+
+    /// Mutable access to the network (used to inject or corrupt packets when
+    /// modelling transient faults).
+    pub fn network_mut(&mut self) -> &mut Network<P::Msg> {
+        &mut self.network
+    }
+
+    /// A split-off random number generator for harness-level randomness that
+    /// must not perturb the scheduler's stream.
+    pub fn fork_rng(&mut self) -> SimRng {
+        self.rng.split()
+    }
+}
+
+impl<P: Process> std::fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("processes", &self.slots.len())
+            .field("active", &self.active_ids().len())
+            .field("in_flight", &self.network.in_flight_total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test process: floods its value, adopts the maximum received, counts
+    /// timer ticks and received messages.
+    #[derive(Debug)]
+    struct Gossip {
+        value: u64,
+        ticks: u64,
+        received: u64,
+    }
+
+    impl Gossip {
+        fn new(value: u64) -> Self {
+            Gossip {
+                value,
+                ticks: 0,
+                received: 0,
+            }
+        }
+    }
+
+    impl Process for Gossip {
+        type Msg = u64;
+        fn on_timer(&mut self, ctx: &mut Context<'_, u64>) {
+            self.ticks += 1;
+            for peer in ctx.peers() {
+                ctx.send(peer, self.value);
+            }
+        }
+        fn on_message(&mut self, _from: ProcessId, msg: u64, _ctx: &mut Context<'_, u64>) {
+            self.received += 1;
+            self.value = self.value.max(msg);
+        }
+    }
+
+    fn sim_with(n: u64, cfg: SimConfig) -> Simulation<Gossip> {
+        let mut sim = Simulation::new(cfg);
+        for i in 0..n {
+            sim.add_process(Gossip::new(i));
+        }
+        sim
+    }
+
+    #[test]
+    fn gossip_converges_to_max() {
+        let mut sim = sim_with(6, SimConfig::default().with_seed(1));
+        sim.run_rounds(10);
+        for (_, p) in sim.processes() {
+            assert_eq!(p.value, 5);
+        }
+    }
+
+    #[test]
+    fn gossip_converges_despite_loss_and_reordering() {
+        let cfg = SimConfig::default()
+            .with_seed(2)
+            .with_loss_probability(0.3)
+            .with_duplication_probability(0.1)
+            .with_reordering(true)
+            .with_max_delay(3)
+            .with_channel_capacity(4);
+        let mut sim = sim_with(5, cfg);
+        let rounds = sim.run_until(500, |s| s.processes().all(|(_, p)| p.value == 4));
+        assert!(rounds < 500, "did not converge under lossy links");
+    }
+
+    #[test]
+    fn crashed_process_takes_no_steps() {
+        let mut sim = sim_with(3, SimConfig::default().with_seed(3));
+        let victim = ProcessId::new(0);
+        sim.run_rounds(2);
+        let ticks_before = sim.process(victim).unwrap().ticks;
+        sim.crash(victim);
+        sim.run_rounds(5);
+        assert_eq!(sim.process(victim).unwrap().ticks, ticks_before);
+        assert!(!sim.is_active(victim));
+        assert_eq!(sim.active_ids().len(), 2);
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let mut sim = sim_with(4, SimConfig::default().with_seed(4));
+        let rounds = sim.run_until(100, |s| s.processes().all(|(_, p)| p.value == 3));
+        assert!(rounds < 100);
+        assert!(sim.now().as_u64() >= rounds);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = sim_with(5, SimConfig::default().with_seed(seed).with_loss_probability(0.2));
+            sim.run_rounds(20);
+            let received: Vec<u64> = sim.processes().map(|(_, p)| p.received).collect();
+            (received, sim.metrics().clone())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).1.messages_delivered(), 0);
+    }
+
+    #[test]
+    fn add_process_with_id_rejects_duplicates() {
+        let mut sim: Simulation<Gossip> = Simulation::new(SimConfig::default());
+        sim.add_process_with_id(ProcessId::new(5), Gossip::new(0));
+        let next = sim.add_process(Gossip::new(1));
+        assert_eq!(next, ProcessId::new(6));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.add_process_with_id(ProcessId::new(5), Gossip::new(2));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn joining_mid_execution_participates() {
+        let mut sim = sim_with(3, SimConfig::default().with_seed(5));
+        sim.run_rounds(3);
+        let late = sim.add_process(Gossip::new(100));
+        sim.run_rounds(10);
+        // The newcomer's larger value spreads to everyone.
+        for (_, p) in sim.processes() {
+            assert_eq!(p.value, 100);
+        }
+        assert!(sim.is_active(late));
+    }
+
+    #[test]
+    fn metrics_and_trace_record_activity() {
+        let mut sim = sim_with(3, SimConfig::default().with_seed(6));
+        sim.trace_mut().set_enabled(true);
+        sim.run_rounds(4);
+        assert_eq!(sim.metrics().rounds(), 4);
+        assert!(sim.metrics().messages_sent() > 0);
+        assert!(sim.metrics().messages_delivered() > 0);
+        assert!(sim.trace().len() > 0);
+    }
+
+    #[test]
+    fn run_rounds_with_hook_runs_before_each_round() {
+        let mut sim = sim_with(2, SimConfig::default().with_seed(8));
+        let mut crashed = false;
+        sim.run_rounds_with(3, |s| {
+            if s.now() == Round::new(1) && !crashed {
+                s.crash(ProcessId::new(1));
+                crashed = true;
+            }
+        });
+        assert!(crashed);
+        assert!(!sim.is_active(ProcessId::new(1)));
+    }
+
+    #[test]
+    fn max_deliveries_per_round_limits_receive_rate() {
+        let cfg = SimConfig::default()
+            .with_seed(9)
+            .with_max_deliveries_per_round(1)
+            .with_max_delay(0);
+        let mut sim = sim_with(4, cfg);
+        sim.run_rounds(1);
+        // After one round each process has sent 3 packets but nobody has
+        // received more than one yet in the following round.
+        sim.run_rounds(1);
+        for (_, p) in sim.processes() {
+            assert!(p.received <= 2, "received {} > 2", p.received);
+        }
+    }
+}

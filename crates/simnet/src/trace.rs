@@ -1,0 +1,159 @@
+//! Lightweight execution tracing.
+//!
+//! A [`Trace`] records coarse-grained scheduler events (rounds, crashes,
+//! joins, deliveries) into a bounded ring buffer. Tracing is disabled by
+//! default; tests and examples enable it to explain an execution after the
+//! fact.
+
+use std::collections::VecDeque;
+
+use crate::process::ProcessId;
+use crate::time::Round;
+
+/// One recorded scheduler event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A new round began.
+    RoundStarted(Round),
+    /// A processor joined the simulation.
+    Joined(ProcessId),
+    /// A processor crashed.
+    Crashed(ProcessId),
+    /// A packet from `from` was delivered to `to`.
+    Delivered {
+        /// Sender of the packet.
+        from: ProcessId,
+        /// Receiver of the packet.
+        to: ProcessId,
+    },
+    /// A processor took a timer step.
+    TimerStep(ProcessId),
+}
+
+/// A bounded log of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace {
+            enabled: false,
+            capacity: 4096,
+            events: VecDeque::new(),
+        }
+    }
+}
+
+impl Trace {
+    /// Creates a disabled trace with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an enabled trace holding at most `capacity` events.
+    pub fn enabled_with_capacity(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            capacity,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Returns `true` when events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (dropping the oldest if the buffer is full).
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    /// Iterates over the recorded events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of recorded events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when no event is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Counts the crashes recorded so far.
+    pub fn crash_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Crashed(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(TraceEvent::RoundStarted(Round::ZERO));
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_events_in_order() {
+        let mut t = Trace::enabled_with_capacity(10);
+        t.record(TraceEvent::RoundStarted(Round::ZERO));
+        t.record(TraceEvent::Crashed(ProcessId::new(1)));
+        let events: Vec<_> = t.iter().cloned().collect();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::RoundStarted(Round::ZERO),
+                TraceEvent::Crashed(ProcessId::new(1)),
+            ]
+        );
+        assert_eq!(t.crash_count(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = Trace::enabled_with_capacity(2);
+        for i in 0..5 {
+            t.record(TraceEvent::RoundStarted(Round::new(i)));
+        }
+        assert_eq!(t.len(), 2);
+        let first = t.iter().next().cloned().unwrap();
+        assert_eq!(first, TraceEvent::RoundStarted(Round::new(3)));
+    }
+
+    #[test]
+    fn toggling_enabled() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(TraceEvent::TimerStep(ProcessId::new(0)));
+        t.set_enabled(false);
+        t.record(TraceEvent::TimerStep(ProcessId::new(1)));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # vssmr — self-stabilizing reconfigurable virtual synchrony, SMR and shared memory
+//!
+//! Implementation of Section 4.3 of *Self-Stabilizing Reconfiguration*
+//! (Algorithms 4.6/4.7): a coordinator-based, virtually synchronous
+//! replicated state machine whose views live inside the configurations
+//! provided by the `reconfig` crate and whose view identifiers come from the
+//! self-stabilizing counter service of the `counters` crate. A
+//! coordinator-led *delicate* reconfiguration suspends multicast, carries the
+//! replica state into the first view of the new configuration and resumes
+//! service (Theorem 4.13); a brute-force reconfiguration recovers the service
+//! after transient faults (possibly losing uncommitted state, as the paper
+//! notes). The [`register`] module layers a MWMR shared-memory emulation on
+//! top.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod register;
+pub mod smr;
+
+pub use register::RegisterClient;
+pub use smr::{Command, Op, ReplicaState, SmrMsg, SmrNode, StateMsg, Status, View};

@@ -1,0 +1,111 @@
+//! MWMR shared-memory emulation on top of the virtually synchronous SMR
+//! (Section 4.3, following Birman et al.'s virtually-synchronous methodology).
+//!
+//! A multi-writer multi-reader register named by a `u32` key is emulated by
+//! funnelling writes through the replicated state machine and serving reads
+//! from the local replica of any view member. During a delicate
+//! reconfiguration the service is *suspending*: writes queue locally until
+//! the new configuration's first view is installed, and the register state is
+//! preserved across the change (Theorem 4.13 applied to the register
+//! emulation).
+
+use simnet::ProcessId;
+
+use crate::smr::SmrNode;
+
+/// A convenience handle for using one [`SmrNode`] as a MWMR register store.
+#[derive(Debug)]
+pub struct RegisterClient<'a> {
+    node: &'a mut SmrNode,
+}
+
+impl<'a> RegisterClient<'a> {
+    /// Wraps a replica.
+    pub fn new(node: &'a mut SmrNode) -> Self {
+        RegisterClient { node }
+    }
+
+    /// The identifier of the replica this client talks to.
+    pub fn replica(&self) -> ProcessId {
+        self.node.id()
+    }
+
+    /// Writes `value` to the register `key`. The write takes effect once the
+    /// command passes through a multicast round; use
+    /// [`RegisterClient::read`] on any replica to observe it.
+    pub fn write(&mut self, key: u32, value: u64) {
+        self.node.submit_write(key, value);
+    }
+
+    /// Reads register `key` from the local replica.
+    pub fn read(&self, key: u32) -> Option<u64> {
+        self.node.read_register(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smr::SmrMsg;
+    use reconfig::{config_set, NodeConfig};
+    use simnet::{SimConfig, Simulation};
+
+    #[test]
+    fn register_write_is_visible_at_every_replica() {
+        let cfg = config_set(0..3);
+        let mut sim: Simulation<SmrNode> =
+            Simulation::new(SimConfig::default().with_seed(31).with_max_delay(0));
+        for i in 0..3u32 {
+            let id = ProcessId::new(i);
+            sim.add_process_with_id(id, SmrNode::new_member(id, cfg.clone(), NodeConfig::for_n(8)));
+        }
+        sim.run_until(400, |s| {
+            s.active_ids()
+                .iter()
+                .all(|id| s.process(*id).unwrap().view().is_some())
+        });
+        {
+            let node = sim.process_mut(ProcessId::new(2)).unwrap();
+            let mut client = RegisterClient::new(node);
+            assert_eq!(client.replica(), ProcessId::new(2));
+            client.write(3, 33);
+            assert_eq!(client.read(3), None, "write is not applied synchronously");
+        }
+        let rounds = sim.run_until(400, |s| {
+            s.active_ids()
+                .iter()
+                .all(|id| s.process(*id).unwrap().read_register(3) == Some(33))
+        });
+        assert!(rounds < 400, "the write never became visible everywhere");
+        let _phantom: Option<SmrMsg> = None;
+    }
+
+    #[test]
+    fn later_write_overwrites_earlier_value() {
+        let cfg = config_set(0..3);
+        let mut sim: Simulation<SmrNode> =
+            Simulation::new(SimConfig::default().with_seed(32).with_max_delay(0));
+        for i in 0..3u32 {
+            let id = ProcessId::new(i);
+            sim.add_process_with_id(id, SmrNode::new_member(id, cfg.clone(), NodeConfig::for_n(8)));
+        }
+        sim.run_until(400, |s| {
+            s.active_ids()
+                .iter()
+                .all(|id| s.process(*id).unwrap().view().is_some())
+        });
+        RegisterClient::new(sim.process_mut(ProcessId::new(0)).unwrap()).write(1, 10);
+        sim.run_until(400, |s| {
+            s.active_ids()
+                .iter()
+                .all(|id| s.process(*id).unwrap().read_register(1) == Some(10))
+        });
+        RegisterClient::new(sim.process_mut(ProcessId::new(1)).unwrap()).write(1, 20);
+        let rounds = sim.run_until(400, |s| {
+            s.active_ids()
+                .iter()
+                .all(|id| s.process(*id).unwrap().read_register(1) == Some(20))
+        });
+        assert!(rounds < 400, "second write never superseded the first");
+    }
+}

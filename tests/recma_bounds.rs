@@ -1,0 +1,201 @@
+//! E3/E4 — Reconfiguration Management (recMA) triggering behaviour.
+//!
+//! Lemma 3.18 bounds the number of spurious recMA triggerings caused by
+//! stale `noMaj`/`needReconf` information; Lemma 3.19 shows a steady
+//! configuration stays steady when the majority survives and the prediction
+//! function stays quiet; Lemma 3.20 shows that majority loss and a
+//! majority-supported prediction function both lead to a reconfiguration;
+//! Lemma 3.21 shows each event triggers at most once per participant.
+
+use std::collections::BTreeSet;
+
+use reconfig::{config_set, ConfigSet, EvalPolicy, NodeConfig, ReconfigNode};
+use simnet::{ProcessId, SimConfig, Simulation};
+
+fn converged_config(sim: &Simulation<ReconfigNode>) -> Option<ConfigSet> {
+    let mut configs = BTreeSet::new();
+    for id in sim.active_ids() {
+        match sim.process(id).and_then(|p| p.installed_config()) {
+            Some(c) => {
+                configs.insert(c);
+            }
+            None => return None,
+        }
+    }
+    if configs.len() == 1 {
+        configs.into_iter().next()
+    } else {
+        None
+    }
+}
+
+fn total_triggerings(sim: &Simulation<ReconfigNode>) -> u64 {
+    sim.active_ids()
+        .iter()
+        .map(|id| sim.process(*id).unwrap().recma_triggerings())
+        .sum()
+}
+
+fn cluster_with_policy(n: u32, seed: u64, policy: EvalPolicy) -> Simulation<ReconfigNode> {
+    let cfg = config_set(0..n);
+    let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        sim.add_process_with_id(
+            id,
+            ReconfigNode::new_with_config(
+                id,
+                cfg.clone(),
+                NodeConfig::for_n(16).with_eval_policy(policy.clone()),
+            ),
+        );
+    }
+    sim.run_rounds(80);
+    assert_eq!(converged_config(&sim), Some(cfg));
+    sim
+}
+
+/// Lemma 3.19: with a surviving majority and a quiet prediction function, a
+/// long fault-free execution contains no triggering at all.
+#[test]
+fn steady_state_never_triggers() {
+    let mut sim = cluster_with_policy(5, 301, EvalPolicy::Never);
+    sim.run_rounds(500);
+    assert_eq!(total_triggerings(&sim), 0);
+    assert_eq!(converged_config(&sim), Some(config_set(0..5)));
+}
+
+/// Lemma 3.18: corrupt `noMaj` flags cause at most a bounded number of
+/// triggerings, after which the system returns to (and stays in) a steady
+/// configuration.
+#[test]
+fn corrupt_no_majority_flags_cause_bounded_triggerings() {
+    let mut sim = cluster_with_policy(5, 302, EvalPolicy::Never);
+    // Transient fault: p0 believes every peer reported "no majority".
+    {
+        let node = sim.process_mut(ProcessId::new(0)).unwrap();
+        for peer in 0..5u32 {
+            node.recma_mut().corrupt_flags(ProcessId::new(peer), true, false);
+        }
+    }
+    sim.run_rounds(400);
+    let after_recovery = total_triggerings(&sim);
+    // The paper's bound is O(N²·cap); for this tiny system a handful of
+    // triggerings is already generous.
+    assert!(
+        after_recovery <= 5,
+        "corrupt flags caused {after_recovery} triggerings"
+    );
+    // The system is steady again: no further triggerings accumulate.
+    sim.run_rounds(300);
+    assert_eq!(total_triggerings(&sim), after_recovery);
+    assert!(converged_config(&sim).is_some());
+}
+
+/// Lemma 3.18, second source: corrupt `needReconf` flags.
+#[test]
+fn corrupt_need_reconf_flags_cause_bounded_triggerings() {
+    let mut sim = cluster_with_policy(4, 303, EvalPolicy::Never);
+    {
+        let node = sim.process_mut(ProcessId::new(2)).unwrap();
+        for peer in 0..4u32 {
+            node.recma_mut().corrupt_flags(ProcessId::new(peer), false, true);
+        }
+    }
+    sim.run_rounds(400);
+    let after_recovery = total_triggerings(&sim);
+    assert!(
+        after_recovery <= 4,
+        "corrupt needReconf caused {after_recovery} triggerings"
+    );
+    sim.run_rounds(300);
+    assert_eq!(total_triggerings(&sim), after_recovery);
+}
+
+/// Lemma 3.20, case 1: when a majority of the configuration crashes, the
+/// survivors trigger a reconfiguration and install a configuration of
+/// survivors only.
+#[test]
+fn majority_collapse_triggers_reconfiguration() {
+    let mut sim = cluster_with_policy(5, 304, EvalPolicy::Never);
+    for i in 2..5u32 {
+        sim.crash(ProcessId::new(i));
+    }
+    let rounds = sim.run_until(1200, |s| converged_config(s) == Some(config_set(0..2)));
+    assert!(rounds < 1200, "survivors never installed a new configuration");
+    assert!(total_triggerings(&sim) >= 1);
+}
+
+/// Lemma 3.20, case 2: the prediction function path. A single crash is below
+/// the majority threshold, but an eager `evalConf()` asks a majority of the
+/// members for a reconfiguration.
+#[test]
+fn prediction_function_majority_triggers_reconfiguration() {
+    let mut sim = cluster_with_policy(4, 305, EvalPolicy::MissingFraction { fraction: 0.25 });
+    sim.crash(ProcessId::new(3));
+    let rounds = sim.run_until(1000, |s| converged_config(s) == Some(config_set(0..3)));
+    assert!(rounds < 1000, "prediction-driven reconfiguration never happened");
+    assert!(total_triggerings(&sim) >= 1);
+}
+
+/// With `EvalPolicy::Never` and a *minority* crash, the configuration keeps
+/// its crashed member: nothing in recMA forces an unnecessary replacement.
+#[test]
+fn minority_crash_without_prediction_does_not_reconfigure() {
+    let mut sim = cluster_with_policy(5, 306, EvalPolicy::Never);
+    sim.crash(ProcessId::new(4));
+    sim.run_rounds(400);
+    assert_eq!(total_triggerings(&sim), 0);
+    assert_eq!(converged_config(&sim), Some(config_set(0..5)));
+}
+
+/// Lemma 3.21: one event (a majority collapse) causes at most one triggering
+/// per surviving participant, not a storm.
+#[test]
+fn one_event_triggers_at_most_once_per_participant() {
+    let mut sim = cluster_with_policy(5, 307, EvalPolicy::Never);
+    for i in 3..5u32 {
+        sim.crash(ProcessId::new(i));
+    }
+    // 3 of 5 alive is still a majority; now lose it.
+    sim.crash(ProcessId::new(2));
+    let rounds = sim.run_until(1200, |s| converged_config(s) == Some(config_set(0..2)));
+    assert!(rounds < 1200);
+    sim.run_rounds(300);
+    for id in sim.active_ids() {
+        assert!(
+            sim.process(id).unwrap().recma_triggerings() <= 2,
+            "participant {id} triggered more than expected"
+        );
+    }
+}
+
+/// A crashed minority plus a prediction threshold that is *not* reached
+/// leaves the configuration untouched — the `MissingFraction` policy only
+/// fires at its configured fraction.
+#[test]
+fn prediction_threshold_below_fraction_stays_quiet() {
+    // Threshold ½, only ¼ of the members crash.
+    let mut sim = cluster_with_policy(4, 308, EvalPolicy::MissingFraction { fraction: 0.5 });
+    sim.crash(ProcessId::new(0));
+    sim.run_rounds(400);
+    assert_eq!(total_triggerings(&sim), 0);
+    assert_eq!(converged_config(&sim), Some(config_set(0..4)));
+}
+
+/// Changing the policy at run time takes effect: after switching from
+/// `Never` to an eager fraction, an old crash is finally acted upon.
+#[test]
+fn runtime_policy_change_takes_effect() {
+    let mut sim = cluster_with_policy(4, 309, EvalPolicy::Never);
+    sim.crash(ProcessId::new(3));
+    sim.run_rounds(300);
+    assert_eq!(converged_config(&sim), Some(config_set(0..4)), "Never policy must not react");
+    for i in 0..3u32 {
+        sim.process_mut(ProcessId::new(i))
+            .unwrap()
+            .set_eval_policy(EvalPolicy::MissingFraction { fraction: 0.25 });
+    }
+    let rounds = sim.run_until(1000, |s| converged_config(s) == Some(config_set(0..3)));
+    assert!(rounds < 1000, "policy change never caused the reconfiguration");
+}
