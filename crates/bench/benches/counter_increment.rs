@@ -11,7 +11,12 @@ fn run_increments(members: u32, increments: u32, bound: u64) -> u64 {
     let cfg = config_set(0..members);
     let mut nodes: BTreeMap<ProcessId, CounterNode> = cfg
         .iter()
-        .map(|id| (*id, CounterNode::new(*id, cfg.clone()).with_exhaustion_bound(bound)))
+        .map(|id| {
+            (
+                *id,
+                CounterNode::new(*id, cfg.clone()).with_exhaustion_bound(bound),
+            )
+        })
         .collect();
     let deliver = |nodes: &mut BTreeMap<ProcessId, CounterNode>,
                    batch: Vec<(ProcessId, ProcessId, counters::CounterMsg)>| {

@@ -8,7 +8,8 @@ use simnet::ProcessId;
 
 fn run_detector(live: u32, crashed: u32, rounds: u32) -> (usize, bool) {
     let me = ProcessId::new(0);
-    let mut fd = ThetaFailureDetector::new(me, (live + crashed + 1) as usize, 4 * (live as u64 + 1));
+    let mut fd =
+        ThetaFailureDetector::new(me, (live + crashed + 1) as usize, 4 * (live as u64 + 1));
     // Every processor (live and soon-to-crash) heartbeats for a while…
     for _ in 0..rounds {
         for p in 1..=(live + crashed) {

@@ -23,7 +23,11 @@ fn run_joins(members: u32, joiners: u32, seed: u64) -> u64 {
                 .unwrap_or(false)
         })
     });
-    assert_eq!(converged_config(&sim), before, "joins must not change the configuration");
+    assert_eq!(
+        converged_config(&sim),
+        before,
+        "joins must not change the configuration"
+    );
     rounds
 }
 

@@ -65,7 +65,7 @@ fn label_convergence(c: &mut Criterion) {
             n * n,
             n * (n * n + 16)
         );
-        assert!(u64::from(dirty_creations) <= u64::from(n) * (u64::from(n) * u64::from(n) + 16));
+        assert!(dirty_creations <= u64::from(n) * (u64::from(n) * u64::from(n) + 16));
         group.bench_with_input(BenchmarkId::new("corrupted", n), &n, |b, &n| {
             b.iter(|| run_labelers(n, true, 1));
         });

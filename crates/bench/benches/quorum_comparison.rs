@@ -30,8 +30,12 @@ fn cluster_with_quorum(n: u32, quorum: QuorumSystem, seed: u64) -> Simulation<Sh
 fn commit_one_write(sim: &mut Simulation<SharedMemNode>) -> u64 {
     let writer = ProcessId::new(0);
     let before = sim.process(writer).unwrap().writes_committed();
-    sim.process_mut(writer).unwrap().submit_write(RegisterId::new(1), 7);
-    sim.run_until(1000, |s| s.process(writer).unwrap().writes_committed() > before)
+    sim.process_mut(writer)
+        .unwrap()
+        .submit_write(RegisterId::new(1), 7);
+    sim.run_until(1000, |s| {
+        s.process(writer).unwrap().writes_committed() > before
+    })
 }
 
 fn quorum_comparison(c: &mut Criterion) {
@@ -50,16 +54,12 @@ fn quorum_comparison(c: &mut Criterion) {
             eprintln!(
                 "[E12] members={n} system={name}: write_rounds={rounds} min_quorum_size={min_quorum}"
             );
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &(n, quorum),
-                |b, (n, quorum)| {
-                    b.iter(|| {
-                        let mut sim = cluster_with_quorum(*n, quorum.clone(), 71);
-                        commit_one_write(&mut sim)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &(n, quorum), |b, (n, quorum)| {
+                b.iter(|| {
+                    let mut sim = cluster_with_quorum(*n, quorum.clone(), 71);
+                    commit_one_write(&mut sim)
+                });
+            });
         }
     }
     group.finish();

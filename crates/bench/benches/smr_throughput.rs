@@ -10,7 +10,9 @@ fn run_workload(n: u32, writes: u32, seed: u64) -> u64 {
     let mut sim = smr_cluster(n, seed);
     for w in 0..writes {
         let replica = ProcessId::new(w % n);
-        sim.process_mut(replica).unwrap().submit_write(w, u64::from(w));
+        sim.process_mut(replica)
+            .unwrap()
+            .submit_write(w, u64::from(w));
     }
     sim.run_until(4000, |s| {
         s.active_ids().iter().all(|id| {

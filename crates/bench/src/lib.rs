@@ -55,7 +55,9 @@ pub fn smr_cluster(n: u32, seed: u64) -> Simulation<SmrNode> {
         );
     }
     sim.run_until(1000, |s| {
-        s.active_ids().iter().all(|id| s.process(*id).unwrap().view().is_some())
+        s.active_ids()
+            .iter()
+            .all(|id| s.process(*id).unwrap().view().is_some())
     });
     sim
 }
@@ -85,7 +87,9 @@ pub fn rounds_to_converge(
     expected: &ConfigSet,
     max_rounds: u64,
 ) -> u64 {
-    sim.run_until(max_rounds, |s| converged_config(s).as_ref() == Some(expected))
+    sim.run_until(max_rounds, |s| {
+        converged_config(s).as_ref() == Some(expected)
+    })
 }
 
 #[cfg(test)]

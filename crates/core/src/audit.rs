@@ -187,9 +187,7 @@ pub fn audit<'a>(nodes: impl IntoIterator<Item = &'a ReconfigNode>) -> SystemRep
         }
         match &config {
             ConfigValue::Bottom => findings.push(Finding::Type2ResetInProgress),
-            ConfigValue::Set(s) if s.is_empty() => {
-                findings.push(Finding::Type2EmptyConfiguration)
-            }
+            ConfigValue::Set(s) if s.is_empty() => findings.push(Finding::Type2EmptyConfiguration),
             ConfigValue::Set(s) => {
                 distinct_configs.insert(s.clone());
                 // Type 4: a configuration none of whose members is among the
@@ -227,9 +225,9 @@ pub fn audit<'a>(nodes: impl IntoIterator<Item = &'a ReconfigNode>) -> SystemRep
     // or participants whose phases are two steps apart (0 and 2 coexist).
     if (!phase2_sets.is_empty() && active_sets.len() > 1)
         || (phases.contains(&Phase::Two)
-            && nodes.iter().any(|n| {
-                n.is_participant() && n.recsa().own_notification().is_default()
-            }))
+            && nodes
+                .iter()
+                .any(|n| n.is_participant() && n.recsa().own_notification().is_default()))
     {
         system_findings.push(Finding::Type3PhaseDisagreement);
     }
@@ -298,7 +296,10 @@ mod tests {
         let findings = report.all_findings();
         assert!(findings.contains(&Finding::Type2ResetInProgress));
         assert!(findings.contains(&Finding::Type2EmptyConfiguration));
-        assert_eq!(report.nodes()[0].findings, vec![Finding::Type2ResetInProgress]);
+        assert_eq!(
+            report.nodes()[0].findings,
+            vec![Finding::Type2ResetInProgress]
+        );
     }
 
     #[test]
@@ -330,7 +331,11 @@ mod tests {
         let ghost = config_set([40, 41, 42]);
         let nodes: Vec<ReconfigNode> = (0..3)
             .map(|i| {
-                ReconfigNode::new_with_config(ProcessId::new(i), ghost.clone(), NodeConfig::for_n(8))
+                ReconfigNode::new_with_config(
+                    ProcessId::new(i),
+                    ghost.clone(),
+                    NodeConfig::for_n(8),
+                )
             })
             .collect();
         let report = audit(&nodes);

@@ -16,7 +16,8 @@
 use std::collections::BTreeSet;
 
 use failure_detector::ThetaFailureDetector;
-use simnet::{Context, Process, ProcessId};
+use simnet::stack::{Layer, Outbox, Router};
+use simnet::ProcessId;
 
 use crate::join::{JoinMsg, Joining};
 use crate::policy::{AdmissionPolicy, EvalPolicy};
@@ -55,10 +56,20 @@ impl Default for NodeConfig {
 
 impl NodeConfig {
     /// Creates the default configuration sized for `n_bound` processors.
+    ///
+    /// `Θ` must dominate the number of heartbeats a correct processor can
+    /// legitimately lag behind: the stack emits ~3 messages per peer per
+    /// round (data-link token, recSA broadcast, recMA flags), every received
+    /// packet counts as a heartbeat, and delivery order within a round is
+    /// arbitrary, so a peer may trail by several rounds of full traffic
+    /// (`≈ 6·n_bound` counts) before it is genuinely late. `8·n_bound`
+    /// keeps the spurious-suspicion probability negligible at every scale
+    /// the benches exercise while still detecting crashes within a few
+    /// rounds.
     pub fn for_n(n_bound: usize) -> Self {
         NodeConfig {
             n_bound,
-            theta: (4 * n_bound as u64).max(16),
+            theta: (8 * n_bound as u64).max(16),
             ..NodeConfig::default()
         }
     }
@@ -82,18 +93,24 @@ impl NodeConfig {
     }
 }
 
-/// The protocol messages exchanged by [`ReconfigNode`]s.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ReconfigMsg {
-    /// A liveness pulse (the token of the underlying data link); every
-    /// received message also counts as one.
-    Heartbeat,
-    /// recSA traffic (Algorithm 3.1, line 29).
-    RecSa(RecSaMsg),
-    /// recMA flag exchange (Algorithm 3.2, line 19).
-    RecMa(RecMaMsg),
-    /// Joining mechanism traffic (Algorithm 3.3).
-    Join(JoinMsg),
+simnet::wire_enum! {
+    /// The protocol messages exchanged by [`ReconfigNode`]s: the wire format
+    /// of the reconfiguration stack. Each payload-carrying variant is a
+    /// [`simnet::stack::Lane`], so sub-layer traffic (and the traffic of
+    /// higher layers embedding this node) multiplexes through the shared
+    /// [`simnet::stack`] mechanism.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum ReconfigMsg {
+        /// A liveness pulse (the token of the underlying data link); every
+        /// received message also counts as one.
+        Heartbeat,
+        /// recSA traffic (Algorithm 3.1, line 29).
+        RecSa(RecSaMsg),
+        /// recMA flag exchange (Algorithm 3.2, line 19).
+        RecMa(RecMaMsg),
+        /// Joining mechanism traffic (Algorithm 3.3).
+        Join(JoinMsg),
+    }
 }
 
 /// One processor of the self-stabilizing reconfiguration scheme.
@@ -237,13 +254,33 @@ impl ReconfigNode {
 
     /// One timer step of the whole stack. `peers` is the set of processor
     /// identifiers this node may address (the fully connected topology).
+    ///
+    /// Context-free facade over the [`Layer`] implementation, kept for
+    /// embedders and tests that want explicit `(destination, message)` lists.
     pub fn poll(&mut self, peers: &[ProcessId]) -> Vec<(ProcessId, ReconfigMsg)> {
-        let mut out: Vec<(ProcessId, ReconfigMsg)> = Vec::new();
+        let mut out = Outbox::new();
+        Layer::poll(self, peers, &mut out);
+        out.into_messages()
+    }
 
+    /// Handles one received message, returning any immediate replies.
+    ///
+    /// Context-free facade over the [`Layer`] implementation.
+    pub fn handle(&mut self, from: ProcessId, msg: ReconfigMsg) -> Vec<(ProcessId, ReconfigMsg)> {
+        let mut out = Outbox::new();
+        Layer::handle(self, from, msg, &mut out);
+        out.into_messages()
+    }
+}
+
+impl Layer for ReconfigNode {
+    type Wire = ReconfigMsg;
+
+    fn poll(&mut self, peers: &[ProcessId], out: &mut Outbox<ReconfigMsg>) {
         // The underlying token exchange: a heartbeat to every other
         // processor keeps the failure detectors of the whole system fed.
         for p in peers.iter().copied().filter(|p| *p != self.me) {
-            out.push((p, ReconfigMsg::Heartbeat));
+            out.push_wire(p, ReconfigMsg::Heartbeat);
         }
 
         // Bootstrap patience: a non-participant that can see neither a
@@ -265,77 +302,48 @@ impl ReconfigNode {
             }
         }
 
-        // recSA.
-        let trusted = self.fd.trusted();
-        for (to, msg) in self.recsa.step(trusted) {
-            out.push((to, ReconfigMsg::RecSa(msg)));
-        }
+        // recSA (the detector's ranking is computed once and reused below).
+        let fd_trusted = self.fd.trusted();
+        out.extend(self.recsa.step(fd_trusted.clone()));
 
         // recMA, with the application's prediction function.
         let policy = self.config.eval_policy.clone();
-        let fd_trusted = self.fd.trusted();
-        for (to, msg) in self
-            .recma
-            .step(&mut self.recsa, |cfg| policy.requires_reconfiguration(cfg, &fd_trusted))
-        {
-            out.push((to, ReconfigMsg::RecMa(msg)));
-        }
+        out.extend(self.recma.step(&mut self.recsa, |cfg| {
+            policy.requires_reconfiguration(cfg, &fd_trusted)
+        }));
 
         // Joining mechanism (only does something while not a participant).
-        for (to, msg) in self.joining.step(&mut self.recsa) {
-            out.push((to, ReconfigMsg::Join(msg)));
-        }
-
-        out
+        out.extend(self.joining.step(&mut self.recsa));
     }
 
-    /// Handles one received message, returning any immediate replies.
-    pub fn handle(&mut self, from: ProcessId, msg: ReconfigMsg) -> Vec<(ProcessId, ReconfigMsg)> {
+    fn handle(&mut self, from: ProcessId, msg: ReconfigMsg, out: &mut Outbox<ReconfigMsg>) {
         // Every packet doubles as a heartbeat of its sender.
         self.fd.heartbeat(from);
-        match msg {
-            ReconfigMsg::Heartbeat => Vec::new(),
-            ReconfigMsg::RecSa(m) => {
-                self.recsa.on_message(from, m);
-                Vec::new()
-            }
-            ReconfigMsg::RecMa(m) => {
+        let rest = Router::new(from, msg)
+            .lane(out, |from, m: RecSaMsg, _| self.recsa.on_message(from, m))
+            .lane(out, |from, m: RecMaMsg, _| {
                 let is_participant = self.recsa.is_participant();
                 self.recma.on_message(from, m, is_participant);
-                Vec::new()
-            }
-            ReconfigMsg::Join(JoinMsg::Request) => {
-                let admit = self.config.admission.admit(from);
-                match self.joining.on_request(from, &self.recsa, admit) {
-                    Some(resp) => vec![(from, ReconfigMsg::Join(resp))],
-                    None => Vec::new(),
+            })
+            .lane(out, |from, m: JoinMsg, out| match m {
+                JoinMsg::Request => {
+                    let admit = self.config.admission.admit(from);
+                    if let Some(resp) = self.joining.on_request(from, &self.recsa, admit) {
+                        out.push(from, resp);
+                    }
                 }
-            }
-            ReconfigMsg::Join(JoinMsg::Response { pass }) => {
-                let is_participant = self.recsa.is_participant();
-                self.joining.on_response(from, pass, is_participant);
-                Vec::new()
-            }
-        }
+                JoinMsg::Response { pass } => {
+                    let is_participant = self.recsa.is_participant();
+                    self.joining.on_response(from, pass, is_participant);
+                }
+            })
+            .finish();
+        // The only lane-less variant is the bare heartbeat, already counted.
+        debug_assert!(matches!(rest, None | Some(ReconfigMsg::Heartbeat)));
     }
 }
 
-impl Process for ReconfigNode {
-    type Msg = ReconfigMsg;
-
-    fn on_timer(&mut self, ctx: &mut Context<'_, ReconfigMsg>) {
-        let peers = ctx.all_ids();
-        for (to, msg) in self.poll(&peers) {
-            ctx.send(to, msg);
-        }
-    }
-
-    fn on_message(&mut self, from: ProcessId, msg: ReconfigMsg, ctx: &mut Context<'_, ReconfigMsg>) {
-        for (to, reply) in self.handle(from, msg) {
-            ctx.send(to, reply);
-        }
-    }
-}
+simnet::impl_process_for_layer!(ReconfigNode);
 
 #[cfg(test)]
 mod tests {
@@ -399,7 +407,9 @@ mod tests {
             ReconfigNode::new_joiner(joiner_id, NodeConfig::for_n(16)),
         );
         let rounds = sim.run_until(300, |s| {
-            s.process(joiner_id).map(|p| p.is_participant()).unwrap_or(false)
+            s.process(joiner_id)
+                .map(|p| p.is_participant())
+                .unwrap_or(false)
         });
         assert!(rounds < 300, "joiner was never admitted");
         // The configuration did not change just because someone joined.
@@ -415,7 +425,10 @@ mod tests {
             sim.crash(ProcessId::new(i));
         }
         let rounds = sim.run_until(400, |s| converged_config(s) == Some(config_set(0..2)));
-        assert!(rounds < 400, "survivors never installed a live configuration");
+        assert!(
+            rounds < 400,
+            "survivors never installed a live configuration"
+        );
         let triggerings: u64 = sim
             .active_ids()
             .iter()
@@ -475,7 +488,10 @@ mod tests {
         // function asks for a reconfiguration and the configuration shrinks.
         sim.crash(ProcessId::new(3));
         let rounds = sim.run_until(400, |s| converged_config(s) == Some(config_set(0..3)));
-        assert!(rounds < 400, "prediction-driven reconfiguration did not happen");
+        assert!(
+            rounds < 400,
+            "prediction-driven reconfiguration did not happen"
+        );
     }
 
     #[test]

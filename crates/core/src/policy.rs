@@ -23,10 +23,11 @@ use simnet::ProcessId;
 use crate::types::ConfigSet;
 
 /// The prediction function `evalConf()` used by recMA.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum EvalPolicy {
     /// Never request a reconfiguration (the default; recMA still reacts to
     /// majority loss through its `noMaj` path).
+    #[default]
     Never,
     /// Always request a reconfiguration (useful in tests and benchmarks).
     Always,
@@ -38,12 +39,6 @@ pub enum EvalPolicy {
         /// request.
         fraction: f64,
     },
-}
-
-impl Default for EvalPolicy {
-    fn default() -> Self {
-        EvalPolicy::Never
-    }
 }
 
 impl EvalPolicy {

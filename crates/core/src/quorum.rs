@@ -16,10 +16,11 @@ use simnet::ProcessId;
 use crate::types::ConfigSet;
 
 /// A rule for deriving quorums from a configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum QuorumSystem {
     /// Simple majorities: any set containing more than half of the
     /// configuration members is a quorum (the paper's default).
+    #[default]
     Majority,
     /// Weighted majorities: each member has a weight (members missing from
     /// the list weigh 1); a quorum holds strictly more than half of the total
@@ -36,12 +37,6 @@ pub enum QuorumSystem {
         /// Number of columns of the grid.
         columns: usize,
     },
-}
-
-impl Default for QuorumSystem {
-    fn default() -> Self {
-        QuorumSystem::Majority
-    }
 }
 
 impl QuorumSystem {
@@ -119,8 +114,7 @@ impl QuorumSystem {
                             )
                         });
                     }
-                    let candidate: BTreeSet<ProcessId> =
-                        by_weight.into_iter().take(size).collect();
+                    let candidate: BTreeSet<ProcessId> = by_weight.into_iter().take(size).collect();
                     if self.is_quorum(config, &candidate) {
                         return size;
                     }
@@ -186,9 +180,18 @@ mod tests {
         // 2 × 2 grid over {0,1,2,3}: rows {0,1} and {2,3}.
         let cfg = config_set([0, 1, 2, 3]);
         let q = QuorumSystem::Grid { columns: 2 };
-        assert!(q.is_quorum(&cfg, &set(&[0, 1, 2])), "row {{0,1}} + cover of row 2");
-        assert!(!q.is_quorum(&cfg, &set(&[0, 1])), "row without covering the other row");
-        assert!(!q.is_quorum(&cfg, &set(&[0, 2])), "cover without a full row");
+        assert!(
+            q.is_quorum(&cfg, &set(&[0, 1, 2])),
+            "row {{0,1}} + cover of row 2"
+        );
+        assert!(
+            !q.is_quorum(&cfg, &set(&[0, 1])),
+            "row without covering the other row"
+        );
+        assert!(
+            !q.is_quorum(&cfg, &set(&[0, 2])),
+            "cover without a full row"
+        );
         assert!(q.is_quorum(&cfg, &set(&[2, 3, 1])));
         assert_eq!(q.minimum_quorum_size(&cfg), 3);
     }

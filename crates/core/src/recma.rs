@@ -22,7 +22,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use simnet::ProcessId;
 
 use crate::recsa::RecSa;
-use crate::types::{ConfigSet, ConfigValue};
+use crate::types::{same_set, ConfigSet, ConfigValue};
 
 /// The flag pair exchanged by participants (line 19 of Algorithm 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,12 +88,20 @@ impl RecMa {
         let Some(first) = iter.next() else {
             return BTreeSet::new();
         };
-        let mut acc = recsa.part_reported_by(*first);
+        let first_set = recsa.part_reported_by(*first);
+        // The reported sets are shared (interned) values: in the converged
+        // steady state they are all the same allocation, so the intersection
+        // is only materialized once a genuinely different set shows up.
+        let mut acc: Option<BTreeSet<ProcessId>> = None;
         for k in iter {
             let other = recsa.part_reported_by(*k);
-            acc = acc.intersection(&other).copied().collect();
+            if acc.is_none() && same_set(&first_set, &other) {
+                continue;
+            }
+            let a = acc.get_or_insert_with(|| (*first_set).clone());
+            a.retain(|p| other.contains(p));
         }
-        acc
+        acc.unwrap_or_else(|| (*first_set).clone())
     }
 
     /// One iteration of the `do forever` loop (lines 5–19). `eval_conf` is
@@ -158,7 +166,9 @@ impl RecMa {
                     let supporters = cur_set
                         .iter()
                         .filter(|m| trusted.contains(m))
-                        .filter(|m| self.need_reconf.get(m).copied().unwrap_or(false) || **m == me && wants)
+                        .filter(|m| {
+                            self.need_reconf.get(m).copied().unwrap_or(false) || **m == me && wants
+                        })
                         .count();
                     if wants && supporters > cur_set.len() / 2 {
                         if recsa.estab(recsa.my_part()) {
@@ -272,7 +282,10 @@ mod tests {
             for (from, to, m) in ma_out {
                 if alive.contains(&to) {
                     let is_part = self.recsa[&to].is_participant();
-                    self.recma.get_mut(&to).unwrap().on_message(from, m, is_part);
+                    self.recma
+                        .get_mut(&to)
+                        .unwrap()
+                        .on_message(from, m, is_part);
                 }
             }
         }
@@ -362,7 +375,11 @@ mod tests {
         h.rounds(120);
         // Lemma 3.21: one trigger per participant per event; two survivors
         // means at most two triggerings in total for this single collapse.
-        assert!(h.total_triggerings() <= 2, "triggered {} times", h.total_triggerings());
+        assert!(
+            h.total_triggerings() <= 2,
+            "triggered {} times",
+            h.total_triggerings()
+        );
     }
 
     #[test]
@@ -373,10 +390,11 @@ mod tests {
         // Transient fault: processor 0 believes everyone reported noMaj,
         // including itself.
         for k in 0..4 {
-            h.recma
-                .get_mut(&ProcessId::new(0))
-                .unwrap()
-                .corrupt_flags(ProcessId::new(k), true, false);
+            h.recma.get_mut(&ProcessId::new(0)).unwrap().corrupt_flags(
+                ProcessId::new(k),
+                true,
+                false,
+            );
         }
         h.rounds(60);
         // The corruption may cause at most a bounded number of triggerings

@@ -34,20 +34,29 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use simnet::ProcessId;
 
-use crate::types::{ConfigSet, ConfigValue, EchoTriple, Notification, Phase};
+use crate::types::{
+    same_config, same_ntf, same_set, shared_config, shared_ntf, shared_set, ConfigSet, ConfigValue,
+    EchoTriple, Notification, Phase, SharedConfig, SharedNtf, SharedSet,
+};
 
 /// The protocol message broadcast by every participant at the end of each
 /// `do forever` iteration (line 29 of Algorithm 3.1).
+///
+/// All set-valued fields are shared (see [`SharedSet`]): a participant sends
+/// the *same* reading, participant set, configuration and notification to
+/// every trusted processor, so per-peer message construction is `O(1)` and a
+/// 1,024-process broadcast does not copy 1,024-entry sets a million times a
+/// round.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecSaMsg {
     /// The sender's failure-detector reading (`FD[i]`).
-    pub fd: BTreeSet<ProcessId>,
+    pub fd: SharedSet,
     /// The sender's participant set (`FD[i].part`).
-    pub part: BTreeSet<ProcessId>,
+    pub part: SharedSet,
     /// The sender's configuration value (`config[i]`).
-    pub config: ConfigValue,
+    pub config: SharedConfig,
     /// The sender's replacement notification (`prp[i]`).
-    pub prp: Notification,
+    pub prp: SharedNtf,
     /// The sender's `all[i]` flag.
     pub all: bool,
     /// The per-receiver echo: the sender's most recent record of the
@@ -56,17 +65,21 @@ pub struct RecSaMsg {
 }
 
 /// The state and behaviour of one processor's recSA layer.
+///
+/// Received values are stored as the shared allocations they arrived in, so
+/// the cross-peer comparisons of `noReco()` and the unison machinery resolve
+/// by pointer identity once the system has converged.
 #[derive(Debug, Clone)]
 pub struct RecSa {
     me: ProcessId,
     /// `config[]` — own entry plus most recently received values.
-    config: BTreeMap<ProcessId, ConfigValue>,
+    config: BTreeMap<ProcessId, SharedConfig>,
     /// `FD[]` — own detector reading plus values received from peers.
-    fd: BTreeMap<ProcessId, BTreeSet<ProcessId>>,
+    fd: BTreeMap<ProcessId, SharedSet>,
     /// `FD[].part` as received from peers.
-    part_rx: BTreeMap<ProcessId, BTreeSet<ProcessId>>,
+    part_rx: BTreeMap<ProcessId, SharedSet>,
     /// `prp[]` — replacement notifications.
-    prp: BTreeMap<ProcessId, Notification>,
+    prp: BTreeMap<ProcessId, SharedNtf>,
     /// `all[]` flags.
     all: BTreeMap<ProcessId, bool>,
     /// `echo[]` — what each peer last echoed back of our own values.
@@ -89,7 +102,7 @@ impl RecSa {
     /// state.
     pub fn new_participant(me: ProcessId) -> Self {
         let mut s = Self::new_joiner(me);
-        s.config.insert(me, ConfigValue::Bottom);
+        s.config.insert(me, shared_config(ConfigValue::Bottom));
         s
     }
 
@@ -97,7 +110,7 @@ impl RecSa {
     /// current configuration (e.g. when restarting a steady-state scenario).
     pub fn new_with_config(me: ProcessId, cfg: ConfigSet) -> Self {
         let mut s = Self::new_joiner(me);
-        s.config.insert(me, ConfigValue::Set(cfg));
+        s.config.insert(me, shared_config(ConfigValue::Set(cfg)));
         s
     }
 
@@ -125,13 +138,23 @@ impl RecSa {
     }
 
     // ----- accessors with the defaults prescribed by line 31 ---------------
+    //
+    // Each accessor hands out a clone of the stored shared allocation —
+    // `O(log n)` map lookup, `O(1)` clone — falling back to the canonical
+    // default for processors never heard from.
 
-    fn config_of(&self, k: ProcessId) -> ConfigValue {
-        self.config.get(&k).cloned().unwrap_or_default()
+    fn config_of(&self, k: ProcessId) -> SharedConfig {
+        self.config
+            .get(&k)
+            .cloned()
+            .unwrap_or_else(|| shared_config(ConfigValue::default()))
     }
 
-    fn prp_of(&self, k: ProcessId) -> Notification {
-        self.prp.get(&k).cloned().unwrap_or_default()
+    fn prp_of(&self, k: ProcessId) -> SharedNtf {
+        self.prp
+            .get(&k)
+            .cloned()
+            .unwrap_or_else(|| shared_ntf(Notification::dflt()))
     }
 
     fn all_of(&self, k: ProcessId) -> bool {
@@ -139,31 +162,42 @@ impl RecSa {
     }
 
     fn echo_of(&self, k: ProcessId) -> EchoTriple {
-        self.echo.get(&k).cloned().unwrap_or_default()
+        self.echo.get(&k).cloned().unwrap_or_else(|| EchoTriple {
+            part: shared_set(BTreeSet::new()),
+            prp: shared_ntf(Notification::dflt()),
+            all: false,
+        })
     }
 
-    fn fd_of(&self, k: ProcessId) -> BTreeSet<ProcessId> {
-        self.fd.get(&k).cloned().unwrap_or_default()
+    fn fd_of(&self, k: ProcessId) -> SharedSet {
+        self.fd
+            .get(&k)
+            .cloned()
+            .unwrap_or_else(|| shared_set(BTreeSet::new()))
     }
 
-    fn part_of(&self, k: ProcessId) -> BTreeSet<ProcessId> {
+    fn part_of(&self, k: ProcessId) -> SharedSet {
         if k == self.me {
-            self.my_part()
+            shared_set(self.my_part())
         } else {
-            self.part_rx.get(&k).cloned().unwrap_or_default()
+            self.part_rx
+                .get(&k)
+                .cloned()
+                .unwrap_or_else(|| shared_set(BTreeSet::new()))
         }
     }
 
     /// The trusted set currently installed as `FD[i]` (set by the latest
     /// [`RecSa::step`]).
     pub fn my_trusted(&self) -> BTreeSet<ProcessId> {
-        self.fd_of(self.me)
+        (*self.fd_of(self.me)).clone()
     }
 
     /// The participant set `FD[i].part = {pⱼ ∈ FD[i] : config[j] ≠ ]}`.
     pub fn my_part(&self) -> BTreeSet<ProcessId> {
         self.fd_of(self.me)
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|p| self.config_of(*p).marks_participant())
             .collect()
     }
@@ -176,23 +210,23 @@ impl RecSa {
 
     /// Own `config[i]` value.
     pub fn own_config(&self) -> ConfigValue {
-        self.config_of(self.me)
+        (*self.config_of(self.me)).clone()
     }
 
     /// Own notification `prp[i]`.
     pub fn own_notification(&self) -> Notification {
-        self.prp_of(self.me)
+        (*self.prp_of(self.me)).clone()
     }
 
     /// The configuration this processor has installed, if it currently holds
     /// a concrete one.
     pub fn installed_config(&self) -> Option<ConfigSet> {
-        self.own_config().as_set().cloned()
+        self.config_of(self.me).as_set().cloned()
     }
 
     /// The participant set most recently reported by `k` (`FD[k].part`),
     /// used by the Reconfiguration Management layer to compute its `core()`.
-    pub fn part_reported_by(&self, k: ProcessId) -> BTreeSet<ProcessId> {
+    pub fn part_reported_by(&self, k: ProcessId) -> SharedSet {
         self.part_of(k)
     }
 
@@ -222,24 +256,29 @@ impl RecSa {
     /// processors, chosen deterministically (most frequent value, ties broken
     /// by value order); `⊥` when none is known.
     pub fn chs_config(&self) -> ConfigValue {
-        let mut counts: BTreeMap<ConfigValue, usize> = BTreeMap::new();
-        let mut scope = self.fd_of(self.me);
-        scope.insert(self.me);
-        for k in scope {
+        // Distinct values are few in practice; a linear scan with the
+        // pointer-equality fast path beats an ordered map keyed by whole
+        // configurations.
+        let mut counts: Vec<(SharedConfig, usize)> = Vec::new();
+        let scope = self.fd_of(self.me);
+        let me_extra = (!scope.contains(&self.me)).then_some(self.me);
+        for k in scope.iter().copied().chain(me_extra) {
             let v = self.config_of(k);
             if v.marks_participant() {
-                *counts.entry(v).or_insert(0) += 1;
+                match counts.iter_mut().find(|(c, _)| same_config(c, &v)) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((v, 1)),
+                }
             }
         }
         // Prefer concrete sets over ⊥; among sets pick the most frequent.
         let best_set = counts
             .iter()
             .filter(|(v, _)| v.as_set().is_some())
-            .max_by_key(|(v, c)| (**c, std::cmp::Reverse((*v).clone())))
-            .map(|(v, _)| v.clone());
+            .max_by_key(|(v, c)| (*c, std::cmp::Reverse((**v).clone())))
+            .map(|(v, _)| (**v).clone());
         match best_set {
             Some(v) => v,
-            None if !counts.is_empty() => ConfigValue::Bottom,
             None => ConfigValue::Bottom,
         }
     }
@@ -250,7 +289,7 @@ impl RecSa {
         if self.no_reco() {
             self.chs_config()
         } else {
-            self.config_of(self.me)
+            (*self.config_of(self.me)).clone()
         }
     }
 
@@ -259,7 +298,7 @@ impl RecSa {
     /// (line 12; the conjunction of the invariant tests).
     pub fn no_reco(&self) -> bool {
         let trusted = self.fd_of(self.me);
-        let part = self.my_part();
+        let part = shared_set(self.my_part());
 
         // (1) Every trusted participant recognises this processor.
         for k in part.iter().filter(|k| **k != self.me) {
@@ -270,36 +309,43 @@ impl RecSa {
 
         // (2) Exactly one configuration exists among the trusted processors,
         //     and it is a concrete, non-empty set (no reset in progress).
-        let mut scope: BTreeSet<ProcessId> = trusted.clone();
-        scope.insert(self.me);
-        let mut distinct: BTreeSet<ConfigValue> = BTreeSet::new();
-        for k in &scope {
-            let v = self.config_of(*k);
+        let me_extra = (!trusted.contains(&self.me)).then_some(self.me);
+        let mut unique: Option<SharedConfig> = None;
+        for k in trusted.iter().copied().chain(me_extra) {
+            let v = self.config_of(k);
             if v.marks_participant() {
                 if v.is_bottom() || v.is_empty_set() {
                     return false;
                 }
-                distinct.insert(v);
+                match &unique {
+                    None => unique = Some(v),
+                    Some(u) => {
+                        if !same_config(u, &v) {
+                            return false;
+                        }
+                    }
+                }
             }
         }
-        if distinct.len() != 1 {
+        if unique.is_none() {
             return false;
         }
 
         // (3) Participant sets agree (and, for participants, have been echoed
         //     back).
+        let am_participant = self.is_participant();
         for k in part.iter().filter(|k| **k != self.me) {
-            if self.part_of(*k) != part {
+            if !same_set(&self.part_of(*k), &part) {
                 return false;
             }
-            if self.is_participant() && self.echo_of(*k).part != part {
+            if am_participant && !same_set(&self.echo_of(*k).part, &part) {
                 return false;
             }
         }
 
         // (4) No delicate replacement in progress.
-        for k in &scope {
-            if !self.prp_of(*k).is_default() {
+        for k in trusted.iter().copied().chain(me_extra) {
+            if !self.prp_of(k).is_default() {
                 return false;
             }
         }
@@ -311,13 +357,14 @@ impl RecSa {
     /// no reconfiguration is taking place and `set` is non-empty and differs
     /// from the current configuration.
     pub fn estab(&mut self, set: ConfigSet) -> bool {
-        if set.is_empty() || ConfigValue::Set(set.clone()) == self.config_of(self.me) {
+        if set.is_empty() || self.config_of(self.me).as_set() == Some(&set) {
             return false;
         }
         if !self.no_reco() {
             return false;
         }
-        self.prp.insert(self.me, Notification::proposal(set));
+        self.prp
+            .insert(self.me, shared_ntf(Notification::proposal(set)));
         true
     }
 
@@ -329,7 +376,7 @@ impl RecSa {
             return false;
         }
         let chosen = self.chs_config();
-        self.config.insert(self.me, chosen);
+        self.config.insert(self.me, shared_config(chosen));
         true
     }
 
@@ -340,6 +387,7 @@ impl RecSa {
     pub fn step(&mut self, trusted_now: BTreeSet<ProcessId>) -> Vec<(ProcessId, RecSaMsg)> {
         let mut trusted = trusted_now;
         trusted.insert(self.me);
+        let trusted = shared_set(trusted);
         self.fd.insert(self.me, trusted.clone());
 
         // Clean after crashes (line 25a): entries of processors outside the
@@ -353,19 +401,21 @@ impl RecSa {
             .collect::<BTreeSet<_>>()
             .into_iter()
             .collect();
+        let non_part = shared_config(ConfigValue::NonParticipant);
+        let dflt = shared_ntf(Notification::dflt());
         for k in known {
             if !part.contains(&k) {
-                self.config.insert(k, ConfigValue::NonParticipant);
-                self.prp.insert(k, Notification::dflt());
+                self.config.insert(k, non_part.clone());
+                self.prp.insert(k, dflt.clone());
             }
         }
-        let part = self.my_part();
+        let part = shared_set(self.my_part());
 
         // Stale-information tests, Definition 3.1 types 1–4 (line 25b).
         if self.has_stale_information(&part) {
             self.config_set_all(ConfigValue::Bottom);
         }
-        let part = self.my_part();
+        let part = shared_set(self.my_part());
 
         match self.max_ntf(&part) {
             None => self.brute_force_branch(&trusted),
@@ -375,7 +425,9 @@ impl RecSa {
         self.broadcast(&trusted)
     }
 
-    /// Handles a protocol message from `from` (line 30).
+    /// Handles a protocol message from `from` (line 30): the received shared
+    /// values are stored as-is, keeping the sender's allocations canonical
+    /// across the whole system.
     pub fn on_message(&mut self, from: ProcessId, msg: RecSaMsg) {
         if from == self.me {
             return;
@@ -396,13 +448,15 @@ impl RecSa {
         if val.is_bottom() {
             self.resets_started += 1;
         }
+        let val = shared_config(val);
+        let dflt = shared_ntf(Notification::dflt());
         let mut keys: BTreeSet<ProcessId> = self.config.keys().copied().collect();
         keys.extend(self.prp.keys().copied());
-        keys.extend(self.fd_of(self.me));
+        keys.extend(self.fd_of(self.me).iter().copied());
         keys.insert(self.me);
         for k in keys {
             self.config.insert(k, val.clone());
-            self.prp.insert(k, Notification::dflt());
+            self.prp.insert(k, dflt.clone());
         }
         self.all.insert(self.me, false);
         self.all_seen.clear();
@@ -410,50 +464,66 @@ impl RecSa {
 
     /// `maxNtf()` (line 20): the lexicographically maximal non-default
     /// notification among the participants, or `None` when none exists.
-    fn max_ntf(&self, part: &BTreeSet<ProcessId>) -> Option<Notification> {
-        let mut scope: BTreeSet<ProcessId> = part.clone();
-        scope.insert(self.me);
-        scope
-            .into_iter()
+    fn max_ntf(&self, part: &SharedSet) -> Option<SharedNtf> {
+        let me_extra = (!part.contains(&self.me)).then_some(self.me);
+        part.iter()
+            .copied()
+            .chain(me_extra)
             .map(|k| self.prp_of(k))
             .filter(|n| !n.is_default())
             .max()
     }
 
     /// Stale-information detection (Definition 3.1).
-    fn has_stale_information(&self, part: &BTreeSet<ProcessId>) -> bool {
+    fn has_stale_information(&self, part: &SharedSet) -> bool {
         let me = self.me;
-        let mut scope: BTreeSet<ProcessId> = self.fd_of(me);
-        scope.insert(me);
+        let scope = self.fd_of(me);
+        let scope_extra = (!scope.contains(&me)).then_some(me);
+        let prp_extra = (!part.contains(&me)).then_some(me);
 
         // Type 1: a phase-0 notification that carries a proposal set.
-        let mut prp_scope: BTreeSet<ProcessId> = part.clone();
-        prp_scope.insert(me);
-        if prp_scope.iter().any(|k| self.prp_of(*k).is_type1_stale()) {
+        if part
+            .iter()
+            .copied()
+            .chain(prp_extra)
+            .any(|k| self.prp_of(k).is_type1_stale())
+        {
             return true;
         }
 
         // Type 2 (local part): a `⊥` or empty configuration anywhere in view
         // restarts/continues the reset.
-        if scope
-            .iter()
-            .any(|k| self.config_of(*k).is_bottom() || self.config_of(*k).is_empty_set())
-        {
+        if scope.iter().copied().chain(scope_extra).any(|k| {
+            let v = self.config_of(k);
+            v.is_bottom() || v.is_empty_set()
+        }) {
             return true;
         }
 
         // Type 3a: while any participant is in phase 2, all active
         // notifications must propose the same set.
-        let phase2_exists = prp_scope
+        let ntfs: Vec<SharedNtf> = part
             .iter()
-            .any(|k| self.prp_of(*k).phase == Phase::Two && self.prp_of(*k).set.is_some());
+            .copied()
+            .chain(prp_extra)
+            .map(|k| self.prp_of(k))
+            .collect();
+        let phase2_exists = ntfs
+            .iter()
+            .any(|n| n.phase == Phase::Two && n.set.is_some());
         if phase2_exists {
-            let notif_sets: BTreeSet<ConfigSet> = prp_scope
-                .iter()
-                .filter_map(|k| self.prp_of(*k).set)
-                .collect();
-            if notif_sets.len() > 1 {
-                return true;
+            let mut first: Option<&ConfigSet> = None;
+            for n in &ntfs {
+                if let Some(s) = &n.set {
+                    match first {
+                        None => first = Some(s),
+                        Some(f) => {
+                            if f != s {
+                                return true;
+                            }
+                        }
+                    }
+                }
             }
         }
 
@@ -463,9 +533,7 @@ impl RecSa {
         if matches!(my_phase, Phase::One | Phase::Two) {
             for k in part.iter().filter(|k| **k != me) {
                 let n = self.prp_of(*k);
-                if !n.is_default()
-                    && n.phase == my_phase.successor()
-                    && !self.all_seen.contains(k)
+                if !n.is_default() && n.phase == my_phase.successor() && !self.all_seen.contains(k)
                 {
                     return true;
                 }
@@ -474,15 +542,22 @@ impl RecSa {
 
         // Type 4: the failure-detector views are stable and the current
         // configuration contains no active participant.
-        let current = match self.config_of(me) {
+        let own = self.config_of(me);
+        let chs;
+        let current: Option<&ConfigSet> = match &*own {
             ConfigValue::Set(s) => Some(s),
             ConfigValue::Bottom => None,
-            ConfigValue::NonParticipant => self.chs_config().as_set().cloned(),
+            ConfigValue::NonParticipant => {
+                chs = self.chs_config();
+                chs.as_set()
+            }
         };
         if let Some(cfg) = current {
-            let views_stable = part.iter().filter(|k| **k != me).all(|k| {
-                self.fd_of(*k) == self.fd_of(me) && self.part_of(*k) == *part
-            });
+            let my_fd = self.fd_of(me);
+            let views_stable = part
+                .iter()
+                .filter(|k| **k != me)
+                .all(|k| same_set(&self.fd_of(*k), &my_fd) && same_set(&self.part_of(*k), part));
             if views_stable && cfg.iter().all(|m| !part.contains(m)) {
                 return true;
             }
@@ -492,37 +567,49 @@ impl RecSa {
 
     /// The branch taken when no replacement notification exists
     /// (lines 26–27): conflict detection and brute-force reset completion.
-    fn brute_force_branch(&mut self, trusted: &BTreeSet<ProcessId>) {
+    fn brute_force_branch(&mut self, trusted: &SharedSet) {
         // Conflict: more than one concrete configuration in view.
-        let mut scope: BTreeSet<ProcessId> = trusted.clone();
-        scope.insert(self.me);
-        let distinct: BTreeSet<ConfigSet> = scope
-            .iter()
-            .filter_map(|k| self.config_of(*k).as_set().cloned())
-            .collect();
-        if distinct.len() > 1 {
+        let me_extra = (!trusted.contains(&self.me)).then_some(self.me);
+        let mut unique: Option<SharedConfig> = None;
+        let mut conflict = false;
+        for k in trusted.iter().copied().chain(me_extra) {
+            let v = self.config_of(k);
+            if v.as_set().is_none() {
+                continue;
+            }
+            match &unique {
+                None => unique = Some(v),
+                Some(u) => {
+                    if !same_config(u, &v) {
+                        conflict = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if conflict {
             self.config_set_all(ConfigValue::Bottom);
         }
 
         // Reset completion: when the trusted processors all report the same
         // failure-detector reading, adopt it as the configuration.
         if self.config_of(self.me).is_bottom() && self.fd_views_agree(trusted) {
-            self.config_set_all(ConfigValue::Set(self.fd_of(self.me)));
+            self.config_set_all(ConfigValue::Set((*self.fd_of(self.me)).clone()));
         }
     }
 
     /// `|{FD[j] : pⱼ ∈ FD[i]}| = 1`: every trusted processor's last reported
     /// trusted set equals our own reading.
-    fn fd_views_agree(&self, trusted: &BTreeSet<ProcessId>) -> bool {
+    fn fd_views_agree(&self, trusted: &SharedSet) -> bool {
         let mine = self.fd_of(self.me);
         trusted
             .iter()
             .filter(|k| **k != self.me)
-            .all(|k| self.fd_of(*k) == mine)
+            .all(|k| same_set(&self.fd_of(*k), &mine))
     }
 
     /// The delicate-replacement branch (line 28).
-    fn delicate_branch(&mut self, part: &BTreeSet<ProcessId>, max: Notification) {
+    fn delicate_branch(&mut self, part: &SharedSet, max: SharedNtf) {
         let me = self.me;
 
         // Completion short-circuit: when the maximal notification is in phase
@@ -535,9 +622,13 @@ impl RecSa {
         // single proposal before any installation — is still unison-based).
         if max.phase == Phase::Two {
             if let Some(set) = &max.set {
-                let installed = ConfigValue::Set(set.clone());
-                if !part.is_empty() && part.iter().all(|k| self.config_of(*k) == installed) {
-                    self.prp.insert(me, Notification::dflt());
+                let installed = shared_config(ConfigValue::Set(set.clone()));
+                if !part.is_empty()
+                    && part
+                        .iter()
+                        .all(|k| same_config(&self.config_of(*k), &installed))
+                {
+                    self.prp.insert(me, shared_ntf(Notification::dflt()));
                     self.all.insert(me, false);
                     self.all_seen.clear();
                     return;
@@ -558,8 +649,9 @@ impl RecSa {
         let my_prp = self.prp_of(me);
         if my_prp.phase == Phase::Two {
             if let Some(set) = &my_prp.set {
-                if self.config_of(me) != ConfigValue::Set(set.clone()) {
-                    self.config.insert(me, ConfigValue::Set(set.clone()));
+                if self.config_of(me).as_set() != Some(set) {
+                    self.config
+                        .insert(me, shared_config(ConfigValue::Set(set.clone())));
                     self.delicate_installs += 1;
                 }
             }
@@ -584,7 +676,7 @@ impl RecSa {
             self.all.insert(me, false);
             match new_phase {
                 Phase::Zero => {
-                    self.prp.insert(me, Notification::dflt());
+                    self.prp.insert(me, shared_ntf(Notification::dflt()));
                 }
                 Phase::Two => {
                     let promoted = Notification {
@@ -592,41 +684,42 @@ impl RecSa {
                         set: my_prp.set.clone(),
                     };
                     if let Some(set) = &promoted.set {
-                        if self.config_of(me) != ConfigValue::Set(set.clone()) {
-                            self.config.insert(me, ConfigValue::Set(set.clone()));
+                        if self.config_of(me).as_set() != Some(set) {
+                            self.config
+                                .insert(me, shared_config(ConfigValue::Set(set.clone())));
                             self.delicate_installs += 1;
                         }
                     }
-                    self.prp.insert(me, promoted);
+                    self.prp.insert(me, shared_ntf(promoted));
                 }
                 Phase::One => {}
             }
         }
     }
 
-    fn same(&self, k: ProcessId, part: &BTreeSet<ProcessId>, my_prp: &Notification) -> bool {
-        self.part_of(k) == *part && self.prp_of(k) == *my_prp
+    fn same(&self, k: ProcessId, part: &SharedSet, my_prp: &SharedNtf) -> bool {
+        same_set(&self.part_of(k), part) && same_ntf(&self.prp_of(k), my_prp)
     }
 
-    fn echo_no_all(&self, k: ProcessId, part: &BTreeSet<ProcessId>, my_prp: &Notification) -> bool {
+    fn echo_no_all(&self, k: ProcessId, part: &SharedSet, my_prp: &SharedNtf) -> bool {
         let e = self.echo_of(k);
-        e.part == *part && e.prp == *my_prp
+        same_set(&e.part, part) && same_ntf(&e.prp, my_prp)
     }
 
     fn echo_all(
         &self,
         others: &[ProcessId],
-        part: &BTreeSet<ProcessId>,
-        my_prp: &Notification,
+        part: &SharedSet,
+        my_prp: &SharedNtf,
         all_i: bool,
     ) -> bool {
         others.iter().all(|k| {
             let e = self.echo_of(*k);
-            e.part == *part && e.prp == *my_prp && e.all == all_i
+            same_set(&e.part, part) && same_ntf(&e.prp, my_prp) && e.all == all_i
         })
     }
 
-    fn all_seen_complete(&self, part: &BTreeSet<ProcessId>, all_i: bool) -> bool {
+    fn all_seen_complete(&self, part: &SharedSet, all_i: bool) -> bool {
         part.iter().all(|k| {
             if *k == self.me {
                 all_i
@@ -638,11 +731,17 @@ impl RecSa {
 
     /// Line 29: participants broadcast their state to every trusted
     /// processor; non-participants stay silent.
-    fn broadcast(&self, trusted: &BTreeSet<ProcessId>) -> Vec<(ProcessId, RecSaMsg)> {
+    fn broadcast(&self, trusted: &SharedSet) -> Vec<(ProcessId, RecSaMsg)> {
         if !self.is_participant() {
             return Vec::new();
         }
-        let part = self.my_part();
+        // Own values are computed once and shared by every copy; only the
+        // per-receiver echo differs (and consists of shared values itself).
+        let fd = self.fd_of(self.me);
+        let part = shared_set(self.my_part());
+        let config = self.config_of(self.me);
+        let prp = self.prp_of(self.me);
+        let all = self.all_of(self.me);
         trusted
             .iter()
             .copied()
@@ -651,11 +750,11 @@ impl RecSa {
                 (
                     pj,
                     RecSaMsg {
-                        fd: self.fd_of(self.me),
+                        fd: fd.clone(),
                         part: part.clone(),
-                        config: self.config_of(self.me),
-                        prp: self.prp_of(self.me),
-                        all: self.all_of(self.me),
+                        config: config.clone(),
+                        prp: prp.clone(),
+                        all,
                         echo: EchoTriple {
                             part: self.part_of(pj),
                             prp: self.prp_of(pj),
@@ -671,12 +770,12 @@ impl RecSa {
 
     /// Overwrites a `config[]` entry, modelling a transient fault.
     pub fn corrupt_config(&mut self, k: ProcessId, val: ConfigValue) {
-        self.config.insert(k, val);
+        self.config.insert(k, shared_config(val));
     }
 
     /// Overwrites a `prp[]` entry, modelling a transient fault.
     pub fn corrupt_notification(&mut self, k: ProcessId, n: Notification) {
-        self.prp.insert(k, n);
+        self.prp.insert(k, shared_ntf(n));
     }
 
     /// Overwrites the `allSeen` set, modelling a transient fault.
@@ -943,7 +1042,10 @@ mod tests {
             },
         );
         h.rounds(40);
-        assert!(h.converged().is_some(), "must re-converge after type-1 fault");
+        assert!(
+            h.converged().is_some(),
+            "must re-converge after type-1 fault"
+        );
         for id in 0..3 {
             assert!(h.node(id).own_notification().is_default());
         }
@@ -1001,12 +1103,13 @@ mod tests {
         let cfg = config_set([0, 1, 2, 3]);
         let mut h = Harness::with_config(4, &cfg);
         h.rounds(10);
-        h.node_mut(0).corrupt_all_seen(config_set([9, 17]).into_iter().collect());
+        h.node_mut(0)
+            .corrupt_all_seen(config_set([9, 17]).into_iter().collect());
         h.node_mut(1).corrupt_echo(
             ProcessId::new(2),
             EchoTriple {
-                part: config_set([1]),
-                prp: Notification::proposal(config_set([5])),
+                part: shared_set(config_set([1])),
+                prp: shared_ntf(Notification::proposal(config_set([5]))),
                 all: true,
             },
         );

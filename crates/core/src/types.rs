@@ -5,8 +5,12 @@
 //! notifications `prp[] = ⟨phase, set⟩`, and the `echo[]` triples used by the
 //! unison-style phase coordination.
 
-use std::collections::BTreeSet;
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use simnet::ProcessId;
 
@@ -14,6 +18,116 @@ use simnet::ProcessId;
 /// set are the quorums used by the applications (Section 2 notes any quorum
 /// system generated from the set could be used instead).
 pub type ConfigSet = BTreeSet<ProcessId>;
+
+/// A reference-counted processor set, the unit recSA puts on the wire.
+///
+/// recSA's line-29 broadcast sends the sender's failure-detector reading,
+/// participant set and configuration to **every** trusted processor, and its
+/// predicates (`noReco()`, `fdViewsAgree`, the unison echoes) compare those
+/// sets across **every** peer each round. With plain owned sets both are
+/// `O(n)` per peer — `O(n³)` system-wide per round, which is what capped
+/// simulations at a few hundred processors. Shared sets make the per-peer
+/// cost `O(1)`: construction via [`shared_set`] *interns* the value, so equal
+/// sets are represented by the same allocation and equality short-circuits on
+/// pointer identity (see [`same_set`]).
+pub type SharedSet = Arc<BTreeSet<ProcessId>>;
+
+/// A reference-counted [`ConfigValue`] (interned via [`shared_config`]).
+pub type SharedConfig = Arc<ConfigValue>;
+
+/// A reference-counted [`Notification`] (interned via [`shared_ntf`]).
+pub type SharedNtf = Arc<Notification>;
+
+thread_local! {
+    static SET_INTERN: RefCell<Intern<BTreeSet<ProcessId>>> = RefCell::new(Intern::new());
+    static CONFIG_INTERN: RefCell<Intern<ConfigValue>> = RefCell::new(Intern::new());
+    static NTF_INTERN: RefCell<Intern<Notification>> = RefCell::new(Intern::new());
+}
+
+fn hash_of<T: Hash>(value: &T) -> u64 {
+    // DefaultHasher::new() is keyed deterministically, so intern-table
+    // behaviour (and with it simulation traces) is reproducible.
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// How many interned entries a table may hold before a full sweep drops the
+/// values nobody outside the table references any more. Bounds table memory
+/// by the number of *live* distinct values (plus the sweep slack), not by the
+/// number of distinct values ever seen.
+const INTERN_SWEEP_THRESHOLD: usize = 4096;
+
+struct Intern<T> {
+    buckets: HashMap<u64, Vec<Arc<T>>>,
+    len: usize,
+}
+
+impl<T> Intern<T> {
+    fn new() -> Self {
+        Intern {
+            buckets: HashMap::new(),
+            len: 0,
+        }
+    }
+}
+
+fn intern<T: Eq + Hash>(table: &RefCell<Intern<T>>, value: T) -> Arc<T> {
+    let mut table = table.borrow_mut();
+    let hash = hash_of(&value);
+    if let Some(canonical) = table
+        .buckets
+        .get(&hash)
+        .and_then(|bucket| bucket.iter().find(|c| ***c == value))
+    {
+        return canonical.clone();
+    }
+    if table.len >= INTERN_SWEEP_THRESHOLD {
+        table.buckets.retain(|_, bucket| {
+            bucket.retain(|c| Arc::strong_count(c) > 1);
+            !bucket.is_empty()
+        });
+        table.len = table.buckets.values().map(Vec::len).sum();
+    }
+    let arc = Arc::new(value);
+    table.buckets.entry(hash).or_default().push(arc.clone());
+    table.len += 1;
+    arc
+}
+
+/// Interns `set`: equal sets constructed on the same thread return the same
+/// allocation, making [`same_set`] an `O(1)` pointer comparison in the common
+/// (converged) case.
+pub fn shared_set(set: BTreeSet<ProcessId>) -> SharedSet {
+    SET_INTERN.with(|t| intern(t, set))
+}
+
+/// Interns a [`ConfigValue`] (see [`shared_set`]).
+pub fn shared_config(value: ConfigValue) -> SharedConfig {
+    CONFIG_INTERN.with(|t| intern(t, value))
+}
+
+/// Interns a [`Notification`] (see [`shared_set`]).
+pub fn shared_ntf(ntf: Notification) -> SharedNtf {
+    NTF_INTERN.with(|t| intern(t, ntf))
+}
+
+/// Set equality with the interning fast path: pointer identity decides for
+/// values produced by [`shared_set`]; a value comparison backs up arbitrary
+/// `Arc`s (e.g. test-constructed ones).
+pub fn same_set(a: &SharedSet, b: &SharedSet) -> bool {
+    Arc::ptr_eq(a, b) || a == b
+}
+
+/// [`ConfigValue`] equality with the interning fast path (see [`same_set`]).
+pub fn same_config(a: &SharedConfig, b: &SharedConfig) -> bool {
+    Arc::ptr_eq(a, b) || a == b
+}
+
+/// [`Notification`] equality with the interning fast path (see [`same_set`]).
+pub fn same_ntf(a: &SharedNtf, b: &SharedNtf) -> bool {
+    Arc::ptr_eq(a, b) || a == b
+}
 
 /// The value of a `config[]` entry.
 ///
@@ -188,13 +302,14 @@ impl fmt::Display for Notification {
 
 /// The triple a processor echoes back to a peer: the peer's participant set,
 /// notification and `all` flag as most recently received (the paper's
-/// `echo[]` entries).
+/// `echo[]` entries). The set and notification are shared (see [`SharedSet`])
+/// because an echo rides on every broadcast message.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EchoTriple {
     /// The echoed participant set (`FD[·].part`).
-    pub part: BTreeSet<ProcessId>,
+    pub part: SharedSet,
     /// The echoed notification.
-    pub prp: Notification,
+    pub prp: SharedNtf,
     /// The echoed `all` flag.
     pub all: bool,
 }
@@ -235,7 +350,10 @@ mod tests {
     fn config_value_display() {
         assert_eq!(format!("{}", ConfigValue::NonParticipant), "]");
         assert_eq!(format!("{}", ConfigValue::Bottom), "⊥");
-        assert_eq!(format!("{}", ConfigValue::Set(config_set([1, 2]))), "{p1,p2}");
+        assert_eq!(
+            format!("{}", ConfigValue::Set(config_set([1, 2]))),
+            "{p1,p2}"
+        );
     }
 
     #[test]
@@ -275,7 +393,10 @@ mod tests {
         assert!(d < a);
         assert!(a < b);
         assert!(b < c, "higher phase dominates set order");
-        let max = [a.clone(), b.clone(), c.clone(), d].into_iter().max().unwrap();
+        let max = [a.clone(), b.clone(), c.clone(), d]
+            .into_iter()
+            .max()
+            .unwrap();
         assert_eq!(max, c);
     }
 
@@ -305,5 +426,29 @@ mod tests {
         assert!(e.part.is_empty());
         assert!(e.prp.is_default());
         assert!(!e.all);
+    }
+
+    #[test]
+    fn interning_canonicalizes_equal_values() {
+        let a = shared_set(config_set([1, 2, 3]));
+        let b = shared_set(config_set([1, 2, 3]));
+        assert!(Arc::ptr_eq(&a, &b), "equal sets must share one allocation");
+        assert!(same_set(&a, &b));
+        assert!(!same_set(&a, &shared_set(config_set([4]))));
+
+        // A hand-rolled Arc (never interned) still compares by value.
+        let outsider = Arc::new(config_set([1, 2, 3]));
+        assert!(same_set(&a, &outsider));
+
+        let c1 = shared_config(ConfigValue::Set(config_set([1, 2])));
+        let c2 = shared_config(ConfigValue::Set(config_set([1, 2])));
+        assert!(Arc::ptr_eq(&c1, &c2));
+        assert!(same_config(&c1, &c2));
+        assert!(!same_config(&c1, &shared_config(ConfigValue::Bottom)));
+
+        let n1 = shared_ntf(Notification::proposal(config_set([9])));
+        let n2 = shared_ntf(Notification::proposal(config_set([9])));
+        assert!(Arc::ptr_eq(&n1, &n2));
+        assert!(same_ntf(&n1, &n2));
     }
 }

@@ -19,17 +19,16 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use labels::Labeler;
+use labels::{Labeler, LabelerMsg};
 use reconfig::ConfigSet;
+use simnet::stack::{Layer, Outbox, Router};
 use simnet::ProcessId;
 
 use crate::counter::{Counter, DEFAULT_EXHAUSTION_BOUND};
 
-/// Messages of the counter service.
+/// The two-phase quorum messages of an increment operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CounterMsg {
-    /// Member-to-member gossip of the locally maximal counter (Alg. 4.3).
-    Sync(Counter),
+pub enum QuorumMsg {
     /// `majRead` query.
     ReadRequest {
         /// Operation identifier, local to the requester.
@@ -58,6 +57,22 @@ pub enum CounterMsg {
         /// `true` when the member aborted the write.
         abort: bool,
     },
+}
+
+simnet::wire_enum! {
+    /// Messages of the counter service: the wire format of the counter
+    /// stack. The labeling algorithm of the `labels` crate is a sub-layer of
+    /// this service (Algorithm 4.3 runs it alongside the counter gossip), so
+    /// its traffic travels in its own lane rather than being folded away.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum CounterMsg {
+        /// Member-to-member gossip of the locally maximal counter (Alg. 4.3).
+        Sync(Counter),
+        /// Label exchange of the underlying labeling algorithm (Alg. 4.1).
+        Label(LabelerMsg),
+        /// Two-phase quorum traffic of increment operations (Alg. 4.4/4.5).
+        Quorum(QuorumMsg),
+    }
 }
 
 /// Outcome of a completed increment attempt.
@@ -178,11 +193,14 @@ impl CounterNode {
                 replies: BTreeMap::new(),
             },
         });
-        self.config
-            .iter()
-            .copied()
-            .map(|m| (m, CounterMsg::ReadRequest { op }))
-            .collect()
+        let mut out = Outbox::new();
+        out.extend(
+            self.config
+                .iter()
+                .copied()
+                .map(|m| (m, QuorumMsg::ReadRequest { op })),
+        );
+        out.into_messages()
     }
 
     /// Returns `true` while an increment operation is in flight.
@@ -192,23 +210,12 @@ impl CounterNode {
 
     /// One periodic step: members gossip their maximal counter and keep the
     /// label exchange of Algorithm 4.1 running.
+    ///
+    /// Context-free facade over the [`Layer`] implementation.
     pub fn step(&mut self) -> Vec<(ProcessId, CounterMsg)> {
-        let mut out = Vec::new();
-        if self.is_member() && !self.reconfiguring {
-            // Drive the labeling algorithm and make sure the maximal counter
-            // lives in the current maximal label.
-            for (_, _msg) in self.labeler.step() {
-                // Label traffic is folded into the counter gossip: the
-                // maximal counter carries its label.
-            }
-            self.refresh_max_label();
-            if let Some(c) = self.max_counter.clone() {
-                for m in self.config.iter().copied().filter(|m| *m != self.me) {
-                    out.push((m, CounterMsg::Sync(c.clone())));
-                }
-            }
-        }
-        out
+        let mut out = Outbox::new();
+        Layer::poll(self, &[], &mut out);
+        out.into_messages()
     }
 
     /// Makes sure a maximal counter exists and its label is legit; creates or
@@ -251,52 +258,59 @@ impl CounterNode {
     }
 
     /// Handles a counter-service message, returning the replies to send.
+    ///
+    /// Context-free facade over the [`Layer`] implementation.
     pub fn on_message(&mut self, from: ProcessId, msg: CounterMsg) -> Vec<(ProcessId, CounterMsg)> {
+        let mut out = Outbox::new();
+        Layer::handle(self, from, msg, &mut out);
+        out.into_messages()
+    }
+
+    /// Handles one two-phase quorum message (Algorithms 4.4/4.5).
+    fn handle_quorum(&mut self, from: ProcessId, msg: QuorumMsg, out: &mut Outbox<CounterMsg>) {
         match msg {
-            CounterMsg::Sync(c) => {
-                if self.is_member() && !self.reconfiguring {
-                    self.adopt(c);
-                }
-                Vec::new()
-            }
-            CounterMsg::ReadRequest { op } => {
+            QuorumMsg::ReadRequest { op } => {
                 if !self.is_member() {
-                    return Vec::new();
+                    return;
                 }
                 if self.reconfiguring {
-                    return vec![(
+                    out.push(
                         from,
-                        CounterMsg::ReadReply {
+                        QuorumMsg::ReadReply {
                             op,
                             counter: None,
                             abort: true,
                         },
-                    )];
+                    );
+                    return;
                 }
                 self.refresh_max_label();
-                vec![(
+                out.push(
                     from,
-                    CounterMsg::ReadReply {
+                    QuorumMsg::ReadReply {
                         op,
                         counter: self.max_counter.clone(),
                         abort: false,
                     },
-                )]
+                );
             }
-            CounterMsg::ReadReply { op, counter, abort } => {
-                self.handle_read_reply(from, op, counter, abort)
+            QuorumMsg::ReadReply { op, counter, abort } => {
+                out.extend(self.handle_read_reply(from, op, counter, abort));
             }
-            CounterMsg::WriteRequest { op, counter } => {
+            QuorumMsg::WriteRequest { op, counter } => {
                 if !self.is_member() {
-                    return Vec::new();
+                    return;
                 }
                 if self.reconfiguring {
-                    return vec![(from, CounterMsg::WriteAck { op, abort: true })];
+                    out.push(from, QuorumMsg::WriteAck { op, abort: true });
+                    return;
                 }
                 self.adopt(counter);
-                vec![(from, CounterMsg::WriteAck { op, abort: false })]
+                out.push(from, QuorumMsg::WriteAck { op, abort: false });
             }
-            CounterMsg::WriteAck { op, abort } => self.handle_write_ack(from, op, abort),
+            QuorumMsg::WriteAck { op, abort } => {
+                self.handle_write_ack(from, op, abort);
+            }
         }
     }
 
@@ -310,7 +324,7 @@ impl CounterNode {
         op: u64,
         counter: Option<Counter>,
         abort: bool,
-    ) -> Vec<(ProcessId, CounterMsg)> {
+    ) -> Vec<(ProcessId, QuorumMsg)> {
         // Take the pending operation out to avoid overlapping borrows; it is
         // reinstated below unless the operation finishes or aborts.
         let Some(mut pending) = self.pending.take() else {
@@ -387,7 +401,7 @@ impl CounterNode {
             .map(|m| {
                 (
                     m,
-                    CounterMsg::WriteRequest {
+                    QuorumMsg::WriteRequest {
                         op,
                         counter: new_counter.clone(),
                     },
@@ -396,27 +410,22 @@ impl CounterNode {
             .collect()
     }
 
-    fn handle_write_ack(
-        &mut self,
-        from: ProcessId,
-        op: u64,
-        abort: bool,
-    ) -> Vec<(ProcessId, CounterMsg)> {
+    fn handle_write_ack(&mut self, from: ProcessId, op: u64, abort: bool) {
         let majority = self.majority();
         let Some(mut pending) = self.pending.take() else {
-            return Vec::new();
+            return;
         };
         if pending.op != op {
             self.pending = Some(pending);
-            return Vec::new();
+            return;
         }
         if abort {
             self.completed.push(IncrementOutcome::Aborted);
-            return Vec::new();
+            return;
         }
         let PendingPhase::Write { counter, acks } = &mut pending.phase else {
             self.pending = Some(pending);
-            return Vec::new();
+            return;
         };
         acks.insert(from);
         if acks.len() >= majority {
@@ -426,7 +435,47 @@ impl CounterNode {
         } else {
             self.pending = Some(pending);
         }
-        Vec::new()
+    }
+}
+
+impl Layer for CounterNode {
+    type Wire = CounterMsg;
+
+    /// Members gossip their maximal counter and drive the label exchange;
+    /// `peers` is ignored because all counter traffic targets configuration
+    /// members.
+    fn poll(&mut self, _peers: &[ProcessId], out: &mut Outbox<CounterMsg>) {
+        if self.is_member() && !self.reconfiguring {
+            // Drive the labeling algorithm (Algorithm 4.1 runs alongside the
+            // counter gossip) and make sure the maximal counter lives in the
+            // current maximal label.
+            out.extend(self.labeler.step());
+            self.refresh_max_label();
+            if let Some(c) = self.max_counter.clone() {
+                for m in self.config.iter().copied().filter(|m| *m != self.me) {
+                    out.push(m, c.clone());
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, from: ProcessId, msg: CounterMsg, out: &mut Outbox<CounterMsg>) {
+        let rest = Router::new(from, msg)
+            .lane(out, |_, c: Counter, _| {
+                if self.is_member() && !self.reconfiguring {
+                    self.adopt(c);
+                }
+            })
+            .lane(out, |from, m: LabelerMsg, _| {
+                if !self.reconfiguring {
+                    self.labeler.on_message(from, m);
+                }
+            })
+            .lane(out, |from, q: QuorumMsg, out| {
+                self.handle_quorum(from, q, out)
+            })
+            .finish();
+        debug_assert!(rest.is_none(), "every counter lane is routed");
     }
 }
 
@@ -448,11 +497,17 @@ mod tests {
         fn new(cfg: &ConfigSet, clients: &[u32], bound: u64) -> Self {
             let mut nodes = BTreeMap::new();
             for id in cfg.iter().copied() {
-                nodes.insert(id, CounterNode::new(id, cfg.clone()).with_exhaustion_bound(bound));
+                nodes.insert(
+                    id,
+                    CounterNode::new(id, cfg.clone()).with_exhaustion_bound(bound),
+                );
             }
             for c in clients {
                 let id = pid(*c);
-                nodes.insert(id, CounterNode::new(id, cfg.clone()).with_exhaustion_bound(bound));
+                nodes.insert(
+                    id,
+                    CounterNode::new(id, cfg.clone()).with_exhaustion_bound(bound),
+                );
             }
             Harness { nodes }
         }
@@ -553,7 +608,11 @@ mod tests {
         for i in 0..12u32 {
             if let IncrementOutcome::Committed(c) = h.increment(i % 3) {
                 labels_seen.insert(c.label.clone());
-                assert!(c.seqn <= 4, "seqn ran past the exhaustion bound: {}", c.seqn);
+                assert!(
+                    c.seqn <= 4,
+                    "seqn ran past the exhaustion bound: {}",
+                    c.seqn
+                );
             }
             h.round();
         }

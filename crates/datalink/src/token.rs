@@ -282,7 +282,10 @@ mod tests {
         run_pair(&mut a, &mut b, 30);
         let before = a.completed();
         run_pair(&mut a, &mut b, 30);
-        assert!(a.completed() > before, "token exchange stalled after corruption");
+        assert!(
+            a.completed() > before,
+            "token exchange stalled after corruption"
+        );
     }
 
     #[test]

@@ -17,12 +17,30 @@ use crate::trust::TrustView;
 ///
 /// The structure is bounded: it retains at most `2·N` entries (the `N` best
 /// ranked plus room for newcomers before the next prune).
+///
+/// Internally the count vector is stored in difference form: a logical clock
+/// `total` counts every heartbeat processed, and per peer only the clock
+/// value of its latest heartbeat is kept, so that
+/// `count(p) = total − base[p]`. This makes [`ThetaFailureDetector::heartbeat`]
+/// — which runs for **every** received packet — `O(log N)` instead of the
+/// naive `O(N)` sweep incrementing every other entry, while producing
+/// exactly the same counts.
 #[derive(Debug, Clone)]
 pub struct ThetaFailureDetector {
     me: ProcessId,
     n_bound: usize,
     theta: u64,
-    counts: BTreeMap<ProcessId, u64>,
+    /// Logical clock: total heartbeats processed.
+    total: i128,
+    /// Per-peer baseline; `count(p) = total − base[p]`. Signed because
+    /// transient-fault injection may set counts above the clock.
+    base: BTreeMap<ProcessId, i128>,
+}
+
+/// A raw count from the difference representation, saturated into `u64`
+/// exactly like the former explicit vector (which used `saturating_add`).
+fn saturate(diff: i128) -> u64 {
+    diff.clamp(0, u64::MAX as i128) as u64
 }
 
 impl ThetaFailureDetector {
@@ -39,7 +57,8 @@ impl ThetaFailureDetector {
             me,
             n_bound,
             theta,
-            counts: BTreeMap::new(),
+            total: 0,
+            base: BTreeMap::new(),
         }
     }
 
@@ -66,12 +85,10 @@ impl ThetaFailureDetector {
         if peer == self.me {
             return;
         }
-        for (p, c) in self.counts.iter_mut() {
-            if *p != peer {
-                *c = c.saturating_add(1);
-            }
-        }
-        self.counts.insert(peer, 0);
+        // Difference form of "reset `peer` to 0, increment every other
+        // tracked count": advance the clock, re-baseline `peer`.
+        self.total += 1;
+        self.base.insert(peer, self.total);
         self.prune();
     }
 
@@ -80,27 +97,29 @@ impl ThetaFailureDetector {
     /// keep a little slack so newcomers are not evicted prematurely).
     fn prune(&mut self) {
         let limit = 2 * self.n_bound;
-        if self.counts.len() <= limit {
+        if self.base.len() <= limit {
             return;
         }
-        let mut ranked: Vec<(ProcessId, u64)> =
-            self.counts.iter().map(|(p, c)| (*p, *c)).collect();
-        ranked.sort_by_key(|(p, c)| (*c, *p));
+        let mut ranked = self.ranked();
         ranked.truncate(limit);
-        self.counts = ranked.into_iter().collect();
+        let keep: BTreeSet<ProcessId> = ranked.into_iter().map(|(p, _)| p).collect();
+        self.base.retain(|p, _| keep.contains(p));
     }
 
     /// The heartbeat count currently recorded for `peer` (`None` if `peer`
     /// was never heard from or has been pruned).
     pub fn count(&self, peer: ProcessId) -> Option<u64> {
-        self.counts.get(&peer).copied()
+        self.base.get(&peer).map(|b| saturate(self.total - b))
     }
 
     /// All tracked processors ranked from most to least recently heard
     /// (ties broken by identifier).
     pub fn ranked(&self) -> Vec<(ProcessId, u64)> {
-        let mut ranked: Vec<(ProcessId, u64)> =
-            self.counts.iter().map(|(p, c)| (*p, *c)).collect();
+        let mut ranked: Vec<(ProcessId, u64)> = self
+            .base
+            .iter()
+            .map(|(p, b)| (*p, saturate(self.total - b)))
+            .collect();
         ranked.sort_by_key(|(p, c)| (*c, *p));
         ranked
     }
@@ -134,7 +153,7 @@ impl ThetaFailureDetector {
     /// The set of tracked-but-suspected processors.
     pub fn suspected(&self) -> BTreeSet<ProcessId> {
         let trusted = self.trusted();
-        self.counts
+        self.base
             .keys()
             .copied()
             .filter(|p| !trusted.contains(p))
@@ -157,13 +176,13 @@ impl ThetaFailureDetector {
 
     /// Discards all knowledge about `peer`.
     pub fn forget(&mut self, peer: ProcessId) {
-        self.counts.remove(&peer);
+        self.base.remove(&peer);
     }
 
     /// Overwrites the count of `peer` (transient-fault injection helper).
     pub fn corrupt_count(&mut self, peer: ProcessId, count: u64) {
         if peer != self.me {
-            self.counts.insert(peer, count);
+            self.base.insert(peer, self.total - count as i128);
         }
     }
 }
@@ -193,7 +212,7 @@ mod tests {
         }
         assert!(fd.trusts(pid(1)));
         assert!(fd.trusts(pid(2)));
-        assert_eq!(fd.count(pid(1)).unwrap() <= 1, true);
+        assert!(fd.count(pid(1)).unwrap() <= 1);
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl Labeler {
         if !self.is_member() {
             return Vec::new();
         }
-        if self.max.get(&self.me).is_none() {
+        if !self.max.contains_key(&self.me) {
             self.use_own_label();
         }
         let my_max = self.max[&self.me].clone();

@@ -63,7 +63,7 @@ pub mod op;
 pub mod store;
 pub mod types;
 
-pub use node::{SharedMemMsg, SharedMemNode};
+pub use node::{RegisterMsg, SharedMemMsg, SharedMemNode};
 pub use op::{next_tag, OpPhase, OpStep, PendingOp};
 pub use store::RegisterStore;
 pub use types::{OpId, OpKind, OpOutcome, RegisterId, TaggedValue};

@@ -19,18 +19,17 @@ use std::collections::{BTreeSet, VecDeque};
 
 use counters::DEFAULT_EXHAUSTION_BOUND;
 use reconfig::{ConfigSet, NodeConfig, QuorumSystem, ReconfigMsg, ReconfigNode};
-use simnet::{Context, Process, ProcessId};
+use simnet::stack::{Layer, Outbox, Router};
+use simnet::ProcessId;
 
 use crate::op::{OpStep, PendingOp};
 use crate::store::RegisterStore;
 use crate::types::{OpId, OpKind, OpOutcome, RegisterId, TaggedValue};
 
-/// Messages exchanged by [`SharedMemNode`]s: reconfiguration traffic and the
-/// register protocol share one wire format.
+/// The two-phase register protocol messages (query, propagate, abort and
+/// post-reconfiguration state transfer).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SharedMemMsg {
-    /// Reconfiguration scheme traffic.
-    Reconfig(ReconfigMsg),
+pub enum RegisterMsg {
     /// Query phase request: "send me your latest tagged value for `key`".
     Query {
         /// The operation this request belongs to.
@@ -72,6 +71,19 @@ pub enum SharedMemMsg {
         /// Snapshot of the sender's register store.
         entries: Vec<(RegisterId, TaggedValue)>,
     },
+}
+
+simnet::wire_enum! {
+    /// Messages exchanged by [`SharedMemNode`]s: reconfiguration traffic and
+    /// the register protocol share one wire format, multiplexed through the
+    /// shared [`simnet::stack`] mechanism.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum SharedMemMsg {
+        /// Reconfiguration scheme traffic.
+        Reconfig(ReconfigMsg),
+        /// Two-phase register protocol traffic.
+        Register(RegisterMsg),
+    }
 }
 
 /// One processor of the reconfigurable MWMR shared-memory emulation.
@@ -117,7 +129,10 @@ impl SharedMemNode {
 
     /// Creates a node that is one of the initial configuration members.
     pub fn new_member(me: ProcessId, initial_config: ConfigSet, node_config: NodeConfig) -> Self {
-        Self::assemble(me, ReconfigNode::new_with_config(me, initial_config, node_config))
+        Self::assemble(
+            me,
+            ReconfigNode::new_with_config(me, initial_config, node_config),
+        )
     }
 
     /// Creates a node that joins the running system through the joining
@@ -248,132 +263,77 @@ impl SharedMemNode {
     }
 
     fn config_members(&self) -> Option<ConfigSet> {
-        self.reconfig.installed_config().filter(|cfg| !cfg.is_empty())
+        self.reconfig
+            .installed_config()
+            .filter(|cfg| !cfg.is_empty())
     }
 
     /// One timer step of the whole stack.
+    ///
+    /// Context-free facade over the [`Layer`] implementation.
     pub fn poll(&mut self, peers: &[ProcessId]) -> Vec<(ProcessId, SharedMemMsg)> {
-        let mut out: Vec<(ProcessId, SharedMemMsg)> = Vec::new();
-
-        // 1. Reconfiguration stack.
-        for (to, m) in self.reconfig.poll(peers) {
-            out.push((to, SharedMemMsg::Reconfig(m)));
-        }
-
-        let config = self.config_members();
-        let reconfiguring = self.reconfiguring();
-
-        // 2. Post-reconfiguration state transfer: when the installed
-        //    configuration changes, every member pushes its store to the new
-        //    members so the register contents survive the replacement.
-        if !reconfiguring {
-            if let Some(cfg) = &config {
-                if self.synced_config.as_ref() != Some(cfg) {
-                    // Abort any operation that was driven against the old
-                    // configuration: its quorum arithmetic no longer applies.
-                    if let Some(pending) = self.pending.take() {
-                        let outcome = pending.abort();
-                        self.record_outcome(outcome);
-                    }
-                    if cfg.contains(&self.me) && !self.store.is_empty() {
-                        let snapshot = self.store.snapshot();
-                        for member in cfg.iter().copied().filter(|m| *m != self.me) {
-                            out.push((
-                                member,
-                                SharedMemMsg::StoreSync {
-                                    entries: snapshot.clone(),
-                                },
-                            ));
-                            self.syncs_sent += 1;
-                        }
-                    }
-                    self.synced_config = Some(cfg.clone());
-                }
-            }
-        }
-
-        // 3. Drive the client side: start the next queued operation, and
-        //    retransmit the current phase to members that have not answered
-        //    (fair communication makes the retransmissions eventually land).
-        if let (Some(cfg), false) = (&config, reconfiguring) {
-            if self.pending.is_none() {
-                if let Some((op, key, kind)) = self.queue.pop_front() {
-                    self.pending = Some(PendingOp::new(op, key, kind));
-                }
-            }
-            if let Some(pending) = &self.pending {
-                let targets = pending.unanswered(cfg);
-                for member in targets {
-                    let msg = match pending.chosen() {
-                        None => SharedMemMsg::Query {
-                            op: pending.op(),
-                            key: pending.key(),
-                        },
-                        Some(value) => SharedMemMsg::Update {
-                            op: pending.op(),
-                            key: pending.key(),
-                            value: value.clone(),
-                        },
-                    };
-                    out.push((member, msg));
-                }
-            }
-        }
-
-        out
+        let mut out = Outbox::new();
+        Layer::poll(self, peers, &mut out);
+        out.into_messages()
     }
 
     /// Handles one received message, returning any immediate replies.
+    ///
+    /// Context-free facade over the [`Layer`] implementation.
     pub fn handle(&mut self, from: ProcessId, msg: SharedMemMsg) -> Vec<(ProcessId, SharedMemMsg)> {
+        let mut out = Outbox::new();
+        Layer::handle(self, from, msg, &mut out);
+        out.into_messages()
+    }
+
+    /// Handles one register-protocol message (the two-phase quorum driver and
+    /// the member-side responders).
+    fn handle_register(
+        &mut self,
+        from: ProcessId,
+        msg: RegisterMsg,
+        out: &mut Outbox<SharedMemMsg>,
+    ) {
         match msg {
-            SharedMemMsg::Reconfig(m) => self
-                .reconfig
-                .handle(from, m)
-                .into_iter()
-                .map(|(to, reply)| (to, SharedMemMsg::Reconfig(reply)))
-                .collect(),
-            SharedMemMsg::Query { op, key } => {
+            RegisterMsg::Query { op, key } => {
                 if self.is_member() && !self.reconfiguring() {
-                    vec![(
+                    out.push(
                         from,
-                        SharedMemMsg::QueryResp {
+                        RegisterMsg::QueryResp {
                             op,
                             key,
                             current: self.store.get(key).cloned(),
                         },
-                    )]
+                    );
                 } else {
-                    vec![(from, SharedMemMsg::OpAbort { op })]
+                    out.push(from, RegisterMsg::OpAbort { op });
                 }
             }
-            SharedMemMsg::Update { op, key, value } => {
+            RegisterMsg::Update { op, key, value } => {
                 if self.is_member() && !self.reconfiguring() {
                     self.store.adopt(key, value);
-                    vec![(from, SharedMemMsg::UpdateAck { op })]
+                    out.push(from, RegisterMsg::UpdateAck { op });
                 } else {
-                    vec![(from, SharedMemMsg::OpAbort { op })]
+                    out.push(from, RegisterMsg::OpAbort { op });
                 }
             }
-            SharedMemMsg::QueryResp { op, key, current } => {
-                self.drive_query_response(from, op, key, current)
+            RegisterMsg::QueryResp { op, key, current } => {
+                self.drive_query_response(from, op, key, current, out);
             }
-            SharedMemMsg::UpdateAck { op } => {
+            RegisterMsg::UpdateAck { op } => {
                 self.drive_ack(from, op);
-                Vec::new()
             }
-            SharedMemMsg::OpAbort { op } => {
+            RegisterMsg::OpAbort { op } => {
                 if self.pending.as_ref().map(PendingOp::op) == Some(op) {
                     let pending = self.pending.take().expect("pending op just matched");
                     let outcome = pending.abort();
                     self.record_outcome(outcome);
                 }
-                Vec::new()
             }
-            SharedMemMsg::StoreSync { entries } => {
+            RegisterMsg::StoreSync { entries } => {
                 for (key, value) in entries {
                     self.store.adopt(key, value);
                 }
-                Vec::new()
             }
         }
     }
@@ -384,15 +344,16 @@ impl SharedMemNode {
         op: OpId,
         _key: RegisterId,
         current: Option<TaggedValue>,
-    ) -> Vec<(ProcessId, SharedMemMsg)> {
+        out: &mut Outbox<SharedMemMsg>,
+    ) {
         let Some(cfg) = self.config_members() else {
-            return Vec::new();
+            return;
         };
         let Some(pending) = &mut self.pending else {
-            return Vec::new();
+            return;
         };
         if pending.op() != op {
-            return Vec::new();
+            return;
         }
         let step = pending.on_query_response(
             from,
@@ -403,28 +364,24 @@ impl SharedMemNode {
             self.exhaustion_bound,
         );
         match step {
-            OpStep::Continue => Vec::new(),
+            OpStep::Continue => {}
             OpStep::StartPropagate(value) => {
                 let op = pending.op();
                 let key = pending.key();
-                cfg.iter()
-                    .copied()
-                    .map(|member| {
-                        (
-                            member,
-                            SharedMemMsg::Update {
-                                op,
-                                key,
-                                value: value.clone(),
-                            },
-                        )
-                    })
-                    .collect()
+                for member in cfg.iter().copied() {
+                    out.push(
+                        member,
+                        RegisterMsg::Update {
+                            op,
+                            key,
+                            value: value.clone(),
+                        },
+                    );
+                }
             }
             OpStep::Done(outcome) => {
                 self.pending = None;
                 self.record_outcome(outcome);
-                Vec::new()
             }
         }
     }
@@ -452,22 +409,88 @@ impl SharedMemNode {
     }
 }
 
-impl Process for SharedMemNode {
-    type Msg = SharedMemMsg;
+impl Layer for SharedMemNode {
+    type Wire = SharedMemMsg;
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, SharedMemMsg>) {
-        let peers = ctx.all_ids();
-        for (to, msg) in self.poll(&peers) {
-            ctx.send(to, msg);
+    fn poll(&mut self, peers: &[ProcessId], out: &mut Outbox<SharedMemMsg>) {
+        // 1. Reconfiguration stack, forwarded through our wire format.
+        out.extend(self.reconfig.poll(peers));
+
+        let config = self.config_members();
+        let reconfiguring = self.reconfiguring();
+
+        // 2. Post-reconfiguration state transfer: when the installed
+        //    configuration changes, every member pushes its store to the new
+        //    members so the register contents survive the replacement.
+        if !reconfiguring {
+            if let Some(cfg) = &config {
+                if self.synced_config.as_ref() != Some(cfg) {
+                    // Abort any operation that was driven against the old
+                    // configuration: its quorum arithmetic no longer applies.
+                    if let Some(pending) = self.pending.take() {
+                        let outcome = pending.abort();
+                        self.record_outcome(outcome);
+                    }
+                    if cfg.contains(&self.me) && !self.store.is_empty() {
+                        let snapshot = self.store.snapshot();
+                        for member in cfg.iter().copied().filter(|m| *m != self.me) {
+                            out.push(
+                                member,
+                                RegisterMsg::StoreSync {
+                                    entries: snapshot.clone(),
+                                },
+                            );
+                            self.syncs_sent += 1;
+                        }
+                    }
+                    self.synced_config = Some(cfg.clone());
+                }
+            }
+        }
+
+        // 3. Drive the client side: start the next queued operation, and
+        //    retransmit the current phase to members that have not answered
+        //    (fair communication makes the retransmissions eventually land).
+        if let (Some(cfg), false) = (&config, reconfiguring) {
+            if self.pending.is_none() {
+                if let Some((op, key, kind)) = self.queue.pop_front() {
+                    self.pending = Some(PendingOp::new(op, key, kind));
+                }
+            }
+            if let Some(pending) = &self.pending {
+                let targets = pending.unanswered(cfg);
+                for member in targets {
+                    let msg = match pending.chosen() {
+                        None => RegisterMsg::Query {
+                            op: pending.op(),
+                            key: pending.key(),
+                        },
+                        Some(value) => RegisterMsg::Update {
+                            op: pending.op(),
+                            key: pending.key(),
+                            value: value.clone(),
+                        },
+                    };
+                    out.push(member, msg);
+                }
+            }
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: SharedMemMsg, ctx: &mut Context<'_, SharedMemMsg>) {
-        for (to, reply) in self.handle(from, msg) {
-            ctx.send(to, reply);
-        }
+    fn handle(&mut self, from: ProcessId, msg: SharedMemMsg, out: &mut Outbox<SharedMemMsg>) {
+        let rest = Router::new(from, msg)
+            .lane(out, |from, m: ReconfigMsg, out| {
+                out.extend(self.reconfig.handle(from, m))
+            })
+            .lane(out, |from, m: RegisterMsg, out| {
+                self.handle_register(from, m, out)
+            })
+            .finish();
+        debug_assert!(rest.is_none(), "every shared-memory lane is routed");
     }
 }
+
+simnet::impl_process_for_layer!(SharedMemNode);
 
 #[cfg(test)]
 mod tests {
@@ -480,7 +503,10 @@ mod tests {
         let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
         for i in 0..n {
             let id = ProcessId::new(i);
-            sim.add_process_with_id(id, SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)));
+            sim.add_process_with_id(
+                id,
+                SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)),
+            );
         }
         sim.run_rounds(40);
         sim
@@ -523,13 +549,19 @@ mod tests {
     fn read_of_unwritten_register_returns_none() {
         let mut sim = cluster(3, 2);
         let reader = ProcessId::new(1);
-        sim.process_mut(reader).unwrap().submit_read(RegisterId::new(55));
+        sim.process_mut(reader)
+            .unwrap()
+            .submit_read(RegisterId::new(55));
         let rounds = sim.run_until(200, |s| s.process(reader).unwrap().reads_committed() == 1);
         assert!(rounds < 200);
         let outcomes = drain_committed(&mut sim, reader);
         assert!(matches!(
             outcomes.as_slice(),
-            [OpOutcome::ReadCommitted { value: None, tag: None, .. }]
+            [OpOutcome::ReadCommitted {
+                value: None,
+                tag: None,
+                ..
+            }]
         ));
     }
 
@@ -539,15 +571,23 @@ mod tests {
         let mut sim = Simulation::new(SimConfig::default().with_seed(3).with_max_delay(0));
         for i in 0..3u32 {
             let id = ProcessId::new(i);
-            sim.add_process_with_id(id, SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)));
+            sim.add_process_with_id(
+                id,
+                SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)),
+            );
         }
         sim.run_rounds(40);
 
         // The client enters through the joining mechanism and only operates
         // once admitted as a participant.
         let client = ProcessId::new(9);
-        sim.add_process_with_id(client, SharedMemNode::new_joiner(client, NodeConfig::for_n(16)));
-        let rounds = sim.run_until(400, |s| s.process(client).unwrap().reconfig().is_participant());
+        sim.add_process_with_id(
+            client,
+            SharedMemNode::new_joiner(client, NodeConfig::for_n(16)),
+        );
+        let rounds = sim.run_until(400, |s| {
+            s.process(client).unwrap().reconfig().is_participant()
+        });
         assert!(rounds < 400, "client was never admitted as a participant");
 
         let key = RegisterId::new(1);
@@ -560,16 +600,18 @@ mod tests {
         assert!(rounds < 400, "client operations never completed");
         let outcomes = drain_committed(&mut sim, client);
         assert_eq!(outcomes.len(), 2);
-        assert!(outcomes.iter().any(|o| matches!(
-            o,
-            OpOutcome::ReadCommitted { value: Some(5), .. }
-        )));
+        assert!(outcomes
+            .iter()
+            .any(|o| matches!(o, OpOutcome::ReadCommitted { value: Some(5), .. })));
         // The client is not a configuration member and holds no replica.
         assert!(!sim.process(client).unwrap().is_member());
         assert!(sim.process(client).unwrap().store().is_empty());
         // The configuration itself did not change because a client showed up.
         assert_eq!(
-            sim.process(ProcessId::new(0)).unwrap().reconfig().installed_config(),
+            sim.process(ProcessId::new(0))
+                .unwrap()
+                .reconfig()
+                .installed_config(),
             Some(cfg)
         );
     }
@@ -586,11 +628,16 @@ mod tests {
         );
         for i in 0..3u32 {
             let id = ProcessId::new(i);
-            sim.add_process_with_id(id, SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)));
+            sim.add_process_with_id(
+                id,
+                SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)),
+            );
         }
         sim.run_rounds(60);
         let writer = ProcessId::new(1);
-        sim.process_mut(writer).unwrap().submit_write(RegisterId::new(3), 17);
+        sim.process_mut(writer)
+            .unwrap()
+            .submit_write(RegisterId::new(3), 17);
         let rounds = sim.run_until(600, |s| s.process(writer).unwrap().writes_committed() == 1);
         assert!(rounds < 600, "write never committed under loss");
     }
@@ -627,9 +674,13 @@ mod tests {
         assert!(rounds < 400, "read never completed after reconfiguration");
         let outcomes = drain_committed(&mut sim, reader);
         assert!(
-            outcomes
-                .iter()
-                .any(|o| matches!(o, OpOutcome::ReadCommitted { value: Some(1234), .. })),
+            outcomes.iter().any(|o| matches!(
+                o,
+                OpOutcome::ReadCommitted {
+                    value: Some(1234),
+                    ..
+                }
+            )),
             "value lost across the reconfiguration: {outcomes:?}"
         );
     }
@@ -638,8 +689,12 @@ mod tests {
     fn concurrent_writers_are_totally_ordered_by_tags() {
         let mut sim = cluster(3, 6);
         let key = RegisterId::new(2);
-        sim.process_mut(ProcessId::new(0)).unwrap().submit_write(key, 100);
-        sim.process_mut(ProcessId::new(1)).unwrap().submit_write(key, 200);
+        sim.process_mut(ProcessId::new(0))
+            .unwrap()
+            .submit_write(key, 100);
+        sim.process_mut(ProcessId::new(1))
+            .unwrap()
+            .submit_write(key, 200);
         let rounds = sim.run_until(400, |s| {
             s.process(ProcessId::new(0)).unwrap().writes_committed() == 1
                 && s.process(ProcessId::new(1)).unwrap().writes_committed() == 1
@@ -660,7 +715,13 @@ mod tests {
         let tags: BTreeSet<_> = sim
             .active_ids()
             .into_iter()
-            .filter_map(|id| sim.process(id).unwrap().store().get(key).map(|tv| tv.tag.clone().seqn))
+            .filter_map(|id| {
+                sim.process(id)
+                    .unwrap()
+                    .store()
+                    .get(key)
+                    .map(|tv| tv.tag.clone().seqn)
+            })
             .collect();
         assert_eq!(tags.len(), 1, "members disagree on the final tag");
     }
@@ -682,8 +743,9 @@ mod tests {
         let writer = ProcessId::new(0);
         for expected in 1..=6u64 {
             sim.process_mut(writer).unwrap().submit_write(key, expected);
-            let rounds =
-                sim.run_until(300, |s| s.process(writer).unwrap().writes_committed() == expected);
+            let rounds = sim.run_until(300, |s| {
+                s.process(writer).unwrap().writes_committed() == expected
+            });
             assert!(rounds < 300, "write {expected} never committed");
         }
         // Six writes against an exhaustion bound of three forced at least one

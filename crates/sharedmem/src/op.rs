@@ -255,12 +255,23 @@ mod tests {
     fn write_queries_then_propagates_then_commits() {
         let cfg = config_set([0, 1, 2]);
         let q = QuorumSystem::Majority;
-        let mut op = PendingOp::new(OpId::new(pid(9), 0), RegisterId::new(1), OpKind::Write { value: 42 });
+        let mut op = PendingOp::new(
+            OpId::new(pid(9), 0),
+            RegisterId::new(1),
+            OpKind::Write { value: 42 },
+        );
         assert_eq!(op.phase(), OpPhase::Query);
         assert_eq!(op.unanswered(&cfg).len(), 3);
 
         assert_eq!(
-            op.on_query_response(pid(0), Some(tv(4, 0, 7)), &cfg, &q, pid(9), DEFAULT_EXHAUSTION_BOUND),
+            op.on_query_response(
+                pid(0),
+                Some(tv(4, 0, 7)),
+                &cfg,
+                &q,
+                pid(9),
+                DEFAULT_EXHAUSTION_BOUND
+            ),
             OpStep::Continue
         );
         let step = op.on_query_response(pid(1), None, &cfg, &q, pid(9), DEFAULT_EXHAUSTION_BOUND);
@@ -286,13 +297,29 @@ mod tests {
         let cfg = config_set([0, 1, 2]);
         let q = QuorumSystem::Majority;
         let mut op = PendingOp::new(OpId::new(pid(9), 1), RegisterId::new(1), OpKind::Read);
-        op.on_query_response(pid(0), Some(tv(2, 0, 20)), &cfg, &q, pid(9), DEFAULT_EXHAUSTION_BOUND);
-        let step =
-            op.on_query_response(pid(1), Some(tv(7, 1, 70)), &cfg, &q, pid(9), DEFAULT_EXHAUSTION_BOUND);
+        op.on_query_response(
+            pid(0),
+            Some(tv(2, 0, 20)),
+            &cfg,
+            &q,
+            pid(9),
+            DEFAULT_EXHAUSTION_BOUND,
+        );
+        let step = op.on_query_response(
+            pid(1),
+            Some(tv(7, 1, 70)),
+            &cfg,
+            &q,
+            pid(9),
+            DEFAULT_EXHAUSTION_BOUND,
+        );
         let OpStep::StartPropagate(chosen) = step else {
             panic!("expected propagate start, got {step:?}");
         };
-        assert_eq!(chosen.value, 70, "the read propagates the newest value unchanged");
+        assert_eq!(
+            chosen.value, 70,
+            "the read propagates the newest value unchanged"
+        );
         assert_eq!(chosen.tag, tag(7, 1));
         op.on_ack(pid(1), &cfg, &q);
         let done = op.on_ack(pid(2), &cfg, &q);
@@ -325,7 +352,11 @@ mod tests {
     fn duplicate_and_non_member_responses_are_ignored() {
         let cfg = config_set([0, 1, 2, 3, 4]);
         let q = QuorumSystem::Majority;
-        let mut op = PendingOp::new(OpId::new(pid(9), 3), RegisterId::new(1), OpKind::Write { value: 1 });
+        let mut op = PendingOp::new(
+            OpId::new(pid(9), 3),
+            RegisterId::new(1),
+            OpKind::Write { value: 1 },
+        );
         // The same member answering repeatedly never forms a quorum.
         for _ in 0..10 {
             assert_eq!(
@@ -345,7 +376,11 @@ mod tests {
     fn acks_before_the_propagate_phase_are_ignored() {
         let cfg = config_set([0, 1, 2]);
         let q = QuorumSystem::Majority;
-        let mut op = PendingOp::new(OpId::new(pid(9), 4), RegisterId::new(1), OpKind::Write { value: 1 });
+        let mut op = PendingOp::new(
+            OpId::new(pid(9), 4),
+            RegisterId::new(1),
+            OpKind::Write { value: 1 },
+        );
         assert_eq!(op.on_ack(pid(0), &cfg, &q), OpStep::Continue);
         assert_eq!(op.on_ack(pid(1), &cfg, &q), OpStep::Continue);
         assert_eq!(op.phase(), OpPhase::Query);
@@ -369,7 +404,10 @@ mod tests {
         let exhausted = tag(100, 1);
         let next = next_tag(Some(&exhausted), me, 100);
         assert_ne!(next.label, exhausted.label);
-        assert!(exhausted.label.lb_less(&next.label), "the fresh label dominates");
+        assert!(
+            exhausted.label.lb_less(&next.label),
+            "the fresh label dominates"
+        );
         assert_eq!(next.seqn, 1);
         assert_eq!(next.wid, me);
         // Non-exhausted tags increment in place.
@@ -388,10 +426,18 @@ mod tests {
         // cover, i.e. three specific members rather than any majority.
         let cfg = config_set([0, 1, 2, 3]);
         let q = QuorumSystem::Grid { columns: 2 };
-        let mut op = PendingOp::new(OpId::new(pid(9), 6), RegisterId::new(1), OpKind::Write { value: 9 });
+        let mut op = PendingOp::new(
+            OpId::new(pid(9), 6),
+            RegisterId::new(1),
+            OpKind::Write { value: 9 },
+        );
         op.on_query_response(pid(0), None, &cfg, &q, pid(9), DEFAULT_EXHAUSTION_BOUND);
         let step = op.on_query_response(pid(1), None, &cfg, &q, pid(9), DEFAULT_EXHAUSTION_BOUND);
-        assert_eq!(step, OpStep::Continue, "a full row alone is not a grid quorum");
+        assert_eq!(
+            step,
+            OpStep::Continue,
+            "a full row alone is not a grid quorum"
+        );
         let step = op.on_query_response(pid(2), None, &cfg, &q, pid(9), DEFAULT_EXHAUSTION_BOUND);
         assert!(matches!(step, OpStep::StartPropagate(_)));
     }

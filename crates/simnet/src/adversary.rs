@@ -76,7 +76,10 @@ impl<P: Process> ScriptedFaults<P> {
 
     /// Schedules `action` to run just before round `round` executes.
     pub fn at(&mut self, round: Round, action: impl FnMut(&mut Simulation<P>) + 'static) {
-        self.actions.entry(round).or_default().push(Box::new(action));
+        self.actions
+            .entry(round)
+            .or_default()
+            .push(Box::new(action));
     }
 
     /// Number of actions applied so far.
@@ -187,11 +190,10 @@ mod tests {
         // Channel corruption: inject a stale packet out of thin air (the
         // adversary may do this; the algorithms must cope).
         faults.at(Round::new(1), |s: &mut Simulation<Echo>| {
-            s.network_mut().inject(ProcessId::new(0), ProcessId::new(1), 5);
+            s.network_mut()
+                .inject(ProcessId::new(0), ProcessId::new(1), 5);
         });
-        let rounds = faults.drive_until(&mut sim, 50, |s| {
-            s.processes().all(|(_, p)| p.value == 7)
-        });
+        let rounds = faults.drive_until(&mut sim, 50, |s| s.processes().all(|(_, p)| p.value == 7));
         assert!(rounds < 50);
         assert_eq!(faults.applied(), 2);
     }

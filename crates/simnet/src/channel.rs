@@ -108,40 +108,59 @@ impl<M: Clone> Channel<M> {
     /// Sends a packet at round `now`, applying loss, duplication, bounded
     /// capacity and random delay according to the policy.
     pub fn send(&mut self, msg: M, now: Round, rng: &mut SimRng) -> SendOutcome {
-        if rng.chance(self.policy.loss_probability) {
-            return SendOutcome::Lost;
-        }
-        let duplicated = rng.chance(self.policy.duplication_probability);
-        let mut outcome = SendOutcome::Enqueued;
-        outcome = self.enqueue(msg.clone(), now, rng, outcome);
-        if duplicated {
-            outcome = self.enqueue(msg, now, rng, SendOutcome::Duplicated);
-            if outcome == SendOutcome::Duplicated {
-                return SendOutcome::Duplicated;
-            }
-        }
-        outcome
+        self.send_timed(msg, now, rng).0
     }
 
-    fn enqueue(&mut self, msg: M, now: Round, rng: &mut SimRng, ok: SendOutcome) -> SendOutcome {
+    /// Like [`Channel::send`], additionally reporting the earliest delivery
+    /// round of the packet(s) just enqueued (`None` when the packet was
+    /// lost). The event-driven scheduler uses this to wake the destination
+    /// exactly when the packet becomes deliverable.
+    pub fn send_timed(
+        &mut self,
+        msg: M,
+        now: Round,
+        rng: &mut SimRng,
+    ) -> (SendOutcome, Option<Round>) {
+        if rng.chance(self.policy.loss_probability) {
+            return (SendOutcome::Lost, None);
+        }
+        let duplicated = rng.chance(self.policy.duplication_probability);
+        let (outcome, first_ready) = self.enqueue(msg.clone(), now, rng, SendOutcome::Enqueued);
+        if duplicated {
+            let (dup_outcome, dup_ready) = self.enqueue(msg, now, rng, SendOutcome::Duplicated);
+            return (dup_outcome, Some(first_ready.min(dup_ready)));
+        }
+        (outcome, Some(first_ready))
+    }
+
+    fn enqueue(
+        &mut self,
+        msg: M,
+        now: Round,
+        rng: &mut SimRng,
+        ok: SendOutcome,
+    ) -> (SendOutcome, Round) {
         let delay = if self.policy.max_delay_rounds == 0 {
             0
         } else {
             rng.range_inclusive(0, self.policy.max_delay_rounds)
         };
-        let packet = InFlight {
-            msg,
-            ready_at: now + delay,
-        };
+        let ready_at = now + delay;
+        let packet = InFlight { msg, ready_at };
         if self.queue.len() >= self.policy.capacity {
             // Bounded capacity: evict the oldest in-flight packet.
             self.queue.pop_front();
             self.queue.push_back(packet);
-            SendOutcome::EvictedOld
+            (SendOutcome::EvictedOld, ready_at)
         } else {
             self.queue.push_back(packet);
-            ok
+            (ok, ready_at)
         }
+    }
+
+    /// The earliest round at which any in-flight packet becomes deliverable.
+    pub fn earliest_ready(&self) -> Option<Round> {
+        self.queue.iter().map(|p| p.ready_at).min()
     }
 
     /// Places a packet directly into the channel, bypassing loss and delay.
@@ -351,7 +370,10 @@ mod tests {
         let mut delivered = false;
         for attempt in 0..1000u64 {
             ch.send(1u32, Round::new(attempt), &mut r);
-            if !ch.drain_ready(Round::new(attempt), usize::MAX, &mut r).is_empty() {
+            if !ch
+                .drain_ready(Round::new(attempt), usize::MAX, &mut r)
+                .is_empty()
+            {
                 delivered = true;
                 break;
             }

@@ -2,6 +2,21 @@
 
 use crate::channel::ChannelPolicy;
 
+/// How the scheduler finds the work of each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Event-driven run queue (the default): a process is woken only when it
+    /// has deliverable packets or a due timer, and packet delivery reads a
+    /// per-destination index instead of scanning every channel.
+    #[default]
+    EventDriven,
+    /// The legacy whole-system scan: every round visits every process and
+    /// examines every channel in the network to find deliverable packets.
+    /// Kept as a baseline for the scheduler benchmarks; behaviourally
+    /// identical to [`SchedulerMode::EventDriven`] for the same seed.
+    RoundScan,
+}
+
 /// Configuration of a [`crate::Simulation`].
 ///
 /// The defaults model a well-behaved but asynchronous network: bounded
@@ -27,6 +42,12 @@ pub struct SimConfig {
     /// round. Bounding this models asynchrony (a process may lag behind its
     /// incoming traffic); `usize::MAX` effectively removes the bound.
     max_deliveries_per_round: usize,
+    scheduler: SchedulerMode,
+    /// Rounds between two timer steps of the same process. The paper's
+    /// asynchronous timers have an unknown rate; `1` (the default) fires the
+    /// `do forever` loop every round, larger values model slow processes and
+    /// let the event-driven scheduler skip idle ones entirely.
+    timer_period: u64,
 }
 
 impl Default for SimConfig {
@@ -35,6 +56,8 @@ impl Default for SimConfig {
             seed: 0,
             channel_policy: ChannelPolicy::default(),
             max_deliveries_per_round: usize::MAX,
+            scheduler: SchedulerMode::default(),
+            timer_period: 1,
         }
     }
 }
@@ -93,6 +116,23 @@ impl SimConfig {
         self
     }
 
+    /// Selects how the scheduler finds each round's work.
+    pub fn with_scheduler(mut self, mode: SchedulerMode) -> Self {
+        self.scheduler = mode;
+        self
+    }
+
+    /// Sets the number of rounds between two timer steps of one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn with_timer_period(mut self, rounds: u64) -> Self {
+        assert!(rounds > 0, "timer period must be at least 1 round");
+        self.timer_period = rounds;
+        self
+    }
+
     /// The random seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -106,6 +146,16 @@ impl SimConfig {
     /// Maximum number of deliveries per process per round.
     pub fn max_deliveries_per_round(&self) -> usize {
         self.max_deliveries_per_round
+    }
+
+    /// The scheduler mode.
+    pub fn scheduler(&self) -> SchedulerMode {
+        self.scheduler
+    }
+
+    /// Rounds between two timer steps of one process.
+    pub fn timer_period(&self) -> u64 {
+        self.timer_period
     }
 }
 

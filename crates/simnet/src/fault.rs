@@ -43,17 +43,18 @@ impl CrashPlan {
     }
 
     /// Schedules a group of victims at `round`.
-    pub fn crash_all_at(mut self, round: Round, victims: impl IntoIterator<Item = ProcessId>) -> Self {
+    pub fn crash_all_at(
+        mut self,
+        round: Round,
+        victims: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
         self.schedule.entry(round).or_default().extend(victims);
         self
     }
 
     /// The victims scheduled for exactly `round`.
     pub fn due(&self, round: Round) -> &[ProcessId] {
-        self.schedule
-            .get(&round)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.schedule.get(&round).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Total number of scheduled crashes.
@@ -200,7 +201,9 @@ mod tests {
     fn churn_plan_adds_processes() {
         let mut sim: Simulation<Idle> = Simulation::new(SimConfig::default());
         sim.add_process(Idle);
-        let plan = ChurnPlan::new().join_at(Round::new(1), 2).join_at(Round::new(3), 1);
+        let plan = ChurnPlan::new()
+            .join_at(Round::new(1), 2)
+            .join_at(Round::new(3), 1);
         assert_eq!(plan.total(), 3);
         let mut joined = Vec::new();
         sim.run_rounds_with(5, |s| {

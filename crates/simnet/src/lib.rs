@@ -19,6 +19,19 @@
 //! The simulator is deterministic given a seed, which makes every experiment
 //! in the benchmark harness reproducible.
 //!
+//! Scheduling is **event-driven** by default: a run queue wakes a process
+//! only when its timer is due or a packet addressed to it has become
+//! deliverable, and delivery reads a per-destination channel index instead
+//! of scanning the whole network (see [`scheduler`] and [`SchedulerMode`]).
+//! The legacy whole-system round scan is retained as
+//! [`SchedulerMode::RoundScan`] for baseline comparisons; both modes produce
+//! byte-identical executions for the same seed.
+//!
+//! The [`stack`] module provides the protocol-stack composition layer
+//! ([`stack::Layer`], [`stack::Outbox`], [`stack::Router`], [`wire_enum!`])
+//! that every composite node in the workspace uses to multiplex its
+//! sub-layer traffic over one wire format.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -62,12 +75,13 @@ pub mod partition;
 pub mod process;
 pub mod rng;
 pub mod scheduler;
+pub mod stack;
 pub mod time;
 pub mod trace;
 
 pub use adversary::ScriptedFaults;
 pub use channel::{Channel, ChannelPolicy, InFlight};
-pub use config::SimConfig;
+pub use config::{SchedulerMode, SimConfig};
 pub use fault::{ChurnPlan, CrashPlan, FaultInjector};
 pub use histogram::Histogram;
 pub use metrics::Metrics;
@@ -76,5 +90,6 @@ pub use partition::PartitionPlan;
 pub use process::{Context, Process, ProcessId, ProcessStatus};
 pub use rng::SimRng;
 pub use scheduler::Simulation;
+pub use stack::{Lane, Layer, Outbox, Router};
 pub use time::Round;
 pub use trace::{Trace, TraceEvent};

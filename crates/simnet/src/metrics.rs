@@ -1,11 +1,15 @@
 //! Execution metrics collected by the simulator.
 
 use crate::channel::SendOutcome;
+use crate::histogram::Histogram;
 
 /// Counters describing one simulation execution.
 ///
 /// The benchmark harness reads these to report convergence cost (rounds,
-/// messages) for every experiment in `EXPERIMENTS.md`.
+/// messages) for every experiment in `EXPERIMENTS.md`. The scheduler-cost
+/// counters (`wakeups`, `channel_scans`, `channel_visits`, the delivery
+/// batch histogram) hook the delivery path, so the round-scan baseline and
+/// the event-driven run queue can be compared packet for packet.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     rounds: u64,
@@ -15,6 +19,11 @@ pub struct Metrics {
     messages_lost: u64,
     messages_duplicated: u64,
     messages_evicted: u64,
+    wakeups: u64,
+    delivery_batches: u64,
+    channel_scans: u64,
+    channel_visits: u64,
+    batch_sizes: Histogram,
 }
 
 impl Metrics {
@@ -47,6 +56,32 @@ impl Metrics {
     /// Records the delivery of one packet.
     pub fn record_delivery(&mut self) {
         self.messages_delivered += 1;
+    }
+
+    /// Records one process wake-up of the event-driven scheduler.
+    pub fn record_wakeup(&mut self) {
+        self.wakeups += 1;
+    }
+
+    /// Records the size of one per-destination delivery batch. Empty batches
+    /// are not counted.
+    pub fn record_delivery_batch(&mut self, size: usize) {
+        if size > 0 {
+            self.delivery_batches += 1;
+            self.batch_sizes.record(size as u64);
+        }
+    }
+
+    /// Records a whole-network channel scan of `channels` channels (the
+    /// round-scan delivery path).
+    pub fn record_channel_scan(&mut self, channels: usize) {
+        self.channel_scans += channels as u64;
+    }
+
+    /// Records `channels` targeted channel visits (the indexed delivery
+    /// path).
+    pub fn record_channel_visits(&mut self, channels: usize) {
+        self.channel_visits += channels as u64;
     }
 
     /// Number of completed rounds.
@@ -82,6 +117,32 @@ impl Metrics {
     /// Number of packets evicted because a channel was full.
     pub fn messages_evicted(&self) -> u64 {
         self.messages_evicted
+    }
+
+    /// Number of process wake-ups performed by the event-driven scheduler.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// Number of non-empty per-destination delivery batches.
+    pub fn delivery_batches(&self) -> u64 {
+        self.delivery_batches
+    }
+
+    /// Total channels examined by whole-network scans (round-scan delivery).
+    pub fn channel_scans(&self) -> u64 {
+        self.channel_scans
+    }
+
+    /// Total channels examined through the inbound index (event-driven
+    /// delivery).
+    pub fn channel_visits(&self) -> u64 {
+        self.channel_visits
+    }
+
+    /// Distribution of per-destination delivery batch sizes.
+    pub fn delivery_batch_sizes(&self) -> &Histogram {
+        &self.batch_sizes
     }
 }
 

@@ -24,6 +24,15 @@ pub struct Network<M> {
     policy: ChannelPolicy,
     channels: BTreeMap<(ProcessId, ProcessId), Channel<M>>,
     blocked: BTreeSet<(ProcessId, ProcessId)>,
+    /// Per-destination index of senders whose channel may hold packets.
+    /// Conservative (a listed channel can be empty after white-box clears)
+    /// and pruned on delivery; the event-driven scheduler reads it instead of
+    /// scanning every channel in the network.
+    inbound: BTreeMap<ProcessId, BTreeSet<ProcessId>>,
+    /// Destinations whose incoming channels were mutated outside the normal
+    /// send path (injection, white-box channel access). The scheduler drains
+    /// this to wake the affected processes.
+    dirty: BTreeSet<ProcessId>,
 }
 
 impl<M: Clone> Network<M> {
@@ -33,6 +42,8 @@ impl<M: Clone> Network<M> {
             policy,
             channels: BTreeMap::new(),
             blocked: BTreeSet::new(),
+            inbound: BTreeMap::new(),
+            dirty: BTreeSet::new(),
         }
     }
 
@@ -94,7 +105,9 @@ impl<M: Clone> Network<M> {
     }
 
     /// Sends `msg` from `from` to `to` at round `now`, recording the outcome
-    /// in `metrics`.
+    /// in `metrics`. Returns the earliest round at which the packet becomes
+    /// deliverable, or `None` when it was dropped — the event-driven
+    /// scheduler uses this to wake the destination at exactly that round.
     pub fn send(
         &mut self,
         from: ProcessId,
@@ -103,36 +116,57 @@ impl<M: Clone> Network<M> {
         now: Round,
         rng: &mut SimRng,
         metrics: &mut Metrics,
-    ) {
+    ) -> Option<Round> {
         if self.blocked.contains(&(from, to)) {
             metrics.record_send(SendOutcome::Lost);
-            return;
+            return None;
         }
-        let outcome = self.channel_entry(from, to).send(msg, now, rng);
+        let (outcome, ready) = self.channel_entry(from, to).send_timed(msg, now, rng);
         metrics.record_send(outcome);
+        if ready.is_some() {
+            self.inbound.entry(to).or_default().insert(from);
+        }
+        ready
     }
 
-    /// Drains up to `limit` deliverable packets addressed to `to`, across all
-    /// of its incoming channels, in a random interleaving of senders.
-    ///
-    /// Returns `(from, msg)` pairs.
-    pub fn deliver_to(
+    /// The senders with a non-empty channel towards `to`, in ascending order,
+    /// pruning the inbound index of channels that turn out to be empty.
+    fn nonempty_senders(&mut self, to: ProcessId) -> Vec<ProcessId> {
+        let Some(srcs) = self.inbound.get_mut(&to) else {
+            return Vec::new();
+        };
+        let mut senders = Vec::with_capacity(srcs.len());
+        let mut empty = Vec::new();
+        for src in srcs.iter().copied() {
+            let holds_packets = self
+                .channels
+                .get(&(src, to))
+                .map(|ch| !ch.is_empty())
+                .unwrap_or(false);
+            if holds_packets {
+                senders.push(src);
+            } else {
+                empty.push(src);
+            }
+        }
+        for src in empty {
+            srcs.remove(&src);
+        }
+        senders
+    }
+
+    /// The common delivery loop over an already-shuffled sender list.
+    fn drain_senders(
         &mut self,
         to: ProcessId,
+        senders: &[ProcessId],
         now: Round,
         limit: usize,
         rng: &mut SimRng,
         metrics: &mut Metrics,
     ) -> Vec<(ProcessId, M)> {
-        let mut senders: Vec<ProcessId> = self
-            .channels
-            .iter()
-            .filter(|((_, dst), ch)| *dst == to && !ch.is_empty())
-            .map(|((src, _), _)| *src)
-            .collect();
-        rng.shuffle(&mut senders);
         let mut delivered = Vec::new();
-        for from in senders {
+        for from in senders.iter().copied() {
             if delivered.len() >= limit {
                 break;
             }
@@ -142,9 +176,88 @@ impl<M: Clone> Network<M> {
                     metrics.record_delivery();
                     delivered.push((from, msg));
                 }
+                if ch.is_empty() {
+                    if let Some(srcs) = self.inbound.get_mut(&to) {
+                        srcs.remove(&from);
+                    }
+                }
             }
         }
+        metrics.record_delivery_batch(delivered.len());
         delivered
+    }
+
+    /// Drains up to `limit` deliverable packets addressed to `to`, across all
+    /// of its incoming channels, in a random interleaving of senders.
+    ///
+    /// Returns `(from, msg)` pairs.
+    ///
+    /// This is the round-scan baseline: it inspects **every** channel in the
+    /// network to find the non-empty inbound ones. The event-driven scheduler
+    /// uses [`Network::deliver_due`], which reads the per-destination index
+    /// instead.
+    pub fn deliver_to(
+        &mut self,
+        to: ProcessId,
+        now: Round,
+        limit: usize,
+        rng: &mut SimRng,
+        metrics: &mut Metrics,
+    ) -> Vec<(ProcessId, M)> {
+        metrics.record_channel_scan(self.channels.len());
+        let mut senders: Vec<ProcessId> = self
+            .channels
+            .iter()
+            .filter(|((_, dst), ch)| *dst == to && !ch.is_empty())
+            .map(|((src, _), _)| *src)
+            .collect();
+        rng.shuffle(&mut senders);
+        self.drain_senders(to, &senders, now, limit, rng, metrics)
+    }
+
+    /// Event-driven variant of [`Network::deliver_to`]: visits only the
+    /// channels the per-destination inbound index lists for `to`, and
+    /// additionally returns the earliest round at which `to` has another
+    /// deliverable packet (so the scheduler can re-wake it then).
+    ///
+    /// For identical RNG states, the shuffled sender list — and therefore the
+    /// delivered packets — is identical to [`Network::deliver_to`]'s; only
+    /// the lookup cost differs.
+    pub fn deliver_due(
+        &mut self,
+        to: ProcessId,
+        now: Round,
+        limit: usize,
+        rng: &mut SimRng,
+        metrics: &mut Metrics,
+    ) -> (Vec<(ProcessId, M)>, Option<Round>) {
+        let mut senders = self.nonempty_senders(to);
+        if senders.is_empty() {
+            metrics.record_delivery_batch(0);
+            return (Vec::new(), None);
+        }
+        metrics.record_channel_visits(senders.len());
+        rng.shuffle(&mut senders);
+        let delivered = self.drain_senders(to, &senders, now, limit, rng, metrics);
+        // Earliest next delivery among the packets still in flight to `to`.
+        let mut next_ready: Option<Round> = None;
+        for src in senders {
+            if let Some(ch) = self.channels.get(&(src, to)) {
+                if let Some(r) = ch.earliest_ready() {
+                    next_ready = Some(next_ready.map_or(r, |cur: Round| cur.min(r)));
+                }
+            }
+        }
+        (delivered, next_ready)
+    }
+
+    /// Removes every packet-wake obligation recorded since the last call:
+    /// destinations whose inbound channels were touched through the white-box
+    /// APIs ([`Network::inject`], [`Network::channel_mut`]). The scheduler
+    /// wakes these processes on the next round so out-of-band packets are
+    /// still delivered under event-driven scheduling.
+    pub fn take_dirty(&mut self) -> BTreeSet<ProcessId> {
+        std::mem::take(&mut self.dirty)
     }
 
     /// Places a packet directly into the channel `from → to`, bypassing the
@@ -152,12 +265,17 @@ impl<M: Clone> Network<M> {
     /// fault.
     pub fn inject(&mut self, from: ProcessId, to: ProcessId, msg: M) {
         self.channel_entry(from, to).inject(msg);
+        self.inbound.entry(to).or_default().insert(from);
+        self.dirty.insert(to);
     }
 
     /// Discards every packet in flight on the channel `from → to`.
     pub fn clear_channel(&mut self, from: ProcessId, to: ProcessId) {
         if let Some(ch) = self.channels.get_mut(&(from, to)) {
             ch.clear();
+        }
+        if let Some(srcs) = self.inbound.get_mut(&to) {
+            srcs.remove(&from);
         }
     }
 
@@ -166,6 +284,7 @@ impl<M: Clone> Network<M> {
         for ch in self.channels.values_mut() {
             ch.clear();
         }
+        self.inbound.clear();
     }
 
     /// Total number of packets in flight across all channels.
@@ -180,8 +299,12 @@ impl<M: Clone> Network<M> {
 
     /// Mutable access to the channel `from → to`, creating it if necessary.
     /// Exposed so fault injectors and white-box tests can corrupt channel
-    /// contents.
+    /// contents. Conservatively treats the channel as holding packets
+    /// afterwards (the delivery path prunes the index if it does not) and
+    /// schedules a wake-up for `to`.
     pub fn channel_mut(&mut self, from: ProcessId, to: ProcessId) -> &mut Channel<M> {
+        self.inbound.entry(to).or_default().insert(from);
+        self.dirty.insert(to);
         self.channel_entry(from, to)
     }
 

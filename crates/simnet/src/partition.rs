@@ -106,8 +106,14 @@ mod tests {
     #[test]
     fn builder_records_events() {
         let plan = PartitionPlan::new()
-            .split_at(Round::new(1), vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]])
-            .split_at(Round::new(1), vec![vec![ProcessId::new(2)], vec![ProcessId::new(3)]])
+            .split_at(
+                Round::new(1),
+                vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]],
+            )
+            .split_at(
+                Round::new(1),
+                vec![vec![ProcessId::new(2)], vec![ProcessId::new(3)]],
+            )
             .heal_at(Round::new(9));
         assert_eq!(plan.total_splits(), 2);
         assert_eq!(plan.splits_due(Round::new(1)).count(), 2);
@@ -153,9 +159,15 @@ mod tests {
             sim.add_process(Gossip { value: v });
         }
         let plan = PartitionPlan::new()
-            .split_at(Round::ZERO, vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]])
+            .split_at(
+                Round::ZERO,
+                vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]],
+            )
             .heal_at(Round::new(3))
-            .split_at(Round::new(3), vec![vec![ProcessId::new(1)], vec![ProcessId::new(2)]]);
+            .split_at(
+                Round::new(3),
+                vec![vec![ProcessId::new(1)], vec![ProcessId::new(2)]],
+            );
         sim.run_rounds_with(4, |s| {
             let now = s.now();
             plan.apply(s, now);

@@ -1,17 +1,35 @@
 //! The simulation scheduler.
 //!
 //! The scheduler realizes the paper's interleaving model at the granularity
-//! of *rounds*: in each round every active processor first receives the
-//! packets whose (random, bounded) delay has expired and then executes one
-//! iteration of its `do forever` loop. The per-round visiting order is
-//! random, packets experience random delays, loss, duplication and
-//! reordering, and the number of deliveries per round can be bounded — so an
-//! execution prefix of any asynchronous interleaving can be produced by a
-//! suitable seed and configuration.
+//! of *rounds*: in each round the due processors first receive the packets
+//! whose (random, bounded) delay has expired and then execute one iteration
+//! of their `do forever` loop. The per-round visiting order is random,
+//! packets experience random delays, loss, duplication and reordering, and
+//! the number of deliveries per round can be bounded — so an execution
+//! prefix of any asynchronous interleaving can be produced by a suitable
+//! seed and configuration.
+//!
+//! Two scheduling strategies share that round semantics
+//! ([`crate::SchedulerMode`]):
+//!
+//! * **event-driven** (the default): a run queue of wake-ups. A process is
+//!   visited only when its timer is due ([`SimConfig::timer_period`]) or a
+//!   packet addressed to it has become deliverable; packet delivery reads
+//!   the network's per-destination inbound index. A quiescent system does no
+//!   delivery work at all, so large, sparse simulations cost only what their
+//!   active processes do.
+//! * **round-scan** (the legacy baseline): every round visits every process
+//!   and scans every channel in the network for deliverable packets — the
+//!   behaviour of this crate before the run queue existed, kept for the
+//!   scheduler benchmarks.
+//!
+//! For the same seed and a timer period of 1 the two strategies produce
+//! byte-identical executions (same deliveries, same trace, same process
+//! states); the event-driven scheduler only *finds* the work cheaper.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use crate::config::SimConfig;
+use crate::config::{SchedulerMode, SimConfig};
 use crate::metrics::Metrics;
 use crate::network::Network;
 use crate::process::{Context, Process, ProcessId, ProcessStatus};
@@ -22,6 +40,30 @@ use crate::trace::{Trace, TraceEvent};
 struct Slot<P> {
     process: P,
     status: ProcessStatus,
+    /// The round this process's timer fires next.
+    next_timer: Round,
+}
+
+/// A run queue of wake-ups keyed by round: the heart of the event-driven
+/// scheduler. Entries are sets, so double-scheduling a process for the same
+/// round is harmless.
+#[derive(Debug, Clone, Default)]
+struct WakeQueue {
+    due: BTreeMap<Round, BTreeSet<ProcessId>>,
+}
+
+impl WakeQueue {
+    fn schedule(&mut self, round: Round, id: ProcessId) {
+        self.due.entry(round).or_default().insert(id);
+    }
+
+    /// Removes and returns every process scheduled at or before `now`.
+    fn pop_due(&mut self, now: Round, into: &mut BTreeSet<ProcessId>) {
+        let later = self.due.split_off(&now.next());
+        for (_, ids) in std::mem::replace(&mut self.due, later) {
+            into.extend(ids);
+        }
+    }
 }
 
 /// A deterministic simulation of a set of processors exchanging messages.
@@ -36,6 +78,10 @@ pub struct Simulation<P: Process> {
     network: Network<P::Msg>,
     metrics: Metrics,
     trace: Trace,
+    /// Wake-ups due to timers (event-driven mode).
+    timer_wakes: WakeQueue,
+    /// Wake-ups due to deliverable packets (event-driven mode).
+    packet_wakes: WakeQueue,
 }
 
 impl<P: Process> Simulation<P> {
@@ -52,6 +98,8 @@ impl<P: Process> Simulation<P> {
             network,
             metrics: Metrics::new(),
             trace: Trace::new(),
+            timer_wakes: WakeQueue::default(),
+            packet_wakes: WakeQueue::default(),
         }
     }
 
@@ -86,8 +134,10 @@ impl<P: Process> Simulation<P> {
             Slot {
                 process,
                 status: ProcessStatus::Active,
+                next_timer: self.now,
             },
         );
+        self.timer_wakes.schedule(self.now, id);
     }
 
     /// Crashes a processor: it takes no further steps and never rejoins.
@@ -133,8 +183,98 @@ impl<P: Process> Simulation<P> {
         }
     }
 
-    /// Executes one scheduler round.
+    /// Executes one scheduler round using the configured strategy.
     pub fn step_round(&mut self) {
+        match self.config.scheduler() {
+            SchedulerMode::EventDriven => self.step_round_event(),
+            SchedulerMode::RoundScan => self.step_round_scan(),
+        }
+    }
+
+    /// One round of the event-driven run queue: only processes with a due
+    /// timer, a deliverable packet or a white-box network mutation are
+    /// visited, and their packet delivery reads the per-destination index.
+    fn step_round_event(&mut self) {
+        self.trace.record(TraceEvent::RoundStarted(self.now));
+        let mut woken: BTreeSet<ProcessId> = BTreeSet::new();
+        self.timer_wakes.pop_due(self.now, &mut woken);
+        self.packet_wakes.pop_due(self.now, &mut woken);
+        woken.extend(self.network.take_dirty());
+        let mut order: Vec<ProcessId> = woken
+            .into_iter()
+            .filter(|id| {
+                self.slots
+                    .get(id)
+                    .map(|s| s.status.is_active())
+                    .unwrap_or(false)
+            })
+            .collect();
+        self.rng.shuffle(&mut order);
+        // The membership snapshot is only read by visited processes; a
+        // quiescent round must not pay O(processes) to build it.
+        let all_ids: Vec<ProcessId> = if order.is_empty() {
+            Vec::new()
+        } else {
+            self.slots.keys().copied().collect()
+        };
+
+        for id in order {
+            self.metrics.record_wakeup();
+            // Deliver the due packets first (receive steps)...
+            let (deliveries, next_ready) = self.network.deliver_due(
+                id,
+                self.now,
+                self.config.max_deliveries_per_round(),
+                &mut self.rng,
+                &mut self.metrics,
+            );
+            if let Some(ready) = next_ready {
+                // Packets remain (delayed or over the per-round delivery
+                // bound): re-wake the destination when they become due.
+                self.packet_wakes.schedule(ready.max(self.now), id);
+            }
+            for (from, msg) in deliveries {
+                // The destination may have crashed earlier in this round.
+                let Some(slot) = self.slots.get_mut(&id) else {
+                    break;
+                };
+                if !slot.status.is_active() {
+                    break;
+                }
+                self.trace.record(TraceEvent::Delivered { from, to: id });
+                let mut ctx = Context::new(id, self.now, &all_ids);
+                slot.process.on_message(from, msg, &mut ctx);
+                let outbox = ctx.into_outbox();
+                self.flush(id, outbox);
+            }
+            // ...then take the timer step if it is due.
+            let Some(slot) = self.slots.get_mut(&id) else {
+                continue;
+            };
+            if !slot.status.is_active() || slot.next_timer > self.now {
+                continue;
+            }
+            self.trace.record(TraceEvent::TimerStep(id));
+            self.metrics.record_timer_step();
+            let mut ctx = Context::new(id, self.now, &all_ids);
+            slot.process.on_timer(&mut ctx);
+            let outbox = ctx.into_outbox();
+            let next = self.now + self.config.timer_period();
+            slot.next_timer = next;
+            self.timer_wakes.schedule(next, id);
+            self.flush(id, outbox);
+        }
+
+        self.metrics.record_round();
+        self.now = self.now.next();
+    }
+
+    /// One round of the legacy whole-system scan: every active process is
+    /// visited and every channel in the network is examined for deliverable
+    /// packets. Byte-identical to [`Simulation::step_round_event`] for the
+    /// same seed (at timer period 1); kept as the baseline the scheduler
+    /// benchmarks compare against.
+    fn step_round_scan(&mut self) {
         self.trace.record(TraceEvent::RoundStarted(self.now));
         let all_ids: Vec<ProcessId> = self.slots.keys().copied().collect();
         let mut order: Vec<ProcessId> = self
@@ -172,7 +312,7 @@ impl<P: Process> Simulation<P> {
             let Some(slot) = self.slots.get_mut(&id) else {
                 continue;
             };
-            if !slot.status.is_active() {
+            if !slot.status.is_active() || slot.next_timer > self.now {
                 continue;
             }
             self.trace.record(TraceEvent::TimerStep(id));
@@ -180,6 +320,7 @@ impl<P: Process> Simulation<P> {
             let mut ctx = Context::new(id, self.now, &all_ids);
             slot.process.on_timer(&mut ctx);
             let outbox = ctx.into_outbox();
+            slot.next_timer = self.now + self.config.timer_period();
             self.flush(id, outbox);
         }
 
@@ -188,9 +329,16 @@ impl<P: Process> Simulation<P> {
     }
 
     fn flush(&mut self, from: ProcessId, outbox: Vec<(ProcessId, P::Msg)>) {
+        let event_driven = self.config.scheduler() == SchedulerMode::EventDriven;
         for (to, msg) in outbox {
-            self.network
-                .send(from, to, msg, self.now, &mut self.rng, &mut self.metrics);
+            let ready =
+                self.network
+                    .send(from, to, msg, self.now, &mut self.rng, &mut self.metrics);
+            if event_driven {
+                if let Some(ready) = ready {
+                    self.packet_wakes.schedule(ready.max(self.now), to);
+                }
+            }
         }
     }
 
@@ -387,7 +535,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let mut sim = sim_with(5, SimConfig::default().with_seed(seed).with_loss_probability(0.2));
+            let mut sim = sim_with(
+                5,
+                SimConfig::default()
+                    .with_seed(seed)
+                    .with_loss_probability(0.2),
+            );
             sim.run_rounds(20);
             let received: Vec<u64> = sim.processes().map(|(_, p)| p.received).collect();
             (received, sim.metrics().clone())
@@ -429,7 +582,7 @@ mod tests {
         assert_eq!(sim.metrics().rounds(), 4);
         assert!(sim.metrics().messages_sent() > 0);
         assert!(sim.metrics().messages_delivered() > 0);
-        assert!(sim.trace().len() > 0);
+        assert!(!sim.trace().is_empty());
     }
 
     #[test]
@@ -460,5 +613,193 @@ mod tests {
         for (_, p) in sim.processes() {
             assert!(p.received <= 2, "received {} > 2", p.received);
         }
+    }
+
+    /// Renders a run's trace into one comparable byte string.
+    fn trace_bytes(sim: &Simulation<Gossip>) -> String {
+        sim.trace()
+            .iter()
+            .map(|e| format!("{e:?}\n"))
+            .collect::<String>()
+    }
+
+    fn traced_run(cfg: SimConfig, rounds: u64) -> (String, Vec<u64>, u64) {
+        let mut sim = sim_with(5, cfg);
+        sim.trace_mut().set_enabled(true);
+        sim.run_rounds(rounds);
+        let values = sim.processes().map(|(_, p)| p.value).collect();
+        (
+            trace_bytes(&sim),
+            values,
+            sim.metrics().messages_delivered(),
+        )
+    }
+
+    /// The tent-pole equivalence: for the same seed, the event-driven run
+    /// queue replays the round-scan execution byte for byte — same trace,
+    /// same deliveries, same final process states — even over lossy,
+    /// delaying, reordering channels.
+    #[test]
+    fn event_and_scan_schedulers_produce_byte_identical_traces() {
+        for seed in [0u64, 7, 42, 1234] {
+            let cfg = SimConfig::default()
+                .with_seed(seed)
+                .with_loss_probability(0.2)
+                .with_duplication_probability(0.1)
+                .with_reordering(true)
+                .with_max_delay(3)
+                .with_channel_capacity(8);
+            let scan = traced_run(cfg.clone().with_scheduler(SchedulerMode::RoundScan), 40);
+            let event = traced_run(cfg.with_scheduler(SchedulerMode::EventDriven), 40);
+            assert_eq!(scan.0, event.0, "traces diverged for seed {seed}");
+            assert_eq!(scan.1, event.1, "states diverged for seed {seed}");
+            assert_eq!(scan.2, event.2, "deliveries diverged for seed {seed}");
+        }
+    }
+
+    /// Same seed ⇒ byte-identical trace, in both scheduler modes.
+    #[test]
+    fn same_seed_gives_byte_identical_traces_per_mode() {
+        for mode in [SchedulerMode::EventDriven, SchedulerMode::RoundScan] {
+            let cfg = SimConfig::default()
+                .with_seed(11)
+                .with_loss_probability(0.3)
+                .with_max_delay(2)
+                .with_scheduler(mode);
+            let a = traced_run(cfg.clone(), 30);
+            let b = traced_run(cfg, 30);
+            assert_eq!(a, b, "non-deterministic execution in {mode:?}");
+        }
+    }
+
+    /// A process that gossips a fixed number of times and then goes quiet.
+    #[derive(Debug)]
+    struct Burst {
+        sends_left: u64,
+        received: u64,
+    }
+
+    impl Process for Burst {
+        type Msg = u64;
+        fn on_timer(&mut self, ctx: &mut Context<'_, u64>) {
+            if self.sends_left > 0 {
+                self.sends_left -= 1;
+                for peer in ctx.peers() {
+                    ctx.send(peer, self.sends_left);
+                }
+            }
+        }
+        fn on_message(&mut self, _from: ProcessId, _msg: u64, _ctx: &mut Context<'_, u64>) {
+            self.received += 1;
+        }
+    }
+
+    /// Regression for the event-driven rewrite: once the network is
+    /// quiescent (all channels drained, nobody sending), rounds perform zero
+    /// deliveries and zero channel inspections — the delivery path is not
+    /// even consulted.
+    #[test]
+    fn quiescent_network_performs_zero_delivery_work_per_round() {
+        let mut sim: Simulation<Burst> =
+            Simulation::new(SimConfig::default().with_seed(3).with_max_delay(1));
+        for _ in 0..6 {
+            sim.add_process(Burst {
+                sends_left: 3,
+                received: 0,
+            });
+        }
+        // Drain the burst: 3 send rounds plus the maximum delay.
+        sim.run_rounds(10);
+        assert_eq!(sim.network().in_flight_total(), 0);
+        let delivered = sim.metrics().messages_delivered();
+        let visits = sim.metrics().channel_visits();
+        assert!(delivered > 0);
+
+        sim.run_rounds(100);
+        assert_eq!(
+            sim.metrics().messages_delivered(),
+            delivered,
+            "quiescent rounds delivered packets"
+        );
+        assert_eq!(
+            sim.metrics().channel_visits(),
+            visits,
+            "quiescent rounds inspected channels"
+        );
+        assert_eq!(sim.metrics().channel_scans(), 0);
+    }
+
+    /// With a slow timer, idle processes are not woken at all: wake-ups scale
+    /// with the due work, not with the number of processes.
+    #[test]
+    fn slow_timers_wake_only_due_processes() {
+        let period = 8u64;
+        let mut sim: Simulation<Burst> = Simulation::new(
+            SimConfig::default()
+                .with_seed(4)
+                .with_timer_period(period)
+                .with_max_delay(0),
+        );
+        for _ in 0..10 {
+            sim.add_process(Burst {
+                sends_left: 0,
+                received: 0,
+            });
+        }
+        let rounds = 64u64;
+        sim.run_rounds(rounds);
+        // Each idle process is woken only when its timer fires.
+        let expected = 10 * (rounds / period);
+        assert_eq!(sim.metrics().wakeups(), expected);
+        assert_eq!(sim.metrics().timer_steps(), expected);
+    }
+
+    /// A delayed packet wakes its destination exactly when it becomes
+    /// deliverable, even when every timer is far in the future.
+    #[test]
+    fn due_packets_wake_sleeping_destinations() {
+        let mut sim: Simulation<Burst> = Simulation::new(
+            SimConfig::default()
+                .with_seed(5)
+                .with_timer_period(1000)
+                .with_max_delay(0),
+        );
+        let a = sim.add_process(Burst {
+            sends_left: 1,
+            received: 0,
+        });
+        let b = sim.add_process(Burst {
+            sends_left: 0,
+            received: 0,
+        });
+        // Round 0: a's (only) timer fires and sends to b; b is woken for the
+        // delivery although its next timer is ~1000 rounds away.
+        sim.run_rounds(3);
+        assert_eq!(sim.process(b).unwrap().received, 1);
+        assert_eq!(sim.process(a).unwrap().received, 0);
+    }
+
+    /// White-box packet injection still reaches the destination under
+    /// event-driven scheduling (the dirty-set wake-up path).
+    #[test]
+    fn injected_packets_wake_the_destination() {
+        let mut sim: Simulation<Burst> = Simulation::new(
+            SimConfig::default()
+                .with_seed(6)
+                .with_timer_period(1000)
+                .with_max_delay(0),
+        );
+        let a = sim.add_process(Burst {
+            sends_left: 0,
+            received: 0,
+        });
+        let b = sim.add_process(Burst {
+            sends_left: 0,
+            received: 0,
+        });
+        sim.run_rounds(2);
+        sim.network_mut().inject(a, b, 99);
+        sim.run_rounds(2);
+        assert_eq!(sim.process(b).unwrap().received, 1);
     }
 }

@@ -1,0 +1,386 @@
+//! Protocol-stack composition: one shared mechanism for multiplexing the
+//! message traffic of layered protocols over a single wire format.
+//!
+//! The paper's middleware is explicitly a *stack* (Figure 1): data link →
+//! `(N,Θ)`-failure detector → recSA/recMA/joining → labels → counters →
+//! virtually synchronous SMR / shared memory. A composite node that runs
+//! several of those layers on one processor has to (a) wrap every sub-layer's
+//! outgoing messages into one tagged wire enum and (b) demultiplex incoming
+//! wire messages back to the right sub-layer. Before this module existed,
+//! each composite node hand-rolled that plumbing; now it is expressed once,
+//! here, and every node in the workspace composes the same way:
+//!
+//! * a composite declares its wire format with [`wire_enum!`], which derives
+//!   a [`Lane`] (injection/projection pair) per tagged variant;
+//! * outgoing traffic of any sub-layer is pushed into an [`Outbox`], which
+//!   wraps native messages into the wire format on the way in — this is also
+//!   how *upper* layers send through *lower* ones (e.g. the SMR layer sends
+//!   counter-service requests by pushing `CounterMsg`s into its
+//!   `Outbox<SmrMsg>`);
+//! * incoming wire messages are dispatched with a [`Router`], which peels the
+//!   lanes off one by one and hands each sub-layer its native message type;
+//! * the composite implements [`Layer`], and [`impl_process_for_layer!`]
+//!   turns any `Layer` into a [`crate::Process`] that can run in a
+//!   [`crate::Simulation`].
+//!
+//! ```
+//! use simnet::stack::{Layer, Outbox, Router};
+//! use simnet::{wire_enum, ProcessId};
+//!
+//! // Two toy sub-layer protocols with distinct message types.
+//! #[derive(Debug, Clone, PartialEq, Eq)]
+//! pub struct Ping(pub u64);
+//! #[derive(Debug, Clone, PartialEq, Eq)]
+//! pub struct Gossip(pub String);
+//!
+//! wire_enum! {
+//!     /// The composite wire format.
+//!     #[derive(Debug, Clone, PartialEq, Eq)]
+//!     pub enum WireMsg {
+//!         /// Liveness probes.
+//!         Ping(Ping),
+//!         /// Rumour spreading.
+//!         Gossip(Gossip),
+//!     }
+//! }
+//!
+//! #[derive(Default)]
+//! struct Node { pings: u64, rumours: Vec<String> }
+//!
+//! impl Layer for Node {
+//!     type Wire = WireMsg;
+//!     fn poll(&mut self, peers: &[ProcessId], out: &mut Outbox<WireMsg>) {
+//!         for p in peers {
+//!             out.push(*p, Ping(self.pings)); // wrapped into WireMsg::Ping
+//!         }
+//!     }
+//!     fn handle(&mut self, from: ProcessId, wire: WireMsg, out: &mut Outbox<WireMsg>) {
+//!         Router::new(from, wire)
+//!             .lane(out, |_from, Ping(n), _out| self.pings = self.pings.max(n))
+//!             .lane(out, |_from, Gossip(r), _out| self.rumours.push(r))
+//!             .finish();
+//!     }
+//! }
+//!
+//! let mut node = Node::default();
+//! let mut out = Outbox::new();
+//! node.handle(ProcessId::new(1), WireMsg::Gossip(Gossip("hi".into())), &mut out);
+//! assert_eq!(node.rumours, vec!["hi".to_string()]);
+//! assert!(out.is_empty());
+//! ```
+
+use crate::process::{Context, ProcessId};
+
+/// Injection/projection between a sub-layer's native message type and a
+/// composite wire format `W`.
+///
+/// Implementations are normally derived by [`wire_enum!`]; one lane per
+/// tagged variant of the wire enum.
+pub trait Lane<W>: Sized {
+    /// Wraps a native message into the wire format.
+    fn wrap(self) -> W;
+    /// Projects a wire message back to this lane, or returns it unchanged
+    /// when it belongs to another lane.
+    fn try_unwrap(wire: W) -> Result<Self, W>;
+}
+
+/// Collects `(destination, wire message)` pairs during one atomic step,
+/// wrapping every sub-layer's native messages on the way in.
+#[derive(Debug)]
+pub struct Outbox<W> {
+    msgs: Vec<(ProcessId, W)>,
+}
+
+impl<W> Default for Outbox<W> {
+    fn default() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+}
+
+impl<W> Outbox<W> {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues one native message of lane `M` for `to`.
+    pub fn push<M: Lane<W>>(&mut self, to: ProcessId, msg: M) {
+        self.msgs.push((to, msg.wrap()));
+    }
+
+    /// Queues one already-wrapped wire message for `to` (used for unit
+    /// variants of the wire enum, which carry no lane payload).
+    pub fn push_wire(&mut self, to: ProcessId, wire: W) {
+        self.msgs.push((to, wire));
+    }
+
+    /// Queues a batch of native messages, wrapping each one. This is the
+    /// send-through path: a sub-layer's `(destination, message)` output goes
+    /// out over the composite's wire format unchanged.
+    pub fn extend<M: Lane<W>>(&mut self, batch: impl IntoIterator<Item = (ProcessId, M)>) {
+        for (to, msg) in batch {
+            self.push(to, msg);
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Returns `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Consumes the outbox, returning the queued wire messages in send order.
+    pub fn into_messages(self) -> Vec<(ProcessId, W)> {
+        self.msgs
+    }
+
+    /// Hands every queued message to a simulation [`Context`].
+    pub fn send_via(self, ctx: &mut Context<'_, W>) {
+        for (to, msg) in self.msgs {
+            ctx.send(to, msg);
+        }
+    }
+}
+
+/// Dispatches one incoming wire message through the lanes of a stack.
+///
+/// Lanes are tried in the order they are chained; the first lane whose
+/// payload type matches consumes the message. [`Router::finish`] returns any
+/// message no lane claimed (e.g. a unit variant of the wire enum), which the
+/// caller pattern-matches directly.
+#[must_use = "call .finish() to observe messages no lane claimed"]
+#[derive(Debug)]
+pub struct Router<W> {
+    from: ProcessId,
+    wire: Option<W>,
+}
+
+impl<W> Router<W> {
+    /// Starts routing `wire`, received from `from`.
+    pub fn new(from: ProcessId, wire: W) -> Self {
+        Router {
+            from,
+            wire: Some(wire),
+        }
+    }
+
+    /// Offers the message to lane `M`: if it belongs there, `handler` runs
+    /// with the native message and the shared outbox; otherwise the message
+    /// stays available for the next lane.
+    pub fn lane<M: Lane<W>>(
+        mut self,
+        out: &mut Outbox<W>,
+        handler: impl FnOnce(ProcessId, M, &mut Outbox<W>),
+    ) -> Self {
+        if let Some(wire) = self.wire.take() {
+            match M::try_unwrap(wire) {
+                Ok(msg) => handler(self.from, msg, out),
+                Err(wire) => self.wire = Some(wire),
+            }
+        }
+        self
+    }
+
+    /// Ends the dispatch, returning the message if no lane claimed it.
+    pub fn finish(self) -> Option<W> {
+        self.wire
+    }
+}
+
+/// A protocol layer (or a whole stack of them) in poll/handle form: the
+/// context-free shape every composite node in this workspace exposes, so
+/// higher layers can embed it and forward its traffic through their own
+/// [`Outbox`].
+pub trait Layer {
+    /// The wire format this layer speaks.
+    type Wire: Clone;
+
+    /// One timer step (`do forever` iteration) of the layer. `peers` lists
+    /// every processor the node may address.
+    fn poll(&mut self, peers: &[ProcessId], out: &mut Outbox<Self::Wire>);
+
+    /// Handles one received wire message, pushing any replies into `out`.
+    fn handle(&mut self, from: ProcessId, wire: Self::Wire, out: &mut Outbox<Self::Wire>);
+}
+
+/// Defines a composite wire enum and derives a [`Lane`] implementation per
+/// payload-carrying variant. Unit variants are allowed and stay lane-less
+/// (send them with [`Outbox::push_wire`], observe them via
+/// [`Router::finish`]).
+///
+/// See the [module documentation](self) for a full example.
+#[macro_export]
+macro_rules! wire_enum {
+    (
+        $(#[$meta:meta])*
+        $vis:vis enum $name:ident {
+            $(
+                $(#[$vmeta:meta])*
+                $variant:ident $( ( $payload:ty ) )?
+            ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        $vis enum $name {
+            $(
+                $(#[$vmeta])*
+                $variant $( ( $payload ) )?,
+            )*
+        }
+
+        $(
+            $crate::__wire_enum_lane! { $name, $variant $( ( $payload ) )? }
+        )*
+    };
+}
+
+/// Implementation detail of [`wire_enum!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __wire_enum_lane {
+    ($name:ident, $variant:ident) => {};
+    ($name:ident, $variant:ident ( $payload:ty )) => {
+        impl $crate::stack::Lane<$name> for $payload {
+            fn wrap(self) -> $name {
+                $name::$variant(self)
+            }
+            fn try_unwrap(wire: $name) -> ::std::result::Result<Self, $name> {
+                match wire {
+                    $name::$variant(msg) => Ok(msg),
+                    other => ::std::result::Result::Err(other),
+                }
+            }
+        }
+    };
+}
+
+/// Implements [`crate::Process`] for a type that implements [`Layer`],
+/// delegating the two step entry points through an [`Outbox`]. Keeps the
+/// `Process` impl of every composite node a two-line facade.
+#[macro_export]
+macro_rules! impl_process_for_layer {
+    ($ty:ty) => {
+        impl $crate::Process for $ty {
+            type Msg = <$ty as $crate::stack::Layer>::Wire;
+
+            fn on_timer(&mut self, ctx: &mut $crate::Context<'_, Self::Msg>) {
+                let peers = ctx.all_ids();
+                let mut out = $crate::stack::Outbox::new();
+                $crate::stack::Layer::poll(self, &peers, &mut out);
+                out.send_via(ctx);
+            }
+
+            fn on_message(
+                &mut self,
+                from: $crate::ProcessId,
+                msg: Self::Msg,
+                ctx: &mut $crate::Context<'_, Self::Msg>,
+            ) {
+                let mut out = $crate::stack::Outbox::new();
+                $crate::stack::Layer::handle(self, from, msg, &mut out);
+                out.send_via(ctx);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Lower(u32);
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Upper(String);
+
+    wire_enum! {
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        enum Wire {
+            Beat,
+            Lower(Lower),
+            Upper(Upper),
+        }
+    }
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn outbox_wraps_native_messages_per_lane() {
+        let mut out: Outbox<Wire> = Outbox::new();
+        assert!(out.is_empty());
+        out.push(pid(1), Lower(7));
+        out.push(pid(2), Upper("x".into()));
+        out.push_wire(pid(3), Wire::Beat);
+        out.extend(vec![(pid(4), Lower(8))]);
+        assert_eq!(out.len(), 4);
+        let msgs = out.into_messages();
+        assert_eq!(
+            msgs,
+            vec![
+                (pid(1), Wire::Lower(Lower(7))),
+                (pid(2), Wire::Upper(Upper("x".into()))),
+                (pid(3), Wire::Beat),
+                (pid(4), Wire::Lower(Lower(8))),
+            ]
+        );
+    }
+
+    #[test]
+    fn router_dispatches_to_the_matching_lane_only() {
+        let mut out: Outbox<Wire> = Outbox::new();
+        let mut lower_seen = None;
+        let mut upper_seen = None;
+        let rest = Router::new(pid(9), Wire::Lower(Lower(5)))
+            .lane(&mut out, |from, m: Lower, _| lower_seen = Some((from, m)))
+            .lane(&mut out, |from, m: Upper, _| upper_seen = Some((from, m)))
+            .finish();
+        assert_eq!(lower_seen, Some((pid(9), Lower(5))));
+        assert_eq!(upper_seen, None);
+        assert_eq!(rest, None);
+    }
+
+    #[test]
+    fn router_hands_back_unit_variants() {
+        let mut out: Outbox<Wire> = Outbox::new();
+        let rest = Router::new(pid(1), Wire::Beat)
+            .lane(&mut out, |_, _m: Lower, _| panic!("wrong lane"))
+            .lane(&mut out, |_, _m: Upper, _| panic!("wrong lane"))
+            .finish();
+        assert_eq!(rest, Some(Wire::Beat));
+    }
+
+    #[test]
+    fn lanes_can_reply_through_the_shared_outbox() {
+        let mut out: Outbox<Wire> = Outbox::new();
+        Router::new(pid(2), Wire::Lower(Lower(1)))
+            .lane(&mut out, |from, Lower(n), out: &mut Outbox<Wire>| {
+                out.push(from, Lower(n + 1));
+                out.push(from, Upper("ack".into()));
+            })
+            .finish();
+        assert_eq!(
+            out.into_messages(),
+            vec![
+                (pid(2), Wire::Lower(Lower(2))),
+                (pid(2), Wire::Upper(Upper("ack".into()))),
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrip_wrap_unwrap() {
+        let wrapped = Lower(3).wrap();
+        assert_eq!(wrapped, Wire::Lower(Lower(3)));
+        assert_eq!(Lower::try_unwrap(wrapped), Ok(Lower(3)));
+        assert_eq!(
+            Lower::try_unwrap(Wire::Upper(Upper("y".into()))),
+            Err(Wire::Upper(Upper("y".into())))
+        );
+    }
+}

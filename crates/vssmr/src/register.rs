@@ -57,7 +57,10 @@ mod tests {
             Simulation::new(SimConfig::default().with_seed(31).with_max_delay(0));
         for i in 0..3u32 {
             let id = ProcessId::new(i);
-            sim.add_process_with_id(id, SmrNode::new_member(id, cfg.clone(), NodeConfig::for_n(8)));
+            sim.add_process_with_id(
+                id,
+                SmrNode::new_member(id, cfg.clone(), NodeConfig::for_n(8)),
+            );
         }
         sim.run_until(400, |s| {
             s.active_ids()
@@ -87,7 +90,10 @@ mod tests {
             Simulation::new(SimConfig::default().with_seed(32).with_max_delay(0));
         for i in 0..3u32 {
             let id = ProcessId::new(i);
-            sim.add_process_with_id(id, SmrNode::new_member(id, cfg.clone(), NodeConfig::for_n(8)));
+            sim.add_process_with_id(
+                id,
+                SmrNode::new_member(id, cfg.clone(), NodeConfig::for_n(8)),
+            );
         }
         sim.run_until(400, |s| {
             s.active_ids()

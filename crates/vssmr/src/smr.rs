@@ -27,7 +27,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use counters::{Counter, CounterMsg, CounterNode, IncrementOutcome};
 use reconfig::{ConfigSet, NodeConfig, ReconfigMsg, ReconfigNode};
-use simnet::{Context, Process, ProcessId};
+use simnet::stack::{Layer, Outbox, Router};
+use simnet::ProcessId;
 
 /// A command submitted to the replicated state machine.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -130,16 +131,19 @@ pub struct StateMsg {
     pub suspend: bool,
 }
 
-/// Messages exchanged by [`SmrNode`]s: the reconfiguration stack, the counter
-/// service and the replication layer share one wire format.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SmrMsg {
-    /// Reconfiguration scheme traffic.
-    Reconfig(ReconfigMsg),
-    /// Counter service traffic (view identifiers).
-    Counter(CounterMsg),
-    /// Replication state broadcast.
-    State(StateMsg),
+simnet::wire_enum! {
+    /// Messages exchanged by [`SmrNode`]s: the reconfiguration stack, the
+    /// counter service and the replication layer share one wire format,
+    /// multiplexed through the shared [`simnet::stack`] mechanism.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum SmrMsg {
+        /// Reconfiguration scheme traffic.
+        Reconfig(ReconfigMsg),
+        /// Counter service traffic (view identifiers).
+        Counter(CounterMsg),
+        /// Replication state broadcast.
+        State(StateMsg),
+    }
 }
 
 /// One replica of the self-stabilizing reconfigurable VS-SMR service.
@@ -296,7 +300,11 @@ impl SmrNode {
     /// The set of configuration members this replica trusts.
     fn trusted_members(&self, config: &ConfigSet) -> BTreeSet<ProcessId> {
         let trusted = self.reconfig.trusted();
-        config.iter().copied().filter(|m| trusted.contains(m)).collect()
+        config
+            .iter()
+            .copied()
+            .filter(|m| trusted.contains(m))
+            .collect()
     }
 
     /// Whether a majority of `config` is trusted.
@@ -335,51 +343,12 @@ impl SmrNode {
     }
 
     /// One timer step of the whole stack.
+    ///
+    /// Context-free facade over the [`Layer`] implementation.
     pub fn poll(&mut self, peers: &[ProcessId]) -> Vec<(ProcessId, SmrMsg)> {
-        let mut out: Vec<(ProcessId, SmrMsg)> = Vec::new();
-
-        // 1. Reconfiguration stack.
-        for (to, m) in self.reconfig.poll(peers) {
-            out.push((to, SmrMsg::Reconfig(m)));
-        }
-
-        // 2. Counter service: keep it aligned with the current configuration
-        //    and the reconfiguration status.
-        let config = self.current_config();
-        if let Some(cfg) = &config {
-            if self.counter.is_member() != cfg.contains(&self.me)
-                || self.counter_config_differs(cfg)
-            {
-                self.counter.on_config_change(cfg.clone());
-            }
-        }
-        self.counter
-            .set_reconfiguring(!self.reconfig.no_reconfiguration());
-        for (to, m) in self.counter.step() {
-            out.push((to, SmrMsg::Counter(m)));
-        }
-
-        // 3. Replication layer.
-        if let Some(cfg) = config {
-            if cfg.contains(&self.me) {
-                self.replication_step(&cfg, &mut out);
-            } else {
-                // Not a member: follow the installed view passively (state is
-                // adopted in `handle`); nothing to drive.
-            }
-        }
-
-        // 4. Broadcast the replication snapshot to the configuration members
-        //    and view members.
-        if self.reconfig.is_participant() {
-            let snapshot = self.snapshot();
-            let mut audience: BTreeSet<ProcessId> = self.reconfig.trusted();
-            audience.remove(&self.me);
-            for to in audience {
-                out.push((to, SmrMsg::State(snapshot.clone())));
-            }
-        }
-        out
+        let mut out = Outbox::new();
+        Layer::poll(self, peers, &mut out);
+        out.into_messages()
     }
 
     fn counter_config_differs(&self, cfg: &ConfigSet) -> bool {
@@ -418,7 +387,7 @@ impl SmrNode {
         }
     }
 
-    fn replication_step(&mut self, cfg: &ConfigSet, out: &mut Vec<(ProcessId, SmrMsg)>) {
+    fn replication_step(&mut self, cfg: &ConfigSet, out: &mut Outbox<SmrMsg>) {
         // Collect any view identifier the counter service granted us.
         for outcome in self.counter.take_completed() {
             if let IncrementOutcome::Committed(counter) = outcome {
@@ -471,9 +440,7 @@ impl SmrNode {
             && self.i_should_lead(cfg)
         {
             self.awaiting_view_id = true;
-            for (to, m) in self.counter.request_increment() {
-                out.push((to, SmrMsg::Counter(m)));
-            }
+            out.extend(self.counter.request_increment());
         }
     }
 
@@ -497,7 +464,7 @@ impl SmrNode {
         }
     }
 
-    fn coordinator_step(&mut self, cfg: &ConfigSet, out: &mut Vec<(ProcessId, SmrMsg)>) {
+    fn coordinator_step(&mut self, cfg: &ConfigSet, out: &mut Outbox<SmrMsg>) {
         match self.status {
             Status::Propose => {
                 let Some(prop) = self.prop_view.clone() else {
@@ -551,8 +518,7 @@ impl SmrNode {
                 if self.reconf_requested {
                     self.suspend = true;
                     let everyone_suspended = view.members.iter().all(|m| {
-                        *m == self.me
-                            || self.peers.get(m).map(|s| s.suspend).unwrap_or(false)
+                        *m == self.me || self.peers.get(m).map(|s| s.suspend).unwrap_or(false)
                     });
                     if everyone_suspended {
                         let target: ConfigSet = self.reconfig.participants();
@@ -575,9 +541,7 @@ impl SmrNode {
                 let desired: BTreeSet<ProcessId> = self.trusted_members(cfg);
                 if desired != view.members && !desired.is_empty() && !self.awaiting_view_id {
                     self.awaiting_view_id = true;
-                    for (to, m) in self.counter.request_increment() {
-                        out.push((to, SmrMsg::Counter(m)));
-                    }
+                    out.extend(self.counter.request_increment());
                     return;
                 }
 
@@ -625,25 +589,12 @@ impl SmrNode {
     }
 
     /// Handles a message from `from`, returning any immediate replies.
+    ///
+    /// Context-free facade over the [`Layer`] implementation.
     pub fn handle(&mut self, from: ProcessId, msg: SmrMsg) -> Vec<(ProcessId, SmrMsg)> {
-        match msg {
-            SmrMsg::Reconfig(m) => self
-                .reconfig
-                .handle(from, m)
-                .into_iter()
-                .map(|(to, r)| (to, SmrMsg::Reconfig(r)))
-                .collect(),
-            SmrMsg::Counter(m) => self
-                .counter
-                .on_message(from, m)
-                .into_iter()
-                .map(|(to, r)| (to, SmrMsg::Counter(r)))
-                .collect(),
-            SmrMsg::State(s) => {
-                self.on_state(from, s);
-                Vec::new()
-            }
-        }
+        let mut out = Outbox::new();
+        Layer::handle(self, from, msg, &mut out);
+        out.into_messages()
     }
 
     fn on_state(&mut self, from: ProcessId, s: StateMsg) {
@@ -719,22 +670,64 @@ impl SmrNode {
     }
 }
 
-impl Process for SmrNode {
-    type Msg = SmrMsg;
+impl Layer for SmrNode {
+    type Wire = SmrMsg;
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, SmrMsg>) {
-        let peers = ctx.all_ids();
-        for (to, msg) in self.poll(&peers) {
-            ctx.send(to, msg);
+    fn poll(&mut self, peers: &[ProcessId], out: &mut Outbox<SmrMsg>) {
+        // 1. Reconfiguration stack, forwarded through our wire format.
+        out.extend(self.reconfig.poll(peers));
+
+        // 2. Counter service: keep it aligned with the current configuration
+        //    and the reconfiguration status.
+        let config = self.current_config();
+        if let Some(cfg) = &config {
+            if self.counter.is_member() != cfg.contains(&self.me)
+                || self.counter_config_differs(cfg)
+            {
+                self.counter.on_config_change(cfg.clone());
+            }
+        }
+        self.counter
+            .set_reconfiguring(!self.reconfig.no_reconfiguration());
+        out.extend(self.counter.step());
+
+        // 3. Replication layer.
+        if let Some(cfg) = config {
+            if cfg.contains(&self.me) {
+                self.replication_step(&cfg, out);
+            } else {
+                // Not a member: follow the installed view passively (state is
+                // adopted in `handle`); nothing to drive.
+            }
+        }
+
+        // 4. Broadcast the replication snapshot to the configuration members
+        //    and view members.
+        if self.reconfig.is_participant() {
+            let snapshot = self.snapshot();
+            let mut audience: BTreeSet<ProcessId> = self.reconfig.trusted();
+            audience.remove(&self.me);
+            for to in audience {
+                out.push(to, snapshot.clone());
+            }
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: SmrMsg, ctx: &mut Context<'_, SmrMsg>) {
-        for (to, reply) in self.handle(from, msg) {
-            ctx.send(to, reply);
-        }
+    fn handle(&mut self, from: ProcessId, msg: SmrMsg, out: &mut Outbox<SmrMsg>) {
+        let rest = Router::new(from, msg)
+            .lane(out, |from, m: ReconfigMsg, out| {
+                out.extend(self.reconfig.handle(from, m))
+            })
+            .lane(out, |from, m: CounterMsg, out| {
+                out.extend(self.counter.on_message(from, m))
+            })
+            .lane(out, |from, s: StateMsg, _| self.on_state(from, s))
+            .finish();
+        debug_assert!(rest.is_none(), "every SMR lane is routed");
     }
 }
+
+simnet::impl_process_for_layer!(SmrNode);
 
 #[cfg(test)]
 mod tests {
@@ -790,8 +783,12 @@ mod tests {
     fn submitted_writes_replicate_to_every_member() {
         let mut sim = cluster(3, 22);
         sim.run_until(400, |s| common_view(s).is_some());
-        sim.process_mut(ProcessId::new(1)).unwrap().submit_write(7, 42);
-        sim.process_mut(ProcessId::new(2)).unwrap().submit_write(9, 99);
+        sim.process_mut(ProcessId::new(1))
+            .unwrap()
+            .submit_write(7, 42);
+        sim.process_mut(ProcessId::new(2))
+            .unwrap()
+            .submit_write(9, 99);
         let rounds = sim.run_until(400, |s| {
             s.active_ids().iter().all(|id| {
                 let n = s.process(*id).unwrap();
@@ -805,7 +802,9 @@ mod tests {
     fn coordinator_crash_elects_a_new_one_and_keeps_state() {
         let mut sim = cluster(4, 23);
         sim.run_until(400, |s| common_view(s).is_some());
-        sim.process_mut(ProcessId::new(0)).unwrap().submit_write(1, 11);
+        sim.process_mut(ProcessId::new(0))
+            .unwrap()
+            .submit_write(1, 11);
         sim.run_until(400, |s| {
             s.active_ids()
                 .iter()
@@ -836,7 +835,9 @@ mod tests {
     fn coordinator_led_reconfiguration_preserves_state() {
         let mut sim = cluster(4, 24);
         sim.run_until(500, |s| common_view(s).is_some());
-        sim.process_mut(ProcessId::new(0)).unwrap().submit_write(5, 55);
+        sim.process_mut(ProcessId::new(0))
+            .unwrap()
+            .submit_write(5, 55);
         sim.run_until(500, |s| {
             s.active_ids()
                 .iter()
@@ -861,7 +862,10 @@ mod tests {
                 n.reconfig().installed_config() == Some(config_set(0..3))
             })
         });
-        assert!(rounds < 1200, "the configuration never shrank to the survivors");
+        assert!(
+            rounds < 1200,
+            "the configuration never shrank to the survivors"
+        );
         // The register survives into the new configuration (Theorem 4.13).
         sim.run_rounds(100);
         for id in sim.active_ids() {
@@ -873,17 +877,24 @@ mod tests {
     fn writes_continue_after_reconfiguration() {
         let mut sim = cluster(3, 25);
         sim.run_until(500, |s| common_view(s).is_some());
-        sim.process_mut(ProcessId::new(0)).unwrap().submit_write(1, 1);
+        sim.process_mut(ProcessId::new(0))
+            .unwrap()
+            .submit_write(1, 1);
         sim.run_rounds(200);
         sim.crash(ProcessId::new(2));
         sim.run_rounds(300);
-        sim.process_mut(ProcessId::new(1)).unwrap().submit_write(2, 2);
+        sim.process_mut(ProcessId::new(1))
+            .unwrap()
+            .submit_write(2, 2);
         let rounds = sim.run_until(800, |s| {
             [ProcessId::new(0), ProcessId::new(1)].iter().all(|id| {
                 let n = s.process(*id).unwrap();
                 n.read_register(1) == Some(1) && n.read_register(2) == Some(2)
             })
         });
-        assert!(rounds < 800, "service did not resume after membership change");
+        assert!(
+            rounds < 800,
+            "service did not resume after membership change"
+        );
     }
 }

@@ -10,11 +10,17 @@ use selfstab_reconfig::shared_memory::{OpOutcome, RegisterId, SharedMemNode};
 use selfstab_reconfig::sim::{ProcessId, SimConfig, Simulation};
 
 fn wait_for_writes(sim: &mut Simulation<SharedMemNode>, node: ProcessId, count: u64) {
-    let rounds = sim.run_until(800, |s| s.process(node).unwrap().writes_committed() >= count);
+    let rounds = sim.run_until(800, |s| {
+        s.process(node).unwrap().writes_committed() >= count
+    });
     assert!(rounds < 800, "write never committed");
 }
 
-fn read_value(sim: &mut Simulation<SharedMemNode>, node: ProcessId, key: RegisterId) -> Option<u64> {
+fn read_value(
+    sim: &mut Simulation<SharedMemNode>,
+    node: ProcessId,
+    key: RegisterId,
+) -> Option<u64> {
     let before = sim.process(node).unwrap().reads_committed();
     sim.process_mut(node).unwrap().submit_read(key);
     let rounds = sim.run_until(800, |s| s.process(node).unwrap().reads_committed() > before);
@@ -41,7 +47,10 @@ fn main() {
     );
     for i in 0..4u32 {
         let id = ProcessId::new(i);
-        sim.add_process_with_id(id, SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)));
+        sim.add_process_with_id(
+            id,
+            SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)),
+        );
     }
     sim.run_rounds(60);
     println!("configuration {{p0..p3}} installed; the register service is live");
@@ -49,8 +58,12 @@ fn main() {
     // Two writers race on the same register; both writes commit and every
     // member ends up with the same (tag-maximal) value.
     let balance = RegisterId::new(100);
-    sim.process_mut(ProcessId::new(0)).unwrap().submit_write(balance, 250);
-    sim.process_mut(ProcessId::new(1)).unwrap().submit_write(balance, 300);
+    sim.process_mut(ProcessId::new(0))
+        .unwrap()
+        .submit_write(balance, 250);
+    sim.process_mut(ProcessId::new(1))
+        .unwrap()
+        .submit_write(balance, 300);
     wait_for_writes(&mut sim, ProcessId::new(0), 1);
     wait_for_writes(&mut sim, ProcessId::new(1), 1);
     let value = read_value(&mut sim, ProcessId::new(3), balance);
@@ -59,8 +72,13 @@ fn main() {
     // A client joins the system, is admitted as a participant and uses the
     // register without being a configuration member.
     let client = ProcessId::new(9);
-    sim.add_process_with_id(client, SharedMemNode::new_joiner(client, NodeConfig::for_n(16)));
-    let rounds = sim.run_until(800, |s| s.process(client).unwrap().reconfig().is_participant());
+    sim.add_process_with_id(
+        client,
+        SharedMemNode::new_joiner(client, NodeConfig::for_n(16)),
+    );
+    let rounds = sim.run_until(800, |s| {
+        s.process(client).unwrap().reconfig().is_participant()
+    });
     println!("client p9 admitted as a participant after {rounds} rounds");
     sim.process_mut(client).unwrap().submit_write(balance, 400);
     wait_for_writes(&mut sim, client, 1);

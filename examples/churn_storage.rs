@@ -14,18 +14,27 @@ fn main() {
         Simulation::new(SimConfig::default().with_seed(3).with_max_delay(0));
     for i in 0..4u32 {
         let id = ProcessId::new(i);
-        sim.add_process_with_id(id, SmrNode::new_member(id, initial.clone(), NodeConfig::for_n(16)));
+        sim.add_process_with_id(
+            id,
+            SmrNode::new_member(id, initial.clone(), NodeConfig::for_n(16)),
+        );
     }
 
     // Wait for the first view.
     let rounds = sim.run_until(600, |s| {
-        s.active_ids().iter().all(|id| s.process(*id).unwrap().view().is_some())
+        s.active_ids()
+            .iter()
+            .all(|id| s.process(*id).unwrap().view().is_some())
     });
     println!("first view installed after {rounds} rounds");
 
     // Store some data through different replicas.
-    sim.process_mut(ProcessId::new(1)).unwrap().submit_write(100, 1);
-    sim.process_mut(ProcessId::new(2)).unwrap().submit_write(200, 2);
+    sim.process_mut(ProcessId::new(1))
+        .unwrap()
+        .submit_write(100, 1);
+    sim.process_mut(ProcessId::new(2))
+        .unwrap()
+        .submit_write(200, 2);
     sim.run_until(600, |s| {
         s.active_ids().iter().all(|id| {
             let n = s.process(*id).unwrap();
@@ -42,19 +51,23 @@ fn main() {
         .into_iter()
         .find(|id| sim.process(*id).unwrap().is_coordinator())
     {
-        sim.process_mut(crd).unwrap().request_coordinator_reconfiguration();
+        sim.process_mut(crd)
+            .unwrap()
+            .request_coordinator_reconfiguration();
         println!("coordinator {crd} asked for a delicate reconfiguration");
     }
     let rounds = sim.run_until(1500, |s| {
-        s.active_ids()
-            .iter()
-            .all(|id| s.process(*id).unwrap().reconfig().installed_config() == Some(config_set(0..3)))
+        s.active_ids().iter().all(|id| {
+            s.process(*id).unwrap().reconfig().installed_config() == Some(config_set(0..3))
+        })
     });
     println!("configuration shrank to the survivors after {rounds} rounds");
 
     // The store survived, and keeps accepting writes.
     sim.run_rounds(100);
-    sim.process_mut(ProcessId::new(0)).unwrap().submit_write(300, 3);
+    sim.process_mut(ProcessId::new(0))
+        .unwrap()
+        .submit_write(300, 3);
     sim.run_until(600, |s| {
         s.active_ids()
             .iter()

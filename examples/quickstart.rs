@@ -23,7 +23,8 @@ fn main() {
 
     let rounds = sim.run_until(500, |s| {
         s.active_ids().iter().all(|id| {
-            s.process(*id).unwrap().installed_config() == Some(config_set(0..5))
+            let node = s.process(*id).unwrap();
+            node.installed_config() == Some(config_set(0..5)) && node.no_reconfiguration()
         })
     });
     println!("brute-force bootstrap: converged to {{p0..p4}} after {rounds} rounds");
@@ -46,9 +47,14 @@ fn main() {
 
     // A new processor joins through the joining mechanism.
     let joiner = ProcessId::new(9);
-    sim.add_process_with_id(joiner, ReconfigNode::new_joiner(joiner, NodeConfig::for_n(16)));
+    sim.add_process_with_id(
+        joiner,
+        ReconfigNode::new_joiner(joiner, NodeConfig::for_n(16)),
+    );
     let rounds = sim.run_until(500, |s| {
-        s.process(joiner).map(|p| p.is_participant()).unwrap_or(false)
+        s.process(joiner)
+            .map(|p| p.is_participant())
+            .unwrap_or(false)
     });
     println!("joiner p9 became a participant after {rounds} rounds");
     println!(

@@ -13,24 +13,33 @@ fn main() {
         Simulation::new(SimConfig::default().with_seed(8).with_max_delay(0));
     for i in 0..3u32 {
         let id = ProcessId::new(i);
-        sim.add_process_with_id(id, SmrNode::new_member(id, cfg.clone(), NodeConfig::for_n(8)));
+        sim.add_process_with_id(
+            id,
+            SmrNode::new_member(id, cfg.clone(), NodeConfig::for_n(8)),
+        );
     }
     sim.run_until(600, |s| {
-        s.active_ids().iter().all(|id| s.process(*id).unwrap().view().is_some())
+        s.active_ids()
+            .iter()
+            .all(|id| s.process(*id).unwrap().view().is_some())
     });
     println!("view installed; the register service is live");
 
     // Writer A writes x := 10 through replica 0.
     RegisterClient::new(sim.process_mut(ProcessId::new(0)).unwrap()).write(1, 10);
     sim.run_until(400, |s| {
-        s.active_ids().iter().all(|id| s.process(*id).unwrap().read_register(1) == Some(10))
+        s.active_ids()
+            .iter()
+            .all(|id| s.process(*id).unwrap().read_register(1) == Some(10))
     });
     println!("writer A: x := 10 visible at every replica");
 
     // Writer B overwrites x := 20 through replica 1.
     RegisterClient::new(sim.process_mut(ProcessId::new(1)).unwrap()).write(1, 20);
     sim.run_until(400, |s| {
-        s.active_ids().iter().all(|id| s.process(*id).unwrap().read_register(1) == Some(20))
+        s.active_ids()
+            .iter()
+            .all(|id| s.process(*id).unwrap().read_register(1) == Some(20))
     });
     println!("writer B: x := 20 visible at every replica");
 

@@ -83,9 +83,8 @@ fn rolling_crashes_keep_shrinking_the_configuration() {
             ReconfigNode::new_with_config(
                 id,
                 cfg.clone(),
-                NodeConfig::for_n(32).with_eval_policy(reconfig::EvalPolicy::MissingFraction {
-                    fraction: 0.15,
-                }),
+                NodeConfig::for_n(32)
+                    .with_eval_policy(reconfig::EvalPolicy::MissingFraction { fraction: 0.15 }),
             ),
         );
     }
@@ -98,7 +97,10 @@ fn rolling_crashes_keep_shrinking_the_configuration() {
         crashes.apply(s, now);
     });
     let rounds = sim.run_until(1500, |s| converged_config(s) == Some(config_set(0..4)));
-    assert!(rounds < 1500, "the configuration never shrank onto the survivors");
+    assert!(
+        rounds < 1500,
+        "the configuration never shrank onto the survivors"
+    );
 }
 
 /// Repeated delicate replacements in sequence: the scheme installs each of
@@ -156,7 +158,10 @@ fn partition_and_heal_reconverges_to_one_configuration() {
     let cfg = converged_config(&sim).unwrap();
     let active: BTreeSet<ProcessId> = sim.active_ids().into_iter().collect();
     let live_members = cfg.iter().filter(|m| active.contains(m)).count();
-    assert!(live_members > cfg.len() / 2, "merged configuration has no live majority");
+    assert!(
+        live_members > cfg.len() / 2,
+        "merged configuration has no live majority"
+    );
 }
 
 /// A scripted adversary that repeatedly corrupts configurations *while*
@@ -168,14 +173,20 @@ fn scripted_adversary_with_churn_still_converges() {
     let mut faults: ScriptedFaults<ReconfigNode> = ScriptedFaults::new();
     // Round 70: corrupt two configurations in opposite ways.
     faults.at(Round::new(70), |s: &mut Simulation<ReconfigNode>| {
-        s.process_mut(ProcessId::new(0)).unwrap().recsa_mut().corrupt_config(
-            ProcessId::new(0),
-            reconfig::ConfigValue::Set(config_set([0])),
-        );
-        s.process_mut(ProcessId::new(2)).unwrap().recsa_mut().corrupt_config(
-            ProcessId::new(2),
-            reconfig::ConfigValue::Set(config_set([2, 3])),
-        );
+        s.process_mut(ProcessId::new(0))
+            .unwrap()
+            .recsa_mut()
+            .corrupt_config(
+                ProcessId::new(0),
+                reconfig::ConfigValue::Set(config_set([0])),
+            );
+        s.process_mut(ProcessId::new(2))
+            .unwrap()
+            .recsa_mut()
+            .corrupt_config(
+                ProcessId::new(2),
+                reconfig::ConfigValue::Set(config_set([2, 3])),
+            );
     });
     // Round 90: one member crashes and a joiner arrives.
     faults.at(Round::new(90), |s: &mut Simulation<ReconfigNode>| {
@@ -221,7 +232,10 @@ fn replacement_swaps_a_crashed_member_for_a_newcomer() {
     let newcomer = ProcessId::new(9);
     sim.add_process_with_id(
         newcomer,
-        ReconfigNode::new_joiner(newcomer, NodeConfig::for_n(32).with_bootstrap_patience(None)),
+        ReconfigNode::new_joiner(
+            newcomer,
+            NodeConfig::for_n(32).with_bootstrap_patience(None),
+        ),
     );
     let rounds = sim.run_until(800, |s| s.process(newcomer).unwrap().is_participant());
     assert!(rounds < 800, "replacement processor never joined");

@@ -26,6 +26,32 @@ fn converged_config(sim: &Simulation<ReconfigNode>) -> Option<ConfigSet> {
     }
 }
 
+/// E1 at scale — a 128-process cluster bootstraps from `⊥` to a single
+/// configuration within a handful of rounds. Guards the `(N,Θ)` calibration
+/// of `NodeConfig::for_n` (a too-tight `Θ` makes large clusters suspect live
+/// peers spuriously, and the brute-force reset then never completes) and the
+/// shared-payload message path that makes this scale affordable in CI.
+#[test]
+fn e1_large_scale_bootstrap_from_bottom() {
+    let n: u32 = 128;
+    let mut sim = Simulation::new(SimConfig::default().with_seed(7).with_max_delay(0));
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        sim.add_process_with_id(
+            id,
+            ReconfigNode::new_participant(id, NodeConfig::for_n(2 * n as usize)),
+        );
+    }
+    assert_eq!(converged_config(&sim), None, "must start unconverged");
+    let rounds = sim.run_until(16, |s| {
+        converged_config(s) == Some(config_set(0..n))
+            && s.active_ids()
+                .iter()
+                .all(|id| s.process(*id).unwrap().no_reconfiguration())
+    });
+    assert!(rounds < 16, "128-process bootstrap did not converge");
+}
+
 /// E1 — convergence from an arbitrary state over a lossy, delaying network.
 #[test]
 fn e1_convergence_under_lossy_network() {
@@ -58,7 +84,11 @@ fn e1_recovery_from_conflicting_configurations() {
     }
     sim.run_rounds(60);
     // Transient fault: three nodes now hold three different configurations.
-    for (node, cfg) in [(0u32, config_set([0, 1])), (2, config_set([2, 3])), (4, config_set([4]))] {
+    for (node, cfg) in [
+        (0u32, config_set([0, 1])),
+        (2, config_set([2, 3])),
+        (4, config_set([4])),
+    ] {
         sim.process_mut(ProcessId::new(node))
             .unwrap()
             .recsa_mut()
@@ -70,7 +100,10 @@ fn e1_recovery_from_conflicting_configurations() {
                 .iter()
                 .all(|id| s.process(*id).unwrap().no_reconfiguration())
     });
-    assert!(rounds < 800, "system did not heal from conflicting configurations");
+    assert!(
+        rounds < 800,
+        "system did not heal from conflicting configurations"
+    );
 }
 
 /// E2 — a delicate replacement installs exactly the proposed configuration.
@@ -124,13 +157,17 @@ fn e4_prediction_function_reconfiguration() {
     let mut sim = Simulation::new(SimConfig::default().with_seed(105).with_max_delay(0));
     for i in 0..4u32 {
         let id = ProcessId::new(i);
-        let cfg = NodeConfig::for_n(16).with_eval_policy(EvalPolicy::MissingFraction { fraction: 0.2 });
+        let cfg =
+            NodeConfig::for_n(16).with_eval_policy(EvalPolicy::MissingFraction { fraction: 0.2 });
         sim.add_process_with_id(id, ReconfigNode::new_participant(id, cfg));
     }
     sim.run_rounds(100);
     sim.crash(ProcessId::new(3));
     let rounds = sim.run_until(1500, |s| converged_config(s) == Some(config_set(0..3)));
-    assert!(rounds < 1500, "prediction-driven reconfiguration did not happen");
+    assert!(
+        rounds < 1500,
+        "prediction-driven reconfiguration did not happen"
+    );
 }
 
 /// E5 — joiners are admitted one after the other and never disturb the
@@ -165,12 +202,19 @@ fn e8_vs_smr_state_survives_reconfiguration() {
         Simulation::new(SimConfig::default().with_seed(107).with_max_delay(0));
     for i in 0..4u32 {
         let id = ProcessId::new(i);
-        sim.add_process_with_id(id, SmrNode::new_member(id, initial.clone(), NodeConfig::for_n(16)));
+        sim.add_process_with_id(
+            id,
+            SmrNode::new_member(id, initial.clone(), NodeConfig::for_n(16)),
+        );
     }
     sim.run_until(800, |s| {
-        s.active_ids().iter().all(|id| s.process(*id).unwrap().view().is_some())
+        s.active_ids()
+            .iter()
+            .all(|id| s.process(*id).unwrap().view().is_some())
     });
-    sim.process_mut(ProcessId::new(1)).unwrap().submit_write(77, 7);
+    sim.process_mut(ProcessId::new(1))
+        .unwrap()
+        .submit_write(77, 7);
     sim.run_until(800, |s| {
         s.active_ids()
             .iter()
@@ -183,14 +227,19 @@ fn e8_vs_smr_state_survives_reconfiguration() {
         .into_iter()
         .find(|id| sim.process(*id).unwrap().is_coordinator())
     {
-        sim.process_mut(crd).unwrap().request_coordinator_reconfiguration();
+        sim.process_mut(crd)
+            .unwrap()
+            .request_coordinator_reconfiguration();
     }
     let rounds = sim.run_until(2000, |s| {
-        s.active_ids()
-            .iter()
-            .all(|id| s.process(*id).unwrap().reconfig().installed_config() == Some(config_set(0..3)))
+        s.active_ids().iter().all(|id| {
+            s.process(*id).unwrap().reconfig().installed_config() == Some(config_set(0..3))
+        })
     });
-    assert!(rounds < 2000, "coordinator-led reconfiguration never completed");
+    assert!(
+        rounds < 2000,
+        "coordinator-led reconfiguration never completed"
+    );
     sim.run_rounds(150);
     for id in sim.active_ids() {
         assert_eq!(

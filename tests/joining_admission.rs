@@ -89,7 +89,10 @@ fn deny_all_blocks_until_the_application_relents() {
             .set_admission(AdmissionPolicy::AdmitAll);
     }
     let rounds = sim.run_until(400, |s| s.process(joiner).unwrap().is_participant());
-    assert!(rounds < 400, "joiner still locked out after the policy change");
+    assert!(
+        rounds < 400,
+        "joiner still locked out after the policy change"
+    );
 }
 
 /// Several joiners are admitted one after the other; all of them end up
@@ -99,7 +102,9 @@ fn many_joiners_are_admitted_in_sequence() {
     let mut sim = members_cluster(3, 403, AdmissionPolicy::AdmitAll);
     let joiners: Vec<ProcessId> = (20..25).map(|i| add_joiner(&mut sim, i)).collect();
     let rounds = sim.run_until(1500, |s| {
-        joiners.iter().all(|j| s.process(*j).unwrap().is_participant())
+        joiners
+            .iter()
+            .all(|j| s.process(*j).unwrap().is_participant())
     });
     assert!(rounds < 1500, "not every joiner was admitted");
     assert_eq!(converged_config(&sim), Some(config_set(0..3)));
@@ -126,7 +131,9 @@ fn staggered_churn_does_not_perturb_the_configuration() {
     });
     assert_eq!(joined.len(), 4);
     let rounds = sim.run_until(1200, |s| {
-        joined.iter().all(|j| s.process(*j).unwrap().is_participant())
+        joined
+            .iter()
+            .all(|j| s.process(*j).unwrap().is_participant())
     });
     assert!(rounds < 1200, "churned joiners were not admitted");
     assert_eq!(converged_config(&sim), Some(config_set(0..4)));
@@ -145,8 +152,7 @@ fn joining_waits_for_an_ongoing_reconfiguration() {
     // The joiner shows up in the middle of the replacement.
     let joiner = add_joiner(&mut sim, 30);
     let rounds = sim.run_until(1500, |s| {
-        converged_config(s) == Some(target.clone())
-            && s.process(joiner).unwrap().is_participant()
+        converged_config(s) == Some(target.clone()) && s.process(joiner).unwrap().is_participant()
     });
     assert!(
         rounds < 1500,
@@ -171,7 +177,10 @@ fn admitted_joiner_can_become_a_member_via_replacement() {
         .unwrap()
         .request_reconfiguration(target.clone()));
     let rounds = sim.run_until(1000, |s| converged_config(s) == Some(target.clone()));
-    assert!(rounds < 1000, "replacement including the joiner never completed");
+    assert!(
+        rounds < 1000,
+        "replacement including the joiner never completed"
+    );
 }
 
 /// Complete collapse with joiners present: when every configuration member
@@ -182,7 +191,9 @@ fn collapse_recovery_includes_admitted_participants() {
     let mut sim = members_cluster(3, 407, AdmissionPolicy::AdmitAll);
     let joiners: Vec<ProcessId> = (10..13).map(|i| add_joiner(&mut sim, i)).collect();
     let rounds = sim.run_until(800, |s| {
-        joiners.iter().all(|j| s.process(*j).unwrap().is_participant())
+        joiners
+            .iter()
+            .all(|j| s.process(*j).unwrap().is_participant())
     });
     assert!(rounds < 800);
     for i in 0..3u32 {
@@ -190,7 +201,10 @@ fn collapse_recovery_includes_admitted_participants() {
     }
     let expected: ConfigSet = joiners.iter().copied().collect();
     let rounds = sim.run_until(2500, |s| converged_config(s) == Some(expected.clone()));
-    assert!(rounds < 2500, "survivor participants never formed a configuration");
+    assert!(
+        rounds < 2500,
+        "survivor participants never formed a configuration"
+    );
 }
 
 /// Observability: the joining layer reports completed joins.

@@ -178,7 +178,7 @@ fn fresh_label_creation_reconverges() {
         assert_eq!(pair[0], pair[1], "members failed to re-converge");
     }
     let creations_after: u64 = labelers.values().map(Labeler::label_creations).sum();
-    assert!(creations_after >= creations_before + 1);
+    assert!(creations_after > creations_before);
 }
 
 // ---------------------------------------------------------------------------
@@ -218,11 +218,16 @@ fn sequential_increments_are_strictly_monotone() {
             }
         }
         pump_counters(&mut nodes, 2);
-        history.extend(committed(nodes.get_mut(&incrementer).unwrap().take_completed()));
+        history.extend(committed(
+            nodes.get_mut(&incrementer).unwrap().take_completed(),
+        ));
     }
     assert!(history.len() >= 6, "most increments should commit");
     for pair in history.windows(2) {
-        assert!(pair[0].ct_less(&pair[1]), "counter went backwards: {pair:?}");
+        assert!(
+            pair[0].ct_less(&pair[1]),
+            "counter went backwards: {pair:?}"
+        );
     }
 }
 
@@ -255,7 +260,10 @@ fn concurrent_increments_are_totally_ordered() {
     for node in nodes.values_mut() {
         all.extend(committed(node.take_completed()));
     }
-    assert!(!all.is_empty(), "at least one concurrent increment must commit");
+    assert!(
+        !all.is_empty(),
+        "at least one concurrent increment must commit"
+    );
     // All committed counters are pairwise ordered (no two are equal).
     for i in 0..all.len() {
         for j in (i + 1)..all.len() {
@@ -303,11 +311,16 @@ fn exhaustion_rolls_over_to_a_new_epoch_label() {
             }
         }
         pump_counters(&mut nodes, 2);
-        history.extend(committed(nodes.get_mut(&incrementer).unwrap().take_completed()));
+        history.extend(committed(
+            nodes.get_mut(&incrementer).unwrap().take_completed(),
+        ));
     }
     assert!(history.len() >= 6);
     for pair in history.windows(2) {
-        assert!(pair[0].ct_less(&pair[1]), "counter went backwards across epochs");
+        assert!(
+            pair[0].ct_less(&pair[1]),
+            "counter went backwards across epochs"
+        );
     }
     let labels_used: std::collections::BTreeSet<Label> =
         history.iter().map(|c| c.label.clone()).collect();
@@ -342,7 +355,9 @@ fn increments_abort_during_reconfiguration() {
     }
     let outcomes = nodes.get_mut(&incrementer).unwrap().take_completed();
     assert!(
-        outcomes.iter().all(|o| matches!(o, IncrementOutcome::Aborted)),
+        outcomes
+            .iter()
+            .all(|o| matches!(o, IncrementOutcome::Aborted)),
         "increments must abort while reconfiguring: {outcomes:?}"
     );
     // Once the reconfiguration ends, increments commit again.
@@ -414,5 +429,9 @@ fn counter_service_survives_a_configuration_change() {
         }
     }
     let second = committed(nodes.get_mut(&incrementer).unwrap().take_completed());
-    assert_eq!(second.len(), 1, "increments must work in the new configuration");
+    assert_eq!(
+        second.len(),
+        1,
+        "increments must work in the new configuration"
+    );
 }

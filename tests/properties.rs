@@ -128,8 +128,6 @@ proptest! {
         sim.run_rounds(40);
         let key = RegisterId::new(1);
         let reader = ProcessId::new(2);
-        let mut committed_writes = 0u64;
-        let mut reads_done = 0u64;
         for (k, writer) in writers.iter().enumerate() {
             let writer = ProcessId::new(*writer);
             let value = (k as u64 + 1) * 10;
@@ -137,11 +135,10 @@ proptest! {
             sim.process_mut(writer).unwrap().submit_write(key, value);
             let rounds = sim.run_until(400, |s| s.process(writer).unwrap().writes_committed() > before);
             prop_assert!(rounds < 400, "write {value} never committed");
-            committed_writes = value;
+            let committed_writes = value;
 
             sim.process_mut(reader).unwrap().submit_read(key);
-            reads_done += 1;
-            let target = reads_done;
+            let target = k as u64 + 1;
             let rounds = sim.run_until(400, |s| s.process(reader).unwrap().reads_committed() >= target);
             prop_assert!(rounds < 400, "read after write {value} never committed");
             let outcomes = sim.process_mut(reader).unwrap().take_completed();

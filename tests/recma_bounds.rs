@@ -75,7 +75,8 @@ fn corrupt_no_majority_flags_cause_bounded_triggerings() {
     {
         let node = sim.process_mut(ProcessId::new(0)).unwrap();
         for peer in 0..5u32 {
-            node.recma_mut().corrupt_flags(ProcessId::new(peer), true, false);
+            node.recma_mut()
+                .corrupt_flags(ProcessId::new(peer), true, false);
         }
     }
     sim.run_rounds(400);
@@ -99,7 +100,8 @@ fn corrupt_need_reconf_flags_cause_bounded_triggerings() {
     {
         let node = sim.process_mut(ProcessId::new(2)).unwrap();
         for peer in 0..4u32 {
-            node.recma_mut().corrupt_flags(ProcessId::new(peer), false, true);
+            node.recma_mut()
+                .corrupt_flags(ProcessId::new(peer), false, true);
         }
     }
     sim.run_rounds(400);
@@ -122,7 +124,10 @@ fn majority_collapse_triggers_reconfiguration() {
         sim.crash(ProcessId::new(i));
     }
     let rounds = sim.run_until(1200, |s| converged_config(s) == Some(config_set(0..2)));
-    assert!(rounds < 1200, "survivors never installed a new configuration");
+    assert!(
+        rounds < 1200,
+        "survivors never installed a new configuration"
+    );
     assert!(total_triggerings(&sim) >= 1);
 }
 
@@ -134,7 +139,10 @@ fn prediction_function_majority_triggers_reconfiguration() {
     let mut sim = cluster_with_policy(4, 305, EvalPolicy::MissingFraction { fraction: 0.25 });
     sim.crash(ProcessId::new(3));
     let rounds = sim.run_until(1000, |s| converged_config(s) == Some(config_set(0..3)));
-    assert!(rounds < 1000, "prediction-driven reconfiguration never happened");
+    assert!(
+        rounds < 1000,
+        "prediction-driven reconfiguration never happened"
+    );
     assert!(total_triggerings(&sim) >= 1);
 }
 
@@ -190,12 +198,19 @@ fn runtime_policy_change_takes_effect() {
     let mut sim = cluster_with_policy(4, 309, EvalPolicy::Never);
     sim.crash(ProcessId::new(3));
     sim.run_rounds(300);
-    assert_eq!(converged_config(&sim), Some(config_set(0..4)), "Never policy must not react");
+    assert_eq!(
+        converged_config(&sim),
+        Some(config_set(0..4)),
+        "Never policy must not react"
+    );
     for i in 0..3u32 {
         sim.process_mut(ProcessId::new(i))
             .unwrap()
             .set_eval_policy(EvalPolicy::MissingFraction { fraction: 0.25 });
     }
     let rounds = sim.run_until(1000, |s| converged_config(s) == Some(config_set(0..3)));
-    assert!(rounds < 1000, "policy change never caused the reconfiguration");
+    assert!(
+        rounds < 1000,
+        "policy change never caused the reconfiguration"
+    );
 }

@@ -15,7 +15,10 @@ fn cluster(n: u32, seed: u64) -> Simulation<SharedMemNode> {
     let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
     for i in 0..n {
         let id = ProcessId::new(i);
-        sim.add_process_with_id(id, SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)));
+        sim.add_process_with_id(
+            id,
+            SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)),
+        );
     }
     sim.run_rounds(40);
     sim
@@ -37,12 +40,11 @@ fn reads_never_return_stale_values() {
     let key = RegisterId::new(1);
     let writer = ProcessId::new(0);
     let reader = ProcessId::new(2);
-    let mut last_written = 0u64;
     for v in 1..=6u64 {
         sim.process_mut(writer).unwrap().submit_write(key, v);
         let rounds = sim.run_until(300, |s| s.process(writer).unwrap().writes_committed() == v);
         assert!(rounds < 300, "write {v} never committed");
-        last_written = v;
+        let last_written = v;
 
         sim.process_mut(reader).unwrap().submit_read(key);
         let rounds = sim.run_until(300, |s| s.process(reader).unwrap().reads_committed() == v);
@@ -95,7 +97,9 @@ fn registers_are_independent() {
     sim.run_rounds(20);
     let reader = ProcessId::new(0);
     for key in [1u64, 2, 3] {
-        sim.process_mut(reader).unwrap().submit_read(RegisterId::new(key));
+        sim.process_mut(reader)
+            .unwrap()
+            .submit_read(RegisterId::new(key));
     }
     let rounds = sim.run_until(600, |s| s.process(reader).unwrap().reads_committed() == 3);
     assert!(rounds < 600);
@@ -156,8 +160,13 @@ fn operations_abort_during_reconfiguration_and_resume_after() {
     sim.run_rounds(60);
     sim.process_mut(reader).unwrap().submit_read(key);
     let before = sim.process(reader).unwrap().reads_committed();
-    let rounds = sim.run_until(600, |s| s.process(reader).unwrap().reads_committed() > before);
-    assert!(rounds < 600, "reads never resumed after the reconfiguration");
+    let rounds = sim.run_until(600, |s| {
+        s.process(reader).unwrap().reads_committed() > before
+    });
+    assert!(
+        rounds < 600,
+        "reads never resumed after the reconfiguration"
+    );
     let outcomes = sim.process_mut(reader).unwrap().take_completed();
     assert_eq!(committed_read_value(&outcomes), Some(Some(111)));
 }
@@ -172,15 +181,25 @@ fn minority_partition_blocks_until_healed() {
     // Partition {4} away from {0,1,2,3}.
     let minority = vec![ProcessId::new(4)];
     let majority: Vec<ProcessId> = (0..4).map(ProcessId::new).collect();
-    sim.network_mut().split_into(&[majority.clone(), minority.clone()]);
+    sim.network_mut()
+        .split_into(&[majority.clone(), minority.clone()]);
 
     // The majority side commits a write.
-    sim.process_mut(ProcessId::new(0)).unwrap().submit_write(key, 500);
-    let rounds = sim.run_until(400, |s| s.process(ProcessId::new(0)).unwrap().writes_committed() == 1);
-    assert!(rounds < 400, "majority side could not commit during the partition");
+    sim.process_mut(ProcessId::new(0))
+        .unwrap()
+        .submit_write(key, 500);
+    let rounds = sim.run_until(400, |s| {
+        s.process(ProcessId::new(0)).unwrap().writes_committed() == 1
+    });
+    assert!(
+        rounds < 400,
+        "majority side could not commit during the partition"
+    );
 
     // The minority member tries to write; it cannot reach a quorum.
-    sim.process_mut(ProcessId::new(4)).unwrap().submit_write(key, 9999);
+    sim.process_mut(ProcessId::new(4))
+        .unwrap()
+        .submit_write(key, 9999);
     sim.run_rounds(150);
     assert_eq!(
         sim.process(ProcessId::new(4)).unwrap().writes_committed(),
@@ -191,8 +210,13 @@ fn minority_partition_blocks_until_healed() {
     // Heal: the stuck write eventually completes (with a tag above the
     // majority's write, because its query now sees that value).
     sim.network_mut().heal_all_links();
-    let rounds = sim.run_until(800, |s| s.process(ProcessId::new(4)).unwrap().writes_committed() == 1);
-    assert!(rounds < 800, "the minority write never completed after the heal");
+    let rounds = sim.run_until(800, |s| {
+        s.process(ProcessId::new(4)).unwrap().writes_committed() == 1
+    });
+    assert!(
+        rounds < 800,
+        "the minority write never completed after the heal"
+    );
 
     // A final read observes the newest committed value.
     let reader = ProcessId::new(1);
@@ -218,11 +242,17 @@ fn grid_quorums_serve_reads_and_writes() {
     }
     sim.run_rounds(40);
     let key = RegisterId::new(1);
-    sim.process_mut(ProcessId::new(0)).unwrap().submit_write(key, 77);
-    let rounds = sim.run_until(400, |s| s.process(ProcessId::new(0)).unwrap().writes_committed() == 1);
+    sim.process_mut(ProcessId::new(0))
+        .unwrap()
+        .submit_write(key, 77);
+    let rounds = sim.run_until(400, |s| {
+        s.process(ProcessId::new(0)).unwrap().writes_committed() == 1
+    });
     assert!(rounds < 400, "grid-quorum write never committed");
     sim.process_mut(ProcessId::new(3)).unwrap().submit_read(key);
-    let rounds = sim.run_until(400, |s| s.process(ProcessId::new(3)).unwrap().reads_committed() == 1);
+    let rounds = sim.run_until(400, |s| {
+        s.process(ProcessId::new(3)).unwrap().reads_committed() == 1
+    });
     assert!(rounds < 400, "grid-quorum read never committed");
     let outcomes = sim.process_mut(ProcessId::new(3)).unwrap().take_completed();
     assert_eq!(committed_read_value(&outcomes), Some(Some(77)));
@@ -235,14 +265,23 @@ fn grid_quorums_serve_reads_and_writes() {
 fn new_member_learns_the_registers_after_joining_the_configuration() {
     let mut sim = cluster(3, 607);
     let key = RegisterId::new(6);
-    sim.process_mut(ProcessId::new(0)).unwrap().submit_write(key, 4242);
-    let rounds = sim.run_until(300, |s| s.process(ProcessId::new(0)).unwrap().writes_committed() == 1);
+    sim.process_mut(ProcessId::new(0))
+        .unwrap()
+        .submit_write(key, 4242);
+    let rounds = sim.run_until(300, |s| {
+        s.process(ProcessId::new(0)).unwrap().writes_committed() == 1
+    });
     assert!(rounds < 300);
 
     // The newcomer joins as a participant first.
     let newbie = ProcessId::new(7);
-    sim.add_process_with_id(newbie, SharedMemNode::new_joiner(newbie, NodeConfig::for_n(16)));
-    let rounds = sim.run_until(600, |s| s.process(newbie).unwrap().reconfig().is_participant());
+    sim.add_process_with_id(
+        newbie,
+        SharedMemNode::new_joiner(newbie, NodeConfig::for_n(16)),
+    );
+    let rounds = sim.run_until(600, |s| {
+        s.process(newbie).unwrap().reconfig().is_participant()
+    });
     assert!(rounds < 600, "newcomer never became a participant");
 
     // Replace the configuration with one that includes it.
@@ -257,11 +296,19 @@ fn new_member_learns_the_registers_after_joining_the_configuration() {
             .iter()
             .all(|id| s.process(*id).unwrap().reconfig().installed_config() == Some(target.clone()))
     });
-    assert!(rounds < 1500, "replacement onto the grown configuration never completed");
+    assert!(
+        rounds < 1500,
+        "replacement onto the grown configuration never completed"
+    );
 
     // The new member eventually holds the register locally (state transfer)…
-    let rounds = sim.run_until(600, |s| s.process(newbie).unwrap().local_value(key) == Some(4242));
-    assert!(rounds < 600, "state transfer to the new member never happened");
+    let rounds = sim.run_until(600, |s| {
+        s.process(newbie).unwrap().local_value(key) == Some(4242)
+    });
+    assert!(
+        rounds < 600,
+        "state transfer to the new member never happened"
+    );
     // …and serves it through the quorum protocol.
     sim.process_mut(newbie).unwrap().submit_read(key);
     let rounds = sim.run_until(600, |s| s.process(newbie).unwrap().reads_committed() == 1);
@@ -278,7 +325,9 @@ fn concurrent_writers_converge_on_one_final_value() {
     let mut sim = cluster(4, 608);
     let key = RegisterId::new(5);
     for i in 0..4u32 {
-        sim.process_mut(ProcessId::new(i)).unwrap().submit_write(key, 1000 + i as u64);
+        sim.process_mut(ProcessId::new(i))
+            .unwrap()
+            .submit_write(key, 1000 + i as u64);
     }
     let rounds = sim.run_until(800, |s| {
         (0..4u32).all(|i| s.process(ProcessId::new(i)).unwrap().writes_committed() == 1)
@@ -291,7 +340,10 @@ fn concurrent_writers_converge_on_one_final_value() {
     sim.run_until(300, |s| s.process(reader).unwrap().reads_committed() >= 1);
     let outcomes = sim.process_mut(reader).unwrap().take_completed();
     let value = committed_read_value(&outcomes).unwrap().unwrap();
-    assert!((1000..1004).contains(&value), "read returned a never-written value {value}");
+    assert!(
+        (1000..1004).contains(&value),
+        "read returned a never-written value {value}"
+    );
 
     // All members agree on the final stored tag for the key.
     let tags: std::collections::BTreeSet<(u64, u32)> = sim

@@ -11,8 +11,8 @@
 use std::collections::BTreeSet;
 
 use reconfig::{
-    config_set, ConfigSet, ConfigValue, EchoTriple, NodeConfig, Notification, Phase, ReconfigMsg,
-    ReconfigNode, RecSaMsg,
+    config_set, shared_config, shared_ntf, shared_set, ConfigSet, ConfigValue, EchoTriple,
+    NodeConfig, Notification, Phase, RecSaMsg, ReconfigMsg, ReconfigNode,
 };
 use simnet::{ProcessId, SimConfig, Simulation};
 
@@ -60,13 +60,16 @@ fn steady_cluster(n: u32, seed: u64) -> Simulation<ReconfigNode> {
 fn type1_phase_zero_notification_with_set_is_cleaned() {
     let mut sim = steady_cluster(5, 201);
     let victim = ProcessId::new(2);
-    sim.process_mut(victim).unwrap().recsa_mut().corrupt_notification(
-        victim,
-        Notification {
-            phase: Phase::Zero,
-            set: Some(config_set([7, 8])),
-        },
-    );
+    sim.process_mut(victim)
+        .unwrap()
+        .recsa_mut()
+        .corrupt_notification(
+            victim,
+            Notification {
+                phase: Phase::Zero,
+                set: Some(config_set([7, 8])),
+            },
+        );
     let rounds = sim.run_until(400, |s| {
         converged_config(s) == Some(config_set(0..5)) && calm(s)
     });
@@ -92,7 +95,10 @@ fn type2_empty_configuration_triggers_recovering_reset() {
         .iter()
         .map(|id| sim.process(*id).unwrap().resets_started())
         .sum();
-    assert!(resets >= 1, "the empty configuration should have forced a reset");
+    assert!(
+        resets >= 1,
+        "the empty configuration should have forced a reset"
+    );
 }
 
 /// Type-2 stale information: three different configurations held by three
@@ -123,10 +129,10 @@ fn type2_three_way_configuration_conflict_heals() {
 fn stale_packet_in_channel_with_conflicting_configuration_heals() {
     let mut sim = steady_cluster(4, 204);
     let stale = RecSaMsg {
-        fd: config_set(0..4),
-        part: config_set(0..4),
-        config: ConfigValue::Set(config_set([0, 3])),
-        prp: Notification::dflt(),
+        fd: shared_set(config_set(0..4)),
+        part: shared_set(config_set(0..4)),
+        config: shared_config(ConfigValue::Set(config_set([0, 3]))),
+        prp: shared_ntf(Notification::dflt()),
         all: false,
         echo: EchoTriple::default(),
     };
@@ -182,8 +188,8 @@ fn type3_corrupt_echo_entry_recovers() {
     sim.process_mut(victim).unwrap().recsa_mut().corrupt_echo(
         ProcessId::new(2),
         EchoTriple {
-            part: config_set([0, 2, 9]),
-            prp: Notification::new(Phase::One, config_set([9])),
+            part: shared_set(config_set([0, 2, 9])),
+            prp: shared_ntf(Notification::new(Phase::One, config_set([9]))),
             all: true,
         },
     );
@@ -240,7 +246,10 @@ fn closure_steady_state_stays_steady() {
         .iter()
         .map(|id| sim.process(*id).unwrap().recma_triggerings())
         .sum();
-    assert_eq!(resets_before, resets_after, "spurious reset in steady state");
+    assert_eq!(
+        resets_before, resets_after,
+        "spurious reset in steady state"
+    );
     assert_eq!(
         triggerings_before, triggerings_after,
         "spurious recMA triggering in steady state"
@@ -301,7 +310,9 @@ fn replacement_after_recovery_still_works() {
         .process_mut(ProcessId::new(0))
         .unwrap()
         .request_reconfiguration(target.clone()));
-    let rounds = sim.run_until(600, |s| converged_config(s) == Some(target.clone()) && calm(s));
+    let rounds = sim.run_until(600, |s| {
+        converged_config(s) == Some(target.clone()) && calm(s)
+    });
     assert!(rounds < 600, "replacement after recovery never completed");
 }
 

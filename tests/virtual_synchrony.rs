@@ -16,10 +16,15 @@ fn smr_cluster(n: u32, seed: u64) -> Simulation<SmrNode> {
         Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
     for i in 0..n {
         let id = ProcessId::new(i);
-        sim.add_process_with_id(id, SmrNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)));
+        sim.add_process_with_id(
+            id,
+            SmrNode::new_member(id, cfg.clone(), NodeConfig::for_n(16)),
+        );
     }
     let rounds = sim.run_until(1000, |s| {
-        s.active_ids().iter().all(|id| s.process(*id).unwrap().view().is_some())
+        s.active_ids()
+            .iter()
+            .all(|id| s.process(*id).unwrap().view().is_some())
     });
     assert!(rounds < 1000, "the first view was never installed");
     sim
@@ -59,13 +64,22 @@ fn members_agree_on_the_installed_view() {
 #[test]
 fn replicated_state_converges_across_members() {
     let mut sim = smr_cluster(4, 502);
-    sim.process_mut(ProcessId::new(0)).unwrap().submit_write(1, 11);
-    sim.process_mut(ProcessId::new(2)).unwrap().submit_write(2, 22);
-    sim.process_mut(ProcessId::new(3)).unwrap().submit_write(3, 33);
+    sim.process_mut(ProcessId::new(0))
+        .unwrap()
+        .submit_write(1, 11);
+    sim.process_mut(ProcessId::new(2))
+        .unwrap()
+        .submit_write(2, 22);
+    sim.process_mut(ProcessId::new(3))
+        .unwrap()
+        .submit_write(3, 33);
     let rounds = sim.run_until(1500, |s| {
         all_read(s, 1, 11) && all_read(s, 2, 22) && all_read(s, 3, 33)
     });
-    assert!(rounds < 1500, "replicated writes never reached every member");
+    assert!(
+        rounds < 1500,
+        "replicated writes never reached every member"
+    );
     // Every replica applied at least the three commands.
     for id in sim.active_ids() {
         assert!(sim.process(id).unwrap().commands_applied() >= 3);
@@ -78,7 +92,9 @@ fn replicated_state_converges_across_members() {
 fn overwrites_settle_on_one_value_everywhere() {
     let mut sim = smr_cluster(3, 503);
     for v in 1..=5u64 {
-        sim.process_mut(ProcessId::new(0)).unwrap().submit_write(9, v);
+        sim.process_mut(ProcessId::new(0))
+            .unwrap()
+            .submit_write(9, v);
         sim.run_until(600, |s| all_read(s, 9, v));
     }
     assert!(all_read(&sim, 9, 5));
@@ -89,7 +105,9 @@ fn overwrites_settle_on_one_value_everywhere() {
 #[test]
 fn coordinator_crash_fails_over_and_preserves_state() {
     let mut sim = smr_cluster(4, 504);
-    sim.process_mut(ProcessId::new(1)).unwrap().submit_write(7, 77);
+    sim.process_mut(ProcessId::new(1))
+        .unwrap()
+        .submit_write(7, 77);
     let rounds = sim.run_until(800, |s| all_read(s, 7, 77));
     assert!(rounds < 800);
 
@@ -109,7 +127,10 @@ fn coordinator_crash_fails_over_and_preserves_state() {
                 .unwrap_or(false)
         })
     });
-    assert!(rounds < 2500, "no new view excluding the crashed coordinator");
+    assert!(
+        rounds < 2500,
+        "no new view excluding the crashed coordinator"
+    );
     // The register survives the fail-over.
     for id in sim.active_ids() {
         assert_eq!(sim.process(id).unwrap().read_register(7), Some(77));
@@ -135,11 +156,7 @@ fn view_identifiers_are_monotone() {
         .map(|id| (*id, sim.process(*id).unwrap().view().cloned().unwrap()))
         .collect();
     // Force a view change by crashing the coordinator.
-    let coordinator = initial
-        .iter()
-        .map(|(_, v)| v.coordinator())
-        .next()
-        .unwrap();
+    let coordinator = initial.iter().map(|(_, v)| v.coordinator()).next().unwrap();
     sim.crash(coordinator);
     sim.run_until(2500, |s| {
         s.active_ids().iter().all(|id| {
@@ -170,7 +187,9 @@ fn view_identifiers_are_monotone() {
 #[test]
 fn coordinator_led_reconfiguration_carries_the_state() {
     let mut sim = smr_cluster(4, 506);
-    sim.process_mut(ProcessId::new(2)).unwrap().submit_write(5, 55);
+    sim.process_mut(ProcessId::new(2))
+        .unwrap()
+        .submit_write(5, 55);
     let rounds = sim.run_until(800, |s| all_read(s, 5, 55));
     assert!(rounds < 800);
 
@@ -198,7 +217,10 @@ fn coordinator_led_reconfiguration_carries_the_state() {
             s.process(*id).unwrap().reconfig().installed_config() == Some(survivors.clone())
         })
     });
-    assert!(rounds < 3000, "coordinator-led reconfiguration never completed");
+    assert!(
+        rounds < 3000,
+        "coordinator-led reconfiguration never completed"
+    );
     sim.run_rounds(200);
     for id in sim.active_ids() {
         assert_eq!(
@@ -208,7 +230,9 @@ fn coordinator_led_reconfiguration_carries_the_state() {
         );
     }
     // Service continues in the new configuration.
-    sim.process_mut(ProcessId::new(0)).unwrap().submit_write(6, 66);
+    sim.process_mut(ProcessId::new(0))
+        .unwrap()
+        .submit_write(6, 66);
     let rounds = sim.run_until(1500, |s| all_read(s, 6, 66));
     assert!(rounds < 1500, "no progress after the reconfiguration");
 }
@@ -219,13 +243,17 @@ fn coordinator_led_reconfiguration_carries_the_state() {
 #[test]
 fn joiner_receives_state_after_coordinator_reconfiguration() {
     let mut sim = smr_cluster(3, 507);
-    sim.process_mut(ProcessId::new(0)).unwrap().submit_write(4, 44);
+    sim.process_mut(ProcessId::new(0))
+        .unwrap()
+        .submit_write(4, 44);
     let rounds = sim.run_until(800, |s| all_read(s, 4, 44));
     assert!(rounds < 800);
 
     let joiner = ProcessId::new(8);
     sim.add_process_with_id(joiner, SmrNode::new_joiner(joiner, NodeConfig::for_n(16)));
-    let rounds = sim.run_until(800, |s| s.process(joiner).unwrap().reconfig().is_participant());
+    let rounds = sim.run_until(800, |s| {
+        s.process(joiner).unwrap().reconfig().is_participant()
+    });
     assert!(rounds < 800, "SMR joiner was never admitted");
 
     // Let the failure detectors see the newcomer, then reconfigure onto the

@@ -1,0 +1,66 @@
+//! Test configuration and the deterministic input stream.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of one `proptest!` block.
+///
+/// Only `cases` is consulted by this stand-in; the other fields exist so that
+/// struct-update syntax written against the real crate keeps compiling.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated input cases per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// The deterministic random stream inputs are generated from.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the stream for case number `case` of the test identified by
+    /// `path`. The same (path, case) pair always yields the same inputs.
+    pub fn for_case(path: &str, case: u32) -> Self {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in path.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash ^ ((case as u64) << 32 | case as u64)),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
