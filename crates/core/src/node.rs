@@ -345,6 +345,106 @@ impl Layer for ReconfigNode {
 
 simnet::impl_process_for_layer!(ReconfigNode);
 
+impl simnet::ScenarioTarget for ReconfigNode {
+    const NAME: &'static str = "reconfig";
+
+    /// Initial members are participants with `config = ⊥`: the population
+    /// must run the brute-force bootstrap before any scenario fault lands.
+    fn spawn_initial(id: ProcessId, n: usize) -> Self {
+        ReconfigNode::new_participant(id, NodeConfig::for_n(2 * n.max(4)))
+    }
+
+    fn spawn_joiner(id: ProcessId, n: usize) -> Self {
+        ReconfigNode::new_joiner(id, NodeConfig::for_n(2 * n.max(4)))
+    }
+
+    /// The paper's signature fault class, reproducing the transient faults
+    /// of `examples/transient_recovery.rs`: a conflicting configuration, a
+    /// stale phase-0 notification carrying a proposal, or a wiped failure
+    /// detector. recSA's conflict resolution plus the brute-force reset must
+    /// wash any of these out.
+    fn corrupt(&mut self, rng: &mut simnet::SimRng) {
+        use crate::types::{config_set, Notification, Phase};
+        let me = self.me;
+        match rng.range_inclusive(0, 2) {
+            0 => {
+                let hi = rng.range_inclusive(1, 5) as u32;
+                self.recsa
+                    .corrupt_config(me, ConfigValue::Set(config_set(0..hi)));
+            }
+            1 => {
+                // A creator above `n_bound` can never be a live processor,
+                // at any population size the campaign runs.
+                let bound = self.config.n_bound as u64;
+                let ghost = rng.range_inclusive(bound + 1, bound + 40) as u32;
+                self.recsa.corrupt_notification(
+                    me,
+                    Notification {
+                        phase: Phase::Zero,
+                        set: Some(config_set([ghost])),
+                    },
+                );
+            }
+            _ => {
+                self.fd = ThetaFailureDetector::new(me, self.config.n_bound, self.config.theta);
+                self.lonely_steps = 0;
+            }
+        }
+    }
+
+    /// Converged: every active processor is a participant, reports the same
+    /// installed configuration and sees no reconfiguration in progress.
+    fn converged(sim: &simnet::Simulation<Self>) -> bool {
+        let mut configs = BTreeSet::new();
+        for (_, node) in sim.active_processes() {
+            if !node.is_participant() || !node.no_reconfiguration() {
+                return false;
+            }
+            match node.installed_config() {
+                Some(c) => {
+                    configs.insert(c);
+                }
+                None => return false,
+            }
+        }
+        configs.len() <= 1
+    }
+
+    /// Safety: two participants that both report a calm system (`noReco()`)
+    /// must agree on the installed configuration — disagreement in the quiet
+    /// state is exactly what recSA's conflict-resolution forbids.
+    fn invariant_violations(sim: &simnet::Simulation<Self>) -> Vec<String> {
+        let calm: Vec<_> = sim
+            .active_processes()
+            .filter(|(_, p)| p.is_participant() && p.no_reconfiguration())
+            .filter_map(|(id, p)| p.installed_config().map(|c| (id, c)))
+            .collect();
+        let mut violations = Vec::new();
+        for pair in calm.windows(2) {
+            let (a, ca) = &pair[0];
+            let (b, cb) = &pair[1];
+            if ca != cb {
+                violations.push(format!(
+                    "calm participants {a} and {b} disagree on the installed configuration"
+                ));
+            }
+        }
+        violations
+    }
+
+    fn state_digest(sim: &simnet::Simulation<Self>) -> u64 {
+        simnet::report::digest_lines(sim.processes().map(|(id, p)| {
+            format!(
+                "{id} participant={} config={:?} noreco={} trusted={:?}",
+                p.is_participant(),
+                p.installed_config(),
+                p.no_reconfiguration(),
+                p.trusted()
+            )
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,4 +34,4 @@ pub mod counter;
 pub mod service;
 
 pub use counter::{Counter, DEFAULT_EXHAUSTION_BOUND};
-pub use service::{CounterMsg, CounterNode, IncrementOutcome, QuorumMsg};
+pub use service::{CounterMsg, CounterNode, IncrementOutcome, QuorumMsg, DEFAULT_OP_TIMEOUT};

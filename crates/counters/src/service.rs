@@ -118,8 +118,24 @@ pub struct CounterNode {
     reconfiguring: bool,
     next_op: u64,
     pending: Option<Pending>,
+    /// Rounds the current pending operation has been in flight; operations
+    /// that outlive [`CounterNode::op_timeout`] abort so that lost quorum
+    /// requests (partitions, message storms) cannot wedge the requester.
+    pending_age: u64,
+    op_timeout: u64,
+    /// Increments requested through [`CounterNode::queue_increment`], started
+    /// one at a time from the periodic step.
+    queued_increments: u64,
     completed: Vec<IncrementOutcome>,
 }
+
+/// Default number of periodic steps a pending quorum operation may wait for
+/// its majority before aborting. Chosen well above any healthy round trip so
+/// timeouts fire only when requests or replies were actually lost (e.g. to a
+/// partition), which would otherwise leave the operation in flight forever —
+/// the chaos campaigns flushed this out via wedged view elections in the SMR
+/// stack after a heal.
+pub const DEFAULT_OP_TIMEOUT: u64 = 32;
 
 impl CounterNode {
     /// Creates the counter service state for `me` under configuration
@@ -134,6 +150,9 @@ impl CounterNode {
             reconfiguring: false,
             next_op: 0,
             pending: None,
+            pending_age: 0,
+            op_timeout: DEFAULT_OP_TIMEOUT,
+            queued_increments: 0,
             completed: Vec::new(),
         }
     }
@@ -144,14 +163,56 @@ impl CounterNode {
         self
     }
 
+    /// Overrides the pending-operation timeout, in periodic steps (builder
+    /// style).
+    pub fn with_op_timeout(mut self, steps: u64) -> Self {
+        self.op_timeout = steps.max(1);
+        self
+    }
+
+    /// Queues an increment to be started from the next periodic step at
+    /// which no other operation is in flight. Unlike
+    /// [`CounterNode::request_increment`] this needs no access to the
+    /// outgoing message list, so simulation harnesses (and the chaos
+    /// workload driver) can request increments from outside a step.
+    pub fn queue_increment(&mut self) {
+        self.queued_increments += 1;
+    }
+
+    /// Number of queued increments not yet started.
+    pub fn queued_increments(&self) -> u64 {
+        self.queued_increments
+    }
+
     /// Returns `true` when this processor is a configuration member.
     pub fn is_member(&self) -> bool {
         self.config.contains(&self.me)
     }
 
+    /// The configuration this service currently works against. Embedders
+    /// compare it with the installed configuration to decide when to call
+    /// [`CounterNode::on_config_change`].
+    pub fn config(&self) -> &ConfigSet {
+        &self.config
+    }
+
     /// The counter this processor currently believes to be maximal.
     pub fn max_counter(&self) -> Option<&Counter> {
         self.max_counter.as_ref()
+    }
+
+    /// Observes a counter circulating outside the service (e.g. a view
+    /// identifier held by a replication layer). Members fold it into their
+    /// maximum so freshly incremented counters always dominate every value
+    /// still in circulation — without this, a label epoch that survives
+    /// only inside an embedder's state (say, after a configuration change
+    /// rebuilt the labeler) would make new counters incomparable to old
+    /// ones forever. Counters with non-member labels are ignored, exactly
+    /// like gossiped ones.
+    pub fn observe(&mut self, counter: &Counter) {
+        if self.is_member() {
+            self.adopt(counter.clone());
+        }
     }
 
     /// Outcomes of increment operations that finished since the last call.
@@ -176,7 +237,12 @@ impl CounterNode {
                 self.max_counter = None;
             }
         }
-        self.pending = None;
+        // An operation driven against the old configuration is void; tell
+        // the requester instead of dropping it silently (embedders such as
+        // the SMR view election wait for an outcome).
+        if self.pending.take().is_some() {
+            self.completed.push(IncrementOutcome::Aborted);
+        }
     }
 
     /// Starts an increment. Returns the request messages to send (empty when
@@ -187,6 +253,7 @@ impl CounterNode {
         }
         let op = self.next_op;
         self.next_op += 1;
+        self.pending_age = 0;
         self.pending = Some(Pending {
             op,
             phase: PendingPhase::Read {
@@ -445,6 +512,24 @@ impl Layer for CounterNode {
     /// `peers` is ignored because all counter traffic targets configuration
     /// members.
     fn poll(&mut self, _peers: &[ProcessId], out: &mut Outbox<CounterMsg>) {
+        // Age the pending quorum operation; abort it once it outlives the
+        // timeout (its requests or replies were lost — e.g. to a partition —
+        // and are never retransmitted).
+        if self.pending.is_some() {
+            self.pending_age += 1;
+            if self.pending_age > self.op_timeout {
+                self.pending = None;
+                self.pending_age = 0;
+                self.completed.push(IncrementOutcome::Aborted);
+            }
+        }
+        // Start one queued increment when the slot is free.
+        if self.queued_increments > 0 && self.pending.is_none() && !self.reconfiguring {
+            self.queued_increments -= 1;
+            for (to, msg) in self.request_increment() {
+                out.push_wire(to, msg);
+            }
+        }
         if self.is_member() && !self.reconfiguring {
             // Drive the labeling algorithm (Algorithm 4.1 runs alongside the
             // counter gossip) and make sure the maximal counter lives in the
@@ -476,6 +561,111 @@ impl Layer for CounterNode {
             })
             .finish();
         debug_assert!(rest.is_none(), "every counter lane is routed");
+    }
+}
+
+simnet::impl_process_for_layer!(CounterNode);
+
+impl simnet::ScenarioTarget for CounterNode {
+    const NAME: &'static str = "counter";
+
+    /// The initial population is the configuration `{0..n}`; every member
+    /// runs the labeling algorithm and the counter gossip.
+    fn spawn_initial(id: ProcessId, n: usize) -> Self {
+        CounterNode::new(id, reconfig::config_set(0..n as u32))
+    }
+
+    /// Joiners are clients of the fixed configuration: they invoke
+    /// increments through the two-phase quorum path (Algorithm 4.5) without
+    /// serving it.
+    fn spawn_joiner(id: ProcessId, n: usize) -> Self {
+        CounterNode::new(id, reconfig::config_set(0..n as u32))
+    }
+
+    /// Transient faults either erase the local maximal counter (state loss —
+    /// gossip refills it) or jump it forward a few increments (the jumped
+    /// value simply becomes the new maximum everyone adopts). Both states
+    /// wash out through the `max`-merge gossip of Algorithm 4.3.
+    fn corrupt(&mut self, rng: &mut simnet::SimRng) {
+        if rng.chance(0.5) {
+            self.max_counter = None;
+        } else if let Some(c) = self.max_counter.take() {
+            let mut jumped = c;
+            for _ in 0..rng.range_inclusive(1, 4) {
+                jumped = jumped.incremented(self.me);
+            }
+            self.max_counter = Some(jumped);
+        }
+        // An in-flight operation's bookkeeping is part of the corrupted
+        // state; the requester recovers through the operation timeout.
+        self.pending = None;
+        self.pending_age = 0;
+    }
+
+    /// A trickle of increment requests from arbitrary active processors
+    /// (members *and* clients — Algorithms 4.4 and 4.5).
+    fn drive_workload(
+        sim: &mut simnet::Simulation<Self>,
+        round: simnet::Round,
+        rng: &mut simnet::SimRng,
+    ) {
+        if round.as_u64() % 4 != 2 {
+            return;
+        }
+        let actives = sim.active_ids();
+        if let Some(i) = rng.index(actives.len()) {
+            if let Some(node) = sim.process_mut(actives[i]) {
+                node.queue_increment();
+            }
+        }
+    }
+
+    /// Converged: every active member holds the same (existing) maximal
+    /// counter and no processor has an increment queued or in flight.
+    fn converged(sim: &simnet::Simulation<Self>) -> bool {
+        let mut members = sim
+            .active_processes()
+            .filter(|(_, p)| p.is_member())
+            .map(|(_, p)| p.max_counter.clone());
+        let agreed = match members.next() {
+            None => true,
+            Some(None) => false,
+            Some(first) => members.all(|c| c == first),
+        };
+        agreed
+            && sim
+                .active_processes()
+                .all(|(_, p)| p.pending.is_none() && p.queued_increments == 0)
+    }
+
+    /// Safety: a member's maximal counter must carry a *legit* label — one
+    /// created by a configuration member (Theorem 4.6's precondition).
+    /// Corruption can violate this transiently; the gossip must wash it out.
+    fn invariant_violations(sim: &simnet::Simulation<Self>) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (id, p) in sim.active_processes().filter(|(_, p)| p.is_member()) {
+            if let Some(c) = &p.max_counter {
+                if !p.config.contains(&c.label.creator) {
+                    violations.push(format!(
+                        "{id}: maximal counter labelled by non-member {}",
+                        c.label.creator
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
+    fn state_digest(sim: &simnet::Simulation<Self>) -> u64 {
+        simnet::report::digest_lines(sim.processes().map(|(id, p)| {
+            format!(
+                "{id} member={} max={:?} pending={} queued={}",
+                p.is_member(),
+                p.max_counter,
+                p.pending.is_some(),
+                p.queued_increments
+            )
+        }))
     }
 }
 
@@ -671,5 +861,70 @@ mod tests {
         assert!(!first.is_empty());
         assert!(node.increment_in_flight());
         assert!(node.request_increment().is_empty());
+    }
+
+    /// An operation whose quorum requests are lost (nobody ever answers)
+    /// aborts after the timeout instead of staying in flight forever —
+    /// without this, a partitioned requester (and the SMR view election on
+    /// top of it) wedges permanently.
+    #[test]
+    fn pending_operation_times_out_and_aborts() {
+        let cfg = config_set([0, 1, 2]);
+        let mut node = CounterNode::new(pid(0), cfg).with_op_timeout(5);
+        let requests = node.request_increment();
+        assert!(!requests.is_empty());
+        // Drop every request on the floor and just let time pass.
+        for _ in 0..5 {
+            let _ = node.step();
+            assert!(node.increment_in_flight());
+        }
+        let _ = node.step();
+        assert!(!node.increment_in_flight());
+        assert_eq!(node.take_completed(), vec![IncrementOutcome::Aborted]);
+        // The node is usable again.
+        assert!(!node.request_increment().is_empty());
+    }
+
+    /// Queued increments start from the periodic step, one at a time, and
+    /// complete like directly requested ones.
+    #[test]
+    fn queued_increments_run_one_at_a_time() {
+        let cfg = config_set([0, 1, 2]);
+        let mut h = Harness::new(&cfg, &[], DEFAULT_EXHAUSTION_BOUND);
+        for _ in 0..5 {
+            h.round();
+        }
+        let node = h.nodes.get_mut(&pid(0)).unwrap();
+        node.queue_increment();
+        node.queue_increment();
+        assert_eq!(node.queued_increments(), 2);
+        let mut committed = 0;
+        for _ in 0..20 {
+            h.round();
+            committed += h
+                .nodes
+                .get_mut(&pid(0))
+                .unwrap()
+                .take_completed()
+                .iter()
+                .filter(|o| matches!(o, IncrementOutcome::Committed(_)))
+                .count();
+        }
+        assert_eq!(committed, 2);
+        assert_eq!(h.nodes[&pid(0)].queued_increments(), 0);
+    }
+
+    /// A configuration change reports a dropped pending operation as
+    /// aborted instead of discarding it silently (embedders wait for an
+    /// outcome).
+    #[test]
+    fn config_change_aborts_the_pending_operation_with_an_outcome() {
+        let cfg = config_set([0, 1, 2]);
+        let mut node = CounterNode::new(pid(0), cfg);
+        let _ = node.request_increment();
+        assert!(node.increment_in_flight());
+        node.on_config_change(config_set([0, 1]));
+        assert!(!node.increment_in_flight());
+        assert_eq!(node.take_completed(), vec![IncrementOutcome::Aborted]);
     }
 }

@@ -492,6 +492,150 @@ impl Layer for SharedMemNode {
 
 simnet::impl_process_for_layer!(SharedMemNode);
 
+/// The registers the chaos workload reads and writes (round-robin).
+const CHAOS_KEYS: [u64; 3] = [1, 2, 3];
+
+impl simnet::ScenarioTarget for SharedMemNode {
+    const NAME: &'static str = "sharedmem";
+
+    fn spawn_initial(id: ProcessId, n: usize) -> Self {
+        SharedMemNode::new_member(
+            id,
+            reconfig::config_set(0..n as u32),
+            NodeConfig::for_n(2 * n.max(4)),
+        )
+    }
+
+    fn spawn_joiner(id: ProcessId, n: usize) -> Self {
+        SharedMemNode::new_joiner(id, NodeConfig::for_n(2 * n.max(4)))
+    }
+
+    /// Transient faults hit the register store: either it is wiped entirely
+    /// (state loss) or one register jumps to a bogus value under a
+    /// tag that dominates the legitimate one. Subsequent quorum operations
+    /// wash both out — reads and writes propagate the maximal tag to every
+    /// member, so the members re-agree on the workload registers. The
+    /// store-sync marker is also cleared, as after a reconfiguration.
+    fn corrupt(&mut self, rng: &mut simnet::SimRng) {
+        if rng.chance(0.5) {
+            self.store.clear();
+        } else {
+            let entry = self.store.iter().next().map(|(k, v)| (k, v.tag.clone()));
+            if let Some((key, tag)) = entry {
+                let bogus = TaggedValue::new(
+                    tag.incremented(self.me),
+                    rng.range_inclusive(10_000, 20_000),
+                );
+                self.store.adopt(key, bogus);
+            }
+        }
+        self.synced_config = None;
+    }
+
+    /// Alternating writes and reads over a small register set, submitted at
+    /// arbitrary active processors (members and clients both drive the
+    /// two-phase quorum protocol).
+    fn drive_workload(
+        sim: &mut simnet::Simulation<Self>,
+        round: simnet::Round,
+        rng: &mut simnet::SimRng,
+    ) {
+        if round.as_u64() % 5 != 1 {
+            return;
+        }
+        let actives = sim.active_ids();
+        if let Some(i) = rng.index(actives.len()) {
+            let tick = round.as_u64() / 5;
+            let key = RegisterId::new(CHAOS_KEYS[tick as usize % CHAOS_KEYS.len()]);
+            if let Some(node) = sim.process_mut(actives[i]) {
+                if tick % 3 == 2 {
+                    node.submit_read(key);
+                } else {
+                    node.submit_write(key, round.as_u64());
+                }
+            }
+        }
+    }
+
+    /// Converged: the reconfiguration layer is calm and agreed, no
+    /// processor has an operation queued or in flight, and every active
+    /// member reports the same value for every workload register.
+    fn converged(sim: &simnet::Simulation<Self>) -> bool {
+        let mut config = None;
+        for (_, node) in sim.active_processes() {
+            let r = node.reconfig();
+            if !r.is_participant() || !r.no_reconfiguration() {
+                return false;
+            }
+            match (r.installed_config(), &config) {
+                (None, _) => return false,
+                (Some(c), None) => config = Some(c),
+                (Some(c), Some(expected)) => {
+                    if c != *expected {
+                        return false;
+                    }
+                }
+            }
+            if node.has_pending_ops() {
+                return false;
+            }
+        }
+        let Some(config) = config else {
+            return true;
+        };
+        for key in CHAOS_KEYS {
+            let key = RegisterId::new(key);
+            let mut values = sim
+                .active_processes()
+                .filter(|(id, _)| config.contains(id))
+                .map(|(_, p)| p.local_value(key));
+            let first = values.next().unwrap_or(None);
+            if values.any(|v| v != first) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Safety: tags totally order writes, so two members holding the *same*
+    /// tag for a register must hold the same value.
+    fn invariant_violations(sim: &simnet::Simulation<Self>) -> Vec<String> {
+        let mut violations = Vec::new();
+        for key in CHAOS_KEYS {
+            let key = RegisterId::new(key);
+            let tagged: Vec<_> = sim
+                .active_processes()
+                .filter(|(_, p)| p.is_member())
+                .filter_map(|(id, p)| p.store.get(key).map(|tv| (id, tv.clone())))
+                .collect();
+            for (i, (a, ta)) in tagged.iter().enumerate() {
+                for (b, tb) in &tagged[i + 1..] {
+                    if ta.tag == tb.tag && ta.value != tb.value {
+                        violations.push(format!(
+                            "members {a} and {b} hold tag-equal but different values for {key}"
+                        ));
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    fn state_digest(sim: &simnet::Simulation<Self>) -> u64 {
+        simnet::report::digest_lines(sim.processes().map(|(id, p)| {
+            format!(
+                "{id} member={} store={:?} pending={} reads={} writes={} aborted={}",
+                p.is_member(),
+                p.store.snapshot(),
+                p.has_pending_ops(),
+                p.reads_committed,
+                p.writes_committed,
+                p.ops_aborted
+            )
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

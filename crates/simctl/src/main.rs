@@ -1,0 +1,476 @@
+//! `simctl` — the chaos-campaign command line.
+//!
+//! Runs named fault scenarios (see `simnet::scenario::catalog`) against the
+//! four composite nodes of the workspace and writes deterministic JSON
+//! reports; the CI `chaos` matrix is a thin wrapper around `simctl run`.
+//!
+//! ```text
+//! simctl list [--n N]                      # the scenario catalog
+//! simctl run <scenario|all> --node <reconfig|counter|smr|sharedmem|all>
+//!            [--n N] [--seeds 1,2] [--modes event|roundscan|both]
+//!            [--out FILE] [--timings] [--name NAME]
+//! simctl smoke [--n N] [--out FILE]        # the CI preset (3 scenarios × 4 nodes)
+//! simctl bench-guard --baseline F --current F [--max-regression 0.30]
+//! ```
+//!
+//! Determinism contract: without `--timings`, `simctl run <scenario> --seeds S`
+//! produces byte-identical reports across repeated runs and across
+//! `--modes event`, `--modes roundscan` and `--modes both` (the engine runs
+//! every requested mode and verifies the executions agree; the report
+//! carries no mode-dependent field). Exit status is 0 only when every run
+//! converged, the scheduler modes agreed and no safety invariant was
+//! violated.
+
+use std::process::ExitCode;
+
+use counters::CounterNode;
+use reconfig::ReconfigNode;
+use sharedmem::SharedMemNode;
+use simnet::scenario::{catalog, ScenarioTarget};
+use simnet::{Campaign, CampaignReport, Json, Scenario, SchedulerMode};
+use vssmr::SmrNode;
+
+/// All node types `simctl --node` accepts.
+const NODES: [&str; 4] = ["reconfig", "counter", "smr", "sharedmem"];
+
+/// The CI smoke preset: scenarios every node type must survive on every PR.
+const SMOKE_SCENARIOS: [&str; 3] = ["crash-minority", "partition-heal", "state-blast"];
+
+/// Default population for CLI runs; small enough for CI, large enough for
+/// real quorums, partitions with two non-trivial sides, and a minority worth
+/// crashing.
+const DEFAULT_N: usize = 5;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(passed) => {
+            if passed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("simctl: {message}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     simctl list [--n N]\n  \
+     simctl run <scenario|all> --node <reconfig|counter|smr|sharedmem|all> \
+     [--n N] [--seeds 1,2] [--modes event|roundscan|both] [--out FILE] [--timings] [--name NAME]\n  \
+     simctl smoke [--n N] [--out FILE]\n  \
+     simctl bench-guard --baseline FILE --current FILE [--max-regression 0.30]"
+}
+
+fn dispatch(args: &[String]) -> Result<bool, String> {
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("smoke") => cmd_smoke(&args[1..]),
+        Some("bench-guard") => cmd_bench_guard(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".to_string()),
+    }
+}
+
+/// A tiny flag parser: positional arguments plus `--flag value` /
+/// `--switch` pairs.
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], value_flags: &[&str], switches: &[&str]) -> Result<Flags, String> {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                if switches.contains(&name) {
+                    pairs.push((name.to_string(), None));
+                } else if value_flags.contains(&name) {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    pairs.push((name.to_string(), Some(value.clone())));
+                    i += 1;
+                } else {
+                    return Err(format!("unknown flag --{name}"));
+                }
+            } else {
+                positional.push(arg.clone());
+            }
+            i += 1;
+        }
+        Ok(Flags { positional, pairs })
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == name)
+    }
+}
+
+fn parse_n(flags: &Flags) -> Result<usize, String> {
+    match flags.value("n") {
+        None => Ok(DEFAULT_N),
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| format!("bad --n value `{v}`"))?;
+            if n < 2 {
+                return Err("--n must be at least 2".to_string());
+            }
+            Ok(n)
+        }
+    }
+}
+
+fn parse_seeds(flags: &Flags) -> Result<Vec<u64>, String> {
+    let raw = flags.value("seeds").or(flags.value("seed")).unwrap_or("1");
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad seed `{s}`"))
+        })
+        .collect()
+}
+
+fn parse_modes(flags: &Flags) -> Result<Vec<SchedulerMode>, String> {
+    match flags.value("modes").unwrap_or("both") {
+        "event" => Ok(vec![SchedulerMode::EventDriven]),
+        "roundscan" => Ok(vec![SchedulerMode::RoundScan]),
+        "both" => Ok(vec![SchedulerMode::EventDriven, SchedulerMode::RoundScan]),
+        other => Err(format!(
+            "bad --modes value `{other}` (event|roundscan|both)"
+        )),
+    }
+}
+
+fn cmd_list(args: &[String]) -> Result<bool, String> {
+    let flags = Flags::parse(args, &["n"], &[])?;
+    let n = parse_n(&flags)?;
+    println!("scenario catalog (n = {n}):");
+    for s in catalog(n) {
+        println!(
+            "  {:<16} rounds≤{:<5} workload<{:<4} faults: {} crash, {} join, {} split, {} corrupt, {} spike — {}",
+            s.name(),
+            s.rounds(),
+            s.workload_rounds(),
+            s.crash_plan().total(),
+            s.churn_plan().total(),
+            s.partition_plan().total_splits(),
+            s.corruption_plan().total(),
+            s.spike_plan().total(),
+            s.description(),
+        );
+    }
+    Ok(true)
+}
+
+fn resolve_scenarios(names: &[String], n: usize) -> Result<Vec<Scenario>, String> {
+    if names.is_empty() {
+        return Err("missing scenario name (or `all`)".to_string());
+    }
+    if names.len() == 1 && names[0] == "all" {
+        return Ok(catalog(n));
+    }
+    names
+        .iter()
+        .map(|name| {
+            simnet::scenario::find(name, n)
+                .ok_or_else(|| format!("unknown scenario `{name}` (try `simctl list`)"))
+        })
+        .collect()
+}
+
+fn resolve_nodes(flag: Option<&str>) -> Result<Vec<&'static str>, String> {
+    match flag {
+        None => Err("missing --node (reconfig|counter|smr|sharedmem|all)".to_string()),
+        Some("all") => Ok(NODES.to_vec()),
+        Some(name) => NODES
+            .iter()
+            .find(|n| **n == name)
+            .map(|n| vec![*n])
+            .ok_or_else(|| format!("unknown node type `{name}`")),
+    }
+}
+
+fn run_matrix(
+    campaign: &Campaign,
+    nodes: &[&str],
+    scenarios: &[Scenario],
+) -> Result<CampaignReport, String> {
+    let mut report = CampaignReport::new(campaign.name(), campaign.seeds().to_vec());
+    for node in nodes {
+        match *node {
+            "reconfig" => campaign.run_into::<ReconfigNode>(scenarios, &mut report),
+            "counter" => campaign.run_into::<CounterNode>(scenarios, &mut report),
+            "smr" => campaign.run_into::<SmrNode>(scenarios, &mut report),
+            "sharedmem" => campaign.run_into::<SharedMemNode>(scenarios, &mut report),
+            other => return Err(format!("unknown node type `{other}`")),
+        }
+    }
+    Ok(report)
+}
+
+fn emit(report: &CampaignReport, out: Option<&str>) -> Result<(), String> {
+    let rendered = report.render();
+    match out {
+        None => print!("{rendered}"),
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+    }
+    for run in &report.runs {
+        let status = if run.passed() {
+            "ok"
+        } else if !run.modes_agree {
+            "MODE-DIVERGENCE"
+        } else if !run.converged {
+            "NO-CONVERGENCE"
+        } else {
+            "INVARIANT-VIOLATION"
+        };
+        eprintln!(
+            "  [{status}] {}/{} seed={} rounds={} msgs={}",
+            run.node, run.scenario, run.seed, run.rounds_run, run.messages_sent
+        );
+    }
+    eprintln!(
+        "{}: {}/{} runs passed",
+        report.name,
+        report.runs.iter().filter(|r| r.passed()).count(),
+        report.runs.len()
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<bool, String> {
+    let flags = Flags::parse(
+        args,
+        &["node", "n", "seed", "seeds", "modes", "out", "name"],
+        &["timings"],
+    )?;
+    let n = parse_n(&flags)?;
+    let scenarios = resolve_scenarios(&flags.positional, n)?;
+    let nodes = resolve_nodes(flags.value("node"))?;
+    let name = flags.value("name").unwrap_or("chaos").to_string();
+    let campaign = Campaign::new(name)
+        .with_seeds(parse_seeds(&flags)?)
+        .with_modes(parse_modes(&flags)?)
+        .with_timings(flags.switch("timings"));
+    let report = run_matrix(&campaign, &nodes, &scenarios)?;
+    emit(&report, flags.value("out"))?;
+    Ok(report.passed())
+}
+
+fn cmd_smoke(args: &[String]) -> Result<bool, String> {
+    let flags = Flags::parse(args, &["n", "out"], &[])?;
+    let n = parse_n(&flags)?;
+    let scenarios: Vec<Scenario> = SMOKE_SCENARIOS
+        .iter()
+        .map(|name| simnet::scenario::find(name, n).expect("smoke scenario exists"))
+        .collect();
+    let campaign = Campaign::new("smoke").with_seeds([1, 2]);
+    let report = run_matrix(&campaign, &NODES, &scenarios)?;
+    emit(&report, flags.value("out"))?;
+    Ok(report.passed())
+}
+
+/// Compares a freshly measured scheduler benchmark summary against the
+/// committed baseline: the event-scheduler speedup may not regress by more
+/// than `max_regression` (a fraction) at any measured size, and the
+/// large-scale reconfiguration run must still converge.
+fn bench_guard(
+    baseline: &Json,
+    current: &Json,
+    max_regression: f64,
+) -> Result<Vec<String>, String> {
+    fn rows(doc: &Json) -> Result<Vec<(u64, f64)>, String> {
+        doc.get("sparse_traffic")
+            .and_then(Json::as_arr)
+            .ok_or("missing sparse_traffic")?
+            .iter()
+            .map(|row| {
+                let processes = row
+                    .get("processes")
+                    .and_then(Json::as_u64)
+                    .ok_or("row missing processes")?;
+                let speedup = row
+                    .get("speedup")
+                    .and_then(Json::as_f64)
+                    .ok_or("row missing speedup")?;
+                Ok((processes, speedup))
+            })
+            .collect()
+    }
+
+    let mut findings = Vec::new();
+    let base_rows = rows(baseline)?;
+    let cur_rows = rows(current)?;
+    for (processes, base_speedup) in &base_rows {
+        match cur_rows.iter().find(|(p, _)| p == processes) {
+            None => findings.push(format!("size {processes} missing from current summary")),
+            Some((_, cur_speedup)) => {
+                let floor = base_speedup * (1.0 - max_regression);
+                if *cur_speedup < floor {
+                    findings.push(format!(
+                        "event-scheduler speedup at {processes} processes regressed: \
+                         {cur_speedup:.2}x < {floor:.2}x (baseline {base_speedup:.2}x − {:.0}%)",
+                        max_regression * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    let converged = current
+        .get("reconfig_1024")
+        .and_then(|r| r.get("converged"))
+        .and_then(Json::as_bool);
+    if converged != Some(true) {
+        findings.push("reconfig_1024 did not converge in the current summary".to_string());
+    }
+    Ok(findings)
+}
+
+fn cmd_bench_guard(args: &[String]) -> Result<bool, String> {
+    let flags = Flags::parse(args, &["baseline", "current", "max-regression"], &[])?;
+    let baseline_path = flags.value("baseline").ok_or("missing --baseline")?;
+    let current_path = flags.value("current").ok_or("missing --current")?;
+    let max_regression: f64 = flags
+        .value("max-regression")
+        .unwrap_or("0.30")
+        .parse()
+        .map_err(|_| "bad --max-regression value".to_string())?;
+    let read = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let findings = bench_guard(&read(baseline_path)?, &read(current_path)?, max_regression)?;
+    if findings.is_empty() {
+        eprintln!(
+            "bench-guard: no regression beyond {:.0}% against {baseline_path}",
+            max_regression * 100.0
+        );
+        Ok(true)
+    } else {
+        for f in &findings {
+            eprintln!("bench-guard: {f}");
+        }
+        Ok(false)
+    }
+}
+
+/// Compile-time wiring check: the four node adapters expose the names the
+/// CLI dispatches on.
+const _: () = {
+    assert!(!ReconfigNode::NAME.is_empty());
+    assert!(!CounterNode::NAME.is_empty());
+    assert!(!SmrNode::NAME.is_empty());
+    assert!(!SharedMemNode::NAME.is_empty());
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_names_match_the_adapters() {
+        assert_eq!(ReconfigNode::NAME, "reconfig");
+        assert_eq!(CounterNode::NAME, "counter");
+        assert_eq!(SmrNode::NAME, "smr");
+        assert_eq!(SharedMemNode::NAME, "sharedmem");
+        for smoke in SMOKE_SCENARIOS {
+            assert!(
+                simnet::scenario::find(smoke, DEFAULT_N).is_some(),
+                "smoke scenario {smoke} missing from the catalog"
+            );
+        }
+    }
+
+    #[test]
+    fn flags_parse_values_switches_and_positionals() {
+        let args: Vec<String> = ["partition-heal", "--node", "smr", "--timings", "--n", "6"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = Flags::parse(&args, &["node", "n"], &["timings"]).unwrap();
+        assert_eq!(flags.positional, vec!["partition-heal"]);
+        assert_eq!(flags.value("node"), Some("smr"));
+        assert!(flags.switch("timings"));
+        assert_eq!(parse_n(&flags).unwrap(), 6);
+        assert!(
+            Flags::parse(&args, &["node"], &[]).is_err(),
+            "unknown flag accepted"
+        );
+    }
+
+    #[test]
+    fn seeds_and_modes_parse() {
+        let args: Vec<String> = ["--seeds", "3,5", "--modes", "roundscan"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = Flags::parse(&args, &["seeds", "modes"], &[]).unwrap();
+        assert_eq!(parse_seeds(&flags).unwrap(), vec![3, 5]);
+        assert_eq!(parse_modes(&flags).unwrap(), vec![SchedulerMode::RoundScan]);
+    }
+
+    fn summary(speedups: &[(u64, f64)], converged: bool) -> Json {
+        Json::obj()
+            .field(
+                "sparse_traffic",
+                Json::Arr(
+                    speedups
+                        .iter()
+                        .map(|(p, s)| Json::obj().field("processes", *p).field("speedup", *s))
+                        .collect(),
+                ),
+            )
+            .field("reconfig_1024", Json::obj().field("converged", converged))
+    }
+
+    #[test]
+    fn bench_guard_accepts_small_regressions_and_rejects_large_ones() {
+        let base = summary(&[(64, 6.0), (256, 12.0)], true);
+        let ok = summary(&[(64, 5.0), (256, 9.0)], true);
+        assert!(bench_guard(&base, &ok, 0.30).unwrap().is_empty());
+        let slow = summary(&[(64, 6.1), (256, 8.0)], true);
+        let findings = bench_guard(&base, &slow, 0.30).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("256"));
+        let missing = summary(&[(64, 6.0)], true);
+        assert!(!bench_guard(&base, &missing, 0.30).unwrap().is_empty());
+        let unconverged = summary(&[(64, 6.0), (256, 12.0)], false);
+        assert!(!bench_guard(&base, &unconverged, 0.30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bench_guard_reads_the_committed_baseline_shape() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_scheduler.json"
+        ))
+        .expect("committed baseline exists");
+        let doc = Json::parse(&text).expect("baseline parses");
+        // The baseline compared against itself never regresses.
+        assert!(bench_guard(&doc, &doc, 0.30).unwrap().is_empty());
+    }
+}

@@ -9,6 +9,13 @@
 //! (via [`Simulation::process_mut`]) or channel (via
 //! [`Simulation::network_mut`]).
 //!
+//! `ScriptedFaults` is the low-level escape hatch of the chaos engine: the
+//! declarative schedules of [`crate::scenario::Scenario`] cover the common
+//! fault classes, and
+//! [`crate::scenario::run_scenario_with_extras`] applies a script *on top*
+//! of a scenario for the adversarial actions no declarative plan can
+//! express.
+//!
 //! ```
 //! use simnet::{ScriptedFaults, Simulation, SimConfig, Process, Context, ProcessId, Round};
 //!
@@ -90,6 +97,12 @@ impl<P: Process> ScriptedFaults<P> {
     /// Total number of scheduled actions (applied or not).
     pub fn scheduled(&self) -> usize {
         self.actions.values().map(Vec::len).sum()
+    }
+
+    /// The last round with a scheduled action. The scenario runner counts
+    /// convergence only after this round, like the declarative plans.
+    pub fn last_round(&self) -> Option<Round> {
+        self.actions.keys().next_back().copied()
     }
 
     /// Runs the actions scheduled for exactly `round`.

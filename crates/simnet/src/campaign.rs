@@ -1,0 +1,427 @@
+//! The chaos-campaign driver: scenarios × seeds × scheduler modes.
+//!
+//! A [`Campaign`] sweeps a list of [`Scenario`]s over a list of seeds, runs
+//! every cell in every requested [`SchedulerMode`], verifies that the modes
+//! produced the **same execution** (rounds, message counts, state digest —
+//! the PR-1 determinism guarantee extended to the fault layer), and records
+//! one [`RunRecord`] per (scenario, seed) cell into a [`CampaignReport`].
+//!
+//! The report renders to deterministic JSON ([`CampaignReport::to_json`]):
+//! by design it contains **no mode-dependent and no wall-clock fields**, so
+//! the same campaign + seeds produce byte-identical reports across repeated
+//! runs and across scheduler modes. Wall-clock timings are available as an
+//! explicitly non-deterministic opt-in ([`Campaign::with_timings`]), for
+//! benchmarking use only.
+
+use std::time::Instant;
+
+use crate::config::SchedulerMode;
+use crate::report::Json;
+use crate::scenario::{run_scenario, Scenario, ScenarioTarget};
+
+/// Sweep configuration: which seeds and scheduler modes every scenario runs
+/// under.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    name: String,
+    seeds: Vec<u64>,
+    modes: Vec<SchedulerMode>,
+    timings: bool,
+}
+
+impl Campaign {
+    /// Creates a campaign named `name` with seed 1 and both scheduler
+    /// modes.
+    pub fn new(name: impl Into<String>) -> Self {
+        Campaign {
+            name: name.into(),
+            seeds: vec![1],
+            modes: vec![SchedulerMode::EventDriven, SchedulerMode::RoundScan],
+            timings: false,
+        }
+    }
+
+    /// Sets the seeds to sweep (builder style).
+    pub fn with_seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the scheduler modes to run each cell under (builder style).
+    pub fn with_modes(mut self, modes: impl IntoIterator<Item = SchedulerMode>) -> Self {
+        self.modes = modes.into_iter().collect();
+        self
+    }
+
+    /// Enables wall-clock timings in the report (builder style). Timed
+    /// reports are **not** byte-deterministic; CI's determinism checks run
+    /// without timings.
+    pub fn with_timings(mut self, timings: bool) -> Self {
+        self.timings = timings;
+        self
+    }
+
+    /// The campaign name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The seeds swept.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Runs every scenario × seed cell against target `T` and appends the
+    /// records to `report`.
+    pub fn run_into<T: ScenarioTarget>(&self, scenarios: &[Scenario], report: &mut CampaignReport) {
+        for scenario in scenarios {
+            for &seed in &self.seeds {
+                report.runs.push(self.run_cell::<T>(scenario, seed));
+            }
+        }
+    }
+
+    /// Runs every scenario × seed cell against target `T`, returning a
+    /// fresh report.
+    pub fn run<T: ScenarioTarget>(&self, scenarios: &[Scenario]) -> CampaignReport {
+        let mut report = CampaignReport::new(&self.name, self.seeds.clone());
+        self.run_into::<T>(scenarios, &mut report);
+        report
+    }
+
+    /// One (scenario, seed) cell: the run is repeated in every requested
+    /// mode and the executions must agree.
+    fn run_cell<T: ScenarioTarget>(&self, scenario: &Scenario, seed: u64) -> RunRecord {
+        assert!(!self.modes.is_empty(), "campaign has no scheduler modes");
+        let mut reference: Option<ModeOutcome> = None;
+        let mut modes_agree = true;
+        let mut wall_ms = 0.0f64;
+
+        for &mode in &self.modes {
+            let started = Instant::now();
+            let mut sim = scenario.build_sim::<T>(seed, mode);
+            let run = run_scenario(scenario, &mut sim);
+            wall_ms += started.elapsed().as_secs_f64() * 1e3;
+            let outcome = ModeOutcome {
+                run,
+                messages_sent: sim.metrics().messages_sent(),
+                messages_delivered: sim.metrics().messages_delivered(),
+                messages_lost: sim.metrics().messages_lost(),
+                messages_duplicated: sim.metrics().messages_duplicated(),
+                timer_steps: sim.metrics().timer_steps(),
+            };
+            match &reference {
+                None => reference = Some(outcome),
+                Some(first) => {
+                    if *first != outcome {
+                        modes_agree = false;
+                    }
+                }
+            }
+        }
+
+        let outcome = reference.expect("at least one mode ran");
+        let mut violations = outcome.run.invariant_violations.clone();
+        if !modes_agree {
+            violations.push("scheduler-mode divergence: executions differ".to_string());
+        }
+        RunRecord {
+            node: T::NAME.to_string(),
+            scenario: scenario.name().to_string(),
+            seed,
+            n: scenario.initial_size(),
+            rounds_run: outcome.run.rounds_run,
+            converged: outcome.run.converged,
+            rounds_to_convergence: outcome.run.rounds_to_convergence,
+            crashes: outcome.run.crashes,
+            joins: outcome.run.joins,
+            corruptions: outcome.run.corruptions,
+            messages_sent: outcome.messages_sent,
+            messages_delivered: outcome.messages_delivered,
+            messages_lost: outcome.messages_lost,
+            messages_duplicated: outcome.messages_duplicated,
+            timer_steps: outcome.timer_steps,
+            state_digest: outcome.run.state_digest,
+            modes_agree,
+            invariant_violations: violations,
+            wall_ms: self.timings.then_some(wall_ms),
+        }
+    }
+}
+
+/// Everything one mode's execution produced that must match across modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ModeOutcome {
+    run: crate::scenario::ScenarioRun,
+    messages_sent: u64,
+    messages_delivered: u64,
+    messages_lost: u64,
+    messages_duplicated: u64,
+    timer_steps: u64,
+}
+
+/// The outcome of one (scenario, seed) cell. Every field is deterministic
+/// given the scenario and seed, except `wall_ms` (present only when
+/// timings were requested).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The node type swept (`ScenarioTarget::NAME`).
+    pub node: String,
+    /// The scenario name.
+    pub scenario: String,
+    /// The seed.
+    pub seed: u64,
+    /// Initial population size.
+    pub n: usize,
+    /// Rounds executed.
+    pub rounds_run: u64,
+    /// Whether the convergence predicate held at the end.
+    pub converged: bool,
+    /// First post-fault round at which the target reported convergence.
+    pub rounds_to_convergence: Option<u64>,
+    /// Crashes applied.
+    pub crashes: u64,
+    /// Joins applied.
+    pub joins: u64,
+    /// State corruptions applied.
+    pub corruptions: u64,
+    /// Send operations attempted.
+    pub messages_sent: u64,
+    /// Packets delivered.
+    pub messages_delivered: u64,
+    /// Packets dropped by lossy links (or blocked by partitions).
+    pub messages_lost: u64,
+    /// Packets duplicated by links.
+    pub messages_duplicated: u64,
+    /// Timer steps taken by all processes.
+    pub timer_steps: u64,
+    /// Canonical digest of the final protocol state.
+    pub state_digest: u64,
+    /// Whether every scheduler mode produced the same execution.
+    pub modes_agree: bool,
+    /// Safety-invariant violations (including mode divergence, if any).
+    pub invariant_violations: Vec<String>,
+    /// Wall-clock time summed over the modes run (non-deterministic;
+    /// `None` unless timings were requested).
+    pub wall_ms: Option<f64>,
+}
+
+impl RunRecord {
+    /// Whether this run passed: converged, schedulers agreed, no
+    /// violations.
+    pub fn passed(&self) -> bool {
+        self.converged && self.modes_agree && self.invariant_violations.is_empty()
+    }
+
+    /// The record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj()
+            .field("node", self.node.as_str())
+            .field("scenario", self.scenario.as_str())
+            .field("seed", self.seed)
+            .field("n", self.n)
+            .field("rounds_run", self.rounds_run)
+            .field("converged", self.converged)
+            .field(
+                "rounds_to_convergence",
+                match self.rounds_to_convergence {
+                    Some(r) => Json::UInt(r),
+                    None => Json::Null,
+                },
+            )
+            .field("crashes", self.crashes)
+            .field("joins", self.joins)
+            .field("corruptions", self.corruptions)
+            .field("messages_sent", self.messages_sent)
+            .field("messages_delivered", self.messages_delivered)
+            .field("messages_lost", self.messages_lost)
+            .field("messages_duplicated", self.messages_duplicated)
+            .field("timer_steps", self.timer_steps)
+            .field("state_digest", format!("{:016x}", self.state_digest))
+            .field("modes_agree", self.modes_agree)
+            .field(
+                "invariant_violations",
+                Json::Arr(
+                    self.invariant_violations
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                ),
+            );
+        if let Some(wall) = self.wall_ms {
+            obj = obj.field("wall_ms", wall);
+        }
+        obj
+    }
+}
+
+/// A machine-readable summary of a whole campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// The campaign name.
+    pub name: String,
+    /// The seeds swept.
+    pub seeds: Vec<u64>,
+    /// One record per (node, scenario, seed) cell, in execution order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl CampaignReport {
+    /// Creates an empty report.
+    pub fn new(name: impl Into<String>, seeds: Vec<u64>) -> Self {
+        CampaignReport {
+            name: name.into(),
+            seeds,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Whether every run passed.
+    pub fn passed(&self) -> bool {
+        self.runs.iter().all(RunRecord::passed)
+    }
+
+    /// The report as a JSON document. Deterministic: no timestamps, no
+    /// mode- or machine-dependent fields (unless timings were requested).
+    pub fn to_json(&self) -> Json {
+        let converged = self.runs.iter().filter(|r| r.converged).count();
+        let agreed = self.runs.iter().filter(|r| r.modes_agree).count();
+        let violations: usize = self.runs.iter().map(|r| r.invariant_violations.len()).sum();
+        Json::obj()
+            .field("campaign", self.name.as_str())
+            .field("engine", "simnet-chaos/1")
+            .field(
+                "seeds",
+                Json::Arr(self.seeds.iter().map(|s| Json::UInt(*s)).collect()),
+            )
+            .field(
+                "runs",
+                Json::Arr(self.runs.iter().map(RunRecord::to_json).collect()),
+            )
+            .field(
+                "summary",
+                Json::obj()
+                    .field("runs", self.runs.len())
+                    .field("converged", converged)
+                    .field("modes_agree", agreed)
+                    .field("invariant_violations", violations)
+                    .field("passed", self.passed()),
+            )
+    }
+
+    /// The rendered JSON report.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::catalog;
+    use crate::testutil::MaxNode;
+
+    #[test]
+    fn campaign_report_is_byte_identical_across_runs_and_modes() {
+        let scenarios = catalog(5);
+        let both = Campaign::new("determinism")
+            .with_seeds([1, 2])
+            .run::<MaxNode>(&scenarios)
+            .render();
+        let again = Campaign::new("determinism")
+            .with_seeds([1, 2])
+            .run::<MaxNode>(&scenarios)
+            .render();
+        assert_eq!(both, again, "repeated campaign runs diverged");
+
+        let event_only = Campaign::new("determinism")
+            .with_seeds([1, 2])
+            .with_modes([SchedulerMode::EventDriven])
+            .run::<MaxNode>(&scenarios)
+            .render();
+        let scan_only = Campaign::new("determinism")
+            .with_seeds([1, 2])
+            .with_modes([SchedulerMode::RoundScan])
+            .run::<MaxNode>(&scenarios)
+            .render();
+        assert_eq!(
+            event_only, scan_only,
+            "reports diverged across scheduler modes"
+        );
+        assert_eq!(
+            both, event_only,
+            "both-mode report differs from single-mode"
+        );
+    }
+
+    #[test]
+    fn campaign_runs_every_cell_and_passes() {
+        let scenarios = catalog(4);
+        let report = Campaign::new("smoke")
+            .with_seeds([7])
+            .run::<MaxNode>(&scenarios);
+        assert_eq!(report.runs.len(), scenarios.len());
+        assert!(report.passed(), "{}", report.render());
+        for run in &report.runs {
+            assert_eq!(run.node, "max");
+            assert!(run.modes_agree);
+            assert!(run.messages_sent > 0);
+        }
+    }
+
+    #[test]
+    fn report_json_shape_is_stable() {
+        let report = Campaign::new("shape")
+            .with_seeds([3])
+            .run::<MaxNode>(&catalog(3)[..1]);
+        let doc = report.to_json();
+        assert_eq!(doc.get("campaign").and_then(Json::as_str), Some("shape"));
+        assert_eq!(
+            doc.get("engine").and_then(Json::as_str),
+            Some("simnet-chaos/1")
+        );
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        for key in [
+            "node",
+            "scenario",
+            "seed",
+            "n",
+            "rounds_run",
+            "converged",
+            "rounds_to_convergence",
+            "crashes",
+            "joins",
+            "corruptions",
+            "messages_sent",
+            "messages_delivered",
+            "messages_lost",
+            "messages_duplicated",
+            "timer_steps",
+            "state_digest",
+            "modes_agree",
+            "invariant_violations",
+        ] {
+            assert!(run.get(key).is_some(), "missing field {key}");
+        }
+        assert!(run.get("wall_ms").is_none(), "untimed report has wall_ms");
+        let summary = doc.get("summary").unwrap();
+        assert_eq!(summary.get("passed").and_then(Json::as_bool), Some(true));
+        // The parsed report round-trips.
+        let parsed = Json::parse(&report.render()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn timings_are_opt_in_and_non_default() {
+        let report = Campaign::new("timed")
+            .with_seeds([1])
+            .with_timings(true)
+            .run::<MaxNode>(&catalog(3)[..1]);
+        assert!(report.runs[0].wall_ms.is_some());
+        let doc = report.to_json();
+        let run = &doc.get("runs").and_then(Json::as_arr).unwrap()[0];
+        assert!(run.get("wall_ms").is_some());
+    }
+}

@@ -105,6 +105,14 @@ impl<M: Clone> Channel<M> {
         &self.policy
     }
 
+    /// Replaces the channel policy. Packets already in flight keep the
+    /// delivery rounds they were assigned on send; only subsequent sends
+    /// (and reordering decisions) follow the new policy. Scenario-driven
+    /// loss/delay spikes use this through [`crate::Network::set_policy`].
+    pub fn set_policy(&mut self, policy: ChannelPolicy) {
+        self.policy = policy;
+    }
+
     /// Sends a packet at round `now`, applying loss, duplication, bounded
     /// capacity and random delay according to the policy.
     pub fn send(&mut self, msg: M, now: Round, rng: &mut SimRng) -> SendOutcome {

@@ -2,16 +2,26 @@
 //!
 //! Self-stabilization is about recovery from *transient faults* — an
 //! arbitrary starting state — combined with ordinary crash failures and
-//! churn. This module provides declarative schedules for crashes and joins
-//! plus a small injector that applies them from the scheduler hook
-//! ([`crate::Simulation::run_rounds_with`]). Arbitrary *state* corruption is
-//! protocol-specific, so it is performed by each protocol crate's test
-//! harness through [`crate::Simulation::process_mut`] and
-//! [`crate::Network::channel_mut`].
+//! churn. This module provides declarative schedules for crashes
+//! ([`CrashPlan`]), joins ([`ChurnPlan`]), transient state corruption
+//! ([`CorruptionPlan`]) and channel-behaviour spikes ([`SpikePlan`]).
+//!
+//! The plans are the building blocks of the chaos-campaign engine: a
+//! [`crate::scenario::Scenario`] composes them into one declarative fault
+//! schedule, and the scenario runner applies them at round boundaries.
+//! They can also be driven by hand from the scheduler hook
+//! ([`crate::Simulation::run_rounds_with`]), which is how the plans were
+//! used before the scenario subsystem existed. *How* to corrupt a
+//! processor's state is protocol-specific; a [`CorruptionPlan`] only decides
+//! *who* and *when*, and delegates the mutation to a caller-supplied closure
+//! (the scenario engine uses
+//! [`crate::scenario::ScenarioTarget::corrupt`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use crate::channel::ChannelPolicy;
 use crate::process::{Process, ProcessId};
+use crate::rng::SimRng;
 use crate::scheduler::Simulation;
 use crate::time::Round;
 
@@ -62,6 +72,11 @@ impl CrashPlan {
         self.schedule.values().map(Vec::len).sum()
     }
 
+    /// The last round with a scheduled crash.
+    pub fn last_round(&self) -> Option<Round> {
+        self.schedule.keys().next_back().copied()
+    }
+
     /// Applies the crashes due at `round` to the simulation.
     pub fn apply<P: Process>(&self, sim: &mut Simulation<P>, round: Round) {
         for victim in self.due(round) {
@@ -101,6 +116,11 @@ impl ChurnPlan {
         self.joins.values().sum()
     }
 
+    /// The last round with a scheduled join.
+    pub fn last_round(&self) -> Option<Round> {
+        self.joins.keys().next_back().copied()
+    }
+
     /// Applies the joins due at `round`, constructing each new process with
     /// `factory` (which receives the identifier the simulation assigned).
     /// Returns the identifiers of the processors that joined.
@@ -119,6 +139,188 @@ impl ChurnPlan {
             joined.push(id);
         }
         joined
+    }
+}
+
+/// A schedule of transient state corruptions: which processors have their
+/// local state corrupted at which round. The plan only records *who* and
+/// *when*; the protocol-specific *how* is a closure supplied on application
+/// (the scenario engine passes
+/// [`crate::scenario::ScenarioTarget::corrupt`]).
+///
+/// ```
+/// use simnet::{fault::CorruptionPlan, ProcessId, Round};
+/// let plan = CorruptionPlan::new()
+///     .corrupt_at(Round::new(10), [ProcessId::new(0), ProcessId::new(2)]);
+/// assert_eq!(plan.due(Round::new(10)).len(), 2);
+/// assert_eq!(plan.total(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CorruptionPlan {
+    schedule: BTreeMap<Round, Vec<ProcessId>>,
+}
+
+impl CorruptionPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules the state of `victims` to be corrupted at `round` (builder
+    /// style).
+    pub fn corrupt_at(
+        mut self,
+        round: Round,
+        victims: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
+        self.schedule.entry(round).or_default().extend(victims);
+        self
+    }
+
+    /// The victims scheduled for exactly `round`.
+    pub fn due(&self, round: Round) -> &[ProcessId] {
+        self.schedule.get(&round).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of scheduled corruptions.
+    pub fn total(&self) -> usize {
+        self.schedule.values().map(Vec::len).sum()
+    }
+
+    /// The last round with a scheduled corruption.
+    pub fn last_round(&self) -> Option<Round> {
+        self.schedule.keys().next_back().copied()
+    }
+
+    /// Applies the corruptions due at `round`, mutating each victim through
+    /// `corrupt` with the adversary's random stream. Crashed or unknown
+    /// victims are skipped (a corrupted crashed node takes no steps anyway).
+    /// Returns the number of corruptions performed.
+    pub fn apply<P: Process>(
+        &self,
+        sim: &mut Simulation<P>,
+        round: Round,
+        rng: &mut SimRng,
+        mut corrupt: impl FnMut(&mut P, &mut SimRng),
+    ) -> u64 {
+        let mut applied = 0;
+        for victim in self.due(round) {
+            if !sim.is_active(*victim) {
+                continue;
+            }
+            if let Some(process) = sim.process_mut(*victim) {
+                corrupt(process, rng);
+                applied += 1;
+            }
+        }
+        applied
+    }
+}
+
+/// Overrides a [`ChannelPolicy`] for the duration of a spike: the paper's
+/// lossy, duplicating, delaying links turned up to adversarial levels for a
+/// bounded window of rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeSpec {
+    /// Per-packet loss probability during the spike.
+    pub loss: f64,
+    /// Per-packet duplication probability during the spike.
+    pub duplication: f64,
+    /// Extra delivery delay added on top of the base maximum delay.
+    pub extra_delay: u64,
+}
+
+impl SpikeSpec {
+    /// Applies the spike on top of `base`, returning the spiked policy.
+    pub fn apply_to(&self, base: &ChannelPolicy) -> ChannelPolicy {
+        ChannelPolicy {
+            loss_probability: self.loss.max(base.loss_probability),
+            duplication_probability: self.duplication.max(base.duplication_probability),
+            max_delay_rounds: base.max_delay_rounds + self.extra_delay,
+            ..base.clone()
+        }
+    }
+}
+
+/// A schedule of channel-behaviour spikes: windows of rounds during which
+/// every link loses, duplicates and delays packets more aggressively than
+/// its base policy. Spikes start and end at round boundaries, so scenario
+/// executions remain byte-identical across scheduler modes.
+///
+/// Overlapping windows compose: at any round, the network runs the base
+/// policy spiked by *every* window covering that round (element-wise worst
+/// case), so a short spike inside a longer one never truncates the longer
+/// window on its way out.
+#[derive(Debug, Clone, Default)]
+pub struct SpikePlan {
+    /// Half-open windows `[start, end)` with their specs.
+    windows: Vec<(Round, Round, SpikeSpec)>,
+    /// Every window start and end: the rounds at which the composed policy
+    /// may change.
+    boundaries: BTreeSet<Round>,
+}
+
+impl SpikePlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `spec` to hold from `round` for `duration` rounds (builder
+    /// style). Windows may overlap; the covering specs compose.
+    pub fn spike_at(mut self, round: Round, duration: u64, spec: SpikeSpec) -> Self {
+        self.windows.push((round, round + duration, spec));
+        self.boundaries.insert(round);
+        self.boundaries.insert(round + duration);
+        self
+    }
+
+    /// Total number of scheduled spike windows.
+    pub fn total(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The last round at which this plan changes the policy (including the
+    /// final restore).
+    pub fn last_round(&self) -> Option<Round> {
+        self.boundaries.iter().next_back().copied()
+    }
+
+    /// The policy change due at exactly `round`, if any: `Some(policy)`
+    /// means "switch the network to `policy` now". The policy is `base`
+    /// spiked by the element-wise worst case of every window covering
+    /// `round` (the covering specs are combined first, then applied once,
+    /// so overlapping delays take the maximum rather than summing).
+    pub fn due(&self, round: Round, base: &ChannelPolicy) -> Option<ChannelPolicy> {
+        if !self.boundaries.contains(&round) {
+            return None;
+        }
+        let combined = self
+            .windows
+            .iter()
+            .filter(|(start, end, _)| *start <= round && round < *end)
+            .fold(None::<SpikeSpec>, |acc, (_, _, spec)| {
+                Some(match acc {
+                    None => *spec,
+                    Some(a) => SpikeSpec {
+                        loss: a.loss.max(spec.loss),
+                        duplication: a.duplication.max(spec.duplication),
+                        extra_delay: a.extra_delay.max(spec.extra_delay),
+                    },
+                })
+            });
+        Some(match combined {
+            None => base.clone(),
+            Some(spec) => spec.apply_to(base),
+        })
+    }
+
+    /// Applies the change due at `round` (if any) to the simulation's
+    /// network, where `base` is the scenario's un-spiked channel policy.
+    pub fn apply<P: Process>(&self, sim: &mut Simulation<P>, round: Round, base: &ChannelPolicy) {
+        if let Some(policy) = self.due(round, base) {
+            sim.network_mut().set_policy(policy);
+        }
     }
 }
 
@@ -232,6 +434,94 @@ mod tests {
         assert_eq!(sim.ids().len(), 3);
         assert_eq!(injector.crash_plan().total(), 1);
         assert_eq!(injector.churn_plan().total(), 1);
+    }
+
+    #[derive(Debug, Default)]
+    struct Cell {
+        value: u64,
+    }
+    impl Process for Cell {
+        type Msg = ();
+        fn on_timer(&mut self, _ctx: &mut Context<'_, ()>) {}
+        fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Context<'_, ()>) {}
+    }
+
+    #[test]
+    fn corruption_plan_mutates_scheduled_victims_only() {
+        let mut sim: Simulation<Cell> = Simulation::new(SimConfig::default());
+        for _ in 0..3 {
+            sim.add_process(Cell::default());
+        }
+        sim.crash(ProcessId::new(2));
+        let plan = CorruptionPlan::new().corrupt_at(
+            Round::new(1),
+            [ProcessId::new(0), ProcessId::new(2), ProcessId::new(9)],
+        );
+        assert_eq!(plan.total(), 3);
+        assert_eq!(plan.last_round(), Some(Round::new(1)));
+        let mut rng = SimRng::seed_from(1);
+        let at_zero = plan.apply(&mut sim, Round::ZERO, &mut rng, |p, _| p.value = 7);
+        assert_eq!(at_zero, 0);
+        let at_one = plan.apply(&mut sim, Round::new(1), &mut rng, |p, _| p.value = 7);
+        // The crashed and the unknown victim are skipped.
+        assert_eq!(at_one, 1);
+        assert_eq!(sim.process(ProcessId::new(0)).unwrap().value, 7);
+        assert_eq!(sim.process(ProcessId::new(1)).unwrap().value, 0);
+        assert_eq!(sim.process(ProcessId::new(2)).unwrap().value, 0);
+    }
+
+    #[test]
+    fn spike_plan_switches_and_restores_the_policy() {
+        let base = ChannelPolicy::default();
+        let plan = SpikePlan::new().spike_at(
+            Round::new(5),
+            10,
+            SpikeSpec {
+                loss: 0.4,
+                duplication: 0.2,
+                extra_delay: 3,
+            },
+        );
+        assert_eq!(plan.total(), 1);
+        assert_eq!(plan.last_round(), Some(Round::new(15)));
+        assert!(plan.due(Round::new(4), &base).is_none());
+        let spiked = plan.due(Round::new(5), &base).unwrap();
+        assert_eq!(spiked.loss_probability, 0.4);
+        assert_eq!(spiked.duplication_probability, 0.2);
+        assert_eq!(spiked.max_delay_rounds, base.max_delay_rounds + 3);
+        let restored = plan.due(Round::new(15), &base).unwrap();
+        assert_eq!(restored, base);
+
+        let mut sim: Simulation<Cell> = Simulation::new(SimConfig::default());
+        sim.add_process(Cell::default());
+        plan.apply(&mut sim, Round::new(5), &base);
+        assert_eq!(sim.network().policy().loss_probability, 0.4);
+        plan.apply(&mut sim, Round::new(15), &base);
+        assert_eq!(sim.network().policy(), &base);
+    }
+
+    #[test]
+    fn back_to_back_spikes_do_not_restore_early() {
+        let base = ChannelPolicy::default();
+        let first = SpikeSpec {
+            loss: 0.5,
+            duplication: 0.0,
+            extra_delay: 0,
+        };
+        let second = SpikeSpec {
+            loss: 0.1,
+            duplication: 0.0,
+            extra_delay: 0,
+        };
+        let plan =
+            SpikePlan::new()
+                .spike_at(Round::new(0), 5, first)
+                .spike_at(Round::new(5), 5, second);
+        // The restore of the first spike coincides with the start of the
+        // second: the second spike wins.
+        let at_five = plan.due(Round::new(5), &base).unwrap();
+        assert_eq!(at_five.loss_probability, 0.1);
+        assert_eq!(plan.due(Round::new(10), &base).unwrap(), base);
     }
 
     #[test]

@@ -32,6 +32,14 @@
 //! that every composite node in the workspace uses to multiplex its
 //! sub-layer traffic over one wire format.
 //!
+//! The fault layer is driven by the **chaos-campaign engine**: a declarative
+//! [`scenario::Scenario`] composes crash, churn, partition, message-spike
+//! and state-corruption schedules ([`fault`], [`partition`]), the
+//! [`campaign`] driver sweeps scenarios × seeds × scheduler modes, and
+//! [`report`] renders deterministic JSON reports. Protocol crates plug in
+//! through [`scenario::ScenarioTarget`]; the `simctl` binary runs the named
+//! scenarios of [`scenario::catalog`] from the command line.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -65,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod campaign;
 pub mod channel;
 pub mod config;
 pub mod fault;
@@ -73,22 +82,29 @@ pub mod metrics;
 pub mod network;
 pub mod partition;
 pub mod process;
+pub mod report;
 pub mod rng;
+pub mod scenario;
 pub mod scheduler;
 pub mod stack;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod time;
 pub mod trace;
 
 pub use adversary::ScriptedFaults;
+pub use campaign::{Campaign, CampaignReport, RunRecord};
 pub use channel::{Channel, ChannelPolicy, InFlight};
 pub use config::{SchedulerMode, SimConfig};
-pub use fault::{ChurnPlan, CrashPlan, FaultInjector};
+pub use fault::{ChurnPlan, CorruptionPlan, CrashPlan, FaultInjector, SpikePlan, SpikeSpec};
 pub use histogram::Histogram;
 pub use metrics::Metrics;
 pub use network::Network;
 pub use partition::PartitionPlan;
 pub use process::{Context, Process, ProcessId, ProcessStatus};
+pub use report::Json;
 pub use rng::SimRng;
+pub use scenario::{LinkProfile, Scenario, ScenarioRun, ScenarioTarget};
 pub use scheduler::Simulation;
 pub use stack::{Lane, Layer, Outbox, Router};
 pub use time::Round;

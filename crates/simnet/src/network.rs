@@ -52,6 +52,18 @@ impl<M: Clone> Network<M> {
         &self.policy
     }
 
+    /// Replaces the policy of every channel — existing and future. Packets
+    /// already in flight keep their assigned delivery rounds. The scenario
+    /// engine uses this to model message-drop/duplication/delay *spikes*
+    /// (see [`crate::fault::SpikePlan`]); the change is applied at a round
+    /// boundary, so executions stay byte-identical across scheduler modes.
+    pub fn set_policy(&mut self, policy: ChannelPolicy) {
+        for channel in self.channels.values_mut() {
+            channel.set_policy(policy.clone());
+        }
+        self.policy = policy;
+    }
+
     /// Blocks the unidirectional link `from → to`: subsequent sends over it
     /// are dropped until [`Network::unblock_link`] (or
     /// [`Network::heal_all_links`]) is called.

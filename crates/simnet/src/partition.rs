@@ -66,6 +66,16 @@ impl PartitionPlan {
         self.splits.values().map(Vec::len).sum()
     }
 
+    /// The last round with a scheduled split or heal.
+    pub fn last_round(&self) -> Option<Round> {
+        let last_split = self.splits.keys().next_back().copied();
+        let last_heal = self.heals.iter().next_back().copied();
+        match (last_split, last_heal) {
+            (Some(s), Some(h)) => Some(s.max(h)),
+            (s, h) => s.or(h),
+        }
+    }
+
     /// Applies the events due at `round` to the simulation. Heals are applied
     /// before splits so that a heal and a split scheduled for the same round
     /// leave exactly the new split in place.

@@ -1,0 +1,768 @@
+//! Declarative chaos scenarios.
+//!
+//! The paper claims recovery from *any* transient fault on top of crashes,
+//! churn and unreliable links. A [`Scenario`] makes that claim testable at
+//! scale: it composes the declarative fault plans of [`crate::fault`] and
+//! [`crate::partition`] — crashes, joins, partitions/heals, message
+//! drop/duplication/delay spikes and transient state corruption — into one
+//! named, seed-reproducible fault schedule over rounds. The
+//! [`crate::campaign`] module sweeps scenarios × seeds × scheduler modes and
+//! records the results; the `simctl` binary runs named scenarios from the
+//! [`catalog`] against every composite node of the workspace.
+//!
+//! Protocol-specific concerns (how to build a node, how to corrupt its
+//! state, what "converged" means) live behind the [`ScenarioTarget`] trait,
+//! implemented by `ReconfigNode`, `CounterNode`, `SmrNode` and
+//! `SharedMemNode` in their own crates.
+//!
+//! Determinism is a hard requirement: every scenario action happens at a
+//! round boundary and draws randomness from a dedicated adversary stream
+//! derived from the run's seed, so the same scenario + seed produces
+//! byte-identical executions in both [`crate::SchedulerMode`]s — the PR-1
+//! scheduler-equivalence guarantee extended to the whole fault layer.
+//!
+//! ```
+//! use simnet::scenario::{LinkProfile, Scenario};
+//! use simnet::{ProcessId, Round};
+//!
+//! let s = Scenario::new("partition-heal", 6)
+//!     .describe("split the cluster in half, heal after 20 rounds")
+//!     .split_halves_at(Round::new(8))
+//!     .heal_at(Round::new(28))
+//!     .with_rounds(400);
+//! assert_eq!(s.name(), "partition-heal");
+//! assert_eq!(s.initial_size(), 6);
+//! assert!(s.last_fault_round() >= Round::new(28));
+//! ```
+
+use std::collections::BTreeSet;
+
+use crate::channel::ChannelPolicy;
+use crate::config::{SchedulerMode, SimConfig};
+use crate::fault::{CorruptionPlan, CrashPlan, SpikePlan, SpikeSpec};
+use crate::partition::PartitionPlan;
+use crate::process::{Process, ProcessId};
+use crate::rng::SimRng;
+use crate::scheduler::Simulation;
+use crate::time::Round;
+use crate::ChurnPlan;
+use crate::ScriptedFaults;
+
+/// Base behaviour of every link in a scenario, applied outside spike
+/// windows. A plain-data mirror of [`ChannelPolicy`] with scenario-friendly
+/// defaults (reliable, at most one round of delay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkProfile {
+    /// Per-packet loss probability.
+    pub loss: f64,
+    /// Per-packet duplication probability.
+    pub duplication: f64,
+    /// Maximum random delivery delay in rounds.
+    pub max_delay: u64,
+    /// Whether ready packets may be delivered out of order.
+    pub reorder: bool,
+    /// Bounded channel capacity in packets.
+    pub capacity: usize,
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile {
+            loss: 0.0,
+            duplication: 0.0,
+            max_delay: 0,
+            reorder: false,
+            capacity: 16,
+        }
+    }
+}
+
+impl LinkProfile {
+    /// The equivalent channel policy.
+    pub fn to_policy(&self) -> ChannelPolicy {
+        ChannelPolicy {
+            capacity: self.capacity,
+            loss_probability: self.loss,
+            duplication_probability: self.duplication,
+            max_delay_rounds: self.max_delay,
+            reorder: self.reorder,
+        }
+    }
+}
+
+/// A named, declarative chaos scenario: an initial population plus a
+/// schedule of crashes, joins, partitions, spikes and corruptions over
+/// rounds, with a round budget and a workload window.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    name: String,
+    description: String,
+    n: usize,
+    rounds: u64,
+    workload_rounds: u64,
+    link: LinkProfile,
+    crashes: CrashPlan,
+    churn: ChurnPlan,
+    partitions: PartitionPlan,
+    corruptions: CorruptionPlan,
+    spikes: SpikePlan,
+}
+
+impl Scenario {
+    /// Creates an empty scenario over an initial population of `n`
+    /// processors, with a default budget of 1,000 rounds and no workload
+    /// window.
+    pub fn new(name: impl Into<String>, n: usize) -> Self {
+        Scenario {
+            name: name.into(),
+            description: String::new(),
+            n,
+            rounds: 1_000,
+            workload_rounds: 0,
+            link: LinkProfile::default(),
+            crashes: CrashPlan::new(),
+            churn: ChurnPlan::new(),
+            partitions: PartitionPlan::new(),
+            corruptions: CorruptionPlan::new(),
+            spikes: SpikePlan::new(),
+        }
+    }
+
+    /// Sets the human-readable description (builder style).
+    pub fn describe(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Sets the maximum number of rounds the runner executes (builder
+    /// style). Runs stop early once the target converges.
+    pub fn with_rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Drives the target's workload ([`ScenarioTarget::drive_workload`])
+    /// while the current round is below `rounds` (builder style).
+    pub fn with_workload_until(mut self, rounds: u64) -> Self {
+        self.workload_rounds = rounds;
+        self
+    }
+
+    /// Sets the base link behaviour (builder style).
+    pub fn with_link(mut self, link: LinkProfile) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Schedules `victims` to crash at `round` (builder style).
+    pub fn crash_at(mut self, round: Round, victims: impl IntoIterator<Item = ProcessId>) -> Self {
+        self.crashes = self.crashes.crash_all_at(round, victims);
+        self
+    }
+
+    /// Schedules `count` fresh joiners at `round` (builder style).
+    pub fn join_at(mut self, round: Round, count: u32) -> Self {
+        self.churn = self.churn.join_at(round, count);
+        self
+    }
+
+    /// Schedules a partition into `groups` at `round` (builder style).
+    pub fn split_at(mut self, round: Round, groups: Vec<Vec<ProcessId>>) -> Self {
+        self.partitions = self.partitions.split_at(round, groups);
+        self
+    }
+
+    /// Schedules a split of the initial population into two halves at
+    /// `round` (builder style).
+    pub fn split_halves_at(self, round: Round) -> Self {
+        let n = self.n;
+        let mid = n / 2;
+        let lower: Vec<ProcessId> = (0..mid as u32).map(ProcessId::new).collect();
+        let upper: Vec<ProcessId> = (mid as u32..n as u32).map(ProcessId::new).collect();
+        self.split_at(round, vec![lower, upper])
+    }
+
+    /// Schedules a full heal at `round` (builder style).
+    pub fn heal_at(mut self, round: Round) -> Self {
+        self.partitions = self.partitions.heal_at(round);
+        self
+    }
+
+    /// Schedules transient state corruption of `victims` at `round`
+    /// (builder style).
+    pub fn corrupt_at(
+        mut self,
+        round: Round,
+        victims: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
+        self.corruptions = self.corruptions.corrupt_at(round, victims);
+        self
+    }
+
+    /// Schedules a message drop/duplication/delay spike starting at `round`
+    /// for `duration` rounds (builder style).
+    pub fn spike_at(mut self, round: Round, duration: u64, spec: SpikeSpec) -> Self {
+        self.spikes = self.spikes.spike_at(round, duration, spec);
+        self
+    }
+
+    /// The scenario's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scenario's description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The size of the initial population.
+    pub fn initial_size(&self) -> usize {
+        self.n
+    }
+
+    /// The round budget.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The workload window: workload is driven while `now < workload_rounds`.
+    pub fn workload_rounds(&self) -> u64 {
+        self.workload_rounds
+    }
+
+    /// The base link behaviour.
+    pub fn link(&self) -> &LinkProfile {
+        &self.link
+    }
+
+    /// The crash schedule.
+    pub fn crash_plan(&self) -> &CrashPlan {
+        &self.crashes
+    }
+
+    /// The churn schedule.
+    pub fn churn_plan(&self) -> &ChurnPlan {
+        &self.churn
+    }
+
+    /// The partition schedule.
+    pub fn partition_plan(&self) -> &PartitionPlan {
+        &self.partitions
+    }
+
+    /// The corruption schedule.
+    pub fn corruption_plan(&self) -> &CorruptionPlan {
+        &self.corruptions
+    }
+
+    /// The spike schedule.
+    pub fn spike_plan(&self) -> &SpikePlan {
+        &self.spikes
+    }
+
+    /// The last round at which this scenario injects any fault (convergence
+    /// is only counted after this round).
+    pub fn last_fault_round(&self) -> Round {
+        let mut last = Round::ZERO;
+        let mut consider = |r: Option<Round>| {
+            if let Some(r) = r {
+                last = last.max(r);
+            }
+        };
+        consider(self.crashes.last_round());
+        consider(self.churn.last_round());
+        consider(self.partitions.last_round());
+        consider(self.corruptions.last_round());
+        consider(self.spikes.last_round());
+        last
+    }
+
+    /// The simulation configuration for one run of this scenario.
+    pub fn sim_config(&self, seed: u64, mode: SchedulerMode) -> SimConfig {
+        let link = &self.link;
+        SimConfig::default()
+            .with_seed(seed)
+            .with_scheduler(mode)
+            .with_loss_probability(link.loss)
+            .with_duplication_probability(link.duplication)
+            .with_max_delay(link.max_delay)
+            .with_reordering(link.reorder)
+            .with_channel_capacity(link.capacity)
+    }
+
+    /// Builds a fresh simulation of this scenario's initial population.
+    pub fn build_sim<T: ScenarioTarget>(&self, seed: u64, mode: SchedulerMode) -> Simulation<T> {
+        let mut sim = Simulation::new(self.sim_config(seed, mode));
+        for i in 0..self.n as u32 {
+            let id = ProcessId::new(i);
+            sim.add_process_with_id(id, T::spawn_initial(id, self.n));
+        }
+        sim
+    }
+}
+
+/// The per-protocol adapter of the chaos engine: everything the scenario
+/// runner needs to know about a composite node that the node's own crate
+/// must decide — construction, transient corruption, workload, convergence
+/// and safety invariants.
+///
+/// Implemented by `ReconfigNode` (`core`), `CounterNode` (`counters`),
+/// `SmrNode` (`vssmr`) and `SharedMemNode` (`sharedmem`).
+pub trait ScenarioTarget: Process + Sized {
+    /// Short machine-readable name used in reports and `simctl --node`.
+    const NAME: &'static str;
+
+    /// Builds member `id` of an initial population of `n` processors.
+    fn spawn_initial(id: ProcessId, n: usize) -> Self;
+
+    /// Builds a processor joining a running system whose initial population
+    /// had `n` processors.
+    fn spawn_joiner(id: ProcessId, n: usize) -> Self;
+
+    /// Applies one transient fault to the local state — the paper's
+    /// signature fault class. Implementations must only produce states the
+    /// protocol provably recovers from agreement-wise (self-stabilization
+    /// quantifies over arbitrary states, but a campaign needs its
+    /// convergence predicate to become true again in bounded time).
+    fn corrupt(&mut self, rng: &mut SimRng);
+
+    /// Injects one round of application workload (submit writes, request
+    /// increments, …). Driven while the scenario's workload window is open.
+    /// The default does nothing.
+    fn drive_workload(sim: &mut Simulation<Self>, round: Round, rng: &mut SimRng) {
+        let _ = (sim, round, rng);
+    }
+
+    /// Returns `true` once the system has (re-)converged: the scenario's
+    /// liveness criterion.
+    fn converged(sim: &Simulation<Self>) -> bool;
+
+    /// Safety-invariant violations observable in the current global state;
+    /// checked at the end of a run (after convergence, or after the round
+    /// budget is exhausted).
+    fn invariant_violations(sim: &Simulation<Self>) -> Vec<String>;
+
+    /// A canonical digest of the global protocol state, used to assert that
+    /// both scheduler modes produced the same execution. Must be
+    /// deterministic and platform-independent (see
+    /// [`crate::report::digest_lines`]).
+    fn state_digest(sim: &Simulation<Self>) -> u64;
+}
+
+/// What happened during one scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioRun {
+    /// Rounds actually executed (≤ the scenario budget).
+    pub rounds_run: u64,
+    /// Whether the target's convergence predicate held at the end.
+    pub converged: bool,
+    /// The first round (after the last fault and the workload window) at
+    /// which the target reported convergence.
+    pub rounds_to_convergence: Option<u64>,
+    /// Crashes applied.
+    pub crashes: u64,
+    /// Joins applied.
+    pub joins: u64,
+    /// State corruptions applied.
+    pub corruptions: u64,
+    /// Invariant violations observed at the end of the run.
+    pub invariant_violations: Vec<String>,
+    /// The target's state digest at the end of the run.
+    pub state_digest: u64,
+}
+
+/// Runs `scenario` on `sim` to completion (convergence or round budget).
+///
+/// All scenario actions are applied at round boundaries in a fixed order —
+/// heals/splits, spikes, crashes, joins, corruptions, extra scripted
+/// faults, workload — so executions are byte-identical across scheduler
+/// modes for the same seed.
+pub fn run_scenario<T: ScenarioTarget>(
+    scenario: &Scenario,
+    sim: &mut Simulation<T>,
+) -> ScenarioRun {
+    let mut extras = ScriptedFaults::new();
+    run_scenario_with_extras(scenario, sim, &mut extras)
+}
+
+/// Like [`run_scenario`], additionally applying a [`ScriptedFaults`] script
+/// each round: the escape hatch for protocol-specific adversarial actions a
+/// declarative plan cannot express.
+pub fn run_scenario_with_extras<T: ScenarioTarget>(
+    scenario: &Scenario,
+    sim: &mut Simulation<T>,
+    extras: &mut ScriptedFaults<T>,
+) -> ScenarioRun {
+    // The adversary's random stream is derived from the simulation seed but
+    // independent of the scheduler's draws, so scenario actions cannot
+    // perturb (or be perturbed by) delivery randomness.
+    let mut adversary_rng = SimRng::seed_from(sim.config().seed() ^ 0xc4a0_5eed_c4a0_5eed);
+    let base_policy = scenario.link.to_policy();
+    let quiet_after = scenario
+        .last_fault_round()
+        .max(extras.last_round().unwrap_or(Round::ZERO));
+    let n = scenario.n;
+
+    let mut crashes = 0u64;
+    let mut joins = 0u64;
+    let mut corruptions = 0u64;
+    let mut rounds_to_convergence = None;
+    // Mirror of every currently active split (empty = fully connected), so
+    // that churned-in processors can be confined with respect to *each*
+    // cut instead of silently bridging one of them with open links.
+    let mut active_splits: Vec<Vec<Vec<ProcessId>>> = Vec::new();
+
+    for _ in 0..scenario.rounds {
+        let now = sim.now();
+        // 1. Connectivity changes (heals before splits, see PartitionPlan).
+        if scenario.partitions.heals_at(now) {
+            active_splits.clear();
+        }
+        for groups in scenario.partitions.splits_due(now) {
+            active_splits.push(groups.clone());
+        }
+        scenario.partitions.apply(sim, now);
+        // 2. Channel-behaviour spikes.
+        scenario.spikes.apply(sim, now, &base_policy);
+        // 3. Crash failures.
+        crashes += scenario.crashes.due(now).len() as u64;
+        scenario.crashes.apply(sim, now);
+        // 4. Churn: joiners enter through the protocol's joining path.
+        let joined = scenario.churn.apply(sim, now, |id| T::spawn_joiner(id, n));
+        joins += joined.len() as u64;
+        // While partitions are active, every churned-in processor (id ≥ n
+        // — the scenario author could not have named it in the declared
+        // groups) is confined to one side of *each* cut, round-robin by
+        // id, and the splits are re-applied so its links to the other
+        // sides are blocked. This covers joiners arriving during a split,
+        // joiners already present when a split fires, and stacked splits.
+        for groups in &mut active_splits {
+            let covered: BTreeSet<ProcessId> = groups.iter().flatten().copied().collect();
+            let stray: Vec<ProcessId> = sim
+                .active_ids()
+                .into_iter()
+                .filter(|id| id.as_u32() as usize >= n && !covered.contains(id))
+                .collect();
+            if !stray.is_empty() {
+                for id in stray {
+                    let side = id.as_u32() as usize % groups.len();
+                    groups[side].push(id);
+                }
+                sim.network_mut().split_into(groups);
+            }
+        }
+        // 5. Transient state corruption.
+        corruptions += scenario
+            .corruptions
+            .apply(sim, now, &mut adversary_rng, |p, rng| p.corrupt(rng));
+        // 6. Protocol-specific scripted extras.
+        extras.apply(sim, now);
+        // 7. Application workload.
+        if now.as_u64() < scenario.workload_rounds {
+            T::drive_workload(sim, now, &mut adversary_rng);
+        }
+
+        sim.step_round();
+
+        if rounds_to_convergence.is_none()
+            && sim.now() > quiet_after
+            && sim.now().as_u64() >= scenario.workload_rounds
+            && T::converged(sim)
+        {
+            rounds_to_convergence = Some(sim.now().as_u64());
+            break;
+        }
+    }
+
+    let converged = rounds_to_convergence.is_some() || T::converged(sim);
+    ScenarioRun {
+        rounds_run: sim.now().as_u64(),
+        converged,
+        rounds_to_convergence,
+        crashes,
+        joins,
+        corruptions,
+        invariant_violations: T::invariant_violations(sim),
+        state_digest: T::state_digest(sim),
+    }
+}
+
+/// The built-in scenario catalog, sized for an initial population of `n`
+/// processors. These are the named scenarios `simctl run` accepts and the
+/// CI chaos matrix sweeps.
+///
+/// | name | fault mix |
+/// |------|-----------|
+/// | `quiescent` | none — pure bootstrap convergence |
+/// | `crash-minority` | a minority of the population crashes at once |
+/// | `partition-heal` | the cluster splits in half, then heals |
+/// | `churn` | joins and a crash interleaved |
+/// | `packet-storm` | a loss/duplication/delay spike window |
+/// | `state-blast` | transient state corruption of a minority |
+/// | `partition-churn` | joins *during* a partition, heal, late crash |
+/// | `chaos-mix` | everything above in one schedule |
+pub fn catalog(n: usize) -> Vec<Scenario> {
+    let n_u32 = n as u32;
+    let minority: Vec<ProcessId> = {
+        let k = (n.saturating_sub(1)) / 2;
+        (0..k as u32)
+            .map(|i| ProcessId::new(n_u32 - 1 - i))
+            .collect()
+    };
+    let storm = SpikeSpec {
+        loss: 0.25,
+        duplication: 0.1,
+        extra_delay: 2,
+    };
+    vec![
+        Scenario::new("quiescent", n)
+            .describe("no faults: bootstrap from scratch and settle")
+            .with_rounds(1_500)
+            .with_workload_until(40),
+        Scenario::new("crash-minority", n)
+            .describe("a minority of the population crashes simultaneously")
+            .crash_at(Round::new(30), minority.clone())
+            .with_rounds(1_500)
+            .with_workload_until(60),
+        Scenario::new("partition-heal", n)
+            .describe("the cluster splits into halves and heals 40 rounds later")
+            .split_halves_at(Round::new(30))
+            .heal_at(Round::new(70))
+            .with_rounds(2_000)
+            .with_workload_until(110),
+        Scenario::new("churn", n)
+            .describe("two joiners, then a crash, then one more joiner")
+            .join_at(Round::new(30), 2)
+            .crash_at(Round::new(45), [ProcessId::new(n_u32 - 1)])
+            .join_at(Round::new(60), 1)
+            .with_rounds(2_000)
+            .with_workload_until(90),
+        Scenario::new("packet-storm", n)
+            .describe("a 30-round loss/duplication/delay spike on every link")
+            .spike_at(Round::new(30), 30, storm)
+            .with_rounds(2_000)
+            .with_workload_until(90),
+        Scenario::new("state-blast", n)
+            .describe("transient state corruption of a minority, twice")
+            .corrupt_at(Round::new(30), minority.clone())
+            .corrupt_at(Round::new(60), vec![ProcessId::new(0)])
+            .with_rounds(2_000)
+            .with_workload_until(90),
+        Scenario::new("partition-churn", n)
+            .describe("joins during a partition, heal, then a late crash")
+            .split_halves_at(Round::new(30))
+            .join_at(Round::new(40), 2)
+            .heal_at(Round::new(60))
+            .crash_at(Round::new(80), [ProcessId::new(n_u32 - 1)])
+            .with_rounds(2_500)
+            .with_workload_until(110),
+        Scenario::new("chaos-mix", n)
+            .describe("spike + partition + crash + joins + corruption, overlapping")
+            .spike_at(Round::new(20), 20, storm)
+            .split_halves_at(Round::new(30))
+            .join_at(Round::new(40), 1)
+            .heal_at(Round::new(55))
+            .crash_at(Round::new(70), [ProcessId::new(n_u32 - 1)])
+            .corrupt_at(Round::new(85), vec![ProcessId::new(0)])
+            .with_rounds(3_000)
+            .with_workload_until(120),
+    ]
+}
+
+/// Looks up a catalog scenario by name.
+pub fn find(name: &str, n: usize) -> Option<Scenario> {
+    catalog(n).into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MaxNode;
+
+    fn run(scenario: &Scenario, seed: u64, mode: SchedulerMode) -> ScenarioRun {
+        let mut sim = scenario.build_sim::<MaxNode>(seed, mode);
+        run_scenario(scenario, &mut sim)
+    }
+
+    #[test]
+    fn catalog_names_are_unique_and_findable() {
+        let scenarios = catalog(5);
+        for s in &scenarios {
+            assert!(find(s.name(), 5).is_some(), "{} not findable", s.name());
+            assert!(!s.description().is_empty());
+        }
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
+        assert!(find("no-such-scenario", 5).is_none());
+    }
+
+    #[test]
+    fn every_catalog_scenario_converges_for_the_toy_target() {
+        for scenario in catalog(6) {
+            let run = run(&scenario, 1, SchedulerMode::EventDriven);
+            assert!(
+                run.converged,
+                "scenario {} did not converge: {run:?}",
+                scenario.name()
+            );
+            assert!(run.invariant_violations.is_empty());
+            assert!(run.rounds_to_convergence.unwrap() > scenario.last_fault_round().as_u64());
+        }
+    }
+
+    #[test]
+    fn scenario_runs_are_byte_identical_across_scheduler_modes() {
+        for scenario in catalog(6) {
+            for seed in [3u64, 17] {
+                let event = run(&scenario, seed, SchedulerMode::EventDriven);
+                let scan = run(&scenario, seed, SchedulerMode::RoundScan);
+                assert_eq!(
+                    event,
+                    scan,
+                    "scenario {} seed {seed} diverged across modes",
+                    scenario.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_counters_match_the_schedule() {
+        let scenario = Scenario::new("counts", 5)
+            .crash_at(Round::new(2), [ProcessId::new(4)])
+            .join_at(Round::new(3), 2)
+            .corrupt_at(Round::new(4), [ProcessId::new(0), ProcessId::new(1)])
+            .with_rounds(40);
+        let run = run(&scenario, 9, SchedulerMode::EventDriven);
+        assert_eq!(run.crashes, 1);
+        assert_eq!(run.joins, 2);
+        assert_eq!(run.corruptions, 2);
+        assert!(run.converged);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let scenario = Scenario::new("det", 4)
+            .corrupt_at(Round::new(1), [ProcessId::new(0)])
+            .with_rounds(30);
+        let a = run(&scenario, 5, SchedulerMode::EventDriven);
+        let b = run(&scenario, 5, SchedulerMode::EventDriven);
+        assert_eq!(a, b);
+        let c = run(&scenario, 6, SchedulerMode::EventDriven);
+        // A different seed corrupts with different values (almost surely).
+        assert_ne!(a.state_digest, c.state_digest);
+    }
+
+    #[test]
+    fn extras_run_alongside_the_declarative_schedule() {
+        let scenario = Scenario::new("extras", 3).with_rounds(20);
+        let mut sim = scenario.build_sim::<MaxNode>(1, SchedulerMode::EventDriven);
+        let mut extras: ScriptedFaults<MaxNode> = ScriptedFaults::new();
+        extras.at(Round::new(2), |s: &mut Simulation<MaxNode>| {
+            s.process_mut(ProcessId::new(0)).unwrap().value = 999;
+        });
+        let run = run_scenario_with_extras(&scenario, &mut sim, &mut extras);
+        assert_eq!(extras.applied(), 1);
+        assert!(run.converged);
+        assert_eq!(sim.process(ProcessId::new(2)).unwrap().value, 999);
+    }
+
+    /// Processors joining during an active partition are confined to one
+    /// side of the cut — they must not bridge the halves with open links.
+    #[test]
+    fn joiners_during_a_partition_do_not_bridge_the_cut() {
+        let scenario = Scenario::new("bridge", 4)
+            .split_halves_at(Round::ZERO)
+            .join_at(Round::new(2), 2)
+            .with_rounds(15);
+        let mut sim = scenario.build_sim::<MaxNode>(1, SchedulerMode::EventDriven);
+        let run = run_scenario(&scenario, &mut sim);
+        assert_eq!(run.joins, 2);
+        assert!(!run.converged, "a bridged cut would let the halves agree");
+        // Joiners 4 and 5 land on sides 4 % 2 = 0 and 5 % 2 = 1.
+        let net = sim.network();
+        assert!(net.is_blocked(ProcessId::new(4), ProcessId::new(2)));
+        assert!(net.is_blocked(ProcessId::new(5), ProcessId::new(0)));
+        assert!(net.is_blocked(ProcessId::new(4), ProcessId::new(5)));
+        assert!(!net.is_blocked(ProcessId::new(4), ProcessId::new(0)));
+        assert!(!net.is_blocked(ProcessId::new(5), ProcessId::new(2)));
+        // The maximum of side B (value 3) never leaked into side A.
+        for a in [0u32, 1, 4] {
+            assert_eq!(sim.process(ProcessId::new(a)).unwrap().value, 1);
+        }
+        for b in [2u32, 3, 5] {
+            assert_eq!(sim.process(ProcessId::new(b)).unwrap().value, 3);
+        }
+    }
+
+    /// The reverse ordering: a processor that joined *before* a later
+    /// split is likewise confined when the split fires — a value born on
+    /// side B after the split must not reach side A through the joiner.
+    #[test]
+    fn pre_split_joiners_are_confined_when_the_split_fires() {
+        let scenario = Scenario::new("pre-bridge", 4)
+            .join_at(Round::new(2), 1)
+            .split_halves_at(Round::new(6))
+            .corrupt_at(Round::new(8), [ProcessId::new(3)])
+            .with_rounds(20);
+        let mut sim = scenario.build_sim::<MaxNode>(1, SchedulerMode::EventDriven);
+        let run = run_scenario(&scenario, &mut sim);
+        assert_eq!(run.joins, 1);
+        assert_eq!(run.corruptions, 1);
+        assert!(!run.converged, "a bridged cut would let the halves agree");
+        // Joiner 4 lands on side 4 % 2 = 0: cut off from side B.
+        let net = sim.network();
+        assert!(net.is_blocked(ProcessId::new(4), ProcessId::new(2)));
+        assert!(net.is_blocked(ProcessId::new(2), ProcessId::new(4)));
+        assert!(!net.is_blocked(ProcessId::new(4), ProcessId::new(1)));
+        // The corrupted maximum (≥ 100) born on side B after the split
+        // stays there; side A — including the pre-split joiner — keeps the
+        // pre-split maximum.
+        for a in [0u32, 1, 4] {
+            assert_eq!(sim.process(ProcessId::new(a)).unwrap().value, 3);
+        }
+        for b in [2u32, 3] {
+            assert!(sim.process(ProcessId::new(b)).unwrap().value >= 100);
+        }
+    }
+
+    /// Stacked splits without an intervening heal: a joiner is confined
+    /// with respect to every active cut, not just the most recent one.
+    #[test]
+    fn joiners_are_confined_by_every_stacked_split() {
+        let p = |i: u32| ProcessId::new(i);
+        let scenario = Scenario::new("stacked", 4)
+            .split_at(Round::new(2), vec![vec![p(0), p(1)], vec![p(2), p(3)]])
+            .split_at(Round::new(4), vec![vec![p(0), p(2)], vec![p(1), p(3)]])
+            .join_at(Round::new(6), 1)
+            .with_rounds(20);
+        let mut sim = scenario.build_sim::<MaxNode>(1, SchedulerMode::EventDriven);
+        let run = run_scenario(&scenario, &mut sim);
+        assert_eq!(run.joins, 1);
+        // Joiner 4 lands on side 4 % 2 = 0 of *both* splits: group {0,1} of
+        // the first cut and group {0,2} of the second — so the only peer it
+        // may reach is p0 (the intersection).
+        let net = sim.network();
+        assert!(!net.is_blocked(p(4), p(0)));
+        for other in [1u32, 2, 3] {
+            assert!(
+                net.is_blocked(p(4), p(other)),
+                "joiner bridges a stacked cut to p{other}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_delays_convergence_until_heal() {
+        let scenario = Scenario::new("split", 4)
+            .split_halves_at(Round::new(0))
+            .heal_at(Round::new(15))
+            .with_rounds(60);
+        let run = run(&scenario, 2, SchedulerMode::EventDriven);
+        assert!(run.converged);
+        assert!(run.rounds_to_convergence.unwrap() > 15);
+    }
+}

@@ -1,0 +1,81 @@
+//! Test-only support: a toy [`ScenarioTarget`] shared by the scenario and
+//! campaign test modules.
+
+use crate::process::{Context, Process, ProcessId};
+use crate::report::digest_lines;
+use crate::rng::SimRng;
+use crate::scenario::ScenarioTarget;
+use crate::scheduler::Simulation;
+use crate::time::Round;
+
+/// A self-stabilizing toy target: every process floods its value and adopts
+/// the maximum; "converged" means everyone agrees; corruption randomizes the
+/// value; the workload trickles fresh values in through process 0. Recovery
+/// is guaranteed because the maximum always wins.
+#[derive(Debug)]
+pub(crate) struct MaxNode {
+    pub(crate) id: ProcessId,
+    pub(crate) value: u64,
+}
+
+impl Process for MaxNode {
+    type Msg = u64;
+    fn on_timer(&mut self, ctx: &mut Context<'_, u64>) {
+        for peer in ctx.peers() {
+            ctx.send(peer, self.value);
+        }
+    }
+    fn on_message(&mut self, _from: ProcessId, msg: u64, _ctx: &mut Context<'_, u64>) {
+        self.value = self.value.max(msg);
+    }
+}
+
+impl ScenarioTarget for MaxNode {
+    const NAME: &'static str = "max";
+
+    fn spawn_initial(id: ProcessId, _n: usize) -> Self {
+        MaxNode {
+            id,
+            value: id.as_u32() as u64,
+        }
+    }
+
+    fn spawn_joiner(id: ProcessId, _n: usize) -> Self {
+        MaxNode { id, value: 0 }
+    }
+
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        self.value = rng.range_inclusive(100, 200);
+    }
+
+    /// A deterministic trickle of new values through process 0.
+    fn drive_workload(sim: &mut Simulation<Self>, round: Round, _rng: &mut SimRng) {
+        if round.as_u64() % 4 == 0 {
+            if let Some(p) = sim.process_mut(ProcessId::new(0)) {
+                p.value = p.value.max(round.as_u64());
+            }
+        }
+    }
+
+    fn converged(sim: &Simulation<Self>) -> bool {
+        let mut values = sim.active_processes().map(|(_, p)| p.value);
+        match values.next() {
+            None => true,
+            Some(first) => values.all(|v| v == first),
+        }
+    }
+
+    fn invariant_violations(sim: &Simulation<Self>) -> Vec<String> {
+        sim.active_processes()
+            .filter(|(id, p)| p.id != *id)
+            .map(|(id, p)| format!("{id} claims to be {}", p.id))
+            .collect()
+    }
+
+    fn state_digest(sim: &Simulation<Self>) -> u64 {
+        digest_lines(
+            sim.processes()
+                .map(|(id, p)| format!("{id} value={}", p.value)),
+        )
+    }
+}

@@ -312,13 +312,41 @@ impl SmrNode {
         !config.is_empty() && self.trusted_members(config).len() > config.len() / 2
     }
 
+    /// A view identifier is *legit* for `config` when both its writer (the
+    /// coordinator) and the creator of its epoch label are configuration
+    /// members. A label created by a non-member is discarded by the counter
+    /// service, so identifiers carrying it can never be compared against the
+    /// identifiers the restarted counter hands out — comparing against such
+    /// a view wedges view changes forever (labels of different creators are
+    /// ordered by creator, so the stale identifier may dominate every fresh
+    /// one; the chaos campaigns caught this after a configuration shrank).
+    fn view_id_legit(config: &ConfigSet, view: &View) -> bool {
+        config.contains(&view.coordinator()) && config.contains(&view.id.label.creator)
+    }
+
+    /// Whether our own installed view is void: its identifier is no longer
+    /// legit under the installed configuration.
+    fn own_view_void(&self) -> bool {
+        match (&self.view, self.current_config()) {
+            (Some(v), Some(cfg)) => !Self::view_id_legit(&cfg, v),
+            _ => false,
+        }
+    }
+
     /// The greatest valid view or proposal currently visible (own or
     /// received), used both for adoption and for coordinator validity.
+    ///
+    /// Two filters keep stale information from wedging the replica: a view
+    /// this processor does not belong to is never a candidate (it could be
+    /// adopted but never installed here), and a peer's *proposal* counts
+    /// only when that peer is its coordinator — follower echoes must not
+    /// resurrect a proposal its coordinator already abandoned.
     fn best_visible_view(&self, config: &ConfigSet) -> Option<View> {
+        let me = self.me;
         let mut best: Option<View> = None;
         let mut consider = |candidate: Option<&View>| {
             if let Some(v) = candidate {
-                if !config.contains(&v.coordinator()) {
+                if !Self::view_id_legit(config, v) || !v.members.contains(&me) {
                     return;
                 }
                 best = Some(match best.take() {
@@ -335,9 +363,13 @@ impl SmrNode {
         };
         consider(self.view.as_ref());
         consider(self.prop_view.as_ref());
-        for msg in self.peers.values() {
+        for (pid, msg) in &self.peers {
             consider(msg.view.as_ref());
-            consider(msg.prop_view.as_ref());
+            if let Some(pv) = &msg.prop_view {
+                if pv.coordinator() == *pid {
+                    consider(Some(pv));
+                }
+            }
         }
         best
     }
@@ -349,16 +381,6 @@ impl SmrNode {
         let mut out = Outbox::new();
         Layer::poll(self, peers, &mut out);
         out.into_messages()
-    }
-
-    fn counter_config_differs(&self, cfg: &ConfigSet) -> bool {
-        // The counter node tracks membership internally; a cheap proxy is to
-        // compare its member-ness with ours plus keep a flag when the
-        // configuration object changes. We simply rebuild whenever the
-        // reconfiguration layer reports a calm, installed configuration that
-        // differs from the counter's view of membership.
-        let _ = cfg;
-        false
     }
 
     fn snapshot(&self) -> StateMsg {
@@ -382,12 +404,67 @@ impl SmrNode {
             None => true,
             Some(v) => {
                 let crd = v.coordinator();
-                !self.reconfig.trusted().contains(&crd) || !cfg.contains(&crd)
+                !self.reconfig.trusted().contains(&crd) || !Self::view_id_legit(&cfg, v)
             }
         }
     }
 
     fn replication_step(&mut self, cfg: &ConfigSet, out: &mut Outbox<SmrMsg>) {
+        // Drop a proposal whose identifier is no longer legit under the
+        // installed configuration (e.g. adopted from the losing side of a
+        // partition before a configuration replacement): it can neither be
+        // installed nor compared against fresh identifiers, and while it
+        // occupies the slot no election can start.
+        if self
+            .prop_view
+            .as_ref()
+            .map(|pv| !Self::view_id_legit(cfg, pv))
+            .unwrap_or(false)
+        {
+            self.prop_view = None;
+            if self.status == Status::Propose {
+                self.status = Status::Multicast;
+            }
+        }
+
+        // Drop a foreign proposal its coordinator no longer stands behind:
+        // the proposer's own gossip shows neither this proposal nor an
+        // installed view equal to it, or the proposer is no longer trusted.
+        // Only the coordinator can install its proposal, so a follower that
+        // keeps echoing an abandoned one waits forever — and a stuck
+        // `prop_view` also blocks the election path.
+        if let Some(pv) = self.prop_view.clone() {
+            let crd = pv.coordinator();
+            if crd != self.me {
+                let abandoned = match self.peers.get(&crd) {
+                    Some(snap) => {
+                        snap.prop_view.as_ref() != Some(&pv) && snap.view.as_ref() != Some(&pv)
+                    }
+                    None => false,
+                };
+                if abandoned || !self.reconfig.trusted().contains(&crd) {
+                    self.prop_view = None;
+                    if self.status == Status::Propose {
+                        self.status = Status::Multicast;
+                    }
+                }
+            }
+        }
+
+        // Keep the counter service aware of the identifiers this replica
+        // itself still holds (they may predate a labeler rebuild). Borrow
+        // the view fields and the counter disjointly — no cloning on this
+        // per-replica-per-round path.
+        let SmrNode {
+            view,
+            prop_view,
+            counter,
+            ..
+        } = self;
+        for v in view.iter().chain(prop_view.iter()) {
+            counter.observe(&v.id);
+        }
+
         // Collect any view identifier the counter service granted us.
         for outcome in self.counter.take_completed() {
             if let IncrementOutcome::Committed(counter) = outcome {
@@ -470,6 +547,16 @@ impl SmrNode {
                 let Some(prop) = self.prop_view.clone() else {
                     return;
                 };
+                // A proposed member that is no longer trusted (crashed or
+                // partitioned away) can never echo: abandon the proposal and
+                // let the election path form a fresh one from the current
+                // trusted set.
+                let trusted = self.reconfig.trusted();
+                if prop.members.iter().any(|m| !trusted.contains(m)) {
+                    self.prop_view = None;
+                    self.status = Status::Multicast;
+                    return;
+                }
                 // Wait until every proposed member echoes the proposal.
                 let all_echoed = prop.members.iter().all(|m| {
                     *m == self.me
@@ -598,6 +685,12 @@ impl SmrNode {
     }
 
     fn on_state(&mut self, from: ProcessId, s: StateMsg) {
+        // View identifiers are counters: the counter service must observe
+        // every identifier still in circulation so its maximum (and hence
+        // the next granted identifier) dominates them all.
+        for view in s.view.iter().chain(s.prop_view.iter()) {
+            self.counter.observe(&view.id);
+        }
         // Follow the coordinator: adopt its view, state and suspend flag.
         let from_is_coordinator = s
             .view
@@ -608,15 +701,25 @@ impl SmrNode {
                 .as_ref()
                 .map(|v| v.coordinator() == from)
                 .unwrap_or(false);
+        // Never adopt a view or proposal that is illegitimate under our own
+        // installed configuration: an ex-coordinator that fell out of the
+        // configuration keeps gossiping its stale view, and adopting it
+        // would wipe the election progress of the remaining members every
+        // round.
+        let legit_here = |v: &View| match self.current_config() {
+            Some(cfg) => Self::view_id_legit(&cfg, v),
+            None => true,
+        };
         if from_is_coordinator {
             match s.status {
                 Status::Propose => {
                     if let Some(p) = &s.prop_view {
-                        if p.members.contains(&self.me) {
-                            let newer = match &self.view {
-                                Some(v) => v.older_than(p),
-                                None => true,
-                            };
+                        if p.members.contains(&self.me) && legit_here(p) {
+                            let newer = self.own_view_void()
+                                || match &self.view {
+                                    Some(v) => v.older_than(p),
+                                    None => true,
+                                };
                             if newer {
                                 self.prop_view = Some(p.clone());
                                 self.status = Status::Propose;
@@ -626,11 +729,12 @@ impl SmrNode {
                 }
                 Status::Install | Status::Multicast => {
                     if let Some(v) = &s.view {
-                        if v.members.contains(&self.me) {
-                            let newer = match &self.view {
-                                Some(cur) => cur.older_than(v) || cur == v,
-                                None => true,
-                            };
+                        if v.members.contains(&self.me) && legit_here(v) {
+                            let newer = self.own_view_void()
+                                || match &self.view {
+                                    Some(cur) => cur.older_than(v) || cur == v,
+                                    None => true,
+                                };
                             if newer {
                                 let view_changed = self.view.as_ref() != Some(v);
                                 if view_changed {
@@ -679,11 +783,15 @@ impl Layer for SmrNode {
 
         // 2. Counter service: keep it aligned with the current configuration
         //    and the reconfiguration status.
+        // A configuration replacement that keeps this node a member must
+        // still reach the counter service: view identifiers are drawn from
+        // majorities of the *installed* configuration, and a counter stuck
+        // on the old member set waits for a majority that can never answer
+        // again (the chaos campaigns caught exactly this as an endless
+        // elect-and-abort loop after a partition shrank the configuration).
         let config = self.current_config();
         if let Some(cfg) = &config {
-            if self.counter.is_member() != cfg.contains(&self.me)
-                || self.counter_config_differs(cfg)
-            {
+            if self.counter.config() != cfg {
                 self.counter.on_config_change(cfg.clone());
             }
         }
@@ -728,6 +836,156 @@ impl Layer for SmrNode {
 }
 
 simnet::impl_process_for_layer!(SmrNode);
+
+/// The registers the chaos workload writes to (round-robin).
+const CHAOS_KEYS: [u32; 3] = [1, 2, 3];
+
+impl simnet::ScenarioTarget for SmrNode {
+    const NAME: &'static str = "smr";
+
+    fn spawn_initial(id: ProcessId, n: usize) -> Self {
+        SmrNode::new_member(
+            id,
+            reconfig::config_set(0..n as u32),
+            NodeConfig::for_n(2 * n.max(4)),
+        )
+    }
+
+    fn spawn_joiner(id: ProcessId, n: usize) -> Self {
+        SmrNode::new_joiner(id, NodeConfig::for_n(2 * n.max(4)))
+    }
+
+    /// Transient faults hit the replication layer: the peer-snapshot cache,
+    /// the multicast round number, register contents and (half the time) the
+    /// installed view itself. The `applied` witness is left alone so the
+    /// reliable-multicast adoption (Algorithm 4.7, lines 18–22) re-syncs the
+    /// corrupted replica from the coordinator's next broadcast; losing the
+    /// view triggers the election / view-proposal path instead.
+    fn corrupt(&mut self, rng: &mut simnet::SimRng) {
+        self.peers.clear();
+        self.rnd = rng.range_inclusive(0, 1 << 20);
+        for key in CHAOS_KEYS {
+            if rng.chance(0.5) {
+                self.state
+                    .registers
+                    .insert(key, rng.range_inclusive(10_000, 20_000));
+            }
+        }
+        if rng.chance(0.5) {
+            self.view = None;
+            self.prop_view = None;
+            self.status = Status::Multicast;
+            self.awaiting_view_id = false;
+        }
+    }
+
+    /// Submit a write every few rounds at an arbitrary replica that is part
+    /// of the currently installed view (only view members' inputs are read
+    /// by the multicast rounds).
+    fn drive_workload(
+        sim: &mut simnet::Simulation<Self>,
+        round: simnet::Round,
+        rng: &mut simnet::SimRng,
+    ) {
+        if round.as_u64() % 5 != 3 {
+            return;
+        }
+        let writers: Vec<ProcessId> = sim
+            .active_processes()
+            .filter(|(id, p)| p.view().map(|v| v.members.contains(id)).unwrap_or(false))
+            .map(|(id, _)| id)
+            .collect();
+        if let Some(i) = rng.index(writers.len()) {
+            let key = CHAOS_KEYS[(round.as_u64() / 5) as usize % CHAOS_KEYS.len()];
+            if let Some(node) = sim.process_mut(writers[i]) {
+                node.submit_write(key, round.as_u64());
+            }
+        }
+    }
+
+    /// Converged: the reconfiguration layer is calm and agreed, every active
+    /// member of the installed configuration sits in the same view with the
+    /// same replica state, and no view member still holds undelivered
+    /// inputs.
+    fn converged(sim: &simnet::Simulation<Self>) -> bool {
+        let mut config = None;
+        for (_, node) in sim.active_processes() {
+            let r = node.reconfig();
+            if !r.is_participant() || !r.no_reconfiguration() {
+                return false;
+            }
+            match (r.installed_config(), &config) {
+                (None, _) => return false,
+                (Some(c), None) => config = Some(c),
+                (Some(c), Some(expected)) => {
+                    if c != *expected {
+                        return false;
+                    }
+                }
+            }
+        }
+        let Some(config) = config else {
+            return true;
+        };
+        let mut reference: Option<(&View, &ReplicaState)> = None;
+        for (id, node) in sim.active_processes() {
+            if !config.contains(&id) {
+                continue;
+            }
+            let Some(view) = node.view() else {
+                return false;
+            };
+            if node.current_input.is_some() || !node.pending.is_empty() {
+                return false;
+            }
+            match &reference {
+                None => reference = Some((view, node.state())),
+                Some((v, s)) => {
+                    if view != *v || node.state() != *s {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Safety: view identifiers are drawn from the counter service, so two
+    /// replicas holding a view with the *same* identifier must agree on its
+    /// member set — the virtual-synchrony property the identifier exists to
+    /// provide.
+    fn invariant_violations(sim: &simnet::Simulation<Self>) -> Vec<String> {
+        let mut by_id: BTreeMap<String, (ProcessId, BTreeSet<ProcessId>)> = BTreeMap::new();
+        let mut violations = Vec::new();
+        for (id, node) in sim.active_processes() {
+            for view in node.view().into_iter().chain(node.prop_view.as_ref()) {
+                let key = format!("{:?}", view.id);
+                match by_id.get(&key) {
+                    None => {
+                        by_id.insert(key, (id, view.members.clone()));
+                    }
+                    Some((holder, members)) => {
+                        if *members != view.members {
+                            violations.push(format!(
+                                "view id reused with different members by {holder} and {id}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    fn state_digest(sim: &simnet::Simulation<Self>) -> u64 {
+        simnet::report::digest_lines(sim.processes().map(|(id, p)| {
+            format!(
+                "{id} view={:?} status={:?} rnd={} state={:?} applied={} input={:?}",
+                p.view, p.status, p.rnd, p.state.registers, p.state.applied, p.current_input
+            )
+        }))
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,156 @@
+//! Chaos-campaign engine over the real protocol stacks.
+//!
+//! The PR-1 determinism guarantee — event-driven and round-scan scheduling
+//! produce byte-identical executions per seed — must extend to the whole
+//! fault layer: crashes, churn, partitions, message spikes and transient
+//! state corruption driven by a declarative `Scenario`. These tests run the
+//! *composite nodes* (not toy processes) under active scenarios and compare
+//! executions across scheduler modes event for event, plus the campaign
+//! reports byte for byte.
+
+use selfstab_reconfig::counting::CounterNode;
+use selfstab_reconfig::reconfiguration::ReconfigNode;
+use selfstab_reconfig::replication::SmrNode;
+use selfstab_reconfig::shared_memory::SharedMemNode;
+use selfstab_reconfig::sim::scenario::{catalog, find, run_scenario, ScenarioTarget};
+use selfstab_reconfig::sim::{Campaign, Scenario, SchedulerMode, Simulation};
+
+/// Runs `scenario` under `mode`, returning the full trace rendering, the
+/// scenario outcome and the delivered-message count.
+fn traced_run<T: ScenarioTarget>(
+    scenario: &Scenario,
+    seed: u64,
+    mode: SchedulerMode,
+) -> (String, String, u64) {
+    let mut sim: Simulation<T> = scenario.build_sim(seed, mode);
+    sim.trace_mut().set_enabled(true);
+    let run = run_scenario(scenario, &mut sim);
+    let trace: String = sim.trace().iter().map(|e| format!("{e:?}\n")).collect();
+    (
+        trace,
+        format!("{run:?}"),
+        sim.metrics().messages_delivered(),
+    )
+}
+
+/// The satellite requirement: partition-heal interleaved with churn, with
+/// byte-identical executions across `SchedulerMode::EventDriven` and
+/// `SchedulerMode::RoundScan` while the scenario is actively crashing,
+/// splitting, healing and joining.
+#[test]
+fn partition_churn_executions_are_identical_across_scheduler_modes() {
+    let scenario = find("partition-churn", 5).expect("catalog scenario");
+    for seed in [1u64, 2, 42] {
+        let event = traced_run::<ReconfigNode>(&scenario, seed, SchedulerMode::EventDriven);
+        let scan = traced_run::<ReconfigNode>(&scenario, seed, SchedulerMode::RoundScan);
+        assert_eq!(event.0, scan.0, "trace diverged for seed {seed}");
+        assert_eq!(event.1, scan.1, "outcome diverged for seed {seed}");
+        assert_eq!(event.2, scan.2, "deliveries diverged for seed {seed}");
+    }
+}
+
+/// The same equivalence over the deepest stack (SMR embeds the counter and
+/// reconfiguration layers), under the all-fault scenario.
+#[test]
+fn chaos_mix_smr_executions_are_identical_across_scheduler_modes() {
+    let scenario = find("chaos-mix", 4).expect("catalog scenario");
+    let event = traced_run::<SmrNode>(&scenario, 7, SchedulerMode::EventDriven);
+    let scan = traced_run::<SmrNode>(&scenario, 7, SchedulerMode::RoundScan);
+    assert_eq!(event, scan);
+}
+
+/// Every catalog scenario converges for every composite node at a small
+/// size: the 4 × catalog matrix the CI chaos job sweeps a subset of.
+#[test]
+fn full_catalog_converges_for_every_composite_node() {
+    fn sweep<T: ScenarioTarget>() {
+        for scenario in catalog(4) {
+            let mut sim: Simulation<T> = scenario.build_sim(1, SchedulerMode::EventDriven);
+            let run = run_scenario(&scenario, &mut sim);
+            assert!(
+                run.converged,
+                "{}/{} did not converge: {run:?}",
+                T::NAME,
+                scenario.name()
+            );
+            assert!(
+                run.invariant_violations.is_empty(),
+                "{}/{} violated invariants: {:?}",
+                T::NAME,
+                scenario.name(),
+                run.invariant_violations
+            );
+        }
+    }
+    sweep::<ReconfigNode>();
+    sweep::<CounterNode>();
+    sweep::<SmrNode>();
+    sweep::<SharedMemNode>();
+}
+
+/// The acceptance criterion on reports: the same scenario + seed produces
+/// byte-identical JSON in both scheduler modes and across repeated runs —
+/// campaign reports carry no mode- or wall-clock-dependent fields.
+#[test]
+fn campaign_reports_are_byte_identical_across_modes_and_reruns() {
+    let scenarios = vec![
+        find("partition-churn", 4).unwrap(),
+        find("state-blast", 4).unwrap(),
+    ];
+    let render = |modes: Vec<SchedulerMode>| {
+        Campaign::new("report-determinism")
+            .with_seeds([1, 2])
+            .with_modes(modes)
+            .run::<SharedMemNode>(&scenarios)
+            .render()
+    };
+    let event = render(vec![SchedulerMode::EventDriven]);
+    let scan = render(vec![SchedulerMode::RoundScan]);
+    let both = render(vec![SchedulerMode::EventDriven, SchedulerMode::RoundScan]);
+    let again = render(vec![SchedulerMode::EventDriven, SchedulerMode::RoundScan]);
+    assert_eq!(event, scan, "reports diverged across scheduler modes");
+    assert_eq!(both, again, "repeated campaign runs diverged");
+    assert_eq!(
+        both, event,
+        "both-mode report differs from single-mode report"
+    );
+}
+
+/// Faults actually land: the scenario runner reports the scheduled crash,
+/// join and corruption counts, and the trace shows the churned processes.
+#[test]
+fn scenario_faults_are_applied_to_the_real_stack() {
+    let scenario = find("chaos-mix", 5).unwrap();
+    let mut sim: Simulation<ReconfigNode> = scenario.build_sim(3, SchedulerMode::EventDriven);
+    let run = run_scenario(&scenario, &mut sim);
+    assert!(run.converged, "{run:?}");
+    assert_eq!(run.crashes, 1);
+    assert_eq!(run.joins, 1);
+    assert_eq!(run.corruptions, 1);
+    // The joiner exists and was admitted as a participant.
+    assert_eq!(sim.ids().len(), 6);
+    let joiner = sim
+        .active_processes()
+        .find(|(id, _)| id.as_u32() == 5)
+        .map(|(_, p)| p.is_participant());
+    assert_eq!(joiner, Some(true));
+}
+
+/// The counter service under chaos commits increments monotonically: after
+/// a full campaign cell, all members agree on a counter at least as large as
+/// any committed increment (spot-check of Theorem 4.6 under faults).
+#[test]
+fn counter_campaign_commits_survive_chaos() {
+    let scenario = find("packet-storm", 4).unwrap();
+    let mut sim: Simulation<CounterNode> = scenario.build_sim(5, SchedulerMode::EventDriven);
+    let run = run_scenario(&scenario, &mut sim);
+    assert!(run.converged, "{run:?}");
+    let max = sim
+        .active_processes()
+        .find(|(_, p)| p.is_member())
+        .and_then(|(_, p)| p.max_counter().cloned())
+        .expect("members hold a counter after the workload");
+    for (_, p) in sim.active_processes().filter(|(_, p)| p.is_member()) {
+        assert_eq!(p.max_counter(), Some(&max));
+    }
+}

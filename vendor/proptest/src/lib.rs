@@ -48,16 +48,44 @@ macro_rules! __proptest_cases {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::test_runner::ProptestConfig = $config;
-                for __case in 0..__config.cases {
-                    let mut __rng = $crate::test_runner::TestRng::for_case(
-                        concat!(module_path!(), "::", stringify!($name)),
-                        __case,
-                    );
-                    $(
-                        let $arg =
-                            $crate::strategy::Strategy::generate(&$strategy, &mut __rng);
-                    )+
-                    $body
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                let __manifest_dir = env!("CARGO_MANIFEST_DIR");
+                // Replay persisted regression cases first, then the fresh
+                // ones (skipping indices already covered by the replay).
+                let __persisted =
+                    $crate::test_runner::load_regressions(__manifest_dir, __path);
+                let __cases = __persisted
+                    .iter()
+                    .copied()
+                    .chain((0..__config.cases).filter(|c| !__persisted.contains(c)))
+                    .collect::<Vec<u32>>();
+                for __case in __cases {
+                    let __outcome = ::std::panic::catch_unwind(|| {
+                        let mut __rng =
+                            $crate::test_runner::TestRng::for_case(__path, __case);
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::generate(&$strategy, &mut __rng);
+                        )+
+                        $body
+                    });
+                    if let Err(__panic) = __outcome {
+                        // Persist the failing case index so the next run (and
+                        // CI artifacts) replay it before anything else.
+                        $crate::test_runner::persist_regression(
+                            __manifest_dir,
+                            __path,
+                            __case,
+                        );
+                        eprintln!(
+                            "proptest: case {} of {} failed; persisted under {}",
+                            __case,
+                            __path,
+                            $crate::test_runner::regression_file(__manifest_dir, __path)
+                                .display(),
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
                 }
             }
         )*

@@ -38,6 +38,64 @@ impl ProptestConfig {
     }
 }
 
+/// The directory (relative to a crate's manifest dir) regression case
+/// indices are persisted under, mirroring the real proptest's
+/// `proptest-regressions/` convention.
+pub const REGRESSION_DIR: &str = "proptest-regressions";
+
+/// The file persisted failing cases of `test_path` live in, under the crate
+/// rooted at `manifest_dir`.
+pub fn regression_file(manifest_dir: &str, test_path: &str) -> std::path::PathBuf {
+    std::path::Path::new(manifest_dir)
+        .join(REGRESSION_DIR)
+        .join(format!("{}.txt", test_path.replace("::", "-")))
+}
+
+/// Loads the persisted failing case indices for `test_path`: lines of the
+/// form `cc <case>` (comments start with `#`). Missing or unreadable files
+/// yield an empty list.
+pub fn load_regressions(manifest_dir: &str, test_path: &str) -> Vec<u32> {
+    let Ok(text) = std::fs::read_to_string(regression_file(manifest_dir, test_path)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| line.trim().strip_prefix("cc "))
+        .filter_map(|case| case.trim().parse().ok())
+        .collect()
+}
+
+/// Persists a failing case index so later runs replay it first (and CI can
+/// upload the file as an artifact). Inputs are generated deterministically
+/// from `(test path, case index)`, so the index alone reproduces the case.
+/// Errors are reported to stderr but never mask the test failure itself.
+pub fn persist_regression(manifest_dir: &str, test_path: &str, case: u32) {
+    let path = regression_file(manifest_dir, test_path);
+    if load_regressions(manifest_dir, test_path).contains(&case) {
+        return;
+    }
+    let write = || -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut text = match std::fs::read_to_string(&path) {
+            Ok(existing) => existing,
+            Err(_) => format!(
+                "# Seeds for failure cases of {test_path}. Inputs regenerate\n\
+                 # deterministically from (test path, case index); replayed before\n\
+                 # fresh cases on every run. Commit this file to pin regressions.\n"
+            ),
+        };
+        text.push_str(&format!("cc {case}\n"));
+        std::fs::write(&path, text)
+    };
+    if let Err(e) = write() {
+        eprintln!(
+            "proptest: could not persist regression {}: {e}",
+            path.display()
+        );
+    }
+}
+
 /// The deterministic random stream inputs are generated from.
 #[derive(Debug, Clone)]
 pub struct TestRng {
@@ -62,5 +120,27 @@ impl TestRng {
     /// The underlying generator.
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regressions_round_trip_through_the_file() {
+        let dir =
+            std::env::temp_dir().join(format!("proptest-regressions-test-{}", std::process::id()));
+        let dir = dir.to_str().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        assert!(load_regressions(dir, "mod::case").is_empty());
+        persist_regression(dir, "mod::case", 17);
+        persist_regression(dir, "mod::case", 3);
+        persist_regression(dir, "mod::case", 17); // deduplicated
+        assert_eq!(load_regressions(dir, "mod::case"), vec![17, 3]);
+        let file = regression_file(dir, "mod::case");
+        let text = std::fs::read_to_string(&file).unwrap();
+        assert!(text.starts_with('#'), "header comment expected: {text}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 }
