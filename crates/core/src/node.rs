@@ -392,6 +392,21 @@ impl simnet::ScenarioTarget for ReconfigNode {
         }
     }
 
+    /// In-flight payload corruption: half the affected packets are degraded
+    /// to a bare [`ReconfigMsg::Heartbeat`] — the wire analogue of a
+    /// checksum failure destroying a packet's content while its arrival
+    /// still witnesses the sender's liveness. The other half keep the
+    /// (already sender-misattributed) payload the corruption plan shuffled
+    /// in. recSA's conflict resolution treats both as stale information.
+    fn corrupt_payload(msg: &mut ReconfigMsg, rng: &mut simnet::SimRng) -> bool {
+        if rng.chance(0.5) {
+            *msg = ReconfigMsg::Heartbeat;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Converged: every active processor is a participant, reports the same
     /// installed configuration and sees no reconfiguration in progress.
     fn converged(sim: &simnet::Simulation<Self>) -> bool {

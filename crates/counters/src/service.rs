@@ -602,6 +602,27 @@ impl simnet::ScenarioTarget for CounterNode {
         self.pending_age = 0;
     }
 
+    /// In-flight payload corruption: gossiped counters jump forward a few
+    /// increments under their existing (legit) label — the corrupted value
+    /// simply becomes the maximum the `max`-merge gossip converges on, just
+    /// like local-state corruption. Label and quorum traffic keeps the
+    /// sender-misattributed payload the corruption plan shuffled in; the
+    /// labeling algorithm is built to cancel adversarial labels and the
+    /// two-phase protocol discards replies for unknown operations.
+    fn corrupt_payload(msg: &mut CounterMsg, rng: &mut simnet::SimRng) -> bool {
+        if let CounterMsg::Sync(c) = msg {
+            if rng.chance(0.5) {
+                let mut jumped = c.clone();
+                for _ in 0..rng.range_inclusive(1, 3) {
+                    jumped = jumped.incremented(jumped.wid);
+                }
+                *msg = CounterMsg::Sync(jumped);
+                return true;
+            }
+        }
+        false
+    }
+
     /// A trickle of increment requests from arbitrary active processors
     /// (members *and* clients — Algorithms 4.4 and 4.5).
     fn drive_workload(

@@ -1,7 +1,7 @@
 //! Bounded epoch labels and their partial order.
 //!
 //! The labeling scheme (adapted from Dolev, Georgiou, Marcoullis, Schiller,
-//! *Self-stabilizing virtual synchrony*, SSS 2015 — reference [11] of the
+//! *Self-stabilizing virtual synchrony*, SSS 2015 — reference \[11\] of the
 //! paper) provides **bounded-size** epoch labels with three properties:
 //!
 //! 1. labels are marked by their creator's identifier and compared first by

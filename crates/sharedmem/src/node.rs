@@ -532,6 +532,20 @@ impl simnet::ScenarioTarget for SharedMemNode {
         self.synced_config = None;
     }
 
+    /// In-flight payload corruption: half the affected packets collapse to
+    /// a bare heartbeat (content destroyed, liveness witness kept); the
+    /// rest keep the sender-misattributed payload the corruption plan
+    /// shuffled in. Misattributed register replies carry unexpected
+    /// operation identifiers and are discarded by the two-phase protocol.
+    fn corrupt_payload(msg: &mut SharedMemMsg, rng: &mut simnet::SimRng) -> bool {
+        if rng.chance(0.5) {
+            *msg = SharedMemMsg::Reconfig(ReconfigMsg::Heartbeat);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Alternating writes and reads over a small register set, submitted at
     /// arbitrary active processors (members and clients both drive the
     /// two-phase quorum protocol).

@@ -10,8 +10,16 @@
 //!            [--n N] [--seeds 1,2] [--modes event|roundscan|both]
 //!            [--out FILE] [--timings] [--name NAME]
 //! simctl smoke [--n N] [--out FILE]        # the CI preset (3 scenarios × 4 nodes)
+//! simctl diff <baseline.json> <current.json>   # PR-to-PR report comparison
 //! simctl bench-guard --baseline F --current F [--max-regression 0.30]
 //! ```
+//!
+//! `simctl diff` compares two campaign reports cell by cell — cells are
+//! keyed by (node, scenario, seed, n) — and prints every divergence, most
+//! prominently rounds-to-convergence and message-cost regressions. It exits
+//! 0 only when the reports are equivalent (campaign names and opt-in wall
+//! times are ignored), so CI can assert both directions: identical inputs
+//! diff clean, genuinely different executions do not.
 //!
 //! Determinism contract: without `--timings`, `simctl run <scenario> --seeds S`
 //! produces byte-identical reports across repeated runs and across
@@ -66,6 +74,7 @@ fn usage() -> &'static str {
      simctl run <scenario|all> --node <reconfig|counter|smr|sharedmem|all> \
      [--n N] [--seeds 1,2] [--modes event|roundscan|both] [--out FILE] [--timings] [--name NAME]\n  \
      simctl smoke [--n N] [--out FILE]\n  \
+     simctl diff <baseline.json> <current.json>\n  \
      simctl bench-guard --baseline FILE --current FILE [--max-regression 0.30]"
 }
 
@@ -74,6 +83,7 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
         Some("list") => cmd_list(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("smoke") => cmd_smoke(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("bench-guard") => cmd_bench_guard(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("missing command".to_string()),
@@ -168,15 +178,21 @@ fn cmd_list(args: &[String]) -> Result<bool, String> {
     println!("scenario catalog (n = {n}):");
     for s in catalog(n) {
         println!(
-            "  {:<16} rounds≤{:<5} workload<{:<4} faults: {} crash, {} join, {} split, {} corrupt, {} spike — {}",
+            "  {:<16} rounds≤{:<5} workload<{:<4} faults: {} crash, {} join, {} split, \
+             {} cut, {} corrupt, {} spike, {} gray, {} skew, {} wire, {} recover — {}",
             s.name(),
             s.rounds(),
             s.workload_rounds(),
             s.crash_plan().total(),
             s.churn_plan().total(),
             s.partition_plan().total_splits(),
+            s.asymmetric_cut_plan().total_cuts(),
             s.corruption_plan().total(),
             s.spike_plan().total(),
+            s.gray_plan().total(),
+            s.skew_plan().total(),
+            s.payload_plan().total(),
+            s.recovery_plan().total(),
             s.description(),
         );
     }
@@ -292,6 +308,130 @@ fn cmd_smoke(args: &[String]) -> Result<bool, String> {
     let report = run_matrix(&campaign, &NODES, &scenarios)?;
     emit(&report, flags.value("out"))?;
     Ok(report.passed())
+}
+
+/// Compares two campaign reports cell by cell. Cells are keyed by
+/// (node, scenario, seed, n); the campaign name and the opt-in `wall_ms`
+/// field are ignored, every other field difference is reported. Headline
+/// metrics — rounds-to-convergence and message cost — are rendered with
+/// deltas for PR-to-PR comparison.
+fn diff_reports(baseline: &Json, current: &Json) -> Result<Vec<String>, String> {
+    fn cells(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
+        doc.get("runs")
+            .and_then(Json::as_arr)
+            .ok_or("report has no runs array")?
+            .iter()
+            .map(|run| {
+                let field = |name: &str| {
+                    run.get(name)
+                        .map(render_value)
+                        .ok_or_else(|| format!("run missing {name}"))
+                };
+                Ok((
+                    format!(
+                        "{}/{} seed={} n={}",
+                        field("node")?.trim_matches('"'),
+                        field("scenario")?.trim_matches('"'),
+                        field("seed")?,
+                        field("n")?
+                    ),
+                    run,
+                ))
+            })
+            .collect()
+    }
+
+    fn render_value(v: &Json) -> String {
+        v.render().trim_end().to_string()
+    }
+
+    /// Fields rendered with an explicit numeric delta, in report order.
+    const HEADLINE: [&str; 2] = ["rounds_to_convergence", "messages_sent"];
+
+    let base_cells = cells(baseline)?;
+    let cur_cells = cells(current)?;
+    let mut findings = Vec::new();
+
+    for (key, base_run) in &base_cells {
+        let Some((_, cur_run)) = cur_cells.iter().find(|(k, _)| k == key) else {
+            findings.push(format!("{key}: cell missing from current report"));
+            continue;
+        };
+        let Json::Obj(base_fields) = base_run else {
+            return Err("run is not an object".to_string());
+        };
+        let Json::Obj(cur_fields) = cur_run else {
+            return Err("run is not an object".to_string());
+        };
+        let names: Vec<&str> = base_fields
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .chain(cur_fields.iter().map(|(k, _)| k.as_str()))
+            .filter(|k| *k != "wall_ms")
+            .collect();
+        let mut seen = Vec::new();
+        for name in names {
+            if seen.contains(&name) {
+                continue;
+            }
+            seen.push(name);
+            let base_value = base_run.get(name);
+            let cur_value = cur_run.get(name);
+            if base_value == cur_value {
+                continue;
+            }
+            let rendered = |v: Option<&Json>| match v {
+                None => "<absent>".to_string(),
+                Some(v) => render_value(v),
+            };
+            let delta = match (
+                base_value.and_then(Json::as_u64),
+                cur_value.and_then(Json::as_u64),
+                HEADLINE.contains(&name),
+            ) {
+                (Some(b), Some(c), true) => {
+                    format!(" ({}{})", if c >= b { "+" } else { "-" }, c.abs_diff(b))
+                }
+                _ => String::new(),
+            };
+            findings.push(format!(
+                "{key}: {name} {} -> {}{delta}",
+                rendered(base_value),
+                rendered(cur_value)
+            ));
+        }
+    }
+    for (key, _) in &cur_cells {
+        if !base_cells.iter().any(|(k, _)| k == key) {
+            findings.push(format!("{key}: cell missing from baseline report"));
+        }
+    }
+    Ok(findings)
+}
+
+fn cmd_diff(args: &[String]) -> Result<bool, String> {
+    let flags = Flags::parse(args, &[], &[])?;
+    let [baseline_path, current_path] = flags.positional.as_slice() else {
+        return Err("diff takes exactly two report paths".to_string());
+    };
+    let read = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let findings = diff_reports(&read(baseline_path)?, &read(current_path)?)?;
+    if findings.is_empty() {
+        eprintln!("diff: reports are equivalent ({baseline_path} vs {current_path})");
+        Ok(true)
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+        eprintln!(
+            "diff: {} divergence(s) between {baseline_path} and {current_path}",
+            findings.len()
+        );
+        Ok(false)
+    }
 }
 
 /// Compares a freshly measured scheduler benchmark summary against the
@@ -431,6 +571,61 @@ mod tests {
         let flags = Flags::parse(&args, &["seeds", "modes"], &[]).unwrap();
         assert_eq!(parse_seeds(&flags).unwrap(), vec![3, 5]);
         assert_eq!(parse_modes(&flags).unwrap(), vec![SchedulerMode::RoundScan]);
+    }
+
+    /// Builds a minimal report with one run cell.
+    fn report_with(seed: u64, rounds: u64, msgs: u64, converged: bool) -> Json {
+        Json::obj().field("campaign", "x").field(
+            "runs",
+            Json::Arr(vec![Json::obj()
+                .field("node", "reconfig")
+                .field("scenario", "one-way-cut")
+                .field("seed", seed)
+                .field("n", 5u64)
+                .field("converged", converged)
+                .field("rounds_to_convergence", rounds)
+                .field("messages_sent", msgs)]),
+        )
+    }
+
+    #[test]
+    fn diff_reports_is_clean_on_identity_and_ignores_wall_ms() {
+        let a = report_with(1, 70, 5_000, true);
+        assert!(diff_reports(&a, &a).unwrap().is_empty());
+        // Campaign name and wall_ms are not part of the comparison.
+        let mut b = report_with(1, 70, 5_000, true).field("campaign", "y");
+        if let Json::Obj(fields) = &mut b {
+            if let Some((_, Json::Arr(runs))) = fields.iter_mut().find(|(k, _)| k == "runs") {
+                runs[0] = runs[0].clone().field("wall_ms", 12.5);
+            }
+        }
+        assert!(diff_reports(&a, &b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn diff_reports_flags_metric_divergence_with_deltas() {
+        let base = report_with(1, 70, 5_000, true);
+        let slower = report_with(1, 85, 5_600, true);
+        let findings = diff_reports(&base, &slower).unwrap();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].contains("rounds_to_convergence 70 -> 85 (+15)"));
+        assert!(findings[1].contains("messages_sent 5000 -> 5600 (+600)"));
+        // A flipped convergence bit is a divergence too.
+        let broken = report_with(1, 70, 5_000, false);
+        let findings = diff_reports(&base, &broken).unwrap();
+        assert!(findings.iter().any(|f| f.contains("converged")));
+    }
+
+    #[test]
+    fn diff_reports_flags_missing_cells_in_both_directions() {
+        let a = report_with(1, 70, 5_000, true);
+        let b = report_with(2, 70, 5_000, true);
+        let findings = diff_reports(&a, &b).unwrap();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].contains("seed=1") && findings[0].contains("current"));
+        assert!(findings[1].contains("seed=2") && findings[1].contains("baseline"));
+        // Malformed documents are errors, not empty diffs.
+        assert!(diff_reports(&Json::obj(), &a).is_err());
     }
 
     fn summary(speedups: &[(u64, f64)], converged: bool) -> Json {

@@ -12,6 +12,51 @@
 //! runs and across scheduler modes. Wall-clock timings are available as an
 //! explicitly non-deterministic opt-in ([`Campaign::with_timings`]), for
 //! benchmarking use only.
+//!
+//! ```
+//! # use simnet::scenario::ScenarioTarget;
+//! # use simnet::{Context, Process, ProcessId, SimRng, Simulation};
+//! # #[derive(Debug)]
+//! # struct Flood { value: u64 }
+//! # impl Process for Flood {
+//! #     type Msg = u64;
+//! #     fn on_timer(&mut self, ctx: &mut Context<'_, u64>) {
+//! #         for p in ctx.peers() { ctx.send(p, self.value); }
+//! #     }
+//! #     fn on_message(&mut self, _f: ProcessId, m: u64, _c: &mut Context<'_, u64>) {
+//! #         self.value = self.value.max(m);
+//! #     }
+//! # }
+//! # impl ScenarioTarget for Flood {
+//! #     const NAME: &'static str = "flood";
+//! #     fn spawn_initial(id: ProcessId, _n: usize) -> Self {
+//! #         Flood { value: id.as_u32() as u64 }
+//! #     }
+//! #     fn spawn_joiner(_id: ProcessId, _n: usize) -> Self { Flood { value: 0 } }
+//! #     fn corrupt(&mut self, rng: &mut SimRng) { self.value = rng.range_inclusive(50, 99); }
+//! #     fn converged(sim: &Simulation<Self>) -> bool {
+//! #         let mut v = sim.active_processes().map(|(_, p)| p.value);
+//! #         let first = v.next();
+//! #         v.all(|x| Some(x) == first)
+//! #     }
+//! #     fn invariant_violations(_sim: &Simulation<Self>) -> Vec<String> { Vec::new() }
+//! #     fn state_digest(sim: &Simulation<Self>) -> u64 {
+//! #         simnet::report::digest_lines(sim.processes().map(|(i, p)| format!("{i} {}", p.value)))
+//! #     }
+//! # }
+//! use simnet::scenario::catalog;
+//! use simnet::Campaign;
+//!
+//! // Sweep the whole catalog over two seeds; every cell runs in both
+//! // scheduler modes and the executions must agree.
+//! let report = Campaign::new("docs")
+//!     .with_seeds([1, 2])
+//!     .run::<Flood>(&catalog(4));
+//! assert!(report.passed());
+//! assert_eq!(report.runs.len(), catalog(4).len() * 2);
+//! // Rendering is byte-deterministic — diff-friendly across PRs.
+//! assert_eq!(report.render(), report.render());
+//! ```
 
 use std::time::Instant;
 
@@ -136,6 +181,9 @@ impl Campaign {
             crashes: outcome.run.crashes,
             joins: outcome.run.joins,
             corruptions: outcome.run.corruptions,
+            payload_corruptions: outcome.run.payload_corruptions,
+            recoveries: outcome.run.recoveries,
+            slowdowns: outcome.run.slowdowns,
             messages_sent: outcome.messages_sent,
             messages_delivered: outcome.messages_delivered,
             messages_lost: outcome.messages_lost,
@@ -179,12 +227,18 @@ pub struct RunRecord {
     pub converged: bool,
     /// First post-fault round at which the target reported convergence.
     pub rounds_to_convergence: Option<u64>,
-    /// Crashes applied.
+    /// Crashes applied (including crash-recovery crashes).
     pub crashes: u64,
     /// Joins applied.
     pub joins: u64,
     /// State corruptions applied.
     pub corruptions: u64,
+    /// In-flight packets whose payloads were corrupted.
+    pub payload_corruptions: u64,
+    /// Crash-recovered processors rejoined under fresh identifiers.
+    pub recoveries: u64,
+    /// Gray-failure and clock-skew slowdowns applied.
+    pub slowdowns: u64,
     /// Send operations attempted.
     pub messages_sent: u64,
     /// Packets delivered.
@@ -232,6 +286,9 @@ impl RunRecord {
             .field("crashes", self.crashes)
             .field("joins", self.joins)
             .field("corruptions", self.corruptions)
+            .field("payload_corruptions", self.payload_corruptions)
+            .field("recoveries", self.recoveries)
+            .field("slowdowns", self.slowdowns)
             .field("messages_sent", self.messages_sent)
             .field("messages_delivered", self.messages_delivered)
             .field("messages_lost", self.messages_lost)
@@ -394,6 +451,9 @@ mod tests {
             "crashes",
             "joins",
             "corruptions",
+            "payload_corruptions",
+            "recoveries",
+            "slowdowns",
             "messages_sent",
             "messages_delivered",
             "messages_lost",

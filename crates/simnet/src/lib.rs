@@ -33,12 +33,17 @@
 //! sub-layer traffic over one wire format.
 //!
 //! The fault layer is driven by the **chaos-campaign engine**: a declarative
-//! [`scenario::Scenario`] composes crash, churn, partition, message-spike
-//! and state-corruption schedules ([`fault`], [`partition`]), the
-//! [`campaign`] driver sweeps scenarios × seeds × scheduler modes, and
-//! [`report`] renders deterministic JSON reports. Protocol crates plug in
-//! through [`scenario::ScenarioTarget`]; the `simctl` binary runs the named
-//! scenarios of [`scenario::catalog`] from the command line.
+//! [`scenario::Scenario`] composes crash, churn, partition (symmetric *and*
+//! one-directional), message-spike, state-corruption, payload-corruption,
+//! gray-failure, clock-skew and crash-recovery schedules ([`fault`],
+//! [`partition`]), the [`campaign`] driver sweeps scenarios × seeds ×
+//! scheduler modes, and [`report`] renders deterministic JSON reports.
+//! Protocol crates plug in through [`scenario::ScenarioTarget`]; the
+//! `simctl` binary runs the named scenarios of [`scenario::catalog`] from
+//! the command line and diffs two reports for PR-to-PR comparison. The
+//! complete fault vocabulary, with its mapping to the paper's model and the
+//! invariants each class is checked against, is catalogued in
+//! `docs/FAULTS.md` at the workspace root.
 //!
 //! ## Quick example
 //!
@@ -96,11 +101,14 @@ pub use adversary::ScriptedFaults;
 pub use campaign::{Campaign, CampaignReport, RunRecord};
 pub use channel::{Channel, ChannelPolicy, InFlight};
 pub use config::{SchedulerMode, SimConfig};
-pub use fault::{ChurnPlan, CorruptionPlan, CrashPlan, FaultInjector, SpikePlan, SpikeSpec};
+pub use fault::{
+    ChurnPlan, CorruptionPlan, CrashPlan, FaultInjector, GrayFailurePlan, PayloadCorruptionPlan,
+    RecoveryPlan, SkewPlan, SpikePlan, SpikeSpec,
+};
 pub use histogram::Histogram;
 pub use metrics::Metrics;
 pub use network::Network;
-pub use partition::PartitionPlan;
+pub use partition::{AsymmetricCutPlan, PartitionPlan};
 pub use process::{Context, Process, ProcessId, ProcessStatus};
 pub use report::Json;
 pub use rng::SimRng;

@@ -99,6 +99,31 @@ impl<M: Clone> Network<M> {
         }
     }
 
+    /// Blocks only the links *from* members of `from` *to* members of `to`,
+    /// creating an asymmetric (one-directional) cut: packets still flow in
+    /// the reverse direction. The paper's fail-recovery link model allows a
+    /// link to fail in one direction while its twin keeps working; this is
+    /// the per-direction analogue of [`Network::split_into`].
+    pub fn cut_oneway(&mut self, from: &[ProcessId], to: &[ProcessId]) {
+        for a in from {
+            for b in to {
+                if a != b {
+                    self.blocked.insert((*a, *b));
+                }
+            }
+        }
+    }
+
+    /// Unblocks the links *from* members of `from` *to* members of `to`,
+    /// lifting a one-directional cut. Links never blocked are unaffected.
+    pub fn open_oneway(&mut self, from: &[ProcessId], to: &[ProcessId]) {
+        for a in from {
+            for b in to {
+                self.blocked.remove(&(*a, *b));
+            }
+        }
+    }
+
     /// Removes every blocked link, healing all partitions.
     pub fn heal_all_links(&mut self) {
         self.blocked.clear();
@@ -324,6 +349,63 @@ impl<M: Clone> Network<M> {
     pub fn links(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
         self.channels.keys().copied()
     }
+
+    /// Number of channels that currently exist.
+    pub fn link_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The earliest round at which any packet in flight towards `to` becomes
+    /// deliverable, read through the per-destination inbound index (the
+    /// event-driven scheduler's due check).
+    pub fn earliest_inbound_ready(&self, to: ProcessId) -> Option<Round> {
+        let srcs = self.inbound.get(&to)?;
+        srcs.iter()
+            .filter_map(|src| self.channels.get(&(*src, to)))
+            .filter_map(Channel::earliest_ready)
+            .min()
+    }
+
+    /// The earliest round at which any packet in flight towards `to` becomes
+    /// deliverable, found by scanning every channel in the network (the
+    /// round-scan scheduler's due check). Identical result to
+    /// [`Network::earliest_inbound_ready`], found the expensive way.
+    pub fn earliest_inbound_ready_scan(&self, to: ProcessId) -> Option<Round> {
+        self.channels
+            .iter()
+            .filter(|((_, dst), _)| *dst == to)
+            .filter_map(|(_, ch)| ch.earliest_ready())
+            .min()
+    }
+
+    /// Applies `mutate` once to the payloads of every packet currently in
+    /// flight towards `to`, across all of its inbound channels in ascending
+    /// sender order. Returns the number of payloads exposed to `mutate`.
+    ///
+    /// This is the paper's in-flight packet corruption: the packets
+    /// themselves (count and delivery rounds) are untouched — corruption
+    /// never creates packets out of thin air — only their contents change.
+    /// The affected destination is marked dirty so the event-driven
+    /// scheduler re-examines it.
+    pub fn corrupt_inbound_payloads(
+        &mut self,
+        to: ProcessId,
+        mutate: impl FnOnce(&mut [&mut M]),
+    ) -> usize {
+        let mut payloads: Vec<&mut M> = self
+            .channels
+            .iter_mut()
+            .filter(|((_, dst), _)| *dst == to)
+            .flat_map(|(_, ch)| ch.in_flight_mut())
+            .map(|packet| &mut packet.msg)
+            .collect();
+        let touched = payloads.len();
+        if touched > 0 {
+            mutate(&mut payloads);
+            self.dirty.insert(to);
+        }
+        touched
+    }
 }
 
 #[cfg(test)]
@@ -447,6 +529,70 @@ mod tests {
         net.heal_all_links();
         assert_eq!(net.blocked_link_count(), 0);
         assert!(!net.is_blocked(p[0], p[2]));
+    }
+
+    #[test]
+    fn oneway_cut_blocks_one_direction_only() {
+        let p = ids(4);
+        let mut net: Network<u32> = Network::new(reliable());
+        net.cut_oneway(&[p[0], p[1]], &[p[2], p[3]]);
+        assert_eq!(net.blocked_link_count(), 4);
+        assert!(net.is_blocked(p[0], p[2]));
+        assert!(net.is_blocked(p[1], p[3]));
+        // The reverse direction keeps working.
+        assert!(!net.is_blocked(p[2], p[0]));
+        assert!(!net.is_blocked(p[3], p[1]));
+        net.open_oneway(&[p[0], p[1]], &[p[2], p[3]]);
+        assert_eq!(net.blocked_link_count(), 0);
+        // Self-links are never blocked even when a process is in both groups.
+        net.cut_oneway(&[p[0]], &[p[0], p[1]]);
+        assert!(!net.is_blocked(p[0], p[0]));
+        assert!(net.is_blocked(p[0], p[1]));
+    }
+
+    #[test]
+    fn inbound_ready_index_and_scan_agree() {
+        let p = ids(3);
+        let mut net: Network<u32> = Network::new(ChannelPolicy {
+            max_delay_rounds: 3,
+            ..ChannelPolicy::default()
+        });
+        let mut rng = SimRng::seed_from(9);
+        let mut metrics = Metrics::default();
+        assert_eq!(net.earliest_inbound_ready(p[1]), None);
+        assert_eq!(net.earliest_inbound_ready_scan(p[1]), None);
+        net.send(p[0], p[1], 1, Round::ZERO, &mut rng, &mut metrics);
+        net.send(p[2], p[1], 2, Round::ZERO, &mut rng, &mut metrics);
+        let indexed = net.earliest_inbound_ready(p[1]);
+        assert_eq!(indexed, net.earliest_inbound_ready_scan(p[1]));
+        assert!(indexed.is_some());
+        // Unrelated destination stays quiet.
+        assert_eq!(net.earliest_inbound_ready(p[0]), None);
+    }
+
+    #[test]
+    fn payload_corruption_mutates_without_creating_packets() {
+        let p = ids(3);
+        let mut net: Network<u32> = Network::new(reliable());
+        let mut rng = SimRng::seed_from(7);
+        let mut metrics = Metrics::default();
+        net.send(p[0], p[2], 10, Round::ZERO, &mut rng, &mut metrics);
+        net.send(p[1], p[2], 20, Round::ZERO, &mut rng, &mut metrics);
+        let before = net.in_flight_total();
+        let touched = net.corrupt_inbound_payloads(p[2], |payloads| {
+            for m in payloads {
+                **m += 1;
+            }
+        });
+        assert_eq!(touched, 2);
+        assert_eq!(net.in_flight_total(), before);
+        assert!(net.take_dirty().contains(&p[2]));
+        let mut got = net.deliver_to(p[2], Round::ZERO, usize::MAX, &mut rng, &mut metrics);
+        got.sort();
+        assert_eq!(got, vec![(p[0], 11), (p[1], 21)]);
+        // No packets towards p1: the mutation closure is never called.
+        let untouched = net.corrupt_inbound_payloads(p[1], |_| panic!("no packets"));
+        assert_eq!(untouched, 0);
     }
 
     #[test]

@@ -70,10 +70,7 @@ impl PartitionPlan {
     pub fn last_round(&self) -> Option<Round> {
         let last_split = self.splits.keys().next_back().copied();
         let last_heal = self.heals.iter().next_back().copied();
-        match (last_split, last_heal) {
-            (Some(s), Some(h)) => Some(s.max(h)),
-            (s, h) => s.or(h),
-        }
+        last_split.max(last_heal)
     }
 
     /// Applies the events due at `round` to the simulation. Heals are applied
@@ -85,6 +82,112 @@ impl PartitionPlan {
         }
         for groups in self.splits_due(round) {
             sim.network_mut().split_into(groups);
+        }
+    }
+}
+
+/// A schedule of *asymmetric* (one-directional) cuts: links from one group
+/// towards another fail while the reverse direction keeps delivering. This
+/// is the paper's fail-recovery link model taken seriously — a channel and
+/// its twin fail independently — and the condition under which failure
+/// detectors disagree most violently: the cut-off side suspects processors
+/// that can still hear *it* perfectly well.
+///
+/// Heals lift exactly the directed links this plan's cuts blocked. The
+/// network's blocked-link set is shared (not reference-counted), so when
+/// driving this plan by hand alongside a [`PartitionPlan`] over
+/// overlapping links, schedule the two on disjoint windows: a one-way heal
+/// would lift a direction a symmetric split also blocked, and a symmetric
+/// full heal lifts every one-way cut. Inside a
+/// [`crate::scenario::Scenario`] the runner composes the two safely by
+/// re-asserting whichever plan's blocks are still active after the other
+/// plan heals.
+///
+/// ```
+/// use simnet::{AsymmetricCutPlan, ProcessId, Round};
+/// let p: Vec<ProcessId> = (0..4).map(ProcessId::new).collect();
+/// let plan = AsymmetricCutPlan::new()
+///     .cut_at(Round::new(10), vec![p[0], p[1]], vec![p[2], p[3]])
+///     .heal_at(Round::new(50));
+/// assert_eq!(plan.total_cuts(), 1);
+/// assert_eq!(plan.last_round(), Some(Round::new(50)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AsymmetricCutPlan {
+    cuts: BTreeMap<Round, Vec<OnewayCut>>,
+    heals: BTreeSet<Round>,
+}
+
+/// One scheduled one-directional cut: the links from every member of the
+/// first group towards every member of the second are blocked.
+pub type OnewayCut = (Vec<ProcessId>, Vec<ProcessId>);
+
+impl AsymmetricCutPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules the links from every member of `from` towards every member
+    /// of `to` to fail at `round` (builder style). The reverse links keep
+    /// working.
+    pub fn cut_at(mut self, round: Round, from: Vec<ProcessId>, to: Vec<ProcessId>) -> Self {
+        self.cuts.entry(round).or_default().push((from, to));
+        self
+    }
+
+    /// Schedules a heal at `round`: every directed link blocked by this
+    /// plan's cuts (scheduled at any round) is unblocked.
+    pub fn heal_at(mut self, round: Round) -> Self {
+        self.heals.insert(round);
+        self
+    }
+
+    /// The cuts scheduled for exactly `round`.
+    pub fn cuts_due(&self, round: Round) -> impl Iterator<Item = &OnewayCut> {
+        self.cuts.get(&round).into_iter().flatten()
+    }
+
+    /// Returns `true` when a heal is scheduled for exactly `round`.
+    pub fn heals_at(&self, round: Round) -> bool {
+        self.heals.contains(&round)
+    }
+
+    /// Total number of scheduled cut events.
+    pub fn total_cuts(&self) -> usize {
+        self.cuts.values().map(Vec::len).sum()
+    }
+
+    /// The last round with a scheduled cut or heal.
+    pub fn last_round(&self) -> Option<Round> {
+        let last_cut = self.cuts.keys().next_back().copied();
+        let last_heal = self.heals.iter().next_back().copied();
+        last_cut.max(last_heal)
+    }
+
+    /// Applies the events due at `round`. Heals are applied before cuts
+    /// (see [`AsymmetricCutPlan::apply_heals`]), so a heal and a cut
+    /// scheduled for the same round leave exactly the new cut in place.
+    pub fn apply<P: Process>(&self, sim: &mut Simulation<P>, round: Round) {
+        self.apply_heals(sim, round);
+        self.apply_cuts(sim, round);
+    }
+
+    /// Applies only the heal due at `round`, if any. Split out so callers
+    /// that observe link state between the heal and the new cuts (the
+    /// scenario runner's asymmetry invariant) can do so.
+    pub fn apply_heals<P: Process>(&self, sim: &mut Simulation<P>, round: Round) {
+        if self.heals_at(round) {
+            for (from, to) in self.cuts.values().flatten() {
+                sim.network_mut().open_oneway(from, to);
+            }
+        }
+    }
+
+    /// Applies only the cuts due at `round`.
+    pub fn apply_cuts<P: Process>(&self, sim: &mut Simulation<P>, round: Round) {
+        for (from, to) in self.cuts_due(round) {
+            sim.network_mut().cut_oneway(from, to);
         }
     }
 }
@@ -159,6 +262,72 @@ mod tests {
         for (_, p) in sim.processes() {
             assert_eq!(p.value, 100);
         }
+    }
+
+    /// One-directional cut: the cut-off side keeps *sending* successfully;
+    /// only the cut direction loses information flow, and the heal restores
+    /// it.
+    #[test]
+    fn asymmetric_cut_blocks_one_direction_and_heals() {
+        let mut sim: Simulation<Gossip> =
+            Simulation::new(SimConfig::default().with_seed(3).with_max_delay(0));
+        for v in [1u64, 2, 3, 100] {
+            sim.add_process(Gossip { value: v });
+        }
+        let lower = vec![ProcessId::new(0), ProcessId::new(1)];
+        let upper = vec![ProcessId::new(2), ProcessId::new(3)];
+        let plan = AsymmetricCutPlan::new()
+            .cut_at(Round::ZERO, upper.clone(), lower.clone())
+            .heal_at(Round::new(10));
+        sim.run_rounds_with(8, |s| {
+            let now = s.now();
+            plan.apply(s, now);
+        });
+        // upper → lower is cut: the maximum (100) stays on the upper side…
+        assert_eq!(sim.process(ProcessId::new(0)).unwrap().value, 2);
+        assert_eq!(sim.process(ProcessId::new(1)).unwrap().value, 2);
+        // …while lower → upper still delivers (upper heard lower's 2).
+        assert_eq!(sim.process(ProcessId::new(3)).unwrap().value, 100);
+        assert!(sim
+            .network()
+            .is_blocked(ProcessId::new(2), ProcessId::new(0)));
+        assert!(!sim
+            .network()
+            .is_blocked(ProcessId::new(0), ProcessId::new(2)));
+        sim.run_rounds_with(10, |s| {
+            let now = s.now();
+            plan.apply(s, now);
+        });
+        // After the heal, the maximum reaches everyone.
+        for (_, p) in sim.processes() {
+            assert_eq!(p.value, 100);
+        }
+        assert_eq!(sim.network().blocked_link_count(), 0);
+    }
+
+    /// An asymmetric heal lifts only the plan's own directed links, not a
+    /// symmetric partition's.
+    #[test]
+    fn asymmetric_heal_does_not_lift_symmetric_splits() {
+        let mut sim: Simulation<Gossip> =
+            Simulation::new(SimConfig::default().with_seed(4).with_max_delay(0));
+        for v in [1u64, 2, 3] {
+            sim.add_process(Gossip { value: v });
+        }
+        let a = ProcessId::new(0);
+        let b = ProcessId::new(1);
+        let c = ProcessId::new(2);
+        sim.network_mut().split_into(&[vec![a], vec![b]]);
+        let plan = AsymmetricCutPlan::new()
+            .cut_at(Round::ZERO, vec![c], vec![a])
+            .heal_at(Round::new(1));
+        plan.apply(&mut sim, Round::ZERO);
+        assert!(sim.network().is_blocked(c, a));
+        plan.apply(&mut sim, Round::new(1));
+        assert!(!sim.network().is_blocked(c, a));
+        // The symmetric split survives the asymmetric heal.
+        assert!(sim.network().is_blocked(a, b));
+        assert!(sim.network().is_blocked(b, a));
     }
 
     #[test]

@@ -10,8 +10,23 @@
 //!
 //! The environment has no serde, so this module carries its own small value
 //! model ([`Json`]), serializer ([`Json::render`]) and recursive-descent
-//! parser ([`Json::parse`]); the parser is what `simctl bench-guard` uses to
-//! read benchmark baselines.
+//! parser ([`Json::parse`]); the parser is what `simctl bench-guard` and
+//! `simctl diff` use to read reports back.
+//!
+//! ```
+//! use simnet::Json;
+//!
+//! let doc = Json::obj()
+//!     .field("scenario", "one-way-cut")
+//!     .field("seed", 7u64)
+//!     .field("converged", true);
+//! let text = doc.render();
+//! // Deterministic: same value, same bytes — and it round-trips.
+//! assert_eq!(text, doc.render());
+//! let parsed = Json::parse(&text).unwrap();
+//! assert_eq!(parsed.get("seed").and_then(Json::as_u64), Some(7));
+//! assert_eq!(parsed, doc);
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -35,12 +35,15 @@
 //! assert!(s.last_fault_round() >= Round::new(28));
 //! ```
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::channel::ChannelPolicy;
 use crate::config::{SchedulerMode, SimConfig};
-use crate::fault::{CorruptionPlan, CrashPlan, SpikePlan, SpikeSpec};
-use crate::partition::PartitionPlan;
+use crate::fault::{
+    CorruptionPlan, CrashPlan, GrayFailurePlan, PayloadCorruptionPlan, RecoveryPlan, SkewPlan,
+    SpikePlan, SpikeSpec,
+};
+use crate::partition::{AsymmetricCutPlan, PartitionPlan};
 use crate::process::{Process, ProcessId};
 use crate::rng::SimRng;
 use crate::scheduler::Simulation;
@@ -104,8 +107,13 @@ pub struct Scenario {
     crashes: CrashPlan,
     churn: ChurnPlan,
     partitions: PartitionPlan,
+    asym_cuts: AsymmetricCutPlan,
     corruptions: CorruptionPlan,
     spikes: SpikePlan,
+    gray: GrayFailurePlan,
+    skews: SkewPlan,
+    payload: PayloadCorruptionPlan,
+    recovery: RecoveryPlan,
 }
 
 impl Scenario {
@@ -123,8 +131,13 @@ impl Scenario {
             crashes: CrashPlan::new(),
             churn: ChurnPlan::new(),
             partitions: PartitionPlan::new(),
+            asym_cuts: AsymmetricCutPlan::new(),
             corruptions: CorruptionPlan::new(),
             spikes: SpikePlan::new(),
+            gray: GrayFailurePlan::new(),
+            skews: SkewPlan::new(),
+            payload: PayloadCorruptionPlan::new(),
+            recovery: RecoveryPlan::new(),
         }
     }
 
@@ -185,6 +198,80 @@ impl Scenario {
     /// Schedules a full heal at `round` (builder style).
     pub fn heal_at(mut self, round: Round) -> Self {
         self.partitions = self.partitions.heal_at(round);
+        self
+    }
+
+    /// Schedules a one-directional cut at `round`: links from members of
+    /// `from` towards members of `to` fail while the reverse direction
+    /// keeps delivering (builder style).
+    pub fn cut_oneway_at(mut self, round: Round, from: Vec<ProcessId>, to: Vec<ProcessId>) -> Self {
+        self.asym_cuts = self.asym_cuts.cut_at(round, from, to);
+        self
+    }
+
+    /// Schedules a one-way cut of the initial population's halves at
+    /// `round`: the lower half stops hearing the upper half, while the
+    /// upper half still hears everything (builder style).
+    pub fn cut_oneway_halves_at(self, round: Round) -> Self {
+        let n = self.n;
+        let mid = n / 2;
+        let lower: Vec<ProcessId> = (0..mid as u32).map(ProcessId::new).collect();
+        let upper: Vec<ProcessId> = (mid as u32..n as u32).map(ProcessId::new).collect();
+        self.cut_oneway_at(round, upper, lower)
+    }
+
+    /// Schedules a heal of every one-directional cut at `round` (builder
+    /// style). Symmetric splits are unaffected.
+    pub fn heal_oneway_at(mut self, round: Round) -> Self {
+        self.asym_cuts = self.asym_cuts.heal_at(round);
+        self
+    }
+
+    /// Schedules a gray failure: `victims` run at timer period `period`
+    /// from `round` for `duration` rounds, then recover (builder style).
+    pub fn slow_at(
+        mut self,
+        round: Round,
+        duration: u64,
+        period: u64,
+        victims: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
+        self.gray = self.gray.slow_at(round, duration, period, victims);
+        self
+    }
+
+    /// Schedules permanent clock skew: `victims` run at timer period
+    /// `period` from `round` on, forever (builder style).
+    pub fn skew_at(
+        mut self,
+        round: Round,
+        period: u64,
+        victims: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
+        self.skews = self.skews.skew_at(round, period, victims);
+        self
+    }
+
+    /// Schedules in-flight payload corruption of every packet travelling
+    /// towards `victims` at `round` (builder style).
+    pub fn corrupt_payloads_at(
+        mut self,
+        round: Round,
+        victims: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
+        self.payload = self.payload.corrupt_inbound_at(round, victims);
+        self
+    }
+
+    /// Schedules `victims` to crash at `round` and rejoin under fresh
+    /// identifiers `downtime` rounds later (builder style).
+    pub fn crash_recover_at(
+        mut self,
+        round: Round,
+        victims: impl IntoIterator<Item = ProcessId>,
+        downtime: u64,
+    ) -> Self {
+        self.recovery = self.recovery.crash_recover_at(round, victims, downtime);
         self
     }
 
@@ -261,8 +348,34 @@ impl Scenario {
         &self.spikes
     }
 
+    /// The one-directional cut schedule.
+    pub fn asymmetric_cut_plan(&self) -> &AsymmetricCutPlan {
+        &self.asym_cuts
+    }
+
+    /// The gray-failure schedule.
+    pub fn gray_plan(&self) -> &GrayFailurePlan {
+        &self.gray
+    }
+
+    /// The clock-skew schedule.
+    pub fn skew_plan(&self) -> &SkewPlan {
+        &self.skews
+    }
+
+    /// The in-flight payload-corruption schedule.
+    pub fn payload_plan(&self) -> &PayloadCorruptionPlan {
+        &self.payload
+    }
+
+    /// The crash-recovery schedule.
+    pub fn recovery_plan(&self) -> &RecoveryPlan {
+        &self.recovery
+    }
+
     /// The last round at which this scenario injects any fault (convergence
-    /// is only counted after this round).
+    /// is only counted after this round). Clock skew is the exception: it
+    /// never ends, so convergence is counted *with* the skew in force.
     pub fn last_fault_round(&self) -> Round {
         let mut last = Round::ZERO;
         let mut consider = |r: Option<Round>| {
@@ -273,8 +386,13 @@ impl Scenario {
         consider(self.crashes.last_round());
         consider(self.churn.last_round());
         consider(self.partitions.last_round());
+        consider(self.asym_cuts.last_round());
         consider(self.corruptions.last_round());
         consider(self.spikes.last_round());
+        consider(self.gray.last_round());
+        consider(self.skews.last_round());
+        consider(self.payload.last_round());
+        consider(self.recovery.last_round());
         last
     }
 
@@ -327,6 +445,19 @@ pub trait ScenarioTarget: Process + Sized {
     /// convergence predicate to become true again in bounded time).
     fn corrupt(&mut self, rng: &mut SimRng);
 
+    /// Mutates one in-flight packet payload — the paper's channel-content
+    /// corruption, driven by [`crate::fault::PayloadCorruptionPlan`].
+    /// Returns `true` when the payload was changed. The default leaves the
+    /// payload alone: the plan's sender-misattribution shuffle (packets
+    /// towards a victim trade payloads across its inbound channels) is
+    /// already a genuine corruption, and protocols add their own bit-level
+    /// mutations on top (e.g. degrading a rich message to a bare heartbeat,
+    /// as a checksum failure would).
+    fn corrupt_payload(msg: &mut Self::Msg, rng: &mut SimRng) -> bool {
+        let _ = (msg, rng);
+        false
+    }
+
     /// Injects one round of application workload (submit writes, request
     /// increments, …). Driven while the scenario's workload window is open.
     /// The default does nothing.
@@ -360,12 +491,18 @@ pub struct ScenarioRun {
     /// The first round (after the last fault and the workload window) at
     /// which the target reported convergence.
     pub rounds_to_convergence: Option<u64>,
-    /// Crashes applied.
+    /// Crashes applied (including crash-recovery crashes).
     pub crashes: u64,
-    /// Joins applied.
+    /// Joins applied (fresh joiners from the churn plan).
     pub joins: u64,
     /// State corruptions applied.
     pub corruptions: u64,
+    /// In-flight packets whose payloads were corrupted.
+    pub payload_corruptions: u64,
+    /// Crash-recovered processors that rejoined under fresh identifiers.
+    pub recoveries: u64,
+    /// Gray-failure and clock-skew slowdowns applied to processors.
+    pub slowdowns: u64,
     /// Invariant violations observed at the end of the run.
     pub invariant_violations: Vec<String>,
     /// The target's state digest at the end of the run.
@@ -407,15 +544,31 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
     let mut crashes = 0u64;
     let mut joins = 0u64;
     let mut corruptions = 0u64;
+    let mut payload_corruptions = 0u64;
+    let mut recoveries = 0u64;
+    let mut slowdowns = 0u64;
     let mut rounds_to_convergence = None;
     // Mirror of every currently active split (empty = fully connected), so
     // that churned-in processors can be confined with respect to *each*
     // cut instead of silently bridging one of them with open links.
     let mut active_splits: Vec<Vec<Vec<ProcessId>>> = Vec::new();
+    // Likewise for one-way cuts: the currently active directed cuts,
+    // including the sides joiners were confined to.
+    let mut active_oneway: Vec<crate::partition::OnewayCut> = Vec::new();
+    // Fault-class safety invariants checked by the runner itself (the
+    // target's protocol invariants are collected separately at the end);
+    // see docs/FAULTS.md for the class → invariant mapping.
+    let mut runner_violations: Vec<String> = Vec::new();
+    // Timer-step baselines for the gray-failure and skew liveness checks.
+    let mut gray_baseline: BTreeMap<(u64, ProcessId), u64> = BTreeMap::new();
+    let mut skew_baseline: BTreeMap<ProcessId, (Round, u64)> = BTreeMap::new();
 
     for _ in 0..scenario.rounds {
         let now = sim.now();
         // 1. Connectivity changes (heals before splits, see PartitionPlan).
+        // The network's blocked-link set is shared between the symmetric
+        // and the one-way plan, so after either plan heals, the other
+        // plan's still-active blocks are re-asserted.
         if scenario.partitions.heals_at(now) {
             active_splits.clear();
         }
@@ -423,14 +576,114 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
             active_splits.push(groups.clone());
         }
         scenario.partitions.apply(sim, now);
-        // 2. Channel-behaviour spikes.
+        if scenario.partitions.heals_at(now) {
+            // The full heal lifted every one-way cut still in force.
+            for (from, to) in &active_oneway {
+                sim.network_mut().cut_oneway(from, to);
+            }
+        }
+        // 2. One-directional cuts. Invariant: the cut direction is blocked
+        // and the reverse direction is exactly as blocked as it was after
+        // this round's heal (a heal and a cut may share a round) — an
+        // asymmetric cut that cuts both ways is a symmetric partition.
+        if scenario.asym_cuts.heals_at(now) {
+            // Heal the *tracked* cuts (they include confined joiners the
+            // declared plan never mentions), then re-assert the symmetric
+            // blocks the one-way heal may have lifted.
+            for (from, to) in active_oneway.drain(..) {
+                sim.network_mut().open_oneway(&from, &to);
+            }
+            scenario.asym_cuts.apply_heals(sim, now);
+            for groups in &active_splits {
+                sim.network_mut().split_into(groups);
+            }
+        }
+        let asym_due: Vec<crate::partition::OnewayCut> =
+            scenario.asym_cuts.cuts_due(now).cloned().collect();
+        active_oneway.extend(asym_due.iter().cloned());
+        let reverse_before: Vec<bool> = asym_due
+            .iter()
+            .flat_map(|(from, to)| {
+                to.iter()
+                    .flat_map(|b| from.iter().map(|a| sim.network().is_blocked(*b, *a)))
+                    .collect::<Vec<bool>>()
+            })
+            .collect();
+        scenario.asym_cuts.apply_cuts(sim, now);
+        let mut pair = 0;
+        for (from, to) in &asym_due {
+            for b in to {
+                for a in from {
+                    if a != b && !sim.network().is_blocked(*a, *b) {
+                        runner_violations
+                            .push(format!("asymmetric cut left the link {a} → {b} open"));
+                    }
+                    if sim.network().is_blocked(*b, *a) != reverse_before[pair] {
+                        runner_violations
+                            .push(format!("asymmetric cut changed the reverse link {b} → {a}"));
+                    }
+                    pair += 1;
+                }
+            }
+        }
+        // 3. Channel-behaviour spikes.
         scenario.spikes.apply(sim, now, &base_policy);
-        // 3. Crash failures.
+        // 4. Gray failures and clock skew: per-process timer slowdowns.
+        for (start, _, victims, _) in scenario.gray.windows() {
+            if *start == now {
+                for v in victims {
+                    if let Some(steps) = sim.timer_steps_of(*v) {
+                        gray_baseline.insert((start.as_u64(), *v), steps);
+                    }
+                }
+            }
+        }
+        for (round, v, _) in scenario.skews.all_skews() {
+            if round == now {
+                if let Some(steps) = sim.timer_steps_of(v) {
+                    skew_baseline.insert(v, (now, steps));
+                }
+            }
+        }
+        // Both timer-fault plans under their composition rule (the skew is
+        // a floor under gray windows; slowdowns count transitions).
+        slowdowns += crate::fault::apply_timer_faults(&scenario.gray, &scenario.skews, sim, now);
+        // Invariant at each window's end: the victim really ran slower —
+        // its timer steps fit the slowed period's budget.
+        for (start, end, victims, period) in scenario.gray.windows() {
+            if *end != now || end == start {
+                continue;
+            }
+            for v in victims {
+                let Some(baseline) = gray_baseline.get(&(start.as_u64(), *v)) else {
+                    continue;
+                };
+                let Some(steps_now) = sim.timer_steps_of(*v) else {
+                    continue;
+                };
+                let steps = steps_now - baseline;
+                let budget = (*end - *start) / *period + 2;
+                if steps > budget {
+                    runner_violations.push(format!(
+                        "gray failure had no effect: {v} took {steps} timer steps in \
+                         [{start}, {end}) at period {period} (budget {budget})"
+                    ));
+                }
+            }
+        }
+        // 5. Crash failures (plain crashes, then crash-recovery crashes).
         crashes += scenario.crashes.due(now).len() as u64;
         scenario.crashes.apply(sim, now);
-        // 4. Churn: joiners enter through the protocol's joining path.
+        crashes += scenario.recovery.apply_crashes(sim, now);
+        // 6. Churn: joiners enter through the protocol's joining path, and
+        // crash-recovered processors re-enter the same way under fresh
+        // identifiers (the paper's rejoin-as-newcomer rule).
         let joined = scenario.churn.apply(sim, now, |id| T::spawn_joiner(id, n));
         joins += joined.len() as u64;
+        let rejoined = scenario
+            .recovery
+            .apply_rejoins(sim, now, |id| T::spawn_joiner(id, n));
+        recoveries += rejoined.len() as u64;
         // While partitions are active, every churned-in processor (id ≥ n
         // — the scenario author could not have named it in the declared
         // groups) is confined to one side of *each* cut, round-robin by
@@ -452,13 +705,50 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
                 sim.network_mut().split_into(groups);
             }
         }
-        // 5. Transient state corruption.
+        // The same confinement for one-way cuts: a joiner outside both
+        // groups would otherwise relay around the cut in both directions.
+        // Joiners land on a side by identifier parity and inherit its
+        // deafness (to-side) or muteness (from-side).
+        for (from, to) in &mut active_oneway {
+            let covered: BTreeSet<ProcessId> = from.iter().chain(to.iter()).copied().collect();
+            let stray: Vec<ProcessId> = sim
+                .active_ids()
+                .into_iter()
+                .filter(|id| id.as_u32() as usize >= n && !covered.contains(id))
+                .collect();
+            if !stray.is_empty() {
+                for id in stray {
+                    if id.as_u32() % 2 == 0 {
+                        from.push(id);
+                    } else {
+                        to.push(id);
+                    }
+                }
+                sim.network_mut().cut_oneway(from, to);
+            }
+        }
+        // 7. Transient state corruption.
         corruptions += scenario
             .corruptions
             .apply(sim, now, &mut adversary_rng, |p, rng| p.corrupt(rng));
-        // 6. Protocol-specific scripted extras.
+        // 8. In-flight payload corruption. Invariant: corruption mutates
+        // packets, it never creates or destroys them.
+        if !scenario.payload.due(now).is_empty() {
+            let in_flight_before = sim.network().in_flight_total();
+            payload_corruptions +=
+                scenario
+                    .payload
+                    .apply(sim, now, &mut adversary_rng, |msg, rng| {
+                        T::corrupt_payload(msg, rng)
+                    });
+            if sim.network().in_flight_total() != in_flight_before {
+                runner_violations
+                    .push("payload corruption created or destroyed packets".to_string());
+            }
+        }
+        // 9. Protocol-specific scripted extras.
         extras.apply(sim, now);
-        // 7. Application workload.
+        // 10. Application workload.
         if now.as_u64() < scenario.workload_rounds {
             T::drive_workload(sim, now, &mut adversary_rng);
         }
@@ -475,7 +765,37 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
         }
     }
 
+    // End-of-run fault-class invariants.
+    // Crash-recovery: the old identifier stays dead forever — recovery
+    // means a fresh identifier, never resurrection.
+    for victim in scenario.recovery.all_victims() {
+        if sim.is_active(victim) {
+            runner_violations.push(format!(
+                "crash-recovered processor {victim} is still active under its old identifier"
+            ));
+        }
+    }
+    // Clock skew: a skewed processor is slow, not dead — given enough
+    // rounds it must have taken timer steps at its skewed rate.
+    for (v, (since, baseline)) in &skew_baseline {
+        if !sim.is_active(*v) {
+            continue;
+        }
+        let elapsed = sim.now().saturating_since(*since);
+        let period = sim.timer_period_override(*v).unwrap_or(1);
+        if elapsed >= 2 * period {
+            let steps = sim.timer_steps_of(*v).unwrap_or(*baseline) - baseline;
+            if steps == 0 {
+                runner_violations.push(format!(
+                    "skewed processor {v} took no timer steps since round {since}"
+                ));
+            }
+        }
+    }
+
     let converged = rounds_to_convergence.is_some() || T::converged(sim);
+    let mut invariant_violations = T::invariant_violations(sim);
+    invariant_violations.extend(runner_violations);
     ScenarioRun {
         rounds_run: sim.now().as_u64(),
         converged,
@@ -483,7 +803,10 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
         crashes,
         joins,
         corruptions,
-        invariant_violations: T::invariant_violations(sim),
+        payload_corruptions,
+        recoveries,
+        slowdowns,
+        invariant_violations,
         state_digest: T::state_digest(sim),
     }
 }
@@ -502,6 +825,11 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
 /// | `state-blast` | transient state corruption of a minority |
 /// | `partition-churn` | joins *during* a partition, heal, late crash |
 /// | `chaos-mix` | everything above in one schedule |
+/// | `one-way-cut` | an asymmetric cut: half the cluster goes deaf, then heals |
+/// | `gray-lag` | a minority runs 6× slow for a window, then recovers |
+/// | `wire-corruption` | in-flight payload corruption towards a minority, thrice |
+/// | `clock-skew` | a minority runs 3× slow forever — convergence under skew |
+/// | `crash-recovery` | a minority crashes and rejoins under fresh identifiers |
 pub fn catalog(n: usize) -> Vec<Scenario> {
     let n_u32 = n as u32;
     let minority: Vec<ProcessId> = {
@@ -567,6 +895,34 @@ pub fn catalog(n: usize) -> Vec<Scenario> {
             .corrupt_at(Round::new(85), vec![ProcessId::new(0)])
             .with_rounds(3_000)
             .with_workload_until(120),
+        Scenario::new("one-way-cut", n)
+            .describe("the lower half goes deaf to the upper half, healing 40 rounds later")
+            .cut_oneway_halves_at(Round::new(30))
+            .heal_oneway_at(Round::new(70))
+            .with_rounds(2_500)
+            .with_workload_until(110),
+        Scenario::new("gray-lag", n)
+            .describe("a minority runs at 6x the timer period for 40 rounds, then recovers")
+            .slow_at(Round::new(30), 40, 6, minority.clone())
+            .with_rounds(2_500)
+            .with_workload_until(100),
+        Scenario::new("wire-corruption", n)
+            .describe("payloads in flight towards a minority are corrupted, three times")
+            .corrupt_payloads_at(Round::new(30), minority.clone())
+            .corrupt_payloads_at(Round::new(45), vec![ProcessId::new(0)])
+            .corrupt_payloads_at(Round::new(60), minority.clone())
+            .with_rounds(2_000)
+            .with_workload_until(90),
+        Scenario::new("clock-skew", n)
+            .describe("a minority's clock runs 3x slow forever; the system converges anyway")
+            .skew_at(Round::new(20), 3, minority.clone())
+            .with_rounds(2_500)
+            .with_workload_until(80),
+        Scenario::new("crash-recovery", n)
+            .describe("a minority crashes, then rejoins under fresh identifiers")
+            .crash_recover_at(Round::new(30), minority, 30)
+            .with_rounds(2_500)
+            .with_workload_until(100),
     ]
 }
 
@@ -640,7 +996,241 @@ mod tests {
         assert_eq!(run.crashes, 1);
         assert_eq!(run.joins, 2);
         assert_eq!(run.corruptions, 2);
+        assert_eq!(run.recoveries, 0);
+        assert_eq!(run.slowdowns, 0);
         assert!(run.converged);
+    }
+
+    /// The new fault classes land and are counted: gray windows and skews
+    /// as slowdowns, payload corruption per packet touched, and recovery
+    /// crashes/rejoins split across `crashes` and `recoveries`.
+    #[test]
+    fn new_fault_counters_match_the_schedule() {
+        let scenario = Scenario::new("new-counts", 6)
+            .slow_at(Round::new(2), 10, 4, [ProcessId::new(1)])
+            .skew_at(Round::new(3), 2, [ProcessId::new(2)])
+            .corrupt_payloads_at(Round::new(4), [ProcessId::new(0)])
+            .crash_recover_at(Round::new(5), [ProcessId::new(5)], 6)
+            .with_rounds(80);
+        let run = run(&scenario, 4, SchedulerMode::EventDriven);
+        assert_eq!(run.slowdowns, 2, "{run:?}");
+        assert!(run.payload_corruptions > 0, "{run:?}");
+        assert_eq!(run.crashes, 1);
+        assert_eq!(run.recoveries, 1);
+        assert_eq!(run.joins, 0);
+        assert!(run.converged, "{run:?}");
+        assert!(run.invariant_violations.is_empty(), "{run:?}");
+    }
+
+    /// Crash-recovery through the runner: the victim stays dead, the
+    /// replacement joins under a fresh identifier and adopts the system
+    /// state.
+    #[test]
+    fn crash_recovery_rejoins_under_a_fresh_identifier() {
+        let scenario = Scenario::new("recovery", 4)
+            .crash_recover_at(Round::new(3), [ProcessId::new(3)], 5)
+            .with_rounds(60);
+        let mut sim = scenario.build_sim::<MaxNode>(2, SchedulerMode::EventDriven);
+        let run = run_scenario(&scenario, &mut sim);
+        assert!(run.converged, "{run:?}");
+        assert_eq!(run.recoveries, 1);
+        assert!(!sim.is_active(ProcessId::new(3)));
+        assert!(sim.is_active(ProcessId::new(4)));
+        // The recovered processor converged with everyone else.
+        let value = sim.process(ProcessId::new(4)).unwrap().value;
+        assert_eq!(value, sim.process(ProcessId::new(0)).unwrap().value);
+    }
+
+    /// A one-way cut keeps information flowing in the open direction only,
+    /// and the runner's asymmetry invariant holds.
+    #[test]
+    fn one_way_cut_is_asymmetric_and_heals() {
+        let scenario = Scenario::new("oneway", 4)
+            .cut_oneway_halves_at(Round::ZERO)
+            .heal_oneway_at(Round::new(12))
+            .with_rounds(60);
+        let mut sim = scenario.build_sim::<MaxNode>(3, SchedulerMode::EventDriven);
+        let run = run_scenario(&scenario, &mut sim);
+        assert!(run.converged, "{run:?}");
+        assert!(run.invariant_violations.is_empty(), "{run:?}");
+        assert!(run.rounds_to_convergence.unwrap() > 12);
+        assert_eq!(sim.network().blocked_link_count(), 0);
+    }
+
+    /// Gray failure: the slowed process takes fewer steps during the
+    /// window, recovers afterwards, and the run converges.
+    #[test]
+    fn gray_failure_slows_then_recovers() {
+        let victim = ProcessId::new(2);
+        let scenario = Scenario::new("gray", 4)
+            .slow_at(Round::new(4), 20, 5, [victim])
+            .with_rounds(80);
+        let mut sim = scenario.build_sim::<MaxNode>(5, SchedulerMode::EventDriven);
+        let run = run_scenario(&scenario, &mut sim);
+        assert!(run.converged, "{run:?}");
+        assert!(run.invariant_violations.is_empty(), "{run:?}");
+        assert_eq!(run.slowdowns, 1);
+        assert_eq!(sim.timer_period_override(victim), None, "override restored");
+        let victim_steps = sim.timer_steps_of(victim).unwrap();
+        let peer_steps = sim.timer_steps_of(ProcessId::new(0)).unwrap();
+        assert!(victim_steps < peer_steps, "{victim_steps} vs {peer_steps}");
+    }
+
+    /// A one-way heal and a new cut scheduled for the same round leave
+    /// exactly the new cut — and no spurious asymmetry violation, even
+    /// when the new cut is the old one reversed.
+    #[test]
+    fn same_round_oneway_heal_and_cut_flip_cleanly() {
+        let a = vec![ProcessId::new(0), ProcessId::new(1)];
+        let b = vec![ProcessId::new(2), ProcessId::new(3)];
+        let scenario = Scenario::new("flip", 4)
+            .cut_oneway_at(Round::new(2), a.clone(), b.clone())
+            .cut_oneway_at(Round::new(6), b, a)
+            .heal_oneway_at(Round::new(6))
+            .heal_oneway_at(Round::new(10))
+            .with_rounds(60);
+        let mut sim = scenario.build_sim::<MaxNode>(4, SchedulerMode::EventDriven);
+        let run = run_scenario(&scenario, &mut sim);
+        assert!(run.invariant_violations.is_empty(), "{run:?}");
+        assert!(run.converged, "{run:?}");
+        assert_eq!(sim.network().blocked_link_count(), 0);
+    }
+
+    /// Overlapping symmetric and one-way windows compose: neither plan's
+    /// heal lifts the other plan's still-active blocks, even on shared
+    /// links.
+    #[test]
+    fn oneway_and_symmetric_plans_compose_on_shared_links() {
+        let p = |i: u32| ProcessId::new(i);
+        let lower = || vec![p(0), p(1)];
+        let upper = || vec![p(2), p(3)];
+        let scenario = Scenario::new("compose", 4)
+            .split_at(Round::new(2), vec![lower(), upper()])
+            .cut_oneway_at(Round::new(4), upper(), lower())
+            .heal_oneway_at(Round::new(6))
+            .heal_at(Round::new(20))
+            .with_rounds(60);
+        let mut sim = scenario.build_sim::<MaxNode>(1, SchedulerMode::EventDriven);
+        let mut extras: ScriptedFaults<MaxNode> = ScriptedFaults::new();
+        // Between the one-way heal (6) and the full heal (20), the
+        // symmetric split must still block both directions.
+        extras.at(Round::new(10), |s: &mut Simulation<MaxNode>| {
+            assert!(s.network().is_blocked(ProcessId::new(2), ProcessId::new(0)));
+            assert!(s.network().is_blocked(ProcessId::new(0), ProcessId::new(2)));
+        });
+        let run = run_scenario_with_extras(&scenario, &mut sim, &mut extras);
+        assert!(run.converged, "{run:?}");
+        assert!(run.invariant_violations.is_empty(), "{run:?}");
+        assert_eq!(sim.network().blocked_link_count(), 0);
+
+        // The other direction: a symmetric full heal must not lift a
+        // one-way cut still in force.
+        let scenario = Scenario::new("compose-rev", 4)
+            .cut_oneway_at(Round::new(2), upper(), lower())
+            .split_at(Round::new(4), vec![lower(), upper()])
+            .heal_at(Round::new(6))
+            .heal_oneway_at(Round::new(20))
+            .with_rounds(60);
+        let mut sim = scenario.build_sim::<MaxNode>(1, SchedulerMode::EventDriven);
+        let mut extras: ScriptedFaults<MaxNode> = ScriptedFaults::new();
+        extras.at(Round::new(10), |s: &mut Simulation<MaxNode>| {
+            assert!(s.network().is_blocked(ProcessId::new(2), ProcessId::new(0)));
+            assert!(!s.network().is_blocked(ProcessId::new(0), ProcessId::new(2)));
+        });
+        let run = run_scenario_with_extras(&scenario, &mut sim, &mut extras);
+        assert!(run.converged, "{run:?}");
+        assert!(run.invariant_violations.is_empty(), "{run:?}");
+        assert_eq!(sim.network().blocked_link_count(), 0);
+    }
+
+    /// Processors joining during an active one-way cut are confined to one
+    /// side of it — they must not relay around the cut in either direction.
+    #[test]
+    fn joiners_during_a_oneway_cut_do_not_bridge_it() {
+        let scenario = Scenario::new("oneway-bridge", 4)
+            .cut_oneway_halves_at(Round::ZERO)
+            .join_at(Round::new(2), 2)
+            .with_rounds(15);
+        let mut sim = scenario.build_sim::<MaxNode>(1, SchedulerMode::EventDriven);
+        let run = run_scenario(&scenario, &mut sim);
+        assert_eq!(run.joins, 2);
+        assert!(!run.converged, "a bridged cut would let the halves agree");
+        let net = sim.network();
+        // Joiner 4 (even) lands on the muted `from` side {2,3}: it hears
+        // everyone but cannot send towards the deaf lower half.
+        assert!(net.is_blocked(ProcessId::new(4), ProcessId::new(0)));
+        assert!(!net.is_blocked(ProcessId::new(0), ProcessId::new(4)));
+        // Joiner 5 (odd) lands on the deaf `to` side {0,1}: the upper half
+        // (including joiner 4) cannot reach it.
+        assert!(net.is_blocked(ProcessId::new(2), ProcessId::new(5)));
+        assert!(net.is_blocked(ProcessId::new(4), ProcessId::new(5)));
+        assert!(!net.is_blocked(ProcessId::new(5), ProcessId::new(2)));
+        // The upper half's maximum (3) never leaked into the deaf side.
+        for deaf in [0u32, 1, 5] {
+            assert_eq!(sim.process(ProcessId::new(deaf)).unwrap().value, 1);
+        }
+        for heard in [2u32, 3, 4] {
+            assert_eq!(sim.process(ProcessId::new(heard)).unwrap().value, 3);
+        }
+    }
+
+    /// Adjacent gray windows are one continuous slowdown: the seam neither
+    /// restores the victim nor counts a second slowdown.
+    #[test]
+    fn adjacent_gray_windows_count_one_slowdown() {
+        let victim = ProcessId::new(1);
+        let scenario = Scenario::new("adjacent", 4)
+            .slow_at(Round::new(2), 5, 6, [victim])
+            .slow_at(Round::new(7), 5, 6, [victim])
+            .with_rounds(60);
+        let mut sim = scenario.build_sim::<MaxNode>(9, SchedulerMode::EventDriven);
+        let run = run_scenario(&scenario, &mut sim);
+        assert!(run.converged, "{run:?}");
+        assert_eq!(run.slowdowns, 1, "{run:?}");
+        assert_eq!(sim.timer_period_override(victim), None);
+    }
+
+    /// A permanent skew survives a gray window on the same victim: the
+    /// gray restore must not wipe the skew's override, and the slower of
+    /// the two wins while both are in force.
+    #[test]
+    fn skew_is_a_floor_under_gray_windows() {
+        let victim = ProcessId::new(1);
+        let scenario = Scenario::new("gray-over-skew", 4)
+            .skew_at(Round::new(2), 3, [victim])
+            .slow_at(Round::new(4), 8, 7, [victim])
+            .with_rounds(80);
+        let mut sim = scenario.build_sim::<MaxNode>(8, SchedulerMode::EventDriven);
+        let mut extras: ScriptedFaults<MaxNode> = ScriptedFaults::new();
+        // Probe the composed override mid-window by gossiping it: plans
+        // apply before extras within a round, and with no workload the
+        // probe (7 = max(skew 3, gray 7)) dominates every initial value,
+        // so the converged value *is* the observed override.
+        extras.at(Round::new(6), |s: &mut Simulation<MaxNode>| {
+            s.process_mut(ProcessId::new(0)).unwrap().value =
+                s.timer_period_override(ProcessId::new(1)).unwrap_or(0);
+        });
+        let run = run_scenario_with_extras(&scenario, &mut sim, &mut extras);
+        assert!(run.converged, "{run:?}");
+        assert!(run.invariant_violations.is_empty(), "{run:?}");
+        assert_eq!(sim.process(ProcessId::new(0)).unwrap().value, 7);
+        // After the gray window the skew is still in force, forever.
+        assert_eq!(sim.timer_period_override(victim), Some(3));
+    }
+
+    /// Clock skew never heals: the run converges *with* the slow process
+    /// still slow.
+    #[test]
+    fn clock_skew_converges_with_the_skew_in_force() {
+        let victim = ProcessId::new(1);
+        let scenario = Scenario::new("skew", 4)
+            .skew_at(Round::new(2), 3, [victim])
+            .with_rounds(80);
+        let mut sim = scenario.build_sim::<MaxNode>(6, SchedulerMode::EventDriven);
+        let run = run_scenario(&scenario, &mut sim);
+        assert!(run.converged, "{run:?}");
+        assert!(run.invariant_violations.is_empty(), "{run:?}");
+        assert_eq!(sim.timer_period_override(victim), Some(3), "skew persists");
     }
 
     #[test]

@@ -18,14 +18,15 @@
 //!   the network's per-destination inbound index. A quiescent system does no
 //!   delivery work at all, so large, sparse simulations cost only what their
 //!   active processes do.
-//! * **round-scan** (the legacy baseline): every round visits every process
-//!   and scans every channel in the network for deliverable packets — the
-//!   behaviour of this crate before the run queue existed, kept for the
-//!   scheduler benchmarks.
+//! * **round-scan** (the legacy baseline): every round examines every
+//!   process and scans the network's channels to rediscover the same due
+//!   set the run queue indexes — kept for the scheduler benchmarks.
 //!
-//! For the same seed and a timer period of 1 the two strategies produce
-//! byte-identical executions (same deliveries, same trace, same process
-//! states); the event-driven scheduler only *finds* the work cheaper.
+//! For the same seed the two strategies produce byte-identical executions
+//! (same deliveries, same trace, same process states) at any timer period —
+//! including per-process overrides ([`Simulation::set_timer_period_override`],
+//! the gray-failure/clock-skew model); the event-driven scheduler only
+//! *finds* the work cheaper.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -42,6 +43,13 @@ struct Slot<P> {
     status: ProcessStatus,
     /// The round this process's timer fires next.
     next_timer: Round,
+    /// Per-process timer period, when it deviates from
+    /// [`SimConfig::timer_period`]. Gray failures and clock skew are
+    /// modelled by slowing a single process's timer relative to its peers
+    /// (see [`crate::fault::GrayFailurePlan`] and [`crate::fault::SkewPlan`]).
+    timer_period_override: Option<u64>,
+    /// Timer steps this process has taken (for per-process liveness checks).
+    timer_steps: u64,
 }
 
 /// A run queue of wake-ups keyed by round: the heart of the event-driven
@@ -135,9 +143,19 @@ impl<P: Process> Simulation<P> {
                 process,
                 status: ProcessStatus::Active,
                 next_timer: self.now,
+                timer_period_override: None,
+                timer_steps: 0,
             },
         );
         self.timer_wakes.schedule(self.now, id);
+    }
+
+    /// The next never-used identifier: what [`Simulation::add_process`]
+    /// would assign. Identifiers are unique forever (processors never
+    /// rejoin under an old one), so fault plans spawning joiners or
+    /// crash-recovered processors draw from here.
+    pub fn fresh_id(&self) -> ProcessId {
+        ProcessId::new(self.next_id)
     }
 
     /// Crashes a processor: it takes no further steps and never rejoins.
@@ -191,24 +209,55 @@ impl<P: Process> Simulation<P> {
         }
     }
 
+    /// Whether `id`'s timer is due this round.
+    fn timer_due(&self, id: ProcessId) -> bool {
+        self.slots
+            .get(&id)
+            .map(|s| s.next_timer <= self.now)
+            .unwrap_or(false)
+    }
+
     /// One round of the event-driven run queue: only processes with a due
     /// timer, a deliverable packet or a white-box network mutation are
     /// visited, and their packet delivery reads the per-destination index.
+    ///
+    /// Wake-ups are a conservative hint, not the source of truth: a woken
+    /// process is visited only when it is actually *due* (timer due, or a
+    /// deliverable packet waiting). Spurious wake-ups — a stale timer wake
+    /// after a [`Simulation::set_timer_period_override`] restore, a packet
+    /// wake whose packet was evicted — are discarded without consuming any
+    /// randomness, so the visited set (and therefore the execution) matches
+    /// [`Simulation::step_round_scan`]'s byte for byte even when per-process
+    /// timer periods diverge.
     fn step_round_event(&mut self) {
         self.trace.record(TraceEvent::RoundStarted(self.now));
         let mut woken: BTreeSet<ProcessId> = BTreeSet::new();
         self.timer_wakes.pop_due(self.now, &mut woken);
         self.packet_wakes.pop_due(self.now, &mut woken);
         woken.extend(self.network.take_dirty());
-        let mut order: Vec<ProcessId> = woken
-            .into_iter()
-            .filter(|id| {
-                self.slots
-                    .get(id)
-                    .map(|s| s.status.is_active())
-                    .unwrap_or(false)
-            })
-            .collect();
+        let mut order: Vec<ProcessId> = Vec::with_capacity(woken.len());
+        for id in woken {
+            let active = self
+                .slots
+                .get(&id)
+                .map(|s| s.status.is_active())
+                .unwrap_or(false);
+            if !active {
+                continue;
+            }
+            if self.timer_due(id) {
+                order.push(id);
+                continue;
+            }
+            // No due timer: the wake is justified only by a deliverable
+            // packet. Packets that are in flight but not yet ready re-arm
+            // the wake at their delivery round instead.
+            match self.network.earliest_inbound_ready(id) {
+                Some(ready) if ready <= self.now => order.push(id),
+                Some(ready) => self.packet_wakes.schedule(ready, id),
+                None => {}
+            }
+        }
         self.rng.shuffle(&mut order);
         // The membership snapshot is only read by visited processes; a
         // quiescent round must not pay O(processes) to build it.
@@ -259,8 +308,12 @@ impl<P: Process> Simulation<P> {
             let mut ctx = Context::new(id, self.now, &all_ids);
             slot.process.on_timer(&mut ctx);
             let outbox = ctx.into_outbox();
-            let next = self.now + self.config.timer_period();
+            let period = slot
+                .timer_period_override
+                .unwrap_or(self.config.timer_period());
+            let next = self.now + period;
             slot.next_timer = next;
+            slot.timer_steps += 1;
             self.timer_wakes.schedule(next, id);
             self.flush(id, outbox);
         }
@@ -269,20 +322,45 @@ impl<P: Process> Simulation<P> {
         self.now = self.now.next();
     }
 
-    /// One round of the legacy whole-system scan: every active process is
-    /// visited and every channel in the network is examined for deliverable
-    /// packets. Byte-identical to [`Simulation::step_round_event`] for the
-    /// same seed (at timer period 1); kept as the baseline the scheduler
+    /// One round of the legacy whole-system scan: the due processes are
+    /// found by examining every process and every channel in the network
+    /// instead of consulting the run queue — the behaviour of this crate
+    /// before the run queue existed, kept as the baseline the scheduler
     /// benchmarks compare against.
+    ///
+    /// The visited set is exactly the due set of
+    /// [`Simulation::step_round_event`] — a process with neither a due timer
+    /// nor a deliverable packet takes no step and consumes no randomness in
+    /// either mode — so both strategies produce byte-identical executions
+    /// for the same seed, at any timer period and under per-process
+    /// overrides. (At the default timer period of 1 every active process is
+    /// due every round, which is the historical whole-system scan.)
     fn step_round_scan(&mut self) {
         self.trace.record(TraceEvent::RoundStarted(self.now));
         let all_ids: Vec<ProcessId> = self.slots.keys().copied().collect();
-        let mut order: Vec<ProcessId> = self
+        // The scan discovers the same work the run queue indexes; the hints
+        // themselves are irrelevant here, but draining keeps them bounded.
+        let _ = self.network.take_dirty();
+        let candidates: Vec<(ProcessId, bool)> = self
             .slots
             .iter()
             .filter(|(_, s)| s.status.is_active())
-            .map(|(id, _)| *id)
+            .map(|(id, s)| (*id, s.next_timer <= self.now))
             .collect();
+        let mut order: Vec<ProcessId> = Vec::with_capacity(candidates.len());
+        for (id, timer_due) in candidates {
+            if timer_due {
+                order.push(id);
+                continue;
+            }
+            // The baseline cost model: finding a due packet means scanning
+            // the whole network for channels towards `id`.
+            self.metrics.record_channel_scan(self.network.link_count());
+            match self.network.earliest_inbound_ready_scan(id) {
+                Some(ready) if ready <= self.now => order.push(id),
+                _ => {}
+            }
+        }
         self.rng.shuffle(&mut order);
 
         for id in order {
@@ -320,7 +398,11 @@ impl<P: Process> Simulation<P> {
             let mut ctx = Context::new(id, self.now, &all_ids);
             slot.process.on_timer(&mut ctx);
             let outbox = ctx.into_outbox();
-            slot.next_timer = self.now + self.config.timer_period();
+            let period = slot
+                .timer_period_override
+                .unwrap_or(self.config.timer_period());
+            slot.next_timer = self.now + period;
+            slot.timer_steps += 1;
             self.flush(id, outbox);
         }
 
@@ -399,6 +481,51 @@ impl<P: Process> Simulation<P> {
     /// injection, which may corrupt local state arbitrarily).
     pub fn process_mut(&mut self, id: ProcessId) -> Option<&mut P> {
         self.slots.get_mut(&id).map(|s| &mut s.process)
+    }
+
+    /// Overrides (or, with `None`, restores) the timer period of a single
+    /// process, modelling *gray failures* and *clock skew*: the process is
+    /// slow relative to its peers, not dead. Unknown identifiers are
+    /// ignored.
+    ///
+    /// The override takes effect when the process's current timer fires; a
+    /// restore pulls the next timer forward to the current round so the
+    /// recovered process resumes at full rate immediately. Both scheduler
+    /// modes honour overrides identically, so executions stay byte-identical
+    /// across [`SchedulerMode`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == Some(0)`.
+    pub fn set_timer_period_override(&mut self, id: ProcessId, period: Option<u64>) {
+        if let Some(p) = period {
+            assert!(p > 0, "timer period override must be at least 1 round");
+        }
+        let now = self.now;
+        if let Some(slot) = self.slots.get_mut(&id) {
+            match period {
+                Some(p) => slot.timer_period_override = Some(p),
+                None => {
+                    if slot.timer_period_override.take().is_some() && slot.next_timer > now {
+                        slot.next_timer = now;
+                        self.timer_wakes.schedule(now, id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The timer-period override currently in force for `id`, if any.
+    pub fn timer_period_override(&self, id: ProcessId) -> Option<u64> {
+        self.slots.get(&id).and_then(|s| s.timer_period_override)
+    }
+
+    /// Number of timer steps `id` has taken so far (`None` for unknown
+    /// identifiers). Used by the scenario runner's gray-failure and skew
+    /// invariants: a slowed process must take fewer steps than its peers but
+    /// must still take some.
+    pub fn timer_steps_of(&self, id: ProcessId) -> Option<u64> {
+        self.slots.get(&id).map(|s| s.timer_steps)
     }
 
     /// Iterates over `(id, process)` pairs for every known processor.
@@ -777,6 +904,88 @@ mod tests {
         sim.run_rounds(3);
         assert_eq!(sim.process(b).unwrap().received, 1);
         assert_eq!(sim.process(a).unwrap().received, 0);
+    }
+
+    /// A gray-failed (slowed) process takes proportionally fewer timer
+    /// steps during the override window and resumes at full rate — on the
+    /// very round of the restore — afterwards.
+    #[test]
+    fn timer_period_override_slows_and_restore_resumes_immediately() {
+        let mut sim = sim_with(3, SimConfig::default().with_seed(12).with_max_delay(0));
+        let victim = ProcessId::new(1);
+        sim.run_rounds(4);
+        assert_eq!(sim.timer_steps_of(victim), Some(4));
+        assert_eq!(sim.timer_period_override(victim), None);
+        sim.set_timer_period_override(victim, Some(5));
+        sim.run_rounds(20);
+        // One step at the old schedule (round 4), then every 5th round
+        // (rounds 9, 14, 19) before the 20-round window closes.
+        let slowed = sim.timer_steps_of(victim).unwrap();
+        assert_eq!(slowed, 4 + 4);
+        assert_eq!(sim.timer_period_override(victim), Some(5));
+        sim.set_timer_period_override(victim, None);
+        sim.run_rounds(10);
+        // Full rate again, starting with the restore round itself.
+        assert_eq!(sim.timer_steps_of(victim), Some(slowed + 10));
+        // The peers were never slowed.
+        assert_eq!(sim.timer_steps_of(ProcessId::new(0)), Some(34));
+        // Unknown ids are ignored / absent.
+        sim.set_timer_period_override(ProcessId::new(99), Some(2));
+        assert_eq!(sim.timer_steps_of(ProcessId::new(99)), None);
+    }
+
+    /// The gray-failure tent-pole at the scheduler level: per-process timer
+    /// overrides applied and restored mid-run keep the event-driven and
+    /// round-scan executions byte-identical — same trace, same states, same
+    /// deliveries — even over lossy, delaying links.
+    #[test]
+    fn timer_period_overrides_are_byte_identical_across_modes() {
+        let run = |mode: SchedulerMode| {
+            let cfg = SimConfig::default()
+                .with_seed(21)
+                .with_loss_probability(0.15)
+                .with_duplication_probability(0.05)
+                .with_max_delay(2)
+                .with_scheduler(mode);
+            let mut sim = sim_with(6, cfg);
+            sim.trace_mut().set_enabled(true);
+            for round in 0..60u64 {
+                match round {
+                    5 => {
+                        sim.set_timer_period_override(ProcessId::new(1), Some(7));
+                        sim.set_timer_period_override(ProcessId::new(4), Some(3));
+                    }
+                    30 => sim.set_timer_period_override(ProcessId::new(1), None),
+                    45 => sim.set_timer_period_override(ProcessId::new(4), None),
+                    _ => {}
+                }
+                sim.step_round();
+            }
+            let steps: Vec<u64> = sim
+                .ids()
+                .iter()
+                .map(|id| sim.timer_steps_of(*id).unwrap())
+                .collect();
+            let values: Vec<u64> = sim.processes().map(|(_, p)| p.value).collect();
+            (
+                trace_bytes(&sim),
+                values,
+                steps,
+                sim.metrics().messages_delivered(),
+            )
+        };
+        let event = run(SchedulerMode::EventDriven);
+        let scan = run(SchedulerMode::RoundScan);
+        assert_eq!(event.0, scan.0, "traces diverged under timer overrides");
+        assert_eq!(event.1, scan.1, "states diverged under timer overrides");
+        assert_eq!(
+            event.2, scan.2,
+            "step counts diverged under timer overrides"
+        );
+        assert_eq!(event.3, scan.3, "deliveries diverged under timer overrides");
+        // The overrides actually bit: the slowed processes lag their peers.
+        assert!(event.2[1] < event.2[0]);
+        assert!(event.2[4] < event.2[0]);
     }
 
     /// White-box packet injection still reaches the destination under

@@ -10,7 +10,7 @@
 //! each composite node hand-rolled that plumbing; now it is expressed once,
 //! here, and every node in the workspace composes the same way:
 //!
-//! * a composite declares its wire format with [`wire_enum!`], which derives
+//! * a composite declares its wire format with [`wire_enum!`](crate::wire_enum), which derives
 //!   a [`Lane`] (injection/projection pair) per tagged variant;
 //! * outgoing traffic of any sub-layer is pushed into an [`Outbox`], which
 //!   wraps native messages into the wire format on the way in — this is also
@@ -19,7 +19,7 @@
 //!   `Outbox<SmrMsg>`);
 //! * incoming wire messages are dispatched with a [`Router`], which peels the
 //!   lanes off one by one and hands each sub-layer its native message type;
-//! * the composite implements [`Layer`], and [`impl_process_for_layer!`]
+//! * the composite implements [`Layer`], and [`impl_process_for_layer!`](crate::impl_process_for_layer)
 //!   turns any `Layer` into a [`crate::Process`] that can run in a
 //!   [`crate::Simulation`].
 //!
@@ -74,7 +74,7 @@ use crate::process::{Context, ProcessId};
 /// Injection/projection between a sub-layer's native message type and a
 /// composite wire format `W`.
 ///
-/// Implementations are normally derived by [`wire_enum!`]; one lane per
+/// Implementations are normally derived by [`wire_enum!`](crate::wire_enum); one lane per
 /// tagged variant of the wire enum.
 pub trait Lane<W>: Sized {
     /// Wraps a native message into the wire format.
@@ -238,7 +238,7 @@ macro_rules! wire_enum {
     };
 }
 
-/// Implementation detail of [`wire_enum!`].
+/// Implementation detail of [`wire_enum!`](crate::wire_enum).
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __wire_enum_lane {

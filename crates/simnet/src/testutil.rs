@@ -48,6 +48,17 @@ impl ScenarioTarget for MaxNode {
         self.value = rng.range_inclusive(100, 200);
     }
 
+    /// In-flight corruption scrambles the gossiped value (bounded, so the
+    /// max-flood still converges on whatever the largest surviving value is).
+    fn corrupt_payload(msg: &mut u64, rng: &mut SimRng) -> bool {
+        if rng.chance(0.5) {
+            *msg = rng.range_inclusive(300, 400);
+            true
+        } else {
+            false
+        }
+    }
+
     /// A deterministic trickle of new values through process 0.
     fn drive_workload(sim: &mut Simulation<Self>, round: Round, _rng: &mut SimRng) {
         if round.as_u64() % 4 == 0 {

@@ -557,6 +557,24 @@ impl SmrNode {
                     self.status = Status::Multicast;
                     return;
                 }
+                // A proposal that does not supersede our own installed view
+                // can never be echoed — the members run the same newer-than
+                // check before echoing. Abandon it and let the election
+                // request a fresh identifier. This closes a one-way-cut
+                // wedge: the cut-off side's labeler may mint a fresh label
+                // while partitioned, and a view identifier drawn under it is
+                // incomparable to the installed view's, so waiting for its
+                // echoes would block the multicast loop forever.
+                let supersedes = self.own_view_void()
+                    || match &self.view {
+                        Some(v) => v.older_than(&prop),
+                        None => true,
+                    };
+                if !supersedes {
+                    self.prop_view = None;
+                    self.status = Status::Multicast;
+                    return;
+                }
                 // Wait until every proposed member echoes the proposal.
                 let all_echoed = prop.members.iter().all(|m| {
                     *m == self.me
@@ -876,6 +894,20 @@ impl simnet::ScenarioTarget for SmrNode {
             self.prop_view = None;
             self.status = Status::Multicast;
             self.awaiting_view_id = false;
+        }
+    }
+
+    /// In-flight payload corruption: half the affected packets collapse to
+    /// a bare heartbeat (content destroyed, liveness witness kept); the
+    /// rest keep the sender-misattributed payload the corruption plan
+    /// shuffled in. Stale `State` broadcasts and view traffic from the
+    /// wrong sender are exactly what the view-legitimacy checks filter.
+    fn corrupt_payload(msg: &mut SmrMsg, rng: &mut simnet::SimRng) -> bool {
+        if rng.chance(0.5) {
+            *msg = SmrMsg::Reconfig(ReconfigMsg::Heartbeat);
+            true
+        } else {
+            false
         }
     }
 

@@ -29,7 +29,8 @@ fn main() {
     println!();
     for run in &report.runs {
         println!(
-            "{:<16} seed={} converged={} rounds={:<4} msgs={:<6} crashes={} joins={} corruptions={}",
+            "{:<16} seed={} converged={} rounds={:<4} msgs={:<6} crashes={} joins={} \
+             corruptions={} wire={} slowdowns={} recoveries={}",
             run.scenario,
             run.seed,
             run.converged,
@@ -38,6 +39,9 @@ fn main() {
             run.crashes,
             run.joins,
             run.corruptions,
+            run.payload_corruptions,
+            run.slowdowns,
+            run.recoveries,
         );
     }
     println!();

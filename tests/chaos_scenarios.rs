@@ -59,6 +59,47 @@ fn chaos_mix_smr_executions_are_identical_across_scheduler_modes() {
     assert_eq!(event, scan);
 }
 
+/// Gray failures are the fault class most likely to split the scheduler
+/// modes apart: a slowed timer changes *which* processes are due each
+/// round, which the event-driven queue learns from wake-ups and the
+/// round-scan baseline must rediscover by scanning. The executions must
+/// still match byte for byte while a minority runs 6× slow and while it
+/// recovers.
+#[test]
+fn gray_failure_executions_are_identical_across_scheduler_modes() {
+    let scenario = find("gray-lag", 5).expect("catalog scenario");
+    for seed in [1u64, 2] {
+        let event = traced_run::<ReconfigNode>(&scenario, seed, SchedulerMode::EventDriven);
+        let scan = traced_run::<ReconfigNode>(&scenario, seed, SchedulerMode::RoundScan);
+        assert_eq!(event.0, scan.0, "trace diverged for seed {seed}");
+        assert_eq!(event.1, scan.1, "outcome diverged for seed {seed}");
+        assert_eq!(event.2, scan.2, "deliveries diverged for seed {seed}");
+    }
+}
+
+/// One-directional cuts are the other likely divergence source: blocked
+/// sends produce no wake-ups in one direction while traffic keeps flowing
+/// in the other, skewing the two modes' work discovery differently.
+#[test]
+fn one_way_cut_executions_are_identical_across_scheduler_modes() {
+    let scenario = find("one-way-cut", 5).expect("catalog scenario");
+    for seed in [1u64, 2] {
+        let event = traced_run::<CounterNode>(&scenario, seed, SchedulerMode::EventDriven);
+        let scan = traced_run::<CounterNode>(&scenario, seed, SchedulerMode::RoundScan);
+        assert_eq!(event, scan, "execution diverged for seed {seed}");
+    }
+}
+
+/// Permanent clock skew on the deepest stack: the system must converge —
+/// in both modes, identically — with the skewed replica still slow.
+#[test]
+fn clock_skew_executions_are_identical_across_scheduler_modes() {
+    let scenario = find("clock-skew", 4).expect("catalog scenario");
+    let event = traced_run::<SmrNode>(&scenario, 3, SchedulerMode::EventDriven);
+    let scan = traced_run::<SmrNode>(&scenario, 3, SchedulerMode::RoundScan);
+    assert_eq!(event, scan);
+}
+
 /// Every catalog scenario converges for every composite node at a small
 /// size: the 4 × catalog matrix the CI chaos job sweeps a subset of.
 #[test]
@@ -134,6 +175,65 @@ fn scenario_faults_are_applied_to_the_real_stack() {
         .find(|(id, _)| id.as_u32() == 5)
         .map(|(_, p)| p.is_participant());
     assert_eq!(joiner, Some(true));
+}
+
+/// Crash-recovery on the real stack: the victims stay dead under their old
+/// identifiers and the replacements are admitted as participants under
+/// fresh ones, as the paper's rejoin rule prescribes.
+#[test]
+fn crash_recovery_rejoins_the_real_stack_under_fresh_identifiers() {
+    let scenario = find("crash-recovery", 5).unwrap();
+    let mut sim: Simulation<ReconfigNode> = scenario.build_sim(11, SchedulerMode::EventDriven);
+    let run = run_scenario(&scenario, &mut sim);
+    assert!(run.converged, "{run:?}");
+    assert!(run.invariant_violations.is_empty(), "{run:?}");
+    // n = 5 ⇒ a 2-process minority crashes at 30 and rejoins at 60.
+    assert_eq!(run.crashes, 2);
+    assert_eq!(run.recoveries, 2);
+    assert_eq!(sim.ids().len(), 7);
+    for old in [3u32, 4] {
+        assert!(!sim.is_active(selfstab_reconfig::sim::ProcessId::new(old)));
+    }
+    for fresh in [5u32, 6] {
+        let node = sim
+            .process(selfstab_reconfig::sim::ProcessId::new(fresh))
+            .unwrap();
+        assert!(node.is_participant(), "recovered p{fresh} was not admitted");
+    }
+}
+
+/// The fault atlas stays complete: every plan type of the fault vocabulary
+/// and every catalog scenario is documented in docs/FAULTS.md — an
+/// undocumented fault class fails CI, per the acceptance criterion.
+#[test]
+fn fault_atlas_documents_every_plan_type_and_scenario() {
+    let atlas = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/FAULTS.md"))
+        .expect("docs/FAULTS.md exists");
+    for plan in [
+        "CrashPlan",
+        "ChurnPlan",
+        "PartitionPlan",
+        "AsymmetricCutPlan",
+        "CorruptionPlan",
+        "SpikePlan",
+        "GrayFailurePlan",
+        "SkewPlan",
+        "PayloadCorruptionPlan",
+        "RecoveryPlan",
+        "ScriptedFaults",
+    ] {
+        assert!(
+            atlas.contains(plan),
+            "docs/FAULTS.md has no atlas entry for {plan}"
+        );
+    }
+    for scenario in catalog(5) {
+        assert!(
+            atlas.contains(scenario.name()),
+            "docs/FAULTS.md does not reference catalog scenario {}",
+            scenario.name()
+        );
+    }
 }
 
 /// The counter service under chaos commits increments monotonically: after
