@@ -1,74 +1,57 @@
 //! E13: recovery from network partitions — the transient-fault flavour the
-//! paper motivates self-stabilization with. Two halves of the system lose
-//! connectivity for a while (possibly drifting to different configurations);
-//! after the heal the reconfiguration scheme must re-converge to a single
-//! conflict-free configuration.
+//! paper motivates self-stabilization with, measured **through the chaos
+//! engine's `Scenario` API** so the benchmark exercises exactly the fault
+//! schedule the campaigns verify (one fault vocabulary for perf numbers and
+//! chaos coverage).
 //!
-//! Reports the number of rounds from the heal until reconvergence, for
-//! several system sizes and partition durations.
+//! The `partition-heal` catalog scenario splits the cluster into halves and
+//! heals 40 rounds later; additional ad-hoc scenarios stretch the partition
+//! window through the same declarative builders `simctl run --plan` uses.
+//! Reports rounds-to-convergence (which includes the partition window: the
+//! runner counts convergence only after the last fault) per system size and
+//! partition duration.
 
-use std::collections::BTreeSet;
-
+use bench::{catalog_scenario, run_scenario_bench};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use reconfig::{config_set, ConfigSet, NodeConfig, ReconfigNode};
-use simnet::{ProcessId, SimConfig, Simulation};
+use reconfig::ReconfigNode;
+use simnet::{Round, Scenario, SchedulerMode};
 
-fn converged(sim: &Simulation<ReconfigNode>) -> Option<ConfigSet> {
-    let mut configs = BTreeSet::new();
-    for id in sim.active_ids() {
-        match sim.process(id).and_then(|p| p.installed_config()) {
-            Some(c) => {
-                configs.insert(c);
-            }
-            None => return None,
-        }
+/// The catalog scenario for the default window, or a stretched variant
+/// built through the same declarative plan builders.
+fn partition_scenario(n: usize, duration: u64) -> Scenario {
+    if duration == 40 {
+        return catalog_scenario("partition-heal", n);
     }
-    if configs.len() == 1 {
-        configs.into_iter().next()
-    } else {
-        None
-    }
-}
-
-/// Builds the cluster, splits it into two halves for `duration` rounds,
-/// heals, and returns the number of rounds from the heal to reconvergence.
-fn partition_heal_recovery(n: u32, duration: u64, seed: u64) -> u64 {
-    let cfg = config_set(0..n);
-    let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
-    for i in 0..n {
-        let id = ProcessId::new(i);
-        sim.add_process_with_id(
-            id,
-            ReconfigNode::new_with_config(id, cfg.clone(), NodeConfig::for_n(2 * n as usize)),
-        );
-    }
-    sim.run_rounds(60);
-
-    let left: Vec<ProcessId> = (0..n / 2).map(ProcessId::new).collect();
-    let right: Vec<ProcessId> = (n / 2..n).map(ProcessId::new).collect();
-    sim.network_mut().split_into(&[left, right]);
-    sim.run_rounds(duration);
-    sim.network_mut().heal_all_links();
-
-    sim.run_until(4000, |s| {
-        converged(s).is_some()
-            && s.active_ids()
-                .iter()
-                .all(|id| s.process(*id).unwrap().no_reconfiguration())
-    })
+    Scenario::new(format!("partition-heal-{duration}"), n)
+        .describe("halves split, stretched heal")
+        .split_halves_at(Round::new(30))
+        .heal_at(Round::new(30 + duration))
+        .with_rounds(4_000)
+        .with_workload_until(70 + duration)
 }
 
 fn partition_recovery(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition_recovery");
     group.sample_size(10);
-    for (n, duration) in [(4u32, 100u64), (6, 100), (6, 300)] {
-        let rounds = partition_heal_recovery(n, duration, 81);
-        eprintln!("[E13] n={n} partition_rounds={duration}: rounds_to_reconverge={rounds}");
+    for (n, duration) in [(4usize, 40u64), (6, 40), (6, 100), (6, 300)] {
+        let scenario = partition_scenario(n, duration);
+        let run = run_scenario_bench::<ReconfigNode>(&scenario, 81, SchedulerMode::EventDriven);
+        assert!(
+            run.converged && run.invariant_violations.is_empty(),
+            "partition-heal bench cell failed: {run:?}"
+        );
+        eprintln!(
+            "[E13] n={n} partition_rounds={duration}: rounds_to_reconverge={:?} splits={}",
+            run.rounds_to_convergence,
+            run.counter("splits"),
+        );
         group.bench_with_input(
             BenchmarkId::new(format!("n{n}"), duration),
-            &(n, duration),
-            |b, &(n, duration)| {
-                b.iter(|| partition_heal_recovery(n, duration, 81));
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    run_scenario_bench::<ReconfigNode>(scenario, 81, SchedulerMode::EventDriven)
+                });
             },
         );
     }

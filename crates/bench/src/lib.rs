@@ -9,7 +9,8 @@
 use std::collections::BTreeSet;
 
 use reconfig::{config_set, ConfigSet, NodeConfig, ReconfigNode};
-use simnet::{ProcessId, SimConfig, Simulation};
+use simnet::scenario::{run_scenario, ScenarioTarget};
+use simnet::{ProcessId, Scenario, ScenarioRun, SchedulerMode, SimConfig, Simulation};
 use vssmr::SmrNode;
 
 /// Builds a simulation of `n` reconfiguration nodes that boot with no agreed
@@ -60,6 +61,27 @@ pub fn smr_cluster(n: u32, seed: u64) -> Simulation<SmrNode> {
             .all(|id| s.process(*id).unwrap().view().is_some())
     });
     sim
+}
+
+/// Runs one chaos scenario end to end against target `T` — the
+/// scenario-driven benchmark harness: experiments measure the same
+/// declarative fault schedules the chaos campaigns verify, so perf numbers
+/// and chaos coverage share one fault vocabulary. Returns the run outcome
+/// (rounds to convergence, fault counters, invariants).
+pub fn run_scenario_bench<T: ScenarioTarget>(
+    scenario: &Scenario,
+    seed: u64,
+    mode: SchedulerMode,
+) -> ScenarioRun {
+    let mut sim: Simulation<T> = scenario.build_sim(seed, mode);
+    run_scenario(scenario, &mut sim)
+}
+
+/// Looks up a catalog scenario by name, panicking with a useful message
+/// when a bench references a scenario the catalog no longer ships.
+pub fn catalog_scenario(name: &str, n: usize) -> Scenario {
+    simnet::scenario::find(name, n)
+        .unwrap_or_else(|| panic!("catalog scenario `{name}` missing (see `simctl list`)"))
 }
 
 /// Returns the single configuration shared by all active nodes, if they agree.

@@ -407,6 +407,30 @@ impl simnet::ScenarioTarget for ReconfigNode {
         }
     }
 
+    /// Byzantine forging. A forged-sender packet is a bare heartbeat: the
+    /// cheapest crafted packet that keeps a dead or never-existing
+    /// processor "alive" in the Θ-failure detectors, which must expire it
+    /// again once the injections stop. Stale state is a crafted
+    /// `JoinMsg::Response { pass: true }` — a stale admission from an
+    /// earlier life of the system; a participant target must ignore it
+    /// (the joining mechanism only reads responses while not a
+    /// participant).
+    fn forge_payload(
+        forge: simnet::ForgeKind,
+        _claimed_sender: ProcessId,
+        _target: ProcessId,
+        _sim: &simnet::Simulation<Self>,
+        _rng: &mut simnet::SimRng,
+    ) -> Option<ReconfigMsg> {
+        match forge {
+            simnet::ForgeKind::ForgedSender => Some(ReconfigMsg::Heartbeat),
+            simnet::ForgeKind::StaleState => {
+                Some(ReconfigMsg::Join(JoinMsg::Response { pass: true }))
+            }
+            simnet::ForgeKind::Replay => None,
+        }
+    }
+
     /// Converged: every active processor is a participant, reports the same
     /// installed configuration and sees no reconfiguration in progress.
     fn converged(sim: &simnet::Simulation<Self>) -> bool {

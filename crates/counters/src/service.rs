@@ -623,6 +623,46 @@ impl simnet::ScenarioTarget for CounterNode {
         false
     }
 
+    /// Byzantine forging. A forged-sender packet echoes the target's own
+    /// maximal counter back at it under the claimed (possibly ghost)
+    /// sender — a liveness witness with no information content, like a
+    /// crafted heartbeat. Stale state is the label-equivocation attack the
+    /// counter service must absorb: a gossiped counter jumped a few
+    /// increments ahead under an *existing legit* label, claiming a writer
+    /// that never produced it; the `max`-merge gossip converges on it like
+    /// any transiently corrupted maximum (Theorem 4.6's wash-out), while a
+    /// counter under an illegit label would trip the member-label
+    /// invariant.
+    fn forge_payload(
+        forge: simnet::ForgeKind,
+        _claimed_sender: ProcessId,
+        target: ProcessId,
+        sim: &simnet::Simulation<Self>,
+        rng: &mut simnet::SimRng,
+    ) -> Option<CounterMsg> {
+        match forge {
+            simnet::ForgeKind::ForgedSender => sim
+                .process(target)
+                .and_then(|p| p.max_counter().cloned())
+                .map(CounterMsg::Sync),
+            simnet::ForgeKind::StaleState => {
+                let base = sim.active_processes().find_map(|(_, p)| {
+                    if p.is_member() {
+                        p.max_counter().cloned()
+                    } else {
+                        None
+                    }
+                })?;
+                let mut jumped = base;
+                for _ in 0..rng.range_inclusive(1, 3) {
+                    jumped = jumped.incremented(jumped.wid);
+                }
+                Some(CounterMsg::Sync(jumped))
+            }
+            simnet::ForgeKind::Replay => None,
+        }
+    }
+
     /// A trickle of increment requests from arbitrary active processors
     /// (members *and* clients — Algorithms 4.4 and 4.5).
     fn drive_workload(

@@ -546,6 +546,37 @@ impl simnet::ScenarioTarget for SharedMemNode {
         }
     }
 
+    /// Byzantine forging. A forged-sender packet is a bare heartbeat into
+    /// the embedded reconfiguration stack. Stale state is the
+    /// *tag-equivocation* attack the register emulation must refuse: an
+    /// `Update` carrying a tag the target already stores but a **different**
+    /// value. Tags totally order writes, so adopting it would leave two
+    /// members tag-equal with different values — the store's strictly-newer
+    /// adoption rule must reject it, or the tag-consistency invariant trips
+    /// at the end of the run.
+    fn forge_payload(
+        forge: simnet::ForgeKind,
+        claimed_sender: ProcessId,
+        target: ProcessId,
+        sim: &simnet::Simulation<Self>,
+        rng: &mut simnet::SimRng,
+    ) -> Option<SharedMemMsg> {
+        match forge {
+            simnet::ForgeKind::ForgedSender => Some(SharedMemMsg::Reconfig(ReconfigMsg::Heartbeat)),
+            simnet::ForgeKind::StaleState => {
+                let node = sim.process(target)?;
+                let (key, stored) = node.store.iter().next()?;
+                let equivocated = TaggedValue::new(stored.tag.clone(), stored.value + 1);
+                Some(SharedMemMsg::Register(RegisterMsg::Update {
+                    op: OpId::new(claimed_sender, rng.range_inclusive(1_000_000, 2_000_000)),
+                    key,
+                    value: equivocated,
+                }))
+            }
+            simnet::ForgeKind::Replay => None,
+        }
+    }
+
     /// Alternating writes and reads over a small register set, submitted at
     /// arbitrary active processors (members and clients both drive the
     /// two-phase quorum protocol).

@@ -5,13 +5,38 @@
 //! reports; the CI `chaos` matrix is a thin wrapper around `simctl run`.
 //!
 //! ```text
-//! simctl list [--n N]                      # the scenario catalog
-//! simctl run <scenario|all> --node <reconfig|counter|smr|sharedmem|all>
+//! simctl list [--n N] [--json]             # the scenario catalog
+//! simctl run <scenario|all|NAME> --node <reconfig|counter|smr|sharedmem|all>
 //!            [--n N] [--seeds 1,2] [--modes event|roundscan|both]
+//!            [--plan kind=spec]... [--rounds R] [--workload W]
 //!            [--out FILE] [--timings] [--name NAME]
 //! simctl smoke [--n N] [--out FILE]        # the CI preset (3 scenarios × 4 nodes)
 //! simctl diff <baseline.json> <current.json>   # PR-to-PR report comparison
 //! simctl bench-guard --baseline F --current F [--max-regression 0.30]
+//! simctl bench-guard --scenario NAME --node NODE [--n N] [--seeds 1,2]
+//!            [--out F] [--baseline F] [--max-regression 0.30]
+//! ```
+//!
+//! `--plan` composes ad-hoc fault plans onto the named scenario (or onto a
+//! fresh, empty scenario when the name is not in the catalog) without
+//! recompiling the catalog — the CLI face of the open `FaultPlan` API.
+//! Process identifiers are joined with `+`; one `--plan` flag per schedule
+//! entry, repeatable:
+//!
+//! ```text
+//! --plan crash=30:2+4          crash p2 and p4 at round 30
+//! --plan join=40:2             two joiners at round 40
+//! --plan split=30              split the initial halves at round 30
+//! --plan heal=70               heal every split at round 70
+//! --plan oneway=30             one-way cut of the halves at round 30
+//! --plan healoneway=70         heal every one-way cut at round 70
+//! --plan corrupt=35:0+1        corrupt the state of p0 and p1 at round 35
+//! --plan payload=35:0          corrupt payloads in flight towards p0
+//! --plan spike=30+20:0.25/0.1/2    loss/duplication/extra-delay window
+//! --plan gray=30+40:6:1+2      p1 and p2 run 6x slow for 40 rounds
+//! --plan skew=20:3:1           p1 runs 3x slow forever
+//! --plan recover=30+25:4       p4 crashes and rejoins 25 rounds later
+//! --plan byzantine=30:forged-sender:9:0+1   crafted packets from "p9"
 //! ```
 //!
 //! `simctl diff` compares two campaign reports cell by cell — cells are
@@ -34,8 +59,11 @@ use std::process::ExitCode;
 use counters::CounterNode;
 use reconfig::ReconfigNode;
 use sharedmem::SharedMemNode;
+use simnet::fault::SpikeSpec;
 use simnet::scenario::{catalog, ScenarioTarget};
-use simnet::{Campaign, CampaignReport, Json, Scenario, SchedulerMode};
+use simnet::{
+    Campaign, CampaignReport, ForgeKind, Json, ProcessId, Round, Scenario, SchedulerMode,
+};
 use vssmr::SmrNode;
 
 /// All node types `simctl --node` accepts.
@@ -70,12 +98,19 @@ fn main() -> ExitCode {
 
 fn usage() -> &'static str {
     "usage:\n  \
-     simctl list [--n N]\n  \
-     simctl run <scenario|all> --node <reconfig|counter|smr|sharedmem|all> \
-     [--n N] [--seeds 1,2] [--modes event|roundscan|both] [--out FILE] [--timings] [--name NAME]\n  \
+     simctl list [--n N] [--json]\n  \
+     simctl run <scenario|all|NAME> --node <reconfig|counter|smr|sharedmem|all> \
+     [--n N] [--seeds 1,2] [--modes event|roundscan|both] \
+     [--plan kind=spec]... [--rounds R] [--workload W] [--out FILE] [--timings] [--name NAME]\n  \
      simctl smoke [--n N] [--out FILE]\n  \
      simctl diff <baseline.json> <current.json>\n  \
-     simctl bench-guard --baseline FILE --current FILE [--max-regression 0.30]"
+     simctl bench-guard --baseline FILE --current FILE [--max-regression 0.30]\n  \
+     simctl bench-guard --scenario NAME --node NODE [--n N] [--seeds 1,2] \
+     [--out FILE] [--baseline FILE] [--max-regression 0.30]\n\n\
+     --plan specs (ids joined with '+'): crash=R:IDS  join=R:COUNT  split=R  heal=R  \
+     oneway=R  healoneway=R  corrupt=R:IDS  payload=R:IDS  spike=R+DUR:LOSS/DUP/DELAY  \
+     gray=R+DUR:PERIOD:IDS  skew=R:PERIOD:IDS  recover=R+DOWNTIME:IDS  \
+     byzantine=R:replay|forged-sender|stale-state:CLAIMED:IDS"
 }
 
 fn dispatch(args: &[String]) -> Result<bool, String> {
@@ -132,6 +167,15 @@ impl Flags {
             .and_then(|(_, v)| v.as_deref())
     }
 
+    /// Every value given for a repeatable flag, in order.
+    fn values(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
     fn switch(&self, name: &str) -> bool {
         self.pairs.iter().any(|(k, _)| k == name)
     }
@@ -172,31 +216,190 @@ fn parse_modes(flags: &Flags) -> Result<Vec<SchedulerMode>, String> {
     }
 }
 
+/// The machine-readable catalog document (`simctl list --json`).
+fn catalog_json(n: usize) -> Json {
+    Json::obj().field("n", n).field(
+        "scenarios",
+        Json::Arr(
+            catalog(n)
+                .iter()
+                .map(|s| {
+                    Json::obj()
+                        .field("name", s.name())
+                        .field("description", s.description())
+                        .field("rounds", s.rounds())
+                        .field("workload_rounds", s.workload_rounds())
+                        .field(
+                            "plans",
+                            Json::Arr(
+                                s.plans()
+                                    .iter()
+                                    .map(|p| {
+                                        Json::obj()
+                                            .field("kind", p.kind())
+                                            .field("events", p.events())
+                                    })
+                                    .collect(),
+                            ),
+                        )
+                })
+                .collect(),
+        ),
+    )
+}
+
 fn cmd_list(args: &[String]) -> Result<bool, String> {
-    let flags = Flags::parse(args, &["n"], &[])?;
+    let flags = Flags::parse(args, &["n"], &["json"])?;
     let n = parse_n(&flags)?;
+    if flags.switch("json") {
+        print!("{}", catalog_json(n).render());
+        return Ok(true);
+    }
     println!("scenario catalog (n = {n}):");
     for s in catalog(n) {
+        let plans: Vec<String> = s
+            .plans()
+            .iter()
+            .map(|p| format!("{} ×{}", p.kind(), p.events()))
+            .collect();
+        let plans = if plans.is_empty() {
+            "none".to_string()
+        } else {
+            plans.join(", ")
+        };
         println!(
-            "  {:<16} rounds≤{:<5} workload<{:<4} faults: {} crash, {} join, {} split, \
-             {} cut, {} corrupt, {} spike, {} gray, {} skew, {} wire, {} recover — {}",
+            "  {:<16} rounds≤{:<5} workload<{:<4} faults: {plans} — {}",
             s.name(),
             s.rounds(),
             s.workload_rounds(),
-            s.crash_plan().total(),
-            s.churn_plan().total(),
-            s.partition_plan().total_splits(),
-            s.asymmetric_cut_plan().total_cuts(),
-            s.corruption_plan().total(),
-            s.spike_plan().total(),
-            s.gray_plan().total(),
-            s.skew_plan().total(),
-            s.payload_plan().total(),
-            s.recovery_plan().total(),
             s.description(),
         );
     }
     Ok(true)
+}
+
+/// Parses one `--plan kind=spec` flag and composes it onto `scenario`.
+/// Grammar (see `usage()`): rounds are plain integers, process identifiers
+/// are joined with `+`, window syntax is `start+duration`.
+fn apply_plan_spec(scenario: Scenario, flag: &str) -> Result<Scenario, String> {
+    let (kind, spec) = flag
+        .split_once('=')
+        .ok_or_else(|| format!("bad --plan `{flag}` (expected kind=spec)"))?;
+    let parse_round = |s: &str| -> Result<Round, String> {
+        s.parse::<u64>()
+            .map(Round::new)
+            .map_err(|_| format!("bad round `{s}` in --plan `{flag}`"))
+    };
+    let parse_u64 = |s: &str| -> Result<u64, String> {
+        s.parse::<u64>()
+            .map_err(|_| format!("bad number `{s}` in --plan `{flag}`"))
+    };
+    let parse_ids = |s: &str| -> Result<Vec<ProcessId>, String> {
+        s.split('+')
+            .map(|id| {
+                id.parse::<u32>()
+                    .map(ProcessId::new)
+                    .map_err(|_| format!("bad process id `{id}` in --plan `{flag}`"))
+            })
+            .collect()
+    };
+    let parse_window = |s: &str| -> Result<(Round, u64), String> {
+        let (start, duration) = s.split_once('+').ok_or_else(|| {
+            format!("bad window `{s}` in --plan `{flag}` (expected start+duration)")
+        })?;
+        Ok((parse_round(start)?, parse_u64(duration)?))
+    };
+    let two = |s: &str| -> Result<(String, String), String> {
+        s.split_once(':')
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .ok_or_else(|| format!("bad --plan `{flag}` (missing `:`)"))
+    };
+    match kind {
+        "crash" => {
+            let (round, ids) = two(spec)?;
+            Ok(scenario.crash_at(parse_round(&round)?, parse_ids(&ids)?))
+        }
+        "join" => {
+            let (round, count) = two(spec)?;
+            Ok(scenario.join_at(parse_round(&round)?, parse_u64(&count)? as u32))
+        }
+        "split" => Ok(scenario.split_halves_at(parse_round(spec)?)),
+        "heal" => Ok(scenario.heal_at(parse_round(spec)?)),
+        "oneway" => Ok(scenario.cut_oneway_halves_at(parse_round(spec)?)),
+        "healoneway" => Ok(scenario.heal_oneway_at(parse_round(spec)?)),
+        "corrupt" => {
+            let (round, ids) = two(spec)?;
+            Ok(scenario.corrupt_at(parse_round(&round)?, parse_ids(&ids)?))
+        }
+        "payload" => {
+            let (round, ids) = two(spec)?;
+            Ok(scenario.corrupt_payloads_at(parse_round(&round)?, parse_ids(&ids)?))
+        }
+        "spike" => {
+            let (window, rates) = two(spec)?;
+            let (round, duration) = parse_window(&window)?;
+            let parts: Vec<&str> = rates.split('/').collect();
+            let [loss, dup, delay] = parts.as_slice() else {
+                return Err(format!(
+                    "bad spike rates `{rates}` (expected loss/dup/delay)"
+                ));
+            };
+            let parse_rate = |s: &str| -> Result<f64, String> {
+                s.parse::<f64>()
+                    .map_err(|_| format!("bad rate `{s}` in --plan `{flag}`"))
+            };
+            Ok(scenario.spike_at(
+                round,
+                duration,
+                SpikeSpec {
+                    loss: parse_rate(loss)?,
+                    duplication: parse_rate(dup)?,
+                    extra_delay: parse_u64(delay)?,
+                },
+            ))
+        }
+        "gray" => {
+            let parts: Vec<&str> = spec.splitn(3, ':').collect();
+            let [window, period, ids] = parts.as_slice() else {
+                return Err(format!(
+                    "bad gray spec `{spec}` (expected start+dur:period:ids)"
+                ));
+            };
+            let (round, duration) = parse_window(window)?;
+            Ok(scenario.slow_at(round, duration, parse_u64(period)?, parse_ids(ids)?))
+        }
+        "skew" => {
+            let parts: Vec<&str> = spec.splitn(3, ':').collect();
+            let [round, period, ids] = parts.as_slice() else {
+                return Err(format!(
+                    "bad skew spec `{spec}` (expected round:period:ids)"
+                ));
+            };
+            Ok(scenario.skew_at(parse_round(round)?, parse_u64(period)?, parse_ids(ids)?))
+        }
+        "recover" => {
+            let (window, ids) = two(spec)?;
+            let (round, downtime) = parse_window(&window)?;
+            Ok(scenario.crash_recover_at(round, parse_ids(&ids)?, downtime))
+        }
+        "byzantine" => {
+            let parts: Vec<&str> = spec.splitn(4, ':').collect();
+            let [round, forge, claimed, ids] = parts.as_slice() else {
+                return Err(format!(
+                    "bad byzantine spec `{spec}` (expected round:kind:claimed:ids)"
+                ));
+            };
+            let forge = ForgeKind::parse(forge)
+                .ok_or_else(|| format!("bad forge kind `{forge}` in --plan `{flag}`"))?;
+            let claimed = ProcessId::new(
+                claimed
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad claimed sender `{claimed}` in --plan `{flag}`"))?,
+            );
+            Ok(scenario.inject_at(parse_round(round)?, forge, claimed, parse_ids(ids)?))
+        }
+        other => Err(format!("unknown plan kind `{other}` in --plan `{flag}`")),
+    }
 }
 
 fn resolve_scenarios(names: &[String], n: usize) -> Result<Vec<Scenario>, String> {
@@ -281,11 +484,53 @@ fn emit(report: &CampaignReport, out: Option<&str>) -> Result<(), String> {
 fn cmd_run(args: &[String]) -> Result<bool, String> {
     let flags = Flags::parse(
         args,
-        &["node", "n", "seed", "seeds", "modes", "out", "name"],
+        &[
+            "node", "n", "seed", "seeds", "modes", "out", "name", "plan", "rounds", "workload",
+        ],
         &["timings"],
     )?;
     let n = parse_n(&flags)?;
-    let scenarios = resolve_scenarios(&flags.positional, n)?;
+    let plan_specs = flags.values("plan");
+    let mut scenarios = if !plan_specs.is_empty() && flags.positional.len() == 1 {
+        // Ad-hoc mode: compose plans onto the named catalog scenario, or
+        // onto a fresh empty scenario when the name is not in the catalog.
+        let name = &flags.positional[0];
+        if name == "all" {
+            return Err(
+                "--plan composes onto a single scenario; name one (catalog or fresh), not `all`"
+                    .to_string(),
+            );
+        }
+        let base =
+            simnet::scenario::find(name, n).unwrap_or_else(|| Scenario::new(name.clone(), n));
+        vec![base]
+    } else if !plan_specs.is_empty() {
+        return Err("--plan takes exactly one scenario name (catalog or fresh)".to_string());
+    } else {
+        resolve_scenarios(&flags.positional, n)?
+    };
+    for spec in plan_specs {
+        let scenario = scenarios.pop().expect("ad-hoc mode has one scenario");
+        scenarios.push(apply_plan_spec(scenario, spec)?);
+    }
+    if let Some(rounds) = flags.value("rounds") {
+        let rounds: u64 = rounds
+            .parse()
+            .map_err(|_| "bad --rounds value".to_string())?;
+        scenarios = scenarios
+            .into_iter()
+            .map(|s| s.with_rounds(rounds))
+            .collect();
+    }
+    if let Some(workload) = flags.value("workload") {
+        let workload: u64 = workload
+            .parse()
+            .map_err(|_| "bad --workload value".to_string())?;
+        scenarios = scenarios
+            .into_iter()
+            .map(|s| s.with_workload_until(workload))
+            .collect();
+    }
     let nodes = resolve_nodes(flags.value("node"))?;
     let name = flags.value("name").unwrap_or("chaos").to_string();
     let campaign = Campaign::new(name)
@@ -490,10 +735,136 @@ fn bench_guard(
     Ok(findings)
 }
 
+/// Measures one catalog scenario as a benchmark: every (scenario, node)
+/// cell runs once per scheduler mode with wall-clock timings, and the
+/// summary rows carry the event-vs-roundscan speedup — the scenario-driven
+/// face of the bench guard, sharing the chaos engine's fault vocabulary.
+fn measure_scenario_bench(
+    scenario: &Scenario,
+    nodes: &[&str],
+    seeds: &[u64],
+) -> Result<Json, String> {
+    let mut rows = Vec::new();
+    for node in nodes {
+        let wall = |mode: SchedulerMode| -> Result<(f64, bool, u64), String> {
+            let campaign = Campaign::new("scenario-bench")
+                .with_seeds(seeds.iter().copied())
+                .with_modes([mode])
+                .with_timings(true);
+            let report = run_matrix(&campaign, &[node], std::slice::from_ref(scenario))?;
+            let ms: f64 = report.runs.iter().filter_map(|r| r.wall_ms).sum();
+            let rounds: u64 = report
+                .runs
+                .iter()
+                .filter_map(|r| r.rounds_to_convergence)
+                .sum();
+            Ok((ms, report.passed(), rounds))
+        };
+        let (event_ms, event_ok, rounds) = wall(SchedulerMode::EventDriven)?;
+        let (roundscan_ms, scan_ok, _) = wall(SchedulerMode::RoundScan)?;
+        rows.push(
+            Json::obj()
+                .field("scenario", scenario.name())
+                .field("node", *node)
+                .field("processes", scenario.initial_size())
+                .field("event_ms", event_ms)
+                .field("roundscan_ms", roundscan_ms)
+                .field(
+                    "speedup",
+                    if event_ms > 0.0 {
+                        roundscan_ms / event_ms
+                    } else {
+                        0.0
+                    },
+                )
+                .field("rounds_to_convergence", rounds)
+                .field("converged", event_ok && scan_ok),
+        );
+    }
+    Ok(Json::obj()
+        .field("bench", "scenario-guard")
+        .field("rows", Json::Arr(rows)))
+}
+
+/// Guards a scenario-bench summary against a baseline of the same shape:
+/// per (scenario, node, processes) row, the event-scheduler speedup may not
+/// regress beyond `max_regression`, and the current run must converge.
+fn scenario_guard(
+    baseline: &Json,
+    current: &Json,
+    max_regression: f64,
+) -> Result<Vec<String>, String> {
+    fn rows(doc: &Json) -> Result<Vec<(String, f64, bool)>, String> {
+        doc.get("rows")
+            .and_then(Json::as_arr)
+            .ok_or("missing rows")?
+            .iter()
+            .map(|row| {
+                let key = format!(
+                    "{}/{} n={}",
+                    row.get("scenario")
+                        .and_then(Json::as_str)
+                        .ok_or("row missing scenario")?,
+                    row.get("node")
+                        .and_then(Json::as_str)
+                        .ok_or("row missing node")?,
+                    row.get("processes")
+                        .and_then(Json::as_u64)
+                        .ok_or("row missing processes")?,
+                );
+                let speedup = row
+                    .get("speedup")
+                    .and_then(Json::as_f64)
+                    .ok_or("row missing speedup")?;
+                let converged = row
+                    .get("converged")
+                    .and_then(Json::as_bool)
+                    .ok_or("row missing converged")?;
+                Ok((key, speedup, converged))
+            })
+            .collect()
+    }
+    let mut findings = Vec::new();
+    let cur_rows = rows(current)?;
+    for (key, _, converged) in &cur_rows {
+        if !converged {
+            findings.push(format!("{key} did not converge in the current summary"));
+        }
+    }
+    for (key, base_speedup, _) in rows(baseline)? {
+        match cur_rows.iter().find(|(k, _, _)| *k == key) {
+            None => findings.push(format!("{key} missing from current summary")),
+            Some((_, cur_speedup, _)) => {
+                let floor = base_speedup * (1.0 - max_regression);
+                if *cur_speedup < floor {
+                    findings.push(format!(
+                        "event-scheduler speedup for {key} regressed: \
+                         {cur_speedup:.2}x < {floor:.2}x (baseline {base_speedup:.2}x − {:.0}%)",
+                        max_regression * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    Ok(findings)
+}
+
 fn cmd_bench_guard(args: &[String]) -> Result<bool, String> {
-    let flags = Flags::parse(args, &["baseline", "current", "max-regression"], &[])?;
-    let baseline_path = flags.value("baseline").ok_or("missing --baseline")?;
-    let current_path = flags.value("current").ok_or("missing --current")?;
+    let flags = Flags::parse(
+        args,
+        &[
+            "baseline",
+            "current",
+            "max-regression",
+            "scenario",
+            "node",
+            "n",
+            "seed",
+            "seeds",
+            "out",
+        ],
+        &[],
+    )?;
     let max_regression: f64 = flags
         .value("max-regression")
         .unwrap_or("0.30")
@@ -503,6 +874,39 @@ fn cmd_bench_guard(args: &[String]) -> Result<bool, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
     };
+    if let Some(name) = flags.value("scenario") {
+        // Scenario-driven mode: measure any catalog scenario, optionally
+        // guard it against a committed baseline of the same shape.
+        let n = parse_n(&flags)?;
+        let scenario = simnet::scenario::find(name, n)
+            .ok_or_else(|| format!("unknown scenario `{name}` (try `simctl list`)"))?;
+        let nodes = resolve_nodes(flags.value("node"))?;
+        let seeds = parse_seeds(&flags)?;
+        let summary = measure_scenario_bench(&scenario, &nodes, &seeds)?;
+        let rendered = summary.render();
+        match flags.value("out") {
+            None => print!("{rendered}"),
+            Some(path) => {
+                std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+        }
+        let findings = match flags.value("baseline") {
+            Some(baseline_path) => scenario_guard(&read(baseline_path)?, &summary, max_regression)?,
+            // Without a baseline the guard still demands convergence.
+            None => scenario_guard(&summary, &summary, max_regression)?,
+        };
+        if findings.is_empty() {
+            eprintln!("bench-guard: scenario `{name}` within bounds");
+            return Ok(true);
+        }
+        for f in &findings {
+            eprintln!("bench-guard: {f}");
+        }
+        return Ok(false);
+    }
+    let baseline_path = flags.value("baseline").ok_or("missing --baseline")?;
+    let current_path = flags.value("current").ok_or("missing --current")?;
     let findings = bench_guard(&read(baseline_path)?, &read(current_path)?, max_regression)?;
     if findings.is_empty() {
         eprintln!(
@@ -655,6 +1059,105 @@ mod tests {
         assert!(!bench_guard(&base, &missing, 0.30).unwrap().is_empty());
         let unconverged = summary(&[(64, 6.0), (256, 12.0)], false);
         assert!(!bench_guard(&base, &unconverged, 0.30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn plan_specs_compose_ad_hoc_scenarios() {
+        let scenario = Scenario::new("adhoc", 6);
+        let scenario = apply_plan_spec(scenario, "crash=30:3+4").unwrap();
+        let scenario = apply_plan_spec(scenario, "crash=45:0").unwrap();
+        let scenario = apply_plan_spec(scenario, "join=40:2").unwrap();
+        let scenario = apply_plan_spec(scenario, "split=20").unwrap();
+        let scenario = apply_plan_spec(scenario, "heal=50").unwrap();
+        let scenario = apply_plan_spec(scenario, "spike=30+20:0.25/0.1/2").unwrap();
+        let scenario = apply_plan_spec(scenario, "gray=30+40:6:1+2").unwrap();
+        let scenario = apply_plan_spec(scenario, "skew=20:3:1").unwrap();
+        let scenario = apply_plan_spec(scenario, "recover=30+25:5").unwrap();
+        let scenario = apply_plan_spec(scenario, "byzantine=30:forged-sender:9:0+1").unwrap();
+        // Repeated specs of one kind merged into one plan per class.
+        assert_eq!(scenario.plan::<simnet::CrashPlan>().unwrap().total(), 3);
+        assert_eq!(scenario.plan::<simnet::ChurnPlan>().unwrap().total(), 2);
+        assert_eq!(scenario.plan::<simnet::SpikePlan>().unwrap().total(), 1);
+        assert_eq!(scenario.plan::<simnet::ByzantinePlan>().unwrap().total(), 2);
+        assert!(scenario.last_fault_round() >= simnet::Round::new(55));
+        // Bad specs are rejected with a useful error.
+        for bad in [
+            "nonsense=1",
+            "crash=30",
+            "crash=x:1",
+            "spike=30:0.1/0.1/1",
+            "byzantine=30:alien:9:0",
+        ] {
+            assert!(
+                apply_plan_spec(Scenario::new("bad", 4), bad).is_err(),
+                "accepted bad spec `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn run_rejects_plan_composition_onto_all() {
+        let args: Vec<String> = ["all", "--node", "reconfig", "--plan", "crash=1:0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = cmd_run(&args).unwrap_err();
+        assert!(err.contains("not `all`"), "{err}");
+    }
+
+    #[test]
+    fn list_json_carries_every_catalog_scenario_and_plan_kind() {
+        let doc = catalog_json(5);
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(5));
+        let scenarios = doc.get("scenarios").and_then(Json::as_arr).unwrap();
+        assert_eq!(scenarios.len(), catalog(5).len());
+        let byz = scenarios
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some("byzantine-storm"))
+            .expect("byzantine-storm listed");
+        let plans = byz.get("plans").and_then(Json::as_arr).unwrap();
+        assert!(plans
+            .iter()
+            .any(|p| p.get("kind").and_then(Json::as_str) == Some("byzantine")));
+        // The rendered document parses back: a stable machine interface.
+        let parsed = Json::parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    fn scenario_summary(rows: &[(&str, f64, bool)]) -> Json {
+        Json::obj().field("bench", "scenario-guard").field(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|(scenario, speedup, converged)| {
+                        Json::obj()
+                            .field("scenario", *scenario)
+                            .field("node", "reconfig")
+                            .field("processes", 5u64)
+                            .field("speedup", *speedup)
+                            .field("converged", *converged)
+                    })
+                    .collect(),
+            ),
+        )
+    }
+
+    #[test]
+    fn scenario_guard_flags_regressions_and_non_convergence() {
+        let base = scenario_summary(&[("partition-heal", 4.0, true)]);
+        let ok = scenario_summary(&[("partition-heal", 3.2, true)]);
+        assert!(scenario_guard(&base, &ok, 0.30).unwrap().is_empty());
+        let slow = scenario_summary(&[("partition-heal", 2.0, true)]);
+        let findings = scenario_guard(&base, &slow, 0.30).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("regressed"));
+        let broken = scenario_summary(&[("partition-heal", 4.0, false)]);
+        assert!(scenario_guard(&base, &broken, 0.30)
+            .unwrap()
+            .iter()
+            .any(|f| f.contains("did not converge")));
+        let missing = scenario_summary(&[]);
+        assert!(!scenario_guard(&base, &missing, 0.30).unwrap().is_empty());
     }
 
     #[test]

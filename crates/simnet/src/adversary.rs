@@ -9,12 +9,16 @@
 //! (via [`Simulation::process_mut`]) or channel (via
 //! [`Simulation::network_mut`]).
 //!
-//! `ScriptedFaults` is the low-level escape hatch of the chaos engine: the
-//! declarative schedules of [`crate::scenario::Scenario`] cover the common
-//! fault classes, and
+//! `ScriptedFaults` is a thin protocol-typed adapter on the edge of the
+//! chaos engine: the open fault-plan API ([`crate::plan::FaultPlan`])
+//! covers every declarative fault class — including crafted-message
+//! injection, which used to be this module's main job and now lives in
+//! [`crate::plan::ByzantinePlan`] — and
 //! [`crate::scenario::run_scenario_with_extras`] applies a script *on top*
-//! of a scenario for the adversarial actions no declarative plan can
-//! express.
+//! of a scenario only for white-box steps no protocol-agnostic plan can
+//! express (arbitrary closures over the whole typed [`Simulation`], e.g.
+//! asserting link state mid-run or rewriting a specific field of one
+//! process).
 //!
 //! ```
 //! use simnet::{ScriptedFaults, Simulation, SimConfig, Process, Context, ProcessId, Round};

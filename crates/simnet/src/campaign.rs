@@ -58,10 +58,11 @@
 //! assert_eq!(report.render(), report.render());
 //! ```
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use crate::config::SchedulerMode;
-use crate::report::Json;
+use crate::report::{obj_from_map, Json};
 use crate::scenario::{run_scenario, Scenario, ScenarioTarget};
 
 /// Sweep configuration: which seeds and scheduler modes every scenario runs
@@ -178,12 +179,7 @@ impl Campaign {
             rounds_run: outcome.run.rounds_run,
             converged: outcome.run.converged,
             rounds_to_convergence: outcome.run.rounds_to_convergence,
-            crashes: outcome.run.crashes,
-            joins: outcome.run.joins,
-            corruptions: outcome.run.corruptions,
-            payload_corruptions: outcome.run.payload_corruptions,
-            recoveries: outcome.run.recoveries,
-            slowdowns: outcome.run.slowdowns,
+            counters: outcome.run.counters,
             messages_sent: outcome.messages_sent,
             messages_delivered: outcome.messages_delivered,
             messages_lost: outcome.messages_lost,
@@ -227,18 +223,11 @@ pub struct RunRecord {
     pub converged: bool,
     /// First post-fault round at which the target reported convergence.
     pub rounds_to_convergence: Option<u64>,
-    /// Crashes applied (including crash-recovery crashes).
-    pub crashes: u64,
-    /// Joins applied.
-    pub joins: u64,
-    /// State corruptions applied.
-    pub corruptions: u64,
-    /// In-flight packets whose payloads were corrupted.
-    pub payload_corruptions: u64,
-    /// Crash-recovered processors rejoined under fresh identifiers.
-    pub recoveries: u64,
-    /// Gray-failure and clock-skew slowdowns applied.
-    pub slowdowns: u64,
+    /// Fault counters keyed by the plans' registered counter keys (see
+    /// [`crate::plan::FaultPlan::counter_keys`]): `crashes`, `joins`,
+    /// `corruptions`, `injections`, … — extensible per fault class instead
+    /// of fixed fields.
+    pub counters: BTreeMap<String, u64>,
     /// Send operations attempted.
     pub messages_sent: u64,
     /// Packets delivered.
@@ -267,6 +256,11 @@ impl RunRecord {
         self.converged && self.modes_agree && self.invariant_violations.is_empty()
     }
 
+    /// The value of one fault counter (0 when the key is absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
     /// The record as a JSON object.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj()
@@ -283,12 +277,7 @@ impl RunRecord {
                     None => Json::Null,
                 },
             )
-            .field("crashes", self.crashes)
-            .field("joins", self.joins)
-            .field("corruptions", self.corruptions)
-            .field("payload_corruptions", self.payload_corruptions)
-            .field("recoveries", self.recoveries)
-            .field("slowdowns", self.slowdowns)
+            .field("counters", obj_from_map(&self.counters))
             .field("messages_sent", self.messages_sent)
             .field("messages_delivered", self.messages_delivered)
             .field("messages_lost", self.messages_lost)
@@ -448,12 +437,7 @@ mod tests {
             "rounds_run",
             "converged",
             "rounds_to_convergence",
-            "crashes",
-            "joins",
-            "corruptions",
-            "payload_corruptions",
-            "recoveries",
-            "slowdowns",
+            "counters",
             "messages_sent",
             "messages_delivered",
             "messages_lost",

@@ -32,18 +32,21 @@
 //! that every composite node in the workspace uses to multiplex its
 //! sub-layer traffic over one wire format.
 //!
-//! The fault layer is driven by the **chaos-campaign engine**: a declarative
-//! [`scenario::Scenario`] composes crash, churn, partition (symmetric *and*
-//! one-directional), message-spike, state-corruption, payload-corruption,
-//! gray-failure, clock-skew and crash-recovery schedules ([`fault`],
-//! [`partition`]), the [`campaign`] driver sweeps scenarios × seeds ×
-//! scheduler modes, and [`report`] renders deterministic JSON reports.
-//! Protocol crates plug in through [`scenario::ScenarioTarget`]; the
-//! `simctl` binary runs the named scenarios of [`scenario::catalog`] from
-//! the command line and diffs two reports for PR-to-PR comparison. The
-//! complete fault vocabulary, with its mapping to the paper's model and the
-//! invariants each class is checked against, is catalogued in
-//! `docs/FAULTS.md` at the workspace root.
+//! The fault layer is driven by the **chaos-campaign engine** built on the
+//! open fault-plan API ([`plan::FaultPlan`]): a declarative
+//! [`scenario::Scenario`] composes any list of fault plans — the built-in
+//! crash, churn, partition (symmetric *and* one-directional), message-spike,
+//! state-corruption, payload-corruption, gray-failure, clock-skew,
+//! crash-recovery and Byzantine-injection classes ([`fault`], [`partition`],
+//! [`plan`]) or user-defined ones — each scheduling typed
+//! [`plan::FaultAction`]s the runner applies, counts and checks. The
+//! [`campaign`] driver sweeps scenarios × seeds × scheduler modes, and
+//! [`report`] renders deterministic JSON reports. Protocol crates plug in
+//! through [`scenario::ScenarioTarget`]; the `simctl` binary runs the named
+//! scenarios of [`scenario::catalog`] from the command line and diffs two
+//! reports for PR-to-PR comparison. The complete fault vocabulary, with its
+//! mapping to the paper's model and the invariants each class is checked
+//! against, is catalogued in `docs/FAULTS.md` at the workspace root.
 //!
 //! ## Quick example
 //!
@@ -86,6 +89,7 @@ pub mod histogram;
 pub mod metrics;
 pub mod network;
 pub mod partition;
+pub mod plan;
 pub mod process;
 pub mod report;
 pub mod rng;
@@ -109,6 +113,7 @@ pub use histogram::Histogram;
 pub use metrics::Metrics;
 pub use network::Network;
 pub use partition::{AsymmetricCutPlan, PartitionPlan};
+pub use plan::{ByzantinePlan, FaultAction, FaultPlan, ForgeKind, PlanCtx, RunObservations};
 pub use process::{Context, Process, ProcessId, ProcessStatus};
 pub use report::Json;
 pub use rng::SimRng;

@@ -59,6 +59,23 @@ impl ScenarioTarget for MaxNode {
         }
     }
 
+    /// Byzantine forging for the toy target: a forged-sender packet is a
+    /// bounded bogus value (it floods and wins like any maximum); stale
+    /// state echoes the target's own current value back at it.
+    fn forge_payload(
+        forge: crate::plan::ForgeKind,
+        _claimed_sender: ProcessId,
+        target: ProcessId,
+        sim: &Simulation<Self>,
+        rng: &mut SimRng,
+    ) -> Option<u64> {
+        match forge {
+            crate::plan::ForgeKind::ForgedSender => Some(rng.range_inclusive(500, 600)),
+            crate::plan::ForgeKind::StaleState => sim.process(target).map(|p| p.value),
+            crate::plan::ForgeKind::Replay => None,
+        }
+    }
+
     /// A deterministic trickle of new values through process 0.
     fn drive_workload(sim: &mut Simulation<Self>, round: Round, _rng: &mut SimRng) {
         if round.as_u64() % 4 == 0 {

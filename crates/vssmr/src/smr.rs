@@ -911,6 +911,50 @@ impl simnet::ScenarioTarget for SmrNode {
         }
     }
 
+    /// Byzantine forging. A forged-sender packet is a bare heartbeat into
+    /// the embedded reconfiguration stack. Stale state is the
+    /// *view-equivocation* attack virtual synchrony exists to prevent: a
+    /// `State` broadcast advertising the target's current view identifier
+    /// with a **different** member set (and a stale multicast round). The
+    /// replica must refuse to adopt it — the view-legitimacy checks accept
+    /// a view only from its coordinator under the installed configuration —
+    /// or the view-id-uniqueness invariant trips at the end of the run.
+    fn forge_payload(
+        forge: simnet::ForgeKind,
+        _claimed_sender: ProcessId,
+        target: ProcessId,
+        sim: &simnet::Simulation<Self>,
+        _rng: &mut simnet::SimRng,
+    ) -> Option<SmrMsg> {
+        match forge {
+            simnet::ForgeKind::ForgedSender => Some(SmrMsg::Reconfig(ReconfigMsg::Heartbeat)),
+            simnet::ForgeKind::StaleState => {
+                let node = sim.process(target)?;
+                let view = node.view()?;
+                let mut members = view.members.clone();
+                let dropped = members.iter().next().copied()?;
+                members.remove(&dropped);
+                if members.is_empty() {
+                    return None;
+                }
+                Some(SmrMsg::State(StateMsg {
+                    view: Some(View {
+                        id: view.id.clone(),
+                        members,
+                    }),
+                    prop_view: None,
+                    status: Status::Multicast,
+                    rnd: 0,
+                    state: node.state().clone(),
+                    input: None,
+                    no_crd: false,
+                    suspend: false,
+                }))
+            }
+            simnet::ForgeKind::Replay => None,
+        }
+    }
+
     /// Submit a write every few rounds at an arbitrary replica that is part
     /// of the currently installed view (only view members' inputs are read
     /// by the multicast rounds).

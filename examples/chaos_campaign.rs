@@ -28,20 +28,19 @@ fn main() {
 
     println!();
     for run in &report.runs {
+        let counters: Vec<String> = run
+            .counters
+            .iter()
+            .map(|(key, value)| format!("{key}={value}"))
+            .collect();
         println!(
-            "{:<16} seed={} converged={} rounds={:<4} msgs={:<6} crashes={} joins={} \
-             corruptions={} wire={} slowdowns={} recoveries={}",
+            "{:<16} seed={} converged={} rounds={:<4} msgs={:<6} {}",
             run.scenario,
             run.seed,
             run.converged,
             run.rounds_run,
             run.messages_sent,
-            run.crashes,
-            run.joins,
-            run.corruptions,
-            run.payload_corruptions,
-            run.slowdowns,
-            run.recoveries,
+            counters.join(" "),
         );
     }
     println!();
