@@ -16,13 +16,21 @@
 //!    can hold. This exercises the FD stabilization, the reset propagation
 //!    and the conflict-free installation at a scale the round-scan scheduler
 //!    and the pre-shared-payload message format could not reach.
+//! 3. **Parallel campaign driver** — the ROADMAP's full catalog matrix (all
+//!    catalog scenarios × the four composite nodes × n = 4..8 × seeds 1..5,
+//!    event mode) timed once through the serial driver and once through the
+//!    `simnet::exec` pool. The reports must be byte-identical — the
+//!    parallel driver's correctness contract — and the wall-time ratio is
+//!    the `parallel_campaign.speedup` the bench guard floors core-awarely
+//!    (a 4-core runner must clear 2.4×; a 1-core machine only proves the
+//!    dispatch is not a slowdown).
 //!
 //! Writes a machine-readable summary to `BENCH_scheduler.json` at the
 //! workspace root.
 
 use std::time::{Duration, Instant};
 
-use bench::converged_config;
+use bench::{catalog_matrix_report, converged_config};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use reconfig::{config_set, NodeConfig, ReconfigNode};
 use simnet::{Context, Process, ProcessId, SchedulerMode, SimConfig, Simulation};
@@ -138,7 +146,56 @@ fn run_reconfig_1024() -> (u64, Duration) {
     (rounds, elapsed)
 }
 
-fn write_summary(sparse: &[(u32, Duration, Duration)], reconfig: (u64, Duration)) {
+/// The full-matrix axes: every catalog scenario × all four node types ×
+/// these population sizes × these seeds, event mode.
+const MATRIX_NS: [usize; 5] = [4, 5, 6, 7, 8];
+const MATRIX_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+
+/// What the serial-vs-parallel campaign measurement produced.
+struct ParallelCampaign {
+    cells: usize,
+    jobs: usize,
+    cores: usize,
+    serial: Duration,
+    parallel: Duration,
+    byte_identical: bool,
+    passed: bool,
+}
+
+/// Times the full catalog matrix through the serial driver and through the
+/// parallel driver, and checks the byte-identity contract on the way.
+fn run_parallel_campaign() -> ParallelCampaign {
+    let cores = simnet::exec::available_jobs();
+    // At least 4 workers even on narrow machines: oversubscription is
+    // harmless for compute-bound cells and keeps the measurement shape
+    // (and the acceptance criterion's "--jobs ≥ 4") uniform everywhere.
+    let jobs = cores.max(4);
+
+    let started = Instant::now();
+    let serial_report = catalog_matrix_report(&MATRIX_NS, &MATRIX_SEEDS, 1);
+    let serial = started.elapsed();
+
+    let started = Instant::now();
+    let parallel_report = catalog_matrix_report(&MATRIX_NS, &MATRIX_SEEDS, jobs);
+    let parallel = started.elapsed();
+
+    let byte_identical = serial_report.render() == parallel_report.render();
+    ParallelCampaign {
+        cells: serial_report.runs.len(),
+        jobs,
+        cores,
+        serial,
+        parallel,
+        byte_identical,
+        passed: serial_report.passed() && parallel_report.passed(),
+    }
+}
+
+fn write_summary(
+    sparse: &[(u32, Duration, Duration)],
+    reconfig: (u64, Duration),
+    campaign: &ParallelCampaign,
+) {
     let cells: Vec<String> = sparse
         .iter()
         .map(|(n, event, scan)| {
@@ -161,12 +218,27 @@ fn write_summary(sparse: &[(u32, Duration, Duration)], reconfig: (u64, Duration)
             "  \"bench\": \"sched_event_vs_roundscan\",\n",
             "  \"sparse_traffic\": [\n{}\n  ],\n",
             "  \"reconfig_1024\": {{\"processes\": 1024, \"bootstrap_from_bottom\": true, ",
-            "\"rounds_to_convergence\": {}, \"wall_ms\": {:.3}, \"converged\": true}}\n",
+            "\"rounds_to_convergence\": {}, \"wall_ms\": {:.3}, \"converged\": true}},\n",
+            "  \"parallel_campaign\": {{\"scenarios\": \"catalog\", \"nodes\": 4, ",
+            "\"n_low\": {}, \"n_high\": {}, \"seeds\": {}, \"cells\": {}, ",
+            "\"jobs\": {}, \"cores\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, ",
+            "\"speedup\": {:.2}, \"byte_identical\": {}, \"passed\": {}}}\n",
             "}}\n"
         ),
         cells.join(",\n"),
         reconfig.0,
         reconfig.1.as_secs_f64() * 1e3,
+        MATRIX_NS[0],
+        MATRIX_NS[MATRIX_NS.len() - 1],
+        MATRIX_SEEDS.len(),
+        campaign.cells,
+        campaign.jobs,
+        campaign.cores,
+        campaign.serial.as_secs_f64() * 1e3,
+        campaign.parallel.as_secs_f64() * 1e3,
+        campaign.serial.as_secs_f64() / campaign.parallel.as_secs_f64().max(1e-9),
+        campaign.byte_identical,
+        campaign.passed,
     );
     let path = format!("{}/../../BENCH_scheduler.json", env!("CARGO_MANIFEST_DIR"));
     if let Err(e) = std::fs::write(&path, &json) {
@@ -211,7 +283,27 @@ fn sched_event_vs_roundscan(c: &mut Criterion) {
 
     let (rounds, wall) = run_reconfig_1024();
     eprintln!("[sched] reconfig n=1024: converged in {rounds} rounds, {wall:?}");
-    write_summary(&sparse, (rounds, wall));
+
+    let campaign = run_parallel_campaign();
+    eprintln!(
+        "[sched] parallel campaign ({} cells): serial={:?} parallel={:?} ({} jobs on {} cores, \
+         speedup {:.2}x)",
+        campaign.cells,
+        campaign.serial,
+        campaign.parallel,
+        campaign.jobs,
+        campaign.cores,
+        campaign.serial.as_secs_f64() / campaign.parallel.as_secs_f64().max(1e-9),
+    );
+    assert!(
+        campaign.byte_identical,
+        "parallel campaign report diverged from the serial driver's"
+    );
+    assert!(
+        campaign.passed,
+        "the full catalog matrix has a failing cell"
+    );
+    write_summary(&sparse, (rounds, wall), &campaign);
 
     // Criterion-facing numbers for the comparison table.
     let mut group = c.benchmark_group("sched_sparse");

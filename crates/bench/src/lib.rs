@@ -8,9 +8,14 @@
 
 use std::collections::BTreeSet;
 
+use counters::CounterNode;
 use reconfig::{config_set, ConfigSet, NodeConfig, ReconfigNode};
-use simnet::scenario::{run_scenario, ScenarioTarget};
-use simnet::{ProcessId, Scenario, ScenarioRun, SchedulerMode, SimConfig, Simulation};
+use sharedmem::SharedMemNode;
+use simnet::scenario::{catalog, run_scenario, ScenarioTarget};
+use simnet::{
+    Campaign, CampaignReport, ProcessId, Scenario, ScenarioRun, SchedulerMode, SimConfig,
+    Simulation,
+};
 use vssmr::SmrNode;
 
 /// Builds a simulation of `n` reconfiguration nodes that boot with no agreed
@@ -82,6 +87,31 @@ pub fn run_scenario_bench<T: ScenarioTarget>(
 pub fn catalog_scenario(name: &str, n: usize) -> Scenario {
     simnet::scenario::find(name, n)
         .unwrap_or_else(|| panic!("catalog scenario `{name}` missing (see `simctl list`)"))
+}
+
+/// Runs the catalog × four-composite-nodes × `ns` × `seeds` campaign matrix
+/// (event mode) at one jobs count, dispatching *every* cell — the node axis
+/// included — to one `simnet::exec` pool. `jobs = 1` degenerates to the
+/// serial loop. This is the ROADMAP's "full catalog campaign" matrix; the
+/// scheduler bench times it serial-vs-parallel for `BENCH_scheduler.json`'s
+/// `parallel_campaign` section, and the report renders byte-identically at
+/// any jobs count (asserted there).
+pub fn catalog_matrix_report(ns: &[usize], seeds: &[u64], jobs: usize) -> CampaignReport {
+    let campaign = Campaign::new("catalog-matrix")
+        .with_seeds(seeds.iter().copied())
+        .with_modes([SchedulerMode::EventDriven])
+        .with_jobs(jobs);
+    let mut cells = Vec::new();
+    for &n in ns {
+        let scenarios = catalog(n);
+        cells.extend(campaign.cell_jobs::<ReconfigNode>(&scenarios));
+        cells.extend(campaign.cell_jobs::<CounterNode>(&scenarios));
+        cells.extend(campaign.cell_jobs::<SmrNode>(&scenarios));
+        cells.extend(campaign.cell_jobs::<SharedMemNode>(&scenarios));
+    }
+    let mut report = CampaignReport::new("catalog-matrix", seeds.to_vec());
+    report.runs = simnet::exec::run_ordered(cells, jobs);
+    report
 }
 
 /// Returns the single configuration shared by all active nodes, if they agree.

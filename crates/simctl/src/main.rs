@@ -7,15 +7,26 @@
 //! ```text
 //! simctl list [--n N] [--json]             # the scenario catalog
 //! simctl run <scenario|all|NAME> --node <reconfig|counter|smr|sharedmem|all>
-//!            [--n N] [--seeds 1,2] [--modes event|roundscan|both]
+//!            [--n N] [--seeds 1,2] [--modes event|roundscan|both] [--jobs N]
 //!            [--plan kind=spec]... [--rounds R] [--workload W]
 //!            [--out FILE] [--timings] [--name NAME]
-//! simctl smoke [--n N] [--out FILE]        # the CI preset (3 scenarios × 4 nodes)
+//! simctl smoke [--n N] [--jobs N] [--out FILE]  # the CI preset (3 scenarios × 4 nodes)
 //! simctl diff <baseline.json> <current.json>   # PR-to-PR report comparison
 //! simctl bench-guard --baseline F --current F [--max-regression 0.30]
 //! simctl bench-guard --scenario NAME --node NODE [--n N] [--seeds 1,2]
-//!            [--out F] [--baseline F] [--max-regression 0.30]
+//!            [--jobs N] [--out F] [--baseline F] [--max-regression 0.30]
 //! ```
+//!
+//! `--jobs N` sets the parallel campaign driver's worker-thread budget
+//! (default: the machine's available parallelism; `--jobs 1` forces the
+//! serial loop). Reports are **byte-identical at any jobs count** — cells
+//! derive their randomness from their own seeds and are reassembled in
+//! enumeration order — so `--jobs` trades wall time only, never output.
+//! `simctl diff` accepts the flag too (matrix scripts pass one flag set to
+//! every subcommand) but ignores it: diffing compares reports, it never
+//! runs cells. `bench-guard --scenario --jobs N` additionally measures the
+//! serial-vs-parallel campaign wall time and guards the speedup; it
+//! parallelizes over the seed axis, so give it at least `N` seeds.
 //!
 //! `--plan` composes ad-hoc fault plans onto the named scenario (or onto a
 //! fresh, empty scenario when the name is not in the catalog) without
@@ -100,13 +111,15 @@ fn usage() -> &'static str {
     "usage:\n  \
      simctl list [--n N] [--json]\n  \
      simctl run <scenario|all|NAME> --node <reconfig|counter|smr|sharedmem|all> \
-     [--n N] [--seeds 1,2] [--modes event|roundscan|both] \
+     [--n N] [--seeds 1,2] [--modes event|roundscan|both] [--jobs N] \
      [--plan kind=spec]... [--rounds R] [--workload W] [--out FILE] [--timings] [--name NAME]\n  \
-     simctl smoke [--n N] [--out FILE]\n  \
-     simctl diff <baseline.json> <current.json>\n  \
+     simctl smoke [--n N] [--jobs N] [--out FILE]\n  \
+     simctl diff <baseline.json> <current.json> [--jobs N]\n  \
      simctl bench-guard --baseline FILE --current FILE [--max-regression 0.30]\n  \
-     simctl bench-guard --scenario NAME --node NODE [--n N] [--seeds 1,2] \
+     simctl bench-guard --scenario NAME --node NODE [--n N] [--seeds 1,2] [--jobs N] \
      [--out FILE] [--baseline FILE] [--max-regression 0.30]\n\n\
+     --jobs N: worker threads for the cell matrix (default: available \
+     parallelism; 1 = serial; reports are byte-identical at any N)\n\n\
      --plan specs (ids joined with '+'): crash=R:IDS  join=R:COUNT  split=R  heal=R  \
      oneway=R  healoneway=R  corrupt=R:IDS  payload=R:IDS  spike=R+DUR:LOSS/DUP/DELAY  \
      gray=R+DUR:PERIOD:IDS  skew=R:PERIOD:IDS  recover=R+DOWNTIME:IDS  \
@@ -194,6 +207,26 @@ fn parse_n(flags: &Flags) -> Result<usize, String> {
     }
 }
 
+/// Parses `--jobs`: `None` means "use the default" (available parallelism),
+/// and an explicit `0` spells the same default.
+fn parse_jobs(flags: &Flags) -> Result<Option<usize>, String> {
+    match flags.value("jobs") {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(|jobs| (jobs > 0).then_some(jobs))
+            .map_err(|_| format!("bad --jobs value `{v}`")),
+    }
+}
+
+/// Applies a parsed `--jobs` value to a campaign.
+fn with_jobs(campaign: Campaign, jobs: Option<usize>) -> Campaign {
+    match jobs {
+        Some(jobs) => campaign.with_jobs(jobs),
+        None => campaign,
+    }
+}
+
 fn parse_seeds(flags: &Flags) -> Result<Vec<u64>, String> {
     let raw = flags.value("seeds").or(flags.value("seed")).unwrap_or("1");
     raw.split(',')
@@ -216,7 +249,12 @@ fn parse_modes(flags: &Flags) -> Result<Vec<SchedulerMode>, String> {
     }
 }
 
-/// The machine-readable catalog document (`simctl list --json`).
+/// The machine-readable catalog document (`simctl list --json`). Each
+/// scenario carries its registered counter keys (the sorted union of its
+/// plans' `FaultPlan::counter_keys()`) — exactly the `counters` object keys
+/// a campaign report of that scenario will contain, so the cross-PR
+/// `chaos-diff` job can detect counter-schema drift from the catalog alone,
+/// without running a campaign.
 fn catalog_json(n: usize) -> Json {
     Json::obj().field("n", n).field(
         "scenarios",
@@ -224,11 +262,24 @@ fn catalog_json(n: usize) -> Json {
             catalog(n)
                 .iter()
                 .map(|s| {
+                    let mut counter_keys: Vec<&str> =
+                        s.plans().iter().flat_map(|p| p.counter_keys()).collect();
+                    counter_keys.sort_unstable();
+                    counter_keys.dedup();
                     Json::obj()
                         .field("name", s.name())
                         .field("description", s.description())
                         .field("rounds", s.rounds())
                         .field("workload_rounds", s.workload_rounds())
+                        .field(
+                            "counters",
+                            Json::Arr(
+                                counter_keys
+                                    .into_iter()
+                                    .map(|k| Json::Str(k.to_string()))
+                                    .collect(),
+                            ),
+                        )
                         .field(
                             "plans",
                             Json::Arr(
@@ -430,20 +481,45 @@ fn resolve_nodes(flag: Option<&str>) -> Result<Vec<&'static str>, String> {
     }
 }
 
+/// Runs the node × scenario × seed matrix. With `jobs > 1` the *whole*
+/// matrix — node axis included — is dispatched to one `simnet::exec` pool
+/// in node-major enumeration order, so even a one-seed `--node all` tier
+/// (four cells) parallelizes; reassembly keeps the record order identical
+/// to the serial per-node loop, hence byte-identical reports at any jobs
+/// count.
 fn run_matrix(
     campaign: &Campaign,
     nodes: &[&str],
     scenarios: &[Scenario],
 ) -> Result<CampaignReport, String> {
     let mut report = CampaignReport::new(campaign.name(), campaign.seeds().to_vec());
-    for node in nodes {
-        match *node {
-            "reconfig" => campaign.run_into::<ReconfigNode>(scenarios, &mut report),
-            "counter" => campaign.run_into::<CounterNode>(scenarios, &mut report),
-            "smr" => campaign.run_into::<SmrNode>(scenarios, &mut report),
-            "sharedmem" => campaign.run_into::<SharedMemNode>(scenarios, &mut report),
-            other => return Err(format!("unknown node type `{other}`")),
+    let jobs = campaign.jobs();
+    if jobs <= 1 {
+        for node in nodes {
+            match *node {
+                "reconfig" => campaign.run_into::<ReconfigNode>(scenarios, &mut report),
+                "counter" => campaign.run_into::<CounterNode>(scenarios, &mut report),
+                "smr" => campaign.run_into::<SmrNode>(scenarios, &mut report),
+                "sharedmem" => campaign.run_into::<SharedMemNode>(scenarios, &mut report),
+                other => return Err(format!("unknown node type `{other}`")),
+            }
         }
+        return Ok(report);
+    }
+    let started = std::time::Instant::now();
+    let mut cells = Vec::new();
+    for node in nodes {
+        cells.extend(match *node {
+            "reconfig" => campaign.cell_jobs::<ReconfigNode>(scenarios),
+            "counter" => campaign.cell_jobs::<CounterNode>(scenarios),
+            "smr" => campaign.cell_jobs::<SmrNode>(scenarios),
+            "sharedmem" => campaign.cell_jobs::<SharedMemNode>(scenarios),
+            other => return Err(format!("unknown node type `{other}`")),
+        });
+    }
+    report.runs = simnet::exec::run_ordered(cells, jobs);
+    if campaign.timings() {
+        report.wall_ms_total = Some(started.elapsed().as_secs_f64() * 1e3);
     }
     Ok(report)
 }
@@ -485,7 +561,8 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let flags = Flags::parse(
         args,
         &[
-            "node", "n", "seed", "seeds", "modes", "out", "name", "plan", "rounds", "workload",
+            "node", "n", "seed", "seeds", "modes", "jobs", "out", "name", "plan", "rounds",
+            "workload",
         ],
         &["timings"],
     )?;
@@ -533,23 +610,29 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     }
     let nodes = resolve_nodes(flags.value("node"))?;
     let name = flags.value("name").unwrap_or("chaos").to_string();
-    let campaign = Campaign::new(name)
-        .with_seeds(parse_seeds(&flags)?)
-        .with_modes(parse_modes(&flags)?)
-        .with_timings(flags.switch("timings"));
+    let campaign = with_jobs(
+        Campaign::new(name)
+            .with_seeds(parse_seeds(&flags)?)
+            .with_modes(parse_modes(&flags)?)
+            .with_timings(flags.switch("timings")),
+        parse_jobs(&flags)?,
+    );
     let report = run_matrix(&campaign, &nodes, &scenarios)?;
     emit(&report, flags.value("out"))?;
     Ok(report.passed())
 }
 
 fn cmd_smoke(args: &[String]) -> Result<bool, String> {
-    let flags = Flags::parse(args, &["n", "out"], &[])?;
+    let flags = Flags::parse(args, &["n", "jobs", "out"], &[])?;
     let n = parse_n(&flags)?;
     let scenarios: Vec<Scenario> = SMOKE_SCENARIOS
         .iter()
         .map(|name| simnet::scenario::find(name, n).expect("smoke scenario exists"))
         .collect();
-    let campaign = Campaign::new("smoke").with_seeds([1, 2]);
+    let campaign = with_jobs(
+        Campaign::new("smoke").with_seeds([1, 2]),
+        parse_jobs(&flags)?,
+    );
     let report = run_matrix(&campaign, &NODES, &scenarios)?;
     emit(&report, flags.value("out"))?;
     Ok(report.passed())
@@ -655,7 +738,11 @@ fn diff_reports(baseline: &Json, current: &Json) -> Result<Vec<String>, String> 
 }
 
 fn cmd_diff(args: &[String]) -> Result<bool, String> {
-    let flags = Flags::parse(args, &[], &[])?;
+    // `--jobs` is accepted so matrix scripts can pass one flag set to every
+    // subcommand, but diffing compares reports — it never runs cells, so
+    // there is nothing to parallelize. Parse it anyway to reject garbage.
+    let flags = Flags::parse(args, &["jobs"], &[])?;
+    parse_jobs(&flags)?;
     let [baseline_path, current_path] = flags.positional.as_slice() else {
         return Err("diff takes exactly two report paths".to_string());
     };
@@ -679,10 +766,29 @@ fn cmd_diff(args: &[String]) -> Result<bool, String> {
     }
 }
 
+/// The minimum acceptable parallel-campaign speedup for a measurement taken
+/// with `jobs` workers on a machine offering `cores` hardware threads. The
+/// driver can only use `min(jobs, cores)` cores; demand 60% scaling of that
+/// (CI-noise headroom — a 4-core runner must still clear 2.4×), and on a
+/// single core merely that parallel dispatch is not catastrophically slower
+/// than the serial loop. Core-aware so a baseline measured on a laptop
+/// guards a run on a wider CI runner and vice versa.
+fn parallel_floor(jobs: u64, cores: u64) -> f64 {
+    let usable = jobs.min(cores.max(1));
+    if usable <= 1 {
+        0.5
+    } else {
+        0.6 * usable as f64
+    }
+}
+
 /// Compares a freshly measured scheduler benchmark summary against the
 /// committed baseline: the event-scheduler speedup may not regress by more
-/// than `max_regression` (a fraction) at any measured size, and the
-/// large-scale reconfiguration run must still converge.
+/// than `max_regression` (a fraction) at any measured size, the large-scale
+/// reconfiguration run must still converge, and — once the baseline carries
+/// a `parallel_campaign` section — the parallel campaign driver must stay
+/// byte-identical to the serial one and clear the core-aware speedup floor
+/// ([`parallel_floor`]).
 fn bench_guard(
     baseline: &Json,
     current: &Json,
@@ -732,6 +838,37 @@ fn bench_guard(
     if converged != Some(true) {
         findings.push("reconfig_1024 did not converge in the current summary".to_string());
     }
+    // The parallel-campaign guard only arms once the committed baseline
+    // carries the section, so old summaries keep validating.
+    if baseline.get("parallel_campaign").is_some() {
+        match current.get("parallel_campaign") {
+            None => findings
+                .push("parallel_campaign section missing from the current summary".to_string()),
+            Some(pc) => {
+                let field = |name: &str| pc.get(name).and_then(Json::as_u64);
+                let speedup = pc.get("speedup").and_then(Json::as_f64);
+                match (field("jobs"), field("cores"), speedup) {
+                    (Some(jobs), Some(cores), Some(speedup)) => {
+                        let floor = parallel_floor(jobs, cores);
+                        if speedup < floor {
+                            findings.push(format!(
+                                "parallel campaign speedup regressed: {speedup:.2}x < \
+                                 {floor:.2}x floor (jobs={jobs}, cores={cores})"
+                            ));
+                        }
+                    }
+                    _ => findings
+                        .push("parallel_campaign is missing jobs/cores/speedup fields".to_string()),
+                }
+                if pc.get("byte_identical").and_then(Json::as_bool) != Some(true) {
+                    findings.push(
+                        "parallel campaign report was not byte-identical to the serial one"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
     Ok(findings)
 }
 
@@ -739,10 +876,21 @@ fn bench_guard(
 /// cell runs once per scheduler mode with wall-clock timings, and the
 /// summary rows carry the event-vs-roundscan speedup — the scenario-driven
 /// face of the bench guard, sharing the chaos engine's fault vocabulary.
+///
+/// With `jobs > 1` each row additionally measures the **parallel campaign
+/// driver**: the same (scenario, node) matrix — event mode, one cell per
+/// seed — timed at `--jobs 1` and at `--jobs N` (driver-measured
+/// `wall_ms_total`, best of three like the scheduler bench, so one noisy
+/// timeslice on a shared runner cannot flip the guard), reported as the
+/// `parallel_speedup` column next to a separate `parallel_passed` bit
+/// (`converged` keeps its historical meaning: both *serial mode* runs
+/// passed). The parallel axis is the seed list, so pass at least `jobs`
+/// seeds for the column to mean anything.
 fn measure_scenario_bench(
     scenario: &Scenario,
     nodes: &[&str],
     seeds: &[u64],
+    jobs: usize,
 ) -> Result<Json, String> {
     let mut rows = Vec::new();
     for node in nodes {
@@ -750,6 +898,7 @@ fn measure_scenario_bench(
             let campaign = Campaign::new("scenario-bench")
                 .with_seeds(seeds.iter().copied())
                 .with_modes([mode])
+                .with_jobs(1)
                 .with_timings(true);
             let report = run_matrix(&campaign, &[node], std::slice::from_ref(scenario))?;
             let ms: f64 = report.runs.iter().filter_map(|r| r.wall_ms).sum();
@@ -762,24 +911,57 @@ fn measure_scenario_bench(
         };
         let (event_ms, event_ok, rounds) = wall(SchedulerMode::EventDriven)?;
         let (roundscan_ms, scan_ok, _) = wall(SchedulerMode::RoundScan)?;
-        rows.push(
-            Json::obj()
-                .field("scenario", scenario.name())
-                .field("node", *node)
-                .field("processes", scenario.initial_size())
-                .field("event_ms", event_ms)
-                .field("roundscan_ms", roundscan_ms)
+        let mut row = Json::obj()
+            .field("scenario", scenario.name())
+            .field("node", *node)
+            .field("processes", scenario.initial_size())
+            .field("event_ms", event_ms)
+            .field("roundscan_ms", roundscan_ms)
+            .field(
+                "speedup",
+                if event_ms > 0.0 {
+                    roundscan_ms / event_ms
+                } else {
+                    0.0
+                },
+            )
+            .field("rounds_to_convergence", rounds);
+        if jobs > 1 {
+            // Best of three per jobs count: wall-clock on shared runners is
+            // noisy and the floor below is a hard gate.
+            let drive = |j: usize| -> Result<(f64, bool), String> {
+                let mut best = f64::INFINITY;
+                let mut passed = true;
+                for _ in 0..3 {
+                    let campaign = Campaign::new("scenario-bench-parallel")
+                        .with_seeds(seeds.iter().copied())
+                        .with_modes([SchedulerMode::EventDriven])
+                        .with_jobs(j)
+                        .with_timings(true);
+                    let report = run_matrix(&campaign, &[node], std::slice::from_ref(scenario))?;
+                    best = best.min(report.wall_ms_total.unwrap_or(0.0));
+                    passed = passed && report.passed();
+                }
+                Ok((best, passed))
+            };
+            let (serial_ms, serial_passed) = drive(1)?;
+            let (parallel_ms, parallel_passed) = drive(jobs)?;
+            row = row
+                .field("parallel_jobs", jobs)
+                .field("cores", simnet::exec::available_jobs())
+                .field("wall_serial_ms", serial_ms)
+                .field("wall_parallel_ms", parallel_ms)
                 .field(
-                    "speedup",
-                    if event_ms > 0.0 {
-                        roundscan_ms / event_ms
+                    "parallel_speedup",
+                    if parallel_ms > 0.0 {
+                        serial_ms / parallel_ms
                     } else {
                         0.0
                     },
                 )
-                .field("rounds_to_convergence", rounds)
-                .field("converged", event_ok && scan_ok),
-        );
+                .field("parallel_passed", serial_passed && parallel_passed);
+        }
+        rows.push(row.field("converged", event_ok && scan_ok));
     }
     Ok(Json::obj()
         .field("bench", "scenario-guard")
@@ -788,7 +970,11 @@ fn measure_scenario_bench(
 
 /// Guards a scenario-bench summary against a baseline of the same shape:
 /// per (scenario, node, processes) row, the event-scheduler speedup may not
-/// regress beyond `max_regression`, and the current run must converge.
+/// regress beyond `max_regression`, the current run must converge, and any
+/// row carrying the parallel-driver columns must clear the core-aware
+/// [`parallel_floor`] (the regression threshold of the `--jobs` column:
+/// core-aware rather than baseline-relative, because the baseline and the
+/// guard usually run on machines with different core counts).
 fn scenario_guard(
     baseline: &Json,
     current: &Json,
@@ -831,6 +1017,35 @@ fn scenario_guard(
             findings.push(format!("{key} did not converge in the current summary"));
         }
     }
+    // Parallel-driver columns, when measured: core-aware speedup floor,
+    // and the parallel drive's own pass bit (kept separate from
+    // `converged` so a pool bug is not misread as a protocol regression).
+    for row in current.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+        let (Some(jobs), Some(cores), Some(speedup)) = (
+            row.get("parallel_jobs").and_then(Json::as_u64),
+            row.get("cores").and_then(Json::as_u64),
+            row.get("parallel_speedup").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let cell = format!(
+            "{}/{}",
+            row.get("scenario").and_then(Json::as_str).unwrap_or("?"),
+            row.get("node").and_then(Json::as_str).unwrap_or("?"),
+        );
+        if row.get("parallel_passed").and_then(Json::as_bool) != Some(true) {
+            findings.push(format!(
+                "the parallel-driver measurement for {cell} had a failing campaign run"
+            ));
+        }
+        let floor = parallel_floor(jobs, cores);
+        if speedup < floor {
+            findings.push(format!(
+                "parallel campaign speedup for {cell} regressed: {speedup:.2}x < {floor:.2}x \
+                 floor (jobs={jobs}, cores={cores})"
+            ));
+        }
+    }
     for (key, base_speedup, _) in rows(baseline)? {
         match cur_rows.iter().find(|(k, _, _)| *k == key) {
             None => findings.push(format!("{key} missing from current summary")),
@@ -861,6 +1076,7 @@ fn cmd_bench_guard(args: &[String]) -> Result<bool, String> {
             "n",
             "seed",
             "seeds",
+            "jobs",
             "out",
         ],
         &[],
@@ -882,7 +1098,15 @@ fn cmd_bench_guard(args: &[String]) -> Result<bool, String> {
             .ok_or_else(|| format!("unknown scenario `{name}` (try `simctl list`)"))?;
         let nodes = resolve_nodes(flags.value("node"))?;
         let seeds = parse_seeds(&flags)?;
-        let summary = measure_scenario_bench(&scenario, &nodes, &seeds)?;
+        // A present `--jobs` flag arms the parallel-speedup column — with
+        // `0` meaning the usual default, available parallelism. Without
+        // the flag the scenario bench stays serial-only (measuring a
+        // `--jobs 1` column against itself would say nothing).
+        let jobs = match flags.value("jobs") {
+            None => 1,
+            Some(_) => parse_jobs(&flags)?.unwrap_or_else(simnet::exec::available_jobs),
+        };
+        let summary = measure_scenario_bench(&scenario, &nodes, &seeds, jobs)?;
         let rendered = summary.render();
         match flags.value("out") {
             None => print!("{rendered}"),
@@ -1124,6 +1348,164 @@ mod tests {
         assert_eq!(parsed, doc);
     }
 
+    /// The counter-schema contract of `simctl list --json`: every scenario
+    /// carries the sorted union of its plans' registered counter keys —
+    /// exactly the keys a campaign report of that scenario contains — so
+    /// cross-PR schema drift is detectable without running a campaign.
+    #[test]
+    fn list_json_carries_registered_counter_keys() {
+        let doc = catalog_json(5);
+        let scenarios = doc.get("scenarios").and_then(Json::as_arr).unwrap();
+        for (scenario, listed) in catalog(5).iter().zip(scenarios) {
+            let mut expected: Vec<&str> = scenario
+                .plans()
+                .iter()
+                .flat_map(|p| p.counter_keys())
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            let got: Vec<&str> = listed
+                .get("counters")
+                .and_then(Json::as_arr)
+                .unwrap_or_else(|| panic!("{} has no counters array", scenario.name()))
+                .iter()
+                .filter_map(Json::as_str)
+                .collect();
+            assert_eq!(got, expected, "counter keys for {}", scenario.name());
+        }
+        // Spot checks: the quiescent scenario registers nothing, the
+        // Byzantine storm registers `injections`.
+        let by_name = |name: &str| {
+            scenarios
+                .iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|s| s.get("counters"))
+                .and_then(Json::as_arr)
+                .unwrap()
+                .to_vec()
+        };
+        assert!(by_name("quiescent").is_empty());
+        assert!(by_name("byzantine-storm")
+            .iter()
+            .any(|k| k.as_str() == Some("injections")));
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_zero_means_default() {
+        let parse = |v: &str| {
+            let args = vec!["--jobs".to_string(), v.to_string()];
+            parse_jobs(&Flags::parse(&args, &["jobs"], &[]).unwrap())
+        };
+        assert_eq!(parse("4").unwrap(), Some(4));
+        assert_eq!(parse("1").unwrap(), Some(1));
+        assert_eq!(parse("0").unwrap(), None);
+        assert!(parse("many").is_err());
+        let empty = Flags::parse(&[], &["jobs"], &[]).unwrap();
+        assert_eq!(parse_jobs(&empty).unwrap(), None);
+    }
+
+    #[test]
+    fn parallel_floor_is_core_aware() {
+        // A single core (or a serial measurement) only guards against
+        // catastrophic slowdown; real parallelism demands 60% scaling.
+        assert_eq!(parallel_floor(4, 1), 0.5);
+        assert_eq!(parallel_floor(1, 8), 0.5);
+        assert_eq!(parallel_floor(4, 4), 2.4);
+        assert_eq!(parallel_floor(8, 4), 2.4);
+        assert_eq!(parallel_floor(4, 8), 2.4);
+        assert_eq!(parallel_floor(8, 0), 0.5);
+    }
+
+    fn parallel_row(speedup: f64, jobs: u64, cores: u64) -> Json {
+        Json::obj()
+            .field("scenario", "partition-heal")
+            .field("node", "reconfig")
+            .field("processes", 5u64)
+            .field("speedup", 4.0)
+            .field("converged", true)
+            .field("parallel_jobs", jobs)
+            .field("cores", cores)
+            .field("wall_serial_ms", 100.0)
+            .field("wall_parallel_ms", 100.0 / speedup.max(1e-9))
+            .field("parallel_speedup", speedup)
+            .field("parallel_passed", true)
+    }
+
+    #[test]
+    fn scenario_guard_enforces_the_parallel_floor() {
+        let wrap = |row: Json| {
+            Json::obj()
+                .field("bench", "scenario-guard")
+                .field("rows", Json::Arr(vec![row]))
+        };
+        // 3.1x on 4 usable cores clears the 2.4x floor.
+        let good = wrap(parallel_row(3.1, 4, 4));
+        assert!(scenario_guard(&good, &good, 0.30).unwrap().is_empty());
+        // 1.4x on 4 usable cores does not.
+        let bad = wrap(parallel_row(1.4, 4, 4));
+        let findings = scenario_guard(&good, &bad, 0.30).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].contains("parallel campaign speedup"),
+            "{findings:?}"
+        );
+        // The same 1.4x measured on a single core is fine — the floor is
+        // core-aware, not baseline-relative.
+        let single_core = wrap(parallel_row(1.4, 4, 1));
+        assert!(scenario_guard(&good, &single_core, 0.30)
+            .unwrap()
+            .is_empty());
+        // A failing run inside the parallel drive is its own finding, not a
+        // `converged` flip (the serial modes did converge here).
+        let broken_parallel = wrap(parallel_row(3.1, 4, 4).field("parallel_passed", false));
+        let findings = scenario_guard(&good, &broken_parallel, 0.30).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].contains("parallel-driver measurement"),
+            "{findings:?}"
+        );
+        // Rows without the parallel columns are untouched by the floor.
+        let serial_only = scenario_summary(&[("partition-heal", 4.0, true)]);
+        assert!(scenario_guard(&serial_only, &serial_only, 0.30)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn bench_guard_checks_the_parallel_campaign_section() {
+        let with_pc = |speedup: f64, jobs: u64, cores: u64, identical: bool| {
+            summary(&[(64, 6.0)], true).field(
+                "parallel_campaign",
+                Json::obj()
+                    .field("jobs", jobs)
+                    .field("cores", cores)
+                    .field("speedup", speedup)
+                    .field("byte_identical", identical),
+            )
+        };
+        let base = with_pc(3.4, 4, 4, true);
+        assert!(bench_guard(&base, &with_pc(3.0, 4, 4, true), 0.30)
+            .unwrap()
+            .is_empty());
+        // Slow on 4 cores: floored. Same number on 1 core: accepted.
+        assert!(!bench_guard(&base, &with_pc(1.2, 4, 4, true), 0.30)
+            .unwrap()
+            .is_empty());
+        assert!(bench_guard(&base, &with_pc(0.9, 4, 1, true), 0.30)
+            .unwrap()
+            .is_empty());
+        // Byte-divergence between serial and parallel reports is fatal.
+        let findings = bench_guard(&base, &with_pc(3.0, 4, 4, false), 0.30).unwrap();
+        assert!(findings.iter().any(|f| f.contains("byte-identical")));
+        // A current summary that lost the section is flagged; a baseline
+        // without one never arms the check.
+        assert!(!bench_guard(&base, &summary(&[(64, 6.0)], true), 0.30)
+            .unwrap()
+            .is_empty());
+        let old = summary(&[(64, 6.0)], true);
+        assert!(bench_guard(&old, &old, 0.30).unwrap().is_empty());
+    }
+
     fn scenario_summary(rows: &[(&str, f64, bool)]) -> Json {
         Json::obj().field("bench", "scenario-guard").field(
             "rows",
@@ -1158,6 +1540,34 @@ mod tests {
             .any(|f| f.contains("did not converge")));
         let missing = scenario_summary(&[]);
         assert!(!scenario_guard(&base, &missing, 0.30).unwrap().is_empty());
+    }
+
+    /// The cross-node pool dispatch of `run_matrix` must be observably
+    /// identical to the serial per-node loop: same records, same node-major
+    /// order, byte-identical rendering.
+    #[test]
+    fn run_matrix_parallel_is_byte_identical_to_serial_across_nodes() {
+        let scenarios = vec![simnet::scenario::find("partition-heal", 4).unwrap()];
+        let nodes = ["reconfig", "sharedmem"];
+        let render = |jobs: usize| {
+            let campaign = Campaign::new("matrix")
+                .with_seeds([1, 2])
+                .with_modes([SchedulerMode::EventDriven])
+                .with_jobs(jobs);
+            run_matrix(&campaign, &nodes, &scenarios).unwrap().render()
+        };
+        let serial = render(1);
+        assert_eq!(render(4), serial);
+        // Node-major order: reconfig's cells precede sharedmem's.
+        let report = Json::parse(&serial).unwrap();
+        let order: Vec<String> = report
+            .get("runs")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|r| r.get("node").and_then(Json::as_str).unwrap().to_string())
+            .collect();
+        assert_eq!(order, ["reconfig", "reconfig", "sharedmem", "sharedmem"]);
     }
 
     #[test]

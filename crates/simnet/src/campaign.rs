@@ -13,6 +13,26 @@
 //! explicitly non-deterministic opt-in ([`Campaign::with_timings`]), for
 //! benchmarking use only.
 //!
+//! # Parallel execution
+//!
+//! Cells are independent — every random draw inside a cell derives from its
+//! own (scenario, seed) pair — so the driver runs them on the
+//! [`crate::exec`] work-stealing pool ([`Campaign::with_jobs`]; the default
+//! is the machine's available parallelism, `jobs = 1` keeps the serial
+//! loop). Results are reassembled in enumeration order (scenario-major,
+//! seed-minor), so the report is **byte-identical at any jobs count**; CI
+//! and the property tests assert exactly that.
+//!
+//! # Wall-time semantics under parallelism
+//!
+//! [`RunRecord::wall_ms`] is strictly *per-cell*: it is measured inside the
+//! worker that ran the cell, around that cell's mode runs only. With
+//! `jobs > 1` cells overlap, so campaign-level wall time is **not** the sum
+//! of the cells' `wall_ms`; the driver measures its own elapsed time into
+//! the opt-in [`CampaignReport::wall_ms_total`] instead. Speedup of the
+//! parallel driver is `Σ wall_ms / wall_ms_total`-shaped, never a
+//! comparison of `wall_ms` fields across jobs counts.
+//!
 //! ```
 //! # use simnet::scenario::ScenarioTarget;
 //! # use simnet::{Context, Process, ProcessId, SimRng, Simulation};
@@ -73,17 +93,19 @@ pub struct Campaign {
     seeds: Vec<u64>,
     modes: Vec<SchedulerMode>,
     timings: bool,
+    jobs: Option<usize>,
 }
 
 impl Campaign {
-    /// Creates a campaign named `name` with seed 1 and both scheduler
-    /// modes.
+    /// Creates a campaign named `name` with seed 1, both scheduler modes
+    /// and the default worker count ([`crate::exec::available_jobs`]).
     pub fn new(name: impl Into<String>) -> Self {
         Campaign {
             name: name.into(),
             seeds: vec![1],
             modes: vec![SchedulerMode::EventDriven, SchedulerMode::RoundScan],
             timings: false,
+            jobs: None,
         }
     }
 
@@ -101,9 +123,20 @@ impl Campaign {
 
     /// Enables wall-clock timings in the report (builder style). Timed
     /// reports are **not** byte-deterministic; CI's determinism checks run
-    /// without timings.
+    /// without timings. Timings also switch on the driver-measured
+    /// [`CampaignReport::wall_ms_total`].
     pub fn with_timings(mut self, timings: bool) -> Self {
         self.timings = timings;
+        self
+    }
+
+    /// Sets the worker-thread budget for the cell matrix (builder style).
+    /// `1` preserves the serial code path exactly; `0` restores the default
+    /// (the machine's available parallelism). Any jobs count produces a
+    /// byte-identical report — cells are reassembled in enumeration order
+    /// and every cell derives its randomness from its own seed.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = (jobs > 0).then_some(jobs);
         self
     }
 
@@ -117,13 +150,67 @@ impl Campaign {
         &self.seeds
     }
 
+    /// The effective worker-thread count this campaign will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(crate::exec::available_jobs)
+    }
+
+    /// Whether wall-clock timings were requested.
+    pub fn timings(&self) -> bool {
+        self.timings
+    }
+
+    /// The campaign's cells over `scenarios` as enumerated, self-contained
+    /// closures — scenario-major, seed-minor, each capturing a [`Scenario`]
+    /// clone and building its whole simulation inside whichever worker
+    /// runs it. This is the unit [`Campaign::run_into`] feeds to
+    /// [`crate::exec::run_ordered`]; drivers that interleave several
+    /// target types into one pool dispatch (`simctl run --node all`)
+    /// concatenate the per-type job lists and run them in one call, which
+    /// parallelizes across the node axis too.
+    pub fn cell_jobs<T: ScenarioTarget>(
+        &self,
+        scenarios: &[Scenario],
+    ) -> Vec<crate::exec::Job<'static, RunRecord>> {
+        // `Scenario` is `Send` (its plans carry the `FaultPlan: Send`
+        // bound) and nothing is shared across cells, so each closure is a
+        // free-standing unit of work.
+        let me = std::sync::Arc::new(self.clone());
+        scenarios
+            .iter()
+            .flat_map(|scenario| self.seeds.iter().map(move |&seed| (scenario, seed)))
+            .map(|(scenario, seed)| {
+                let me = std::sync::Arc::clone(&me);
+                let scenario = scenario.clone();
+                Box::new(move || me.run_cell::<T>(&scenario, seed))
+                    as crate::exec::Job<'static, RunRecord>
+            })
+            .collect()
+    }
+
     /// Runs every scenario × seed cell against target `T` and appends the
-    /// records to `report`.
+    /// records to `report`, in deterministic enumeration order
+    /// (scenario-major, seed-minor) regardless of the jobs count.
     pub fn run_into<T: ScenarioTarget>(&self, scenarios: &[Scenario], report: &mut CampaignReport) {
-        for scenario in scenarios {
-            for &seed in &self.seeds {
-                report.runs.push(self.run_cell::<T>(scenario, seed));
+        let started = Instant::now();
+        let jobs = self.jobs();
+        if jobs <= 1 {
+            // The serial driver: unchanged, and the reference the parallel
+            // path must match byte for byte.
+            for scenario in scenarios {
+                for &seed in &self.seeds {
+                    report.runs.push(self.run_cell::<T>(scenario, seed));
+                }
             }
+        } else {
+            // `run_ordered` reassembles the records in enumeration order —
+            // shard partitioning and completion order never leak into
+            // `report.runs`.
+            let cells = self.cell_jobs::<T>(scenarios);
+            report.runs.extend(crate::exec::run_ordered(cells, jobs));
+        }
+        if self.timings {
+            *report.wall_ms_total.get_or_insert(0.0) += started.elapsed().as_secs_f64() * 1e3;
         }
     }
 
@@ -244,8 +331,11 @@ pub struct RunRecord {
     pub modes_agree: bool,
     /// Safety-invariant violations (including mode divergence, if any).
     pub invariant_violations: Vec<String>,
-    /// Wall-clock time summed over the modes run (non-deterministic;
-    /// `None` unless timings were requested).
+    /// Wall-clock time summed over the modes run, measured **inside the
+    /// worker that ran this cell** — strictly per-cell. Under a parallel
+    /// driver cells overlap, so campaign wall time is *not* the sum of
+    /// these; see [`CampaignReport::wall_ms_total`]. Non-deterministic;
+    /// `None` unless timings were requested.
     pub wall_ms: Option<f64>,
 }
 
@@ -308,8 +398,15 @@ pub struct CampaignReport {
     pub name: String,
     /// The seeds swept.
     pub seeds: Vec<u64>,
-    /// One record per (node, scenario, seed) cell, in execution order.
+    /// One record per (node, scenario, seed) cell, in deterministic
+    /// enumeration order — never completion order, at any jobs count.
     pub runs: Vec<RunRecord>,
+    /// Driver-measured wall time of the whole campaign in milliseconds,
+    /// accumulated over every [`Campaign::run_into`] that fed this report.
+    /// This is the only meaningful campaign-level wall figure under a
+    /// parallel driver (per-cell [`RunRecord::wall_ms`] overlaps).
+    /// Non-deterministic; `None` unless timings were requested.
+    pub wall_ms_total: Option<f64>,
 }
 
 impl CampaignReport {
@@ -319,6 +416,7 @@ impl CampaignReport {
             name: name.into(),
             seeds,
             runs: Vec::new(),
+            wall_ms_total: None,
         }
     }
 
@@ -333,26 +431,29 @@ impl CampaignReport {
         let converged = self.runs.iter().filter(|r| r.converged).count();
         let agreed = self.runs.iter().filter(|r| r.modes_agree).count();
         let violations: usize = self.runs.iter().map(|r| r.invariant_violations.len()).sum();
-        Json::obj()
+        let mut doc = Json::obj()
             .field("campaign", self.name.as_str())
             .field("engine", "simnet-chaos/1")
             .field(
                 "seeds",
                 Json::Arr(self.seeds.iter().map(|s| Json::UInt(*s)).collect()),
-            )
-            .field(
-                "runs",
-                Json::Arr(self.runs.iter().map(RunRecord::to_json).collect()),
-            )
-            .field(
-                "summary",
-                Json::obj()
-                    .field("runs", self.runs.len())
-                    .field("converged", converged)
-                    .field("modes_agree", agreed)
-                    .field("invariant_violations", violations)
-                    .field("passed", self.passed()),
-            )
+            );
+        if let Some(wall) = self.wall_ms_total {
+            doc = doc.field("wall_ms_total", wall);
+        }
+        doc.field(
+            "runs",
+            Json::Arr(self.runs.iter().map(RunRecord::to_json).collect()),
+        )
+        .field(
+            "summary",
+            Json::obj()
+                .field("runs", self.runs.len())
+                .field("converged", converged)
+                .field("modes_agree", agreed)
+                .field("invariant_violations", violations)
+                .field("passed", self.passed()),
+        )
     }
 
     /// The rendered JSON report.
@@ -467,5 +568,76 @@ mod tests {
         let doc = report.to_json();
         let run = &doc.get("runs").and_then(Json::as_arr).unwrap()[0];
         assert!(run.get("wall_ms").is_some());
+    }
+
+    /// The tentpole acceptance property at the toy-target scale: any jobs
+    /// count produces the byte-identical report, and the runs arrive in
+    /// enumeration order (scenario-major, seed-minor) — shard partitioning
+    /// never leaks into `CampaignReport::runs`.
+    #[test]
+    fn parallel_reports_are_byte_identical_to_serial_at_any_jobs_count() {
+        let scenarios = catalog(5);
+        let seeds = [1u64, 2, 3];
+        let serial = Campaign::new("jobs")
+            .with_seeds(seeds)
+            .with_jobs(1)
+            .run::<MaxNode>(&scenarios);
+        let serial_rendered = serial.render();
+        let expected_order: Vec<(String, u64)> = scenarios
+            .iter()
+            .flat_map(|s| seeds.iter().map(|&seed| (s.name().to_string(), seed)))
+            .collect();
+        let actual_order: Vec<(String, u64)> = serial
+            .runs
+            .iter()
+            .map(|r| (r.scenario.clone(), r.seed))
+            .collect();
+        assert_eq!(actual_order, expected_order, "serial enumeration order");
+        for jobs in [2usize, 4, 8] {
+            let parallel = Campaign::new("jobs")
+                .with_seeds(seeds)
+                .with_jobs(jobs)
+                .run::<MaxNode>(&scenarios);
+            assert_eq!(
+                parallel.render(),
+                serial_rendered,
+                "report diverged at jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_jobs_zero_restores_the_default_and_jobs_is_at_least_one() {
+        let auto = Campaign::new("auto");
+        assert!(auto.jobs() >= 1);
+        assert_eq!(Campaign::new("one").with_jobs(1).jobs(), 1);
+        assert_eq!(Campaign::new("four").with_jobs(4).jobs(), 4);
+        assert_eq!(
+            Campaign::new("reset").with_jobs(4).with_jobs(0).jobs(),
+            auto.jobs()
+        );
+    }
+
+    /// `wall_ms_total` is driver-measured, opt-in, and accumulates across
+    /// `run_into` calls; untimed reports must not carry it (determinism).
+    #[test]
+    fn wall_ms_total_is_driver_measured_and_opt_in() {
+        let scenarios = catalog(3);
+        let untimed = Campaign::new("untimed")
+            .with_jobs(2)
+            .run::<MaxNode>(&scenarios[..2]);
+        assert!(untimed.wall_ms_total.is_none());
+        assert!(untimed.to_json().get("wall_ms_total").is_none());
+
+        let campaign = Campaign::new("timed").with_timings(true).with_jobs(2);
+        let mut report = CampaignReport::new("timed", campaign.seeds().to_vec());
+        campaign.run_into::<MaxNode>(&scenarios[..1], &mut report);
+        let first = report.wall_ms_total.expect("timed driver total");
+        campaign.run_into::<MaxNode>(&scenarios[1..2], &mut report);
+        let second = report.wall_ms_total.expect("timed driver total");
+        assert!(second >= first, "wall_ms_total must accumulate");
+        assert!(report.to_json().get("wall_ms_total").is_some());
+        // Per-cell wall_ms stays present and per-cell under parallelism.
+        assert!(report.runs.iter().all(|r| r.wall_ms.is_some()));
     }
 }

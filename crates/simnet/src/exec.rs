@@ -1,0 +1,256 @@
+//! A small work-stealing thread pool for embarrassingly parallel cells.
+//!
+//! The chaos-campaign driver ([`crate::Campaign`]) runs a matrix of
+//! independent (scenario, seed) cells. Each cell is deterministic in
+//! isolation — it derives every random draw from its own seed — so the
+//! only thing a parallel driver must add on top of `std::thread` is
+//! *deterministic reassembly*: the caller hands over an enumerated list of
+//! jobs and gets the results back **in the original order**, no matter
+//! which worker ran which job or how the OS scheduled them.
+//!
+//! [`run_ordered`] does exactly that, hand-rolled on `std::thread` +
+//! channels (the workspace's vendored-deps convention: no registry access,
+//! so no rayon). The shape:
+//!
+//! 1. **Enumerate** — job `i` keeps its index for reassembly.
+//! 2. **Shard** — jobs are dealt round-robin into one deque per worker, so
+//!    the long-running cells of one scenario spread across workers instead
+//!    of piling onto one shard.
+//! 3. **Steal** — a worker pops from the *front* of its own deque; when
+//!    that runs dry it steals from the *back* of the fullest other deque,
+//!    so stragglers are balanced instead of serialized.
+//! 4. **Reassemble** — every `(index, result)` pair travels over one mpsc
+//!    channel; the caller slots results by index, which erases completion
+//!    order (and with it the shard partitioning) from the output.
+//!
+//! A panicking job does not poison the pool: remaining jobs still run, and
+//! the first panic (by job index, not completion order — determinism again)
+//! is re-raised on the caller's thread once the pool drains.
+//!
+//! ```
+//! use simnet::exec;
+//!
+//! let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..64u64)
+//!     .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> u64 + Send>)
+//!     .collect();
+//! let squares = exec::run_ordered(jobs, 8);
+//! assert_eq!(squares, (0..64u64).map(|i| i * i).collect::<Vec<_>>());
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// A boxed unit of work producing a `T`, shippable to a worker thread.
+pub type Job<'scope, T> = Box<dyn FnOnce() -> T + Send + 'scope>;
+
+/// One worker's deque of enumerated jobs; other workers steal from its back.
+type Shard<'scope, T> = VecDeque<(usize, Job<'scope, T>)>;
+
+/// The number of worker threads the platform offers (≥ 1). This is the
+/// default for [`crate::Campaign::with_jobs`] and `simctl --jobs`.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs every job and returns the results **in job order**, using up to
+/// `workers` threads (clamped to the job count; `workers <= 1` runs inline
+/// on the caller's thread with no pool at all — byte-for-byte the serial
+/// code path).
+///
+/// Jobs must be independent: the pool gives no ordering guarantee about
+/// *execution* (that is the point), only about the returned `Vec`. If any
+/// job panics, the panic of the smallest job index is re-raised here after
+/// all workers have drained their deques.
+pub fn run_ordered<'scope, T: Send + 'scope>(jobs: Vec<Job<'scope, T>>, workers: usize) -> Vec<T> {
+    let total = jobs.len();
+    let workers = workers.min(total).max(1);
+    if workers == 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+
+    // One deque per worker, dealt round-robin. Mutex-per-deque keeps the
+    // steal path simple; cells are coarse (milliseconds and up), so lock
+    // traffic is noise.
+    let mut shards: Vec<Shard<'scope, T>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (index, job) in jobs.into_iter().enumerate() {
+        shards[index % workers].push_back((index, job));
+    }
+    let shards: Vec<Mutex<Shard<'scope, T>>> = shards.into_iter().map(Mutex::new).collect();
+    let (results_tx, results_rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+
+    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let shards = &shards;
+        for me in 0..workers {
+            let results_tx = results_tx.clone();
+            scope.spawn(move || {
+                while let Some((index, job)) = take_job(shards, me) {
+                    let outcome = catch_unwind(AssertUnwindSafe(job));
+                    if results_tx.send((index, outcome)).is_err() {
+                        // The caller is gone (it panicked); stop working.
+                        return;
+                    }
+                }
+            });
+        }
+        drop(results_tx);
+        for (index, outcome) in results_rx {
+            match outcome {
+                Ok(value) => slots[index] = Some(value),
+                Err(panic) => panics.push((index, panic)),
+            }
+        }
+    });
+
+    if let Some((_, panic)) = panics.into_iter().min_by_key(|(index, _)| *index) {
+        resume_unwind(panic);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("worker pool lost a job result"))
+        .collect()
+}
+
+/// Pops the next job for worker `me`: the front of its own deque, else a
+/// steal from the back of the fullest other deque. Returns `None` only when
+/// every deque is empty — jobs already taken are someone else's problem.
+fn take_job<'scope, T>(
+    shards: &[Mutex<Shard<'scope, T>>],
+    me: usize,
+) -> Option<(usize, Job<'scope, T>)> {
+    if let Some(job) = shards[me].lock().expect("shard lock").pop_front() {
+        return Some(job);
+    }
+    loop {
+        // Snapshot the fullest victim; racing stealers are fine, we retry
+        // until every deque is observably empty.
+        let victim = shards
+            .iter()
+            .enumerate()
+            .filter(|(other, _)| *other != me)
+            .map(|(other, shard)| (shard.lock().expect("shard lock").len(), other))
+            .max()
+            .filter(|(len, _)| *len > 0)
+            .map(|(_, other)| other)?;
+        if let Some(job) = shards[victim].lock().expect("shard lock").pop_back() {
+            return Some(job);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boxed<T, F: FnOnce() -> T + Send + 'static>(f: F) -> Job<'static, T> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn results_come_back_in_job_order_regardless_of_completion_order() {
+        // Early jobs sleep longest, so completion order is roughly the
+        // reverse of job order — reassembly must undo that.
+        let jobs: Vec<Job<'static, usize>> = (0..16)
+            .map(|i| {
+                boxed(move || {
+                    std::thread::sleep(std::time::Duration::from_millis((16 - i) as u64));
+                    i
+                })
+            })
+            .collect();
+        for workers in [2, 4, 8] {
+            let jobs: Vec<Job<'static, usize>> = (0..16)
+                .map(|i| {
+                    boxed(move || {
+                        std::thread::sleep(std::time::Duration::from_millis((16 - i) as u64));
+                        i
+                    })
+                })
+                .collect();
+            assert_eq!(run_ordered(jobs, workers), (0..16).collect::<Vec<_>>());
+        }
+        assert_eq!(run_ordered(jobs, 1), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        let jobs: Vec<Job<'static, usize>> = (0..100)
+            .map(|i| {
+                boxed(move || {
+                    RUNS.fetch_add(1, Ordering::SeqCst);
+                    i
+                })
+            })
+            .collect();
+        let results = run_ordered(jobs, 7);
+        assert_eq!(RUNS.load(Ordering::SeqCst), 100);
+        assert_eq!(results, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_clamp_to_the_job_count_and_zero_means_one() {
+        assert_eq!(run_ordered(vec![boxed(|| 7usize)], 64), vec![7]);
+        assert_eq!(run_ordered(vec![boxed(|| 7usize)], 0), vec![7]);
+        assert_eq!(run_ordered(Vec::<Job<'static, usize>>::new(), 4), vec![]);
+    }
+
+    #[test]
+    fn jobs_may_borrow_from_the_caller() {
+        let inputs: Vec<u64> = (0..32).collect();
+        let jobs: Vec<Job<'_, u64>> = inputs
+            .iter()
+            .map(|value| Box::new(move || value * 2) as Job<'_, u64>)
+            .collect();
+        let doubled = run_ordered(jobs, 4);
+        assert_eq!(doubled, inputs.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn the_lowest_indexed_panic_wins_and_other_jobs_still_run() {
+        static SURVIVORS: AtomicUsize = AtomicUsize::new(0);
+        let mut jobs: Vec<Job<'static, usize>> = Vec::new();
+        for i in 0..12 {
+            if i == 3 || i == 9 {
+                jobs.push(boxed(move || panic!("job {i} exploded")));
+            } else {
+                jobs.push(boxed(move || {
+                    SURVIVORS.fetch_add(1, Ordering::SeqCst);
+                    i
+                }));
+            }
+        }
+        let panic = catch_unwind(AssertUnwindSafe(|| run_ordered(jobs, 4))).unwrap_err();
+        let message = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(message, "job 3 exploded");
+        assert_eq!(SURVIVORS.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn an_idle_worker_steals_from_a_loaded_shard() {
+        // Two workers, four jobs: round-robin gives each shard two jobs.
+        // Worker 0's jobs block until the *last* job (shard 1's second) has
+        // run — which can only happen if worker 1 (or a steal) makes
+        // progress independently. A deadlock here means stealing or
+        // sharding broke; completing at all is the assertion.
+        let gate = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let jobs: Vec<Job<'static, usize>> = (0..4)
+            .map(|i| {
+                let gate = std::sync::Arc::clone(&gate);
+                boxed(move || {
+                    if i % 2 == 0 {
+                        gate.wait();
+                    }
+                    i
+                })
+            })
+            .collect();
+        assert_eq!(run_ordered(jobs, 2), vec![0, 1, 2, 3]);
+    }
+}

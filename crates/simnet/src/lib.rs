@@ -84,6 +84,7 @@ pub mod adversary;
 pub mod campaign;
 pub mod channel;
 pub mod config;
+pub mod exec;
 pub mod fault;
 pub mod histogram;
 pub mod metrics;

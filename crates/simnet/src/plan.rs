@@ -265,7 +265,14 @@ pub struct RunObservations {
 /// lives behind [`crate::scenario::ScenarioTarget`], dispatched by the
 /// runner when it applies the actions. See the [module docs](self) for a
 /// worked custom-plan example.
-pub trait FaultPlan: fmt::Debug {
+///
+/// `Send` is a supertrait: a [`crate::Scenario`] owns its plans, and the
+/// parallel campaign driver ([`crate::Campaign::with_jobs`]) ships each
+/// (scenario, seed) cell — scenario clone included — to a worker thread of
+/// the [`crate::exec`] pool. Plans are declarative schedules (plain data),
+/// so the bound costs implementations nothing; a plan that wants shared
+/// mutable state must use `Arc<Mutex<…>>` rather than `Rc`/`RefCell`.
+pub trait FaultPlan: fmt::Debug + Send {
     /// Short machine-readable class name (`simctl list`, registry test).
     fn kind(&self) -> &'static str;
 

@@ -424,7 +424,19 @@ impl Scenario {
 ///
 /// Implemented by `ReconfigNode` (`core`), `CounterNode` (`counters`),
 /// `SmrNode` (`vssmr`) and `SharedMemNode` (`sharedmem`).
-pub trait ScenarioTarget: Process + Sized {
+///
+/// Targets must be `Send`: the parallel campaign driver
+/// ([`crate::Campaign::with_jobs`]) executes each (scenario, seed) cell on
+/// a worker thread of the [`crate::exec`] pool, building the
+/// `Simulation<Self>` inside the worker and shipping the finished
+/// [`crate::RunRecord`] back. A cell never *shares* protocol state across
+/// threads — each worker owns its simulation outright — so the bound only
+/// rules out thread-bound handles (`Rc`, `RefCell` captured by the node).
+/// Shared-value interning (see `reconfig::shared_set`) is per-thread and
+/// `Arc`-based, so interned state satisfies the bound and cells on
+/// different workers intern independently without changing observable
+/// behaviour (equality falls back to value comparison).
+pub trait ScenarioTarget: Process + Sized + Send {
     /// Short machine-readable name used in reports and `simctl --node`.
     const NAME: &'static str;
 
