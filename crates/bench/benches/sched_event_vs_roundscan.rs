@@ -24,16 +24,23 @@
 //!    the `parallel_campaign.speedup` the bench guard floors core-awarely
 //!    (a 4-core runner must clear 2.4×; a 1-core machine only proves the
 //!    dispatch is not a slowdown).
+//! 4. **n = 1024 campaign tier** — quiescent and gray-lag catalog cells run
+//!    through the real campaign driver at 1,024 processes, event mode, with
+//!    per-cell wall budgets armed (`Campaign::with_cell_budget_ms`). Each
+//!    cell must converge *and* finish inside its budget; the budgets carry
+//!    ~2.5× headroom so only order-of-magnitude regressions trip them.
 //!
 //! Writes a machine-readable summary to `BENCH_scheduler.json` at the
-//! workspace root.
+//! workspace root, including a `hot_path` before/after ledger for the
+//! serial full-matrix wall time (the "before" row is frozen at the
+//! pre-overhaul measurement).
 
 use std::time::{Duration, Instant};
 
 use bench::{catalog_matrix_report, converged_config};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use reconfig::{config_set, NodeConfig, ReconfigNode};
-use simnet::{Context, Process, ProcessId, SchedulerMode, SimConfig, Simulation};
+use simnet::{Campaign, Context, Process, ProcessId, SchedulerMode, SimConfig, Simulation};
 
 /// A process for the sparse-traffic scenario: chatty nodes gossip a counter
 /// to a fixed neighbourhood, idle nodes only listen.
@@ -171,13 +178,30 @@ fn run_parallel_campaign() -> ParallelCampaign {
     // (and the acceptance criterion's "--jobs ≥ 4") uniform everywhere.
     let jobs = cores.max(4);
 
-    let started = Instant::now();
-    let serial_report = catalog_matrix_report(&MATRIX_NS, &MATRIX_SEEDS, 1);
-    let serial = started.elapsed();
+    // Best of three, like every headline number in this file: the serial
+    // wall is the `hot_path` ledger's "after" row, and a single 1,400-cell
+    // sweep carries ~10% VM-scheduler noise — enough to smear a 1.5×
+    // speedup into an unlucky 1.4× sample. The reports themselves are
+    // deterministic, so the first run's report stands for all three.
+    let mut serial = Duration::MAX;
+    let mut serial_report = None;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let report = catalog_matrix_report(&MATRIX_NS, &MATRIX_SEEDS, 1);
+        serial = serial.min(started.elapsed());
+        serial_report.get_or_insert(report);
+    }
+    let serial_report = serial_report.expect("three serial runs produced a report");
 
-    let started = Instant::now();
-    let parallel_report = catalog_matrix_report(&MATRIX_NS, &MATRIX_SEEDS, jobs);
-    let parallel = started.elapsed();
+    let mut parallel = Duration::MAX;
+    let mut parallel_report = None;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let report = catalog_matrix_report(&MATRIX_NS, &MATRIX_SEEDS, jobs);
+        parallel = parallel.min(started.elapsed());
+        parallel_report.get_or_insert(report);
+    }
+    let parallel_report = parallel_report.expect("three parallel runs produced a report");
 
     let byte_identical = serial_report.render() == parallel_report.render();
     ParallelCampaign {
@@ -191,10 +215,74 @@ fn run_parallel_campaign() -> ParallelCampaign {
     }
 }
 
+/// Serial full-matrix wall time measured at the commit immediately before
+/// the hot-path overhaul (shared payloads, dense tables, incremental
+/// digests, sink-based steps), on the reference machine that produced the
+/// committed `BENCH_scheduler.json` — best of three interleaved runs
+/// against the overhauled binary, in standalone `simctl` processes
+/// (fresh heap — which is why the bench measures its "after" row before
+/// the heap-churning n=1024 sections), the same estimator the "after"
+/// row uses. The "after" row is re-measured by every bench run; the
+/// `hot_path.speedup` ratio is only meaningful when both rows come from
+/// the same machine class, which is why the bench guard pins the
+/// tier-1024 budgets and the allocation count instead of this ratio.
+const SERIAL_MATRIX_MS_BEFORE: f64 = 14398.0;
+
+/// One n = 1024 campaign-tier cell: the scenario, its armed wall budget,
+/// and how the run went.
+struct Tier1024Cell {
+    scenario: &'static str,
+    budget_ms: f64,
+    wall_ms: f64,
+    rounds: u64,
+    messages: u64,
+    converged: bool,
+    within_budget: bool,
+}
+
+/// The n = 1024 campaign tier: catalog cells at a scale only the
+/// event-driven scheduler plus the zero-alloc hot path can finish in bench
+/// time. Event mode only (round-scan is ~6× slower at this size, and the
+/// mode byte-identity contract is already pinned exhaustively at n ≤ 8),
+/// one seed, one run per cell — no best-of-three, because a cell is
+/// minutes long and the armed budgets carry ~2.5× headroom over the
+/// measured walls, so the guard flags order-of-magnitude regressions, not
+/// scheduler noise.
+fn run_tier_1024() -> Vec<Tier1024Cell> {
+    // (scenario, budget_ms): quiescent measured ~341 s, gray-lag ~858 s on
+    // the reference machine (gray-lag runs 100 rounds and ~261M messages).
+    const CELLS: [(&str, f64); 2] = [("quiescent", 900_000.0), ("gray-lag", 2_100_000.0)];
+    CELLS
+        .iter()
+        .map(|&(name, budget_ms)| {
+            let scenario = simnet::scenario::find(name, 1024)
+                .unwrap_or_else(|| panic!("scenario `{name}` missing from the catalog"));
+            let report = Campaign::new("tier-1024")
+                .with_seeds([1])
+                .with_modes([SchedulerMode::EventDriven])
+                .with_jobs(1)
+                .with_timings(true)
+                .with_cell_budget_ms(budget_ms)
+                .run::<ReconfigNode>(&[scenario]);
+            let run = &report.runs[0];
+            Tier1024Cell {
+                scenario: name,
+                budget_ms,
+                wall_ms: run.wall_ms.unwrap_or(0.0),
+                rounds: run.rounds_run,
+                messages: run.messages_delivered,
+                converged: run.converged && run.invariant_violations.is_empty(),
+                within_budget: run.budget_overrun != Some(true),
+            }
+        })
+        .collect()
+}
+
 fn write_summary(
     sparse: &[(u32, Duration, Duration)],
     reconfig: (u64, Duration),
     campaign: &ParallelCampaign,
+    tier: &[Tier1024Cell],
 ) {
     let cells: Vec<String> = sparse
         .iter()
@@ -212,6 +300,26 @@ fn write_summary(
             )
         })
         .collect();
+    let tier_rows: Vec<String> = tier
+        .iter()
+        .map(|c| {
+            format!(
+                concat!(
+                    "    {{\"scenario\": \"{}\", \"processes\": 1024, \"mode\": \"event\", ",
+                    "\"rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}, ",
+                    "\"budget_ms\": {:.1}, \"converged\": {}, \"within_budget\": {}}}"
+                ),
+                c.scenario,
+                c.rounds,
+                c.messages,
+                c.wall_ms,
+                c.budget_ms,
+                c.converged,
+                c.within_budget,
+            )
+        })
+        .collect();
+    let serial_after_ms = campaign.serial.as_secs_f64() * 1e3;
     let json = format!(
         concat!(
             "{{\n",
@@ -222,7 +330,11 @@ fn write_summary(
             "  \"parallel_campaign\": {{\"scenarios\": \"catalog\", \"nodes\": 4, ",
             "\"n_low\": {}, \"n_high\": {}, \"seeds\": {}, \"cells\": {}, ",
             "\"jobs\": {}, \"cores\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, ",
-            "\"speedup\": {:.2}, \"byte_identical\": {}, \"passed\": {}}}\n",
+            "\"speedup\": {:.2}, \"byte_identical\": {}, \"passed\": {}}},\n",
+            "  \"hot_path\": {{\"serial_matrix_cells\": {}, ",
+            "\"serial_matrix_ms_before\": {:.1}, \"serial_matrix_ms_after\": {:.3}, ",
+            "\"speedup\": {:.2}}},\n",
+            "  \"tier_1024\": [\n{}\n  ]\n",
             "}}\n"
         ),
         cells.join(",\n"),
@@ -234,11 +346,16 @@ fn write_summary(
         campaign.cells,
         campaign.jobs,
         campaign.cores,
-        campaign.serial.as_secs_f64() * 1e3,
+        serial_after_ms,
         campaign.parallel.as_secs_f64() * 1e3,
         campaign.serial.as_secs_f64() / campaign.parallel.as_secs_f64().max(1e-9),
         campaign.byte_identical,
         campaign.passed,
+        campaign.cells,
+        SERIAL_MATRIX_MS_BEFORE,
+        serial_after_ms,
+        SERIAL_MATRIX_MS_BEFORE / serial_after_ms.max(1e-9),
+        tier_rows.join(",\n"),
     );
     let path = format!("{}/../../BENCH_scheduler.json", env!("CARGO_MANIFEST_DIR"));
     if let Err(e) = std::fs::write(&path, &json) {
@@ -249,6 +366,32 @@ fn write_summary(
 }
 
 fn sched_event_vs_roundscan(c: &mut Criterion) {
+    // The full-matrix measurement runs FIRST, on a fresh heap: it is the
+    // `hot_path` ledger's "after" row, and its frozen "before" row was
+    // measured in standalone `simctl` processes. The n=1024 sections below
+    // leave a GB-scale heap behind them, and allocating the matrix's small
+    // cells out of that churned heap is ~10% slower — a bias a real
+    // `simctl run all` never pays, so it must not be in the ledger.
+    let campaign = run_parallel_campaign();
+    eprintln!(
+        "[sched] parallel campaign ({} cells): serial={:?} parallel={:?} ({} jobs on {} cores, \
+         speedup {:.2}x)",
+        campaign.cells,
+        campaign.serial,
+        campaign.parallel,
+        campaign.jobs,
+        campaign.cores,
+        campaign.serial.as_secs_f64() / campaign.parallel.as_secs_f64().max(1e-9),
+    );
+    assert!(
+        campaign.byte_identical,
+        "parallel campaign report diverged from the serial driver's"
+    );
+    assert!(
+        campaign.passed,
+        "the full catalog matrix has a failing cell"
+    );
+
     // Headline measurements (best of three, asserted guard).
     let mut sparse = Vec::new();
     for n in [64u32, 256, 1024] {
@@ -284,26 +427,32 @@ fn sched_event_vs_roundscan(c: &mut Criterion) {
     let (rounds, wall) = run_reconfig_1024();
     eprintln!("[sched] reconfig n=1024: converged in {rounds} rounds, {wall:?}");
 
-    let campaign = run_parallel_campaign();
-    eprintln!(
-        "[sched] parallel campaign ({} cells): serial={:?} parallel={:?} ({} jobs on {} cores, \
-         speedup {:.2}x)",
-        campaign.cells,
-        campaign.serial,
-        campaign.parallel,
-        campaign.jobs,
-        campaign.cores,
-        campaign.serial.as_secs_f64() / campaign.parallel.as_secs_f64().max(1e-9),
-    );
-    assert!(
-        campaign.byte_identical,
-        "parallel campaign report diverged from the serial driver's"
-    );
-    assert!(
-        campaign.passed,
-        "the full catalog matrix has a failing cell"
-    );
-    write_summary(&sparse, (rounds, wall), &campaign);
+    let tier = run_tier_1024();
+    for cell in &tier {
+        eprintln!(
+            "[sched] tier-1024 {}: {} rounds, {} msgs, {:.0} ms (budget {:.0} ms) \
+             converged={} within_budget={}",
+            cell.scenario,
+            cell.rounds,
+            cell.messages,
+            cell.wall_ms,
+            cell.budget_ms,
+            cell.converged,
+            cell.within_budget,
+        );
+        assert!(
+            cell.converged,
+            "tier-1024 cell `{}` did not converge",
+            cell.scenario
+        );
+        assert!(
+            cell.within_budget,
+            "tier-1024 cell `{}` blew its {:.0} ms wall budget ({:.0} ms)",
+            cell.scenario, cell.budget_ms, cell.wall_ms
+        );
+    }
+
+    write_summary(&sparse, (rounds, wall), &campaign, &tier);
 
     // Criterion-facing numbers for the comparison table.
     let mut group = c.benchmark_group("sched_sparse");

@@ -81,7 +81,7 @@ impl Joining {
         // Line 10: become a participant once a majority of the configuration
         // members granted a pass and no reconfiguration is taking place.
         if recsa.no_reco() {
-            if let ConfigValue::Set(com_conf) = recsa.get_config() {
+            if let ConfigValue::Set(com_conf) = &*recsa.get_config_shared() {
                 let granted = com_conf
                     .iter()
                     .filter(|m| self.pass.get(m).copied().unwrap_or(false))
@@ -94,8 +94,9 @@ impl Joining {
         }
         // Line 13: keep asking every trusted processor to let us in.
         recsa
-            .my_trusted()
-            .into_iter()
+            .my_trusted_shared()
+            .iter()
+            .copied()
             .filter(|p| *p != self.me)
             .map(|p| (p, JoinMsg::Request))
             .collect()
@@ -106,7 +107,7 @@ impl Joining {
     /// the response to send, if any.
     pub fn on_request(&self, from: ProcessId, recsa: &RecSa, admit: bool) -> Option<JoinMsg> {
         let _ = from;
-        let config = recsa.get_config();
+        let config = recsa.get_config_shared();
         let member = config
             .as_set()
             .map(|c| c.contains(&recsa.me()))
@@ -188,7 +189,7 @@ mod tests {
             let mut join_out = Vec::new();
             for id in &alive {
                 let recsa = self.recsa.get_mut(id).unwrap();
-                for (to, m) in recsa.step(alive.clone()) {
+                for (to, m) in recsa.step(&alive) {
                     sa_out.push((*id, to, m));
                 }
                 let joining = self.joining.get_mut(id).unwrap();

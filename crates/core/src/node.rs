@@ -302,15 +302,18 @@ impl Layer for ReconfigNode {
             }
         }
 
-        // recSA (the detector's ranking is computed once and reused below).
-        let fd_trusted = self.fd.trusted();
-        out.extend(self.recsa.step(fd_trusted.clone()));
+        // recSA (the detector's ranking is computed once and reused below;
+        // the shared handle avoids cloning the set every step).
+        let fd_trusted = self.fd.trusted_shared();
+        self.recsa.step_with(&fd_trusted, |to, m| out.push(to, m));
 
         // recMA, with the application's prediction function.
         let policy = self.config.eval_policy.clone();
-        out.extend(self.recma.step(&mut self.recsa, |cfg| {
-            policy.requires_reconfiguration(cfg, &fd_trusted)
-        }));
+        self.recma.step_with(
+            &mut self.recsa,
+            |cfg| policy.requires_reconfiguration(cfg, &fd_trusted),
+            |to, m| out.push(to, m),
+        );
 
         // Joining mechanism (only does something while not a participant).
         out.extend(self.joining.step(&mut self.recsa));
@@ -471,16 +474,14 @@ impl simnet::ScenarioTarget for ReconfigNode {
         violations
     }
 
-    fn state_digest(sim: &simnet::Simulation<Self>) -> u64 {
-        simnet::report::digest_lines(sim.processes().map(|(id, p)| {
-            format!(
-                "{id} participant={} config={:?} noreco={} trusted={:?}",
-                p.is_participant(),
-                p.installed_config(),
-                p.no_reconfiguration(),
-                p.trusted()
-            )
-        }))
+    fn state_line(id: simnet::ProcessId, p: &Self) -> String {
+        format!(
+            "{id} participant={} config={:?} noreco={} trusted={:?}",
+            p.is_participant(),
+            p.installed_config(),
+            p.no_reconfiguration(),
+            p.trusted()
+        )
     }
 }
 

@@ -22,7 +22,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use simnet::ProcessId;
 
 use crate::recsa::RecSa;
-use crate::types::{same_set, ConfigSet, ConfigValue};
+use crate::types::{same_config, same_set, shared_set, ConfigSet, SharedConfig, SharedSet};
 
 /// The flag pair exchanged by participants (line 19 of Algorithm 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +43,9 @@ pub struct RecMa {
     no_maj: BTreeMap<ProcessId, bool>,
     /// `needReconf[]` — own flag plus the most recently received flags.
     need_reconf: BTreeMap<ProcessId, bool>,
-    /// `prevConfig` — the configuration seen in the previous iteration.
-    prev_config: Option<ConfigValue>,
+    /// `prevConfig` — the configuration seen in the previous iteration
+    /// (the shared allocation; comparison is pointer-first).
+    prev_config: Option<SharedConfig>,
     /// Number of times this layer triggered `estab()` (observability).
     triggerings: u64,
 }
@@ -82,16 +83,17 @@ impl RecMa {
 
     /// `core()` (line 4): the intersection, over the trusted participants, of
     /// the participant sets they report.
-    fn core(&self, recsa: &RecSa) -> BTreeSet<ProcessId> {
-        let part = recsa.my_part();
+    fn core(&self, recsa: &RecSa) -> SharedSet {
+        let part = recsa.my_part_shared();
         let mut iter = part.iter();
         let Some(first) = iter.next() else {
-            return BTreeSet::new();
+            return shared_set(BTreeSet::new());
         };
         let first_set = recsa.part_reported_by(*first);
         // The reported sets are shared (interned) values: in the converged
         // steady state they are all the same allocation, so the intersection
-        // is only materialized once a genuinely different set shows up.
+        // is only materialized once a genuinely different set shows up —
+        // the steady path hands the first reporter's allocation back as-is.
         let mut acc: Option<BTreeSet<ProcessId>> = None;
         for k in iter {
             let other = recsa.part_reported_by(*k);
@@ -101,7 +103,10 @@ impl RecMa {
             let a = acc.get_or_insert_with(|| (*first_set).clone());
             a.retain(|p| other.contains(p));
         }
-        acc.unwrap_or_else(|| (*first_set).clone())
+        match acc {
+            Some(materialized) => shared_set(materialized),
+            None => first_set,
+        }
     }
 
     /// One iteration of the `do forever` loop (lines 5–19). `eval_conf` is
@@ -113,20 +118,33 @@ impl RecMa {
     pub fn step(
         &mut self,
         recsa: &mut RecSa,
-        mut eval_conf: impl FnMut(&ConfigSet) -> bool,
+        eval_conf: impl FnMut(&ConfigSet) -> bool,
     ) -> Vec<(ProcessId, RecMaMsg)> {
+        let mut out = Vec::new();
+        self.step_with(recsa, eval_conf, |to, msg| out.push((to, msg)));
+        out
+    }
+
+    /// [`RecMa::step`] without the collection: flag messages are handed to
+    /// `sink` directly (see [`crate::recsa::RecSa::step_with`]).
+    pub fn step_with(
+        &mut self,
+        recsa: &mut RecSa,
+        mut eval_conf: impl FnMut(&ConfigSet) -> bool,
+        mut sink: impl FnMut(ProcessId, RecMaMsg),
+    ) {
         // Line 6: only participants run the layer.
         if !recsa.is_participant() {
-            return Vec::new();
+            return;
         }
         let me = self.me;
-        let cur_conf = recsa.get_config(); // line 7
+        let cur_conf = recsa.get_config_shared(); // line 7
         self.no_maj.insert(me, false); // line 8
         self.need_reconf.insert(me, false);
 
         // Line 9: a configuration change invalidates all collected flags.
         if let Some(prev) = &self.prev_config {
-            if *prev != cur_conf {
+            if !same_config(prev, &cur_conf) {
                 self.flush_flags();
             }
         }
@@ -135,7 +153,7 @@ impl RecMa {
         if recsa.no_reco() {
             self.prev_config = Some(cur_conf.clone()); // line 11
             if let Some(cur_set) = cur_conf.as_set() {
-                let trusted = recsa.my_trusted();
+                let trusted = recsa.my_trusted_shared();
 
                 // Line 12: majority visibility test.
                 let visible = cur_set.iter().filter(|m| trusted.contains(m)).count();
@@ -183,20 +201,15 @@ impl RecMa {
         // Line 19: exchange the flags with every trusted participant.
         let no_maj = self.no_maj.get(&me).copied().unwrap_or(false);
         let need_reconf = self.need_reconf.get(&me).copied().unwrap_or(false);
-        recsa
-            .my_part()
-            .into_iter()
-            .filter(|p| *p != me)
-            .map(|p| {
-                (
-                    p,
-                    RecMaMsg {
-                        no_maj,
-                        need_reconf,
-                    },
-                )
-            })
-            .collect()
+        for p in recsa.my_part_shared().iter().copied().filter(|p| *p != me) {
+            sink(
+                p,
+                RecMaMsg {
+                    no_maj,
+                    need_reconf,
+                },
+            );
+        }
     }
 
     /// Handles a flag message from `from` (line 20). Non-participants ignore
@@ -265,7 +278,7 @@ mod tests {
             let mut ma_out = Vec::new();
             for id in &alive {
                 let recsa = self.recsa.get_mut(id).unwrap();
-                for (to, m) in recsa.step(alive.clone()) {
+                for (to, m) in recsa.step(&alive) {
                     sa_out.push((*id, to, m));
                 }
                 let recma = self.recma.get_mut(id).unwrap();

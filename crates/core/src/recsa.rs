@@ -30,6 +30,7 @@
 //! by the `datalink` crate or by configuring `simnet` channels without
 //! reordering).
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 use simnet::ProcessId;
@@ -91,6 +92,18 @@ pub struct RecSa {
     /// Count of configurations installed by delicate replacement
     /// (observability only).
     delicate_installs: u64,
+    /// Memoized `FD[i].part`: the participant set is consulted many times
+    /// per `do forever` iteration (recSA's own predicates, recMA's `core()`,
+    /// the broadcast) but only changes when `FD[i]` or a `config[]` entry
+    /// does, so it is recomputed lazily and dropped by every such mutation.
+    part_cache: RefCell<Option<SharedSet>>,
+    /// Bumped by every mutation of protocol state; keys `no_reco_cache`.
+    state_version: u64,
+    /// Memoized `noReco()` verdict at `state_version`. The predicate scans
+    /// every peer's received values, and the composite node consults it
+    /// several times per step (`getConfig()`, recMA's gate, the joining
+    /// mechanism), so one evaluation per mutation batch suffices.
+    no_reco_cache: RefCell<Option<(u64, bool)>>,
 }
 
 impl RecSa {
@@ -129,7 +142,27 @@ impl RecSa {
             all_seen: BTreeSet::new(),
             resets_started: 0,
             delicate_installs: 0,
+            part_cache: RefCell::new(None),
+            state_version: 0,
+            no_reco_cache: RefCell::new(None),
         }
+    }
+
+    /// Drops the memoized participant set. Must be called after every
+    /// mutation of `FD[i]` or any `config[]` entry (the two inputs of
+    /// [`RecSa::my_part`]); [`RecSa::my_part_shared`] re-verifies coherence
+    /// under `debug_assertions`.
+    fn invalidate_part(&mut self) {
+        *self.part_cache.get_mut() = None;
+    }
+
+    /// Records a mutation of protocol state, dropping the `noReco()`
+    /// memoization. Every `&mut self` path that can change a `noReco()`
+    /// input (any of the `FD[]`/`config[]`/`prp[]`/`echo[]`/`part_rx`
+    /// tables) must pass through here; [`RecSa::no_reco`] re-verifies
+    /// coherence under `debug_assertions`.
+    fn touch(&mut self) {
+        self.state_version = self.state_version.wrapping_add(1);
     }
 
     /// The identifier of this processor.
@@ -178,7 +211,7 @@ impl RecSa {
 
     fn part_of(&self, k: ProcessId) -> SharedSet {
         if k == self.me {
-            shared_set(self.my_part())
+            self.my_part_shared()
         } else {
             self.part_rx
                 .get(&k)
@@ -193,8 +226,34 @@ impl RecSa {
         (*self.fd_of(self.me)).clone()
     }
 
+    /// [`RecSa::my_trusted`] without the set copy: the shared allocation
+    /// installed as `FD[i]`.
+    pub fn my_trusted_shared(&self) -> SharedSet {
+        self.fd_of(self.me)
+    }
+
     /// The participant set `FD[i].part = {pⱼ ∈ FD[i] : config[j] ≠ ]}`.
     pub fn my_part(&self) -> BTreeSet<ProcessId> {
+        (*self.my_part_shared()).clone()
+    }
+
+    /// [`RecSa::my_part`] as the shared allocation recSA puts on the wire,
+    /// memoized until the next `FD[i]`/`config[]` mutation.
+    pub fn my_part_shared(&self) -> SharedSet {
+        if let Some(cached) = self.part_cache.borrow().as_ref() {
+            debug_assert_eq!(
+                **cached,
+                self.compute_my_part(),
+                "stale participant-set cache: a mutation path missed invalidate_part()"
+            );
+            return cached.clone();
+        }
+        let part = shared_set(self.compute_my_part());
+        *self.part_cache.borrow_mut() = Some(part.clone());
+        part
+    }
+
+    fn compute_my_part(&self) -> BTreeSet<ProcessId> {
         self.fd_of(self.me)
             .iter()
             .copied()
@@ -256,6 +315,11 @@ impl RecSa {
     /// processors, chosen deterministically (most frequent value, ties broken
     /// by value order); `⊥` when none is known.
     pub fn chs_config(&self) -> ConfigValue {
+        (*self.chs_config_shared()).clone()
+    }
+
+    /// [`RecSa::chs_config`] returning the canonical shared allocation.
+    pub fn chs_config_shared(&self) -> SharedConfig {
         // Distinct values are few in practice; a linear scan with the
         // pointer-equality fast path beats an ordered map keyed by whole
         // configurations.
@@ -271,34 +335,60 @@ impl RecSa {
                 }
             }
         }
-        // Prefer concrete sets over ⊥; among sets pick the most frequent.
+        // Prefer concrete sets over ⊥; among sets pick the most frequent,
+        // ties broken by value order (smaller set wins). The comparator
+        // works on borrowed values — no clone per comparison.
         let best_set = counts
             .iter()
             .filter(|(v, _)| v.as_set().is_some())
-            .max_by_key(|(v, c)| (*c, std::cmp::Reverse((**v).clone())))
-            .map(|(v, _)| (**v).clone());
+            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| (**vb).cmp(&**va)))
+            .map(|(v, _)| v.clone());
         match best_set {
             Some(v) => v,
-            None => ConfigValue::Bottom,
+            None => shared_config(ConfigValue::Bottom),
         }
     }
 
     /// `getConfig()`: the current quorum configuration as seen by this
     /// processor (line 11).
     pub fn get_config(&self) -> ConfigValue {
+        (*self.get_config_shared()).clone()
+    }
+
+    /// [`RecSa::get_config`] returning the canonical shared allocation.
+    pub fn get_config_shared(&self) -> SharedConfig {
         if self.no_reco() {
-            self.chs_config()
+            self.chs_config_shared()
         } else {
-            (*self.config_of(self.me)).clone()
+            self.config_of(self.me)
         }
     }
 
     /// `noReco()`: `true` when **no** reconfiguration activity is apparent —
     /// the conditions under which `estab()` and `participate()` are enabled
     /// (line 12; the conjunction of the invariant tests).
+    ///
+    /// The verdict is memoized per [`RecSa::touch`] generation: the composite
+    /// node evaluates the predicate several times between mutations.
     pub fn no_reco(&self) -> bool {
+        if let Some((v, verdict)) = *self.no_reco_cache.borrow() {
+            if v == self.state_version {
+                debug_assert_eq!(
+                    verdict,
+                    self.compute_no_reco(),
+                    "stale noReco() cache: a mutation path missed touch()"
+                );
+                return verdict;
+            }
+        }
+        let verdict = self.compute_no_reco();
+        *self.no_reco_cache.borrow_mut() = Some((self.state_version, verdict));
+        verdict
+    }
+
+    fn compute_no_reco(&self) -> bool {
         let trusted = self.fd_of(self.me);
-        let part = shared_set(self.my_part());
+        let part = self.my_part_shared();
 
         // (1) Every trusted participant recognises this processor.
         for k in part.iter().filter(|k| **k != self.me) {
@@ -365,6 +455,7 @@ impl RecSa {
         }
         self.prp
             .insert(self.me, shared_ntf(Notification::proposal(set)));
+        self.touch();
         true
     }
 
@@ -375,8 +466,10 @@ impl RecSa {
         if !self.no_reco() {
             return false;
         }
-        let chosen = self.chs_config();
-        self.config.insert(self.me, shared_config(chosen));
+        let chosen = self.chs_config_shared();
+        self.config.insert(self.me, chosen);
+        self.invalidate_part();
+        self.touch();
         true
     }
 
@@ -384,45 +477,89 @@ impl RecSa {
 
     /// Executes one iteration of the `do forever` loop with the given fresh
     /// failure-detector reading and returns the messages to broadcast.
-    pub fn step(&mut self, trusted_now: BTreeSet<ProcessId>) -> Vec<(ProcessId, RecSaMsg)> {
-        let mut trusted = trusted_now;
-        trusted.insert(self.me);
-        let trusted = shared_set(trusted);
-        self.fd.insert(self.me, trusted.clone());
+    pub fn step(&mut self, trusted_now: &BTreeSet<ProcessId>) -> Vec<(ProcessId, RecSaMsg)> {
+        let mut out = Vec::new();
+        self.step_with(trusted_now, |to, msg| out.push((to, msg)));
+        out
+    }
+
+    /// [`RecSa::step`] without the collection: broadcast messages are handed
+    /// to `sink` one by one, so a caller with a recycled outbox (the
+    /// composite node's hot path) queues them without an intermediate `Vec`.
+    pub fn step_with(
+        &mut self,
+        trusted_now: &BTreeSet<ProcessId>,
+        sink: impl FnMut(ProcessId, RecSaMsg),
+    ) {
+        // One generation per iteration covers every mutation the loop body
+        // performs; `no_reco()` is never consulted mid-step.
+        self.touch();
+        // Steady-state fast path: when the reading (plus ourselves) equals
+        // the installed set, keep its allocation (and the participant-set
+        // cache keyed on it) without even building the union.
+        let me = self.me;
+        let extra = usize::from(!trusted_now.contains(&me));
+        let unchanged = self.fd.get(&me).is_some_and(|old| {
+            old.len() == trusted_now.len() + extra
+                && old.contains(&me)
+                && trusted_now.iter().all(|k| old.contains(k))
+        });
+        if !unchanged {
+            let mut trusted = trusted_now.clone();
+            trusted.insert(me);
+            let trusted = shared_set(trusted);
+            self.fd.insert(me, trusted);
+            self.invalidate_part();
+        }
+        let trusted = self.fd_of(self.me);
 
         // Clean after crashes (line 25a): entries of processors outside the
-        // participant view are reset to (], dfltNtf).
-        let part = self.my_part();
-        let known: Vec<ProcessId> = self
+        // participant view are reset to (], dfltNtf). An entry is dirty only
+        // when it still marks a participant or carries a notification —
+        // i.e. differs observably from the (], dfltNtf) it would be reset
+        // to — so the quiescent case is a read-only sweep.
+        let part = self.my_part_shared();
+        let needs_clean = self
             .config
-            .keys()
-            .chain(self.prp.keys())
-            .copied()
-            .collect::<BTreeSet<_>>()
-            .into_iter()
-            .collect();
-        let non_part = shared_config(ConfigValue::NonParticipant);
-        let dflt = shared_ntf(Notification::dflt());
-        for k in known {
-            if !part.contains(&k) {
-                self.config.insert(k, non_part.clone());
-                self.prp.insert(k, dflt.clone());
+            .iter()
+            .any(|(k, v)| !part.contains(k) && v.marks_participant())
+            || self
+                .prp
+                .iter()
+                .any(|(k, n)| !part.contains(k) && !n.is_default());
+        if needs_clean {
+            let known: Vec<ProcessId> = self
+                .config
+                .keys()
+                .chain(self.prp.keys())
+                .copied()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let non_part = shared_config(ConfigValue::NonParticipant);
+            let dflt = shared_ntf(Notification::dflt());
+            for k in known {
+                if !part.contains(&k) {
+                    self.config.insert(k, non_part.clone());
+                    self.prp.insert(k, dflt.clone());
+                }
             }
+            self.invalidate_part();
         }
-        let part = shared_set(self.my_part());
+        let part = self.my_part_shared();
 
         // Stale-information tests, Definition 3.1 types 1–4 (line 25b).
         if self.has_stale_information(&part) {
             self.config_set_all(ConfigValue::Bottom);
         }
-        let part = shared_set(self.my_part());
+        let part = self.my_part_shared();
 
         match self.max_ntf(&part) {
             None => self.brute_force_branch(&trusted),
             Some(max) => self.delicate_branch(&part, max),
         }
 
-        self.broadcast(&trusted)
+        self.broadcast_with(&trusted, sink);
     }
 
     /// Handles a protocol message from `from` (line 30): the received shared
@@ -432,9 +569,18 @@ impl RecSa {
         if from == self.me {
             return;
         }
+        self.touch();
         self.fd.insert(from, msg.fd);
         self.part_rx.insert(from, msg.part);
+        // The sender's configuration entry feeds `FD[i].part`.
+        let stale = match self.config.get(&from) {
+            Some(old) => !same_config(old, &msg.config),
+            None => true,
+        };
         self.config.insert(from, msg.config);
+        if stale {
+            self.invalidate_part();
+        }
         self.prp.insert(from, msg.prp);
         self.all.insert(from, msg.all);
         self.echo.insert(from, msg.echo);
@@ -460,6 +606,8 @@ impl RecSa {
         }
         self.all.insert(self.me, false);
         self.all_seen.clear();
+        self.invalidate_part();
+        self.touch();
     }
 
     /// `maxNtf()` (line 20): the lexicographically maximal non-default
@@ -502,23 +650,19 @@ impl RecSa {
 
         // Type 3a: while any participant is in phase 2, all active
         // notifications must propose the same set.
-        let ntfs: Vec<SharedNtf> = part
-            .iter()
-            .copied()
-            .chain(prp_extra)
-            .map(|k| self.prp_of(k))
-            .collect();
-        let phase2_exists = ntfs
-            .iter()
-            .any(|n| n.phase == Phase::Two && n.set.is_some());
+        let phase2_exists = part.iter().copied().chain(prp_extra).any(|k| {
+            let n = self.prp_of(k);
+            n.phase == Phase::Two && n.set.is_some()
+        });
         if phase2_exists {
-            let mut first: Option<&ConfigSet> = None;
-            for n in &ntfs {
+            let mut first: Option<SharedNtf> = None;
+            for k in part.iter().copied().chain(prp_extra) {
+                let n = self.prp_of(k);
                 if let Some(s) = &n.set {
-                    match first {
-                        None => first = Some(s),
+                    match &first {
+                        None => first = Some(n.clone()),
                         Some(f) => {
-                            if f != s {
+                            if f.set.as_ref() != Some(s) {
                                 return true;
                             }
                         }
@@ -548,7 +692,7 @@ impl RecSa {
             ConfigValue::Set(s) => Some(s),
             ConfigValue::Bottom => None,
             ConfigValue::NonParticipant => {
-                chs = self.chs_config();
+                chs = self.chs_config_shared();
                 chs.as_set()
             }
         };
@@ -653,6 +797,7 @@ impl RecSa {
                     self.config
                         .insert(me, shared_config(ConfigValue::Set(set.clone())));
                     self.delicate_installs += 1;
+                    self.invalidate_part();
                 }
             }
         }
@@ -688,6 +833,7 @@ impl RecSa {
                             self.config
                                 .insert(me, shared_config(ConfigValue::Set(set.clone())));
                             self.delicate_installs += 1;
+                            self.invalidate_part();
                         }
                     }
                     self.prp.insert(me, shared_ntf(promoted));
@@ -731,39 +877,34 @@ impl RecSa {
 
     /// Line 29: participants broadcast their state to every trusted
     /// processor; non-participants stay silent.
-    fn broadcast(&self, trusted: &SharedSet) -> Vec<(ProcessId, RecSaMsg)> {
+    fn broadcast_with(&self, trusted: &SharedSet, mut sink: impl FnMut(ProcessId, RecSaMsg)) {
         if !self.is_participant() {
-            return Vec::new();
+            return;
         }
         // Own values are computed once and shared by every copy; only the
         // per-receiver echo differs (and consists of shared values itself).
         let fd = self.fd_of(self.me);
-        let part = shared_set(self.my_part());
+        let part = self.my_part_shared();
         let config = self.config_of(self.me);
         let prp = self.prp_of(self.me);
         let all = self.all_of(self.me);
-        trusted
-            .iter()
-            .copied()
-            .filter(|p| *p != self.me)
-            .map(|pj| {
-                (
-                    pj,
-                    RecSaMsg {
-                        fd: fd.clone(),
-                        part: part.clone(),
-                        config: config.clone(),
-                        prp: prp.clone(),
-                        all,
-                        echo: EchoTriple {
-                            part: self.part_of(pj),
-                            prp: self.prp_of(pj),
-                            all: self.all_of(pj),
-                        },
+        for pj in trusted.iter().copied().filter(|p| *p != self.me) {
+            sink(
+                pj,
+                RecSaMsg {
+                    fd: fd.clone(),
+                    part: part.clone(),
+                    config: config.clone(),
+                    prp: prp.clone(),
+                    all,
+                    echo: EchoTriple {
+                        part: self.part_of(pj),
+                        prp: self.prp_of(pj),
+                        all: self.all_of(pj),
                     },
-                )
-            })
-            .collect()
+                },
+            );
+        }
     }
 
     // ----- fault injection (white-box helpers for tests and benchmarks) -----
@@ -771,21 +912,26 @@ impl RecSa {
     /// Overwrites a `config[]` entry, modelling a transient fault.
     pub fn corrupt_config(&mut self, k: ProcessId, val: ConfigValue) {
         self.config.insert(k, shared_config(val));
+        self.invalidate_part();
+        self.touch();
     }
 
     /// Overwrites a `prp[]` entry, modelling a transient fault.
     pub fn corrupt_notification(&mut self, k: ProcessId, n: Notification) {
         self.prp.insert(k, shared_ntf(n));
+        self.touch();
     }
 
     /// Overwrites the `allSeen` set, modelling a transient fault.
     pub fn corrupt_all_seen(&mut self, seen: BTreeSet<ProcessId>) {
         self.all_seen = seen;
+        self.touch();
     }
 
     /// Overwrites an `echo[]` entry, modelling a transient fault.
     pub fn corrupt_echo(&mut self, k: ProcessId, e: EchoTriple) {
         self.echo.insert(k, e);
+        self.touch();
     }
 }
 
@@ -852,7 +998,7 @@ mod tests {
                 if !alive.contains(id) {
                     continue;
                 }
-                for (to, msg) in node.step(alive.clone()) {
+                for (to, msg) in node.step(&alive) {
                     outbox.push((*id, to, msg));
                 }
             }
@@ -1024,7 +1170,7 @@ mod tests {
         h.add_joiner(ProcessId::new(2));
         let msgs = h
             .node_mut(2)
-            .step(config_set([0, 1, 2]).into_iter().collect());
+            .step(&config_set([0, 1, 2]).into_iter().collect());
         assert!(msgs.is_empty());
     }
 
@@ -1162,7 +1308,7 @@ mod proptests {
         for _ in 0..max_rounds {
             let mut outbox = Vec::new();
             for (id, node) in nodes.iter_mut() {
-                for (to, msg) in node.step(alive.clone()) {
+                for (to, msg) in node.step(&alive) {
                     outbox.push((*id, to, msg));
                 }
             }
@@ -1233,7 +1379,7 @@ mod proptests {
             for _ in 0..10 {
                 let mut outbox = Vec::new();
                 for (id, node) in nodes.iter_mut() {
-                    for (to, msg) in node.step(alive.clone()) {
+                    for (to, msg) in node.step(&alive) {
                         outbox.push((*id, to, msg));
                     }
                 }
@@ -1253,7 +1399,7 @@ mod proptests {
             for _ in 0..120 {
                 let mut outbox = Vec::new();
                 for (id, node) in nodes.iter_mut() {
-                    for (to, msg) in node.step(alive.clone()) {
+                    for (to, msg) in node.step(&alive) {
                         outbox.push((*id, to, msg));
                     }
                 }

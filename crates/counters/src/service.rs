@@ -717,16 +717,14 @@ impl simnet::ScenarioTarget for CounterNode {
         violations
     }
 
-    fn state_digest(sim: &simnet::Simulation<Self>) -> u64 {
-        simnet::report::digest_lines(sim.processes().map(|(id, p)| {
-            format!(
-                "{id} member={} max={:?} pending={} queued={}",
-                p.is_member(),
-                p.max_counter,
-                p.pending.is_some(),
-                p.queued_increments
-            )
-        }))
+    fn state_line(id: simnet::ProcessId, p: &Self) -> String {
+        format!(
+            "{id} member={} max={:?} pending={} queued={}",
+            p.is_member(),
+            p.max_counter,
+            p.pending.is_some(),
+            p.queued_increments
+        )
     }
 }
 

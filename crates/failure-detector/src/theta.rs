@@ -1,11 +1,25 @@
 //! The heartbeat-count vector detector.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use simnet::ProcessId;
 
 use crate::estimate::gap_estimate;
 use crate::trust::TrustView;
+
+/// Identifiers below this bound live in the dense baseline vector; larger
+/// ones (which only transient faults or forged packets can produce) spill
+/// into an ordered map. Covers the largest populations the campaign tiers
+/// run (n = 1024 → `n_bound` = 2048) plus the ghost-identifier ranges the
+/// fault plans forge.
+const DENSE_LIMIT: u32 = 4096;
+
+/// Absent-entry sentinel for the dense baseline vector. No legal baseline
+/// reaches it: baselines are `total − count` with `total ≥ 0` bounded by the
+/// number of heartbeats processed and `count ≤ u64::MAX`.
+const ABSENT: i128 = i128::MIN;
 
 /// The `(N,Θ)`-failure detector of one processor.
 ///
@@ -32,9 +46,27 @@ pub struct ThetaFailureDetector {
     theta: u64,
     /// Logical clock: total heartbeats processed.
     total: i128,
-    /// Per-peer baseline; `count(p) = total − base[p]`. Signed because
-    /// transient-fault injection may set counts above the clock.
-    base: BTreeMap<ProcessId, i128>,
+    /// Per-peer baseline for identifiers below [`DENSE_LIMIT`], indexed by
+    /// the raw identifier; `count(p) = total − dense[p]`, [`ABSENT`] marks an
+    /// untracked slot. Signed because transient-fault injection may set
+    /// counts above the clock. The dense layout makes the per-packet
+    /// [`ThetaFailureDetector::heartbeat`] a plain array write instead of an
+    /// ordered-map insertion.
+    dense: Vec<i128>,
+    /// Baselines of identifiers at or above [`DENSE_LIMIT`].
+    spill: BTreeMap<ProcessId, i128>,
+    /// Number of tracked entries across `dense` and `spill`.
+    tracked: usize,
+    /// Bumped on every mutation; keys `trusted_cache`.
+    version: u64,
+    /// The trusted set computed at `version`, reused until the next
+    /// mutation so the several trust queries a composite node issues per
+    /// step rank the vector once. Shared (`Arc`) so callers on the hot path
+    /// can hold the set without cloning it, and so a stale version stamp
+    /// whose *membership* did not change (the steady-state norm — heartbeats
+    /// move counts every round, membership almost never) revalidates the
+    /// existing allocation instead of rebuilding the set.
+    trusted_cache: RefCell<Option<(u64, Arc<BTreeSet<ProcessId>>)>>,
 }
 
 /// A raw count from the difference representation, saturated into `u64`
@@ -58,8 +90,71 @@ impl ThetaFailureDetector {
             n_bound,
             theta,
             total: 0,
-            base: BTreeMap::new(),
+            dense: Vec::new(),
+            spill: BTreeMap::new(),
+            tracked: 0,
+            version: 0,
+            trusted_cache: RefCell::new(None),
         }
+    }
+
+    // ----- baseline storage ------------------------------------------------
+
+    /// Stores `baseline` for `peer`, routing small identifiers to the dense
+    /// vector.
+    fn set_base(&mut self, peer: ProcessId, baseline: i128) {
+        self.version += 1;
+        let raw = peer.as_u32();
+        if raw < DENSE_LIMIT {
+            let idx = raw as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, ABSENT);
+            }
+            if self.dense[idx] == ABSENT {
+                self.tracked += 1;
+            }
+            self.dense[idx] = baseline;
+        } else if self.spill.insert(peer, baseline).is_none() {
+            self.tracked += 1;
+        }
+    }
+
+    fn get_base(&self, peer: ProcessId) -> Option<i128> {
+        let raw = peer.as_u32();
+        if raw < DENSE_LIMIT {
+            match self.dense.get(raw as usize) {
+                Some(&b) if b != ABSENT => Some(b),
+                _ => None,
+            }
+        } else {
+            self.spill.get(&peer).copied()
+        }
+    }
+
+    fn remove_base(&mut self, peer: ProcessId) {
+        self.version += 1;
+        let raw = peer.as_u32();
+        if raw < DENSE_LIMIT {
+            if let Some(slot) = self.dense.get_mut(raw as usize) {
+                if *slot != ABSENT {
+                    *slot = ABSENT;
+                    self.tracked -= 1;
+                }
+            }
+        } else if self.spill.remove(&peer).is_some() {
+            self.tracked -= 1;
+        }
+    }
+
+    /// All tracked `(peer, baseline)` entries in ascending identifier order
+    /// (dense identifiers are all smaller than spilled ones).
+    fn entries(&self) -> impl Iterator<Item = (ProcessId, i128)> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b != ABSENT)
+            .map(|(i, &b)| (ProcessId::new(i as u32), b))
+            .chain(self.spill.iter().map(|(p, &b)| (*p, b)))
     }
 
     /// The owner of this detector.
@@ -88,7 +183,7 @@ impl ThetaFailureDetector {
         // Difference form of "reset `peer` to 0, increment every other
         // tracked count": advance the clock, re-baseline `peer`.
         self.total += 1;
-        self.base.insert(peer, self.total);
+        self.set_base(peer, self.total);
         self.prune();
     }
 
@@ -97,31 +192,140 @@ impl ThetaFailureDetector {
     /// keep a little slack so newcomers are not evicted prematurely).
     fn prune(&mut self) {
         let limit = 2 * self.n_bound;
-        if self.base.len() <= limit {
+        if self.tracked <= limit {
             return;
         }
         let mut ranked = self.ranked();
         ranked.truncate(limit);
         let keep: BTreeSet<ProcessId> = ranked.into_iter().map(|(p, _)| p).collect();
-        self.base.retain(|p, _| keep.contains(p));
+        let evict: Vec<ProcessId> = self
+            .entries()
+            .map(|(p, _)| p)
+            .filter(|p| !keep.contains(p))
+            .collect();
+        for p in evict {
+            self.remove_base(p);
+        }
     }
 
     /// The heartbeat count currently recorded for `peer` (`None` if `peer`
     /// was never heard from or has been pruned).
     pub fn count(&self, peer: ProcessId) -> Option<u64> {
-        self.base.get(&peer).map(|b| saturate(self.total - b))
+        self.get_base(peer).map(|b| saturate(self.total - b))
     }
 
     /// All tracked processors ranked from most to least recently heard
     /// (ties broken by identifier).
     pub fn ranked(&self) -> Vec<(ProcessId, u64)> {
         let mut ranked: Vec<(ProcessId, u64)> = self
-            .base
-            .iter()
-            .map(|(p, b)| (*p, saturate(self.total - b)))
+            .entries()
+            .map(|(p, b)| (p, saturate(self.total - b)))
             .collect();
         ranked.sort_by_key(|(p, c)| (*c, *p));
         ranked
+    }
+
+    /// Runs `f` on the current trusted set, computing it only when a
+    /// mutation happened since the last query.
+    fn with_trusted<R>(&self, f: impl FnOnce(&BTreeSet<ProcessId>) -> R) -> R {
+        f(&self.trusted_shared())
+    }
+
+    /// The trusted set behind a shared handle — the zero-clone face of
+    /// [`ThetaFailureDetector::trusted`] for the per-step hot path. The
+    /// cached allocation is reused as long as the *membership* is unchanged,
+    /// even across heartbeats (which bump the version every round but only
+    /// move counts): a cheap subset-plus-cardinality sweep revalidates the
+    /// stale stamp before falling back to a full recompute.
+    pub fn trusted_shared(&self) -> Arc<BTreeSet<ProcessId>> {
+        let mut cache = self.trusted_cache.borrow_mut();
+        if let Some((version, set)) = cache.as_ref() {
+            if *version == self.version {
+                return set.clone();
+            }
+            if self.cached_still_trusted(set) {
+                debug_assert_eq!(
+                    **set,
+                    self.compute_trusted(),
+                    "trusted-set revalidation accepted a stale membership"
+                );
+                let set = set.clone();
+                *cache = Some((self.version, set.clone()));
+                return set;
+            }
+        }
+        let set = Arc::new(self.compute_trusted());
+        *cache = Some((self.version, set.clone()));
+        set
+    }
+
+    /// Whether `cached` is still exactly the trusted set, checked without
+    /// allocating: every in-window entry must be in `cached` and account —
+    /// together with `me` — for its whole cardinality (a subset of equal
+    /// size is equal). Only valid for the unranked fast path; more than `N`
+    /// window members forces the ranked recompute.
+    fn cached_still_trusted(&self, cached: &BTreeSet<ProcessId>) -> bool {
+        debug_assert!(cached.contains(&self.me), "trusted sets always hold me");
+        if self.tracked == 0 {
+            return cached.len() == 1;
+        }
+        let freshest = self
+            .entries()
+            .map(|(_, b)| saturate(self.total - b))
+            .min()
+            .expect("tracked > 0");
+        let in_window = |b: i128| saturate(self.total - b).saturating_sub(freshest) <= self.theta;
+        let mut window = 0usize;
+        let mut me_in_window = false;
+        for (p, b) in self.entries() {
+            if in_window(b) {
+                window += 1;
+                me_in_window |= p == self.me;
+                if window > self.n_bound || !cached.contains(&p) {
+                    return false;
+                }
+            }
+        }
+        cached.len() == window + usize::from(!me_in_window)
+    }
+
+    /// Computes the trusted set: the first `N` ranked entries whose count
+    /// lags the freshest count by at most `Θ`, plus `me`.
+    ///
+    /// In the common case — no more than `N` processors inside the `Θ`
+    /// window — no ranking is needed at all: everyone inside the window
+    /// outranks everyone outside it (ranking is by count), so the window
+    /// members *are* the first entries and a single unsorted sweep suffices.
+    fn compute_trusted(&self) -> BTreeSet<ProcessId> {
+        let mut trusted = BTreeSet::new();
+        trusted.insert(self.me);
+        if self.tracked == 0 {
+            return trusted;
+        }
+        let freshest = self
+            .entries()
+            .map(|(_, b)| saturate(self.total - b))
+            .min()
+            .expect("tracked > 0");
+        let in_window = |b: i128| saturate(self.total - b).saturating_sub(freshest) <= self.theta;
+        let window = self.entries().filter(|(_, b)| in_window(*b)).count();
+        if window <= self.n_bound {
+            trusted.extend(
+                self.entries()
+                    .filter(|(_, b)| in_window(*b))
+                    .map(|(p, _)| p),
+            );
+        } else {
+            let mut ranked: Vec<(u64, ProcessId)> = self
+                .entries()
+                .filter(|(_, b)| in_window(*b))
+                .map(|(p, b)| (saturate(self.total - b), p))
+                .collect();
+            ranked.sort_unstable();
+            ranked.truncate(self.n_bound);
+            trusted.extend(ranked.into_iter().map(|(_, p)| p));
+        }
+        trusted
     }
 
     /// Returns `true` when `peer` is currently trusted.
@@ -130,34 +334,22 @@ impl ThetaFailureDetector {
     /// its heartbeat count does not lag the freshest count by more than `Θ`
     /// and it is ranked among the first `N` entries.
     pub fn trusts(&self, peer: ProcessId) -> bool {
-        self.trusted().contains(&peer)
+        self.with_trusted(|t| t.contains(&peer))
     }
 
     /// The set of trusted processors (always contains `me`).
     pub fn trusted(&self) -> BTreeSet<ProcessId> {
-        let mut trusted = BTreeSet::new();
-        trusted.insert(self.me);
-        let ranked = self.ranked();
-        let freshest = ranked.first().map(|(_, c)| *c).unwrap_or(0);
-        for (idx, (p, c)) in ranked.iter().enumerate() {
-            if idx >= self.n_bound {
-                break;
-            }
-            if c.saturating_sub(freshest) <= self.theta {
-                trusted.insert(*p);
-            }
-        }
-        trusted
+        self.with_trusted(|t| t.clone())
     }
 
     /// The set of tracked-but-suspected processors.
     pub fn suspected(&self) -> BTreeSet<ProcessId> {
-        let trusted = self.trusted();
-        self.base
-            .keys()
-            .copied()
-            .filter(|p| !trusted.contains(p))
-            .collect()
+        self.with_trusted(|trusted| {
+            self.entries()
+                .map(|(p, _)| p)
+                .filter(|p| !trusted.contains(p))
+                .collect()
+        })
     }
 
     /// The gap-based estimate of the number of currently active processors
@@ -176,13 +368,13 @@ impl ThetaFailureDetector {
 
     /// Discards all knowledge about `peer`.
     pub fn forget(&mut self, peer: ProcessId) {
-        self.base.remove(&peer);
+        self.remove_base(peer);
     }
 
     /// Overwrites the count of `peer` (transient-fault injection helper).
     pub fn corrupt_count(&mut self, peer: ProcessId, count: u64) {
         if peer != self.me {
-            self.base.insert(peer, self.total - count as i128);
+            self.set_base(peer, self.total - count as i128);
         }
     }
 }

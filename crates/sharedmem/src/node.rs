@@ -666,18 +666,16 @@ impl simnet::ScenarioTarget for SharedMemNode {
         violations
     }
 
-    fn state_digest(sim: &simnet::Simulation<Self>) -> u64 {
-        simnet::report::digest_lines(sim.processes().map(|(id, p)| {
-            format!(
-                "{id} member={} store={:?} pending={} reads={} writes={} aborted={}",
-                p.is_member(),
-                p.store.snapshot(),
-                p.has_pending_ops(),
-                p.reads_committed,
-                p.writes_committed,
-                p.ops_aborted
-            )
-        }))
+    fn state_line(id: simnet::ProcessId, p: &Self) -> String {
+        format!(
+            "{id} member={} store={:?} pending={} reads={} writes={} aborted={}",
+            p.is_member(),
+            p.store.snapshot(),
+            p.has_pending_ops(),
+            p.reads_committed,
+            p.writes_committed,
+            p.ops_aborted
+        )
     }
 }
 

@@ -8,6 +8,7 @@
 //! simctl list [--n N] [--json]             # the scenario catalog
 //! simctl run <scenario|all|NAME> --node <reconfig|counter|smr|sharedmem|all>
 //!            [--n N] [--seeds 1,2] [--modes event|roundscan|both] [--jobs N]
+//!            [--sample-scenarios K] [--cell-budget-ms MS]
 //!            [--plan kind=spec]... [--rounds R] [--workload W]
 //!            [--out FILE] [--timings] [--name NAME]
 //! simctl smoke [--n N] [--jobs N] [--out FILE]  # the CI preset (3 scenarios × 4 nodes)
@@ -27,6 +28,19 @@
 //! runs cells. `bench-guard --scenario --jobs N` additionally measures the
 //! serial-vs-parallel campaign wall time and guards the speedup; it
 //! parallelizes over the seed axis, so give it at least `N` seeds.
+//!
+//! `--sample-scenarios K` keeps a deterministic K-subset of the requested
+//! scenario list: indices are drawn by a Fisher–Yates shuffle seeded from
+//! the campaign's **first seed** and then restored to catalog order, so a
+//! sampled report is a strict subsequence of the full matrix — two sampled
+//! runs of the same (K, seed) diff clean, and each sampled cell is
+//! byte-identical to its cell in an unsampled report. `--cell-budget-ms MS`
+//! arms a per-cell wall budget: a cell whose wall time exceeds the budget
+//! fails with its own `BUDGET-OVERRUN` outcome (distinct from a protocol
+//! failure — the run itself still converged), letting large-`n` CI tiers
+//! fail fast on a performance cliff instead of timing out the whole job.
+//! Both wall-clock fields (`wall_ms`, `budget_overrun`) are excluded from
+//! `simctl diff`, keeping the determinism contract machine-independent.
 //!
 //! `--plan` composes ad-hoc fault plans onto the named scenario (or onto a
 //! fresh, empty scenario when the name is not in the catalog) without
@@ -112,14 +126,19 @@ fn usage() -> &'static str {
      simctl list [--n N] [--json]\n  \
      simctl run <scenario|all|NAME> --node <reconfig|counter|smr|sharedmem|all> \
      [--n N] [--seeds 1,2] [--modes event|roundscan|both] [--jobs N] \
+     [--sample-scenarios K] [--cell-budget-ms MS] \
      [--plan kind=spec]... [--rounds R] [--workload W] [--out FILE] [--timings] [--name NAME]\n  \
-     simctl smoke [--n N] [--jobs N] [--out FILE]\n  \
+     simctl smoke [--n N] [--jobs N] [--sample-scenarios K] [--cell-budget-ms MS] [--out FILE]\n  \
      simctl diff <baseline.json> <current.json> [--jobs N]\n  \
      simctl bench-guard --baseline FILE --current FILE [--max-regression 0.30]\n  \
      simctl bench-guard --scenario NAME --node NODE [--n N] [--seeds 1,2] [--jobs N] \
-     [--out FILE] [--baseline FILE] [--max-regression 0.30]\n\n\
+     [--cell-budget-ms MS] [--out FILE] [--baseline FILE] [--max-regression 0.30]\n\n\
      --jobs N: worker threads for the cell matrix (default: available \
-     parallelism; 1 = serial; reports are byte-identical at any N)\n\n\
+     parallelism; 1 = serial; reports are byte-identical at any N)\n\
+     --sample-scenarios K: run a deterministic K-subset of the scenario list \
+     (Fisher-Yates seeded by the first campaign seed, catalog order kept)\n\
+     --cell-budget-ms MS: per-cell wall budget; an overrun is its own failed \
+     outcome (BUDGET-OVERRUN), 0 disarms\n\n\
      --plan specs (ids joined with '+'): crash=R:IDS  join=R:COUNT  split=R  heal=R  \
      oneway=R  healoneway=R  corrupt=R:IDS  payload=R:IDS  spike=R+DUR:LOSS/DUP/DELAY  \
      gray=R+DUR:PERIOD:IDS  skew=R:PERIOD:IDS  recover=R+DOWNTIME:IDS  \
@@ -225,6 +244,56 @@ fn with_jobs(campaign: Campaign, jobs: Option<usize>) -> Campaign {
         Some(jobs) => campaign.with_jobs(jobs),
         None => campaign,
     }
+}
+
+/// Parses `--cell-budget-ms`. Absence (or an explicit `0`) leaves budgets
+/// disarmed, matching `Campaign::with_cell_budget_ms`.
+fn parse_cell_budget(flags: &Flags) -> Result<f64, String> {
+    match flags.value("cell-budget-ms") {
+        None => Ok(0.0),
+        Some(v) => {
+            let ms: f64 = v
+                .parse()
+                .map_err(|_| format!("bad --cell-budget-ms value `{v}`"))?;
+            if !ms.is_finite() || ms < 0.0 {
+                return Err("--cell-budget-ms must be a non-negative number".to_string());
+            }
+            Ok(ms)
+        }
+    }
+}
+
+/// Applies `--sample-scenarios K`: keeps a deterministic K-subset of the
+/// scenario list, drawn by a Fisher–Yates shuffle seeded from the campaign's
+/// first seed and restored to catalog order — so a sampled report is a
+/// strict subsequence of the full matrix and `simctl diff` can compare two
+/// sampled reports of the same (K, seed) cell for cell.
+fn apply_sampling(
+    flags: &Flags,
+    scenarios: Vec<Scenario>,
+    seed: u64,
+) -> Result<Vec<Scenario>, String> {
+    match flags.value("sample-scenarios") {
+        None => Ok(scenarios),
+        Some(v) => {
+            let k: usize = v
+                .parse()
+                .map_err(|_| format!("bad --sample-scenarios value `{v}`"))?;
+            if k == 0 {
+                return Err("--sample-scenarios must be at least 1".to_string());
+            }
+            Ok(simnet::scenario::sample_scenarios(scenarios, k, seed))
+        }
+    }
+}
+
+/// Nearest-rank percentile of a sorted, non-empty sample (`p` in 0..=100).
+fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank.min(sorted.len()) - 1])
 }
 
 fn parse_seeds(flags: &Flags) -> Result<Vec<u64>, String> {
@@ -540,12 +609,27 @@ fn emit(report: &CampaignReport, out: Option<&str>) -> Result<(), String> {
             "MODE-DIVERGENCE"
         } else if !run.converged {
             "NO-CONVERGENCE"
+        } else if run.budget_overrun == Some(true) {
+            "BUDGET-OVERRUN"
         } else {
             "INVARIANT-VIOLATION"
         };
         eprintln!(
             "  [{status}] {}/{} seed={} rounds={} msgs={}",
             run.node, run.scenario, run.seed, run.rounds_run, run.messages_sent
+        );
+    }
+    // With `--timings` armed, summarize the per-cell wall-time distribution
+    // — the numbers a `--cell-budget-ms` value should be sized against.
+    let mut walls: Vec<f64> = report.runs.iter().filter_map(|r| r.wall_ms).collect();
+    if !walls.is_empty() {
+        walls.sort_by(f64::total_cmp);
+        eprintln!(
+            "  wall_ms per cell: p50={:.1} p99={:.1} max={:.1} ({} cells)",
+            percentile(&walls, 50.0).unwrap(),
+            percentile(&walls, 99.0).unwrap(),
+            walls.last().unwrap(),
+            walls.len(),
         );
     }
     eprintln!(
@@ -561,8 +645,19 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let flags = Flags::parse(
         args,
         &[
-            "node", "n", "seed", "seeds", "modes", "jobs", "out", "name", "plan", "rounds",
+            "node",
+            "n",
+            "seed",
+            "seeds",
+            "modes",
+            "jobs",
+            "out",
+            "name",
+            "plan",
+            "rounds",
             "workload",
+            "sample-scenarios",
+            "cell-budget-ms",
         ],
         &["timings"],
     )?;
@@ -608,13 +703,16 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             .map(|s| s.with_workload_until(workload))
             .collect();
     }
+    let seeds = parse_seeds(&flags)?;
+    scenarios = apply_sampling(&flags, scenarios, seeds[0])?;
     let nodes = resolve_nodes(flags.value("node"))?;
     let name = flags.value("name").unwrap_or("chaos").to_string();
     let campaign = with_jobs(
         Campaign::new(name)
-            .with_seeds(parse_seeds(&flags)?)
+            .with_seeds(seeds)
             .with_modes(parse_modes(&flags)?)
-            .with_timings(flags.switch("timings")),
+            .with_timings(flags.switch("timings"))
+            .with_cell_budget_ms(parse_cell_budget(&flags)?),
         parse_jobs(&flags)?,
     );
     let report = run_matrix(&campaign, &nodes, &scenarios)?;
@@ -623,14 +721,23 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
 }
 
 fn cmd_smoke(args: &[String]) -> Result<bool, String> {
-    let flags = Flags::parse(args, &["n", "jobs", "out"], &[])?;
+    let flags = Flags::parse(
+        args,
+        &["n", "jobs", "out", "sample-scenarios", "cell-budget-ms"],
+        &[],
+    )?;
     let n = parse_n(&flags)?;
     let scenarios: Vec<Scenario> = SMOKE_SCENARIOS
         .iter()
         .map(|name| simnet::scenario::find(name, n).expect("smoke scenario exists"))
         .collect();
+    // The smoke campaign's first seed is 1; sampling keys off it so a
+    // sampled smoke tier is reproducible without extra flags.
+    let scenarios = apply_sampling(&flags, scenarios, 1)?;
     let campaign = with_jobs(
-        Campaign::new("smoke").with_seeds([1, 2]),
+        Campaign::new("smoke")
+            .with_seeds([1, 2])
+            .with_cell_budget_ms(parse_cell_budget(&flags)?),
         parse_jobs(&flags)?,
     );
     let report = run_matrix(&campaign, &NODES, &scenarios)?;
@@ -639,8 +746,9 @@ fn cmd_smoke(args: &[String]) -> Result<bool, String> {
 }
 
 /// Compares two campaign reports cell by cell. Cells are keyed by
-/// (node, scenario, seed, n); the campaign name and the opt-in `wall_ms`
-/// field are ignored, every other field difference is reported. Headline
+/// (node, scenario, seed, n); the campaign name and the wall-clock-derived
+/// fields (`wall_ms` and `budget_overrun`, which depend on the machine, not
+/// the execution) are ignored, every other field difference is reported. Headline
 /// metrics — rounds-to-convergence and message cost — are rendered with
 /// deltas for PR-to-PR comparison.
 fn diff_reports(baseline: &Json, current: &Json) -> Result<Vec<String>, String> {
@@ -695,7 +803,7 @@ fn diff_reports(baseline: &Json, current: &Json) -> Result<Vec<String>, String> 
             .iter()
             .map(|(k, _)| k.as_str())
             .chain(cur_fields.iter().map(|(k, _)| k.as_str()))
-            .filter(|k| *k != "wall_ms")
+            .filter(|k| *k != "wall_ms" && *k != "budget_overrun")
             .collect();
         let mut seen = Vec::new();
         for name in names {
@@ -788,7 +896,9 @@ fn parallel_floor(jobs: u64, cores: u64) -> f64 {
 /// reconfiguration run must still converge, and — once the baseline carries
 /// a `parallel_campaign` section — the parallel campaign driver must stay
 /// byte-identical to the serial one and clear the core-aware speedup floor
-/// ([`parallel_floor`]).
+/// ([`parallel_floor`]). A baseline `tier_1024` section likewise arms the
+/// large-scale tier: every listed cell must converge within its armed
+/// per-cell wall budget in the current summary.
 fn bench_guard(
     baseline: &Json,
     current: &Json,
@@ -869,6 +979,31 @@ fn bench_guard(
             }
         }
     }
+    // The n = 1024 tier guard arms the same way: every cell the baseline
+    // tier ran must still converge inside its armed wall budget. The budget
+    // verdict comes from the current summary's own run (the budgets carry
+    // ~2.5× headroom), so the check is machine-tolerant — unlike the
+    // `hot_path` before/after ledger, which is informational because its
+    // "before" row is frozen to the reference machine.
+    if baseline.get("tier_1024").is_some() {
+        match current.get("tier_1024").and_then(Json::as_arr) {
+            None => findings.push("tier_1024 section missing from the current summary".to_string()),
+            Some(cells) => {
+                for cell in cells {
+                    let name = cell
+                        .get("scenario")
+                        .and_then(Json::as_str)
+                        .unwrap_or("<unnamed>");
+                    if cell.get("converged").and_then(Json::as_bool) != Some(true) {
+                        findings.push(format!("tier_1024 cell `{name}` did not converge"));
+                    }
+                    if cell.get("within_budget").and_then(Json::as_bool) != Some(true) {
+                        findings.push(format!("tier_1024 cell `{name}` blew its wall budget"));
+                    }
+                }
+            }
+        }
+    }
     Ok(findings)
 }
 
@@ -891,31 +1026,41 @@ fn measure_scenario_bench(
     nodes: &[&str],
     seeds: &[u64],
     jobs: usize,
+    cell_budget_ms: f64,
 ) -> Result<Json, String> {
     let mut rows = Vec::new();
     for node in nodes {
-        let wall = |mode: SchedulerMode| -> Result<(f64, bool, u64), String> {
+        let wall = |mode: SchedulerMode| -> Result<(Vec<f64>, bool, u64), String> {
             let campaign = Campaign::new("scenario-bench")
                 .with_seeds(seeds.iter().copied())
                 .with_modes([mode])
                 .with_jobs(1)
-                .with_timings(true);
+                .with_timings(true)
+                .with_cell_budget_ms(cell_budget_ms);
             let report = run_matrix(&campaign, &[node], std::slice::from_ref(scenario))?;
-            let ms: f64 = report.runs.iter().filter_map(|r| r.wall_ms).sum();
+            let walls: Vec<f64> = report.runs.iter().filter_map(|r| r.wall_ms).collect();
             let rounds: u64 = report
                 .runs
                 .iter()
                 .filter_map(|r| r.rounds_to_convergence)
                 .sum();
-            Ok((ms, report.passed(), rounds))
+            Ok((walls, report.passed(), rounds))
         };
-        let (event_ms, event_ok, rounds) = wall(SchedulerMode::EventDriven)?;
-        let (roundscan_ms, scan_ok, _) = wall(SchedulerMode::RoundScan)?;
+        let (event_walls, event_ok, rounds) = wall(SchedulerMode::EventDriven)?;
+        let (scan_walls, scan_ok, _) = wall(SchedulerMode::RoundScan)?;
+        let event_ms: f64 = event_walls.iter().sum();
+        let roundscan_ms: f64 = scan_walls.iter().sum();
+        // Per-cell distribution of the event-mode walls: the columns a
+        // `--cell-budget-ms` tier should be sized against.
+        let mut sorted = event_walls;
+        sorted.sort_by(f64::total_cmp);
         let mut row = Json::obj()
             .field("scenario", scenario.name())
             .field("node", *node)
             .field("processes", scenario.initial_size())
             .field("event_ms", event_ms)
+            .field("wall_p50_ms", percentile(&sorted, 50.0).unwrap_or(0.0))
+            .field("wall_p99_ms", percentile(&sorted, 99.0).unwrap_or(0.0))
             .field("roundscan_ms", roundscan_ms)
             .field(
                 "speedup",
@@ -1078,6 +1223,7 @@ fn cmd_bench_guard(args: &[String]) -> Result<bool, String> {
             "seeds",
             "jobs",
             "out",
+            "cell-budget-ms",
         ],
         &[],
     )?;
@@ -1106,7 +1252,8 @@ fn cmd_bench_guard(args: &[String]) -> Result<bool, String> {
             None => 1,
             Some(_) => parse_jobs(&flags)?.unwrap_or_else(simnet::exec::available_jobs),
         };
-        let summary = measure_scenario_bench(&scenario, &nodes, &seeds, jobs)?;
+        let summary =
+            measure_scenario_bench(&scenario, &nodes, &seeds, jobs, parse_cell_budget(&flags)?)?;
         let rendered = summary.render();
         match flags.value("out") {
             None => print!("{rendered}"),
@@ -1224,10 +1371,65 @@ mod tests {
         let mut b = report_with(1, 70, 5_000, true).field("campaign", "y");
         if let Json::Obj(fields) = &mut b {
             if let Some((_, Json::Arr(runs))) = fields.iter_mut().find(|(k, _)| k == "runs") {
-                runs[0] = runs[0].clone().field("wall_ms", 12.5);
+                runs[0] = runs[0]
+                    .clone()
+                    .field("wall_ms", 12.5)
+                    .field("budget_overrun", true);
             }
         }
         assert!(diff_reports(&a, &b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn budget_and_sampling_flags_parse_and_validate() {
+        let parse = |args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            Flags::parse(&args, &["cell-budget-ms", "sample-scenarios"], &[]).unwrap()
+        };
+        assert_eq!(parse_cell_budget(&parse(&[])).unwrap(), 0.0);
+        assert_eq!(
+            parse_cell_budget(&parse(&["--cell-budget-ms", "250.5"])).unwrap(),
+            250.5
+        );
+        assert!(parse_cell_budget(&parse(&["--cell-budget-ms", "-1"])).is_err());
+        assert!(parse_cell_budget(&parse(&["--cell-budget-ms", "inf"])).is_err());
+        assert!(parse_cell_budget(&parse(&["--cell-budget-ms", "soon"])).is_err());
+
+        let scenarios = catalog(4);
+        let full = scenarios.len();
+        assert_eq!(
+            apply_sampling(&parse(&[]), catalog(4), 1).unwrap().len(),
+            full
+        );
+        let sampled = apply_sampling(&parse(&["--sample-scenarios", "3"]), catalog(4), 1).unwrap();
+        assert_eq!(sampled.len(), 3);
+        // Same (K, seed) picks the same subset; catalog order is preserved,
+        // so the sampled names appear in the full catalog's order.
+        let again = apply_sampling(&parse(&["--sample-scenarios", "3"]), catalog(4), 1).unwrap();
+        let names = |v: &[Scenario]| v.iter().map(|s| s.name().to_string()).collect::<Vec<_>>();
+        assert_eq!(names(&sampled), names(&again));
+        let positions: Vec<usize> = sampled
+            .iter()
+            .map(|s| scenarios.iter().position(|f| f.name() == s.name()).unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "{positions:?}");
+        assert!(apply_sampling(&parse(&["--sample-scenarios", "0"]), catalog(4), 1).is_err());
+        assert!(apply_sampling(&parse(&["--sample-scenarios", "x"]), catalog(4), 1).is_err());
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), None);
+        let one = [42.0];
+        assert_eq!(percentile(&one, 50.0), Some(42.0));
+        assert_eq!(percentile(&one, 99.0), Some(42.0));
+        let four = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&four, 50.0), Some(2.0));
+        assert_eq!(percentile(&four, 99.0), Some(4.0));
+        assert_eq!(percentile(&four, 100.0), Some(4.0));
+        let hundred: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&hundred, 50.0), Some(50.0));
+        assert_eq!(percentile(&hundred, 99.0), Some(99.0));
     }
 
     #[test]
@@ -1283,6 +1485,36 @@ mod tests {
         assert!(!bench_guard(&base, &missing, 0.30).unwrap().is_empty());
         let unconverged = summary(&[(64, 6.0), (256, 12.0)], false);
         assert!(!bench_guard(&base, &unconverged, 0.30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bench_guard_arms_tier_1024_only_when_the_baseline_carries_it() {
+        let tier_cell = |converged: bool, within: bool| {
+            Json::obj()
+                .field("scenario", "quiescent")
+                .field("converged", converged)
+                .field("within_budget", within)
+        };
+        let with_tier = |doc: Json, cells: Vec<Json>| doc.field("tier_1024", Json::Arr(cells));
+
+        let base = with_tier(summary(&[(64, 6.0)], true), vec![tier_cell(true, true)]);
+        // Old current summaries without the section are findings once the
+        // baseline has it…
+        let old = summary(&[(64, 6.0)], true);
+        let findings = bench_guard(&base, &old, 0.30).unwrap();
+        assert!(findings.iter().any(|f| f.contains("tier_1024")));
+        // …but an old *baseline* never arms the check.
+        assert!(bench_guard(&old, &old, 0.30).unwrap().is_empty());
+
+        let good = with_tier(summary(&[(64, 6.0)], true), vec![tier_cell(true, true)]);
+        assert!(bench_guard(&base, &good, 0.30).unwrap().is_empty());
+        let overrun = with_tier(summary(&[(64, 6.0)], true), vec![tier_cell(true, false)]);
+        let findings = bench_guard(&base, &overrun, 0.30).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("blew its wall budget"));
+        let diverged = with_tier(summary(&[(64, 6.0)], true), vec![tier_cell(false, true)]);
+        let findings = bench_guard(&base, &diverged, 0.30).unwrap();
+        assert!(findings[0].contains("did not converge"));
     }
 
     #[test]

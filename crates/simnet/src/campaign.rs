@@ -60,9 +60,7 @@
 //! #         v.all(|x| Some(x) == first)
 //! #     }
 //! #     fn invariant_violations(_sim: &Simulation<Self>) -> Vec<String> { Vec::new() }
-//! #     fn state_digest(sim: &Simulation<Self>) -> u64 {
-//! #         simnet::report::digest_lines(sim.processes().map(|(i, p)| format!("{i} {}", p.value)))
-//! #     }
+//! #     fn state_line(i: ProcessId, p: &Self) -> String { format!("{i} {}", p.value) }
 //! # }
 //! use simnet::scenario::catalog;
 //! use simnet::Campaign;
@@ -94,6 +92,7 @@ pub struct Campaign {
     modes: Vec<SchedulerMode>,
     timings: bool,
     jobs: Option<usize>,
+    cell_budget_ms: Option<f64>,
 }
 
 impl Campaign {
@@ -106,6 +105,7 @@ impl Campaign {
             modes: vec![SchedulerMode::EventDriven, SchedulerMode::RoundScan],
             timings: false,
             jobs: None,
+            cell_budget_ms: None,
         }
     }
 
@@ -140,9 +140,29 @@ impl Campaign {
         self
     }
 
+    /// Arms a per-cell wall budget in milliseconds (builder style; `0.0`
+    /// disarms). A cell whose summed mode wall time exceeds the budget is
+    /// reported as a distinct outcome — [`RunRecord::budget_overrun`] —
+    /// and fails [`RunRecord::passed`], so a campaign tier can gate on
+    /// "every cell converged *within its time box*" without turning a
+    /// hang into a CI timeout with no report. The verdict compares wall
+    /// clock against the budget, so (unlike everything else in an untimed
+    /// report) it is machine-dependent; pick budgets with generous
+    /// headroom and treat an overrun as a perf regression signal, not a
+    /// protocol bug.
+    pub fn with_cell_budget_ms(mut self, budget_ms: f64) -> Self {
+        self.cell_budget_ms = (budget_ms > 0.0).then_some(budget_ms);
+        self
+    }
+
     /// The campaign name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The armed per-cell wall budget, if any.
+    pub fn cell_budget_ms(&self) -> Option<f64> {
+        self.cell_budget_ms
     }
 
     /// The seeds swept.
@@ -276,6 +296,7 @@ impl Campaign {
             modes_agree,
             invariant_violations: violations,
             wall_ms: self.timings.then_some(wall_ms),
+            budget_overrun: self.cell_budget_ms.map(|budget| wall_ms > budget),
         }
     }
 }
@@ -337,13 +358,21 @@ pub struct RunRecord {
     /// these; see [`CampaignReport::wall_ms_total`]. Non-deterministic;
     /// `None` unless timings were requested.
     pub wall_ms: Option<f64>,
+    /// Whether the cell blew its wall budget ([`Campaign::with_cell_budget_ms`]):
+    /// `None` when no budget was armed, otherwise the verdict. Wall-clock
+    /// dependent, hence machine-dependent — `simctl diff` ignores it like
+    /// `wall_ms`.
+    pub budget_overrun: Option<bool>,
 }
 
 impl RunRecord {
     /// Whether this run passed: converged, schedulers agreed, no
-    /// violations.
+    /// violations, and — when a wall budget was armed — within budget.
     pub fn passed(&self) -> bool {
-        self.converged && self.modes_agree && self.invariant_violations.is_empty()
+        self.converged
+            && self.modes_agree
+            && self.invariant_violations.is_empty()
+            && self.budget_overrun != Some(true)
     }
 
     /// The value of one fault counter (0 when the key is absent).
@@ -386,6 +415,9 @@ impl RunRecord {
             );
         if let Some(wall) = self.wall_ms {
             obj = obj.field("wall_ms", wall);
+        }
+        if let Some(overrun) = self.budget_overrun {
+            obj = obj.field("budget_overrun", overrun);
         }
         obj
     }
@@ -467,6 +499,42 @@ mod tests {
     use super::*;
     use crate::scenario::catalog;
     use crate::testutil::MaxNode;
+
+    #[test]
+    fn cell_budget_marks_overruns_as_distinct_outcomes() {
+        let scenarios = vec![catalog(4).into_iter().next().unwrap()];
+        // A generous budget passes and reports the verdict.
+        let ok = Campaign::new("budget")
+            .with_seeds([1])
+            .with_cell_budget_ms(1e12)
+            .run::<MaxNode>(&scenarios);
+        assert!(ok.passed());
+        assert_eq!(ok.runs[0].budget_overrun, Some(false));
+        assert!(ok.render().contains("budget_overrun"));
+        // An impossible budget fails the cell — but as a *distinct*
+        // outcome: the protocol run itself is untouched and convergent.
+        let over = Campaign::new("budget")
+            .with_seeds([1])
+            .with_cell_budget_ms(f64::MIN_POSITIVE)
+            .run::<MaxNode>(&scenarios);
+        assert!(!over.passed());
+        let run = &over.runs[0];
+        assert!(run.converged && run.modes_agree && run.invariant_violations.is_empty());
+        assert_eq!(run.budget_overrun, Some(true));
+        // No budget armed: the field stays out of the report entirely, so
+        // untimed reports remain byte-deterministic.
+        let plain = Campaign::new("budget")
+            .with_seeds([1])
+            .run::<MaxNode>(&scenarios);
+        assert_eq!(plain.runs[0].budget_overrun, None);
+        assert!(!plain.render().contains("budget_overrun"));
+        // `0.0` disarms (the CLI's "flag absent" spelling).
+        let disarmed = Campaign::new("budget")
+            .with_seeds([1])
+            .with_cell_budget_ms(0.0)
+            .run::<MaxNode>(&scenarios);
+        assert_eq!(disarmed.runs[0].budget_overrun, None);
+    }
 
     #[test]
     fn campaign_report_is_byte_identical_across_runs_and_modes() {

@@ -191,24 +191,53 @@ impl<M: Clone> Channel<M> {
     /// preserved.
     pub fn drain_ready(&mut self, now: Round, limit: usize, rng: &mut SimRng) -> Vec<M> {
         let mut delivered = Vec::new();
-        while delivered.len() < limit {
-            let ready: Vec<usize> = self
-                .queue
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.ready_at <= now)
-                .map(|(i, _)| i)
-                .collect();
-            if ready.is_empty() {
-                break;
+        self.drain_ready_with(now, limit, rng, |msg| delivered.push(msg));
+        delivered
+    }
+
+    /// Allocation-free form of [`Channel::drain_ready`]: each delivered
+    /// payload is handed to `sink` instead of collected into a fresh vector.
+    /// Returns the number of packets delivered. Draws from the RNG exactly
+    /// as [`Channel::drain_ready`] does (one pick per packet, only under
+    /// reordering), so executions are unchanged.
+    pub fn drain_ready_with(
+        &mut self,
+        now: Round,
+        limit: usize,
+        rng: &mut SimRng,
+        mut sink: impl FnMut(M),
+    ) -> usize {
+        let mut delivered = 0usize;
+        if !self.policy.reorder {
+            // FIFO among ready packets: repeatedly remove the frontmost
+            // ready one. No index list, no RNG draw.
+            while delivered < limit {
+                let Some(pick) = self.queue.iter().position(|p| p.ready_at <= now) else {
+                    break;
+                };
+                let packet = self.queue.remove(pick).expect("index is valid");
+                sink(packet.msg);
+                delivered += 1;
             }
-            let pick = if self.policy.reorder {
-                *rng.choose(&ready).expect("ready is non-empty")
-            } else {
-                ready[0]
-            };
-            let packet = self.queue.remove(pick).expect("index is valid");
-            delivered.push(packet.msg);
+        } else {
+            let mut ready: Vec<usize> = Vec::new();
+            while delivered < limit {
+                ready.clear();
+                ready.extend(
+                    self.queue
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.ready_at <= now)
+                        .map(|(i, _)| i),
+                );
+                if ready.is_empty() {
+                    break;
+                }
+                let pick = *rng.choose(&ready).expect("ready is non-empty");
+                let packet = self.queue.remove(pick).expect("index is valid");
+                sink(packet.msg);
+                delivered += 1;
+            }
         }
         delivered
     }

@@ -33,6 +33,9 @@ pub struct Network<M> {
     /// send path (injection, white-box channel access). The scheduler drains
     /// this to wake the affected processes.
     dirty: BTreeSet<ProcessId>,
+    /// Scratch sender list recycled across [`Network::deliver_due_into`]
+    /// calls so steady-state delivery performs no allocation.
+    scratch_senders: Vec<ProcessId>,
 }
 
 impl<M: Clone> Network<M> {
@@ -44,6 +47,7 @@ impl<M: Clone> Network<M> {
             blocked: BTreeSet::new(),
             inbound: BTreeMap::new(),
             dirty: BTreeSet::new(),
+            scratch_senders: Vec::new(),
         }
     }
 
@@ -166,34 +170,33 @@ impl<M: Clone> Network<M> {
         ready
     }
 
-    /// The senders with a non-empty channel towards `to`, in ascending order,
-    /// pruning the inbound index of channels that turn out to be empty.
-    fn nonempty_senders(&mut self, to: ProcessId) -> Vec<ProcessId> {
+    /// Fills `senders` with the senders holding a non-empty channel towards
+    /// `to`, in ascending order, pruning the inbound index of channels that
+    /// turn out to be empty.
+    fn nonempty_senders_into(&mut self, to: ProcessId, senders: &mut Vec<ProcessId>) {
+        senders.clear();
         let Some(srcs) = self.inbound.get_mut(&to) else {
-            return Vec::new();
+            return;
         };
-        let mut senders = Vec::with_capacity(srcs.len());
-        let mut empty = Vec::new();
-        for src in srcs.iter().copied() {
-            let holds_packets = self
-                .channels
-                .get(&(src, to))
+        let channels = &self.channels;
+        srcs.retain(|src| {
+            let holds_packets = channels
+                .get(&(*src, to))
                 .map(|ch| !ch.is_empty())
                 .unwrap_or(false);
             if holds_packets {
-                senders.push(src);
-            } else {
-                empty.push(src);
+                senders.push(*src);
             }
-        }
-        for src in empty {
-            srcs.remove(&src);
-        }
-        senders
+            holds_packets
+        });
     }
 
     /// The common delivery loop over an already-shuffled sender list.
-    fn drain_senders(
+    /// Appends `(from, msg)` pairs to `into`.
+    // Takes the scheduler's loop state piecewise: bundling it into a struct
+    // would force per-call construction on the hottest path in the crate.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_senders_into(
         &mut self,
         to: ProcessId,
         senders: &[ProcessId],
@@ -201,18 +204,20 @@ impl<M: Clone> Network<M> {
         limit: usize,
         rng: &mut SimRng,
         metrics: &mut Metrics,
-    ) -> Vec<(ProcessId, M)> {
-        let mut delivered = Vec::new();
+        into: &mut Vec<(ProcessId, M)>,
+    ) {
+        let start = into.len();
         for from in senders.iter().copied() {
-            if delivered.len() >= limit {
+            let delivered = into.len() - start;
+            if delivered >= limit {
                 break;
             }
-            let remaining = limit - delivered.len();
+            let remaining = limit - delivered;
             if let Some(ch) = self.channels.get_mut(&(from, to)) {
-                for msg in ch.drain_ready(now, remaining, rng) {
+                ch.drain_ready_with(now, remaining, rng, |msg| {
                     metrics.record_delivery();
-                    delivered.push((from, msg));
-                }
+                    into.push((from, msg));
+                });
                 if ch.is_empty() {
                     if let Some(srcs) = self.inbound.get_mut(&to) {
                         srcs.remove(&from);
@@ -220,8 +225,7 @@ impl<M: Clone> Network<M> {
                 }
             }
         }
-        metrics.record_delivery_batch(delivered.len());
-        delivered
+        metrics.record_delivery_batch(into.len() - start);
     }
 
     /// Drains up to `limit` deliverable packets addressed to `to`, across all
@@ -249,7 +253,9 @@ impl<M: Clone> Network<M> {
             .map(|((src, _), _)| *src)
             .collect();
         rng.shuffle(&mut senders);
-        self.drain_senders(to, &senders, now, limit, rng, metrics)
+        let mut delivered = Vec::new();
+        self.drain_senders_into(to, &senders, now, limit, rng, metrics, &mut delivered);
+        delivered
     }
 
     /// Event-driven variant of [`Network::deliver_to`]: visits only the
@@ -268,24 +274,46 @@ impl<M: Clone> Network<M> {
         rng: &mut SimRng,
         metrics: &mut Metrics,
     ) -> (Vec<(ProcessId, M)>, Option<Round>) {
-        let mut senders = self.nonempty_senders(to);
+        let mut delivered = Vec::new();
+        let next_ready = self.deliver_due_into(to, now, limit, rng, metrics, &mut delivered);
+        (delivered, next_ready)
+    }
+
+    /// Allocation-free form of [`Network::deliver_due`]: `(from, msg)` pairs
+    /// are appended to the caller's `into` buffer and the sender list is
+    /// recycled inside the network, so a steady-state delivery touches no
+    /// allocator. Returns the earliest round at which `to` has another
+    /// deliverable packet.
+    pub fn deliver_due_into(
+        &mut self,
+        to: ProcessId,
+        now: Round,
+        limit: usize,
+        rng: &mut SimRng,
+        metrics: &mut Metrics,
+        into: &mut Vec<(ProcessId, M)>,
+    ) -> Option<Round> {
+        let mut senders = std::mem::take(&mut self.scratch_senders);
+        self.nonempty_senders_into(to, &mut senders);
         if senders.is_empty() {
             metrics.record_delivery_batch(0);
-            return (Vec::new(), None);
+            self.scratch_senders = senders;
+            return None;
         }
         metrics.record_channel_visits(senders.len());
         rng.shuffle(&mut senders);
-        let delivered = self.drain_senders(to, &senders, now, limit, rng, metrics);
+        self.drain_senders_into(to, &senders, now, limit, rng, metrics, into);
         // Earliest next delivery among the packets still in flight to `to`.
         let mut next_ready: Option<Round> = None;
-        for src in senders {
+        for src in senders.iter().copied() {
             if let Some(ch) = self.channels.get(&(src, to)) {
                 if let Some(r) = ch.earliest_ready() {
                     next_ready = Some(next_ready.map_or(r, |cur: Round| cur.min(r)));
                 }
             }
         }
-        (delivered, next_ready)
+        self.scratch_senders = senders;
+        next_ready
     }
 
     /// Removes every packet-wake obligation recorded since the last call:

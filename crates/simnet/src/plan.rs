@@ -799,7 +799,6 @@ impl FaultPlan for ByzantinePlan {
 #[doc(hidden)]
 pub mod doctest {
     use crate::process::{Context, Process, ProcessId};
-    use crate::report::digest_lines;
     use crate::rng::SimRng;
     use crate::scenario::ScenarioTarget;
     use crate::scheduler::Simulation;
@@ -843,8 +842,8 @@ pub mod doctest {
         fn invariant_violations(_sim: &Simulation<Self>) -> Vec<String> {
             Vec::new()
         }
-        fn state_digest(sim: &Simulation<Self>) -> u64 {
-            digest_lines(sim.processes().map(|(id, p)| format!("{id} {}", p.value)))
+        fn state_line(id: ProcessId, p: &Self) -> String {
+            format!("{id} {}", p.value)
         }
     }
 }

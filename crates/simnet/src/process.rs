@@ -115,11 +115,25 @@ impl<'a, M> Context<'a, M> {
     /// `peers` lists every processor the simulation knows about (including
     /// crashed ones and `me` itself).
     pub fn new(me: ProcessId, now: Round, peers: &'a [ProcessId]) -> Self {
+        Context::with_outbox(me, now, peers, Vec::new())
+    }
+
+    /// Like [`Context::new`], but reusing an (empty) outbox buffer so a
+    /// steady-state scheduler step performs no allocation: the scheduler
+    /// recycles one send buffer across steps and recovers it through
+    /// [`Context::into_outbox`] after flushing.
+    pub fn with_outbox(
+        me: ProcessId,
+        now: Round,
+        peers: &'a [ProcessId],
+        outbox: Vec<(ProcessId, M)>,
+    ) -> Self {
+        debug_assert!(outbox.is_empty(), "recycled outbox must be drained");
         Context {
             me,
             now,
             peers,
-            outbox: Vec::new(),
+            outbox,
         }
     }
 
@@ -151,6 +165,33 @@ impl<'a, M> Context<'a, M> {
     /// caller.
     pub fn all_ids(&self) -> Vec<ProcessId> {
         self.peers.to_vec()
+    }
+
+    /// All processor identifiers known to the simulation, including the
+    /// caller, as the borrowed slice (no copy; the lifetime is that of the
+    /// simulation's identifier snapshot, not of this context).
+    pub fn ids(&self) -> &'a [ProcessId] {
+        self.peers
+    }
+
+    /// Takes the send buffer out of the context so a caller can fill it
+    /// through another collector (see `impl_process_for_layer!`), to be
+    /// handed back via [`Context::restore_sends`]. Packets already queued
+    /// stay in the returned buffer.
+    #[doc(hidden)]
+    pub fn take_sends(&mut self) -> Vec<(ProcessId, M)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Restores a send buffer taken with [`Context::take_sends`]. Packets
+    /// queued in the meantime are kept, in order, before the restored ones.
+    #[doc(hidden)]
+    pub fn restore_sends(&mut self, mut sends: Vec<(ProcessId, M)>) {
+        if self.outbox.is_empty() {
+            self.outbox = sends;
+        } else {
+            self.outbox.append(&mut sends);
+        }
     }
 
     /// Queues a packet for `to`. Sending to oneself is permitted and is

@@ -483,18 +483,31 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// The FNV-1a offset basis: the starting value of an incremental
+/// [`digest_lines`]-compatible fold.
+pub(crate) const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one line (and the newline separator) into an in-progress FNV-1a
+/// digest: the incremental step of [`digest_lines`]. Feeding the same lines
+/// in the same order produces the same hash, which is what lets the
+/// scheduler's dirty-set digest cache skip re-*formatting* unchanged lines
+/// without ever changing the digest value.
+pub(crate) fn fold_digest_line(hash: &mut u64, line: &str) {
+    for b in line.as_bytes() {
+        *hash ^= *b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    *hash ^= 0x0a;
+    *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+}
+
 /// Digests an iterator of labelled strings into one order-sensitive hash.
 /// Callers feed per-process canonical state lines (sorted by process
 /// identifier) to obtain a cross-mode comparable fingerprint.
 pub fn digest_lines<I: IntoIterator<Item = String>>(lines: I) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hash: u64 = FNV_OFFSET_BASIS;
     for line in lines {
-        for b in line.as_bytes() {
-            hash ^= *b as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash ^= 0x0a;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        fold_digest_line(&mut hash, &line);
     }
     hash
 }

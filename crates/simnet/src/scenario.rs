@@ -506,11 +506,22 @@ pub trait ScenarioTarget: Process + Sized + Send {
     /// budget is exhausted).
     fn invariant_violations(sim: &Simulation<Self>) -> Vec<String>;
 
+    /// One canonical line describing `process`'s state, used to build the
+    /// global state digest. Must be deterministic and platform-independent,
+    /// and must change whenever digest-relevant state changes.
+    fn state_line(id: ProcessId, process: &Self) -> String;
+
     /// A canonical digest of the global protocol state, used to assert that
-    /// both scheduler modes produced the same execution. Must be
-    /// deterministic and platform-independent (see
-    /// [`crate::report::digest_lines`]).
-    fn state_digest(sim: &Simulation<Self>) -> u64;
+    /// both scheduler modes produced the same execution: the FNV-1a fold of
+    /// [`ScenarioTarget::state_line`] over every processor in ascending
+    /// identifier order (crashed ones included), exactly as
+    /// [`crate::report::digest_lines`] computes it. The provided
+    /// implementation goes through [`Simulation::state_digest_with`], which
+    /// re-formats only the lines of processors that stepped since the last
+    /// digest — same value, a fraction of the cost on mostly-quiet systems.
+    fn state_digest(sim: &Simulation<Self>) -> u64 {
+        sim.state_digest_with(Self::state_line)
+    }
 }
 
 /// What happened during one scenario run.
@@ -1106,6 +1117,31 @@ pub fn find(name: &str, n: usize) -> Option<Scenario> {
     catalog(n).into_iter().find(|s| s.name() == name)
 }
 
+/// Deterministically samples `k` of the given scenarios, seeded by the
+/// campaign seed: a Fisher–Yates permutation of the index space (drawn from
+/// [`SimRng`], the same generator every other campaign decision uses) picks
+/// *which* scenarios run, and the picked ones keep their original order so
+/// a sampled report remains enumeration-ordered — a strict subsequence of
+/// the full matrix, diffable cell-for-cell against it. `k >= len` returns
+/// the list unchanged. Same (list, k, seed) always selects the same subset,
+/// so a sampled CI tier is as reproducible as an exhaustive one.
+pub fn sample_scenarios(scenarios: Vec<Scenario>, k: usize, seed: u64) -> Vec<Scenario> {
+    if k >= scenarios.len() {
+        return scenarios;
+    }
+    let mut rng = SimRng::seed_from(seed);
+    let mut indices: Vec<usize> = (0..scenarios.len()).collect();
+    rng.shuffle(&mut indices);
+    let mut keep: Vec<usize> = indices.into_iter().take(k).collect();
+    keep.sort_unstable();
+    scenarios
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| keep.binary_search(i).is_ok())
+        .map(|(_, s)| s)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1129,6 +1165,38 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
         assert!(find("no-such-scenario", 5).is_none());
+    }
+
+    #[test]
+    fn sample_scenarios_is_deterministic_and_order_preserving() {
+        let full = catalog(5);
+        let a = sample_scenarios(catalog(5), 4, 99);
+        let b = sample_scenarios(catalog(5), 4, 99);
+        let names = |v: &[Scenario]| v.iter().map(|s| s.name().to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            names(&a),
+            names(&b),
+            "same (k, seed) must pick the same subset"
+        );
+        assert_eq!(a.len(), 4);
+        // The picked scenarios keep their catalog order (a strict
+        // subsequence of the full matrix).
+        let positions: Vec<usize> = a
+            .iter()
+            .map(|s| full.iter().position(|f| f.name() == s.name()).unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "{positions:?}");
+        // The seed genuinely selects: some other seed picks differently.
+        assert!(
+            (1..50).any(|seed| names(&sample_scenarios(catalog(5), 4, seed)) != names(&a)),
+            "sampling ignored its seed"
+        );
+        // k >= len is the identity.
+        assert_eq!(
+            sample_scenarios(catalog(5), usize::MAX, 1).len(),
+            full.len()
+        );
+        assert!(sample_scenarios(catalog(5), 0, 1).is_empty());
     }
 
     #[test]

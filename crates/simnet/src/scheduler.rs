@@ -28,12 +28,15 @@
 //! the gray-failure/clock-skew model); the event-driven scheduler only
 //! *finds* the work cheaper.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::config::{SchedulerMode, SimConfig};
 use crate::metrics::Metrics;
 use crate::network::Network;
 use crate::process::{Context, Process, ProcessId, ProcessStatus};
+use crate::report;
 use crate::rng::SimRng;
 use crate::time::Round;
 use crate::trace::{Trace, TraceEvent};
@@ -50,26 +53,39 @@ struct Slot<P> {
     timer_period_override: Option<u64>,
     /// Timer steps this process has taken (for per-process liveness checks).
     timer_steps: u64,
+    /// Monotone counter bumped whenever the process state may have changed:
+    /// a timer step, a delivery, or a white-box mutation through
+    /// [`Simulation::process_mut`]. The incremental digest cache
+    /// ([`Simulation::state_digest_with`]) re-formats a process's state line
+    /// only when this counter moved since the last digest.
+    activity: u64,
 }
 
 /// A run queue of wake-ups keyed by round: the heart of the event-driven
-/// scheduler. Entries are sets, so double-scheduling a process for the same
-/// round is harmless.
+/// scheduler. A min-heap of `(round, id)` pairs: pushing and popping reuse
+/// the heap's backing storage, so a steady-state round touches no
+/// allocator (the `BTreeMap<Round, BTreeSet>` this replaces allocated and
+/// freed tree nodes every round). Double-scheduling a process for the same
+/// round is harmless — the scheduler deduplicates the merged wake set.
 #[derive(Debug, Clone, Default)]
 struct WakeQueue {
-    due: BTreeMap<Round, BTreeSet<ProcessId>>,
+    due: BinaryHeap<Reverse<(Round, ProcessId)>>,
 }
 
 impl WakeQueue {
     fn schedule(&mut self, round: Round, id: ProcessId) {
-        self.due.entry(round).or_default().insert(id);
+        self.due.push(Reverse((round, id)));
     }
 
-    /// Removes and returns every process scheduled at or before `now`.
-    fn pop_due(&mut self, now: Round, into: &mut BTreeSet<ProcessId>) {
-        let later = self.due.split_off(&now.next());
-        for (_, ids) in std::mem::replace(&mut self.due, later) {
-            into.extend(ids);
+    /// Removes every wake-up scheduled at or before `now`, appending the
+    /// process identifiers (possibly with duplicates) to `into`.
+    fn pop_due(&mut self, now: Round, into: &mut Vec<ProcessId>) {
+        while let Some(&Reverse((round, id))) = self.due.peek() {
+            if round > now {
+                break;
+            }
+            self.due.pop();
+            into.push(id);
         }
     }
 }
@@ -90,6 +106,20 @@ pub struct Simulation<P: Process> {
     timer_wakes: WakeQueue,
     /// Wake-ups due to deliverable packets (event-driven mode).
     packet_wakes: WakeQueue,
+    /// Per-round scratch buffers, recycled so a steady-state round performs
+    /// no allocation: the merged wake set, the shuffled visiting order, the
+    /// delivery batch, and the outbox handed to [`Context`].
+    scratch_woken: Vec<ProcessId>,
+    scratch_order: Vec<ProcessId>,
+    scratch_deliveries: Vec<(ProcessId, P::Msg)>,
+    scratch_outbox: Vec<(ProcessId, P::Msg)>,
+    /// Cached membership snapshot handed to visited processes, rebuilt only
+    /// when a processor joins (`ids_dirty`).
+    ids_snapshot: Vec<ProcessId>,
+    ids_dirty: bool,
+    /// Per-process digest-line cache for [`Simulation::state_digest_with`]:
+    /// the activity stamp the line was formatted at, and the line itself.
+    digest_cache: RefCell<BTreeMap<ProcessId, (u64, String)>>,
 }
 
 impl<P: Process> Simulation<P> {
@@ -108,6 +138,13 @@ impl<P: Process> Simulation<P> {
             trace: Trace::new(),
             timer_wakes: WakeQueue::default(),
             packet_wakes: WakeQueue::default(),
+            scratch_woken: Vec::new(),
+            scratch_order: Vec::new(),
+            scratch_deliveries: Vec::new(),
+            scratch_outbox: Vec::new(),
+            ids_snapshot: Vec::new(),
+            ids_dirty: true,
+            digest_cache: RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -145,8 +182,10 @@ impl<P: Process> Simulation<P> {
                 next_timer: self.now,
                 timer_period_override: None,
                 timer_steps: 0,
+                activity: 0,
             },
         );
+        self.ids_dirty = true;
         self.timer_wakes.schedule(self.now, id);
     }
 
@@ -231,12 +270,21 @@ impl<P: Process> Simulation<P> {
     /// timer periods diverge.
     fn step_round_event(&mut self) {
         self.trace.record(TraceEvent::RoundStarted(self.now));
-        let mut woken: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut woken = std::mem::take(&mut self.scratch_woken);
+        let mut order = std::mem::take(&mut self.scratch_order);
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
+        let mut outbox = std::mem::take(&mut self.scratch_outbox);
+        woken.clear();
+        order.clear();
         self.timer_wakes.pop_due(self.now, &mut woken);
         self.packet_wakes.pop_due(self.now, &mut woken);
         woken.extend(self.network.take_dirty());
-        let mut order: Vec<ProcessId> = Vec::with_capacity(woken.len());
-        for id in woken {
+        // Ascending and deduplicated: the iteration order of the sorted set
+        // this buffer replaces, so the pre-shuffle order — and therefore the
+        // execution — is byte-identical to the historical behaviour.
+        woken.sort_unstable();
+        woken.dedup();
+        for &id in &woken {
             let active = self
                 .slots
                 .get(&id)
@@ -260,29 +308,34 @@ impl<P: Process> Simulation<P> {
         }
         self.rng.shuffle(&mut order);
         // The membership snapshot is only read by visited processes; a
-        // quiescent round must not pay O(processes) to build it.
-        let all_ids: Vec<ProcessId> = if order.is_empty() {
-            Vec::new()
-        } else {
-            self.slots.keys().copied().collect()
-        };
+        // quiescent round must not pay O(processes) to build it, and it is
+        // rebuilt only when a processor has joined since the last round that
+        // used it.
+        if !order.is_empty() && self.ids_dirty {
+            self.ids_snapshot.clear();
+            self.ids_snapshot.extend(self.slots.keys().copied());
+            self.ids_dirty = false;
+        }
+        let all_ids = std::mem::take(&mut self.ids_snapshot);
 
-        for id in order {
+        for &id in &order {
             self.metrics.record_wakeup();
             // Deliver the due packets first (receive steps)...
-            let (deliveries, next_ready) = self.network.deliver_due(
+            deliveries.clear();
+            let next_ready = self.network.deliver_due_into(
                 id,
                 self.now,
                 self.config.max_deliveries_per_round(),
                 &mut self.rng,
                 &mut self.metrics,
+                &mut deliveries,
             );
             if let Some(ready) = next_ready {
                 // Packets remain (delayed or over the per-round delivery
                 // bound): re-wake the destination when they become due.
                 self.packet_wakes.schedule(ready.max(self.now), id);
             }
-            for (from, msg) in deliveries {
+            for (from, msg) in deliveries.drain(..) {
                 // The destination may have crashed earlier in this round.
                 let Some(slot) = self.slots.get_mut(&id) else {
                     break;
@@ -291,10 +344,11 @@ impl<P: Process> Simulation<P> {
                     break;
                 }
                 self.trace.record(TraceEvent::Delivered { from, to: id });
-                let mut ctx = Context::new(id, self.now, &all_ids);
+                let mut ctx = Context::with_outbox(id, self.now, &all_ids, outbox);
                 slot.process.on_message(from, msg, &mut ctx);
-                let outbox = ctx.into_outbox();
-                self.flush(id, outbox);
+                slot.activity += 1;
+                outbox = ctx.into_outbox();
+                self.flush(id, &mut outbox);
             }
             // ...then take the timer step if it is due.
             let Some(slot) = self.slots.get_mut(&id) else {
@@ -305,9 +359,10 @@ impl<P: Process> Simulation<P> {
             }
             self.trace.record(TraceEvent::TimerStep(id));
             self.metrics.record_timer_step();
-            let mut ctx = Context::new(id, self.now, &all_ids);
+            let mut ctx = Context::with_outbox(id, self.now, &all_ids, outbox);
             slot.process.on_timer(&mut ctx);
-            let outbox = ctx.into_outbox();
+            slot.activity += 1;
+            outbox = ctx.into_outbox();
             let period = slot
                 .timer_period_override
                 .unwrap_or(self.config.timer_period());
@@ -315,9 +370,14 @@ impl<P: Process> Simulation<P> {
             slot.next_timer = next;
             slot.timer_steps += 1;
             self.timer_wakes.schedule(next, id);
-            self.flush(id, outbox);
+            self.flush(id, &mut outbox);
         }
 
+        self.ids_snapshot = all_ids;
+        self.scratch_woken = woken;
+        self.scratch_order = order;
+        self.scratch_deliveries = deliveries;
+        self.scratch_outbox = outbox;
         self.metrics.record_round();
         self.now = self.now.next();
     }
@@ -363,6 +423,7 @@ impl<P: Process> Simulation<P> {
         }
         self.rng.shuffle(&mut order);
 
+        let mut outbox = std::mem::take(&mut self.scratch_outbox);
         for id in order {
             // Deliver pending packets first (receive steps)...
             let deliveries = self.network.deliver_to(
@@ -381,10 +442,11 @@ impl<P: Process> Simulation<P> {
                     break;
                 }
                 self.trace.record(TraceEvent::Delivered { from, to: id });
-                let mut ctx = Context::new(id, self.now, &all_ids);
+                let mut ctx = Context::with_outbox(id, self.now, &all_ids, outbox);
                 slot.process.on_message(from, msg, &mut ctx);
-                let outbox = ctx.into_outbox();
-                self.flush(id, outbox);
+                slot.activity += 1;
+                outbox = ctx.into_outbox();
+                self.flush(id, &mut outbox);
             }
             // ...then take one timer step (the `do forever` loop body).
             let Some(slot) = self.slots.get_mut(&id) else {
@@ -395,24 +457,28 @@ impl<P: Process> Simulation<P> {
             }
             self.trace.record(TraceEvent::TimerStep(id));
             self.metrics.record_timer_step();
-            let mut ctx = Context::new(id, self.now, &all_ids);
+            let mut ctx = Context::with_outbox(id, self.now, &all_ids, outbox);
             slot.process.on_timer(&mut ctx);
-            let outbox = ctx.into_outbox();
+            slot.activity += 1;
+            outbox = ctx.into_outbox();
             let period = slot
                 .timer_period_override
                 .unwrap_or(self.config.timer_period());
             slot.next_timer = self.now + period;
             slot.timer_steps += 1;
-            self.flush(id, outbox);
+            self.flush(id, &mut outbox);
         }
 
+        self.scratch_outbox = outbox;
         self.metrics.record_round();
         self.now = self.now.next();
     }
 
-    fn flush(&mut self, from: ProcessId, outbox: Vec<(ProcessId, P::Msg)>) {
+    /// Hands the queued sends to the network, draining `outbox` in place so
+    /// the buffer (and its capacity) can be recycled by the caller.
+    fn flush(&mut self, from: ProcessId, outbox: &mut Vec<(ProcessId, P::Msg)>) {
         let event_driven = self.config.scheduler() == SchedulerMode::EventDriven;
-        for (to, msg) in outbox {
+        for (to, msg) in outbox.drain(..) {
             let ready =
                 self.network
                     .send(from, to, msg, self.now, &mut self.rng, &mut self.metrics);
@@ -480,7 +546,43 @@ impl<P: Process> Simulation<P> {
     /// Mutable access to the process behind `id` (used by transient-fault
     /// injection, which may corrupt local state arbitrarily).
     pub fn process_mut(&mut self, id: ProcessId) -> Option<&mut P> {
-        self.slots.get_mut(&id).map(|s| &mut s.process)
+        self.slots.get_mut(&id).map(|s| {
+            // Conservatively assume the caller mutates: invalidate the
+            // cached digest line.
+            s.activity += 1;
+            &mut s.process
+        })
+    }
+
+    /// Digests one canonical line per known processor — in ascending
+    /// identifier order, crashed processors included — exactly like feeding
+    /// `line(id, process)` for every processor to
+    /// [`crate::report::digest_lines`]. Unlike the full recompute, only the
+    /// lines of processors that *stepped* since the previous call (timer
+    /// step, delivery, or white-box mutation through
+    /// [`Simulation::process_mut`]) are re-formatted; all others reuse their
+    /// cached line. The cache skips formatting, never hashing, so the digest
+    /// value is bit-identical to the full recompute — the property the
+    /// cross-mode byte-identity contract rests on.
+    pub fn state_digest_with(&self, mut line: impl FnMut(ProcessId, &P) -> String) -> u64 {
+        use std::collections::btree_map::Entry;
+        let mut cache = self.digest_cache.borrow_mut();
+        let mut hash = report::FNV_OFFSET_BASIS;
+        for (&id, slot) in &self.slots {
+            let text: &str = match cache.entry(id) {
+                Entry::Vacant(v) => &v.insert((slot.activity, line(id, &slot.process))).1,
+                Entry::Occupied(e) => {
+                    let cached = e.into_mut();
+                    if cached.0 != slot.activity {
+                        cached.0 = slot.activity;
+                        cached.1 = line(id, &slot.process);
+                    }
+                    &cached.1
+                }
+            };
+            report::fold_digest_line(&mut hash, text);
+        }
+        hash
     }
 
     /// Overrides (or, with `None`, restores) the timer period of a single

@@ -103,6 +103,14 @@ impl<W> Outbox<W> {
         Self::default()
     }
 
+    /// Creates an outbox on top of an existing buffer, so a per-step outbox
+    /// can reuse a recycled allocation (see `impl_process_for_layer!`, which
+    /// borrows the simulation's per-step send buffer instead of allocating).
+    /// Messages already in the buffer are kept.
+    pub fn from_buffer(msgs: Vec<(ProcessId, W)>) -> Self {
+        Outbox { msgs }
+    }
+
     /// Queues one native message of lane `M` for `to`.
     pub fn push<M: Lane<W>>(&mut self, to: ProcessId, msg: M) {
         self.msgs.push((to, msg.wrap()));
@@ -268,10 +276,12 @@ macro_rules! impl_process_for_layer {
             type Msg = <$ty as $crate::stack::Layer>::Wire;
 
             fn on_timer(&mut self, ctx: &mut $crate::Context<'_, Self::Msg>) {
-                let peers = ctx.all_ids();
-                let mut out = $crate::stack::Outbox::new();
-                $crate::stack::Layer::poll(self, &peers, &mut out);
-                out.send_via(ctx);
+                // The outbox borrows the context's (recycled) send buffer —
+                // a steady-state poll wraps and queues every message without
+                // allocating a second collection.
+                let mut out = $crate::stack::Outbox::from_buffer(ctx.take_sends());
+                $crate::stack::Layer::poll(self, ctx.ids(), &mut out);
+                ctx.restore_sends(out.into_messages());
             }
 
             fn on_message(
@@ -280,9 +290,9 @@ macro_rules! impl_process_for_layer {
                 msg: Self::Msg,
                 ctx: &mut $crate::Context<'_, Self::Msg>,
             ) {
-                let mut out = $crate::stack::Outbox::new();
+                let mut out = $crate::stack::Outbox::from_buffer(ctx.take_sends());
                 $crate::stack::Layer::handle(self, from, msg, &mut out);
-                out.send_via(ctx);
+                ctx.restore_sends(out.into_messages());
             }
         }
     };

@@ -2,7 +2,6 @@
 //! campaign test modules.
 
 use crate::process::{Context, Process, ProcessId};
-use crate::report::digest_lines;
 use crate::rng::SimRng;
 use crate::scenario::ScenarioTarget;
 use crate::scheduler::Simulation;
@@ -100,10 +99,7 @@ impl ScenarioTarget for MaxNode {
             .collect()
     }
 
-    fn state_digest(sim: &Simulation<Self>) -> u64 {
-        digest_lines(
-            sim.processes()
-                .map(|(id, p)| format!("{id} value={}", p.value)),
-        )
+    fn state_line(id: ProcessId, p: &Self) -> String {
+        format!("{id} value={}", p.value)
     }
 }

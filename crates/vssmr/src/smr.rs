@@ -1053,13 +1053,11 @@ impl simnet::ScenarioTarget for SmrNode {
         violations
     }
 
-    fn state_digest(sim: &simnet::Simulation<Self>) -> u64 {
-        simnet::report::digest_lines(sim.processes().map(|(id, p)| {
-            format!(
-                "{id} view={:?} status={:?} rnd={} state={:?} applied={} input={:?}",
-                p.view, p.status, p.rnd, p.state.registers, p.state.applied, p.current_input
-            )
-        }))
+    fn state_line(id: simnet::ProcessId, p: &Self) -> String {
+        format!(
+            "{id} view={:?} status={:?} rnd={} state={:?} applied={} input={:?}",
+            p.view, p.status, p.rnd, p.state.registers, p.state.applied, p.current_input
+        )
     }
 }
 
