@@ -13,8 +13,8 @@ use reconfig::{config_set, ConfigSet, NodeConfig, ReconfigNode};
 use sharedmem::SharedMemNode;
 use simnet::scenario::{catalog, run_scenario, ScenarioTarget};
 use simnet::{
-    Campaign, CampaignReport, ProcessId, Scenario, ScenarioRun, SchedulerMode, SimConfig,
-    Simulation,
+    Arrival, Campaign, CampaignReport, LoadProfile, ProcessId, Scenario, ScenarioRun,
+    SchedulerMode, SimConfig, Simulation,
 };
 use vssmr::SmrNode;
 
@@ -89,6 +89,23 @@ pub fn catalog_scenario(name: &str, n: usize) -> Scenario {
         .unwrap_or_else(|| panic!("catalog scenario `{name}` missing (see `simctl list`)"))
 }
 
+/// Looks up a catalog scenario and arms it with an open-loop client
+/// population: `clients` independent clients submitting keyed operations on
+/// the given [`Arrival`] process, with ops declared timed out after
+/// `op_timeout` rounds (0 disables the timeout sweep). The returned scenario
+/// drives the load engine *instead of* the target's built-in workload, and
+/// its [`ScenarioRun`] carries the `op_*` latency/goodput counters.
+pub fn loaded_scenario(
+    name: &str,
+    n: usize,
+    clients: u64,
+    arrival: Arrival,
+    op_timeout: u64,
+) -> Scenario {
+    catalog_scenario(name, n)
+        .with_load(LoadProfile::new(clients, arrival).with_op_timeout(op_timeout))
+}
+
 /// Runs the catalog × four-composite-nodes × `ns` × `seeds` campaign matrix
 /// (event mode) at one jobs count, dispatching *every* cell — the node axis
 /// included — to one `simnet::exec` pool. `jobs = 1` degenerates to the
@@ -155,5 +172,16 @@ mod tests {
         assert!(rounds < 300);
         let steady = steady_reconfig_sim(3, 2);
         assert_eq!(converged_config(&steady), Some(config_set(0..3)));
+    }
+
+    #[test]
+    fn loaded_scenario_reports_latency_counters() {
+        let scenario = loaded_scenario("quiescent", 5, 100, Arrival::Poisson { rate: 4.0 }, 50);
+        let run = run_scenario_bench::<CounterNode>(&scenario, 7, SchedulerMode::EventDriven);
+        assert!(run.converged && run.invariant_violations.is_empty());
+        for key in simnet::load::COUNTER_KEYS {
+            assert!(run.counters.contains_key(key), "missing counter `{key}`");
+        }
+        assert!(run.counters["ops_completed"] > 0);
     }
 }

@@ -434,6 +434,27 @@ impl simnet::ScenarioTarget for ReconfigNode {
         }
     }
 
+    /// Open-loop client load: a configuration probe — the op a front-end
+    /// performs before routing real work ("which configuration serves me?").
+    /// It completes once `via` is a settled participant of a stable installed
+    /// configuration, so op latency measures how long reconfiguration churn
+    /// keeps clients waiting. The completion signal is a standing condition;
+    /// the load engine's claim loop is bounded by its own outstanding count.
+    fn submit_op(
+        sim: &mut simnet::Simulation<Self>,
+        via: simnet::ProcessId,
+        _key: u64,
+        _value: u64,
+    ) -> bool {
+        sim.is_active(via)
+    }
+
+    fn complete_op(sim: &mut simnet::Simulation<Self>, via: simnet::ProcessId) -> Option<bool> {
+        let node = sim.process(via)?;
+        (node.is_participant() && node.no_reconfiguration() && node.installed_config().is_some())
+            .then_some(true)
+    }
+
     /// Converged: every active processor is a participant, reports the same
     /// installed configuration and sees no reconfiguration in progress.
     fn converged(sim: &simnet::Simulation<Self>) -> bool {

@@ -368,7 +368,7 @@ impl RecSa {
     /// the conditions under which `estab()` and `participate()` are enabled
     /// (line 12; the conjunction of the invariant tests).
     ///
-    /// The verdict is memoized per [`RecSa::touch`] generation: the composite
+    /// The verdict is memoized per `RecSa::touch` generation: the composite
     /// node evaluates the predicate several times between mutations.
     pub fn no_reco(&self) -> bool {
         if let Some((v, verdict)) = *self.no_reco_cache.borrow() {

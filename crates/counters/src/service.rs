@@ -681,6 +681,35 @@ impl simnet::ScenarioTarget for CounterNode {
         }
     }
 
+    /// Open-loop client load: each op is one increment queued at `via`
+    /// (clients may submit through members *and* non-members — the paper's
+    /// client path), completing with the queued increment's outcome.
+    fn submit_op(
+        sim: &mut simnet::Simulation<Self>,
+        via: simnet::ProcessId,
+        _key: u64,
+        _value: u64,
+    ) -> bool {
+        match sim.process_mut(via) {
+            Some(node) => {
+                node.queue_increment();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn complete_op(sim: &mut simnet::Simulation<Self>, via: simnet::ProcessId) -> Option<bool> {
+        let node = sim.process_mut(via)?;
+        if node.completed.is_empty() {
+            return None;
+        }
+        Some(matches!(
+            node.completed.remove(0),
+            IncrementOutcome::Committed(_)
+        ))
+    }
+
     /// Converged: every active member holds the same (existing) maximal
     /// counter and no processor has an increment queued or in flight.
     fn converged(sim: &simnet::Simulation<Self>) -> bool {

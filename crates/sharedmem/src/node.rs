@@ -602,6 +602,38 @@ impl simnet::ScenarioTarget for SharedMemNode {
         }
     }
 
+    /// Open-loop client load: client keys fold onto the workload register
+    /// set (so convergence checks cover the loaded registers), with two
+    /// writes for every read; the op completes with its quorum outcome.
+    fn submit_op(
+        sim: &mut simnet::Simulation<Self>,
+        via: simnet::ProcessId,
+        key: u64,
+        value: u64,
+    ) -> bool {
+        let Some(node) = sim.process_mut(via) else {
+            return false;
+        };
+        let register = RegisterId::new(CHAOS_KEYS[(key % CHAOS_KEYS.len() as u64) as usize]);
+        if value % 3 == 2 {
+            node.submit_read(register);
+        } else {
+            node.submit_write(register, value);
+        }
+        true
+    }
+
+    fn complete_op(sim: &mut simnet::Simulation<Self>, via: simnet::ProcessId) -> Option<bool> {
+        let node = sim.process_mut(via)?;
+        if node.completed.is_empty() {
+            return None;
+        }
+        Some(!matches!(
+            node.completed.remove(0),
+            OpOutcome::Aborted { .. }
+        ))
+    }
+
     /// Converged: the reconfiguration layer is calm and agreed, no
     /// processor has an operation queued or in flight, and every active
     /// member reports the same value for every workload register.

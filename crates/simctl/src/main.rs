@@ -10,12 +10,16 @@
 //!            [--n N] [--seeds 1,2] [--modes event|roundscan|both] [--jobs N]
 //!            [--sample-scenarios K] [--cell-budget-ms MS]
 //!            [--plan kind=spec]... [--rounds R] [--workload W]
+//!            [--clients N --arrival poisson:RATE|burst:SIZE:PERIOD [--op-timeout R]]
 //!            [--out FILE] [--timings] [--name NAME]
 //! simctl smoke [--n N] [--jobs N] [--out FILE]  # the CI preset (3 scenarios × 4 nodes)
 //! simctl diff <baseline.json> <current.json>   # PR-to-PR report comparison
 //! simctl bench-guard --baseline F --current F [--max-regression 0.30]
 //! simctl bench-guard --scenario NAME --node NODE [--n N] [--seeds 1,2]
 //!            [--jobs N] [--out F] [--baseline F] [--max-regression 0.30]
+//! simctl bench-guard --slo p99=ROUNDS[,p50=R,p999=R] --scenario A,B,C --node NODE
+//!            --clients N --arrival SPEC [--op-timeout R] [--n N] [--seeds 1,2]
+//!            [--modes event|roundscan|both] [--jobs N] [--out F]
 //! ```
 //!
 //! `--jobs N` sets the parallel campaign driver's worker-thread budget
@@ -41,6 +45,19 @@
 //! fail fast on a performance cliff instead of timing out the whole job.
 //! Both wall-clock fields (`wall_ms`, `budget_overrun`) are excluded from
 //! `simctl diff`, keeping the determinism contract machine-independent.
+//!
+//! `--clients N` attaches an open-loop client population (`simnet::load`,
+//! see `docs/WORKLOADS.md`) to every requested scenario: N logical clients
+//! multiplexed over the active processors, submitting keyed operations
+//! under the `--arrival` process (default `poisson:4` ops/round) inside the
+//! scenario's workload window (`--workload` widens it). The run's report
+//! gains the op-latency/goodput counter columns (p50/p99/p99.9 in rounds —
+//! byte-deterministic and diffable, unlike wall-clock); `--op-timeout R`
+//! additionally counts ops unanswered for R rounds as timeouts.
+//! `bench-guard --slo p99=R` runs the same loaded matrix, prints a
+//! per-cell markdown latency table on stdout (ready for CI step
+//! summaries), and fails when any cell's latency percentile exceeds its
+//! SLO bound in rounds.
 //!
 //! `--plan` composes ad-hoc fault plans onto the named scenario (or onto a
 //! fresh, empty scenario when the name is not in the catalog) without
@@ -127,12 +144,20 @@ fn usage() -> &'static str {
      simctl run <scenario|all|NAME> --node <reconfig|counter|smr|sharedmem|all> \
      [--n N] [--seeds 1,2] [--modes event|roundscan|both] [--jobs N] \
      [--sample-scenarios K] [--cell-budget-ms MS] \
-     [--plan kind=spec]... [--rounds R] [--workload W] [--out FILE] [--timings] [--name NAME]\n  \
+     [--plan kind=spec]... [--rounds R] [--workload W] \
+     [--clients N --arrival SPEC [--op-timeout R]] [--out FILE] [--timings] [--name NAME]\n  \
      simctl smoke [--n N] [--jobs N] [--sample-scenarios K] [--cell-budget-ms MS] [--out FILE]\n  \
      simctl diff <baseline.json> <current.json> [--jobs N]\n  \
      simctl bench-guard --baseline FILE --current FILE [--max-regression 0.30]\n  \
      simctl bench-guard --scenario NAME --node NODE [--n N] [--seeds 1,2] [--jobs N] \
-     [--cell-budget-ms MS] [--out FILE] [--baseline FILE] [--max-regression 0.30]\n\n\
+     [--cell-budget-ms MS] [--out FILE] [--baseline FILE] [--max-regression 0.30]\n  \
+     simctl bench-guard --slo p99=ROUNDS[,p50=R,p999=R] --scenario A,B,C --node NODE \
+     --clients N --arrival SPEC [--op-timeout R] [--n N] [--seeds 1,2] \
+     [--modes event|roundscan|both] [--jobs N] [--out FILE]\n\n\
+     --clients N: attach an open-loop population of N logical clients\n\
+     --arrival poisson:RATE | burst:SIZE:PERIOD: arrivals per round (default poisson:4)\n\
+     --op-timeout R: count ops unanswered for R rounds as timeouts (0 disarms)\n\
+     --slo p50|p99|p999=ROUNDS,...: per-percentile op-latency bounds, in rounds\n\n\
      --jobs N: worker threads for the cell matrix (default: available \
      parallelism; 1 = serial; reports are byte-identical at any N)\n\
      --sample-scenarios K: run a deterministic K-subset of the scenario list \
@@ -303,6 +328,57 @@ fn parse_seeds(flags: &Flags) -> Result<Vec<u64>, String> {
             s.trim()
                 .parse::<u64>()
                 .map_err(|_| format!("bad seed `{s}`"))
+        })
+        .collect()
+}
+
+/// The open-loop client population requested on the command line, if any:
+/// `--clients N` arms it, `--arrival` picks the process (default
+/// `poisson:4` ops/round) and `--op-timeout` the timeout in rounds.
+fn parse_load(flags: &Flags) -> Result<Option<simnet::LoadProfile>, String> {
+    let Some(clients) = flags.value("clients") else {
+        if flags.value("arrival").is_some() || flags.value("op-timeout").is_some() {
+            return Err("--arrival/--op-timeout require --clients".to_string());
+        }
+        return Ok(None);
+    };
+    let clients: u64 = clients
+        .parse()
+        .map_err(|_| "bad --clients value".to_string())?;
+    if clients == 0 {
+        return Err("--clients must be at least 1".to_string());
+    }
+    let arrival = simnet::Arrival::parse(flags.value("arrival").unwrap_or("poisson:4"))?;
+    let op_timeout: u64 = flags
+        .value("op-timeout")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --op-timeout value".to_string())?;
+    Ok(Some(
+        simnet::LoadProfile::new(clients, arrival).with_op_timeout(op_timeout),
+    ))
+}
+
+/// Parses `--slo p50|p99|p999=ROUNDS[,...]` into (counter key, bound) pairs.
+fn parse_slo(spec: &str) -> Result<Vec<(&'static str, u64)>, String> {
+    spec.split(',')
+        .map(|part| {
+            let (pct, bound) = part.split_once('=').ok_or_else(|| {
+                format!("bad --slo entry `{part}` (expected p50|p99|p999=ROUNDS)")
+            })?;
+            let key = match pct.trim() {
+                "p50" => "op_latency_p50_rounds",
+                "p99" => "op_latency_p99_rounds",
+                "p999" | "p99.9" => "op_latency_p999_rounds",
+                other => {
+                    return Err(format!("bad --slo percentile `{other}` (p50|p99|p999)"));
+                }
+            };
+            let bound: u64 = bound
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad --slo bound in `{part}`"))?;
+            Ok((key, bound))
         })
         .collect()
 }
@@ -656,6 +732,9 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             "plan",
             "rounds",
             "workload",
+            "clients",
+            "arrival",
+            "op-timeout",
             "sample-scenarios",
             "cell-budget-ms",
         ],
@@ -701,6 +780,12 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         scenarios = scenarios
             .into_iter()
             .map(|s| s.with_workload_until(workload))
+            .collect();
+    }
+    if let Some(load) = parse_load(&flags)? {
+        scenarios = scenarios
+            .into_iter()
+            .map(|s| s.with_load(load.clone()))
             .collect();
     }
     let seeds = parse_seeds(&flags)?;
@@ -1224,9 +1309,17 @@ fn cmd_bench_guard(args: &[String]) -> Result<bool, String> {
             "jobs",
             "out",
             "cell-budget-ms",
+            "slo",
+            "clients",
+            "arrival",
+            "op-timeout",
+            "modes",
         ],
         &[],
     )?;
+    if let Some(slo) = flags.value("slo") {
+        return cmd_slo_guard(&flags, slo);
+    }
     let max_regression: f64 = flags
         .value("max-regression")
         .unwrap_or("0.30")
@@ -1284,6 +1377,89 @@ fn cmd_bench_guard(args: &[String]) -> Result<bool, String> {
             "bench-guard: no regression beyond {:.0}% against {baseline_path}",
             max_regression * 100.0
         );
+        Ok(true)
+    } else {
+        for f in &findings {
+            eprintln!("bench-guard: {f}");
+        }
+        Ok(false)
+    }
+}
+
+/// The latency-SLO face of the bench guard: runs the named catalog
+/// scenarios with the requested client population attached, prints one
+/// markdown latency table on stdout (piped into `$GITHUB_STEP_SUMMARY` by
+/// the CI `slo-guard` job), and fails when any cell breaches an `--slo`
+/// bound, fails its campaign run, or completes no operation at all (an SLO
+/// trivially "met" by serving nothing is a finding, not a pass).
+///
+/// Latency is measured in rounds, so the verdict is byte-deterministic:
+/// the same scenarios + seeds breach or meet the SLO identically on every
+/// machine and at any `--jobs` count.
+fn cmd_slo_guard(flags: &Flags, slo: &str) -> Result<bool, String> {
+    let slos = parse_slo(slo)?;
+    let load = parse_load(flags)?
+        .ok_or("--slo gates op latency; attach a population with --clients/--arrival")?;
+    let n = parse_n(flags)?;
+    let names = flags
+        .value("scenario")
+        .ok_or("missing --scenario (comma-separated catalog names)")?;
+    let mut scenarios = Vec::new();
+    for name in names.split(',') {
+        let scenario = simnet::scenario::find(name.trim(), n)
+            .ok_or_else(|| format!("unknown scenario `{name}` (try `simctl list`)"))?;
+        scenarios.push(scenario.with_load(load.clone()));
+    }
+    let nodes = resolve_nodes(flags.value("node"))?;
+    let campaign = with_jobs(
+        Campaign::new("slo-guard")
+            .with_seeds(parse_seeds(flags)?)
+            .with_modes(parse_modes(flags)?)
+            .with_cell_budget_ms(parse_cell_budget(flags)?),
+        parse_jobs(flags)?,
+    );
+    let report = run_matrix(&campaign, &nodes, &scenarios)?;
+    if let Some(path) = flags.value("out") {
+        std::fs::write(path, report.render()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    println!(
+        "| scenario | node | seed | p50 (rounds) | p99 | p99.9 | goodput/kround | timeouts | submitted |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let mut findings = Vec::new();
+    for run in &report.runs {
+        let counter = |key: &str| run.counters.get(key).copied().unwrap_or(0);
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            run.scenario,
+            run.node,
+            run.seed,
+            counter("op_latency_p50_rounds"),
+            counter("op_latency_p99_rounds"),
+            counter("op_latency_p999_rounds"),
+            counter("op_goodput_per_kround"),
+            counter("op_timeouts"),
+            counter("ops_submitted"),
+        );
+        let cell = format!("{}/{} seed={}", run.node, run.scenario, run.seed);
+        if !run.passed() {
+            findings.push(format!("{cell} failed its campaign run"));
+        }
+        if counter("ops_completed") == 0 {
+            findings.push(format!("{cell} completed no operation"));
+        }
+        for (key, bound) in &slos {
+            let got = counter(key);
+            if got > *bound {
+                findings.push(format!(
+                    "{cell}: {key} = {got} rounds exceeds the SLO of {bound}"
+                ));
+            }
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("bench-guard: every cell within its latency SLO");
         Ok(true)
     } else {
         for f in &findings {

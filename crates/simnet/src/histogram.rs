@@ -209,6 +209,56 @@ mod tests {
         assert_eq!(h.percentile(50.0), Some(42));
         assert_eq!(h.percentile(99.0), Some(42));
     }
+
+    // The load engine's p99.9 column leans on the tail behaviour below.
+
+    #[test]
+    fn empty_histogram_has_no_tail_percentile() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(99.9), None);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(100.0), None);
+    }
+
+    #[test]
+    fn single_sample_tail_percentiles() {
+        let mut h: Histogram = [7u64].into_iter().collect();
+        assert_eq!(h.percentile(99.9), Some(7));
+        assert_eq!(h.percentile(100.0), Some(7));
+        assert_eq!(h.percentile(0.0), Some(7));
+    }
+
+    #[test]
+    fn duplicate_heavy_tail_reports_the_outlier_only_past_its_rank() {
+        // 999 fast ops and one slow outlier. At exactly 1,000 samples the
+        // p99.9 rank is ceil(0.999 · 1000): the product lands a hair above
+        // 999.0 in f64, so the rank is 1,000 and the outlier shows.
+        let mut h: Histogram = std::iter::repeat(2u64)
+            .take(999)
+            .chain(std::iter::once(500))
+            .collect();
+        assert_eq!(h.percentile(99.0), Some(2));
+        assert_eq!(h.percentile(99.9), Some(500));
+        assert_eq!(h.percentile(100.0), Some(500));
+        // With 2,000 samples the outlier sits at rank 2,000 while p99.9's
+        // rank is 1,999 — the duplicate mass hides a 1-in-2000 outlier.
+        h.record_all(std::iter::repeat(2u64).take(1000));
+        assert_eq!(h.percentile(99.9), Some(2));
+        assert_eq!(h.percentile(100.0), Some(500));
+    }
+
+    #[test]
+    fn tail_uses_nearest_rank_not_interpolation() {
+        // Distinct values 1..=2000: nearest-rank p99.9 is the 1,999th order
+        // statistic exactly — never a value interpolated between samples.
+        let mut h: Histogram = (1u64..=2000).collect();
+        assert_eq!(h.percentile(99.9), Some(1999));
+        assert_eq!(h.percentile(100.0), Some(2000));
+        // The rank is computed on the sample count, not the value range:
+        // with 10 distinct values p99.9 is simply the maximum.
+        let mut small: Histogram = (1u64..=10).collect();
+        assert_eq!(small.percentile(99.9), Some(10));
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,7 @@ pub mod config;
 pub mod exec;
 pub mod fault;
 pub mod histogram;
+pub mod load;
 pub mod metrics;
 pub mod network;
 pub mod partition;
@@ -111,6 +112,7 @@ pub use fault::{
     RecoveryPlan, SkewPlan, SpikePlan, SpikeSpec,
 };
 pub use histogram::Histogram;
+pub use load::{Arrival, LoadProfile};
 pub use metrics::Metrics;
 pub use network::Network;
 pub use partition::{AsymmetricCutPlan, PartitionPlan};

@@ -49,6 +49,7 @@ use crate::fault::{
     CorruptionPlan, CrashPlan, GrayFailurePlan, PayloadCorruptionPlan, RecoveryPlan, SkewPlan,
     SpikePlan, SpikeSpec,
 };
+use crate::load::{LoadEngine, LoadProfile};
 use crate::partition::{AsymmetricCutPlan, PartitionPlan};
 use crate::plan::{ByzantinePlan, FaultAction, FaultPlan, ForgeKind, PlanCtx, RunObservations};
 use crate::process::{Process, ProcessId};
@@ -118,6 +119,7 @@ pub struct Scenario {
     workload_rounds: u64,
     link: LinkProfile,
     plans: Vec<Box<dyn FaultPlan>>,
+    load: Option<LoadProfile>,
 }
 
 impl Scenario {
@@ -133,6 +135,7 @@ impl Scenario {
             workload_rounds: 0,
             link: LinkProfile::default(),
             plans: Vec::new(),
+            load: None,
         }
     }
 
@@ -153,6 +156,16 @@ impl Scenario {
     /// while the current round is below `rounds` (builder style).
     pub fn with_workload_until(mut self, rounds: u64) -> Self {
         self.workload_rounds = rounds;
+        self
+    }
+
+    /// Attaches an open-loop client population ([`LoadProfile`]) driven
+    /// inside the workload window (builder style). When a load is attached
+    /// it *replaces* [`ScenarioTarget::drive_workload`] for this scenario,
+    /// and the run publishes the op-latency/goodput counters of
+    /// [`crate::load::COUNTER_KEYS`].
+    pub fn with_load(mut self, load: LoadProfile) -> Self {
+        self.load = Some(load);
         self
     }
 
@@ -341,6 +354,11 @@ impl Scenario {
         self.workload_rounds
     }
 
+    /// The attached client population, if any.
+    pub fn load(&self) -> Option<&LoadProfile> {
+        self.load.as_ref()
+    }
+
     /// The base link behaviour.
     pub fn link(&self) -> &LinkProfile {
         &self.link
@@ -497,6 +515,30 @@ pub trait ScenarioTarget: Process + Sized + Send {
         let _ = (sim, round, rng);
     }
 
+    /// Accepts one open-loop client operation at processor `via`: `key` is
+    /// the logical client (targets map it onto their own keyspace), `value`
+    /// is a run-unique payload. Returns `true` when the operation was
+    /// accepted — the load engine ([`crate::load`]) then expects it to be
+    /// claimable through [`ScenarioTarget::complete_op`] eventually, and
+    /// counts it as rejected otherwise. The default rejects everything:
+    /// targets opt into client load explicitly.
+    fn submit_op(sim: &mut Simulation<Self>, via: ProcessId, key: u64, value: u64) -> bool {
+        let _ = (sim, via, key, value);
+        false
+    }
+
+    /// Claims the oldest unclaimed completed operation at `via`:
+    /// `Some(true)` for a success, `Some(false)` for a protocol-level
+    /// failure (abort), `None` when nothing has completed since the last
+    /// claim. Called repeatedly after each round, at most once per
+    /// operation the engine still has outstanding at `via` — a target whose
+    /// completion signal is a standing condition (rather than a drained
+    /// queue) can simply report the condition. The default claims nothing.
+    fn complete_op(sim: &mut Simulation<Self>, via: ProcessId) -> Option<bool> {
+        let _ = (sim, via);
+        None
+    }
+
     /// Returns `true` once the system has (re-)converged: the scenario's
     /// liveness criterion.
     fn converged(sim: &Simulation<Self>) -> bool;
@@ -585,6 +627,13 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
     // independent of the scheduler's draws, so fault actions cannot perturb
     // (or be perturbed by) delivery randomness.
     let mut adversary_rng = SimRng::seed_from(sim.config().seed() ^ 0xc4a0_5eed_c4a0_5eed);
+    // The client-population engine draws from its own independent stream
+    // (see `crate::load`), so attaching a load perturbs neither delivery
+    // nor fault randomness.
+    let mut load = scenario
+        .load
+        .as_ref()
+        .map(|profile| LoadEngine::new(profile.clone(), sim.config().seed()));
     let base_policy = scenario.link.to_policy();
     let quiet_after = scenario
         .last_fault_round()
@@ -863,13 +912,22 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
                 ));
             }
         }
-        // Protocol-specific scripted extras, then application workload.
+        // Protocol-specific scripted extras, then application workload: the
+        // open-loop client population when one is attached, else the
+        // target's legacy convergence workload.
         extras.apply(sim, now);
         if now.as_u64() < scenario.workload_rounds {
-            T::drive_workload(sim, now, &mut adversary_rng);
+            match load.as_mut() {
+                Some(engine) => engine.drive(sim),
+                None => T::drive_workload(sim, now, &mut adversary_rng),
+            }
         }
 
         sim.step_round();
+
+        if let Some(engine) = load.as_mut() {
+            engine.poll(sim);
+        }
 
         if rounds_to_convergence.is_none()
             && sim.now() > quiet_after
@@ -879,6 +937,12 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
             rounds_to_convergence = Some(sim.now().as_u64());
             break;
         }
+    }
+
+    // Fold the load engine's op-latency/goodput columns into the counter
+    // map before the plans' end-of-run invariants snapshot it.
+    if let Some(engine) = load.take() {
+        engine.finish(sim.now().as_u64(), &mut counters);
     }
 
     // End-of-run class invariants: the plans inspect what the runner

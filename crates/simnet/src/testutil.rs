@@ -15,6 +15,10 @@ use crate::time::Round;
 pub(crate) struct MaxNode {
     pub(crate) id: ProcessId,
     pub(crate) value: u64,
+    /// Accepted-but-unclaimed load ops (see [`ScenarioTarget::complete_op`]);
+    /// deliberately absent from `state_line` so attaching a load never
+    /// changes the digest semantics under test.
+    pub(crate) unclaimed_ops: u64,
 }
 
 impl Process for MaxNode {
@@ -36,11 +40,16 @@ impl ScenarioTarget for MaxNode {
         MaxNode {
             id,
             value: id.as_u32() as u64,
+            unclaimed_ops: 0,
         }
     }
 
     fn spawn_joiner(id: ProcessId, _n: usize) -> Self {
-        MaxNode { id, value: 0 }
+        MaxNode {
+            id,
+            value: 0,
+            unclaimed_ops: 0,
+        }
     }
 
     fn corrupt(&mut self, rng: &mut SimRng) {
@@ -82,6 +91,28 @@ impl ScenarioTarget for MaxNode {
                 p.value = p.value.max(round.as_u64());
             }
         }
+    }
+
+    /// Open-loop load hooks for the toy target: an accepted op folds a
+    /// bounded value into the max-flood and completes on the next poll.
+    fn submit_op(sim: &mut Simulation<Self>, via: ProcessId, _key: u64, value: u64) -> bool {
+        match sim.process_mut(via) {
+            Some(p) => {
+                p.value = p.value.max(value % 50);
+                p.unclaimed_ops += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn complete_op(sim: &mut Simulation<Self>, via: ProcessId) -> Option<bool> {
+        let p = sim.process_mut(via)?;
+        if p.unclaimed_ops == 0 {
+            return None;
+        }
+        p.unclaimed_ops -= 1;
+        Some(true)
     }
 
     fn converged(sim: &Simulation<Self>) -> bool {

@@ -172,6 +172,10 @@ pub struct SmrNode {
     /// Observability counters.
     views_installed: u64,
     commands_applied_total: u64,
+    /// Locally submitted commands delivered to the replicated state but not
+    /// yet claimed through [`simnet::ScenarioTarget::complete_op`]. Not part
+    /// of the digestible protocol state (`state_line` ignores it).
+    unclaimed_completions: u64,
 }
 
 impl SmrNode {
@@ -197,6 +201,7 @@ impl SmrNode {
             awaiting_view_id: false,
             views_installed: 0,
             commands_applied_total: 0,
+            unclaimed_completions: 0,
         }
     }
 
@@ -222,6 +227,7 @@ impl SmrNode {
             awaiting_view_id: false,
             views_installed: 0,
             commands_applied_total: 0,
+            unclaimed_completions: 0,
         }
     }
 
@@ -658,6 +664,9 @@ impl SmrNode {
                     self.current_input = self.pending.pop_front();
                 }
                 if let Some(cmd) = self.current_input.take() {
+                    // The command enters this multicast round and is applied
+                    // below: delivered from the submitter's point of view.
+                    self.unclaimed_completions += 1;
                     inputs.push(cmd);
                 }
                 for m in &view.members {
@@ -779,6 +788,7 @@ impl SmrNode {
                                         .any(|(k, v)| matches!(cmd.op, Op::Write { key, value } if key == *k && value == *v))
                                         || matches!(cmd.op, Op::Noop)
                                     {
+                                        self.unclaimed_completions += 1;
                                         self.current_input = None;
                                     }
                                 }
@@ -977,6 +987,39 @@ impl simnet::ScenarioTarget for SmrNode {
                 node.submit_write(key, round.as_u64());
             }
         }
+    }
+
+    /// Open-loop client load: an SMR write submitted at a current view
+    /// member (non-members reject, like a real front-end refusing a
+    /// request it cannot serve). Keys spread over a wide register space
+    /// disjoint from `CHAOS_KEYS`, and the run-unique `value` keeps the
+    /// follower's delivered-input match (Algorithm 4.7) unambiguous. The
+    /// op completes when the command is delivered to the replicated state.
+    fn submit_op(sim: &mut simnet::Simulation<Self>, via: ProcessId, key: u64, value: u64) -> bool {
+        let Some(node) = sim.process_mut(via) else {
+            return false;
+        };
+        let member = node
+            .view
+            .as_ref()
+            .map(|v| v.members.contains(&via))
+            .unwrap_or(false);
+        if !member {
+            return false;
+        }
+        // Load registers start above the chaos set so state corruption of
+        // CHAOS_KEYS never forges a pending op's completion witness.
+        node.submit_write(4 + (key % 61) as u32, value);
+        true
+    }
+
+    fn complete_op(sim: &mut simnet::Simulation<Self>, via: ProcessId) -> Option<bool> {
+        let node = sim.process_mut(via)?;
+        if node.unclaimed_completions == 0 {
+            return None;
+        }
+        node.unclaimed_completions -= 1;
+        Some(true)
     }
 
     /// Converged: the reconfiguration layer is calm and agreed, every active

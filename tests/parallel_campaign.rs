@@ -16,7 +16,9 @@ use selfstab_reconfig::replication::SmrNode;
 use selfstab_reconfig::shared_memory::SharedMemNode;
 use selfstab_reconfig::sim::plan::FaultPlan;
 use selfstab_reconfig::sim::scenario::{catalog, find, ScenarioTarget};
-use selfstab_reconfig::sim::{Campaign, RunRecord, Scenario, SchedulerMode, Simulation};
+use selfstab_reconfig::sim::{
+    Arrival, Campaign, LoadProfile, RunRecord, Scenario, SchedulerMode, Simulation,
+};
 
 /// Renders the full catalog campaign for one node type at one jobs count.
 /// Event mode only: the modes dimension is orthogonal to the jobs
@@ -110,6 +112,66 @@ fn both_modes_campaign_is_byte_identical_across_jobs_counts() {
     assert_eq!(render(4), serial);
 }
 
+/// Builds fault scenarios armed with an open-loop client population: the
+/// load engine replaces the targets' built-in workload, so these cells
+/// exercise the Poisson arrival stream, op routing, and the latency
+/// counters end to end.
+fn loaded_scenarios(arrival: Arrival) -> Vec<Scenario> {
+    let load = LoadProfile::new(500, arrival).with_op_timeout(50);
+    ["quiescent", "partition-heal", "byzantine-storm"]
+        .iter()
+        .map(|name| find(name, 4).unwrap().with_load(load.clone()))
+        .collect()
+}
+
+/// The load engine rides the campaign determinism contract: a loaded
+/// campaign under the **default both-modes** configuration (each cell
+/// re-runs in event-driven and round-scan and the driver verifies they
+/// agree) renders byte-identically across jobs counts — the Poisson
+/// arrival stream, op completions, and every latency column included.
+/// A re-render from scratch is also identical, so the latency columns
+/// are reproducible run over run, not just order-stable.
+#[test]
+fn loaded_campaign_is_byte_identical_across_modes_and_jobs() {
+    let scenarios = loaded_scenarios(Arrival::Poisson { rate: 4.0 });
+    let render = |jobs: usize| {
+        Campaign::new("loaded-identity")
+            .with_seeds([1, 2])
+            .with_jobs(jobs)
+            .run::<CounterNode>(&scenarios)
+            .render()
+    };
+    let serial = render(1);
+    assert_eq!(render(4), serial, "loaded report diverged at jobs=4");
+    assert_eq!(
+        render(1),
+        serial,
+        "loaded report not reproducible on re-run"
+    );
+    assert!(
+        serial.contains("op_latency_p99_rounds"),
+        "loaded report is missing the latency columns"
+    );
+}
+
+/// Burst arrivals run the same contract through the other arrival model.
+#[test]
+fn burst_campaign_is_byte_identical_across_modes_and_jobs() {
+    let scenarios = loaded_scenarios(Arrival::Burst {
+        size: 20,
+        period: 5,
+    });
+    let render = |jobs: usize| {
+        Campaign::new("burst-identity")
+            .with_seeds([3])
+            .with_jobs(jobs)
+            .run::<SmrNode>(&scenarios)
+            .render()
+    };
+    let serial = render(1);
+    assert_eq!(render(4), serial);
+}
+
 /// The Send-safety layer the cells are built on, asserted at compile time:
 /// scenarios (plans included), the composite node types and the records
 /// that travel back from the workers.
@@ -154,5 +216,31 @@ proptest! {
                 .render()
         };
         prop_assert_eq!(render(jobs), render(1));
+    }
+
+    /// Randomised loaded identity: for arbitrary seeds and Poisson rates
+    /// the client-population arrival stream — and therefore every latency
+    /// column it produces — is byte-identical across scheduler modes
+    /// (both-modes cells verify event-driven against round-scan) and
+    /// across jobs ∈ {1, 4}.
+    #[test]
+    fn poisson_stream_is_identical_across_modes_and_jobs(
+        seeds in proptest::collection::vec(1u64..1_000_000, 1..4),
+        rate in 1u32..12,
+    ) {
+        let load = LoadProfile::new(200, Arrival::Poisson { rate: rate as f64 })
+            .with_op_timeout(40);
+        let scenarios = vec![
+            find("quiescent", 4).unwrap().with_load(load.clone()),
+            find("crash-minority", 4).unwrap().with_load(load),
+        ];
+        let render = |j: usize| {
+            Campaign::new("proptest-load")
+                .with_seeds(seeds.iter().copied())
+                .with_jobs(j)
+                .run::<CounterNode>(&scenarios)
+                .render()
+        };
+        prop_assert_eq!(render(4), render(1));
     }
 }
