@@ -106,6 +106,24 @@ pub fn loaded_scenario(
         .with_load(LoadProfile::new(clients, arrival).with_op_timeout(op_timeout))
 }
 
+/// [`loaded_scenario`] with history recording armed: the run additionally
+/// checks linearizability of the recorded client ops against the target's
+/// sequential spec and probes *stays-converged* after first convergence,
+/// publishing the `converged_round` / `stability_violations` /
+/// `lin_ops_checked` / `lin_result` counters. This is the bench-side entry
+/// point of the checked-correctness layer (see `docs/HISTORIES.md`):
+/// experiments that gate on latency can gate on `lin_result == 0` in the
+/// same run.
+pub fn checked_scenario(
+    name: &str,
+    n: usize,
+    clients: u64,
+    arrival: Arrival,
+    op_timeout: u64,
+) -> Scenario {
+    loaded_scenario(name, n, clients, arrival, op_timeout).with_history()
+}
+
 /// Runs the catalog × four-composite-nodes × `ns` × `seeds` campaign matrix
 /// (event mode) at one jobs count, dispatching *every* cell — the node axis
 /// included — to one `simnet::exec` pool. `jobs = 1` degenerates to the
@@ -183,5 +201,23 @@ mod tests {
             assert!(run.counters.contains_key(key), "missing counter `{key}`");
         }
         assert!(run.counters["ops_completed"] > 0);
+    }
+
+    #[test]
+    fn checked_scenario_reports_a_clean_lin_verdict() {
+        let scenario = checked_scenario("quiescent", 5, 100, Arrival::Poisson { rate: 1.0 }, 300);
+        let run = run_scenario_bench::<CounterNode>(&scenario, 7, SchedulerMode::EventDriven);
+        assert!(run.converged && run.invariant_violations.is_empty());
+        for key in [
+            "converged_round",
+            "stability_violations",
+            "lin_ops_checked",
+            "lin_result",
+        ] {
+            assert!(run.counters.contains_key(key), "missing counter `{key}`");
+        }
+        assert!(run.counters["lin_ops_checked"] > 0);
+        assert_eq!(run.counters["lin_result"], 0);
+        assert_eq!(run.counters["stability_violations"], 0);
     }
 }

@@ -710,6 +710,50 @@ impl simnet::ScenarioTarget for CounterNode {
         ))
     }
 
+    /// Every load op is an increment of the single shared counter
+    /// (object 0), regardless of key and value.
+    fn op_spec(_key: u64, _value: u64) -> Option<(u64, simnet::OpKind)> {
+        Some((0, simnet::OpKind::Inc))
+    }
+
+    /// Claims exactly the completion `Self::complete_op` would, surfacing
+    /// the committed counter as a lexicographic `[creator, seqn, wid]`
+    /// token: creators totally order distinct labels under `≺lb`, and a
+    /// creator mints at most one label per 2⁶³ increments, so counter order
+    /// (Algorithm 4.3's `≺ct`) embeds into token order for every pair a
+    /// run can actually produce.
+    fn claim_op(
+        sim: &mut simnet::Simulation<Self>,
+        via: simnet::ProcessId,
+    ) -> Option<simnet::OpResponse> {
+        let node = sim.process_mut(via)?;
+        if node.completed.is_empty() {
+            return None;
+        }
+        Some(match node.completed.remove(0) {
+            IncrementOutcome::Committed(c) => simnet::OpResponse {
+                ok: true,
+                observed: Some(simnet::Observed::Token([
+                    c.label.creator.as_u32() as u64,
+                    c.seqn,
+                    c.wid.as_u32() as u64,
+                ])),
+                indeterminate: false,
+            },
+            IncrementOutcome::Aborted => simnet::OpResponse {
+                ok: false,
+                observed: None,
+                indeterminate: false,
+            },
+        })
+    }
+
+    /// Committed increments must mint strictly increasing tokens — the
+    /// paper's Theorem 4.6 monotonicity, checked as a sequential spec.
+    fn lin_spec() -> Option<simnet::Spec> {
+        Some(simnet::Spec::MonotoneToken)
+    }
+
     /// Converged: every active member holds the same (existing) maximal
     /// counter and no processor has an increment queued or in flight.
     fn converged(sim: &simnet::Simulation<Self>) -> bool {
@@ -1014,5 +1058,236 @@ mod tests {
         node.on_config_change(config_set([0, 1]));
         assert!(!node.increment_in_flight());
         assert_eq!(node.take_completed(), vec![IncrementOutcome::Aborted]);
+    }
+}
+
+/// Seeded-bug regression: re-introduces the stale-label counter bug (an
+/// epoch rollback that resets the sequence number while *keeping* the
+/// label) behind a test-only wrapper and checks that the linearizability
+/// checker rejects the resulting history. This is the checker's
+/// end-to-end negative control — a mutation the `max`-merge gossip cannot
+/// wash out (every member is rolled back together, so no peer still holds
+/// the true maximum) and that no protocol invariant catches (the label
+/// stays legit), yet whose re-minted tokens repeat committed ones and so
+/// must trip [`Spec::MonotoneToken`].
+#[cfg(test)]
+mod seeded_bug {
+    use super::*;
+    use simnet::scenario::run_scenario;
+    use simnet::{Arrival, LoadProfile, Round, Scenario, SchedulerMode};
+
+    /// [`CounterNode`] with one deliberate defect, modelled on the fixed
+    /// epoch-forgetting bug: corruption jumps the node back to a *stale
+    /// point of its label epoch* (sequence number zero under the existing,
+    /// legit label), and for a window of rounds the node keeps
+    /// re-installing that stale state every step — the way the pre-fix
+    /// service kept resurrecting a forgotten epoch after a labeler
+    /// rebuild. A one-shot rollback would wash out within a round through
+    /// the `max`-merge gossip (that is Theorem 4.6 working as intended);
+    /// the sticky re-installation is what makes it a *bug* rather than a
+    /// transient fault, and it makes members re-mint seqn 1, 2, … inside
+    /// an epoch that already committed those tokens.
+    struct StaleLabelNode {
+        inner: CounterNode,
+        /// The stale epoch state corruption jumped back to.
+        stale: Option<Counter>,
+        /// Rounds the node keeps re-installing the stale state.
+        bug_window: u64,
+    }
+
+    impl Layer for StaleLabelNode {
+        type Wire = CounterMsg;
+
+        fn poll(&mut self, peers: &[ProcessId], out: &mut Outbox<CounterMsg>) {
+            if self.bug_window > 0 {
+                self.bug_window -= 1;
+                if self.stale.is_some() {
+                    self.inner.max_counter = self.stale.clone();
+                }
+            }
+            self.inner.poll(peers, out);
+        }
+
+        fn handle(&mut self, from: ProcessId, msg: CounterMsg, out: &mut Outbox<CounterMsg>) {
+            self.inner.handle(from, msg, out);
+        }
+    }
+
+    simnet::impl_process_for_layer!(StaleLabelNode);
+
+    impl simnet::ScenarioTarget for StaleLabelNode {
+        const NAME: &'static str = "stale-label-counter";
+
+        fn spawn_initial(id: ProcessId, n: usize) -> Self {
+            StaleLabelNode {
+                inner: CounterNode::spawn_initial(id, n),
+                stale: None,
+                bug_window: 0,
+            }
+        }
+
+        fn spawn_joiner(id: ProcessId, n: usize) -> Self {
+            StaleLabelNode {
+                inner: CounterNode::spawn_joiner(id, n),
+                stale: None,
+                bug_window: 0,
+            }
+        }
+
+        /// The seeded bug: jump back to the start of the current epoch
+        /// (label kept, sequence number zeroed) and keep re-installing
+        /// that stale state for the next 40 rounds.
+        fn corrupt(&mut self, _rng: &mut simnet::SimRng) {
+            if let Some(c) = &self.inner.max_counter {
+                let mut stale = c.clone();
+                stale.seqn = 0;
+                self.inner.max_counter = Some(stale.clone());
+                self.stale = Some(stale);
+                self.bug_window = 40;
+            }
+            self.inner.pending = None;
+            self.inner.pending_age = 0;
+        }
+
+        fn submit_op(
+            sim: &mut simnet::Simulation<Self>,
+            via: ProcessId,
+            _key: u64,
+            _value: u64,
+        ) -> bool {
+            match sim.process_mut(via) {
+                Some(node) => {
+                    node.inner.queue_increment();
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn complete_op(sim: &mut simnet::Simulation<Self>, via: ProcessId) -> Option<bool> {
+            let node = sim.process_mut(via)?;
+            if node.inner.completed.is_empty() {
+                return None;
+            }
+            Some(matches!(
+                node.inner.completed.remove(0),
+                IncrementOutcome::Committed(_)
+            ))
+        }
+
+        fn op_spec(key: u64, value: u64) -> Option<(u64, simnet::OpKind)> {
+            CounterNode::op_spec(key, value)
+        }
+
+        fn claim_op(
+            sim: &mut simnet::Simulation<Self>,
+            via: ProcessId,
+        ) -> Option<simnet::OpResponse> {
+            let node = sim.process_mut(via)?;
+            if node.inner.completed.is_empty() {
+                return None;
+            }
+            Some(match node.inner.completed.remove(0) {
+                IncrementOutcome::Committed(c) => simnet::OpResponse {
+                    ok: true,
+                    observed: Some(simnet::Observed::Token([
+                        c.label.creator.as_u32() as u64,
+                        c.seqn,
+                        c.wid.as_u32() as u64,
+                    ])),
+                    indeterminate: false,
+                },
+                IncrementOutcome::Aborted => simnet::OpResponse {
+                    ok: false,
+                    observed: None,
+                    indeterminate: false,
+                },
+            })
+        }
+
+        fn lin_spec() -> Option<simnet::Spec> {
+            CounterNode::lin_spec()
+        }
+
+        fn converged(sim: &simnet::Simulation<Self>) -> bool {
+            let mut members = sim
+                .active_processes()
+                .filter(|(_, p)| p.inner.is_member())
+                .map(|(_, p)| p.inner.max_counter.clone());
+            let agreed = match members.next() {
+                None => true,
+                Some(None) => false,
+                Some(first) => members.all(|c| c == first),
+            };
+            agreed
+                && sim
+                    .active_processes()
+                    .all(|(_, p)| p.inner.pending.is_none() && p.inner.queued_increments == 0)
+        }
+
+        fn invariant_violations(sim: &simnet::Simulation<Self>) -> Vec<String> {
+            let mut violations = Vec::new();
+            for (id, p) in sim.active_processes().filter(|(_, p)| p.inner.is_member()) {
+                if let Some(c) = &p.inner.max_counter {
+                    if !p.inner.config.contains(&c.label.creator) {
+                        violations.push(format!(
+                            "{id}: maximal counter labelled by non-member {}",
+                            c.label.creator
+                        ));
+                    }
+                }
+            }
+            violations
+        }
+
+        fn state_line(id: ProcessId, p: &Self) -> String {
+            CounterNode::state_line(id, &p.inner)
+        }
+    }
+
+    /// Rolling every member's sequence number back mid-run (label intact)
+    /// makes the service re-commit tokens it already handed out; the
+    /// checker must reject the history while the protocol's own invariants
+    /// stay silent.
+    #[test]
+    fn checker_rejects_the_stale_label_rollback() {
+        let scenario = Scenario::new("stale-label-seeded-bug", 4)
+            .describe("epoch rollback on every member under client load")
+            .corrupt_at(Round::new(60), (0..4).map(ProcessId::new))
+            .with_workload_until(120)
+            .with_rounds(800)
+            .with_load(
+                LoadProfile::new(50, Arrival::parse("poisson:2").unwrap()).with_op_timeout(100),
+            )
+            .with_history();
+        let mut sim: simnet::Simulation<StaleLabelNode> =
+            scenario.build_sim(1, SchedulerMode::EventDriven);
+        let run = run_scenario(&scenario, &mut sim);
+        let witness: Vec<&String> = run
+            .invariant_violations
+            .iter()
+            .filter(|v| v.starts_with("linearizability:"))
+            .collect();
+        println!("seeded-bug witness: {witness:?}");
+        assert_eq!(
+            run.counter("lin_result"),
+            1,
+            "stale-label rollback must be flagged as a linearizability \
+             violation (violations: {:?})",
+            run.invariant_violations
+        );
+        assert!(
+            !witness.is_empty(),
+            "a minimal violation witness is printed alongside the verdict"
+        );
+        // The bug is invisible to the protocol's own safety invariant: the
+        // rolled-back counter still carries a legit member label.
+        assert!(
+            run.invariant_violations
+                .iter()
+                .all(|v| v.starts_with("linearizability:") || v.starts_with("stability:")),
+            "only the history checker catches the rollback: {:?}",
+            run.invariant_violations
+        );
     }
 }

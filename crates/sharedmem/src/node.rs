@@ -96,7 +96,13 @@ pub struct SharedMemNode {
     store: RegisterStore,
     pending: Option<PendingOp>,
     queue: VecDeque<(OpId, RegisterId, OpKind)>,
-    completed: Vec<OpOutcome>,
+    /// Completed outcomes paired with whether the installed configuration
+    /// was *collapsed* (held no majority of the population) at completion
+    /// time — the flag armed histories use to classify the op indeterminate.
+    completed: Vec<(OpOutcome, bool)>,
+    /// Size of the full process population, when known (campaign spawns set
+    /// it); `None` leaves collapse detection off.
+    population: Option<u32>,
     next_seq: u64,
     /// The configuration the store was last synchronized towards, used to
     /// detect configuration changes.
@@ -118,6 +124,7 @@ impl SharedMemNode {
             pending: None,
             queue: VecDeque::new(),
             completed: Vec::new(),
+            population: None,
             next_seq: 0,
             synced_config: None,
             reads_committed: 0,
@@ -155,6 +162,19 @@ impl SharedMemNode {
     /// bounds to force epoch-label rollover.
     pub fn with_exhaustion_bound(mut self, bound: u64) -> Self {
         self.exhaustion_bound = bound;
+        self
+    }
+
+    /// Declares the size of the full process population (builder style).
+    /// With it set, every completed outcome is tagged with whether the
+    /// installed configuration was *collapsed* — held no majority of the
+    /// population — at completion time. The majority-loss recovery path
+    /// (recMA lines 13–14) installs exactly such configurations when a
+    /// partition hides a configuration majority, deliberately trading
+    /// atomicity for liveness; armed histories record ops completed under
+    /// them as indeterminate instead of trusting their ordering.
+    pub fn with_population(mut self, population: u32) -> Self {
+        self.population = Some(population);
         self
     }
 
@@ -241,6 +261,21 @@ impl SharedMemNode {
     /// the last call.
     pub fn take_completed(&mut self) -> Vec<OpOutcome> {
         std::mem::take(&mut self.completed)
+            .into_iter()
+            .map(|(outcome, _)| outcome)
+            .collect()
+    }
+
+    /// `true` when the installed configuration holds no majority of the
+    /// declared population — the state the majority-loss recovery leaves
+    /// behind, where quorum intersection with the pre-collapse epoch is
+    /// gone and completed ops carry no atomicity promise. Always `false`
+    /// when no population was declared.
+    fn config_collapsed(&self) -> bool {
+        match (self.population, self.config_members()) {
+            (Some(n), Some(cfg)) => (cfg.len() as u32) * 2 <= n,
+            _ => false,
+        }
     }
 
     /// `true` while this node observes an actual reconfiguration activity: a
@@ -259,7 +294,8 @@ impl SharedMemNode {
             OpOutcome::WriteCommitted { .. } => self.writes_committed += 1,
             OpOutcome::Aborted { .. } => self.ops_aborted += 1,
         }
-        self.completed.push(outcome);
+        let collapsed = self.config_collapsed();
+        self.completed.push((outcome, collapsed));
     }
 
     fn config_members(&self) -> Option<ConfigSet> {
@@ -504,10 +540,11 @@ impl simnet::ScenarioTarget for SharedMemNode {
             reconfig::config_set(0..n as u32),
             NodeConfig::for_n(2 * n.max(4)),
         )
+        .with_population(n as u32)
     }
 
     fn spawn_joiner(id: ProcessId, n: usize) -> Self {
-        SharedMemNode::new_joiner(id, NodeConfig::for_n(2 * n.max(4)))
+        SharedMemNode::new_joiner(id, NodeConfig::for_n(2 * n.max(4))).with_population(n as u32)
     }
 
     /// Transient faults hit the register store: either it is wiped entirely
@@ -517,19 +554,30 @@ impl simnet::ScenarioTarget for SharedMemNode {
     /// member, so the members re-agree on the workload registers. The
     /// store-sync marker is also cleared, as after a reconfiguration.
     fn corrupt(&mut self, rng: &mut simnet::SimRng) {
+        self.corrupt_observed(rng);
+    }
+
+    /// The same corruption, reporting the adopted bogus value (if the coin
+    /// landed on the adopt branch) so armed histories record it as an
+    /// adversary write: a read observing the dominating bogus value then
+    /// linearizes against it instead of tripping a false violation. Wiping
+    /// the store has no effect to report — a wiped member serves quorum
+    /// reads from whatever the quorum still holds.
+    fn corrupt_observed(&mut self, rng: &mut simnet::SimRng) -> Vec<(u64, u64)> {
+        let mut effects = Vec::new();
         if rng.chance(0.5) {
             self.store.clear();
         } else {
             let entry = self.store.iter().next().map(|(k, v)| (k, v.tag.clone()));
             if let Some((key, tag)) = entry {
-                let bogus = TaggedValue::new(
-                    tag.incremented(self.me),
-                    rng.range_inclusive(10_000, 20_000),
-                );
-                self.store.adopt(key, bogus);
+                let value = rng.range_inclusive(10_000, 20_000);
+                self.store
+                    .adopt(key, TaggedValue::new(tag.incremented(self.me), value));
+                effects.push((key.as_u64(), value));
             }
         }
         self.synced_config = None;
+        effects
     }
 
     /// In-flight payload corruption: half the affected packets collapse to
@@ -629,9 +677,62 @@ impl simnet::ScenarioTarget for SharedMemNode {
             return None;
         }
         Some(!matches!(
-            node.completed.remove(0),
+            node.completed.remove(0).0,
             OpOutcome::Aborted { .. }
         ))
+    }
+
+    /// The recordable shape of `Self::submit_op`'s operation: client keys
+    /// fold onto the workload register set, and the value's residue picks
+    /// read vs write — exactly the mapping `submit_op` applies.
+    fn op_spec(key: u64, value: u64) -> Option<(u64, simnet::OpKind)> {
+        let register = CHAOS_KEYS[(key % CHAOS_KEYS.len() as u64) as usize];
+        let kind = if value % 3 == 2 {
+            simnet::OpKind::Read
+        } else {
+            simnet::OpKind::Write(value)
+        };
+        Some((register, kind))
+    }
+
+    /// Claims exactly the completion `Self::complete_op` would, surfacing
+    /// the read's observed value for the history. A completion produced
+    /// under a collapsed configuration — the majority-loss recovery's
+    /// liveness-over-safety state — is reported indeterminate: the client
+    /// got an answer, but the service made no atomicity promise about it.
+    fn claim_op(
+        sim: &mut simnet::Simulation<Self>,
+        via: simnet::ProcessId,
+    ) -> Option<simnet::OpResponse> {
+        let node = sim.process_mut(via)?;
+        if node.completed.is_empty() {
+            return None;
+        }
+        let (outcome, collapsed) = node.completed.remove(0);
+        Some(match outcome {
+            OpOutcome::ReadCommitted { value, .. } => simnet::OpResponse {
+                ok: true,
+                observed: Some(simnet::history::Observed::Value(value)),
+                indeterminate: collapsed,
+            },
+            OpOutcome::WriteCommitted { .. } => simnet::OpResponse {
+                ok: true,
+                observed: None,
+                indeterminate: collapsed,
+            },
+            OpOutcome::Aborted { .. } => simnet::OpResponse {
+                ok: false,
+                observed: None,
+                indeterminate: collapsed,
+            },
+        })
+    }
+
+    /// The emulated object is a multi-writer multi-reader atomic register
+    /// (the paper's Theorem 5.3 claim) — armed histories are checked
+    /// against the register spec.
+    fn lin_spec() -> Option<simnet::Spec> {
+        Some(simnet::Spec::Register)
     }
 
     /// Converged: the reconfiguration layer is calm and agreed, no

@@ -145,7 +145,8 @@ fn usage() -> &'static str {
      [--n N] [--seeds 1,2] [--modes event|roundscan|both] [--jobs N] \
      [--sample-scenarios K] [--cell-budget-ms MS] \
      [--plan kind=spec]... [--rounds R] [--workload W] \
-     [--clients N --arrival SPEC [--op-timeout R]] [--out FILE] [--timings] [--name NAME]\n  \
+     [--clients N --arrival SPEC [--op-timeout R]] [--check-histories] \
+     [--out FILE] [--timings] [--name NAME]\n  \
      simctl smoke [--n N] [--jobs N] [--sample-scenarios K] [--cell-budget-ms MS] [--out FILE]\n  \
      simctl diff <baseline.json> <current.json> [--jobs N]\n  \
      simctl bench-guard --baseline FILE --current FILE [--max-regression 0.30]\n  \
@@ -157,6 +158,9 @@ fn usage() -> &'static str {
      --clients N: attach an open-loop population of N logical clients\n\
      --arrival poisson:RATE | burst:SIZE:PERIOD: arrivals per round (default poisson:4)\n\
      --op-timeout R: count ops unanswered for R rounds as timeouts (0 disarms)\n\
+     --check-histories: record op histories, check linearizability against the \
+     node's sequential spec, and enforce stays-converged (attaches a default \
+     200-client poisson:1 population when --clients is absent)\n\
      --slo p50|p99|p999=ROUNDS,...: per-percentile op-latency bounds, in rounds\n\n\
      --jobs N: worker threads for the cell matrix (default: available \
      parallelism; 1 = serial; reports are byte-identical at any N)\n\
@@ -690,8 +694,15 @@ fn emit(report: &CampaignReport, out: Option<&str>) -> Result<(), String> {
         } else {
             "INVARIANT-VIOLATION"
         };
+        // Armed history runs carry a linearizability verdict column.
+        let lin = match run.counters.get("lin_result") {
+            None => "",
+            Some(0) => " lin=ok",
+            Some(2) => " lin=budget",
+            Some(_) => " lin=VIOLATION",
+        };
         eprintln!(
-            "  [{status}] {}/{} seed={} rounds={} msgs={}",
+            "  [{status}] {}/{} seed={} rounds={} msgs={}{lin}",
             run.node, run.scenario, run.seed, run.rounds_run, run.messages_sent
         );
     }
@@ -738,7 +749,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             "sample-scenarios",
             "cell-budget-ms",
         ],
-        &["timings"],
+        &["timings", "check-histories"],
     )?;
     let n = parse_n(&flags)?;
     let plan_specs = flags.values("plan");
@@ -782,11 +793,28 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             .map(|s| s.with_workload_until(workload))
             .collect();
     }
-    if let Some(load) = parse_load(&flags)? {
+    let check_histories = flags.switch("check-histories");
+    let load = match parse_load(&flags)? {
+        Some(load) => Some(load),
+        // `--check-histories` needs client ops to record; without an
+        // explicit population it attaches a default one. The default rate
+        // is modest on purpose: open-loop queueing at high rates makes
+        // register histories so concurrent that the bounded search returns
+        // `lin=budget` (inconclusive) instead of a verdict.
+        None if check_histories => Some(
+            simnet::LoadProfile::new(200, simnet::Arrival::Poisson { rate: 1.0 })
+                .with_op_timeout(300),
+        ),
+        None => None,
+    };
+    if let Some(load) = load {
         scenarios = scenarios
             .into_iter()
             .map(|s| s.with_load(load.clone()))
             .collect();
+    }
+    if check_histories {
+        scenarios = scenarios.into_iter().map(Scenario::with_history).collect();
     }
     let seeds = parse_seeds(&flags)?;
     scenarios = apply_sampling(&flags, scenarios, seeds[0])?;

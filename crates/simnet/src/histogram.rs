@@ -96,8 +96,20 @@ impl Histogram {
             self.samples.sort_unstable();
             self.sorted = true;
         }
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        let idx = rank.saturating_sub(1).min(self.samples.len() - 1);
+        let n = self.samples.len();
+        // Nearest-rank with an exact path for tenth-of-a-percent
+        // percentiles: `0.999 * 1000` lands a hair above `999.0` in f64,
+        // which would push p99.9's rank to 1,000 at exactly 1,000 samples.
+        // When `p` is (within epsilon of) a whole number of tenths, compute
+        // `ceil(tenths·n / 1000)` in integer arithmetic instead.
+        let tenths = p * 10.0;
+        let rank = if (tenths - tenths.round()).abs() < 1e-9 {
+            let tenths = tenths.round() as u64;
+            ((tenths * n as u64).div_ceil(1000)) as usize
+        } else {
+            ((p / 100.0) * n as f64).ceil() as usize
+        };
+        let idx = rank.saturating_sub(1).min(n - 1);
         Some(self.samples[idx])
     }
 
@@ -231,14 +243,15 @@ mod tests {
     #[test]
     fn duplicate_heavy_tail_reports_the_outlier_only_past_its_rank() {
         // 999 fast ops and one slow outlier. At exactly 1,000 samples the
-        // p99.9 rank is ceil(0.999 · 1000): the product lands a hair above
-        // 999.0 in f64, so the rank is 1,000 and the outlier shows.
+        // p99.9 rank is ceil(999 · 1000 / 1000) = 999 — computed in integer
+        // arithmetic, so the f64 artifact that used to push the rank to
+        // 1,000 (surfacing the outlier one rank early) no longer applies.
         let mut h: Histogram = std::iter::repeat(2u64)
             .take(999)
             .chain(std::iter::once(500))
             .collect();
         assert_eq!(h.percentile(99.0), Some(2));
-        assert_eq!(h.percentile(99.9), Some(500));
+        assert_eq!(h.percentile(99.9), Some(2));
         assert_eq!(h.percentile(100.0), Some(500));
         // With 2,000 samples the outlier sits at rank 2,000 while p99.9's
         // rank is 1,999 — the duplicate mass hides a 1-in-2000 outlier.
@@ -249,10 +262,12 @@ mod tests {
 
     #[test]
     fn tail_uses_nearest_rank_not_interpolation() {
-        // Distinct values 1..=2000: nearest-rank p99.9 is the 1,999th order
-        // statistic exactly — never a value interpolated between samples.
+        // Distinct values 1..=2000: nearest-rank p99.9 is the 1,998th order
+        // statistic exactly — ceil(0.999 · 2000) = 1998, never a value
+        // interpolated between samples and never rank 1,999 (the f64
+        // artifact `0.999 * 2000 = 1998.0000000000002` used to produce).
         let mut h: Histogram = (1u64..=2000).collect();
-        assert_eq!(h.percentile(99.9), Some(1999));
+        assert_eq!(h.percentile(99.9), Some(1998));
         assert_eq!(h.percentile(100.0), Some(2000));
         // The rank is computed on the sample count, not the value range:
         // with 10 distinct values p99.9 is simply the maximum.

@@ -87,6 +87,8 @@ pub mod config;
 pub mod exec;
 pub mod fault;
 pub mod histogram;
+pub mod history;
+pub mod linearize;
 pub mod load;
 pub mod metrics;
 pub mod network;
@@ -112,6 +114,8 @@ pub use fault::{
     RecoveryPlan, SkewPlan, SpikePlan, SpikeSpec,
 };
 pub use histogram::Histogram;
+pub use history::{History, HistoryCfg, HistoryRecorder, Observed, OpKind, OpResponse};
+pub use linearize::{Spec, Verdict};
 pub use load::{Arrival, LoadProfile};
 pub use metrics::Metrics;
 pub use network::Network;

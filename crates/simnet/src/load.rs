@@ -30,6 +30,7 @@ use std::fmt;
 use rand::RngCore;
 
 use crate::histogram::Histogram;
+use crate::history::{HistoryRecorder, OpResponse};
 use crate::process::ProcessId;
 use crate::rng::SimRng;
 use crate::scenario::ScenarioTarget;
@@ -177,6 +178,9 @@ impl LoadProfile {
 struct PendingOp {
     invoked: u64,
     timed_out: bool,
+    /// Index of this op in the armed run's history recorder; `None` on
+    /// unarmed runs or when the target declares no op spec.
+    op: Option<usize>,
 }
 
 /// The per-run engine: draws arrivals, routes submissions, claims
@@ -214,8 +218,14 @@ impl LoadEngine {
     }
 
     /// Draws this round's arrivals and submits them, called once per round
-    /// inside the workload window, before the round steps.
-    pub(crate) fn drive<T: ScenarioTarget>(&mut self, sim: &mut Simulation<T>) {
+    /// inside the workload window, before the round steps. On armed runs
+    /// (`history` is `Some`) every accepted submission the target declares
+    /// an op spec for is recorded as an invocation.
+    pub(crate) fn drive<T: ScenarioTarget>(
+        &mut self,
+        sim: &mut Simulation<T>,
+        mut history: Option<&mut HistoryRecorder>,
+    ) {
         let now = sim.now().as_u64();
         let arrivals = match self.profile.arrival {
             Arrival::Poisson { rate } => poisson(&mut self.rng, rate),
@@ -242,9 +252,14 @@ impl LoadEngine {
             self.next_value += 1;
             if T::submit_op(sim, via, client, value) {
                 self.submitted += 1;
+                let op = history.as_deref_mut().and_then(|rec| {
+                    T::op_spec(client, value)
+                        .map(|(object, kind)| rec.invoke(client, object, kind, now))
+                });
                 self.pending.entry(via).or_default().push_back(PendingOp {
                     invoked: now,
                     timed_out: false,
+                    op,
                 });
             } else {
                 self.rejected += 1;
@@ -257,7 +272,11 @@ impl LoadEngine {
     /// the number of ops this engine has outstanding at each processor, so
     /// targets whose `complete_op` reports a standing condition (e.g. the
     /// reconfiguration probe) cannot over-complete.
-    pub(crate) fn poll<T: ScenarioTarget>(&mut self, sim: &mut Simulation<T>) {
+    pub(crate) fn poll<T: ScenarioTarget>(
+        &mut self,
+        sim: &mut Simulation<T>,
+        mut history: Option<&mut HistoryRecorder>,
+    ) {
         let now = sim.now().as_u64();
         let vias: Vec<ProcessId> = self.pending.keys().copied().collect();
         for via in vias {
@@ -266,14 +285,33 @@ impl LoadEngine {
                 if outstanding == 0 {
                     break;
                 }
-                let Some(ok) = T::complete_op(sim, via) else {
+                // Unarmed runs claim through today's exact hook; armed runs
+                // claim through the observing variant so the history records
+                // what reads and increments returned.
+                let response = if history.is_some() {
+                    T::claim_op(sim, via)
+                } else {
+                    T::complete_op(sim, via).map(|ok| OpResponse {
+                        ok,
+                        observed: None,
+                        indeterminate: false,
+                    })
+                };
+                let Some(response) = response else {
                     break;
                 };
+                let ok = response.ok;
                 let op = self
                     .pending
                     .get_mut(&via)
                     .and_then(VecDeque::pop_front)
                     .expect("claim loop checked outstanding > 0");
+                // The history records the real (possibly late) response
+                // round even for ops the latency accounting already wrote
+                // off as timeouts — real time is what the checker needs.
+                if let (Some(rec), Some(idx)) = (history.as_deref_mut(), op.op) {
+                    rec.resolve(idx, now, response);
+                }
                 if op.timed_out {
                     // Already accounted as a timeout; the late response is
                     // dropped on the floor like a real client would.

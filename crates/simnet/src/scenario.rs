@@ -49,6 +49,8 @@ use crate::fault::{
     CorruptionPlan, CrashPlan, GrayFailurePlan, PayloadCorruptionPlan, RecoveryPlan, SkewPlan,
     SpikePlan, SpikeSpec,
 };
+use crate::history::{HistoryCfg, HistoryRecorder, OpKind, OpResponse};
+use crate::linearize::{self, Spec, Verdict};
 use crate::load::{LoadEngine, LoadProfile};
 use crate::partition::{AsymmetricCutPlan, PartitionPlan};
 use crate::plan::{ByzantinePlan, FaultAction, FaultPlan, ForgeKind, PlanCtx, RunObservations};
@@ -120,6 +122,7 @@ pub struct Scenario {
     link: LinkProfile,
     plans: Vec<Box<dyn FaultPlan>>,
     load: Option<LoadProfile>,
+    history: Option<HistoryCfg>,
 }
 
 impl Scenario {
@@ -136,6 +139,7 @@ impl Scenario {
             link: LinkProfile::default(),
             plans: Vec::new(),
             load: None,
+            history: None,
         }
     }
 
@@ -166,6 +170,24 @@ impl Scenario {
     /// [`crate::load::COUNTER_KEYS`].
     pub fn with_load(mut self, load: LoadProfile) -> Self {
         self.load = Some(load);
+        self
+    }
+
+    /// Arms operation-history recording and temporal-liveness checking with
+    /// the default [`HistoryCfg`] (builder style). An armed run records
+    /// every client op the load engine drives, checks the history against
+    /// the target's sequential spec ([`ScenarioTarget::lin_spec`]), keeps
+    /// probing convergence for a window after it first holds, and publishes
+    /// the `converged_round` / `stability_violations` / `lin_ops_checked` /
+    /// `lin_result` counters. Unarmed runs are untouched byte-for-byte.
+    pub fn with_history(self) -> Self {
+        self.with_history_cfg(HistoryCfg::default())
+    }
+
+    /// Arms history recording with an explicit [`HistoryCfg`] (builder
+    /// style); see [`Scenario::with_history`].
+    pub fn with_history_cfg(mut self, cfg: HistoryCfg) -> Self {
+        self.history = Some(cfg);
         self
     }
 
@@ -359,6 +381,11 @@ impl Scenario {
         self.load.as_ref()
     }
 
+    /// The armed history configuration, if any.
+    pub fn history(&self) -> Option<&HistoryCfg> {
+        self.history.as_ref()
+    }
+
     /// The base link behaviour.
     pub fn link(&self) -> &LinkProfile {
         &self.link
@@ -539,6 +566,54 @@ pub trait ScenarioTarget: Process + Sized + Send {
         None
     }
 
+    /// Declares what the operation [`ScenarioTarget::submit_op`] would run
+    /// for `(key, value)` does, for history recording: the logical object it
+    /// targets and its [`OpKind`]. `None` (the default) means the op is not
+    /// recordable — armed runs then record nothing for it. Only consulted
+    /// when a history is armed.
+    fn op_spec(key: u64, value: u64) -> Option<(u64, OpKind)> {
+        let _ = (key, value);
+        None
+    }
+
+    /// Armed-run variant of [`ScenarioTarget::complete_op`]: claims the
+    /// oldest unclaimed completion at `via` *with* its observed value, so
+    /// the history records what reads and increments returned. The default
+    /// delegates to `complete_op` and observes nothing — correct for targets
+    /// without a sequential spec. Targets implementing
+    /// [`ScenarioTarget::lin_spec`] must override this to surface observed
+    /// values, and must claim exactly the completions `complete_op` would.
+    fn claim_op(sim: &mut Simulation<Self>, via: ProcessId) -> Option<OpResponse> {
+        Self::complete_op(sim, via).map(|ok| OpResponse {
+            ok,
+            observed: None,
+            indeterminate: false,
+        })
+    }
+
+    /// The sequential specification armed histories are checked against,
+    /// when this target has one. `None` (the default) skips linearizability
+    /// checking — armed runs still record histories and enforce the
+    /// stays-converged probe.
+    fn lin_spec() -> Option<Spec> {
+        None
+    }
+
+    /// Armed-run variant of [`ScenarioTarget::corrupt`]: applies the same
+    /// transient fault *and* reports its client-visible effects as
+    /// `(object, value)` pairs, which the runner records as adversary
+    /// writes (see [`crate::history::HistoryRecorder::adversary_write`]) so
+    /// reads observing a corrupted value linearize against it instead of
+    /// tripping a false violation. Implementations must consume exactly the
+    /// adversary randomness `corrupt` consumes (byte-determinism couples
+    /// armed and unarmed corruption streams only through the rng). The
+    /// default delegates to `corrupt` and reports no effects — correct for
+    /// targets whose corruption is never client-visible.
+    fn corrupt_observed(&mut self, rng: &mut SimRng) -> Vec<(u64, u64)> {
+        self.corrupt(rng);
+        Vec::new()
+    }
+
     /// Returns `true` once the system has (re-)converged: the scenario's
     /// liveness criterion.
     fn converged(sim: &Simulation<Self>) -> bool;
@@ -634,6 +709,9 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
         .load
         .as_ref()
         .map(|profile| LoadEngine::new(profile.clone(), sim.config().seed()));
+    // Armed runs record every client op; unarmed runs never construct a
+    // recorder and follow today's exact code paths.
+    let mut recorder = scenario.history.as_ref().map(|_| HistoryRecorder::new());
     let base_policy = scenario.link.to_policy();
     let quiet_after = scenario
         .last_fault_round()
@@ -649,6 +727,13 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
         .map(|k| (k.to_string(), 0))
         .collect();
     let mut rounds_to_convergence = None;
+    // Stays-converged probe state (armed runs only): the round the probe
+    // window ends, whether the last probe saw convergence, and the
+    // converged → unconverged transitions observed inside the window.
+    let mut probe_done_at: Option<u64> = None;
+    let mut was_converged = false;
+    let mut stability_violations: u64 = 0;
+    let mut first_unstable: Option<u64> = None;
     // Mirror of every currently active split (empty = fully connected), so
     // that churned-in processors can be confined with respect to *each*
     // cut instead of silently bridging one of them with open links.
@@ -830,7 +915,19 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
                     // adversary randomness.
                     if sim.is_active(*victim) {
                         if let Some(process) = sim.process_mut(*victim) {
-                            process.corrupt(&mut adversary_rng);
+                            match recorder.as_mut() {
+                                Some(rec) => {
+                                    // Armed: the same corruption, with its
+                                    // client-visible effects recorded as
+                                    // adversary writes.
+                                    for (object, value) in
+                                        process.corrupt_observed(&mut adversary_rng)
+                                    {
+                                        rec.adversary_write(object, value, now.as_u64());
+                                    }
+                                }
+                                None => process.corrupt(&mut adversary_rng),
+                            }
                             bump(&mut counters, "corruptions", 1);
                         }
                     }
@@ -918,7 +1015,7 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
         extras.apply(sim, now);
         if now.as_u64() < scenario.workload_rounds {
             match load.as_mut() {
-                Some(engine) => engine.drive(sim),
+                Some(engine) => engine.drive(sim, recorder.as_mut()),
                 None => T::drive_workload(sim, now, &mut adversary_rng),
             }
         }
@@ -926,7 +1023,7 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
         sim.step_round();
 
         if let Some(engine) = load.as_mut() {
-            engine.poll(sim);
+            engine.poll(sim, recorder.as_mut());
         }
 
         if rounds_to_convergence.is_none()
@@ -935,7 +1032,29 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
             && T::converged(sim)
         {
             rounds_to_convergence = Some(sim.now().as_u64());
-            break;
+            match scenario.history.as_ref() {
+                // Unarmed: stop at first convergence, exactly as before.
+                None => break,
+                // Armed: keep executing through the probe window, enforcing
+                // *eventually-stays-converged* (not just *eventually-
+                // converges*).
+                Some(cfg) => {
+                    probe_done_at = Some(sim.now().as_u64() + cfg.probe_rounds);
+                    was_converged = true;
+                }
+            }
+        } else if let Some(done_at) = probe_done_at {
+            let now_converged = T::converged(sim);
+            if was_converged && !now_converged {
+                stability_violations += 1;
+                if first_unstable.is_none() {
+                    first_unstable = Some(sim.now().as_u64());
+                }
+            }
+            was_converged = now_converged;
+            if sim.now().as_u64() >= done_at {
+                break;
+            }
         }
     }
 
@@ -943,6 +1062,49 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
     // map before the plans' end-of-run invariants snapshot it.
     if let Some(engine) = load.take() {
         engine.finish(sim.now().as_u64(), &mut counters);
+    }
+
+    // Armed-run verdicts: the stays-converged probe and the linearizability
+    // check flow into the counter map (and the violation list) before the
+    // plans' end-of-run invariants snapshot the counters. `lin_result`
+    // encodes 0 = ok, 1 = violation, 2 = budget exhausted (inconclusive,
+    // not a failure); `converged_round` is 0 when the run never converged.
+    if let Some(cfg) = scenario.history.as_ref() {
+        let history = recorder
+            .take()
+            .expect("armed run always has a recorder")
+            .into_history();
+        counters.insert(
+            "converged_round".to_string(),
+            rounds_to_convergence.unwrap_or(0),
+        );
+        counters.insert("stability_violations".to_string(), stability_violations);
+        if stability_violations > 0 {
+            runner_violations.push(format!(
+                "stability: converged at round {} but lost convergence {} time(s) within the \
+                 {}-round probe window (first at round {})",
+                rounds_to_convergence.unwrap_or(0),
+                stability_violations,
+                cfg.probe_rounds,
+                first_unstable.unwrap_or(0),
+            ));
+        }
+        let (lin_ops_checked, lin_result) = match T::lin_spec() {
+            None => (0, 0),
+            Some(spec) => match linearize::check(&history, spec, cfg.lin_budget) {
+                Verdict::Ok { ops_checked } => (ops_checked, 0),
+                Verdict::Violation {
+                    ops_checked,
+                    witness,
+                } => {
+                    runner_violations.push(format!("linearizability: {witness}"));
+                    (ops_checked, 1)
+                }
+                Verdict::BudgetExceeded { ops_checked, .. } => (ops_checked, 2),
+            },
+        };
+        counters.insert("lin_ops_checked".to_string(), lin_ops_checked);
+        counters.insert("lin_result".to_string(), lin_result);
     }
 
     // End-of-run class invariants: the plans inspect what the runner
