@@ -34,6 +34,27 @@ pub enum JoinMsg {
     },
 }
 
+impl simnet::codec::WireCodec for JoinMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            JoinMsg::Request => out.push(0),
+            JoinMsg::Response { pass } => {
+                out.push(1);
+                simnet::codec::WireCodec::encode(pass, out);
+            }
+        }
+    }
+    fn decode(r: &mut simnet::codec::Reader<'_>) -> Result<Self, simnet::codec::DecodeError> {
+        match r.u8()? {
+            0 => Ok(JoinMsg::Request),
+            1 => Ok(JoinMsg::Response {
+                pass: simnet::codec::WireCodec::decode(r)?,
+            }),
+            tag => Err(simnet::codec::DecodeError::UnknownLane { ty: "JoinMsg", tag }),
+        }
+    }
+}
+
 /// Per-processor state of the joining mechanism.
 #[derive(Debug, Clone)]
 pub struct Joining {

@@ -443,16 +443,45 @@ impl simnet::ScenarioTarget for ReconfigNode {
     fn submit_op(
         sim: &mut simnet::Simulation<Self>,
         via: simnet::ProcessId,
-        _key: u64,
-        _value: u64,
+        key: u64,
+        value: u64,
     ) -> bool {
         sim.is_active(via)
+            && sim
+                .process_mut(via)
+                .map(|node| node.submit_local(key, value))
+                .unwrap_or(false)
     }
 
     fn complete_op(sim: &mut simnet::Simulation<Self>, via: simnet::ProcessId) -> Option<bool> {
-        let node = sim.process(via)?;
-        (node.is_participant() && node.no_reconfiguration() && node.installed_config().is_some())
+        sim.process_mut(via)?.complete_local()
+    }
+
+    /// A live processor accepts every configuration probe (the simulator
+    /// path additionally gates on scheduler liveness via `is_active`).
+    fn submit_local(&mut self, _key: u64, _value: u64) -> bool {
+        true
+    }
+
+    /// The completion signal is a standing condition — see
+    /// [`ScenarioTarget::complete_op`](simnet::ScenarioTarget::complete_op).
+    fn complete_local(&mut self) -> Option<bool> {
+        (self.is_participant() && self.no_reconfiguration() && self.installed_config().is_some())
             .then_some(true)
+    }
+
+    /// The node-local conjunct of [`Self::converged`]: a settled participant
+    /// of a calm, installed configuration.
+    fn settled(&self) -> bool {
+        self.is_participant() && self.no_reconfiguration() && self.installed_config().is_some()
+    }
+
+    /// The agreement token is the installed configuration.
+    fn settle_token(&self) -> String {
+        match self.installed_config() {
+            Some(c) => format!("config={}", ConfigValue::Set(c.clone())),
+            None => String::new(),
+        }
     }
 
     /// Converged: every active processor is a participant, reports the same

@@ -35,6 +35,11 @@ pub struct RecMaMsg {
     pub need_reconf: bool,
 }
 
+simnet::wire_struct_codec!(RecMaMsg {
+    no_maj,
+    need_reconf
+});
+
 /// The Reconfiguration Management layer of one processor.
 #[derive(Debug, Clone)]
 pub struct RecMa {

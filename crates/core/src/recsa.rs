@@ -65,6 +65,15 @@ pub struct RecSaMsg {
     pub echo: EchoTriple,
 }
 
+simnet::wire_struct_codec!(RecSaMsg {
+    fd,
+    part,
+    config,
+    prp,
+    all,
+    echo
+});
+
 /// The state and behaviour of one processor's recSA layer.
 ///
 /// Received values are stored as the shared allocations they arrived in, so

@@ -12,6 +12,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+use simnet::codec::{DecodeError, Reader, WireCodec};
 use simnet::ProcessId;
 
 /// A quorum configuration: a non-empty set of processors. Majorities of this
@@ -327,6 +328,55 @@ pub fn has_majority(config: &ConfigSet, trusted: &BTreeSet<ProcessId>) -> bool {
     let alive = config.iter().filter(|p| trusted.contains(p)).count();
     alive > config.len() / 2
 }
+
+// --- wire codec ---------------------------------------------------------
+//
+// Binary encodings for the live runtime (`simnet::codec`). Enum tags are
+// declaration indices; struct fields encode in declaration order. The shared
+// `Arc` wrappers encode as their contents — decoding does not re-intern,
+// which is safe because `same_set`/`same_config`/`same_ntf` fall back to
+// value equality when pointer identity fails.
+
+impl WireCodec for ConfigValue {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ConfigValue::NonParticipant => out.push(0),
+            ConfigValue::Bottom => out.push(1),
+            ConfigValue::Set(set) => {
+                out.push(2);
+                set.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(ConfigValue::NonParticipant),
+            1 => Ok(ConfigValue::Bottom),
+            2 => Ok(ConfigValue::Set(ConfigSet::decode(r)?)),
+            tag => Err(DecodeError::UnknownLane {
+                ty: "ConfigValue",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireCodec for Phase {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.as_u8());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(Phase::Zero),
+            1 => Ok(Phase::One),
+            2 => Ok(Phase::Two),
+            tag => Err(DecodeError::UnknownLane { ty: "Phase", tag }),
+        }
+    }
+}
+
+simnet::wire_struct_codec!(Notification { phase, set });
+simnet::wire_struct_codec!(EchoTriple { part, prp, all });
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,117 @@
+//! Wire-codec round-trip and malformed-input tests for the reconfiguration
+//! envelope ([`ReconfigMsg`]): encode→decode is the identity on arbitrary
+//! payloads, and truncated/oversized/unknown-lane frames decode to typed
+//! errors — never panics.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use reconfig::types::{ConfigValue, EchoTriple, Notification, Phase};
+use reconfig::{JoinMsg, RecMaMsg, RecSaMsg, ReconfigMsg};
+use simnet::codec::{DecodeError, WireCodec};
+use simnet::{ProcessId, SimRng};
+
+fn arb_pid(rng: &mut SimRng) -> ProcessId {
+    ProcessId::new(rng.range_inclusive(0, 40) as u32)
+}
+
+fn arb_set(rng: &mut SimRng) -> BTreeSet<ProcessId> {
+    let n = rng.range_inclusive(0, 5);
+    (0..n).map(|_| arb_pid(rng)).collect()
+}
+
+fn arb_config(rng: &mut SimRng) -> ConfigValue {
+    match rng.range_inclusive(0, 2) {
+        0 => ConfigValue::NonParticipant,
+        1 => ConfigValue::Bottom,
+        _ => ConfigValue::Set(arb_set(rng)),
+    }
+}
+
+fn arb_phase(rng: &mut SimRng) -> Phase {
+    match rng.range_inclusive(0, 2) {
+        0 => Phase::Zero,
+        1 => Phase::One,
+        _ => Phase::Two,
+    }
+}
+
+fn arb_ntf(rng: &mut SimRng) -> Notification {
+    Notification {
+        phase: arb_phase(rng),
+        set: rng.chance(0.5).then(|| arb_set(rng)),
+    }
+}
+
+fn arb_msg(rng: &mut SimRng) -> ReconfigMsg {
+    match rng.range_inclusive(0, 3) {
+        0 => ReconfigMsg::Heartbeat,
+        1 => ReconfigMsg::RecSa(RecSaMsg {
+            fd: Arc::new(arb_set(rng)),
+            part: Arc::new(arb_set(rng)),
+            config: Arc::new(arb_config(rng)),
+            prp: Arc::new(arb_ntf(rng)),
+            all: rng.chance(0.5),
+            echo: EchoTriple {
+                part: Arc::new(arb_set(rng)),
+                prp: Arc::new(arb_ntf(rng)),
+                all: rng.chance(0.5),
+            },
+        }),
+        2 => ReconfigMsg::RecMa(RecMaMsg {
+            no_maj: rng.chance(0.5),
+            need_reconf: rng.chance(0.5),
+        }),
+        _ => ReconfigMsg::Join(if rng.chance(0.5) {
+            JoinMsg::Request
+        } else {
+            JoinMsg::Response {
+                pass: rng.chance(0.5),
+            }
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn envelope_roundtrips(seed in 0u64..u64::MAX) {
+        let msg = arb_msg(&mut SimRng::seed_from(seed));
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(ReconfigMsg::from_bytes(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn strict_prefixes_never_decode(seed in 0u64..u64::MAX) {
+        let msg = arb_msg(&mut SimRng::seed_from(seed));
+        let bytes = msg.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(ReconfigMsg::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+#[test]
+fn unknown_lane_tag_is_a_typed_error() {
+    assert_eq!(
+        ReconfigMsg::from_bytes(&[250]),
+        Err(DecodeError::UnknownLane {
+            ty: "ReconfigMsg",
+            tag: 250
+        })
+    );
+}
+
+#[test]
+fn oversized_set_claim_is_rejected() {
+    // RecSa lane (tag 1) whose `fd` set claims u32::MAX elements.
+    let mut bytes = vec![1];
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    let err = ReconfigMsg::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(
+        err,
+        DecodeError::TooLarge { .. } | DecodeError::Truncated { .. }
+    ));
+}

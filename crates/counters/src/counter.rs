@@ -26,6 +26,8 @@ pub struct Counter {
     pub wid: ProcessId,
 }
 
+simnet::wire_struct_codec!(Counter { label, seqn, wid });
+
 impl Counter {
     /// The first counter of a label, attributed to `wid`.
     pub fn zero(label: Label, wid: ProcessId) -> Self {

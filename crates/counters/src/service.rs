@@ -59,6 +59,57 @@ pub enum QuorumMsg {
     },
 }
 
+impl simnet::codec::WireCodec for QuorumMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use simnet::codec::WireCodec as W;
+        match self {
+            QuorumMsg::ReadRequest { op } => {
+                out.push(0);
+                W::encode(op, out);
+            }
+            QuorumMsg::ReadReply { op, counter, abort } => {
+                out.push(1);
+                W::encode(op, out);
+                W::encode(counter, out);
+                W::encode(abort, out);
+            }
+            QuorumMsg::WriteRequest { op, counter } => {
+                out.push(2);
+                W::encode(op, out);
+                W::encode(counter, out);
+            }
+            QuorumMsg::WriteAck { op, abort } => {
+                out.push(3);
+                W::encode(op, out);
+                W::encode(abort, out);
+            }
+        }
+    }
+    fn decode(r: &mut simnet::codec::Reader<'_>) -> Result<Self, simnet::codec::DecodeError> {
+        use simnet::codec::WireCodec as W;
+        match r.u8()? {
+            0 => Ok(QuorumMsg::ReadRequest { op: W::decode(r)? }),
+            1 => Ok(QuorumMsg::ReadReply {
+                op: W::decode(r)?,
+                counter: W::decode(r)?,
+                abort: W::decode(r)?,
+            }),
+            2 => Ok(QuorumMsg::WriteRequest {
+                op: W::decode(r)?,
+                counter: W::decode(r)?,
+            }),
+            3 => Ok(QuorumMsg::WriteAck {
+                op: W::decode(r)?,
+                abort: W::decode(r)?,
+            }),
+            tag => Err(simnet::codec::DecodeError::UnknownLane {
+                ty: "QuorumMsg",
+                tag,
+            }),
+        }
+    }
+}
+
 simnet::wire_enum! {
     /// Messages of the counter service: the wire format of the counter
     /// stack. The labeling algorithm of the `labels` crate is a sub-layer of
@@ -687,27 +738,57 @@ impl simnet::ScenarioTarget for CounterNode {
     fn submit_op(
         sim: &mut simnet::Simulation<Self>,
         via: simnet::ProcessId,
-        _key: u64,
-        _value: u64,
+        key: u64,
+        value: u64,
     ) -> bool {
         match sim.process_mut(via) {
-            Some(node) => {
-                node.queue_increment();
-                true
-            }
+            Some(node) => node.submit_local(key, value),
             None => false,
         }
     }
 
     fn complete_op(sim: &mut simnet::Simulation<Self>, via: simnet::ProcessId) -> Option<bool> {
-        let node = sim.process_mut(via)?;
-        if node.completed.is_empty() {
+        sim.process_mut(via)?.complete_local()
+    }
+
+    /// One increment queued at this node (the node-local half of
+    /// `submit_op`, shared with the live runtime).
+    fn submit_local(&mut self, _key: u64, _value: u64) -> bool {
+        self.queue_increment();
+        true
+    }
+
+    fn complete_local(&mut self) -> Option<bool> {
+        if self.completed.is_empty() {
             return None;
         }
         Some(matches!(
-            node.completed.remove(0),
+            self.completed.remove(0),
             IncrementOutcome::Committed(_)
         ))
+    }
+
+    /// The node-local conjunct of [`Self::converged`]: no in-flight or
+    /// queued work, and (for members) a maximal counter to agree on.
+    fn settled(&self) -> bool {
+        self.pending.is_none()
+            && self.queued_increments == 0
+            && (!self.is_member() || self.max_counter.is_some())
+    }
+
+    /// The agreement token is the maximal counter members gossip on;
+    /// non-members abstain, so clients never block agreement.
+    fn settle_token(&self) -> String {
+        if !self.is_member() {
+            return String::new();
+        }
+        match &self.max_counter {
+            Some(c) => format!(
+                "counter={}:{}:{}:{}",
+                c.label.creator, c.label.sting, c.seqn, c.wid
+            ),
+            None => "counter=none".to_string(),
+        }
     }
 
     /// Every load op is an increment of the single shared counter

@@ -36,6 +36,12 @@ pub struct Label {
     pub antistings: BTreeSet<u32>,
 }
 
+simnet::wire_struct_codec!(Label {
+    creator,
+    sting,
+    antistings
+});
+
 impl Label {
     /// Creates the canonical first label of a creator.
     pub fn genesis(creator: ProcessId) -> Self {
@@ -101,6 +107,8 @@ pub struct LabelPair {
     /// The canceling label, `None` while the pair is *legit*.
     pub cl: Option<Label>,
 }
+
+simnet::wire_struct_codec!(LabelPair { ml, cl });
 
 impl LabelPair {
     /// A fresh, legit (non-cancelled) pair.

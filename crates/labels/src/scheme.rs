@@ -28,6 +28,11 @@ pub struct LabelerMsg {
     pub last_sent: Option<LabelPair>,
 }
 
+simnet::wire_struct_codec!(LabelerMsg {
+    sent_max,
+    last_sent
+});
+
 /// The labeling state of one configuration member.
 #[derive(Debug, Clone)]
 pub struct Labeler {

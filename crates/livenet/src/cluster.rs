@@ -1,0 +1,192 @@
+//! The cluster spec file: which node ids live at which host/port pairs.
+//!
+//! `simctl deploy` writes this file after booting a cluster; every node
+//! process and `simctl drive`/`kill`/`down` read it. Hosts are explicit so
+//! a hand-written spec can place nodes on multiple machines later — the
+//! deploy path only ever writes `127.0.0.1`.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use simnet::report::Json;
+use simnet::ProcessId;
+
+/// One node of a live cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Protocol process id.
+    pub id: ProcessId,
+    /// Host the node listens on.
+    pub host: String,
+    /// Data (peer traffic) port.
+    pub data_port: u16,
+    /// Control protocol port.
+    pub control_port: u16,
+    /// OS pid, when spawned by `simctl deploy` (absent in hand-written
+    /// multi-machine specs).
+    pub pid: Option<u32>,
+    /// Whether the node was spawned as a joiner (fresh id, late arrival)
+    /// rather than a member of the initial population.
+    pub joiner: bool,
+}
+
+impl NodeSpec {
+    /// `host:data_port` dial string.
+    pub fn data_addr(&self) -> String {
+        format!("{}:{}", self.host, self.data_port)
+    }
+
+    /// `host:control_port` dial string.
+    pub fn control_addr(&self) -> String {
+        format!("{}:{}", self.host, self.control_port)
+    }
+}
+
+/// A deployed (or deployable) cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// `ScenarioTarget::NAME` of the node kind every process runs.
+    pub node_kind: String,
+    /// Wall milliseconds per timer tick (one simulated round of timer
+    /// progress). The live `SetTimer` adapters multiply this base.
+    pub tick_ms: u64,
+    /// Size of the initial population, passed to `spawn_initial`/
+    /// `spawn_joiner` as `n` (stays fixed as joiners arrive).
+    pub initial_n: usize,
+    /// The nodes, in id order.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl ClusterSpec {
+    /// Looks up a node by id.
+    pub fn node(&self, id: ProcessId) -> Option<&NodeSpec> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Renders the spec as deterministic JSON.
+    pub fn render(&self) -> String {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut obj = Json::obj()
+                    .field("id", u64::from(n.id.as_u32()))
+                    .field("host", n.host.as_str())
+                    .field("data_port", u64::from(n.data_port))
+                    .field("control_port", u64::from(n.control_port))
+                    .field("joiner", n.joiner);
+                if let Some(pid) = n.pid {
+                    obj = obj.field("pid", u64::from(pid));
+                }
+                obj
+            })
+            .collect::<Vec<_>>();
+        Json::obj()
+            .field("node_kind", self.node_kind.as_str())
+            .field("tick_ms", self.tick_ms)
+            .field("initial_n", self.initial_n)
+            .field("nodes", nodes)
+            .render()
+    }
+
+    /// Parses a spec from JSON text.
+    pub fn parse(text: &str) -> Result<ClusterSpec, String> {
+        let json = Json::parse(text)?;
+        let node_kind = json
+            .get("node_kind")
+            .and_then(Json::as_str)
+            .ok_or("cluster spec: missing string field `node_kind`")?
+            .to_string();
+        let tick_ms = json
+            .get("tick_ms")
+            .and_then(Json::as_u64)
+            .ok_or("cluster spec: missing integer field `tick_ms`")?;
+        let initial_n =
+            json.get("initial_n")
+                .and_then(Json::as_u64)
+                .ok_or("cluster spec: missing integer field `initial_n`")? as usize;
+        let raw_nodes = json
+            .get("nodes")
+            .and_then(Json::as_arr)
+            .ok_or("cluster spec: missing array field `nodes`")?;
+        let mut nodes = Vec::with_capacity(raw_nodes.len());
+        for (i, raw) in raw_nodes.iter().enumerate() {
+            let field_u64 = |key: &str| {
+                raw.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("cluster spec: node {i}: missing integer `{key}`"))
+            };
+            nodes.push(NodeSpec {
+                id: ProcessId::new(field_u64("id")? as u32),
+                host: raw
+                    .get("host")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("cluster spec: node {i}: missing string `host`"))?
+                    .to_string(),
+                data_port: field_u64("data_port")? as u16,
+                control_port: field_u64("control_port")? as u16,
+                pid: raw.get("pid").and_then(Json::as_u64).map(|p| p as u32),
+                joiner: raw.get("joiner").and_then(Json::as_bool).unwrap_or(false),
+            });
+        }
+        Ok(ClusterSpec {
+            node_kind,
+            tick_ms,
+            initial_n,
+            nodes,
+        })
+    }
+
+    /// Writes the spec to a file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.render())
+    }
+
+    /// Reads a spec from a file.
+    pub fn load(path: &Path) -> Result<ClusterSpec, String> {
+        let text = fs::read_to_string(path)
+            .map_err(|err| format!("cannot read cluster file {}: {err}", path.display()))?;
+        ClusterSpec::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClusterSpec {
+        ClusterSpec {
+            node_kind: "reconfig".to_string(),
+            tick_ms: 20,
+            initial_n: 4,
+            nodes: (0..4)
+                .map(|i| NodeSpec {
+                    id: ProcessId::new(i),
+                    host: "127.0.0.1".to_string(),
+                    data_port: 40000 + i as u16,
+                    control_port: 41000 + i as u16,
+                    pid: (i != 3).then_some(9000 + i),
+                    joiner: i == 3,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = sample();
+        assert_eq!(ClusterSpec::parse(&spec.render()), Ok(spec));
+    }
+
+    #[test]
+    fn parse_reports_missing_fields() {
+        let err = ClusterSpec::parse("{\"tick_ms\": 20}").unwrap_err();
+        assert!(err.contains("node_kind"), "{err}");
+        let err = ClusterSpec::parse(
+            "{\"node_kind\":\"x\",\"tick_ms\":1,\"initial_n\":2,\"nodes\":[{}]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("node 0"), "{err}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Versioned handshake and length-prefixed data framing.
+//!
+//! Every data connection starts with a [`Hello`]: a magic, the protocol
+//! version, the sender's process id, and the sender's *data listen port* so
+//! the receiver can dial back even when the sender was not in the original
+//! cluster file (a rejoiner with a fresh id).
+//!
+//! After the hello, the stream carries data frames:
+//!
+//! ```text
+//! [u32 len][u32 sender][envelope bytes = lane tag + payload]
+//! ```
+//!
+//! `len` counts the sender word plus the envelope, little-endian like every
+//! integer in the wire codec. The envelope bytes are exactly what the
+//! `wire_enum!`-derived [`simnet::codec::WireCodec`] produces, so the live
+//! wire format and the codec round-trip tests cover the same bytes.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use simnet::codec::{DecodeError, Reader, WireCodec};
+use simnet::ProcessId;
+
+/// Magic bytes opening every hello: "self-stabilizing reconfiguration live".
+pub const MAGIC: [u8; 4] = *b"SSRL";
+
+/// Version of the handshake + framing layout. Bumped on any layout change;
+/// mismatched peers refuse each other instead of misparsing.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on `len` of a data frame. Far above any real envelope
+/// (envelopes are bounded by `MAX_COLLECTION_LEN` element checks), this
+/// exists so a corrupt length prefix cannot trigger a huge allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 22;
+
+/// Errors on the framed transport.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket error (includes EOF mid-frame).
+    Io(io::Error),
+    /// The peer did not open with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a different framing version.
+    VersionMismatch {
+        /// Version the peer announced.
+        got: u16,
+    },
+    /// A frame declared a length above [`MAX_FRAME_LEN`] (or below the
+    /// minimum of 4 bytes for the sender word).
+    BadLength(u32),
+    /// The envelope bytes failed to decode.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(err) => write!(f, "socket error: {err}"),
+            FrameError::BadMagic(got) => write!(f, "bad magic {got:?} (want {MAGIC:?})"),
+            FrameError::VersionMismatch { got } => {
+                write!(f, "protocol version {got} (want {PROTOCOL_VERSION})")
+            }
+            FrameError::BadLength(len) => {
+                write!(f, "frame length {len} outside 4..={MAX_FRAME_LEN}")
+            }
+            FrameError::Decode(err) => write!(f, "envelope decode failed: {err}"),
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(err: io::Error) -> Self {
+        FrameError::Io(err)
+    }
+}
+
+/// The connection-opening handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The dialing process.
+    pub sender: ProcessId,
+    /// Port the dialing process accepts data connections on (its host is
+    /// taken from the socket's peer address).
+    pub data_port: u16,
+}
+
+impl Hello {
+    /// Writes the hello to a stream.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(12);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.sender.as_u32().to_le_bytes());
+        buf.extend_from_slice(&self.data_port.to_le_bytes());
+        w.write_all(&buf)
+    }
+
+    /// Reads and validates a hello from a stream.
+    pub fn read_from(r: &mut impl Read) -> Result<Hello, FrameError> {
+        let mut buf = [0u8; 12];
+        r.read_exact(&mut buf)?;
+        let magic = [buf[0], buf[1], buf[2], buf[3]];
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes([buf[4], buf[5]]);
+        if version != PROTOCOL_VERSION {
+            return Err(FrameError::VersionMismatch { got: version });
+        }
+        Ok(Hello {
+            sender: ProcessId::new(u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]])),
+            data_port: u16::from_le_bytes([buf[10], buf[11]]),
+        })
+    }
+}
+
+/// Writes one data frame carrying an already-encoded envelope.
+pub fn write_frame(w: &mut impl Write, sender: ProcessId, envelope: &[u8]) -> io::Result<()> {
+    let len = (envelope.len() + 4) as u32;
+    debug_assert!(len <= MAX_FRAME_LEN);
+    let mut buf = Vec::with_capacity(8 + envelope.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&sender.as_u32().to_le_bytes());
+    buf.extend_from_slice(envelope);
+    w.write_all(&buf)
+}
+
+/// Reads one data frame and decodes its envelope.
+pub fn read_frame<M: WireCodec>(r: &mut impl Read) -> Result<(ProcessId, M), FrameError> {
+    let mut head = [0u8; 4];
+    r.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head);
+    if !(4..=MAX_FRAME_LEN).contains(&len) {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let mut reader = Reader::new(&body);
+    let sender =
+        ProcessId::new(simnet::codec::WireCodec::decode(&mut reader).map_err(FrameError::Decode)?);
+    let msg = M::decode(&mut reader).map_err(FrameError::Decode)?;
+    match reader.remaining() {
+        0 => Ok((sender, msg)),
+        n => Err(FrameError::Decode(DecodeError::Trailing { remaining: n })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Note(String);
+    simnet::wire_newtype_codec!(Note(String));
+
+    #[test]
+    fn hello_roundtrips() {
+        let hello = Hello {
+            sender: ProcessId::new(7),
+            data_port: 45000,
+        };
+        let mut buf = Vec::new();
+        hello.write_to(&mut buf).unwrap();
+        assert_eq!(Hello::read_from(&mut buf.as_slice()).unwrap(), hello);
+    }
+
+    #[test]
+    fn hello_rejects_bad_magic_and_version() {
+        let mut buf = Vec::new();
+        Hello {
+            sender: ProcessId::new(1),
+            data_port: 1,
+        }
+        .write_to(&mut buf)
+        .unwrap();
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Hello::read_from(&mut bad_magic.as_slice()),
+            Err(FrameError::BadMagic(_))
+        ));
+        let mut bad_version = buf.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            Hello::read_from(&mut bad_version.as_slice()),
+            Err(FrameError::VersionMismatch { got: 99 })
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let msg = Note("over the real wire".to_string());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, ProcessId::new(3), &msg.to_bytes()).unwrap();
+        let (sender, got): (ProcessId, Note) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!((sender, got), (ProcessId::new(3), msg));
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_typed_errors() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame::<Note>(&mut oversized.as_slice()),
+            Err(FrameError::BadLength(_))
+        ));
+
+        let msg = Note("cut short".to_string());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, ProcessId::new(3), &msg.to_bytes()).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                read_frame::<Note>(&mut &buf[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_inside_a_frame_are_rejected() {
+        let msg = Note("x".to_string());
+        let mut envelope = msg.to_bytes();
+        envelope.push(0xAA);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, ProcessId::new(1), &envelope).unwrap();
+        assert!(matches!(
+            read_frame::<Note>(&mut buf.as_slice()),
+            Err(FrameError::Decode(DecodeError::Trailing { remaining: 1 }))
+        ));
+    }
+}

@@ -73,6 +73,71 @@ pub enum RegisterMsg {
     },
 }
 
+impl simnet::codec::WireCodec for RegisterMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use simnet::codec::WireCodec as W;
+        match self {
+            RegisterMsg::Query { op, key } => {
+                out.push(0);
+                W::encode(op, out);
+                W::encode(key, out);
+            }
+            RegisterMsg::QueryResp { op, key, current } => {
+                out.push(1);
+                W::encode(op, out);
+                W::encode(key, out);
+                W::encode(current, out);
+            }
+            RegisterMsg::Update { op, key, value } => {
+                out.push(2);
+                W::encode(op, out);
+                W::encode(key, out);
+                W::encode(value, out);
+            }
+            RegisterMsg::UpdateAck { op } => {
+                out.push(3);
+                W::encode(op, out);
+            }
+            RegisterMsg::OpAbort { op } => {
+                out.push(4);
+                W::encode(op, out);
+            }
+            RegisterMsg::StoreSync { entries } => {
+                out.push(5);
+                W::encode(entries, out);
+            }
+        }
+    }
+    fn decode(r: &mut simnet::codec::Reader<'_>) -> Result<Self, simnet::codec::DecodeError> {
+        use simnet::codec::WireCodec as W;
+        match r.u8()? {
+            0 => Ok(RegisterMsg::Query {
+                op: W::decode(r)?,
+                key: W::decode(r)?,
+            }),
+            1 => Ok(RegisterMsg::QueryResp {
+                op: W::decode(r)?,
+                key: W::decode(r)?,
+                current: W::decode(r)?,
+            }),
+            2 => Ok(RegisterMsg::Update {
+                op: W::decode(r)?,
+                key: W::decode(r)?,
+                value: W::decode(r)?,
+            }),
+            3 => Ok(RegisterMsg::UpdateAck { op: W::decode(r)? }),
+            4 => Ok(RegisterMsg::OpAbort { op: W::decode(r)? }),
+            5 => Ok(RegisterMsg::StoreSync {
+                entries: W::decode(r)?,
+            }),
+            tag => Err(simnet::codec::DecodeError::UnknownLane {
+                ty: "RegisterMsg",
+                tag,
+            }),
+        }
+    }
+}
+
 simnet::wire_enum! {
     /// Messages exchanged by [`SharedMemNode`]s: reconfiguration traffic and
     /// the register protocol share one wire format, multiplexed through the
@@ -659,27 +724,65 @@ impl simnet::ScenarioTarget for SharedMemNode {
         key: u64,
         value: u64,
     ) -> bool {
-        let Some(node) = sim.process_mut(via) else {
-            return false;
-        };
+        match sim.process_mut(via) {
+            Some(node) => node.submit_local(key, value),
+            None => false,
+        }
+    }
+
+    fn complete_op(sim: &mut simnet::Simulation<Self>, via: simnet::ProcessId) -> Option<bool> {
+        sim.process_mut(via)?.complete_local()
+    }
+
+    /// Client keys fold onto the workload register set, two writes per read
+    /// (the node-local half of `submit_op`, shared with the live runtime).
+    fn submit_local(&mut self, key: u64, value: u64) -> bool {
         let register = RegisterId::new(CHAOS_KEYS[(key % CHAOS_KEYS.len() as u64) as usize]);
         if value % 3 == 2 {
-            node.submit_read(register);
+            self.submit_read(register);
         } else {
-            node.submit_write(register, value);
+            self.submit_write(register, value);
         }
         true
     }
 
-    fn complete_op(sim: &mut simnet::Simulation<Self>, via: simnet::ProcessId) -> Option<bool> {
-        let node = sim.process_mut(via)?;
-        if node.completed.is_empty() {
+    fn complete_local(&mut self) -> Option<bool> {
+        if self.completed.is_empty() {
             return None;
         }
         Some(!matches!(
-            node.completed.remove(0).0,
+            self.completed.remove(0).0,
             OpOutcome::Aborted { .. }
         ))
+    }
+
+    /// The node-local conjunct of [`Self::converged`]: a calm, installed
+    /// reconfiguration layer and no operation in flight or queued.
+    fn settled(&self) -> bool {
+        let r = self.reconfig();
+        r.is_participant()
+            && r.no_reconfiguration()
+            && r.installed_config().is_some()
+            && !self.has_pending_ops()
+    }
+
+    /// The agreement token: the installed configuration for everyone, plus
+    /// one component per workload register for configuration members —
+    /// mirroring [`Self::converged`]'s member-only register comparison.
+    fn settle_token(&self) -> String {
+        let r = self.reconfig();
+        let Some(config) = r.installed_config() else {
+            return String::new();
+        };
+        let cfg = reconfig::types::ConfigValue::Set(config.clone());
+        let mut token = format!("config={cfg}");
+        if config.contains(&self.me) {
+            for key in CHAOS_KEYS {
+                let value = self.local_value(RegisterId::new(key));
+                token.push_str(&format!("\nreg:{key}={value:?}"));
+            }
+        }
+        token
     }
 
     /// The recordable shape of `Self::submit_op`'s operation: client keys

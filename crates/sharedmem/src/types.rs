@@ -165,6 +165,10 @@ impl OpOutcome {
     }
 }
 
+simnet::wire_newtype_codec!(RegisterId(u64));
+simnet::wire_struct_codec!(TaggedValue { tag, value });
+simnet::wire_struct_codec!(OpId { origin, seq });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,11 @@
 //!            [--out FILE] [--timings] [--name NAME]
 //! simctl smoke [--n N] [--jobs N] [--out FILE]  # the CI preset (3 scenarios × 4 nodes)
 //! simctl diff <baseline.json> <current.json>   # PR-to-PR report comparison
+//! simctl deploy --node KIND [--n N] [--tick-ms MS] [--cluster F]  # boot a live cluster
+//! simctl drive <scenario> [--cluster F] [--clients N --arrival SPEC]
+//!            [--seed S] [--timeout-secs T] [--out FILE]  # live faults + convergence
+//! simctl kill <id> [--cluster F]               # kill -9 one live node
+//! simctl down [--cluster F]                    # tear the live cluster down
 //! simctl bench-guard --baseline F --current F [--max-regression 0.30]
 //! simctl bench-guard --scenario NAME --node NODE [--n N] [--seeds 1,2]
 //!            [--jobs N] [--out F] [--baseline F] [--max-regression 0.30]
@@ -98,6 +103,8 @@
 
 use std::process::ExitCode;
 
+mod live;
+
 use counters::CounterNode;
 use reconfig::ReconfigNode;
 use sharedmem::SharedMemNode;
@@ -154,7 +161,18 @@ fn usage() -> &'static str {
      [--cell-budget-ms MS] [--out FILE] [--baseline FILE] [--max-regression 0.30]\n  \
      simctl bench-guard --slo p99=ROUNDS[,p50=R,p999=R] --scenario A,B,C --node NODE \
      --clients N --arrival SPEC [--op-timeout R] [--n N] [--seeds 1,2] \
-     [--modes event|roundscan|both] [--jobs N] [--out FILE]\n\n\
+     [--modes event|roundscan|both] [--jobs N] [--out FILE]\n  \
+     simctl deploy --node <reconfig|counter|smr|sharedmem> [--n N] [--tick-ms MS] \
+     [--cluster FILE]\n  \
+     simctl drive <scenario> [--cluster FILE] [--clients N --arrival SPEC] [--seed S] \
+     [--timeout-secs T] [--name NAME] [--out FILE]\n  \
+     simctl kill <id> [--cluster FILE]\n  \
+     simctl down [--cluster FILE]\n\n\
+     deploy boots an N-process localhost cluster of real OS processes (one per \
+     protocol process) and writes the cluster file; drive replays a live-capable \
+     catalog scenario against it — kill -9 for crashes, fresh-id spawns for joins, \
+     control-plane timer retuning — and renders a live RunRecord report \
+     (see `simctl list --json` → live_capable, and docs/LIVE.md)\n\n\
      --clients N: attach an open-loop population of N logical clients\n\
      --arrival poisson:RATE | burst:SIZE:PERIOD: arrivals per round (default poisson:4)\n\
      --op-timeout R: count ops unanswered for R rounds as timeouts (0 disarms)\n\
@@ -181,6 +199,13 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
         Some("smoke") => cmd_smoke(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("bench-guard") => cmd_bench_guard(&args[1..]),
+        Some("deploy") => live::cmd_deploy(&args[1..]),
+        Some("drive") => live::cmd_drive(&args[1..]),
+        Some("kill") => live::cmd_kill(&args[1..]),
+        Some("down") => live::cmd_down(&args[1..]),
+        // The hidden per-process entry point `simctl deploy` re-enters the
+        // binary through.
+        Some("node") => live::cmd_node(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("missing command".to_string()),
     }
@@ -420,6 +445,7 @@ fn catalog_json(n: usize) -> Json {
                         .field("description", s.description())
                         .field("rounds", s.rounds())
                         .field("workload_rounds", s.workload_rounds())
+                        .field("live_capable", s.live_capable())
                         .field(
                             "counters",
                             Json::Arr(
@@ -478,10 +504,66 @@ fn cmd_list(args: &[String]) -> Result<bool, String> {
     Ok(true)
 }
 
+/// The grammar of one `--plan` kind, for error hints.
+fn plan_grammar(kind: &str) -> Option<&'static str> {
+    Some(match kind {
+        "crash" => "crash=ROUND:IDS",
+        "join" => "join=ROUND:COUNT",
+        "split" => "split=ROUND",
+        "heal" => "heal=ROUND",
+        "oneway" => "oneway=ROUND",
+        "healoneway" => "healoneway=ROUND",
+        "corrupt" => "corrupt=ROUND:IDS",
+        "payload" => "payload=ROUND:IDS",
+        "spike" => "spike=ROUND+DURATION:LOSS/DUP/DELAY",
+        "gray" => "gray=ROUND+DURATION:PERIOD:IDS",
+        "skew" => "skew=ROUND:PERIOD:IDS",
+        "recover" => "recover=ROUND+DOWNTIME:IDS",
+        "byzantine" => "byzantine=ROUND:replay|forged-sender|stale-state:CLAIMED:IDS",
+        _ => return None,
+    })
+}
+
+/// Every plan grammar on one line, for unknown-kind errors.
+fn plan_grammars() -> String {
+    [
+        "crash",
+        "join",
+        "split",
+        "heal",
+        "oneway",
+        "healoneway",
+        "corrupt",
+        "payload",
+        "spike",
+        "gray",
+        "skew",
+        "recover",
+        "byzantine",
+    ]
+    .iter()
+    .filter_map(|kind| plan_grammar(kind))
+    .collect::<Vec<_>>()
+    .join("  ")
+}
+
 /// Parses one `--plan kind=spec` flag and composes it onto `scenario`.
 /// Grammar (see `usage()`): rounds are plain integers, process identifiers
-/// are joined with `+`, window syntax is `start+duration`.
+/// are joined with `+`, window syntax is `start+duration`. Every parse
+/// error names the offending token and the grammar of the plan kind at
+/// hand — never a panic, whatever the input.
 fn apply_plan_spec(scenario: Scenario, flag: &str) -> Result<Scenario, String> {
+    apply_plan_spec_inner(scenario, flag).map_err(|err| {
+        let hint = flag
+            .split_once('=')
+            .and_then(|(kind, _)| plan_grammar(kind))
+            .map(|grammar| format!(" (grammar: {grammar})"))
+            .unwrap_or_else(|| format!("\n  plan grammars: {}", plan_grammars()));
+        format!("{err}{hint}")
+    })
+}
+
+fn apply_plan_spec_inner(scenario: Scenario, flag: &str) -> Result<Scenario, String> {
     let (kind, spec) = flag
         .split_once('=')
         .ok_or_else(|| format!("bad --plan `{flag}` (expected kind=spec)"))?;
@@ -566,7 +648,13 @@ fn apply_plan_spec(scenario: Scenario, flag: &str) -> Result<Scenario, String> {
                 ));
             };
             let (round, duration) = parse_window(window)?;
-            Ok(scenario.slow_at(round, duration, parse_u64(period)?, parse_ids(ids)?))
+            let period = parse_u64(period)?;
+            // `slow_at` asserts on a zero period; turn that into a CLI
+            // error instead of a panic.
+            if period == 0 {
+                return Err(format!("bad period `0` in --plan `{flag}` (must be ≥ 1)"));
+            }
+            Ok(scenario.slow_at(round, duration, period, parse_ids(ids)?))
         }
         "skew" => {
             let parts: Vec<&str> = spec.splitn(3, ':').collect();
@@ -575,7 +663,11 @@ fn apply_plan_spec(scenario: Scenario, flag: &str) -> Result<Scenario, String> {
                     "bad skew spec `{spec}` (expected round:period:ids)"
                 ));
             };
-            Ok(scenario.skew_at(parse_round(round)?, parse_u64(period)?, parse_ids(ids)?))
+            let period = parse_u64(period)?;
+            if period == 0 {
+                return Err(format!("bad period `0` in --plan `{flag}` (must be ≥ 1)"));
+            }
+            Ok(scenario.skew_at(parse_round(round)?, period, parse_ids(ids)?))
         }
         "recover" => {
             let (window, ids) = two(spec)?;
@@ -1719,6 +1811,49 @@ mod tests {
         let diverged = with_tier(summary(&[(64, 6.0)], true), vec![tier_cell(false, true)]);
         let findings = bench_guard(&base, &diverged, 0.30).unwrap();
         assert!(findings[0].contains("did not converge"));
+    }
+
+    #[test]
+    fn every_plan_grammar_rejects_malformed_specs_with_token_and_hint() {
+        // One malformed spec per grammar: (spec, the offending token the
+        // error must name). None may panic.
+        let cases = [
+            ("crash=abc:1", "abc"),
+            ("join=40:x", "x"),
+            ("split=late", "late"),
+            ("heal=9.5", "9.5"),
+            ("oneway=half", "half"),
+            ("healoneway=-3", "-3"),
+            ("corrupt=35:p0", "p0"),
+            ("payload=35:0+q", "q"),
+            ("spike=30+20:0.25/zz/2", "zz"),
+            ("gray=30+40:0:1", "0"),
+            ("skew=20:0:1", "0"),
+            ("recover=30:4", "30"),
+            ("byzantine=30:alien:9:0", "alien"),
+        ];
+        for (spec, token) in cases {
+            let err = apply_plan_spec(Scenario::new("bad", 4), spec)
+                .expect_err(&format!("accepted `{spec}`"));
+            assert!(
+                err.contains(&format!("`{token}`")) || err.contains(&format!(" {token} ")),
+                "error for `{spec}` does not name `{token}`: {err}"
+            );
+            let kind = spec.split_once('=').unwrap().0;
+            assert!(
+                err.contains(plan_grammar(kind).unwrap()),
+                "error for `{spec}` lacks the {kind} grammar hint: {err}"
+            );
+        }
+        // An unknown kind lists every grammar.
+        let err = apply_plan_spec(Scenario::new("bad", 4), "meteor=30").unwrap_err();
+        assert!(err.contains("unknown plan kind"), "{err}");
+        assert!(err.contains("plan grammars:"), "{err}");
+        assert!(err.contains("crash=ROUND:IDS"), "{err}");
+        // A spec with no `=` at all gets the full listing too.
+        let err = apply_plan_spec(Scenario::new("bad", 4), "crash").unwrap_err();
+        assert!(err.contains("expected kind=spec"), "{err}");
+        assert!(err.contains("plan grammars:"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Loopback conformance for the live backend: boot real OS processes over
+//! real localhost sockets via `simctl deploy`, replay catalog scenarios
+//! with `simctl drive`, and assert the same per-class runner invariants
+//! the simulator enforces — convergence, no id resurrection after a real
+//! `kill -9`, slow-not-dead under timer degradation, and client ops
+//! completing under open-loop load.
+
+use simnet::report::Json;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const SIMCTL: &str = env!("CARGO_BIN_EXE_simctl");
+
+static NEXT: AtomicU32 = AtomicU32::new(0);
+
+fn unique_path(tag: &str) -> PathBuf {
+    let seq = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("live-loopback-{}-{seq}-{tag}", std::process::id()))
+}
+
+/// A deployed cluster that tears itself down even when an assertion
+/// panics: graceful `simctl down` first, then `kill -9` straight from the
+/// pids recorded in the cluster file, then delete the file.
+struct Cluster {
+    file: PathBuf,
+}
+
+impl Cluster {
+    fn deploy(kind: &str, n: usize) -> Cluster {
+        let file = unique_path("cluster.json");
+        let cluster = Cluster { file };
+        let output = Command::new(SIMCTL)
+            .args(["deploy", "--node", kind, "--n", &n.to_string()])
+            .arg("--cluster")
+            .arg(&cluster.file)
+            .output()
+            .expect("spawning simctl deploy");
+        assert!(
+            output.status.success(),
+            "deploy {kind} n={n} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        cluster
+    }
+
+    fn path(&self) -> &Path {
+        &self.file
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        let _ = Command::new(SIMCTL)
+            .arg("down")
+            .arg("--cluster")
+            .arg(&self.file)
+            .output();
+        if let Ok(text) = std::fs::read_to_string(&self.file) {
+            if let Ok(json) = Json::parse(&text) {
+                for node in json.get("nodes").and_then(Json::as_arr).unwrap_or(&[]) {
+                    if let Some(pid) = node.get("pid").and_then(Json::as_u64) {
+                        let _ = Command::new("kill").args(["-9", &pid.to_string()]).output();
+                    }
+                }
+            }
+        }
+        // Sweep the cluster spec and the per-node stderr logs beside it.
+        let stem = self
+            .file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(String::from);
+        let _ = std::fs::remove_file(&self.file);
+        if let (Some(stem), Some(dir)) = (stem, self.file.parent()) {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    if entry.file_name().to_string_lossy().starts_with(&stem) {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Drive one scenario against a deployed cluster and return the single
+/// RunRecord-shaped entry from the report, asserting the drive passed.
+fn drive(cluster: &Cluster, scenario: &str, clients: u64) -> Json {
+    let out = unique_path(&format!("{scenario}.json"));
+    let output = Command::new(SIMCTL)
+        .args(["drive", scenario])
+        .arg("--cluster")
+        .arg(cluster.path())
+        .args(["--clients", &clients.to_string()])
+        .args([
+            "--arrival",
+            "poisson:2",
+            "--seed",
+            "7",
+            "--timeout-secs",
+            "60",
+        ])
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("spawning simctl drive");
+    assert!(
+        output.status.success(),
+        "drive {scenario} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&out).expect("reading drive report");
+    let _ = std::fs::remove_file(&out);
+    let report = Json::parse(&text).expect("drive report is valid json");
+    assert_eq!(report.get("live").and_then(Json::as_bool), Some(true));
+    let runs = report
+        .get("runs")
+        .and_then(Json::as_arr)
+        .expect("runs array");
+    assert_eq!(runs.len(), 1, "one live run per drive");
+    runs[0].clone()
+}
+
+fn counter(run: &Json, key: &str) -> u64 {
+    run.get("counters")
+        .and_then(|c| c.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+fn assert_clean(run: &Json, scenario: &str) {
+    assert_eq!(
+        run.get("converged").and_then(Json::as_bool),
+        Some(true),
+        "{scenario}: cluster never converged: {run:?}"
+    );
+    let violations = run
+        .get("invariant_violations")
+        .and_then(Json::as_arr)
+        .expect("invariant_violations array");
+    assert!(
+        violations.is_empty(),
+        "{scenario}: live invariant violations: {violations:?}"
+    );
+    assert!(
+        counter(run, "ops_completed_ok") > 0,
+        "{scenario}: no client ops completed under load: {run:?}"
+    );
+    assert_eq!(
+        run.get("decode_errors").and_then(Json::as_u64),
+        Some(0),
+        "{scenario}: wire decode errors on loopback: {run:?}"
+    );
+}
+
+#[test]
+fn quiescent_cluster_converges_over_real_sockets() {
+    let cluster = Cluster::deploy("reconfig", 4);
+    let run = drive(&cluster, "quiescent", 3);
+    assert_clean(&run, "quiescent");
+    // Convergence over sockets still means real traffic flowed.
+    assert!(
+        run.get("messages_delivered")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0
+    );
+
+    // Simulator-only scenarios must be refused up front, not hang the
+    // cluster: partitions cannot be faithfully injected into live TCP.
+    let refused = Command::new(SIMCTL)
+        .args(["drive", "partition-heal"])
+        .arg("--cluster")
+        .arg(cluster.path())
+        .output()
+        .expect("spawning simctl drive");
+    assert!(!refused.status.success());
+    let stderr = String::from_utf8_lossy(&refused.stderr);
+    assert!(
+        stderr.contains("simulator-only"),
+        "refusal should explain the scenario is simulator-only: {stderr}"
+    );
+}
+
+#[test]
+fn crash_minority_survives_a_real_kill_minus_nine() {
+    let cluster = Cluster::deploy("counter", 4);
+    let run = drive(&cluster, "crash-minority", 3);
+    assert_clean(&run, "crash-minority");
+    assert!(
+        counter(&run, "live_crashes") >= 1,
+        "crash adapter never fired: {run:?}"
+    );
+    // The victim was really killed: the cluster file no longer lists it,
+    // and the no-resurrection probe (already asserted clean above) proved
+    // its control port went dark for good.
+    let text = std::fs::read_to_string(cluster.path()).expect("cluster file");
+    let spec = Json::parse(&text).expect("cluster file is valid json");
+    let nodes = spec.get("nodes").and_then(Json::as_arr).expect("nodes");
+    assert!(
+        nodes.len() < 4,
+        "killed node still listed in the cluster file: {text}"
+    );
+}
+
+#[test]
+fn gray_lag_keeps_slowed_nodes_alive() {
+    let cluster = Cluster::deploy("smr", 4);
+    let run = drive(&cluster, "gray-lag", 3);
+    assert_clean(&run, "gray-lag");
+    // SetTimer faults went through the live control plane, and the
+    // slow-not-dead invariant (asserted clean above) watched the slowed
+    // nodes keep stepping.
+    assert!(
+        counter(&run, "live_timer_overrides") >= 1,
+        "timer adapter never fired: {run:?}"
+    );
+}

@@ -83,6 +83,7 @@
 pub mod adversary;
 pub mod campaign;
 pub mod channel;
+pub mod codec;
 pub mod config;
 pub mod exec;
 pub mod fault;
@@ -108,6 +109,7 @@ pub mod trace;
 pub use adversary::ScriptedFaults;
 pub use campaign::{Campaign, CampaignReport, RunRecord};
 pub use channel::{Channel, ChannelPolicy, InFlight};
+pub use codec::{DecodeError, Reader, WireCodec};
 pub use config::{SchedulerMode, SimConfig};
 pub use fault::{
     ChurnPlan, CorruptionPlan, CrashPlan, FaultInjector, GrayFailurePlan, PayloadCorruptionPlan,

@@ -132,6 +132,25 @@ impl Arrival {
     }
 }
 
+impl Arrival {
+    /// Draws this round's arrival count. Deterministic in (`rng` state,
+    /// `round`); shared by the simulator's load engine and the live
+    /// driver (`simctl drive`), so both submit identical open-loop
+    /// streams for a given seed.
+    pub fn draw(&self, rng: &mut SimRng, round: u64) -> u64 {
+        match *self {
+            Arrival::Poisson { rate } => poisson(rng, rate),
+            Arrival::Burst { size, period } => {
+                if round % period == 0 {
+                    size
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
 impl fmt::Display for Arrival {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -227,16 +246,7 @@ impl LoadEngine {
         mut history: Option<&mut HistoryRecorder>,
     ) {
         let now = sim.now().as_u64();
-        let arrivals = match self.profile.arrival {
-            Arrival::Poisson { rate } => poisson(&mut self.rng, rate),
-            Arrival::Burst { size, period } => {
-                if now % period == 0 {
-                    size
-                } else {
-                    0
-                }
-            }
-        };
+        let arrivals = self.profile.arrival.draw(&mut self.rng, now);
         if arrivals == 0 {
             return;
         }

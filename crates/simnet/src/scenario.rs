@@ -427,6 +427,29 @@ impl Scenario {
         actions
     }
 
+    /// Whether every scheduled fault action has a live adapter, i.e.
+    /// whether `simctl drive` can replay this scenario against a real
+    /// cluster. Live-adaptable classes: `Crash` (`kill -9`), `Join` and
+    /// `Rejoin` (fresh-id process spawns), `SetTimer`/`SetTimerFloor`
+    /// (control-plane timer retuning). Partitions, channel policies,
+    /// state/payload corruption and Byzantine injection act on the
+    /// simulator's modelled network or address space and stay
+    /// simulator-only.
+    pub fn live_capable(&self) -> bool {
+        (0..=self.last_fault_round().as_u64()).all(|round| {
+            self.actions_at(Round::new(round)).iter().all(|action| {
+                matches!(
+                    action,
+                    FaultAction::Crash(_)
+                        | FaultAction::Join { .. }
+                        | FaultAction::Rejoin { .. }
+                        | FaultAction::SetTimer { .. }
+                        | FaultAction::SetTimerFloor { .. }
+                )
+            })
+        })
+    }
+
     /// The last round at which this scenario injects any fault (convergence
     /// is only counted after this round). Clock skew is the exception: it
     /// never ends, so convergence is counted *with* the skew in force.
@@ -612,6 +635,48 @@ pub trait ScenarioTarget: Process + Sized + Send {
     fn corrupt_observed(&mut self, rng: &mut SimRng) -> Vec<(u64, u64)> {
         self.corrupt(rng);
         Vec::new()
+    }
+
+    /// Node-local variant of [`ScenarioTarget::submit_op`] for execution
+    /// backends that have no [`Simulation`] — the live runtime submits
+    /// client operations over a process's control socket and lands here.
+    /// Semantics must match `submit_op` called at a live processor.
+    /// The default rejects everything, mirroring `submit_op`'s default.
+    fn submit_local(&mut self, key: u64, value: u64) -> bool {
+        let _ = (key, value);
+        false
+    }
+
+    /// Node-local variant of [`ScenarioTarget::complete_op`]: claims the
+    /// oldest unclaimed completion at this node. Same contract as
+    /// `complete_op`, without the simulation handle.
+    fn complete_local(&mut self) -> Option<bool> {
+        None
+    }
+
+    /// This node's *local* claim that it has converged (the node-local
+    /// conjunct of [`ScenarioTarget::converged`]). The live driver declares
+    /// a cluster converged when every live node is settled **and** all
+    /// [`ScenarioTarget::settle_token`]s agree — the same shape as the
+    /// simulator's global predicate, assembled from per-process answers.
+    /// The default never settles: backends refuse to declare convergence
+    /// for targets that do not implement the hook.
+    fn settled(&self) -> bool {
+        false
+    }
+
+    /// A canonical description of the agreement-relevant part of this
+    /// node's state (installed configuration, view, register contents …):
+    /// newline-separated `key=value` components. The live driver declares
+    /// agreement when, for every `key`, all nodes reporting that key report
+    /// the same value — so a node reports only the components it has a
+    /// stake in (a non-member reports the configuration it follows but no
+    /// view/state component), mirroring the pairwise checks of
+    /// [`ScenarioTarget::converged`]. An empty token abstains from every
+    /// component. Values must be deterministic and platform-independent,
+    /// and must not contain newlines.
+    fn settle_token(&self) -> String {
+        String::new()
     }
 
     /// Returns `true` once the system has (re-)converged: the scenario's
@@ -1391,6 +1456,40 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
         assert!(find("no-such-scenario", 5).is_none());
+    }
+
+    #[test]
+    fn live_capable_matches_the_adapter_inventory() {
+        let live = [
+            "quiescent",
+            "crash-minority",
+            "churn",
+            "gray-lag",
+            "clock-skew",
+            "crash-recovery",
+        ];
+        let simulator_only = [
+            "partition-heal",
+            "packet-storm",
+            "state-blast",
+            "partition-churn",
+            "chaos-mix",
+            "one-way-cut",
+            "wire-corruption",
+            "byzantine-storm",
+        ];
+        for name in live {
+            assert!(
+                find(name, 5).unwrap().live_capable(),
+                "{name} should be live-capable"
+            );
+        }
+        for name in simulator_only {
+            assert!(
+                !find(name, 5).unwrap().live_capable(),
+                "{name} should be simulator-only"
+            );
+        }
     }
 
     #[test]

@@ -27,11 +27,15 @@
 //! use simnet::stack::{Layer, Outbox, Router};
 //! use simnet::{wire_enum, ProcessId};
 //!
-//! // Two toy sub-layer protocols with distinct message types.
+//! // Two toy sub-layer protocols with distinct message types. Payload types
+//! // implement `simnet::codec::WireCodec` (here via `wire_newtype_codec!`)
+//! // so the wire enum's derived codec can carry them on real sockets.
 //! #[derive(Debug, Clone, PartialEq, Eq)]
 //! pub struct Ping(pub u64);
+//! # simnet::wire_newtype_codec!(Ping(u64));
 //! #[derive(Debug, Clone, PartialEq, Eq)]
 //! pub struct Gossip(pub String);
+//! # simnet::wire_newtype_codec!(Gossip(String));
 //!
 //! wire_enum! {
 //!     /// The composite wire format.
@@ -220,6 +224,14 @@ pub trait Layer {
 /// (send them with [`Outbox::push_wire`], observe them via
 /// [`Router::finish`]).
 ///
+/// Also derives [`crate::codec::WireCodec`]: the wire encoding is one byte of
+/// lane tag — the variant's declaration index — followed by the payload's
+/// encoding (nothing for unit variants). Every payload type must therefore
+/// implement `WireCodec`; an undeclared tag byte decodes to
+/// [`crate::codec::DecodeError::UnknownLane`]. Because tags are declaration
+/// indices, appending variants is wire-compatible but reordering or removing
+/// them is a breaking protocol change (see `docs/LIVE.md`).
+///
 /// See the [module documentation](self) for a full example.
 #[macro_export]
 macro_rules! wire_enum {
@@ -243,6 +255,92 @@ macro_rules! wire_enum {
         $(
             $crate::__wire_enum_lane! { $name, $variant $( ( $payload ) )? }
         )*
+
+        impl $crate::codec::WireCodec for $name {
+            fn encode(&self, out: &mut ::std::vec::Vec<u8>) {
+                $crate::__wire_enum_encode_step! {
+                    self, out, $name, 0u8;
+                    $( $variant $( ( $payload ) )? ),*
+                }
+            }
+
+            fn decode(
+                r: &mut $crate::codec::Reader<'_>,
+            ) -> ::std::result::Result<Self, $crate::codec::DecodeError> {
+                let tag = r.u8()?;
+                $crate::__wire_enum_decode_step! {
+                    tag, r, $name, 0u8;
+                    $( $variant $( ( $payload ) )? ),*
+                }
+            }
+        }
+    };
+}
+
+/// Implementation detail of [`wire_enum!`](crate::wire_enum): emits the
+/// encode body as a chain of `if let` arms, threading the variant's
+/// declaration index through as a constant-folded unary sum (macro_rules has
+/// no `${index()}` on this toolchain).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __wire_enum_encode_step {
+    ($self:expr, $out:ident, $name:ident, $idx:expr ; ) => {
+        // Every variant was peeled off in an earlier arm; nothing reaches
+        // here, but the chain needs a tail expression.
+        {}
+    };
+    ($self:expr, $out:ident, $name:ident, $idx:expr ; $variant:ident ( $payload:ty ) $(, $($rest:tt)*)?) => {
+        if let $name::$variant(payload) = $self {
+            $out.push($idx);
+            $crate::codec::WireCodec::encode(payload, $out);
+        } else {
+            $crate::__wire_enum_encode_step! {
+                $self, $out, $name, $idx + 1u8; $($($rest)*)?
+            }
+        }
+    };
+    ($self:expr, $out:ident, $name:ident, $idx:expr ; $variant:ident $(, $($rest:tt)*)?) => {
+        if let $name::$variant = $self {
+            $out.push($idx);
+        } else {
+            $crate::__wire_enum_encode_step! {
+                $self, $out, $name, $idx + 1u8; $($($rest)*)?
+            }
+        }
+    };
+}
+
+/// Implementation detail of [`wire_enum!`](crate::wire_enum): emits the
+/// decode body as a chain of tag comparisons mirroring
+/// [`__wire_enum_encode_step!`](crate::__wire_enum_encode_step).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __wire_enum_decode_step {
+    ($tag:ident, $r:ident, $name:ident, $idx:expr ; ) => {
+        ::std::result::Result::Err($crate::codec::DecodeError::UnknownLane {
+            ty: ::std::stringify!($name),
+            tag: $tag,
+        })
+    };
+    ($tag:ident, $r:ident, $name:ident, $idx:expr ; $variant:ident ( $payload:ty ) $(, $($rest:tt)*)?) => {
+        if $tag == ($idx) {
+            ::std::result::Result::Ok($name::$variant(
+                <$payload as $crate::codec::WireCodec>::decode($r)?,
+            ))
+        } else {
+            $crate::__wire_enum_decode_step! {
+                $tag, $r, $name, $idx + 1u8; $($($rest)*)?
+            }
+        }
+    };
+    ($tag:ident, $r:ident, $name:ident, $idx:expr ; $variant:ident $(, $($rest:tt)*)?) => {
+        if $tag == ($idx) {
+            ::std::result::Result::Ok($name::$variant)
+        } else {
+            $crate::__wire_enum_decode_step! {
+                $tag, $r, $name, $idx + 1u8; $($($rest)*)?
+            }
+        }
     };
 }
 
@@ -304,8 +402,10 @@ mod tests {
 
     #[derive(Debug, Clone, PartialEq, Eq)]
     struct Lower(u32);
+    crate::wire_newtype_codec!(Lower(u32));
     #[derive(Debug, Clone, PartialEq, Eq)]
     struct Upper(String);
+    crate::wire_newtype_codec!(Upper(String));
 
     wire_enum! {
         #[derive(Debug, Clone, PartialEq, Eq)]
@@ -381,6 +481,34 @@ mod tests {
                 (pid(2), Wire::Upper(Upper("ack".into()))),
             ]
         );
+    }
+
+    #[test]
+    fn derived_codec_tags_follow_declaration_order() {
+        use crate::codec::{DecodeError, WireCodec};
+        // Unit variant: tag only.
+        assert_eq!(Wire::Beat.to_bytes(), vec![0]);
+        // Payload variants: tag byte, then the payload encoding.
+        assert_eq!(Wire::Lower(Lower(7)).to_bytes(), vec![1, 7, 0, 0, 0]);
+        let upper = Wire::Upper(Upper("hi".into())).to_bytes();
+        assert_eq!(upper[0], 2);
+        for wire in [
+            Wire::Beat,
+            Wire::Lower(Lower(u32::MAX)),
+            Wire::Upper(Upper("é".into())),
+        ] {
+            assert_eq!(Wire::from_bytes(&wire.to_bytes()), Ok(wire));
+        }
+        // A tag past the last declared variant is a typed error, not a panic.
+        assert_eq!(
+            Wire::from_bytes(&[3]),
+            Err(DecodeError::UnknownLane { ty: "Wire", tag: 3 })
+        );
+        // Empty input is truncated, not a panic.
+        assert!(matches!(
+            Wire::from_bytes(&[]),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]

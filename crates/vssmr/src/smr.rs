@@ -131,6 +131,65 @@ pub struct StateMsg {
     pub suspend: bool,
 }
 
+// --- wire codec ---------------------------------------------------------
+
+simnet::wire_struct_codec!(Command { client, seq, op });
+simnet::wire_struct_codec!(ReplicaState { registers, applied });
+simnet::wire_struct_codec!(View { id, members });
+simnet::wire_struct_codec!(StateMsg {
+    view,
+    prop_view,
+    status,
+    rnd,
+    state,
+    input,
+    no_crd,
+    suspend,
+});
+
+impl simnet::codec::WireCodec for Op {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use simnet::codec::WireCodec as W;
+        match self {
+            Op::Write { key, value } => {
+                out.push(0);
+                W::encode(key, out);
+                W::encode(value, out);
+            }
+            Op::Noop => out.push(1),
+        }
+    }
+    fn decode(r: &mut simnet::codec::Reader<'_>) -> Result<Self, simnet::codec::DecodeError> {
+        use simnet::codec::WireCodec as W;
+        match r.u8()? {
+            0 => Ok(Op::Write {
+                key: W::decode(r)?,
+                value: W::decode(r)?,
+            }),
+            1 => Ok(Op::Noop),
+            tag => Err(simnet::codec::DecodeError::UnknownLane { ty: "Op", tag }),
+        }
+    }
+}
+
+impl simnet::codec::WireCodec for Status {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Status::Multicast => 0,
+            Status::Propose => 1,
+            Status::Install => 2,
+        });
+    }
+    fn decode(r: &mut simnet::codec::Reader<'_>) -> Result<Self, simnet::codec::DecodeError> {
+        match r.u8()? {
+            0 => Ok(Status::Multicast),
+            1 => Ok(Status::Propose),
+            2 => Ok(Status::Install),
+            tag => Err(simnet::codec::DecodeError::UnknownLane { ty: "Status", tag }),
+        }
+    }
+}
+
 simnet::wire_enum! {
     /// Messages exchanged by [`SmrNode`]s: the reconfiguration stack, the
     /// counter service and the replication layer share one wire format,
@@ -996,30 +1055,86 @@ impl simnet::ScenarioTarget for SmrNode {
     /// follower's delivered-input match (Algorithm 4.7) unambiguous. The
     /// op completes when the command is delivered to the replicated state.
     fn submit_op(sim: &mut simnet::Simulation<Self>, via: ProcessId, key: u64, value: u64) -> bool {
-        let Some(node) = sim.process_mut(via) else {
-            return false;
-        };
-        let member = node
+        match sim.process_mut(via) {
+            Some(node) => node.submit_local(key, value),
+            None => false,
+        }
+    }
+
+    fn complete_op(sim: &mut simnet::Simulation<Self>, via: ProcessId) -> Option<bool> {
+        sim.process_mut(via)?.complete_local()
+    }
+
+    /// An SMR write submitted at a current view member (the node-local half
+    /// of `submit_op`, shared with the live runtime).
+    fn submit_local(&mut self, key: u64, value: u64) -> bool {
+        let member = self
             .view
             .as_ref()
-            .map(|v| v.members.contains(&via))
+            .map(|v| v.members.contains(&self.me))
             .unwrap_or(false);
         if !member {
             return false;
         }
         // Load registers start above the chaos set so state corruption of
         // CHAOS_KEYS never forges a pending op's completion witness.
-        node.submit_write(4 + (key % 61) as u32, value);
+        self.submit_write(4 + (key % 61) as u32, value);
         true
     }
 
-    fn complete_op(sim: &mut simnet::Simulation<Self>, via: ProcessId) -> Option<bool> {
-        let node = sim.process_mut(via)?;
-        if node.unclaimed_completions == 0 {
+    fn complete_local(&mut self) -> Option<bool> {
+        if self.unclaimed_completions == 0 {
             return None;
         }
-        node.unclaimed_completions -= 1;
+        self.unclaimed_completions -= 1;
         Some(true)
+    }
+
+    /// The node-local conjunct of [`Self::converged`]: the reconfiguration
+    /// layer is calm and installed, and — for configuration members — a
+    /// view is installed with no undelivered inputs.
+    fn settled(&self) -> bool {
+        let r = self.reconfig();
+        if !r.is_participant() || !r.no_reconfiguration() {
+            return false;
+        }
+        let Some(config) = r.installed_config() else {
+            return false;
+        };
+        if !config.contains(&self.me) {
+            return true;
+        }
+        self.view.is_some() && self.current_input.is_none() && self.pending.is_empty()
+    }
+
+    /// The agreement token: the installed configuration plus — for members
+    /// — the view identifier/membership and the replica state. Non-members
+    /// report only the configuration component, mirroring
+    /// [`Self::converged`]'s two loops.
+    fn settle_token(&self) -> String {
+        let r = self.reconfig();
+        let Some(config) = r.installed_config() else {
+            return String::new();
+        };
+        let cfg = reconfig::types::ConfigValue::Set(config.clone());
+        if !config.contains(&self.me) {
+            return format!("config={cfg}");
+        }
+        let view = match &self.view {
+            Some(v) => format!(
+                "{}:{}:{}:{}@{:?}",
+                v.id.label.creator,
+                v.id.label.sting,
+                v.id.seqn,
+                v.id.wid,
+                v.members.iter().map(|p| p.as_u32()).collect::<Vec<_>>()
+            ),
+            None => "none".to_string(),
+        };
+        format!(
+            "config={cfg}\nview={view}\nstate=applied:{} registers:{:?}",
+            self.state.applied, self.state.registers
+        )
     }
 
     /// Converged: the reconfiguration layer is calm and agreed, every active

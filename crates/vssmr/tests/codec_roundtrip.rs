@@ -1,0 +1,162 @@
+//! Wire-codec round-trip and malformed-input tests for the SMR envelope
+//! ([`SmrMsg`]), which nests the reconfiguration and counter envelopes.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use counters::{Counter, CounterMsg};
+use labels::Label;
+use proptest::prelude::*;
+use reconfig::{RecMaMsg, ReconfigMsg};
+use simnet::codec::{DecodeError, WireCodec};
+use simnet::{ProcessId, SimRng};
+use vssmr::{Command, Op, ReplicaState, SmrMsg, StateMsg, Status, View};
+
+fn arb_pid(rng: &mut SimRng) -> ProcessId {
+    ProcessId::new(rng.range_inclusive(0, 40) as u32)
+}
+
+fn arb_counter(rng: &mut SimRng) -> Counter {
+    Counter {
+        label: Label {
+            creator: arb_pid(rng),
+            sting: rng.range_inclusive(0, 1 << 16) as u32,
+            antistings: (0..rng.range_inclusive(0, 3))
+                .map(|_| rng.range_inclusive(0, 1 << 16) as u32)
+                .collect(),
+        },
+        seqn: rng.range_inclusive(0, 1 << 40),
+        wid: arb_pid(rng),
+    }
+}
+
+fn arb_view(rng: &mut SimRng) -> View {
+    View {
+        id: arb_counter(rng),
+        members: (0..rng.range_inclusive(1, 5))
+            .map(|_| arb_pid(rng))
+            .collect::<BTreeSet<_>>(),
+    }
+}
+
+fn arb_command(rng: &mut SimRng) -> Command {
+    Command {
+        client: arb_pid(rng),
+        seq: rng.range_inclusive(0, 1 << 30),
+        op: if rng.chance(0.8) {
+            Op::Write {
+                key: rng.range_inclusive(0, 64) as u32,
+                value: rng.range_inclusive(0, u64::MAX / 2),
+            }
+        } else {
+            Op::Noop
+        },
+    }
+}
+
+fn arb_state_msg(rng: &mut SimRng) -> StateMsg {
+    StateMsg {
+        view: rng.chance(0.7).then(|| arb_view(rng)),
+        prop_view: rng.chance(0.3).then(|| arb_view(rng)),
+        status: match rng.range_inclusive(0, 2) {
+            0 => Status::Multicast,
+            1 => Status::Propose,
+            _ => Status::Install,
+        },
+        rnd: rng.range_inclusive(0, 1 << 30),
+        state: ReplicaState {
+            registers: (0..rng.range_inclusive(0, 6))
+                .map(|_| {
+                    (
+                        rng.range_inclusive(0, 64) as u32,
+                        rng.range_inclusive(0, u64::MAX / 2),
+                    )
+                })
+                .collect::<BTreeMap<_, _>>(),
+            applied: rng.range_inclusive(0, 1 << 30),
+        },
+        input: rng.chance(0.5).then(|| arb_command(rng)),
+        no_crd: rng.chance(0.5),
+        suspend: rng.chance(0.5),
+    }
+}
+
+fn arb_msg(rng: &mut SimRng) -> SmrMsg {
+    match rng.range_inclusive(0, 2) {
+        0 => SmrMsg::Reconfig(if rng.chance(0.5) {
+            ReconfigMsg::Heartbeat
+        } else {
+            ReconfigMsg::RecMa(RecMaMsg {
+                no_maj: rng.chance(0.5),
+                need_reconf: rng.chance(0.5),
+            })
+        }),
+        1 => SmrMsg::Counter(CounterMsg::Sync(arb_counter(rng))),
+        _ => SmrMsg::State(arb_state_msg(rng)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn envelope_roundtrips(seed in 0u64..u64::MAX) {
+        let msg = arb_msg(&mut SimRng::seed_from(seed));
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(SmrMsg::from_bytes(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn strict_prefixes_never_decode(seed in 0u64..u64::MAX) {
+        let msg = arb_msg(&mut SimRng::seed_from(seed));
+        let bytes = msg.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(SmrMsg::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+#[test]
+fn nested_envelopes_roundtrip_through_the_outer_codec() {
+    // A full RecSa payload rides the Reconfig lane of SmrMsg unchanged.
+    let mut rng = SimRng::seed_from(11);
+    let inner = reconfig::RecSaMsg {
+        fd: Arc::new([arb_pid(&mut rng)].into_iter().collect()),
+        part: Arc::new(BTreeSet::new()),
+        config: Arc::new(reconfig::types::ConfigValue::Bottom),
+        prp: Arc::new(reconfig::types::Notification::default()),
+        all: true,
+        echo: reconfig::types::EchoTriple {
+            part: Arc::new(BTreeSet::new()),
+            prp: Arc::new(reconfig::types::Notification::default()),
+            all: false,
+        },
+    };
+    let msg = SmrMsg::Reconfig(ReconfigMsg::RecSa(inner));
+    assert_eq!(SmrMsg::from_bytes(&msg.to_bytes()), Ok(msg));
+}
+
+#[test]
+fn unknown_lane_tag_is_a_typed_error() {
+    assert_eq!(
+        SmrMsg::from_bytes(&[8]),
+        Err(DecodeError::UnknownLane {
+            ty: "SmrMsg",
+            tag: 8
+        })
+    );
+}
+
+#[test]
+fn oversized_register_map_claim_is_rejected() {
+    // State lane with view=None, prop_view=None, status, rnd, then a
+    // register map claiming u32::MAX entries.
+    let mut bytes = vec![2, 0, 0, 0];
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    let err = SmrMsg::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(
+        err,
+        DecodeError::TooLarge { .. } | DecodeError::Truncated { .. }
+    ));
+}
