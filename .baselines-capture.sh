@@ -1,0 +1,15 @@
+#!/bin/bash
+set -e
+cd /root/repo
+mkdir -p .baselines
+cargo build --release -p simctl 2>/dev/null
+cargo test --release -p bench --test matrix_baseline -- --ignored --nocapture 2>&1 | grep -v '^test ' || true
+for mode in event roundscan; do
+  for jobs in 1 4; do
+    for n in 4 5 6 7 8; do
+      ./target/release/simctl run all --node all --n $n --seeds 1,2,3,4,5 \
+        --modes $mode --jobs $jobs --out .baselines/simctl-$mode-j$jobs-n$n.json >/dev/null
+    done
+  done
+done
+echo BASELINES-DONE

@@ -228,6 +228,16 @@ fn run_parallel_campaign() -> ParallelCampaign {
 /// tier-1024 budgets and the allocation count instead of this ratio.
 const SERIAL_MATRIX_MS_BEFORE: f64 = 14398.0;
 
+/// The steady-state allocation ledger (quiescent n = 64 reconfiguration
+/// round, mean allocations per round): the pre-overhaul figure, the
+/// post-overhaul figure the hot-path PR recorded, and the shared-payload
+/// arena's figure. These are measured by the counting-allocator test
+/// (`crates/bench/tests/alloc_budget.rs`), which pins the "now" row; the
+/// history rows are frozen here for the ledger.
+const ALLOCS_PER_ROUND_PRE_OVERHAUL: f64 = 3008.0; // ~47 per process step
+const ALLOCS_PER_ROUND_PRE_ARENA: f64 = 429.0; // ~6.7 per process step
+const ALLOCS_PER_ROUND_NOW: f64 = 0.0;
+
 /// One n = 1024 campaign-tier cell: the scenario, its armed wall budget,
 /// and how the run went.
 struct Tier1024Cell {
@@ -249,9 +259,19 @@ struct Tier1024Cell {
 /// measured walls, so the guard flags order-of-magnitude regressions, not
 /// scheduler noise.
 fn run_tier_1024() -> Vec<Tier1024Cell> {
-    // (scenario, budget_ms): quiescent measured ~341 s, gray-lag ~858 s on
-    // the reference machine (gray-lag runs 100 rounds and ~261M messages).
-    const CELLS: [(&str, f64); 2] = [("quiescent", 900_000.0), ("gray-lag", 2_100_000.0)];
+    // (scenario, budget_ms): quiescent measured ~341 s and gray-lag ~858 s
+    // on the reference machine (gray-lag runs 100 rounds and ~261M
+    // messages); the shared-payload arena made room in bench time for two
+    // more fault classes at this scale — a mass crash (crash-minority, 60
+    // workload rounds with the survivors carrying the load) and an
+    // asymmetric partition (one-way-cut, 110 workload rounds), each under
+    // the same two budget tiers the original cells use.
+    const CELLS: [(&str, f64); 4] = [
+        ("quiescent", 900_000.0),
+        ("crash-minority", 900_000.0),
+        ("gray-lag", 2_100_000.0),
+        ("one-way-cut", 2_100_000.0),
+    ];
     CELLS
         .iter()
         .map(|&(name, budget_ms)| {
@@ -334,6 +354,11 @@ fn write_summary(
             "  \"hot_path\": {{\"serial_matrix_cells\": {}, ",
             "\"serial_matrix_ms_before\": {:.1}, \"serial_matrix_ms_after\": {:.3}, ",
             "\"speedup\": {:.2}}},\n",
+            "  \"alloc_ledger\": {{\"workload\": \"quiescent reconfig round, n=64\", ",
+            "\"allocs_per_round_pre_overhaul\": {:.1}, ",
+            "\"allocs_per_round_pre_arena\": {:.1}, ",
+            "\"allocs_per_round_now\": {:.1}, ",
+            "\"pinned_by\": \"crates/bench/tests/alloc_budget.rs\"}},\n",
             "  \"tier_1024\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -355,6 +380,9 @@ fn write_summary(
         SERIAL_MATRIX_MS_BEFORE,
         serial_after_ms,
         SERIAL_MATRIX_MS_BEFORE / serial_after_ms.max(1e-9),
+        ALLOCS_PER_ROUND_PRE_OVERHAUL,
+        ALLOCS_PER_ROUND_PRE_ARENA,
+        ALLOCS_PER_ROUND_NOW,
         tier_rows.join(",\n"),
     );
     let path = format!("{}/../../BENCH_scheduler.json", env!("CARGO_MANIFEST_DIR"));

@@ -48,6 +48,38 @@ pub fn steady_reconfig_sim(n: u32, seed: u64) -> Simulation<ReconfigNode> {
     sim
 }
 
+/// Builds a simulation of `n` counter-service members already sharing the
+/// configuration `{0..n}`, settled into the steady gossip state (every
+/// member broadcasting its maximal counter each round).
+pub fn steady_counter_sim(n: u32, seed: u64) -> Simulation<CounterNode> {
+    let cfg = config_set(0..n);
+    let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        sim.add_process_with_id(id, CounterNode::new(id, cfg.clone()));
+    }
+    sim.run_rounds(40);
+    sim
+}
+
+/// Builds a simulation of `n` shared-memory register members already sharing
+/// the configuration `{0..n}`, settled past the post-install store sync (the
+/// steady state is the reconfiguration stack's gossip with no client ops in
+/// flight).
+pub fn steady_sharedmem_sim(n: u32, seed: u64) -> Simulation<SharedMemNode> {
+    let cfg = config_set(0..n);
+    let mut sim = Simulation::new(SimConfig::default().with_seed(seed).with_max_delay(0));
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        sim.add_process_with_id(
+            id,
+            SharedMemNode::new_member(id, cfg.clone(), NodeConfig::for_n(2 * n as usize)),
+        );
+    }
+    sim.run_rounds(40);
+    sim
+}
+
 /// Builds a VS-SMR cluster over the configuration `{0..n}` and runs it until
 /// the first view is installed.
 pub fn smr_cluster(n: u32, seed: u64) -> Simulation<SmrNode> {

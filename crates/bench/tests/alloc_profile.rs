@@ -1,0 +1,98 @@
+//! TEMPORARY: allocation-site profiler for the steady-state round.
+//! Captures a backtrace for every allocation while armed and prints a
+//! histogram of allocation sites. Delete before committing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use bench::steady_reconfig_sim;
+
+struct ProfAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static TRACES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static IN_HOOK: Cell<bool> = const { Cell::new(false) };
+}
+
+fn record() {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    IN_HOOK.with(|flag| {
+        if flag.get() {
+            return;
+        }
+        flag.set(true);
+        let bt = std::backtrace::Backtrace::force_capture();
+        let text = format!("{bt}");
+        // Extract the first few interesting frames (skip the hook itself).
+        let mut frames: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.splitn(2, ": ").nth(1) {
+                if rest.contains("alloc_profile")
+                    || rest.contains("std::")
+                    || rest.contains("core::")
+                    || rest.contains("alloc::")
+                    || rest.starts_with("__")
+                {
+                    continue;
+                }
+                frames.push(rest);
+                if frames.len() >= 5 {
+                    break;
+                }
+            }
+        }
+        let key = frames.join(" <- ");
+        TRACES.lock().unwrap().push(key);
+        flag.set(false);
+    });
+}
+
+unsafe impl GlobalAlloc for ProfAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record();
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record();
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record();
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: ProfAlloc = ProfAlloc;
+
+#[test]
+fn profile_steady_round_allocs() {
+    let mut sim = steady_reconfig_sim(64, 42);
+    sim.run_rounds(20);
+
+    ARMED.store(true, Ordering::Relaxed);
+    sim.run_rounds(4);
+    ARMED.store(false, Ordering::Relaxed);
+
+    let traces = TRACES.lock().unwrap();
+    let mut hist: std::collections::BTreeMap<&str, usize> = Default::default();
+    for t in traces.iter() {
+        *hist.entry(t.as_str()).or_default() += 1;
+    }
+    let mut by_count: Vec<(usize, &str)> = hist.into_iter().map(|(k, v)| (v, k)).collect();
+    by_count.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    println!("==== {} allocations over 4 rounds ====", traces.len());
+    for (count, site) in by_count.iter().take(40) {
+        println!("{count:6}  {site}");
+    }
+}

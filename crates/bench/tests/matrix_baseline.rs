@@ -1,0 +1,38 @@
+//! TEMPORARY: pre-change baseline capture for the arena PR. Times the
+//! serial 1,400-cell catalog matrix (best of three, same estimator as the
+//! sched bench's hot_path ledger) and saves the rendered report for
+//! byte-identity comparison. Delete before committing.
+
+use std::time::Instant;
+
+use bench::catalog_matrix_report;
+
+const MATRIX_NS: [usize; 5] = [4, 5, 6, 7, 8];
+const MATRIX_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+
+#[test]
+#[ignore]
+fn capture_matrix_baseline() {
+    let mut best = f64::MAX;
+    let mut report = None;
+    for i in 0..3 {
+        let started = Instant::now();
+        let r = catalog_matrix_report(&MATRIX_NS, &MATRIX_SEEDS, 1);
+        let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        eprintln!("serial matrix run {i}: {elapsed:.1} ms");
+        best = best.min(elapsed);
+        report.get_or_insert(r);
+    }
+    let report = report.unwrap();
+    std::fs::create_dir_all("../../.baselines").unwrap();
+    std::fs::write("../../.baselines/matrix-serial.json", report.render()).unwrap();
+    std::fs::write(
+        "../../.baselines/matrix-serial-ms.txt",
+        format!("{best:.3}\n"),
+    )
+    .unwrap();
+    let par = catalog_matrix_report(&MATRIX_NS, &MATRIX_SEEDS, 4);
+    std::fs::write("../../.baselines/matrix-jobs4.json", par.render()).unwrap();
+    assert_eq!(report.render(), par.render());
+    eprintln!("baseline captured: best serial {best:.1} ms");
+}

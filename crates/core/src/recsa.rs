@@ -331,31 +331,43 @@ impl RecSa {
     pub fn chs_config_shared(&self) -> SharedConfig {
         // Distinct values are few in practice; a linear scan with the
         // pointer-equality fast path beats an ordered map keyed by whole
-        // configurations.
-        let mut counts: Vec<(SharedConfig, usize)> = Vec::new();
-        let scope = self.fd_of(self.me);
-        let me_extra = (!scope.contains(&self.me)).then_some(self.me);
-        for k in scope.iter().copied().chain(me_extra) {
-            let v = self.config_of(k);
-            if v.marks_participant() {
-                match counts.iter_mut().find(|(c, _)| same_config(c, &v)) {
-                    Some((_, n)) => *n += 1,
-                    None => counts.push((v, 1)),
+        // configurations. The scan buffer is a thread-local scratch (like
+        // the intern tables in `types`): `chsConfig()` runs on every
+        // processor's every step, and a fresh `Vec` here was the last
+        // steady-state allocation on the simulator's hot path.
+        thread_local! {
+            static COUNTS: RefCell<Vec<(SharedConfig, usize)>> =
+                const { RefCell::new(Vec::new()) };
+        }
+        COUNTS.with(|cell| {
+            let mut counts = cell.borrow_mut();
+            debug_assert!(counts.is_empty(), "chs_config_shared is not re-entrant");
+            let scope = self.fd_of(self.me);
+            let me_extra = (!scope.contains(&self.me)).then_some(self.me);
+            for k in scope.iter().copied().chain(me_extra) {
+                let v = self.config_of(k);
+                if v.marks_participant() {
+                    match counts.iter_mut().find(|(c, _)| same_config(c, &v)) {
+                        Some((_, n)) => *n += 1,
+                        None => counts.push((v, 1)),
+                    }
                 }
             }
-        }
-        // Prefer concrete sets over ⊥; among sets pick the most frequent,
-        // ties broken by value order (smaller set wins). The comparator
-        // works on borrowed values — no clone per comparison.
-        let best_set = counts
-            .iter()
-            .filter(|(v, _)| v.as_set().is_some())
-            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| (**vb).cmp(&**va)))
-            .map(|(v, _)| v.clone());
-        match best_set {
-            Some(v) => v,
-            None => shared_config(ConfigValue::Bottom),
-        }
+            // Prefer concrete sets over ⊥; among sets pick the most frequent,
+            // ties broken by value order (smaller set wins). The comparator
+            // works on borrowed values — no clone per comparison.
+            let best_set = counts
+                .iter()
+                .filter(|(v, _)| v.as_set().is_some())
+                .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| (**vb).cmp(&**va)))
+                .map(|(v, _)| v.clone());
+            // Drop the borrowed handles but keep the capacity for the next call.
+            counts.clear();
+            match best_set {
+                Some(v) => v,
+                None => shared_config(ConfigValue::Bottom),
+            }
+        })
     }
 
     /// `getConfig()`: the current quorum configuration as seen by this

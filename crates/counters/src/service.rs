@@ -178,6 +178,9 @@ pub struct CounterNode {
     /// one at a time from the periodic step.
     queued_increments: u64,
     completed: Vec<IncrementOutcome>,
+    /// Reusable audience buffer for the periodic gossip broadcast; cleared
+    /// and refilled every step so the steady state allocates nothing here.
+    gossip_scratch: Vec<ProcessId>,
 }
 
 /// Default number of periodic steps a pending quorum operation may wait for
@@ -205,6 +208,7 @@ impl CounterNode {
             op_timeout: DEFAULT_OP_TIMEOUT,
             queued_increments: 0,
             completed: Vec::new(),
+            gossip_scratch: Vec::new(),
         }
     }
 
@@ -588,9 +592,16 @@ impl Layer for CounterNode {
             out.extend(self.labeler.step());
             self.refresh_max_label();
             if let Some(c) = self.max_counter.clone() {
-                for m in self.config.iter().copied().filter(|m| *m != self.me) {
-                    out.push(m, c.clone());
-                }
+                // Gossip is a true broadcast (the same counter to every other
+                // member), so fan one shared payload out instead of deep-
+                // cloning a `Counter` (and its label's antisting set) per
+                // peer. The scratch buffer keeps the steady state free of
+                // audience allocations.
+                let mut audience = std::mem::take(&mut self.gossip_scratch);
+                audience.clear();
+                audience.extend(self.config.iter().copied().filter(|m| *m != self.me));
+                out.push_to_all(&audience, c);
+                self.gossip_scratch = audience;
             }
         }
     }

@@ -467,18 +467,12 @@ impl SharedMemNode {
         match step {
             OpStep::Continue => {}
             OpStep::StartPropagate(value) => {
+                // One value propagates to every member: share a single
+                // payload across the fan-out rather than cloning it n times.
                 let op = pending.op();
                 let key = pending.key();
-                for member in cfg.iter().copied() {
-                    out.push(
-                        member,
-                        RegisterMsg::Update {
-                            op,
-                            key,
-                            value: value.clone(),
-                        },
-                    );
-                }
+                let members: Vec<ProcessId> = cfg.iter().copied().collect();
+                out.push_to_all(&members, RegisterMsg::Update { op, key, value });
             }
             OpStep::Done(outcome) => {
                 self.pending = None;
@@ -533,16 +527,13 @@ impl Layer for SharedMemNode {
                         self.record_outcome(outcome);
                     }
                     if cfg.contains(&self.me) && !self.store.is_empty() {
+                        // Same store snapshot to every other member: one
+                        // shared payload instead of a deep clone per peer.
                         let snapshot = self.store.snapshot();
-                        for member in cfg.iter().copied().filter(|m| *m != self.me) {
-                            out.push(
-                                member,
-                                RegisterMsg::StoreSync {
-                                    entries: snapshot.clone(),
-                                },
-                            );
-                            self.syncs_sent += 1;
-                        }
+                        let members: Vec<ProcessId> =
+                            cfg.iter().copied().filter(|m| *m != self.me).collect();
+                        self.syncs_sent += members.len() as u64;
+                        out.push_to_all(&members, RegisterMsg::StoreSync { entries: snapshot });
                     }
                     self.synced_config = Some(cfg.clone());
                 }
@@ -559,8 +550,11 @@ impl Layer for SharedMemNode {
                 }
             }
             if let Some(pending) = &self.pending {
+                // Retransmissions of the current phase are identical for
+                // every unanswered member, so build the message once and
+                // fan a shared payload out.
                 let targets = pending.unanswered(cfg);
-                for member in targets {
+                if !targets.is_empty() {
                     let msg = match pending.chosen() {
                         None => RegisterMsg::Query {
                             op: pending.op(),
@@ -572,7 +566,7 @@ impl Layer for SharedMemNode {
                             value: value.clone(),
                         },
                     };
-                    out.push(member, msg);
+                    out.push_to_all(&targets, msg);
                 }
             }
         }

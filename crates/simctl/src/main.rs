@@ -1171,6 +1171,35 @@ fn bench_guard(
                                  {floor:.2}x floor (jobs={jobs}, cores={cores})"
                             ));
                         }
+                        // The absolute floor is deliberately lax on narrow
+                        // machines (usable cores ≤ 1 demands only 0.5×), so
+                        // when the baseline was measured on the same usable
+                        // core count, additionally demand the usual relative
+                        // bound against it — a dispatch-overhead regression
+                        // from 0.98× to 0.6× on a 1-core runner clears the
+                        // absolute floor but not this one. Cross-machine
+                        // comparisons keep the absolute floor only.
+                        let base_pc = baseline.get("parallel_campaign");
+                        let base_field = |name: &str| {
+                            base_pc.and_then(|b| b.get(name)).and_then(Json::as_u64)
+                        };
+                        if let (Some(bj), Some(bc), Some(base_speedup)) = (
+                            base_field("jobs"),
+                            base_field("cores"),
+                            base_pc.and_then(|b| b.get("speedup")).and_then(Json::as_f64),
+                        ) {
+                            let same_width = bj.min(bc.max(1)) == jobs.min(cores.max(1));
+                            let rel_floor = base_speedup * (1.0 - max_regression);
+                            if same_width && speedup < rel_floor {
+                                findings.push(format!(
+                                    "parallel campaign speedup regressed: {speedup:.2}x < \
+                                     {rel_floor:.2}x (baseline {base_speedup:.2}x − {:.0}% on \
+                                     the same {} usable cores)",
+                                    max_regression * 100.0,
+                                    jobs.min(cores.max(1)),
+                                ));
+                            }
+                        }
                     }
                     _ => findings
                         .push("parallel_campaign is missing jobs/cores/speedup fields".to_string()),
@@ -2075,6 +2104,18 @@ mod tests {
             .is_empty());
         let old = summary(&[(64, 6.0)], true);
         assert!(bench_guard(&old, &old, 0.30).unwrap().is_empty());
+        // On matching usable-core counts the relative bound arms even where
+        // the absolute floor is lax: a 1-core dispatch regression from
+        // 0.98x to 0.60x clears the 0.5x floor but not baseline − 30%.
+        let narrow_base = with_pc(0.98, 4, 1, true);
+        assert!(bench_guard(&narrow_base, &with_pc(0.95, 4, 1, true), 0.30)
+            .unwrap()
+            .is_empty());
+        let findings = bench_guard(&narrow_base, &with_pc(0.60, 4, 1, true), 0.30).unwrap();
+        assert!(
+            findings.iter().any(|f| f.contains("same 1 usable cores")),
+            "{findings:?}"
+        );
     }
 
     fn scenario_summary(rows: &[(&str, f64, bool)]) -> Json {

@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use crate::payload::Payload;
 use crate::rng::SimRng;
 use crate::time::Round;
 
@@ -42,12 +43,37 @@ impl Default for ChannelPolicy {
 
 /// A packet travelling through a channel together with its earliest delivery
 /// round.
+///
+/// The payload may be shared with other packets (broadcast fan-out, channel
+/// duplication); read it through [`InFlight::msg`] and mutate it through the
+/// copy-on-write [`InFlight::msg_mut`]. The slot itself lives in the
+/// channel's `VecDeque` ring buffer, which doubles as the free-list: once the
+/// ring has reached its high-water mark, enqueue/evict/deliver reuse slots
+/// without touching the allocator (only [`Channel::clear`] releases the
+/// ring).
 #[derive(Debug, Clone, PartialEq)]
 pub struct InFlight<M> {
-    /// The payload.
-    pub msg: M,
+    /// The payload — owned, or one handle to an allocation shared with other
+    /// packets.
+    payload: Payload<M>,
     /// The first round at which the packet may be delivered.
     pub ready_at: Round,
+}
+
+impl<M> InFlight<M> {
+    /// A shared view of the payload.
+    pub fn msg(&self) -> &M {
+        self.payload.get()
+    }
+}
+
+impl<M: Clone> InFlight<M> {
+    /// Mutable access to the payload, copy-on-write: corrupting a packet
+    /// whose payload is shared un-shares it first, so the mutation never
+    /// aliases into other packets.
+    pub fn msg_mut(&mut self) -> &mut M {
+        self.payload.make_mut()
+    }
 }
 
 /// What happened to a packet handed to [`Channel::send`].
@@ -129,21 +155,38 @@ impl<M: Clone> Channel<M> {
         now: Round,
         rng: &mut SimRng,
     ) -> (SendOutcome, Option<Round>) {
+        self.send_payload_timed(Payload::owned(msg), now, rng)
+    }
+
+    /// The payload-level form of [`Channel::send_timed`]: broadcasts hand
+    /// every destination one handle to a shared payload instead of a deep
+    /// clone. Loss drops the payload without ever copying it; duplication
+    /// promotes it to shared and enqueues a second handle. RNG draw order is
+    /// loss → duplication → per-enqueue delay, identical for owned and
+    /// shared payloads.
+    pub fn send_payload_timed(
+        &mut self,
+        payload: Payload<M>,
+        now: Round,
+        rng: &mut SimRng,
+    ) -> (SendOutcome, Option<Round>) {
         if rng.chance(self.policy.loss_probability) {
             return (SendOutcome::Lost, None);
         }
         let duplicated = rng.chance(self.policy.duplication_probability);
-        let (outcome, first_ready) = self.enqueue(msg.clone(), now, rng, SendOutcome::Enqueued);
         if duplicated {
-            let (dup_outcome, dup_ready) = self.enqueue(msg, now, rng, SendOutcome::Duplicated);
+            let (first, dup) = payload.split();
+            let (_, first_ready) = self.enqueue(first, now, rng, SendOutcome::Enqueued);
+            let (dup_outcome, dup_ready) = self.enqueue(dup, now, rng, SendOutcome::Duplicated);
             return (dup_outcome, Some(first_ready.min(dup_ready)));
         }
-        (outcome, Some(first_ready))
+        let (outcome, ready) = self.enqueue(payload, now, rng, SendOutcome::Enqueued);
+        (outcome, Some(ready))
     }
 
     fn enqueue(
         &mut self,
-        msg: M,
+        payload: Payload<M>,
         now: Round,
         rng: &mut SimRng,
         ok: SendOutcome,
@@ -154,7 +197,7 @@ impl<M: Clone> Channel<M> {
             rng.range_inclusive(0, self.policy.max_delay_rounds)
         };
         let ready_at = now + delay;
-        let packet = InFlight { msg, ready_at };
+        let packet = InFlight { payload, ready_at };
         if self.queue.len() >= self.policy.capacity {
             // Bounded capacity: evict the oldest in-flight packet.
             self.queue.pop_front();
@@ -180,7 +223,7 @@ impl<M: Clone> Channel<M> {
             self.queue.pop_front();
         }
         self.queue.push_back(InFlight {
-            msg,
+            payload: Payload::owned(msg),
             ready_at: Round::ZERO,
         });
     }
@@ -216,7 +259,7 @@ impl<M: Clone> Channel<M> {
                     break;
                 };
                 let packet = self.queue.remove(pick).expect("index is valid");
-                sink(packet.msg);
+                sink(packet.payload.into_msg());
                 delivered += 1;
             }
         } else {
@@ -235,7 +278,7 @@ impl<M: Clone> Channel<M> {
                 }
                 let pick = *rng.choose(&ready).expect("ready is non-empty");
                 let packet = self.queue.remove(pick).expect("index is valid");
-                sink(packet.msg);
+                sink(packet.payload.into_msg());
                 delivered += 1;
             }
         }
@@ -452,6 +495,30 @@ mod proptests {
             }
         }
 
+        /// The shared-payload channel is observationally identical to the
+        /// pre-arena owned reference implementation: same `SendOutcome`s,
+        /// same delivered sequences, same in-flight contents, across random
+        /// policies (loss/duplication/delay/reorder/capacity eviction) and
+        /// random interleavings of sends, shared-payload sends, drains,
+        /// injections, corruption and clears.
+        #[test]
+        fn arena_channel_matches_owned_reference(
+            raw_policy in (1usize..12, 0.0f64..0.4, 0.0f64..0.4, 0u64..4, any::<bool>()),
+            raw_ops in proptest::collection::vec((0u8..16, 0u32..1000, 0u64..8), 0..120),
+            seed in 0u64..u64::MAX,
+        ) {
+            let (capacity, loss, dup, delay, reorder) = raw_policy;
+            let policy = ChannelPolicy {
+                capacity,
+                loss_probability: loss,
+                duplication_probability: dup,
+                max_delay_rounds: delay,
+                reorder,
+            };
+            let ops: Vec<reference::Op> = raw_ops.iter().map(reference::Op::decode).collect();
+            reference::check_equivalence(policy, &ops, seed);
+        }
+
         /// Without loss, duplication or eviction pressure every packet sent is
         /// eventually delivered exactly once.
         #[test]
@@ -472,6 +539,214 @@ mod proptests {
             }
             let delivered = ch.drain_ready(Round::new(100), usize::MAX, &mut rng);
             prop_assert_eq!(delivered, sends);
+        }
+    }
+}
+
+/// The pre-arena channel, transcribed verbatim: an owned `VecDeque<(M, Round)>`
+/// with the historical clone-per-send path. It exists only as the oracle for
+/// the `arena_channel_matches_owned_reference` property above.
+#[cfg(test)]
+mod reference {
+    use super::*;
+    use proptest::prelude::*;
+
+    pub struct RefChannel<M> {
+        policy: ChannelPolicy,
+        queue: VecDeque<(M, Round)>,
+    }
+
+    impl<M: Clone> RefChannel<M> {
+        pub fn new(policy: ChannelPolicy) -> Self {
+            RefChannel {
+                policy,
+                queue: VecDeque::new(),
+            }
+        }
+
+        pub fn send_timed(
+            &mut self,
+            msg: M,
+            now: Round,
+            rng: &mut SimRng,
+        ) -> (SendOutcome, Option<Round>) {
+            if rng.chance(self.policy.loss_probability) {
+                return (SendOutcome::Lost, None);
+            }
+            let duplicated = rng.chance(self.policy.duplication_probability);
+            let (outcome, first_ready) = self.enqueue(msg.clone(), now, rng, SendOutcome::Enqueued);
+            if duplicated {
+                let (dup_outcome, dup_ready) = self.enqueue(msg, now, rng, SendOutcome::Duplicated);
+                return (dup_outcome, Some(first_ready.min(dup_ready)));
+            }
+            (outcome, Some(first_ready))
+        }
+
+        fn enqueue(
+            &mut self,
+            msg: M,
+            now: Round,
+            rng: &mut SimRng,
+            ok: SendOutcome,
+        ) -> (SendOutcome, Round) {
+            let delay = if self.policy.max_delay_rounds == 0 {
+                0
+            } else {
+                rng.range_inclusive(0, self.policy.max_delay_rounds)
+            };
+            let ready_at = now + delay;
+            if self.queue.len() >= self.policy.capacity {
+                self.queue.pop_front();
+                self.queue.push_back((msg, ready_at));
+                (SendOutcome::EvictedOld, ready_at)
+            } else {
+                self.queue.push_back((msg, ready_at));
+                (ok, ready_at)
+            }
+        }
+
+        pub fn inject(&mut self, msg: M) {
+            if self.queue.len() >= self.policy.capacity {
+                self.queue.pop_front();
+            }
+            self.queue.push_back((msg, Round::ZERO));
+        }
+
+        pub fn drain_ready(&mut self, now: Round, limit: usize, rng: &mut SimRng) -> Vec<M> {
+            let mut delivered = Vec::new();
+            if !self.policy.reorder {
+                while delivered.len() < limit {
+                    let Some(pick) = self.queue.iter().position(|(_, r)| *r <= now) else {
+                        break;
+                    };
+                    delivered.push(self.queue.remove(pick).expect("index is valid").0);
+                }
+            } else {
+                let mut ready: Vec<usize> = Vec::new();
+                while delivered.len() < limit {
+                    ready.clear();
+                    ready.extend(
+                        self.queue
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, (_, r))| *r <= now)
+                            .map(|(i, _)| i),
+                    );
+                    if ready.is_empty() {
+                        break;
+                    }
+                    let pick = *rng.choose(&ready).expect("ready is non-empty");
+                    delivered.push(self.queue.remove(pick).expect("index is valid").0);
+                }
+            }
+            delivered
+        }
+
+        pub fn clear(&mut self) {
+            self.queue.clear();
+        }
+
+        pub fn msgs(&self) -> Vec<M> {
+            self.queue.iter().map(|(m, _)| m.clone()).collect()
+        }
+
+        pub fn corrupt(&mut self, mut mutate: impl FnMut(&mut M)) {
+            for (m, _) in self.queue.iter_mut() {
+                mutate(m);
+            }
+        }
+    }
+
+    /// One step of the random interleaving the equivalence property drives
+    /// through both channels.
+    #[derive(Debug, Clone)]
+    pub enum Op {
+        /// A plain owned send.
+        Send(u32),
+        /// A send whose payload is already shared with a live outside handle
+        /// (a broadcast sibling), exercising the shared enqueue and the
+        /// clone-on-delivery path.
+        SendShared(u32),
+        /// Drain up to `limit` ready packets.
+        Drain { limit: usize },
+        /// Out-of-band injection (stale packet after a transient fault).
+        Inject(u32),
+        /// In-place payload corruption of everything in flight.
+        Corrupt(u32),
+        /// Discard everything in flight.
+        Clear,
+        /// Let simulated time pass.
+        Advance(u64),
+    }
+
+    impl Op {
+        /// Decodes one raw `(selector, value, aux)` triple drawn by the
+        /// property test into an op, weighting sends most heavily.
+        pub fn decode(&(sel, value, aux): &(u8, u32, u64)) -> Op {
+            match sel {
+                0..=4 => Op::Send(value),
+                5..=8 => Op::SendShared(value),
+                9..=11 => Op::Drain {
+                    limit: aux as usize,
+                },
+                12 => Op::Inject(value),
+                13 => Op::Corrupt(value % 49 + 1),
+                14 => Op::Clear,
+                _ => Op::Advance(aux % 4),
+            }
+        }
+    }
+
+    pub fn check_equivalence(policy: ChannelPolicy, ops: &[Op], seed: u64) {
+        let mut arena: Channel<u32> = Channel::new(policy.clone());
+        let mut oracle: RefChannel<u32> = RefChannel::new(policy);
+        let mut arena_rng = SimRng::seed_from(seed);
+        let mut oracle_rng = SimRng::seed_from(seed);
+        // Live sibling handles of `SendShared` payloads (with the value each
+        // was created with): they keep the refcount above one so delivery has
+        // to take the clone path, and they must never observe corruption.
+        let mut siblings: Vec<(u32, Payload<u32>)> = Vec::new();
+        let mut now = Round::ZERO;
+        for op in ops {
+            match op {
+                Op::Send(m) => {
+                    let got = arena.send_timed(*m, now, &mut arena_rng);
+                    let want = oracle.send_timed(*m, now, &mut oracle_rng);
+                    prop_assert_eq!(got, want);
+                }
+                Op::SendShared(m) => {
+                    let mut fan = Payload::fan_out(*m, 2);
+                    siblings.push((*m, fan.next()));
+                    let got = arena.send_payload_timed(fan.next(), now, &mut arena_rng);
+                    let want = oracle.send_timed(*m, now, &mut oracle_rng);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Drain { limit } => {
+                    let got = arena.drain_ready(now, *limit, &mut arena_rng);
+                    let want = oracle.drain_ready(now, *limit, &mut oracle_rng);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Inject(m) => {
+                    arena.inject(*m);
+                    oracle.inject(*m);
+                }
+                Op::Corrupt(delta) => {
+                    for packet in arena.in_flight_mut() {
+                        *packet.msg_mut() += delta;
+                    }
+                    oracle.corrupt(|m| *m += delta);
+                    // Copy-on-write: corruption never leaks into the live
+                    // broadcast siblings.
+                    prop_assert!(siblings.iter().all(|(v, p)| p.get() == v));
+                }
+                Op::Clear => {
+                    arena.clear();
+                    oracle.clear();
+                }
+                Op::Advance(by) => now = now + *by,
+            }
+            let in_flight: Vec<u32> = arena.in_flight().map(|p| *p.msg()).collect();
+            prop_assert_eq!(in_flight, oracle.msgs());
         }
     }
 }

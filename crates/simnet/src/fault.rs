@@ -1104,14 +1104,14 @@ mod tests {
             sim.network_mut().inject(ProcessId::new(1), victim, 20);
             let mut rng = SimRng::seed_from(seed);
             assert_eq!(plan.apply(&mut sim, Round::ZERO, &mut rng, |_, _| false), 2);
-            let via_p0 = sim
+            let via_p0 = *sim
                 .network()
                 .channel(ProcessId::new(0), victim)
                 .unwrap()
                 .in_flight()
                 .next()
                 .unwrap()
-                .msg;
+                .msg();
             match via_p0 {
                 20 => swapped += 1,
                 10 => kept += 1,

@@ -94,6 +94,7 @@ pub mod load;
 pub mod metrics;
 pub mod network;
 pub mod partition;
+pub mod payload;
 pub mod plan;
 pub mod process;
 pub mod report;
@@ -122,6 +123,7 @@ pub use load::{Arrival, LoadProfile};
 pub use metrics::Metrics;
 pub use network::Network;
 pub use partition::{AsymmetricCutPlan, PartitionPlan};
+pub use payload::Payload;
 pub use plan::{ByzantinePlan, FaultAction, FaultPlan, ForgeKind, PlanCtx, RunObservations};
 pub use process::{Context, Process, ProcessId, ProcessStatus};
 pub use report::Json;

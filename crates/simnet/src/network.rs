@@ -5,9 +5,46 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::channel::{Channel, ChannelPolicy, SendOutcome};
 use crate::metrics::Metrics;
+use crate::payload::Payload;
 use crate::process::ProcessId;
 use crate::rng::SimRng;
 use crate::time::Round;
+
+/// A sorted set of sender identifiers, stored flat.
+///
+/// This is the value type of the per-destination inbound index. The index
+/// used to be a `BTreeSet` pruned on every delivery and re-populated on every
+/// send; at steady state that remove/insert cycle freed and reallocated tree
+/// nodes hundreds of times per round and dominated the simulator's allocation
+/// profile. The flat set is *never* pruned on the hot path: senders
+/// accumulate monotonically (membership is checked against the actual channel
+/// contents at read time), inserts of an already-known sender are free, and
+/// structural removal happens only in the cold white-box paths
+/// ([`Network::clear_channel`], [`Network::clear_all`]). Steady-state sends
+/// and deliveries therefore touch the allocator exactly zero times.
+#[derive(Debug, Clone, Default)]
+struct SenderSet(Vec<ProcessId>);
+
+impl SenderSet {
+    /// Inserts `id`, keeping the set sorted. No-op when already present.
+    fn insert(&mut self, id: ProcessId) {
+        if let Err(at) = self.0.binary_search(&id) {
+            self.0.insert(at, id);
+        }
+    }
+
+    /// Removes `id` if present (cold path: white-box channel clears).
+    fn remove(&mut self, id: ProcessId) {
+        if let Ok(at) = self.0.binary_search(&id) {
+            self.0.remove(at);
+        }
+    }
+
+    /// The senders in ascending order.
+    fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.0.iter().copied()
+    }
+}
 
 /// The collection of unidirectional channels between every ordered pair of
 /// processors. Channels are created lazily when first used, so the network
@@ -25,10 +62,12 @@ pub struct Network<M> {
     channels: BTreeMap<(ProcessId, ProcessId), Channel<M>>,
     blocked: BTreeSet<(ProcessId, ProcessId)>,
     /// Per-destination index of senders whose channel may hold packets.
-    /// Conservative (a listed channel can be empty after white-box clears)
-    /// and pruned on delivery; the event-driven scheduler reads it instead of
-    /// scanning every channel in the network.
-    inbound: BTreeMap<ProcessId, BTreeSet<ProcessId>>,
+    /// Conservative — a listed channel can be empty (drained, or cleared
+    /// white-box); emptiness is checked against the channel itself at read
+    /// time, never by pruning the index on the hot path (see [`SenderSet`]).
+    /// The event-driven scheduler reads this instead of scanning every
+    /// channel in the network.
+    inbound: BTreeMap<ProcessId, SenderSet>,
     /// Destinations whose incoming channels were mutated outside the normal
     /// send path (injection, white-box channel access). The scheduler drains
     /// this to wake the affected processes.
@@ -158,11 +197,29 @@ impl<M: Clone> Network<M> {
         rng: &mut SimRng,
         metrics: &mut Metrics,
     ) -> Option<Round> {
+        self.send_payload(from, to, Payload::owned(msg), now, rng, metrics)
+    }
+
+    /// The payload-level form of [`Network::send`]: the scheduler's flush
+    /// path hands packets over as [`Payload`]s, so a broadcast fanned out
+    /// through [`crate::stack::Outbox::push_to_all`] reaches its channels as
+    /// refcount bumps rather than deep clones.
+    pub fn send_payload(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Payload<M>,
+        now: Round,
+        rng: &mut SimRng,
+        metrics: &mut Metrics,
+    ) -> Option<Round> {
         if self.blocked.contains(&(from, to)) {
             metrics.record_send(SendOutcome::Lost);
             return None;
         }
-        let (outcome, ready) = self.channel_entry(from, to).send_timed(msg, now, rng);
+        let (outcome, ready) = self
+            .channel_entry(from, to)
+            .send_payload_timed(payload, now, rng);
         metrics.record_send(outcome);
         if ready.is_some() {
             self.inbound.entry(to).or_default().insert(from);
@@ -171,24 +228,20 @@ impl<M: Clone> Network<M> {
     }
 
     /// Fills `senders` with the senders holding a non-empty channel towards
-    /// `to`, in ascending order, pruning the inbound index of channels that
-    /// turn out to be empty.
+    /// `to`, in ascending order. Emptiness is checked against the channels;
+    /// the index itself is left untouched (see [`SenderSet`]).
     fn nonempty_senders_into(&mut self, to: ProcessId, senders: &mut Vec<ProcessId>) {
         senders.clear();
-        let Some(srcs) = self.inbound.get_mut(&to) else {
+        let Some(srcs) = self.inbound.get(&to) else {
             return;
         };
         let channels = &self.channels;
-        srcs.retain(|src| {
-            let holds_packets = channels
+        senders.extend(srcs.iter().filter(|src| {
+            channels
                 .get(&(*src, to))
                 .map(|ch| !ch.is_empty())
-                .unwrap_or(false);
-            if holds_packets {
-                senders.push(*src);
-            }
-            holds_packets
-        });
+                .unwrap_or(false)
+        }));
     }
 
     /// The common delivery loop over an already-shuffled sender list.
@@ -218,11 +271,6 @@ impl<M: Clone> Network<M> {
                     metrics.record_delivery();
                     into.push((from, msg));
                 });
-                if ch.is_empty() {
-                    if let Some(srcs) = self.inbound.get_mut(&to) {
-                        srcs.remove(&from);
-                    }
-                }
             }
         }
         metrics.record_delivery_batch(into.len() - start);
@@ -340,7 +388,7 @@ impl<M: Clone> Network<M> {
             ch.clear();
         }
         if let Some(srcs) = self.inbound.get_mut(&to) {
-            srcs.remove(&from);
+            srcs.remove(from);
         }
     }
 
@@ -389,7 +437,7 @@ impl<M: Clone> Network<M> {
     pub fn earliest_inbound_ready(&self, to: ProcessId) -> Option<Round> {
         let srcs = self.inbound.get(&to)?;
         srcs.iter()
-            .filter_map(|src| self.channels.get(&(*src, to)))
+            .filter_map(|src| self.channels.get(&(src, to)))
             .filter_map(Channel::earliest_ready)
             .min()
     }
@@ -415,6 +463,10 @@ impl<M: Clone> Network<M> {
     /// never creates packets out of thin air — only their contents change.
     /// The affected destination is marked dirty so the event-driven
     /// scheduler re-examines it.
+    ///
+    /// Packets whose payload is shared (broadcast fan-out, duplication) are
+    /// un-shared copy-on-write before `mutate` sees them, so corruption never
+    /// aliases into other channels' packets.
     pub fn corrupt_inbound_payloads(
         &mut self,
         to: ProcessId,
@@ -425,7 +477,7 @@ impl<M: Clone> Network<M> {
             .iter_mut()
             .filter(|((_, dst), _)| *dst == to)
             .flat_map(|(_, ch)| ch.in_flight_mut())
-            .map(|packet| &mut packet.msg)
+            .map(|packet| packet.msg_mut())
             .collect();
         let touched = payloads.len();
         if touched > 0 {

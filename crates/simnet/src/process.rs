@@ -10,6 +10,7 @@
 
 use std::fmt;
 
+use crate::payload::Payload;
 use crate::time::Round;
 
 /// Unique identifier of a processor, drawn from the totally ordered set `P`.
@@ -103,11 +104,14 @@ pub trait Process {
 ///
 /// All sends performed through the context are buffered and handed to the
 /// network when the step completes, preserving the atomic-step abstraction.
+/// The buffer holds [`Payload`]s, not bare messages, so a broadcast queued
+/// through [`crate::stack::Outbox::push_to_all`] travels to the network as
+/// `n` handles over one shared allocation instead of `n` deep clones.
 pub struct Context<'a, M> {
     me: ProcessId,
     now: Round,
     peers: &'a [ProcessId],
-    outbox: Vec<(ProcessId, M)>,
+    outbox: Vec<(ProcessId, Payload<M>)>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -126,7 +130,7 @@ impl<'a, M> Context<'a, M> {
         me: ProcessId,
         now: Round,
         peers: &'a [ProcessId],
-        outbox: Vec<(ProcessId, M)>,
+        outbox: Vec<(ProcessId, Payload<M>)>,
     ) -> Self {
         debug_assert!(outbox.is_empty(), "recycled outbox must be drained");
         Context {
@@ -179,14 +183,14 @@ impl<'a, M> Context<'a, M> {
     /// handed back via [`Context::restore_sends`]. Packets already queued
     /// stay in the returned buffer.
     #[doc(hidden)]
-    pub fn take_sends(&mut self) -> Vec<(ProcessId, M)> {
+    pub fn take_sends(&mut self) -> Vec<(ProcessId, Payload<M>)> {
         std::mem::take(&mut self.outbox)
     }
 
     /// Restores a send buffer taken with [`Context::take_sends`]. Packets
     /// queued in the meantime are kept, in order, before the restored ones.
     #[doc(hidden)]
-    pub fn restore_sends(&mut self, mut sends: Vec<(ProcessId, M)>) {
+    pub fn restore_sends(&mut self, mut sends: Vec<(ProcessId, Payload<M>)>) {
         if self.outbox.is_empty() {
             self.outbox = sends;
         } else {
@@ -197,7 +201,13 @@ impl<'a, M> Context<'a, M> {
     /// Queues a packet for `to`. Sending to oneself is permitted and is
     /// delivered through the network like any other packet.
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.outbox.push((to, msg));
+        self.outbox.push((to, Payload::owned(msg)));
+    }
+
+    /// Queues an already-wrapped payload for `to` (the shared-broadcast
+    /// path; see [`crate::stack::Outbox::push_to_all`]).
+    pub fn send_payload(&mut self, to: ProcessId, payload: Payload<M>) {
+        self.outbox.push((to, payload));
     }
 
     /// Number of packets queued so far in this step.
@@ -205,8 +215,9 @@ impl<'a, M> Context<'a, M> {
         self.outbox.len()
     }
 
-    /// Consumes the context and returns the queued packets.
-    pub fn into_outbox(self) -> Vec<(ProcessId, M)> {
+    /// Consumes the context and returns the queued packets as payloads (what
+    /// the scheduler's flush path feeds to [`crate::Network::send_payload`]).
+    pub fn into_outbox(self) -> Vec<(ProcessId, Payload<M>)> {
         self.outbox
     }
 }
@@ -254,7 +265,11 @@ mod tests {
         assert_eq!(ctx.pending_sends(), 2);
         assert_eq!(ctx.now(), Round::new(5));
         assert_eq!(ctx.me(), ProcessId::new(0));
-        let out = ctx.into_outbox();
+        let out: Vec<(ProcessId, u32)> = ctx
+            .into_outbox()
+            .into_iter()
+            .map(|(to, payload)| (to, payload.into_msg()))
+            .collect();
         assert_eq!(out, vec![(ProcessId::new(1), 11), (ProcessId::new(2), 22)]);
     }
 

@@ -1032,13 +1032,13 @@ pub fn run_scenario_with_extras<T: ScenarioTarget>(
                         ForgeKind::Replay => {
                             let net = sim.network();
                             net.channel(*claimed_sender, *target)
-                                .and_then(|ch| ch.in_flight().next().map(|p| p.msg.clone()))
+                                .and_then(|ch| ch.in_flight().next().map(|p| p.msg().clone()))
                                 .or_else(|| {
                                     net.links().filter(|(_, to)| to == target).find_map(
                                         |(from, to)| {
                                             net.channel(from, to)
                                                 .and_then(|ch| ch.in_flight().next())
-                                                .map(|p| p.msg.clone())
+                                                .map(|p| p.msg().clone())
                                         },
                                     )
                                 })

@@ -35,6 +35,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use crate::config::{SchedulerMode, SimConfig};
 use crate::metrics::Metrics;
 use crate::network::Network;
+use crate::payload::Payload;
 use crate::process::{Context, Process, ProcessId, ProcessStatus};
 use crate::report;
 use crate::rng::SimRng;
@@ -112,7 +113,7 @@ pub struct Simulation<P: Process> {
     scratch_woken: Vec<ProcessId>,
     scratch_order: Vec<ProcessId>,
     scratch_deliveries: Vec<(ProcessId, P::Msg)>,
-    scratch_outbox: Vec<(ProcessId, P::Msg)>,
+    scratch_outbox: Vec<(ProcessId, Payload<P::Msg>)>,
     /// Cached membership snapshot handed to visited processes, rebuilt only
     /// when a processor joins (`ids_dirty`).
     ids_snapshot: Vec<ProcessId>,
@@ -476,12 +477,17 @@ impl<P: Process> Simulation<P> {
 
     /// Hands the queued sends to the network, draining `outbox` in place so
     /// the buffer (and its capacity) can be recycled by the caller.
-    fn flush(&mut self, from: ProcessId, outbox: &mut Vec<(ProcessId, P::Msg)>) {
+    fn flush(&mut self, from: ProcessId, outbox: &mut Vec<(ProcessId, Payload<P::Msg>)>) {
         let event_driven = self.config.scheduler() == SchedulerMode::EventDriven;
-        for (to, msg) in outbox.drain(..) {
-            let ready =
-                self.network
-                    .send(from, to, msg, self.now, &mut self.rng, &mut self.metrics);
+        for (to, payload) in outbox.drain(..) {
+            let ready = self.network.send_payload(
+                from,
+                to,
+                payload,
+                self.now,
+                &mut self.rng,
+                &mut self.metrics,
+            );
             if event_driven {
                 if let Some(ready) = ready {
                     self.packet_wakes.schedule(ready.max(self.now), to);

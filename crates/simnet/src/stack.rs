@@ -73,6 +73,7 @@
 //! assert!(out.is_empty());
 //! ```
 
+use crate::payload::Payload;
 use crate::process::{Context, ProcessId};
 
 /// Injection/projection between a sub-layer's native message type and a
@@ -90,9 +91,15 @@ pub trait Lane<W>: Sized {
 
 /// Collects `(destination, wire message)` pairs during one atomic step,
 /// wrapping every sub-layer's native messages on the way in.
+///
+/// Internally messages are stored as [`Payload`]s: point-to-point pushes own
+/// their message inline (allocation-free), while [`Outbox::push_to_all`]
+/// queues one shared allocation per *broadcast* rather than one deep clone
+/// per *destination* — the sharing survives all the way through the network
+/// into the channels.
 #[derive(Debug)]
 pub struct Outbox<W> {
-    msgs: Vec<(ProcessId, W)>,
+    msgs: Vec<(ProcessId, Payload<W>)>,
 }
 
 impl<W> Default for Outbox<W> {
@@ -111,19 +118,35 @@ impl<W> Outbox<W> {
     /// can reuse a recycled allocation (see `impl_process_for_layer!`, which
     /// borrows the simulation's per-step send buffer instead of allocating).
     /// Messages already in the buffer are kept.
-    pub fn from_buffer(msgs: Vec<(ProcessId, W)>) -> Self {
+    pub fn from_buffer(msgs: Vec<(ProcessId, Payload<W>)>) -> Self {
         Outbox { msgs }
     }
 
     /// Queues one native message of lane `M` for `to`.
     pub fn push<M: Lane<W>>(&mut self, to: ProcessId, msg: M) {
-        self.msgs.push((to, msg.wrap()));
+        self.msgs.push((to, Payload::owned(msg.wrap())));
     }
 
     /// Queues one already-wrapped wire message for `to` (used for unit
     /// variants of the wire enum, which carry no lane payload).
     pub fn push_wire(&mut self, to: ProcessId, wire: W) {
-        self.msgs.push((to, wire));
+        self.msgs.push((to, Payload::owned(wire)));
+    }
+
+    /// Queues one native message for *every* destination in `peers`, sharing
+    /// a single payload allocation across all of them: the broadcast travels
+    /// through the network as refcount bumps, and only deliveries that
+    /// overlap other live handles pay a clone. Use this where the same value
+    /// genuinely fans out (state snapshots, gossip); per-peer messages keep
+    /// going through [`Outbox::push`].
+    pub fn push_to_all<M: Lane<W>>(&mut self, peers: &[ProcessId], msg: M) {
+        if peers.is_empty() {
+            return;
+        }
+        let mut fan = Payload::fan_out(msg.wrap(), peers.len());
+        for to in peers {
+            self.msgs.push((*to, fan.next()));
+        }
     }
 
     /// Queues a batch of native messages, wrapping each one. This is the
@@ -145,16 +168,30 @@ impl<W> Outbox<W> {
         self.msgs.is_empty()
     }
 
-    /// Consumes the outbox, returning the queued wire messages in send order.
-    pub fn into_messages(self) -> Vec<(ProcessId, W)> {
+    /// Consumes the outbox, returning the queued payloads in send order (the
+    /// allocation-free hand-back used by `impl_process_for_layer!`).
+    pub fn into_payloads(self) -> Vec<(ProcessId, Payload<W>)> {
         self.msgs
     }
 
     /// Hands every queued message to a simulation [`Context`].
     pub fn send_via(self, ctx: &mut Context<'_, W>) {
-        for (to, msg) in self.msgs {
-            ctx.send(to, msg);
+        for (to, payload) in self.msgs {
+            ctx.send_payload(to, payload);
         }
+    }
+}
+
+impl<W: Clone> Outbox<W> {
+    /// Consumes the outbox, returning the queued wire messages in send order.
+    /// Owned messages move; shared broadcast payloads clone per destination
+    /// (this is the facade/tests path — the simulation hot path hands the
+    /// payloads through [`Outbox::into_payloads`] unchanged).
+    pub fn into_messages(self) -> Vec<(ProcessId, W)> {
+        self.msgs
+            .into_iter()
+            .map(|(to, payload)| (to, payload.into_msg()))
+            .collect()
     }
 }
 
@@ -379,7 +416,7 @@ macro_rules! impl_process_for_layer {
                 // allocating a second collection.
                 let mut out = $crate::stack::Outbox::from_buffer(ctx.take_sends());
                 $crate::stack::Layer::poll(self, ctx.ids(), &mut out);
-                ctx.restore_sends(out.into_messages());
+                ctx.restore_sends(out.into_payloads());
             }
 
             fn on_message(
@@ -390,7 +427,7 @@ macro_rules! impl_process_for_layer {
             ) {
                 let mut out = $crate::stack::Outbox::from_buffer(ctx.take_sends());
                 $crate::stack::Layer::handle(self, from, msg, &mut out);
-                ctx.restore_sends(out.into_messages());
+                ctx.restore_sends(out.into_payloads());
             }
         }
     };
@@ -439,6 +476,27 @@ mod tests {
                 (pid(4), Wire::Lower(Lower(8))),
             ]
         );
+    }
+
+    #[test]
+    fn push_to_all_shares_one_payload_across_destinations() {
+        let mut out: Outbox<Wire> = Outbox::new();
+        out.push_to_all(&[pid(1), pid(2), pid(3)], Lower(9));
+        assert_eq!(out.len(), 3);
+        let payloads = out.into_payloads();
+        assert!(payloads.iter().all(|(_, p)| p.is_shared()));
+        assert!(payloads
+            .iter()
+            .all(|(_, p)| *p.get() == Wire::Lower(Lower(9))));
+
+        // A single destination stays owned (no allocation), an empty peer
+        // list queues nothing.
+        let mut out: Outbox<Wire> = Outbox::new();
+        out.push_to_all(&[pid(7)], Lower(1));
+        out.push_to_all(&[], Lower(2));
+        let payloads = out.into_payloads();
+        assert_eq!(payloads.len(), 1);
+        assert!(!payloads[0].1.is_shared());
     }
 
     #[test]

@@ -899,12 +899,17 @@ impl Layer for SmrNode {
         // 4. Broadcast the replication snapshot to the configuration members
         //    and view members.
         if self.reconfig.is_participant() {
+            // Every trusted peer receives the same snapshot, so share one
+            // payload across the fan-out instead of deep-cloning the view,
+            // replica state, and input per peer.
             let snapshot = self.snapshot();
-            let mut audience: BTreeSet<ProcessId> = self.reconfig.trusted();
-            audience.remove(&self.me);
-            for to in audience {
-                out.push(to, snapshot.clone());
-            }
+            let audience: Vec<ProcessId> = self
+                .reconfig
+                .trusted()
+                .into_iter()
+                .filter(|p| *p != self.me)
+                .collect();
+            out.push_to_all(&audience, snapshot);
         }
     }
 
